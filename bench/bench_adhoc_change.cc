@@ -1,0 +1,143 @@
+// E5: ad-hoc change latency per operation kind and schema size.
+//
+// The paper claims ad-hoc deviations are applied to running instances
+// without destabilizing them; this measures the full pipeline per change:
+// state pre-conditions -> structural application to a clone ->
+// re-verification -> substitution block diff -> marking re-evaluation.
+//
+// Expected shape: dominated by re-verification of the changed schema, so
+// roughly linear in schema size; all operation kinds within a small factor
+// of each other.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace adept {
+namespace {
+
+struct AdhocSetup {
+  std::shared_ptr<const ProcessSchema> schema;
+  SchemaId schema_id;
+  SchemaRepository repo;
+  Engine engine;
+  std::unique_ptr<InstanceStore> store;
+};
+
+std::unique_ptr<AdhocSetup> MakeSetup(int activities) {
+  auto setup = std::make_unique<AdhocSetup>();
+  setup->schema = bench::ScaledSchema(activities, /*seed=*/11, "adhoc");
+  setup->schema_id = *setup->repo.Deploy(setup->schema);
+  setup->store = std::make_unique<InstanceStore>(&setup->repo);
+  return setup;
+}
+
+// The last plain activity in control order that writes no data (deleting a
+// decision/loop-condition writer would rightly fail verification).
+NodeId LastPlainActivity(const ProcessSchema& schema) {
+  NodeId found;
+  for (NodeId node : schema.TopologicalOrder()) {
+    const Node* n = schema.FindNode(node);
+    if (n != nullptr && n->type == NodeType::kActivity &&
+        schema.DataEdgesOf(node, AccessMode::kWrite).empty()) {
+      found = node;
+    }
+  }
+  return found;
+}
+
+Delta MakeOp(const ProcessSchema& schema, int64_t kind, int round) {
+  NodeId end = schema.end_node();
+  NodeId before_end = schema.Predecessors(end, EdgeType::kControl)[0];
+  NodeId activity = LastPlainActivity(schema);
+  Delta delta;
+  NewActivitySpec spec;
+  spec.name = "adhoc" + std::to_string(round);
+  switch (kind) {
+    case 0:
+      delta.Add(std::make_unique<SerialInsertOp>(spec, before_end, end));
+      break;
+    case 1:
+      delta.Add(std::make_unique<ParallelInsertOp>(spec, activity, activity));
+      break;
+    case 2:
+      delta.Add(std::make_unique<DeleteActivityOp>(activity));
+      break;
+    default:
+      delta.Add(std::make_unique<ReplaceActivityImplOp>(
+          activity, "impl" + std::to_string(round)));
+      break;
+  }
+  return delta;
+}
+
+const char* KindName(int64_t kind) {
+  switch (kind) {
+    case 0:
+      return "serialInsert";
+    case 1:
+      return "parallelInsert";
+    case 2:
+      return "deleteActivity";
+    default:
+      return "replaceActivityImpl";
+  }
+}
+
+void BM_AdHocChange(benchmark::State& state) {
+  int64_t kind = state.range(0);
+  int activities = static_cast<int>(state.range(1));
+  int round = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto setup = MakeSetup(activities);
+    ProcessInstance* inst =
+        *setup->engine.CreateInstance(setup->schema, setup->schema_id);
+    (void)setup->store->Register(inst->id(), setup->schema_id);
+    (void)inst->Start();
+    Delta delta = MakeOp(*setup->schema, kind, round++);
+    state.ResumeTiming();
+
+    Status st = ApplyAdHocChange(*inst, *setup->store, std::move(delta));
+    benchmark::DoNotOptimize(st);
+  }
+  state.SetLabel(std::string(KindName(kind)) + "/" +
+                 std::to_string(activities) + " activities");
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AdHocChange)
+    ->ArgsProduct({{0, 1, 2, 3}, {20, 100, 400}})
+    ->Unit(benchmark::kMicrosecond);
+
+// Cumulative bias: cost of the k-th change on the same instance (the
+// combined delta is re-applied each time — the hybrid representation's
+// known trade-off).
+void BM_CumulativeBias(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto setup = MakeSetup(100);
+    ProcessInstance* inst =
+        *setup->engine.CreateInstance(setup->schema, setup->schema_id);
+    (void)setup->store->Register(inst->id(), setup->schema_id);
+    (void)inst->Start();
+    int rounds = static_cast<int>(state.range(0));
+    state.ResumeTiming();
+
+    for (int k = 0; k < rounds; ++k) {
+      Status st = ApplyAdHocChange(*inst, *setup->store,
+                                   MakeOp(*setup->schema, 0, k));
+      benchmark::DoNotOptimize(st);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CumulativeBias)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace adept
+
+BENCHMARK_MAIN();

@@ -1,0 +1,117 @@
+// E1 (paper Fig. 1): classification + migration of instance populations.
+//
+// Reproduces the migration example at scale: N running instances of the
+// online ordering process in random states, a fraction ad-hoc modified
+// (half of those with the deadlock-inducing bias of instance I2), then the
+// type change Delta-T is propagated.
+//
+//   BM_ClassifyPopulation   dry-run classification cost (repeatable)
+//   BM_MigratePopulation    full migration incl. rebasing + state
+//                           adaptation (one shot per population)
+//
+// Expected shape: both scale ~linearly in N; classification alone is a
+// small constant factor cheaper than full migration.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace adept {
+namespace {
+
+using bench::Fig1TypeChange;
+using bench::MakePopulation;
+using bench::PopulationOptions;
+
+void BM_ClassifyPopulation(benchmark::State& state) {
+  PopulationOptions options;
+  options.instances = static_cast<int>(state.range(0));
+  options.biased_fraction = 0.2;
+  options.conflicting_fraction = 0.5;
+  auto pop = MakePopulation(options);
+  SchemaId v2 = *pop->repo.DeriveVersion(pop->v1_id, Fig1TypeChange(*pop->v1));
+
+  MigrationOptions mopts;
+  mopts.dry_run = true;
+  size_t migratable = 0;
+  for (auto _ : state) {
+    auto report = pop->manager->MigrateAll(pop->v1_id, v2, mopts);
+    benchmark::DoNotOptimize(report);
+    migratable = report->MigratedTotal();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.counters["migratable"] = static_cast<double>(migratable);
+}
+BENCHMARK(BM_ClassifyPopulation)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MigratePopulation(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    PopulationOptions options;
+    options.instances = static_cast<int>(state.range(0));
+    options.biased_fraction = 0.2;
+    options.conflicting_fraction = 0.5;
+    auto pop = MakePopulation(options);
+    SchemaId v2 =
+        *pop->repo.DeriveVersion(pop->v1_id, Fig1TypeChange(*pop->v1));
+    state.ResumeTiming();
+
+    auto report = pop->manager->MigrateAll(pop->v1_id, v2);
+    benchmark::DoNotOptimize(report);
+    state.PauseTiming();
+    state.counters["migrated"] = static_cast<double>(report->MigratedTotal());
+    state.counters["state_conflicts"] = static_cast<double>(
+        report->Count(MigrationOutcome::kStateConflict));
+    state.counters["structural_conflicts"] = static_cast<double>(
+        report->Count(MigrationOutcome::kStructuralConflict));
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MigratePopulation)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+// The exact three-instance scenario of Fig. 1, end to end (I1 compliant,
+// I2 structural conflict, I3 state conflict).
+void BM_Fig1ExactScenario(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto pop = MakePopulation({.instances = 0});
+    SimulationDriver driver({.seed = 3});
+    // I1: up to the parallel block.
+    ProcessInstance* i1 = *pop->engine.CreateInstance(pop->v1, pop->v1_id);
+    (void)pop->store->Register(i1->id(), pop->v1_id);
+    (void)i1->Start();
+    (void)driver.RunToProgress(*i1, 0.3);
+    // I2: conflicting bias.
+    ProcessInstance* i2 = *pop->engine.CreateInstance(pop->v1, pop->v1_id);
+    (void)pop->store->Register(i2->id(), pop->v1_id);
+    (void)i2->Start();
+    (void)ApplyAdHocChange(*i2, *pop->store, bench::ConflictingBias(*pop->v1));
+    // I3: past the block.
+    ProcessInstance* i3 = *pop->engine.CreateInstance(pop->v1, pop->v1_id);
+    (void)pop->store->Register(i3->id(), pop->v1_id);
+    (void)i3->Start();
+    (void)driver.RunToProgress(*i3, 0.7);
+    SchemaId v2 =
+        *pop->repo.DeriveVersion(pop->v1_id, Fig1TypeChange(*pop->v1));
+    state.ResumeTiming();
+
+    auto report = pop->manager->MigrateAll(pop->v1_id, v2);
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetItemsProcessed(state.iterations() * 3);
+}
+BENCHMARK(BM_Fig1ExactScenario)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace adept
+
+BENCHMARK_MAIN();

@@ -1,0 +1,129 @@
+// E3 (paper Fig. 2): storage representation of schema and instance data.
+//
+// "Unchanged instances are stored in a redundant-free manner ... For each
+// biased instance we maintain a minimal substitution block ... used to
+// overlay parts of the original schema."
+//
+// Three representations are compared at varying biased-instance ratios:
+//   kOverlay             the paper's hybrid (substitution block overlay)
+//   kFullCopy            a materialized private schema per biased instance
+//   kMaterializeOnDemand delta only; schema rebuilt on every access
+//
+// Reported:
+//   BM_StorageFootprint  bytes attributable per instance (counter)
+//   BM_SchemaAccess      node lookup + adjacency traversal latency
+//
+// Expected shape: overlay memory ~= full-copy / (schema size / delta size),
+// far below full copies at low bias ratios; overlay access costs a modest
+// constant factor over a materialized schema; materialize-on-demand access
+// is orders of magnitude slower.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "storage/overlay_schema.h"
+
+namespace adept {
+namespace {
+
+using bench::MakePopulation;
+using bench::PopulationOptions;
+
+StorageStrategy StrategyOf(int64_t arg) {
+  switch (arg) {
+    case 0:
+      return StorageStrategy::kOverlay;
+    case 1:
+      return StorageStrategy::kFullCopy;
+    default:
+      return StorageStrategy::kMaterializeOnDemand;
+  }
+}
+
+// Memory per strategy at 10% / 50% / 100% biased instances.
+void BM_StorageFootprint(benchmark::State& state) {
+  PopulationOptions options;
+  options.instances = 2000;
+  options.strategy = StrategyOf(state.range(0));
+  options.biased_fraction = static_cast<double>(state.range(1)) / 100.0;
+  auto pop = MakePopulation(options);
+
+  for (auto _ : state) {
+    auto stats = pop->store->Memory();
+    benchmark::DoNotOptimize(stats);
+  }
+  auto stats = pop->store->Memory();
+  state.SetLabel(StorageStrategyToString(options.strategy));
+  state.counters["biased_pct"] = static_cast<double>(state.range(1));
+  state.counters["shared_schema_bytes"] =
+      static_cast<double>(stats.shared_schemas);
+  state.counters["per_instance_bytes"] =
+      static_cast<double>(stats.blocks + stats.full_copies + stats.records) /
+      static_cast<double>(options.instances);
+}
+BENCHMARK(BM_StorageFootprint)
+    ->ArgsProduct({{0, 1, 2}, {10, 50, 100}})
+    ->Unit(benchmark::kMicrosecond);
+
+// Access latency through each representation: resolve the execution schema
+// and walk it (node lookups + successor traversal).
+void BM_SchemaAccess(benchmark::State& state) {
+  PopulationOptions options;
+  options.instances = 64;
+  options.strategy = StrategyOf(state.range(0));
+  options.biased_fraction = 1.0;  // every instance biased: worst case
+  auto pop = MakePopulation(options);
+
+  size_t cursor = 0;
+  for (auto _ : state) {
+    InstanceId id = pop->ids[cursor++ % pop->ids.size()];
+    auto view = pop->store->ExecutionSchema(id);
+    size_t touched = 0;
+    (*view)->VisitNodes([&](const Node& n) {
+      (*view)->VisitOutEdges(n.id, [&](const Edge& e) {
+        touched += e.dst.value();
+      });
+    });
+    benchmark::DoNotOptimize(touched);
+  }
+  state.SetLabel(StorageStrategyToString(options.strategy));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SchemaAccess)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Unit(benchmark::kMicrosecond);
+
+// Pure overlay resolution overhead vs. direct schema access (the price of
+// the hybrid representation on the hot path).
+void BM_OverlayResolution(benchmark::State& state) {
+  auto base = bench::OnlineOrderV1();
+  Delta bias = bench::DisjointBias(*base);
+  BiasIdAllocator alloc;
+  auto biased = *bias.ApplyToSchema(*base, base->version(), &alloc);
+  auto block = std::make_shared<const SubstitutionBlock>(
+      ComputeSubstitutionBlock(*base, *biased));
+  OverlaySchema overlay(base, block);
+
+  const SchemaView* view =
+      state.range(0) == 0 ? static_cast<const SchemaView*>(biased.get())
+                          : static_cast<const SchemaView*>(&overlay);
+  std::vector<NodeId> nodes = view->NodeIds();
+  size_t cursor = 0;
+  for (auto _ : state) {
+    NodeId id = nodes[cursor++ % nodes.size()];
+    const Node* n = view->FindNode(id);
+    benchmark::DoNotOptimize(n);
+    auto succs = view->Successors(id, EdgeType::kControl);
+    benchmark::DoNotOptimize(succs);
+  }
+  state.SetLabel(state.range(0) == 0 ? "materialized" : "overlay");
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OverlayResolution)->Arg(0)->Arg(1)->Unit(benchmark::kNanosecond);
+
+}  // namespace
+}  // namespace adept
+
+BENCHMARK_MAIN();

@@ -1,0 +1,110 @@
+// E4 (paper Fig. 3): end-to-end schema evolution with migration report,
+// "the concomitant migration of thousands of instances ... on-the-fly".
+//
+//   BM_EvolutionEndToEnd  derive V2, classify + migrate every instance,
+//                         adapt states, render the Fig. 3 report
+//   BM_LazyVsEager        eager full migration vs. lazy planning (dry-run
+//                         classification now, per-instance migration later)
+//
+// Expected shape: ~linear in N up to 10^4+ instances; lazy classification
+// is cheaper up front, and the deferred per-instance migrations cost the
+// same total work.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "monitor/monitor.h"
+
+namespace adept {
+namespace {
+
+using bench::Fig1TypeChange;
+using bench::MakePopulation;
+using bench::PopulationOptions;
+
+void BM_EvolutionEndToEnd(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    PopulationOptions options;
+    options.instances = static_cast<int>(state.range(0));
+    options.biased_fraction = 0.1;
+    options.conflicting_fraction = 0.3;
+    auto pop = MakePopulation(options);
+    state.ResumeTiming();
+
+    SchemaId v2 =
+        *pop->repo.DeriveVersion(pop->v1_id, Fig1TypeChange(*pop->v1));
+    auto report = pop->manager->MigrateAll(pop->v1_id, v2);
+    std::string rendered = RenderMigrationReport(*report);
+    benchmark::DoNotOptimize(rendered);
+
+    state.counters["migrated"] = static_cast<double>(report->MigratedTotal());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EvolutionEndToEnd)
+    ->Arg(1000)
+    ->Arg(5000)
+    ->Arg(20000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_LazyVsEager(benchmark::State& state) {
+  const bool lazy = state.range(1) != 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    PopulationOptions options;
+    options.instances = static_cast<int>(state.range(0));
+    options.biased_fraction = 0.1;
+    auto pop = MakePopulation(options);
+    SchemaId v2 =
+        *pop->repo.DeriveVersion(pop->v1_id, Fig1TypeChange(*pop->v1));
+    state.ResumeTiming();
+
+    if (lazy) {
+      // Upfront: classification only (what the user sees immediately).
+      MigrationOptions dry;
+      dry.dry_run = true;
+      auto plan = pop->manager->MigrateAll(pop->v1_id, v2, dry);
+      benchmark::DoNotOptimize(plan);
+      // Deferred: instances migrate one by one on next access.
+      const Delta* delta = *pop->repo.DeltaFor(v2);
+      for (InstanceId id : pop->ids) {
+        auto r = pop->manager->MigrateOne(id, pop->v1_id, v2, *delta, {});
+        benchmark::DoNotOptimize(r);
+      }
+    } else {
+      auto report = pop->manager->MigrateAll(pop->v1_id, v2);
+      benchmark::DoNotOptimize(report);
+    }
+  }
+  state.SetLabel(lazy ? "lazy (classify + on-demand)" : "eager");
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LazyVsEager)
+    ->ArgsProduct({{2000}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
+
+// Report rendering alone (the monitoring component's share).
+void BM_ReportRendering(benchmark::State& state) {
+  PopulationOptions options;
+  options.instances = static_cast<int>(state.range(0));
+  options.biased_fraction = 0.2;
+  options.conflicting_fraction = 0.5;
+  auto pop = MakePopulation(options);
+  SchemaId v2 = *pop->repo.DeriveVersion(pop->v1_id, Fig1TypeChange(*pop->v1));
+  MigrationOptions dry;
+  dry.dry_run = true;
+  auto report = *pop->manager->MigrateAll(pop->v1_id, v2, dry);
+
+  for (auto _ : state) {
+    std::string rendered = RenderMigrationReport(report);
+    benchmark::DoNotOptimize(rendered);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ReportRendering)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace adept
+
+BENCHMARK_MAIN();

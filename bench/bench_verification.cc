@@ -1,0 +1,128 @@
+// E6: buildtime verification cost vs. schema size.
+//
+// ADEPT2 "ensures schema correctness, like the absence of deadlock-causing
+// cycles or erroneous data flows" — a prerequisite for every dynamic
+// change, so re-verification sits on the change hot path. This measures
+// the full verifier and its component passes on schemas from 10 to 5000
+// activities.
+//
+// Expected shape: near-linear in nodes+edges for the structural passes;
+// the data-race pass is the superlinear tail (pairwise reachability) but
+// stays affordable at realistic schema sizes.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "model/block_tree.h"
+#include "verify/verifier.h"
+
+namespace adept {
+namespace {
+
+void BM_FullVerification(benchmark::State& state) {
+  auto schema =
+      bench::ScaledSchema(static_cast<int>(state.range(0)), 17, "verify");
+  if (schema == nullptr) {
+    state.SkipWithError("schema generation failed");
+    return;
+  }
+  for (auto _ : state) {
+    VerificationReport report = VerifySchema(*schema);
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetItemsProcessed(state.iterations() * schema->node_count());
+  state.counters["nodes"] = static_cast<double>(schema->node_count());
+  state.counters["edges"] = static_cast<double>(schema->edge_count());
+}
+BENCHMARK(BM_FullVerification)
+    ->Arg(10)
+    ->Arg(50)
+    ->Arg(250)
+    ->Arg(1000)
+    ->Arg(5000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_BlockStructureParse(benchmark::State& state) {
+  auto schema =
+      bench::ScaledSchema(static_cast<int>(state.range(0)), 17, "blocks");
+  for (auto _ : state) {
+    auto tree = BlockTree::Build(*schema);
+    benchmark::DoNotOptimize(tree);
+  }
+  state.SetItemsProcessed(state.iterations() * schema->node_count());
+}
+BENCHMARK(BM_BlockStructureParse)
+    ->Arg(50)
+    ->Arg(250)
+    ->Arg(1000)
+    ->Arg(5000)
+    ->Unit(benchmark::kMicrosecond);
+
+// Deadlock-cycle detection on a wide parallel block with many sync edges
+// (the check that catches Fig. 1's structural conflict).
+void BM_DeadlockDetection(benchmark::State& state) {
+  int lanes = static_cast<int>(state.range(0));
+  SchemaBuilder b("sync_heavy", 1);
+  std::vector<std::vector<NodeId>> lane_nodes(static_cast<size_t>(lanes));
+  std::vector<SchemaBuilder::BranchFn> branches;
+  for (int lane = 0; lane < lanes; ++lane) {
+    branches.push_back([&, lane](SchemaBuilder& s) {
+      for (int k = 0; k < 4; ++k) {
+        lane_nodes[static_cast<size_t>(lane)].push_back(
+            s.Activity("a" + std::to_string(lane) + "_" + std::to_string(k)));
+      }
+    });
+  }
+  b.Parallel(branches);
+  // Forward sync edges lane i -> lane i+1 (acyclic).
+  auto schema_result = b.Build();
+  auto clone = (*schema_result)->Clone();
+  for (int lane = 0; lane + 1 < lanes; ++lane) {
+    (void)clone->AddEdge(lane_nodes[static_cast<size_t>(lane)][1],
+                         lane_nodes[static_cast<size_t>(lane) + 1][2],
+                         EdgeType::kSync);
+  }
+  (void)clone->Freeze();
+
+  for (auto _ : state) {
+    VerificationReport report = VerifySchema(*clone);
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["sync_edges"] = static_cast<double>(lanes - 1);
+}
+BENCHMARK(BM_DeadlockDetection)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
+    ->Unit(benchmark::kMicrosecond);
+
+// Re-verification as part of a change transaction (clone + apply + verify):
+// what every delta pays.
+void BM_ChangeTransactionVerify(benchmark::State& state) {
+  auto schema =
+      bench::ScaledSchema(static_cast<int>(state.range(0)), 23, "txn");
+  NodeId end = schema->end_node();
+  NodeId last = schema->Predecessors(end, EdgeType::kControl)[0];
+  int round = 0;
+  for (auto _ : state) {
+    Delta delta;
+    NewActivitySpec spec;
+    spec.name = "txn" + std::to_string(round++);
+    delta.Add(std::make_unique<SerialInsertOp>(spec, last, end));
+    auto derived = delta.ApplyToSchema(*schema);
+    benchmark::DoNotOptimize(derived);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["nodes"] = static_cast<double>(schema->node_count());
+}
+BENCHMARK(BM_ChangeTransactionVerify)
+    ->Arg(50)
+    ->Arg(250)
+    ->Arg(1000)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace adept
+
+BENCHMARK_MAIN();

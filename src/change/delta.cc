@@ -1,0 +1,117 @@
+#include "change/delta.h"
+
+#include <unordered_map>
+
+#include "common/string_util.h"
+#include "verify/verifier.h"
+
+namespace adept {
+
+Delta Delta::Clone() const {
+  Delta copy;
+  for (const auto& op : ops_) copy.ops_.push_back(op->Clone());
+  return copy;
+}
+
+ChangeOp* Delta::Add(std::unique_ptr<ChangeOp> op) {
+  ops_.push_back(std::move(op));
+  return ops_.back().get();
+}
+
+Result<std::shared_ptr<ProcessSchema>> Delta::ApplyRaw(
+    const ProcessSchema& base, int new_version, IdAllocator* alloc) {
+  SchemaIdAllocator default_alloc;
+  IdAllocator& a = alloc != nullptr ? *alloc : default_alloc;
+  std::shared_ptr<ProcessSchema> candidate = base.Clone();
+  candidate->set_version(new_version >= 0 ? new_version : base.version() + 1);
+  for (const auto& op : ops_) {
+    Status st = op->ApplyTo(*candidate, a);
+    if (!st.ok()) {
+      return Status::FailedPrecondition(op->Describe() + ": " + st.message());
+    }
+  }
+  ADEPT_RETURN_IF_ERROR(candidate->Freeze());
+  return candidate;
+}
+
+Result<std::shared_ptr<ProcessSchema>> Delta::ApplyToSchema(
+    const ProcessSchema& base, int new_version, IdAllocator* alloc) {
+  ADEPT_ASSIGN_OR_RETURN(std::shared_ptr<ProcessSchema> candidate,
+                         ApplyRaw(base, new_version, alloc));
+  ADEPT_RETURN_IF_ERROR(VerifySchemaOrError(*candidate));
+  return candidate;
+}
+
+std::vector<NodeId> Delta::TargetNodes() const {
+  std::vector<NodeId> out;
+  for (const auto& op : ops_) {
+    for (NodeId n : op->TargetNodes()) out.push_back(n);
+  }
+  return out;
+}
+
+std::vector<std::string> Delta::Signatures() const {
+  // Ids created by sibling ops are rendered symbolically ("@n<op>.<slot>"),
+  // so structurally identical deltas match even when their pinned ids
+  // differ (type-level vs bias-range allocation).
+  std::unordered_map<uint32_t, std::string> node_tokens;
+  std::unordered_map<uint32_t, std::string> data_tokens;
+  for (size_t i = 0; i < ops_.size(); ++i) {
+    JsonValue json = ops_[i]->ToJson();
+    const JsonValue& pins = json.Get("pins");
+    const auto& nodes = pins.Get("nodes").as_array();
+    for (size_t s = 0; s < nodes.size(); ++s) {
+      node_tokens[static_cast<uint32_t>(nodes[s].as_int())] =
+          "@n" + std::to_string(i) + "." + std::to_string(s);
+    }
+    const auto& data = pins.Get("data").as_array();
+    for (size_t s = 0; s < data.size(); ++s) {
+      data_tokens[static_cast<uint32_t>(data[s].as_int())] =
+          "@d" + std::to_string(i) + "." + std::to_string(s);
+    }
+  }
+  ChangeOp::SignatureContext ctx;
+  ctx.node = [&](NodeId id) {
+    auto it = node_tokens.find(id.value());
+    if (it != node_tokens.end()) return it->second;
+    return "n" + std::to_string(id.value());
+  };
+  ctx.data = [&](DataId id) {
+    auto it = data_tokens.find(id.value());
+    if (it != data_tokens.end()) return it->second;
+    return "d" + std::to_string(id.value());
+  };
+  std::vector<std::string> out;
+  out.reserve(ops_.size());
+  for (const auto& op : ops_) out.push_back(op->Signature(ctx));
+  return out;
+}
+
+std::string Delta::Describe() const {
+  std::vector<std::string> parts;
+  parts.reserve(ops_.size());
+  for (const auto& op : ops_) parts.push_back(op->Describe());
+  return Join(parts, "; ");
+}
+
+JsonValue Delta::ToJson() const {
+  JsonValue arr = JsonValue::MakeArray();
+  for (const auto& op : ops_) arr.Append(op->ToJson());
+  JsonValue j = JsonValue::MakeObject();
+  j.Set("ops", std::move(arr));
+  return j;
+}
+
+Result<Delta> Delta::FromJson(const JsonValue& json) {
+  if (!json.is_object() || !json.Get("ops").is_array()) {
+    return Status::Corruption("delta json malformed");
+  }
+  Delta delta;
+  for (const JsonValue& oj : json.Get("ops").as_array()) {
+    ADEPT_ASSIGN_OR_RETURN(std::unique_ptr<ChangeOp> op, ChangeOpFromJson(oj));
+    delta.ops_.push_back(std::move(op));
+  }
+  return delta;
+}
+
+}  // namespace adept

@@ -1,0 +1,77 @@
+// Delta: an ordered change transaction (the paper's Delta-T / Delta-I).
+//
+// A delta bundles change operations that are applied atomically: the base
+// schema is cloned, every operation applies its structural transformation
+// (with pinned ids, see id_allocator.h), and the candidate is re-verified
+// before it becomes visible. A delta that fails any step leaves no trace.
+//
+// The same Delta object can be re-applied to different bases (S, S', an
+// already-biased instance schema) and produces identical entity ids each
+// time — required for correct bias rebasing during migration.
+
+#ifndef ADEPT_CHANGE_DELTA_H_
+#define ADEPT_CHANGE_DELTA_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "change/change_op.h"
+#include "common/json.h"
+#include "common/status.h"
+#include "model/schema.h"
+
+namespace adept {
+
+class Delta {
+ public:
+  Delta() = default;
+  Delta(Delta&&) = default;
+  Delta& operator=(Delta&&) = default;
+  Delta(const Delta&) = delete;
+  Delta& operator=(const Delta&) = delete;
+
+  Delta Clone() const;
+
+  // Appends an operation; returns a borrowed pointer for inspection.
+  ChangeOp* Add(std::unique_ptr<ChangeOp> op);
+
+  const std::vector<std::unique_ptr<ChangeOp>>& ops() const { return ops_; }
+  size_t size() const { return ops_.size(); }
+  bool empty() const { return ops_.empty(); }
+
+  // Applies all ops to a clone of `base`, freezes, and verifies.
+  //   * kFailedPrecondition: an operation's structural pre-condition failed
+  //   * kVerificationFailed: the resulting schema breaks a buildtime rule
+  //     (e.g. a deadlock-causing cycle — the paper's structural conflict)
+  // `new_version` defaults to base.version() + 1; pass base.version() when
+  // deriving an instance-specific (bias) schema.
+  // `alloc` defaults to type-level allocation from the schema counters.
+  Result<std::shared_ptr<ProcessSchema>> ApplyToSchema(
+      const ProcessSchema& base, int new_version = -1,
+      IdAllocator* alloc = nullptr);
+
+  // Like ApplyToSchema but skips verification (conflict analysis uses this
+  // to separate "does not apply" from "applies but is incorrect").
+  Result<std::shared_ptr<ProcessSchema>> ApplyRaw(const ProcessSchema& base,
+                                                  int new_version = -1,
+                                                  IdAllocator* alloc = nullptr);
+
+  // Union of the ops' base-schema target nodes.
+  std::vector<NodeId> TargetNodes() const;
+
+  // Op signatures in order (overlap analysis).
+  std::vector<std::string> Signatures() const;
+
+  std::string Describe() const;
+
+  JsonValue ToJson() const;
+  static Result<Delta> FromJson(const JsonValue& json);
+
+ private:
+  std::vector<std::unique_ptr<ChangeOp>> ops_;
+};
+
+}  // namespace adept
+
+#endif  // ADEPT_CHANGE_DELTA_H_

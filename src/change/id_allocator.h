@@ -1,0 +1,67 @@
+// Id allocation for change operations.
+//
+// Change operations pin the entity ids they create on first application and
+// reuse them on re-application. This keeps ids stable when the same delta
+// is applied to different bases — the crux of correct migration: a biased
+// instance's schema is rebased as S' + Delta-I, and the markings/trace of
+// bias-created nodes must keep pointing at the same ids.
+//
+// Type-level changes allocate from the schema's own counters (< kBiasIdBase);
+// instance-level (ad-hoc) changes allocate from a reserved high id range so
+// later type-level allocations can never collide with pinned bias ids.
+
+#ifndef ADEPT_CHANGE_ID_ALLOCATOR_H_
+#define ADEPT_CHANGE_ID_ALLOCATOR_H_
+
+#include <algorithm>
+
+#include "common/ids.h"
+#include "model/schema.h"
+
+namespace adept {
+
+// First id of the range reserved for instance-level (bias) entities.
+inline constexpr uint32_t kBiasIdBase = 1u << 20;
+
+class IdAllocator {
+ public:
+  virtual ~IdAllocator() = default;
+  virtual NodeId NextNode(const ProcessSchema& schema) = 0;
+  virtual EdgeId NextEdge(const ProcessSchema& schema) = 0;
+  virtual DataId NextData(const ProcessSchema& schema) = 0;
+};
+
+// Type-level allocation: continues the schema's id counters.
+class SchemaIdAllocator final : public IdAllocator {
+ public:
+  NodeId NextNode(const ProcessSchema& schema) override {
+    return NodeId(schema.next_node_id());
+  }
+  EdgeId NextEdge(const ProcessSchema& schema) override {
+    return EdgeId(schema.next_edge_id());
+  }
+  DataId NextData(const ProcessSchema& schema) override {
+    return DataId(schema.next_data_id());
+  }
+};
+
+// Instance-level allocation: ids from the reserved bias range. Stateless —
+// it reads the candidate schema's counters, which earlier (pinned)
+// applications have already bumped past their ids, so incremental bias
+// application and bias re-application both allocate collision-free.
+class BiasIdAllocator final : public IdAllocator {
+ public:
+  NodeId NextNode(const ProcessSchema& schema) override {
+    return NodeId(std::max(kBiasIdBase, schema.next_node_id()));
+  }
+  EdgeId NextEdge(const ProcessSchema& schema) override {
+    return EdgeId(std::max(kBiasIdBase, schema.next_edge_id()));
+  }
+  DataId NextData(const ProcessSchema& schema) override {
+    return DataId(std::max(kBiasIdBase, schema.next_data_id()));
+  }
+};
+
+}  // namespace adept
+
+#endif  // ADEPT_CHANGE_ID_ALLOCATOR_H_

@@ -1,0 +1,94 @@
+// Minimal self-contained JSON value, parser, and writer.
+//
+// Used for schema/instance serialization (storage module) and for the WAL
+// record payloads. Only the subset of JSON the library itself emits needs to
+// round-trip, but the parser accepts arbitrary standard JSON (no comments,
+// UTF-8 passed through verbatim, \uXXXX escapes decoded for the BMP).
+
+#ifndef ADEPT_COMMON_JSON_H_
+#define ADEPT_COMMON_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace adept {
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  using Array = std::vector<JsonValue>;
+  // std::map keeps key order deterministic, which keeps serialized output
+  // byte-stable across runs (important for snapshot tests).
+  using Object = std::map<std::string, JsonValue>;
+
+  JsonValue() : type_(Type::kNull) {}
+  JsonValue(bool b) : type_(Type::kBool), bool_(b) {}
+  JsonValue(int v) : type_(Type::kInt), int_(v) {}
+  JsonValue(int64_t v) : type_(Type::kInt), int_(v) {}
+  JsonValue(uint32_t v) : type_(Type::kInt), int_(v) {}
+  JsonValue(uint64_t v) : type_(Type::kInt), int_(static_cast<int64_t>(v)) {}
+  JsonValue(double v) : type_(Type::kDouble), double_(v) {}
+  JsonValue(const char* s) : type_(Type::kString), string_(s) {}
+  JsonValue(std::string s) : type_(Type::kString), string_(std::move(s)) {}
+  JsonValue(Array a) : type_(Type::kArray), array_(std::move(a)) {}
+  JsonValue(Object o) : type_(Type::kObject), object_(std::move(o)) {}
+
+  static JsonValue MakeArray() { return JsonValue(Array{}); }
+  static JsonValue MakeObject() { return JsonValue(Object{}); }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_int() const { return type_ == Type::kInt; }
+  bool is_double() const { return type_ == Type::kDouble; }
+  bool is_number() const { return is_int() || is_double(); }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool as_bool() const { return bool_; }
+  int64_t as_int() const {
+    return is_double() ? static_cast<int64_t>(double_) : int_;
+  }
+  double as_double() const { return is_int() ? static_cast<double>(int_) : double_; }
+  const std::string& as_string() const { return string_; }
+  const Array& as_array() const { return array_; }
+  Array& as_array() { return array_; }
+  const Object& as_object() const { return object_; }
+  Object& as_object() { return object_; }
+
+  // Object helpers. `Get` returns null-typed value when key is absent.
+  const JsonValue& Get(const std::string& key) const;
+  bool Has(const std::string& key) const;
+  void Set(std::string key, JsonValue value);
+  void Append(JsonValue value) { array_.push_back(std::move(value)); }
+
+  // Compact single-line serialization.
+  std::string Dump() const;
+
+  // Parses `text`; returns kCorruption on malformed input.
+  static Result<JsonValue> Parse(const std::string& text);
+
+  bool operator==(const JsonValue& other) const;
+
+ private:
+  void DumpTo(std::string& out) const;
+
+  Type type_;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+}  // namespace adept
+
+#endif  // ADEPT_COMMON_JSON_H_

@@ -1,0 +1,56 @@
+// Minimal leveled logger.
+//
+// The engine logs noteworthy events (state transitions, migrations,
+// recovery) at kInfo and verifier/bench diagnostics at kDebug. The level is
+// process-global; tests default to kWarning to keep output clean.
+
+#ifndef ADEPT_COMMON_LOGGING_H_
+#define ADEPT_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace adept {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Sets / reads the global minimum level that is actually emitted.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+void EmitLogLine(LogLevel level, const std::string& message);
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { EmitLogLine(level_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+struct LogSink {
+  // Swallows the streamed expression when the level is filtered out.
+  void operator&(LogMessage&) {}
+};
+
+}  // namespace internal
+}  // namespace adept
+
+#define ADEPT_LOG(level)                                       \
+  (static_cast<int>(::adept::LogLevel::level) <                \
+   static_cast<int>(::adept::GetLogLevel()))                   \
+      ? (void)0                                                \
+      : ::adept::internal::LogSink() &                         \
+            ::adept::internal::LogMessage(::adept::LogLevel::level)
+
+#endif  // ADEPT_COMMON_LOGGING_H_

@@ -1,0 +1,63 @@
+// Deterministic pseudo-random number generator for workload generation.
+//
+// Benchmarks and property tests must be reproducible run-to-run, so all
+// randomized workload drivers take an explicit seed and use this
+// splitmix64-based generator instead of std::random_device.
+
+#ifndef ADEPT_COMMON_RNG_H_
+#define ADEPT_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace adept {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull) : state_(seed) {}
+
+  // Next raw 64-bit value (splitmix64).
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform integer in [0, bound). bound must be > 0.
+  uint64_t NextBelow(uint64_t bound) { return Next() % bound; }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(NextBelow(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  // Bernoulli draw.
+  bool NextBool(double p_true = 0.5) { return NextDouble() < p_true; }
+
+  // Picks a uniformly random element index of a non-empty container size.
+  size_t NextIndex(size_t size) { return static_cast<size_t>(NextBelow(size)); }
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = NextIndex(i);
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace adept
+
+#endif  // ADEPT_COMMON_RNG_H_

@@ -1,0 +1,41 @@
+#include "common/status.h"
+
+namespace adept {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "invalid argument";
+    case StatusCode::kNotFound:
+      return "not found";
+    case StatusCode::kAlreadyExists:
+      return "already exists";
+    case StatusCode::kFailedPrecondition:
+      return "failed precondition";
+    case StatusCode::kVerificationFailed:
+      return "verification failed";
+    case StatusCode::kNotCompliant:
+      return "not compliant";
+    case StatusCode::kCorruption:
+      return "corruption";
+    case StatusCode::kUnimplemented:
+      return "unimplemented";
+    case StatusCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace adept

@@ -1,0 +1,160 @@
+// Status / Result error model for adept2cpp.
+//
+// All fallible public APIs in this library return either a Status or a
+// Result<T> (a Status-or-value union, in the spirit of RocksDB's Status and
+// absl::StatusOr). Exceptions are not used on API paths.
+
+#ifndef ADEPT_COMMON_STATUS_H_
+#define ADEPT_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace adept {
+
+// Canonical error space of the library.
+enum class StatusCode {
+  kOk = 0,
+  // Malformed argument supplied by the caller (e.g., unknown node id).
+  kInvalidArgument,
+  // Referenced entity does not exist (schema, instance, node, ...).
+  kNotFound,
+  // Entity already exists (duplicate node id, re-deployed version, ...).
+  kAlreadyExists,
+  // Operation is structurally valid but not allowed in the current state
+  // (e.g., completing an activity that is not running). Also used for
+  // violated change-operation pre-conditions.
+  kFailedPrecondition,
+  // A buildtime verification rule is violated (deadlock-causing cycle,
+  // erroneous data flow, broken block structure).
+  kVerificationFailed,
+  // Instance is not compliant with the target schema version.
+  kNotCompliant,
+  // Persistent state is unreadable or inconsistent.
+  kCorruption,
+  // Feature intentionally not implemented.
+  kUnimplemented,
+  // Invariant violation inside the library; indicates a bug.
+  kInternal,
+};
+
+// Returns the canonical lowercase name, e.g. "failed precondition".
+const char* StatusCodeToString(StatusCode code);
+
+// A cheap, copyable success-or-error value. OK carries no allocation.
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status VerificationFailed(std::string msg) {
+    return Status(StatusCode::kVerificationFailed, std::move(msg));
+  }
+  static Status NotCompliant(std::string msg) {
+    return Status(StatusCode::kNotCompliant, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+// Status-or-value. `value()` may only be accessed when `ok()`.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so `return value;` and `return status;` both work.
+  Result(T value) : value_(std::move(value)) {}
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace adept
+
+// Propagates a non-OK Status from an expression to the caller.
+#define ADEPT_RETURN_IF_ERROR(expr)            \
+  do {                                         \
+    ::adept::Status _adept_st = (expr);        \
+    if (!_adept_st.ok()) return _adept_st;     \
+  } while (0)
+
+#define ADEPT_CONCAT_IMPL_(x, y) x##y
+#define ADEPT_CONCAT_(x, y) ADEPT_CONCAT_IMPL_(x, y)
+
+// Evaluates `rexpr` (a Result<T>); on error returns the Status, otherwise
+// move-assigns the value into `lhs` (which may be a declaration).
+#define ADEPT_ASSIGN_OR_RETURN(lhs, rexpr)                      \
+  auto ADEPT_CONCAT_(_adept_res_, __LINE__) = (rexpr);          \
+  if (!ADEPT_CONCAT_(_adept_res_, __LINE__).ok())               \
+    return ADEPT_CONCAT_(_adept_res_, __LINE__).status();       \
+  lhs = std::move(ADEPT_CONCAT_(_adept_res_, __LINE__)).value()
+
+#endif  // ADEPT_COMMON_STATUS_H_

@@ -1,0 +1,25 @@
+// Small string helpers shared across modules.
+
+#ifndef ADEPT_COMMON_STRING_UTIL_H_
+#define ADEPT_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace adept {
+
+// Joins `parts` with `sep` ("a, b, c").
+std::string Join(const std::vector<std::string>& parts, const std::string& sep);
+
+// Splits on a single character; keeps empty fields.
+std::vector<std::string> Split(const std::string& s, char sep);
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+// True if `s` starts with `prefix`.
+bool StartsWith(const std::string& s, const std::string& prefix);
+
+}  // namespace adept
+
+#endif  // ADEPT_COMMON_STRING_UTIL_H_

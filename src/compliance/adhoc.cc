@@ -1,0 +1,26 @@
+#include "compliance/adhoc.h"
+
+#include "compliance/conditions.h"
+
+namespace adept {
+
+Status ApplyAdHocChange(ProcessInstance& instance, InstanceStore& store,
+                        Delta delta) {
+  if (delta.empty()) {
+    return Status::InvalidArgument("empty ad-hoc change");
+  }
+  ConditionResult condition = CheckStateConditions(instance, delta);
+  if (!condition.compliant) {
+    return Status::NotCompliant(condition.reason);
+  }
+  std::string description = delta.Describe();
+  ADEPT_ASSIGN_OR_RETURN(std::shared_ptr<const SchemaView> view,
+                         store.AddBias(instance.id(), std::move(delta)));
+  ADEPT_RETURN_IF_ERROR(instance.AdoptSchema(view, instance.schema_ref()));
+  instance.set_biased(true);
+  instance.mutable_trace().Append(
+      {.kind = TraceEventKind::kAdHocChange, .detail = description});
+  return Status::OK();
+}
+
+}  // namespace adept

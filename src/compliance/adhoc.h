@@ -1,0 +1,34 @@
+// Ad-hoc instance changes (paper Sec. 2, "Ad-hoc changes of single
+// instances").
+//
+// ApplyAdHocChange is the complete pipeline for deviating a single running
+// instance from its type schema:
+//   1. state pre-conditions (compliance/conditions.h) on the current marking
+//   2. structural application + re-verification of the combined bias
+//      (InstanceStore::AddBias -> Delta::ApplyToSchema -> verifier)
+//   3. representation update (substitution block / full copy per strategy)
+//   4. schema adoption + automatic marking re-evaluation (state adaptation,
+//      e.g. demoting activities that a new sync edge now gates)
+//   5. trace record of the change
+// A failure in any step leaves the instance untouched.
+
+#ifndef ADEPT_COMPLIANCE_ADHOC_H_
+#define ADEPT_COMPLIANCE_ADHOC_H_
+
+#include "change/delta.h"
+#include "runtime/instance.h"
+#include "storage/instance_store.h"
+
+namespace adept {
+
+// `delta`'s ops are consumed (they get pinned instance-range ids).
+// Error contract:
+//   kNotCompliant        a state pre-condition is violated
+//   kFailedPrecondition  an op does not apply structurally
+//   kVerificationFailed  the changed schema breaks a buildtime guarantee
+Status ApplyAdHocChange(ProcessInstance& instance, InstanceStore& store,
+                        Delta delta);
+
+}  // namespace adept
+
+#endif  // ADEPT_COMPLIANCE_ADHOC_H_

@@ -1,0 +1,91 @@
+// Per-operation compliance conditions (paper Fig. 1, bottom).
+//
+// ADEPT2's general correctness criterion (relaxed trace equivalence) is
+// expensive to evaluate directly; "in order to enable efficient compliance
+// checks, for each change operation we provide precise and easy to
+// implement compliance conditions". These predicates look only at the
+// instance's current marking (plus, for sync edges, the order witnessed by
+// the trace) and decide whether the operation may be applied to the running
+// instance — the same predicate powers both ad-hoc instance changes and
+// type-change propagation.
+//
+// Conditions implemented (NS = node state; "started" = Running, Suspended,
+// Failed, or Completed):
+//   serialInsert(X, A->B)      NS(B) not started, or NS(B) = Skipped with no
+//                              started successor behind it
+//   parallelInsert(X, [F..T])  the node after T not started (same clause)
+//   branchInsert               always compliant (new branch is dead or open)
+//   deleteActivity(X)          NS(X) in {NotActivated, Activated, Skipped}
+//   moveActivity(X, A->B)      delete condition for X + insert condition at B
+//   insertSyncEdge(n1 -> n2)   NS(n2) not started, or the trace witnesses
+//                              n1 completed/skipped before n2 started
+//   deleteSyncEdge             always compliant
+//   addDataElement             always compliant
+//   addDataEdge(n, d)          n not started (optional reads: always)
+//   deleteDataEdge(n, d)       n not started
+//   replaceActivityImpl(n)     n not started
+
+#ifndef ADEPT_COMPLIANCE_CONDITIONS_H_
+#define ADEPT_COMPLIANCE_CONDITIONS_H_
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "change/delta.h"
+#include "runtime/instance.h"
+
+namespace adept {
+
+struct ConditionResult {
+  bool compliant = true;
+  std::string reason;  // first violated condition
+
+  static ConditionResult Ok() { return {}; }
+  static ConditionResult Fail(std::string why) {
+    return {false, std::move(why)};
+  }
+};
+
+// Context for resolving node references of a delta's operations:
+//   * created_nodes: ids the delta itself creates (pinned insert ids); they
+//     do not exist in the instance schema yet and behave like fresh
+//     NotActivated nodes (e.g. the source of a sync edge to a node inserted
+//     by an earlier op of the same delta — Fig. 1's Delta-T).
+//   * aliases: id translation applied before marking lookups; used during
+//     bias cancellation, where a type-level pinned id corresponds to the
+//     instance's (bias-pinned) twin node.
+struct ConditionContext {
+  std::unordered_set<NodeId> created_nodes;
+  std::unordered_map<NodeId, NodeId> aliases;
+
+  NodeId Resolve(NodeId id) const {
+    auto it = aliases.find(id);
+    return it == aliases.end() ? id : it->second;
+  }
+  bool IsCreated(NodeId id) const { return created_nodes.count(id) > 0; }
+
+  // Context for a self-contained delta: everything it pins counts as
+  // created.
+  static ConditionContext ForDelta(const Delta& delta);
+};
+
+// Checks one operation's state condition against the instance's current
+// marking/trace. Operations referencing nodes absent from the instance's
+// execution schema (and not covered by the context) are non-compliant —
+// the referenced entity was removed by a concurrent change.
+ConditionResult CheckOpStateCondition(const ProcessInstance& instance,
+                                      const ChangeOp& op,
+                                      const ConditionContext& ctx = {});
+
+// All operations of the delta, in order; first violation wins. The context
+// defaults to ConditionContext::ForDelta(delta).
+ConditionResult CheckStateConditions(const ProcessInstance& instance,
+                                     const Delta& delta);
+ConditionResult CheckStateConditions(const ProcessInstance& instance,
+                                     const Delta& delta,
+                                     const ConditionContext& ctx);
+
+}  // namespace adept
+
+#endif  // ADEPT_COMPLIANCE_CONDITIONS_H_

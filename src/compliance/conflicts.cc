@@ -1,0 +1,94 @@
+#include "compliance/conflicts.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+namespace adept {
+
+const char* OverlapKindToString(OverlapKind kind) {
+  switch (kind) {
+    case OverlapKind::kDisjoint:
+      return "disjoint";
+    case OverlapKind::kEquivalent:
+      return "equivalent";
+    case OverlapKind::kSubsumesInstance:
+      return "subsumes-instance";
+    case OverlapKind::kSubsumedByInstance:
+      return "subsumed-by-instance";
+    case OverlapKind::kPartial:
+      return "partially-overlapping";
+  }
+  return "?";
+}
+
+OverlapKind AnalyzeOverlap(const Delta& type_change, const Delta& bias) {
+  std::multiset<std::string> t_sigs, i_sigs;
+  for (const std::string& s : type_change.Signatures()) t_sigs.insert(s);
+  for (const std::string& s : bias.Signatures()) i_sigs.insert(s);
+
+  std::vector<std::string> common;
+  std::set_intersection(t_sigs.begin(), t_sigs.end(), i_sigs.begin(),
+                        i_sigs.end(), std::back_inserter(common));
+  if (common.empty()) return OverlapKind::kDisjoint;
+  if (common.size() == t_sigs.size() && common.size() == i_sigs.size()) {
+    return OverlapKind::kEquivalent;
+  }
+  if (common.size() == i_sigs.size()) return OverlapKind::kSubsumesInstance;
+  if (common.size() == t_sigs.size()) return OverlapKind::kSubsumedByInstance;
+  return OverlapKind::kPartial;
+}
+
+Result<IdMapping> BuildBiasCancellationMapping(const Delta& type_change,
+                                               const Delta& bias) {
+  IdMapping mapping;
+  // Pair each bias op with the first unconsumed, signature-equal type op.
+  // Signatures are the delta-level *symbolic* ones, so references to nodes
+  // created by sibling ops match across differently pinned deltas.
+  std::vector<std::string> type_sigs = type_change.Signatures();
+  std::vector<std::string> bias_sigs = bias.Signatures();
+  std::vector<bool> consumed(type_change.ops().size(), false);
+  for (size_t b = 0; b < bias.ops().size(); ++b) {
+    const auto& bias_op = bias.ops()[b];
+    const ChangeOp* partner = nullptr;
+    for (size_t i = 0; i < type_change.ops().size(); ++i) {
+      if (consumed[i]) continue;
+      if (type_sigs[i] == bias_sigs[b]) {
+        consumed[i] = true;
+        partner = type_change.ops()[i].get();
+        break;
+      }
+    }
+    if (partner == nullptr) {
+      return Status::FailedPrecondition(
+          "bias op without matching type-change op: " + bias_op->Describe());
+    }
+    // Pair pinned ids slot by slot. JSON exposes all three pin vectors.
+    JsonValue bias_json = bias_op->ToJson();
+    JsonValue type_json = partner->ToJson();
+    const JsonValue& bp = bias_json.Get("pins");
+    const JsonValue& tp = type_json.Get("pins");
+    auto pair_ids = [&](const char* key, auto& out, auto make_id) -> Status {
+      const auto& b_arr = bp.Get(key).as_array();
+      const auto& t_arr = tp.Get(key).as_array();
+      if (b_arr.size() != t_arr.size()) {
+        return Status::FailedPrecondition(
+            "pinned id arity mismatch between equivalent ops");
+      }
+      for (size_t i = 0; i < b_arr.size(); ++i) {
+        out.emplace(make_id(static_cast<uint32_t>(b_arr[i].as_int())),
+                    make_id(static_cast<uint32_t>(t_arr[i].as_int())));
+      }
+      return Status::OK();
+    };
+    ADEPT_RETURN_IF_ERROR(pair_ids("nodes", mapping.nodes,
+                                   [](uint32_t v) { return NodeId(v); }));
+    ADEPT_RETURN_IF_ERROR(pair_ids("edges", mapping.edges,
+                                   [](uint32_t v) { return EdgeId(v); }));
+    ADEPT_RETURN_IF_ERROR(
+        pair_ids("data", mapping.data, [](uint32_t v) { return DataId(v); }));
+  }
+  return mapping;
+}
+
+}  // namespace adept

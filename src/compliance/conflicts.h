@@ -1,0 +1,61 @@
+// Semantic overlap analysis between a type change (Delta-T) and an
+// instance's ad-hoc bias (Delta-I).
+//
+// ADEPT2's correctness principle for migrating biased instances "excludes
+// state-related, structural, and semantical conflicts". Structural and
+// state conflicts are detected by schema re-verification and the compliance
+// conditions; this module classifies the *semantic* relationship between
+// the two deltas [Rinderle 2004]:
+//
+//   kDisjoint             no shared operations, no shared target nodes:
+//                         both changes compose; migrate and keep the bias
+//   kEquivalent           identical operation sets: the user anticipated
+//                         the type change ad hoc; migrate and *cancel* the
+//                         bias (instance becomes unbiased on S')
+//   kSubsumesInstance     Delta-T contains every bias op (plus more):
+//                         migrate and cancel the bias likewise
+//   kSubsumedByInstance   the bias contains every type op plus its own:
+//                         reported as a semantic conflict (would need
+//                         partial bias rewriting)
+//   kPartial              overlapping but incomparable: semantic conflict,
+//                         manual resolution required
+
+#ifndef ADEPT_COMPLIANCE_CONFLICTS_H_
+#define ADEPT_COMPLIANCE_CONFLICTS_H_
+
+#include <unordered_map>
+
+#include "change/delta.h"
+
+namespace adept {
+
+enum class OverlapKind {
+  kDisjoint = 0,
+  kEquivalent,
+  kSubsumesInstance,
+  kSubsumedByInstance,
+  kPartial,
+};
+
+const char* OverlapKindToString(OverlapKind kind);
+
+OverlapKind AnalyzeOverlap(const Delta& type_change, const Delta& bias);
+
+// For kEquivalent / kSubsumesInstance migrations: maps the bias ops' pinned
+// entity ids onto the type change's pinned ids (signature-equal ops are
+// paired in order), so the instance's marking/trace/data can be rewritten
+// onto S''s entities when the bias is cancelled.
+struct IdMapping {
+  std::unordered_map<NodeId, NodeId> nodes;
+  std::unordered_map<EdgeId, EdgeId> edges;
+  std::unordered_map<DataId, DataId> data;
+
+  bool empty() const { return nodes.empty() && edges.empty() && data.empty(); }
+};
+
+Result<IdMapping> BuildBiasCancellationMapping(const Delta& type_change,
+                                               const Delta& bias);
+
+}  // namespace adept
+
+#endif  // ADEPT_COMPLIANCE_CONFLICTS_H_

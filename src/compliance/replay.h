@@ -1,0 +1,37 @@
+// Trace-replay compliance: ADEPT2's general correctness criterion.
+//
+// An instance I is compliant with a target schema S' iff its *reduced*
+// execution trace (relaxed trace equivalence: loop iterations other than
+// the latest are projected away) can be replayed on S'. The replay also
+// yields the correctly adapted marking on S' for free, so this module
+// doubles as the oracle for the optimized per-operation conditions and as
+// an alternative state-adaptation procedure.
+//
+// The checker drives a shadow instance through the real execution engine,
+// so every marking rule (sync gating, dead paths, mandatory parameters,
+// XOR decisions) is enforced by construction rather than re-implemented.
+
+#ifndef ADEPT_COMPLIANCE_REPLAY_H_
+#define ADEPT_COMPLIANCE_REPLAY_H_
+
+#include <memory>
+#include <string>
+
+#include "model/schema_view.h"
+#include "runtime/instance.h"
+
+namespace adept {
+
+struct ReplayResult {
+  bool compliant = false;
+  std::string reason;       // first replay violation when !compliant
+  Marking adapted_marking;  // shadow marking after replay (compliant only)
+};
+
+// Replays `instance`'s reduced trace on `target`.
+ReplayResult CheckComplianceByReplay(const ProcessInstance& instance,
+                                     std::shared_ptr<const SchemaView> target);
+
+}  // namespace adept
+
+#endif  // ADEPT_COMPLIANCE_REPLAY_H_

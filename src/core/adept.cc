@@ -1,0 +1,542 @@
+#include "core/adept.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "compliance/adhoc.h"
+#include "model/serialization.h"
+#include "storage/state_serialization.h"
+
+namespace adept {
+
+namespace {
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::NotFound("cannot open " + path);
+  std::string content;
+  char buffer[1 << 16];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    content.append(buffer, n);
+  }
+  std::fclose(f);
+  return content;
+}
+
+Status WriteFileAtomic(const std::string& path, const std::string& content) {
+  std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return Status::Corruption("cannot open " + tmp);
+  bool ok = std::fwrite(content.data(), 1, content.size(), f) == content.size();
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) return Status::Corruption("short write to " + tmp);
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) return Status::Corruption("rename failed: " + ec.message());
+  return Status::OK();
+}
+
+JsonValue WritesToJson(const std::vector<ProcessInstance::DataWrite>& writes) {
+  JsonValue arr = JsonValue::MakeArray();
+  for (const auto& w : writes) {
+    JsonValue wj = JsonValue::MakeObject();
+    wj.Set("d", JsonValue(w.data.value()));
+    wj.Set("v", w.value.ToJson());
+    arr.Append(std::move(wj));
+  }
+  return arr;
+}
+
+Result<std::vector<ProcessInstance::DataWrite>> WritesFromJson(
+    const JsonValue& json) {
+  std::vector<ProcessInstance::DataWrite> writes;
+  for (const JsonValue& wj : json.as_array()) {
+    ADEPT_ASSIGN_OR_RETURN(DataValue value, DataValue::FromJson(wj.Get("v")));
+    writes.push_back(
+        {DataId(static_cast<uint32_t>(wj.Get("d").as_int())), value});
+  }
+  return writes;
+}
+
+}  // namespace
+
+AdeptSystem::AdeptSystem(const AdeptOptions& options) : options_(options) {
+  fanout_.Add(&worklists_);
+  engine_.set_observer(&fanout_);
+}
+
+Status AdeptSystem::OpenWalIfConfigured() {
+  if (options_.wal_path.empty()) return Status::OK();
+  ADEPT_ASSIGN_OR_RETURN(wal_, WriteAheadLog::Open(options_.wal_path));
+  return Status::OK();
+}
+
+Result<std::unique_ptr<AdeptSystem>> AdeptSystem::Create(
+    const AdeptOptions& options) {
+  std::unique_ptr<AdeptSystem> system(new AdeptSystem(options));
+  ADEPT_RETURN_IF_ERROR(system->OpenWalIfConfigured());
+  // A fresh system starts a fresh history.
+  if (system->wal_ != nullptr) {
+    ADEPT_RETURN_IF_ERROR(system->wal_->Truncate());
+  }
+  return system;
+}
+
+Result<std::unique_ptr<AdeptSystem>> AdeptSystem::Recover(
+    const AdeptOptions& options) {
+  std::unique_ptr<AdeptSystem> system(new AdeptSystem(options));
+  system->recovering_ = true;
+
+  if (!options.snapshot_path.empty() &&
+      std::filesystem::exists(options.snapshot_path)) {
+    ADEPT_ASSIGN_OR_RETURN(std::string content,
+                           ReadFile(options.snapshot_path));
+    ADEPT_ASSIGN_OR_RETURN(JsonValue json, JsonValue::Parse(content));
+    ADEPT_RETURN_IF_ERROR(system->LoadSnapshotJson(json));
+  }
+
+  if (!options.wal_path.empty()) {
+    ADEPT_ASSIGN_OR_RETURN(std::vector<JsonValue> records,
+                           WriteAheadLog::ReadAll(options.wal_path));
+    for (const JsonValue& record : records) {
+      Status st = system->ApplyWalRecord(record);
+      if (!st.ok()) {
+        return Status::Corruption("WAL replay failed at record " +
+                                  record.Dump() + ": " + st.message());
+      }
+    }
+  }
+
+  system->recovering_ = false;
+  ADEPT_RETURN_IF_ERROR(system->OpenWalIfConfigured());
+  return system;
+}
+
+Status AdeptSystem::Log(const JsonValue& record) {
+  if (wal_ == nullptr || recovering_) return Status::OK();
+  return wal_->Append(record);
+}
+
+// --- Buildtime ---------------------------------------------------------------
+
+Result<SchemaId> AdeptSystem::DeployProcessType(
+    std::shared_ptr<const ProcessSchema> schema) {
+  JsonValue schema_json =
+      schema != nullptr ? SchemaToJson(*schema) : JsonValue();
+  ADEPT_ASSIGN_OR_RETURN(SchemaId id, repository_.Deploy(std::move(schema)));
+  JsonValue record = JsonValue::MakeObject();
+  record.Set("t", JsonValue("deploy"));
+  record.Set("id", JsonValue(id.value()));
+  record.Set("schema", std::move(schema_json));
+  ADEPT_RETURN_IF_ERROR(Log(record));
+  return id;
+}
+
+Result<SchemaId> AdeptSystem::EvolveProcessType(SchemaId base, Delta delta) {
+  // The delta is serialized *after* application so pins are captured.
+  ADEPT_ASSIGN_OR_RETURN(SchemaId id,
+                         repository_.DeriveVersion(base, std::move(delta)));
+  ADEPT_ASSIGN_OR_RETURN(const Delta* stored, repository_.DeltaFor(id));
+  JsonValue record = JsonValue::MakeObject();
+  record.Set("t", JsonValue("evolve"));
+  record.Set("base", JsonValue(base.value()));
+  record.Set("id", JsonValue(id.value()));
+  record.Set("delta", stored->ToJson());
+  ADEPT_RETURN_IF_ERROR(Log(record));
+  return id;
+}
+
+Result<SchemaId> AdeptSystem::LatestVersion(
+    const std::string& type_name) const {
+  return repository_.Latest(type_name);
+}
+
+Result<std::shared_ptr<const ProcessSchema>> AdeptSystem::Schema(
+    SchemaId id) const {
+  return repository_.Get(id);
+}
+
+// --- Instance lifecycle --------------------------------------------------------
+
+Result<InstanceId> AdeptSystem::CreateInstanceInternal(SchemaId schema_id,
+                                                       InstanceId forced_id) {
+  ADEPT_ASSIGN_OR_RETURN(std::shared_ptr<const ProcessSchema> schema,
+                         repository_.Get(schema_id));
+  ProcessInstance* instance = nullptr;
+  if (forced_id.valid()) {
+    ADEPT_ASSIGN_OR_RETURN(instance,
+                           engine_.AdoptInstance(forced_id, schema, schema_id));
+  } else {
+    ADEPT_ASSIGN_OR_RETURN(instance, engine_.CreateInstance(schema, schema_id));
+  }
+  Status st = store_.Register(instance->id(), schema_id,
+                              options_.default_strategy);
+  if (!st.ok()) {
+    (void)engine_.Remove(instance->id());
+    return st;
+  }
+  st = instance->Start();
+  if (!st.ok()) {
+    (void)store_.Unregister(instance->id());
+    (void)engine_.Remove(instance->id());
+    return st;
+  }
+  return instance->id();
+}
+
+Result<InstanceId> AdeptSystem::CreateInstance(const std::string& type_name) {
+  ADEPT_ASSIGN_OR_RETURN(SchemaId latest, repository_.Latest(type_name));
+  return CreateInstanceOn(latest);
+}
+
+Result<InstanceId> AdeptSystem::CreateInstanceOn(SchemaId schema) {
+  ADEPT_ASSIGN_OR_RETURN(InstanceId id,
+                         CreateInstanceInternal(schema, InstanceId::Invalid()));
+  JsonValue record = JsonValue::MakeObject();
+  record.Set("t", JsonValue("create"));
+  record.Set("id", JsonValue(id.value()));
+  record.Set("schema", JsonValue(schema.value()));
+  ADEPT_RETURN_IF_ERROR(Log(record));
+  return id;
+}
+
+const ProcessInstance* AdeptSystem::Instance(InstanceId id) const {
+  return engine_.Find(id);
+}
+
+namespace {
+Result<ProcessInstance*> RequireInstance(Engine& engine, InstanceId id) {
+  ProcessInstance* instance = engine.Find(id);
+  if (instance == nullptr) return Status::NotFound("no such instance");
+  return instance;
+}
+}  // namespace
+
+Status AdeptSystem::StartActivity(InstanceId id, NodeId node) {
+  ADEPT_ASSIGN_OR_RETURN(ProcessInstance * instance,
+                         RequireInstance(engine_, id));
+  ADEPT_RETURN_IF_ERROR(instance->StartActivity(node));
+  JsonValue record = JsonValue::MakeObject();
+  record.Set("t", JsonValue("act"));
+  record.Set("ev", JsonValue("start"));
+  record.Set("id", JsonValue(id.value()));
+  record.Set("node", JsonValue(node.value()));
+  return Log(record);
+}
+
+Status AdeptSystem::CompleteActivity(
+    InstanceId id, NodeId node,
+    const std::vector<ProcessInstance::DataWrite>& writes) {
+  ADEPT_ASSIGN_OR_RETURN(ProcessInstance * instance,
+                         RequireInstance(engine_, id));
+  ADEPT_RETURN_IF_ERROR(instance->CompleteActivity(node, writes));
+  JsonValue record = JsonValue::MakeObject();
+  record.Set("t", JsonValue("act"));
+  record.Set("ev", JsonValue("complete"));
+  record.Set("id", JsonValue(id.value()));
+  record.Set("node", JsonValue(node.value()));
+  record.Set("writes", WritesToJson(writes));
+  return Log(record);
+}
+
+Status AdeptSystem::FailActivity(InstanceId id, NodeId node,
+                                 const std::string& reason) {
+  ADEPT_ASSIGN_OR_RETURN(ProcessInstance * instance,
+                         RequireInstance(engine_, id));
+  ADEPT_RETURN_IF_ERROR(instance->FailActivity(node, reason));
+  JsonValue record = JsonValue::MakeObject();
+  record.Set("t", JsonValue("act"));
+  record.Set("ev", JsonValue("fail"));
+  record.Set("id", JsonValue(id.value()));
+  record.Set("node", JsonValue(node.value()));
+  record.Set("detail", JsonValue(reason));
+  return Log(record);
+}
+
+Status AdeptSystem::RetryActivity(InstanceId id, NodeId node) {
+  ADEPT_ASSIGN_OR_RETURN(ProcessInstance * instance,
+                         RequireInstance(engine_, id));
+  ADEPT_RETURN_IF_ERROR(instance->RetryActivity(node));
+  JsonValue record = JsonValue::MakeObject();
+  record.Set("t", JsonValue("act"));
+  record.Set("ev", JsonValue("retry"));
+  record.Set("id", JsonValue(id.value()));
+  record.Set("node", JsonValue(node.value()));
+  return Log(record);
+}
+
+Status AdeptSystem::SuspendActivity(InstanceId id, NodeId node) {
+  ADEPT_ASSIGN_OR_RETURN(ProcessInstance * instance,
+                         RequireInstance(engine_, id));
+  ADEPT_RETURN_IF_ERROR(instance->SuspendActivity(node));
+  JsonValue record = JsonValue::MakeObject();
+  record.Set("t", JsonValue("act"));
+  record.Set("ev", JsonValue("suspend"));
+  record.Set("id", JsonValue(id.value()));
+  record.Set("node", JsonValue(node.value()));
+  return Log(record);
+}
+
+Status AdeptSystem::ResumeActivity(InstanceId id, NodeId node) {
+  ADEPT_ASSIGN_OR_RETURN(ProcessInstance * instance,
+                         RequireInstance(engine_, id));
+  ADEPT_RETURN_IF_ERROR(instance->ResumeActivity(node));
+  JsonValue record = JsonValue::MakeObject();
+  record.Set("t", JsonValue("act"));
+  record.Set("ev", JsonValue("resume"));
+  record.Set("id", JsonValue(id.value()));
+  record.Set("node", JsonValue(node.value()));
+  return Log(record);
+}
+
+Status AdeptSystem::SelectBranch(InstanceId id, NodeId split,
+                                 int branch_value) {
+  ADEPT_ASSIGN_OR_RETURN(ProcessInstance * instance,
+                         RequireInstance(engine_, id));
+  ADEPT_RETURN_IF_ERROR(instance->SelectBranch(split, branch_value));
+  JsonValue record = JsonValue::MakeObject();
+  record.Set("t", JsonValue("branch"));
+  record.Set("id", JsonValue(id.value()));
+  record.Set("node", JsonValue(split.value()));
+  record.Set("code", JsonValue(branch_value));
+  return Log(record);
+}
+
+Status AdeptSystem::SetLoopDecision(InstanceId id, NodeId loop_end,
+                                    bool iterate) {
+  ADEPT_ASSIGN_OR_RETURN(ProcessInstance * instance,
+                         RequireInstance(engine_, id));
+  ADEPT_RETURN_IF_ERROR(instance->SetLoopDecision(loop_end, iterate));
+  JsonValue record = JsonValue::MakeObject();
+  record.Set("t", JsonValue("loopdec"));
+  record.Set("id", JsonValue(id.value()));
+  record.Set("node", JsonValue(loop_end.value()));
+  record.Set("iterate", JsonValue(iterate));
+  return Log(record);
+}
+
+Result<bool> AdeptSystem::DriveStep(InstanceId id, SimulationDriver& driver) {
+  ADEPT_ASSIGN_OR_RETURN(ProcessInstance * instance,
+                         RequireInstance(engine_, id));
+  SimulationDriver::PlannedStep step = driver.PlanStep(*instance);
+  if (!step.node.valid()) return false;
+  ADEPT_RETURN_IF_ERROR(StartActivity(id, step.node));
+  ADEPT_RETURN_IF_ERROR(CompleteActivity(id, step.node, step.writes));
+  return true;
+}
+
+Status AdeptSystem::DriveToCompletion(InstanceId id, SimulationDriver& driver,
+                                      int max_steps) {
+  for (int i = 0; i < max_steps; ++i) {
+    const ProcessInstance* instance = Instance(id);
+    if (instance == nullptr) return Status::NotFound("no such instance");
+    if (instance->Finished()) return Status::OK();
+    ADEPT_ASSIGN_OR_RETURN(bool progressed, DriveStep(id, driver));
+    if (!progressed) {
+      return instance->Finished()
+                 ? Status::OK()
+                 : Status::FailedPrecondition("instance blocked");
+    }
+  }
+  return Status::Internal("step budget exceeded");
+}
+
+// --- Dynamic change ------------------------------------------------------------
+
+Status AdeptSystem::ApplyAdHocChange(InstanceId id, Delta delta) {
+  ADEPT_ASSIGN_OR_RETURN(ProcessInstance * instance,
+                         RequireInstance(engine_, id));
+  ADEPT_RETURN_IF_ERROR(
+      adept::ApplyAdHocChange(*instance, store_, std::move(delta)));
+  // Serialize the *applied* (pinned) bias from the store record.
+  ADEPT_ASSIGN_OR_RETURN(const InstanceStore::Record* record, store_.Get(id));
+  JsonValue wal_record = JsonValue::MakeObject();
+  wal_record.Set("t", JsonValue("adhoc"));
+  wal_record.Set("id", JsonValue(id.value()));
+  wal_record.Set("bias", record->bias.ToJson());
+  return Log(wal_record);
+}
+
+Result<MigrationReport> AdeptSystem::Migrate(SchemaId from, SchemaId to,
+                                             const MigrationOptions& options) {
+  ADEPT_ASSIGN_OR_RETURN(MigrationReport report,
+                         migration_manager_.MigrateAll(from, to, options));
+  if (!options.dry_run) {
+    JsonValue record = JsonValue::MakeObject();
+    record.Set("t", JsonValue("migrate"));
+    record.Set("from", JsonValue(from.value()));
+    record.Set("to", JsonValue(to.value()));
+    record.Set("use_replay", JsonValue(options.use_replay_checker));
+    ADEPT_RETURN_IF_ERROR(Log(record));
+  }
+  return report;
+}
+
+Result<MigrationReport> AdeptSystem::MigrateToLatest(
+    const std::string& type_name, const MigrationOptions& options) {
+  std::vector<SchemaId> versions = repository_.VersionsOf(type_name);
+  if (versions.size() < 2) {
+    return Status::FailedPrecondition("type has no newer version");
+  }
+  MigrationReport merged;
+  for (size_t i = 1; i < versions.size(); ++i) {
+    ADEPT_ASSIGN_OR_RETURN(MigrationReport step,
+                           Migrate(versions[i - 1], versions[i], options));
+    if (i == 1) {
+      merged = std::move(step);
+    } else {
+      merged.to = step.to;
+      merged.to_version = step.to_version;
+      for (auto& r : step.results) merged.results.push_back(std::move(r));
+    }
+  }
+  return merged;
+}
+
+// --- Durability ------------------------------------------------------------------
+
+JsonValue AdeptSystem::SnapshotToJson() const {
+  JsonValue j = JsonValue::MakeObject();
+  j.Set("format", JsonValue(1));
+  j.Set("repo", repository_.ToJson());
+  JsonValue instances = JsonValue::MakeArray();
+  for (InstanceId id : store_.Ids()) {
+    const ProcessInstance* instance = engine_.Find(id);
+    auto record = store_.Get(id);
+    if (instance == nullptr || !record.ok()) continue;
+    JsonValue ij = JsonValue::MakeObject();
+    ij.Set("id", JsonValue(id.value()));
+    ij.Set("base", JsonValue((*record)->base_schema.value()));
+    ij.Set("strategy", JsonValue(static_cast<int>((*record)->strategy)));
+    if ((*record)->biased()) ij.Set("bias", (*record)->bias.ToJson());
+    ij.Set("state", InstanceStateToJson(*instance));
+    instances.Append(std::move(ij));
+  }
+  j.Set("instances", std::move(instances));
+  return j;
+}
+
+Status AdeptSystem::LoadSnapshotJson(const JsonValue& json) {
+  if (json.Get("format").as_int() != 1) {
+    return Status::Corruption("unsupported snapshot format");
+  }
+  ADEPT_RETURN_IF_ERROR(repository_.LoadFromJson(json.Get("repo")));
+  for (const JsonValue& ij : json.Get("instances").as_array()) {
+    InstanceId id(static_cast<uint64_t>(ij.Get("id").as_int()));
+    SchemaId base(static_cast<uint64_t>(ij.Get("base").as_int()));
+    auto strategy = static_cast<StorageStrategy>(ij.Get("strategy").as_int());
+    ADEPT_RETURN_IF_ERROR(store_.Register(id, base, strategy));
+    bool biased = ij.Has("bias");
+    if (biased) {
+      ADEPT_ASSIGN_OR_RETURN(Delta bias, Delta::FromJson(ij.Get("bias")));
+      ADEPT_RETURN_IF_ERROR(store_.AddBias(id, std::move(bias)).status());
+    }
+    ADEPT_ASSIGN_OR_RETURN(std::shared_ptr<const SchemaView> view,
+                           store_.ExecutionSchema(id));
+    ADEPT_ASSIGN_OR_RETURN(ProcessInstance * instance,
+                           engine_.AdoptInstance(id, view, base));
+    instance->set_biased(biased);
+    ADEPT_RETURN_IF_ERROR(RestoreInstanceState(*instance, ij.Get("state")));
+  }
+  return Status::OK();
+}
+
+Status AdeptSystem::SaveSnapshot() {
+  if (options_.snapshot_path.empty()) {
+    return Status::FailedPrecondition("no snapshot path configured");
+  }
+  ADEPT_RETURN_IF_ERROR(
+      WriteFileAtomic(options_.snapshot_path, SnapshotToJson().Dump()));
+  if (wal_ != nullptr) {
+    ADEPT_RETURN_IF_ERROR(wal_->Truncate());
+  }
+  return Status::OK();
+}
+
+// --- WAL replay ------------------------------------------------------------------
+
+Status AdeptSystem::ApplyWalRecord(const JsonValue& record) {
+  const std::string& type = record.Get("t").as_string();
+  if (type == "deploy") {
+    ADEPT_ASSIGN_OR_RETURN(std::shared_ptr<ProcessSchema> schema,
+                           SchemaFromJson(record.Get("schema")));
+    ADEPT_ASSIGN_OR_RETURN(SchemaId id, repository_.Deploy(std::move(schema)));
+    if (id.value() != static_cast<uint64_t>(record.Get("id").as_int())) {
+      return Status::Corruption("schema id diverged during replay");
+    }
+    return Status::OK();
+  }
+  if (type == "evolve") {
+    ADEPT_ASSIGN_OR_RETURN(Delta delta, Delta::FromJson(record.Get("delta")));
+    ADEPT_ASSIGN_OR_RETURN(
+        SchemaId id,
+        repository_.DeriveVersion(
+            SchemaId(static_cast<uint64_t>(record.Get("base").as_int())),
+            std::move(delta)));
+    if (id.value() != static_cast<uint64_t>(record.Get("id").as_int())) {
+      return Status::Corruption("schema id diverged during replay");
+    }
+    return Status::OK();
+  }
+  if (type == "create") {
+    return CreateInstanceInternal(
+               SchemaId(static_cast<uint64_t>(record.Get("schema").as_int())),
+               InstanceId(static_cast<uint64_t>(record.Get("id").as_int())))
+        .status();
+  }
+  InstanceId id(static_cast<uint64_t>(record.Get("id").as_int()));
+  NodeId node(static_cast<uint32_t>(record.Get("node").as_int()));
+  if (type == "act") {
+    const std::string& ev = record.Get("ev").as_string();
+    if (ev == "start") return StartActivity(id, node);
+    if (ev == "complete") {
+      ADEPT_ASSIGN_OR_RETURN(std::vector<ProcessInstance::DataWrite> writes,
+                             WritesFromJson(record.Get("writes")));
+      return CompleteActivity(id, node, writes);
+    }
+    if (ev == "fail") {
+      return FailActivity(id, node, record.Get("detail").as_string());
+    }
+    if (ev == "retry") return RetryActivity(id, node);
+    if (ev == "suspend") return SuspendActivity(id, node);
+    if (ev == "resume") return ResumeActivity(id, node);
+    return Status::Corruption("unknown activity event: " + ev);
+  }
+  if (type == "branch") {
+    return SelectBranch(id, node,
+                        static_cast<int>(record.Get("code").as_int()));
+  }
+  if (type == "loopdec") {
+    return SetLoopDecision(id, node, record.Get("iterate").as_bool());
+  }
+  if (type == "adhoc") {
+    ADEPT_ASSIGN_OR_RETURN(Delta bias, Delta::FromJson(record.Get("bias")));
+    // The logged bias is cumulative; rebuild the record's bias from scratch
+    // by clearing first (idempotent for single changes, correct for many).
+    ProcessInstance* instance = engine_.Find(id);
+    if (instance == nullptr) return Status::NotFound("no such instance");
+    auto rec = store_.Get(id);
+    if (rec.ok() && (*rec)->biased()) {
+      ADEPT_RETURN_IF_ERROR(
+          store_.ClearBias(id, (*rec)->base_schema).status());
+      instance->set_biased(false);
+    }
+    return adept::ApplyAdHocChange(*instance, store_, std::move(bias));
+  }
+  if (type == "migrate") {
+    MigrationOptions options;
+    options.use_replay_checker = record.Get("use_replay").as_bool();
+    return migration_manager_
+        .MigrateAll(
+            SchemaId(static_cast<uint64_t>(record.Get("from").as_int())),
+            SchemaId(static_cast<uint64_t>(record.Get("to").as_int())),
+            options)
+        .status();
+  }
+  return Status::Corruption("unknown WAL record type: " + type);
+}
+
+}  // namespace adept

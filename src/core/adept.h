@@ -1,0 +1,161 @@
+// AdeptSystem: the public facade of the adaptive process management system.
+//
+// This is the API a downstream application programs against. It composes
+// every substrate of the reproduction:
+//
+//   SchemaRepository   versioned process type storage (+ deltas)
+//   Engine             running instances with ADEPT marking semantics
+//   InstanceStore      Fig. 2 storage representations (overlay/copy/on-demand)
+//   compliance         ad-hoc changes, compliance checks, migration
+//   OrgModel/Worklists staff assignment and work items
+//   monitor            Fig. 3 reports and visualization (separate headers)
+//   WAL + snapshots    durability: every state-changing call is logged;
+//                      Recover() replays the log (optionally on top of the
+//                      last snapshot); SaveSnapshot() checkpoints and
+//                      truncates the log
+//
+// Threading: the facade is single-threaded by design (one engine turn at a
+// time), matching the original prototype's per-server execution model.
+
+#ifndef ADEPT_CORE_ADEPT_H_
+#define ADEPT_CORE_ADEPT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "change/delta.h"
+#include "common/status.h"
+#include "compliance/migration.h"
+#include "model/schema.h"
+#include "org/org_model.h"
+#include "org/worklist.h"
+#include "runtime/driver.h"
+#include "runtime/engine.h"
+#include "storage/instance_store.h"
+#include "storage/schema_repository.h"
+#include "storage/wal.h"
+
+namespace adept {
+
+struct AdeptOptions {
+  // Representation for biased instances (paper Fig. 2; kOverlay = hybrid).
+  StorageStrategy default_strategy = StorageStrategy::kOverlay;
+  // Write-ahead log path; empty disables durability.
+  std::string wal_path;
+  // Snapshot path used by SaveSnapshot()/Recover(); empty disables.
+  std::string snapshot_path;
+};
+
+class AdeptSystem {
+ public:
+  // Fresh system (ignores any existing WAL/snapshot files).
+  static Result<std::unique_ptr<AdeptSystem>> Create(
+      const AdeptOptions& options = {});
+
+  // Rebuilds a system from the snapshot (if present) plus the WAL tail.
+  // Tolerates a truncated WAL (crash mid-append).
+  static Result<std::unique_ptr<AdeptSystem>> Recover(
+      const AdeptOptions& options);
+
+  AdeptSystem(const AdeptSystem&) = delete;
+  AdeptSystem& operator=(const AdeptSystem&) = delete;
+
+  // --- Buildtime ------------------------------------------------------------
+
+  // Verifies and deploys version 1 of a process type.
+  Result<SchemaId> DeployProcessType(
+      std::shared_ptr<const ProcessSchema> schema);
+
+  // Applies a type change, creating the next version (schema evolution).
+  Result<SchemaId> EvolveProcessType(SchemaId base, Delta delta);
+
+  Result<SchemaId> LatestVersion(const std::string& type_name) const;
+  Result<std::shared_ptr<const ProcessSchema>> Schema(SchemaId id) const;
+
+  // --- Instance lifecycle -----------------------------------------------------
+
+  // Creates and starts an instance of the latest version of `type_name`.
+  Result<InstanceId> CreateInstance(const std::string& type_name);
+  Result<InstanceId> CreateInstanceOn(SchemaId schema);
+
+  // Read access to the live instance (schema view, marking, trace, ...).
+  const ProcessInstance* Instance(InstanceId id) const;
+
+  Status StartActivity(InstanceId id, NodeId node);
+  Status CompleteActivity(
+      InstanceId id, NodeId node,
+      const std::vector<ProcessInstance::DataWrite>& writes = {});
+  Status FailActivity(InstanceId id, NodeId node, const std::string& reason);
+  Status RetryActivity(InstanceId id, NodeId node);
+  Status SuspendActivity(InstanceId id, NodeId node);
+  Status ResumeActivity(InstanceId id, NodeId node);
+  Status SelectBranch(InstanceId id, NodeId split, int branch_value);
+  Status SetLoopDecision(InstanceId id, NodeId loop_end, bool iterate);
+
+  // Synthetic execution through the facade (WAL-logged, unlike driving the
+  // ProcessInstance directly).
+  Result<bool> DriveStep(InstanceId id, SimulationDriver& driver);
+  Status DriveToCompletion(InstanceId id, SimulationDriver& driver,
+                           int max_steps = 100000);
+
+  // --- Dynamic change ---------------------------------------------------------
+
+  // Ad-hoc change of a single instance (paper Sec. 2).
+  Status ApplyAdHocChange(InstanceId id, Delta delta);
+
+  // Propagates the type change `from` -> `to` to all running instances.
+  Result<MigrationReport> Migrate(SchemaId from, SchemaId to,
+                                  const MigrationOptions& options = {});
+  // Convenience: migrate every predecessor-version instance to the latest.
+  Result<MigrationReport> MigrateToLatest(const std::string& type_name,
+                                          const MigrationOptions& options = {});
+
+  // --- Organization -----------------------------------------------------------
+
+  OrgModel& org() { return org_; }
+  const OrgModel& org() const { return org_; }
+  WorklistManager& worklists() { return worklists_; }
+
+  // Subscribes an additional observer to all instance events (monitoring).
+  void AddObserver(InstanceObserver* observer) { fanout_.Add(observer); }
+
+  // --- Durability -------------------------------------------------------------
+
+  // Writes a full snapshot and truncates the WAL (checkpoint).
+  Status SaveSnapshot();
+
+  // --- Substrate access (benchmarks, monitoring, tests) ----------------------
+
+  Engine& engine() { return engine_; }
+  SchemaRepository& repository() { return repository_; }
+  InstanceStore& store() { return store_; }
+  MigrationManager& migration_manager() { return migration_manager_; }
+  ProcessInstance* MutableInstance(InstanceId id) { return engine_.Find(id); }
+
+ private:
+  explicit AdeptSystem(const AdeptOptions& options);
+
+  Status OpenWalIfConfigured();
+  Status Log(const JsonValue& record);
+  Status ApplyWalRecord(const JsonValue& record);
+  Result<InstanceId> CreateInstanceInternal(SchemaId schema_id,
+                                            InstanceId forced_id);
+  JsonValue SnapshotToJson() const;
+  Status LoadSnapshotJson(const JsonValue& json);
+
+  AdeptOptions options_;
+  SchemaRepository repository_;
+  Engine engine_;
+  InstanceStore store_{&repository_};
+  MigrationManager migration_manager_{&engine_, &repository_, &store_};
+  OrgModel org_;
+  WorklistManager worklists_{&org_};
+  ObserverFanout fanout_;
+  std::unique_ptr<WriteAheadLog> wal_;
+  bool recovering_ = false;
+};
+
+}  // namespace adept
+
+#endif  // ADEPT_CORE_ADEPT_H_

@@ -1,0 +1,458 @@
+#include "model/block_tree.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+#include "common/string_util.h"
+#include "model/node.h"
+#include "model/schema_view.h"
+
+namespace adept {
+
+namespace {
+
+std::string NodeDesc(const SchemaView& schema, NodeId id) {
+  const Node* n = schema.FindNode(id);
+  if (n == nullptr) return "<missing>";
+  return n->name.empty() ? std::string(NodeTypeToString(n->type)) : n->name;
+}
+
+}  // namespace
+
+// Stateful recursive-descent parser for the block structure.
+class BlockTreeBuilder {
+ public:
+  explicit BlockTreeBuilder(const SchemaView& schema) : schema_(schema) {}
+
+  Result<BlockTree> Run() {
+    if (!schema_.start_node().valid() || !schema_.end_node().valid()) {
+      return Status::VerificationFailed("schema has no start/end node");
+    }
+    int root = NewBlock(BlockTree::BlockKind::kRoot, -1);
+    tree_.blocks_[root].entry = schema_.start_node();
+    tree_.blocks_[root].exit = schema_.end_node();
+    ADEPT_RETURN_IF_ERROR(
+        ParseSequence(root, schema_.start_node(), NodeId::Invalid()));
+    const auto& seq = tree_.blocks_[root].sequence;
+    if (seq.empty() || seq.back().node != schema_.end_node() ||
+        seq.back().composite_block != -1) {
+      return Status::VerificationFailed(
+          "process does not terminate in the end-flow node");
+    }
+    if (tree_.node_block_.size() != schema_.node_count()) {
+      return Status::VerificationFailed(StrFormat(
+          "%zu of %zu nodes are not reachable within the block structure",
+          schema_.node_count() - tree_.node_block_.size(),
+          schema_.node_count()));
+    }
+    return std::move(tree_);
+  }
+
+ private:
+  int NewBlock(BlockTree::BlockKind kind, int parent) {
+    BlockTree::Block b;
+    b.index = static_cast<int>(tree_.blocks_.size());
+    b.parent = parent;
+    b.kind = kind;
+    if (parent >= 0) tree_.blocks_[parent].children.push_back(b.index);
+    tree_.blocks_.push_back(std::move(b));
+    return tree_.blocks_.back().index;
+  }
+
+  Status AssignNode(NodeId node, int block) {
+    if (!tree_.node_block_.emplace(node, block).second) {
+      return Status::VerificationFailed(
+          "node " + NodeDesc(schema_, node) +
+          " is reached twice while parsing the block structure");
+    }
+    return Status::OK();
+  }
+
+  // Unique control successor or error.
+  Result<NodeId> Successor(NodeId node) {
+    auto succs = schema_.Successors(node, EdgeType::kControl);
+    if (succs.size() != 1) {
+      return Status::VerificationFailed(StrFormat(
+          "node %s has %zu control successors, expected exactly 1",
+          NodeDesc(schema_, node).c_str(), succs.size()));
+    }
+    return succs[0];
+  }
+
+  // Parses the sequence starting at `first` into `block` until reaching
+  // `stop` (exclusive; invalid id means: until a node without successor,
+  // used for the root which ends at the end-flow node).
+  Status ParseSequence(int block, NodeId first, NodeId stop) {
+    NodeId cur = first;
+    size_t guard = 0;
+    while (cur != stop) {
+      if (++guard > schema_.node_count() + 1) {
+        return Status::VerificationFailed(
+            "control flow does not terminate (cycle over control edges?)");
+      }
+      const Node* node = schema_.FindNode(cur);
+      if (node == nullptr) {
+        return Status::VerificationFailed("dangling control edge target");
+      }
+      if (IsBlockCloser(node->type)) {
+        return Status::VerificationFailed(
+            "unmatched block closer " + NodeDesc(schema_, cur));
+      }
+      if (IsBlockOpener(node->type)) {
+        ADEPT_ASSIGN_OR_RETURN(Composite comp, ParseComposite(cur, block));
+        tree_.blocks_[block].sequence.push_back(
+            BlockTree::SequenceItem{cur, comp.block});
+        if (comp.exit == stop) {
+          return Status::VerificationFailed(
+              "block exit " + NodeDesc(schema_, comp.exit) +
+              " coincides with the enclosing sequence boundary");
+        }
+        if (!stop.valid()) {
+          // Root sequence: stop after a node without successors.
+          auto succs = schema_.Successors(comp.exit, EdgeType::kControl);
+          if (succs.empty()) break;
+          if (succs.size() > 1) {
+            return Status::VerificationFailed(
+                "block exit has multiple control successors");
+          }
+          cur = succs[0];
+        } else {
+          ADEPT_ASSIGN_OR_RETURN(cur, Successor(comp.exit));
+        }
+        continue;
+      }
+      // Plain node.
+      ADEPT_RETURN_IF_ERROR(AssignNode(cur, block));
+      tree_.blocks_[block].sequence.push_back(BlockTree::SequenceItem{cur, -1});
+      if (!stop.valid()) {
+        auto succs = schema_.Successors(cur, EdgeType::kControl);
+        if (succs.empty()) break;  // end-flow
+        if (succs.size() > 1) {
+          return Status::VerificationFailed(
+              StrFormat("non-split node %s has %zu control successors",
+                        NodeDesc(schema_, cur).c_str(), succs.size()));
+        }
+        cur = succs[0];
+      } else {
+        ADEPT_ASSIGN_OR_RETURN(cur, Successor(cur));
+      }
+    }
+    return Status::OK();
+  }
+
+  struct Composite {
+    int block;
+    NodeId exit;
+  };
+
+  // Parses the composite block opened by `opener` (already known to be an
+  // opener). Creates the composite block and its branch children.
+  Result<Composite> ParseComposite(NodeId opener, int parent) {
+    const Node* open_node = schema_.FindNode(opener);
+    BlockTree::BlockKind kind;
+    NodeType closer_type;
+    switch (open_node->type) {
+      case NodeType::kAndSplit:
+        kind = BlockTree::BlockKind::kParallel;
+        closer_type = NodeType::kAndJoin;
+        break;
+      case NodeType::kXorSplit:
+        kind = BlockTree::BlockKind::kConditional;
+        closer_type = NodeType::kXorJoin;
+        break;
+      case NodeType::kLoopStart:
+        kind = BlockTree::BlockKind::kLoop;
+        closer_type = NodeType::kLoopEnd;
+        break;
+      default:
+        return Status::Internal("ParseComposite on non-opener");
+    }
+
+    auto branch_heads = schema_.Successors(opener, EdgeType::kControl);
+    if (branch_heads.empty()) {
+      return Status::VerificationFailed(
+          "block opener " + NodeDesc(schema_, opener) + " has no branches");
+    }
+    if (kind == BlockTree::BlockKind::kLoop && branch_heads.size() != 1) {
+      return Status::VerificationFailed(
+          "loop start " + NodeDesc(schema_, opener) +
+          " must have exactly one body branch");
+    }
+    if (kind != BlockTree::BlockKind::kLoop && branch_heads.size() < 2) {
+      return Status::VerificationFailed(
+          "split " + NodeDesc(schema_, opener) + " needs >= 2 branches");
+    }
+
+    // Locate the matching closer along every branch; all must agree.
+    NodeId closer;
+    for (NodeId head : branch_heads) {
+      ADEPT_ASSIGN_OR_RETURN(NodeId c, WalkToCloser(head));
+      if (!closer.valid()) {
+        closer = c;
+      } else if (closer != c) {
+        return Status::VerificationFailed(
+            "branches of " + NodeDesc(schema_, opener) +
+            " meet different joins (" + NodeDesc(schema_, closer) + " vs " +
+            NodeDesc(schema_, c) + ")");
+      }
+    }
+    const Node* close_node = schema_.FindNode(closer);
+    if (close_node == nullptr || close_node->type != closer_type) {
+      return Status::VerificationFailed(
+          "block opened by " + NodeDesc(schema_, opener) +
+          " is closed by incompatible node " + NodeDesc(schema_, closer));
+    }
+    if (kind == BlockTree::BlockKind::kLoop) {
+      // The loop edge must connect exactly this closer back to the opener.
+      auto loop_preds = schema_.Predecessors(opener, EdgeType::kLoop);
+      if (loop_preds.size() != 1 || loop_preds[0] != closer) {
+        return Status::VerificationFailed(
+            "loop block " + NodeDesc(schema_, opener) +
+            " lacks a matching loop edge from its loop end");
+      }
+    }
+
+    int comp = NewBlock(kind, parent);
+    tree_.blocks_[comp].entry = opener;
+    tree_.blocks_[comp].exit = closer;
+    ADEPT_RETURN_IF_ERROR(AssignNode(opener, comp));
+    ADEPT_RETURN_IF_ERROR(AssignNode(closer, comp));
+
+    for (NodeId head : branch_heads) {
+      int branch = NewBlock(BlockTree::BlockKind::kBranch, comp);
+      tree_.blocks_[branch].entry = (head == closer) ? NodeId::Invalid() : head;
+      ADEPT_RETURN_IF_ERROR(ParseSequence(branch, head, closer));
+      const auto& seq = tree_.blocks_[branch].sequence;
+      if (!seq.empty()) {
+        const auto& last = seq.back();
+        tree_.blocks_[branch].exit =
+            last.composite_block >= 0
+                ? tree_.blocks_[last.composite_block].exit
+                : last.node;
+      }
+    }
+    return Composite{comp, closer};
+  }
+
+  // Follows control successors from `from`, counting block nesting, until
+  // the closer that balances depth 0 is found.
+  Result<NodeId> WalkToCloser(NodeId from) {
+    NodeId cur = from;
+    int depth = 0;
+    size_t guard = 0;
+    while (true) {
+      if (++guard > schema_.node_count() + 1) {
+        return Status::VerificationFailed(
+            "no matching join found (unbalanced block nesting)");
+      }
+      const Node* node = schema_.FindNode(cur);
+      if (node == nullptr) {
+        return Status::VerificationFailed("dangling control edge target");
+      }
+      if (IsBlockCloser(node->type)) {
+        if (depth == 0) return cur;
+        --depth;
+      } else if (IsBlockOpener(node->type)) {
+        ++depth;
+      }
+      auto succs = schema_.Successors(cur, EdgeType::kControl);
+      if (succs.empty()) {
+        return Status::VerificationFailed(
+            "branch starting at " + NodeDesc(schema_, from) +
+            " runs into a dead end before reaching a join");
+      }
+      cur = succs[0];
+    }
+  }
+
+  const SchemaView& schema_;
+  BlockTree tree_;
+};
+
+Result<BlockTree> BlockTree::Build(const SchemaView& schema) {
+  return BlockTreeBuilder(schema).Run();
+}
+
+Result<int> BlockTree::BlockOfNode(NodeId node) const {
+  auto it = node_block_.find(node);
+  if (it == node_block_.end()) {
+    return Status::NotFound("node not covered by block tree");
+  }
+  return it->second;
+}
+
+int BlockTree::CommonAncestor(int b1, int b2) const {
+  std::unordered_set<int> ancestors;
+  for (int b = b1; b >= 0; b = blocks_[b].parent) ancestors.insert(b);
+  for (int b = b2; b >= 0; b = blocks_[b].parent) {
+    if (ancestors.count(b)) return b;
+  }
+  return 0;
+}
+
+bool BlockTree::InDifferentParallelBranches(NodeId a, NodeId b) const {
+  auto ba = BlockOfNode(a);
+  auto bb = BlockOfNode(b);
+  if (!ba.ok() || !bb.ok()) return false;
+  int lca = CommonAncestor(*ba, *bb);
+  if (blocks_[lca].kind != BlockKind::kParallel) return false;
+  // Climb from each block to the child of lca on its path. If a node *is*
+  // the split/join itself its path child does not exist -> not in a branch.
+  auto child_towards = [&](int from) {
+    int prev = -1;
+    for (int b = from; b >= 0; b = blocks_[b].parent) {
+      if (b == lca) return prev;
+      prev = b;
+    }
+    return -1;
+  };
+  int ca = child_towards(*ba);
+  int cb = child_towards(*bb);
+  return ca >= 0 && cb >= 0 && ca != cb;
+}
+
+void BlockTree::CollectNodes(int block, std::vector<NodeId>& out) const {
+  const Block& b = blocks_[block];
+  if (b.kind == BlockKind::kBranch || b.kind == BlockKind::kRoot) {
+    for (const SequenceItem& item : b.sequence) {
+      if (item.composite_block >= 0) {
+        CollectNodes(item.composite_block, out);
+      } else {
+        out.push_back(item.node);
+      }
+    }
+  } else {
+    out.push_back(b.entry);
+    for (int child : b.children) CollectNodes(child, out);
+    out.push_back(b.exit);
+  }
+}
+
+std::vector<NodeId> BlockTree::NodesIn(int block) const {
+  std::vector<NodeId> out;
+  CollectNodes(block, out);
+  return out;
+}
+
+Result<std::vector<NodeId>> BlockTree::RegionMembers(NodeId from,
+                                                     NodeId to) const {
+  ADEPT_ASSIGN_OR_RETURN(int bf, BlockOfNode(from));
+  // Map composite blocks to the sequence that contains them as an item.
+  auto owning_sequence = [&](int b, NodeId node) -> Result<int> {
+    const Block& blk = blocks_[b];
+    if (blk.kind == BlockKind::kBranch || blk.kind == BlockKind::kRoot) {
+      return b;
+    }
+    // `node` is the entry or exit of composite `b`; the sequence owning the
+    // composite is its parent branch.
+    (void)node;
+    if (blk.parent < 0) return Status::Internal("composite without parent");
+    return blk.parent;
+  };
+  ADEPT_ASSIGN_OR_RETURN(int seq_f, owning_sequence(bf, from));
+  ADEPT_ASSIGN_OR_RETURN(int bt, BlockOfNode(to));
+  ADEPT_ASSIGN_OR_RETURN(int seq_t, owning_sequence(bt, to));
+  if (seq_f != seq_t) {
+    return Status::FailedPrecondition(
+        "region endpoints are not items of the same sequence block");
+  }
+  const Block& seq = blocks_[seq_f];
+  int idx_from = -1;
+  int idx_to = -1;
+  for (size_t i = 0; i < seq.sequence.size(); ++i) {
+    const SequenceItem& item = seq.sequence[i];
+    NodeId item_exit = item.composite_block >= 0
+                           ? blocks_[item.composite_block].exit
+                           : item.node;
+    if (item.node == from && idx_from < 0) idx_from = static_cast<int>(i);
+    if ((item.node == to || item_exit == to) && idx_to < 0) {
+      idx_to = static_cast<int>(i);
+    }
+  }
+  if (idx_from < 0 || idx_to < 0 || idx_from > idx_to) {
+    return Status::FailedPrecondition(
+        "endpoints do not delimit a forward region of the sequence");
+  }
+  std::vector<NodeId> out;
+  for (int i = idx_from; i <= idx_to; ++i) {
+    const SequenceItem& item = seq.sequence[i];
+    if (item.composite_block >= 0) {
+      CollectNodes(item.composite_block, out);
+    } else {
+      out.push_back(item.node);
+    }
+  }
+  return out;
+}
+
+Result<NodeId> BlockTree::MatchingExit(NodeId entry) const {
+  ADEPT_ASSIGN_OR_RETURN(int b, BlockOfNode(entry));
+  if (blocks_[b].kind == BlockKind::kBranch ||
+      blocks_[b].kind == BlockKind::kRoot || blocks_[b].entry != entry) {
+    return Status::InvalidArgument("node is not a composite block entry");
+  }
+  return blocks_[b].exit;
+}
+
+Result<NodeId> BlockTree::MatchingEntry(NodeId exit) const {
+  ADEPT_ASSIGN_OR_RETURN(int b, BlockOfNode(exit));
+  if (blocks_[b].kind == BlockKind::kBranch ||
+      blocks_[b].kind == BlockKind::kRoot || blocks_[b].exit != exit) {
+    return Status::InvalidArgument("node is not a composite block exit");
+  }
+  return blocks_[b].entry;
+}
+
+int BlockTree::InnermostLoop(NodeId node) const {
+  auto b = BlockOfNode(node);
+  if (!b.ok()) return -1;
+  for (int cur = *b; cur >= 0; cur = blocks_[cur].parent) {
+    if (blocks_[cur].kind == BlockKind::kLoop) return cur;
+  }
+  return -1;
+}
+
+std::string BlockTree::DebugString(const SchemaView& schema) const {
+  std::ostringstream os;
+  std::function<void(int, int)> dump = [&](int block, int indent) {
+    const Block& b = blocks_[block];
+    os << std::string(static_cast<size_t>(indent) * 2, ' ');
+    switch (b.kind) {
+      case BlockKind::kRoot:
+        os << "root";
+        break;
+      case BlockKind::kParallel:
+        os << "AND[" << NodeDesc(schema, b.entry) << ".."
+           << NodeDesc(schema, b.exit) << "]";
+        break;
+      case BlockKind::kConditional:
+        os << "XOR[" << NodeDesc(schema, b.entry) << ".."
+           << NodeDesc(schema, b.exit) << "]";
+        break;
+      case BlockKind::kLoop:
+        os << "LOOP[" << NodeDesc(schema, b.entry) << ".."
+           << NodeDesc(schema, b.exit) << "]";
+        break;
+      case BlockKind::kBranch:
+        os << "branch";
+        break;
+    }
+    if (b.kind == BlockKind::kBranch || b.kind == BlockKind::kRoot) {
+      os << ":";
+      for (const SequenceItem& item : b.sequence) {
+        if (item.composite_block >= 0) {
+          os << " <block#" << item.composite_block << ">";
+        } else {
+          os << " " << NodeDesc(schema, item.node);
+        }
+      }
+    }
+    os << "\n";
+    for (int child : b.children) dump(child, indent + 1);
+  };
+  dump(0, 0);
+  return os.str();
+}
+
+}  // namespace adept

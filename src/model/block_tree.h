@@ -1,0 +1,106 @@
+// BlockTree: the parsed block structure of a WSM net.
+//
+// ADEPT schemas are block-structured: every AND-/XOR-split has exactly one
+// matching join, every loop-start one matching loop-end, and blocks are
+// properly nested. The block tree makes this nesting explicit:
+//
+//   kRoot        the whole process (entry = start-flow, exit = end-flow)
+//   kParallel    an AND block   (entry = AndSplit,  exit = AndJoin)
+//   kConditional an XOR block   (entry = XorSplit,  exit = XorJoin)
+//   kLoop        a loop block   (entry = LoopStart, exit = LoopEnd)
+//   kBranch      one branch of a composite; holds the branch's sequence
+//
+// Branch (and root) blocks carry an ordered list of SequenceItems: a plain
+// node, or a nested composite (represented by its entry node + block index).
+// Change operations use the tree to answer "is [from..to] a SESE region?",
+// "are a and b in different branches of a common parallel block?" (sync-edge
+// insertion), and "which nodes belong to this loop body?" (loop-back reset).
+
+#ifndef ADEPT_MODEL_BLOCK_TREE_H_
+#define ADEPT_MODEL_BLOCK_TREE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "model/types.h"
+
+namespace adept {
+
+class SchemaView;
+
+class BlockTree {
+ public:
+  enum class BlockKind { kRoot, kParallel, kConditional, kLoop, kBranch };
+
+  // One item of a branch/root sequence.
+  struct SequenceItem {
+    NodeId node;              // plain node, or entry node of the composite
+    int composite_block = -1; // index of nested composite block; -1 if plain
+  };
+
+  struct Block {
+    int index = -1;
+    int parent = -1;  // -1 for root
+    BlockKind kind = BlockKind::kRoot;
+    NodeId entry;     // see kind table above; invalid for empty branches
+    NodeId exit;
+    std::vector<int> children;          // nested blocks, in control order
+    std::vector<SequenceItem> sequence; // branch/root blocks only
+  };
+
+  // Parses the block structure. Fails with kVerificationFailed on broken
+  // nesting (split without matching join, branches meeting different joins,
+  // type mismatches, unreachable/duplicated nodes, ...). Sync edges are
+  // ignored here; their rules are enforced by the verifier using the tree.
+  static Result<BlockTree> Build(const SchemaView& schema);
+
+  const Block& root() const { return blocks_[0]; }
+  const Block& block(int index) const { return blocks_[index]; }
+  size_t size() const { return blocks_.size(); }
+
+  // Innermost block containing `node`. Composite entry/exit nodes map to the
+  // composite block itself; plain members map to their branch/root block.
+  Result<int> BlockOfNode(NodeId node) const;
+
+  // Lowest common ancestor block of two blocks.
+  int CommonAncestor(int b1, int b2) const;
+
+  // True iff a and b lie in *different* branches of a common parallel (AND)
+  // block — the legality condition for a sync edge between them.
+  bool InDifferentParallelBranches(NodeId a, NodeId b) const;
+
+  // All nodes transitively contained in `block` (including entry/exit of
+  // nested composites; including `block`'s own entry/exit for composites).
+  std::vector<NodeId> NodesIn(int block) const;
+
+  // Nodes of the SESE region [from .. to]: both must be items of the same
+  // branch/root sequence (a composite counts as one item, addressed by its
+  // entry node for `from` and by its entry *or* exit node for `to`), with
+  // `from` not after `to`. Returns all nodes of the region in control order.
+  Result<std::vector<NodeId>> RegionMembers(NodeId from, NodeId to) const;
+
+  // Matching closer for a composite entry node (AndJoin for AndSplit, ...).
+  Result<NodeId> MatchingExit(NodeId entry) const;
+  Result<NodeId> MatchingEntry(NodeId exit) const;
+
+  // Innermost loop block containing `node`, -1 if none.
+  int InnermostLoop(NodeId node) const;
+
+  // Human-readable dump (tests / monitor).
+  std::string DebugString(const SchemaView& schema) const;
+
+ private:
+  friend class BlockTreeBuilder;
+
+  void CollectNodes(int block, std::vector<NodeId>& out) const;
+
+  std::vector<Block> blocks_;
+  std::unordered_map<NodeId, int> node_block_;
+};
+
+}  // namespace adept
+
+#endif  // ADEPT_MODEL_BLOCK_TREE_H_

@@ -1,0 +1,80 @@
+// Plain data carriers of the WSM-net meta model: Node, Edge, DataElement,
+// DataEdge. These are value types owned by ProcessSchema.
+
+#ifndef ADEPT_MODEL_NODE_H_
+#define ADEPT_MODEL_NODE_H_
+
+#include <map>
+#include <string>
+
+#include "common/ids.h"
+#include "model/types.h"
+
+namespace adept {
+
+// A schema node. For kXorSplit, `decision_data` names the integer data
+// element whose value selects the outgoing branch (matched against
+// Edge::branch_value). For kLoopEnd, `loop_data` names the boolean data
+// element that, when true after the iteration, triggers a loop back.
+struct Node {
+  NodeId id;
+  NodeType type = NodeType::kActivity;
+  std::string name;
+
+  // Reference to the activity template implementing this step (free-form;
+  // examples use it to attach behaviour).
+  std::string activity_template;
+
+  // Staff assignment: role whose users may work on this activity.
+  RoleId role;
+
+  // Partition for (simulated) distributed process control.
+  ServerId server;
+
+  // See class comment.
+  DataId decision_data;
+  DataId loop_data;
+
+  // Free-form extension attributes (kept sorted for stable serialization).
+  std::map<std::string, std::string> attributes;
+
+  bool operator==(const Node&) const = default;
+};
+
+// A control/sync/loop edge. `branch_value` is only meaningful on control
+// edges leaving a kXorSplit: the branch taken is the one whose value equals
+// the split's decision data (default branch: 0).
+struct Edge {
+  EdgeId id;
+  NodeId src;
+  NodeId dst;
+  EdgeType type = EdgeType::kControl;
+  int branch_value = 0;
+
+  bool operator==(const Edge&) const = default;
+};
+
+// A process data element (global store, versioned at runtime).
+struct DataElement {
+  DataId id;
+  std::string name;
+  DataType type = DataType::kString;
+
+  bool operator==(const DataElement&) const = default;
+};
+
+// Connects an activity to a data element. A mandatory (non-optional) read
+// means the buildtime data-flow analysis must prove the element is written
+// on every path leading to the reader ("no missing data").
+struct DataEdge {
+  NodeId node;
+  DataId data;
+  AccessMode mode = AccessMode::kRead;
+  bool optional = false;
+
+  bool operator==(const DataEdge&) const = default;
+};
+
+}  // namespace adept
+
+#endif  // ADEPT_MODEL_NODE_H_

@@ -1,0 +1,184 @@
+#include "model/serialization.h"
+
+#include <algorithm>
+
+namespace adept {
+
+namespace {
+
+JsonValue NodeToJson(const Node& n) {
+  JsonValue j = JsonValue::MakeObject();
+  j.Set("id", JsonValue(n.id.value()));
+  j.Set("type", JsonValue(static_cast<int>(n.type)));
+  j.Set("name", JsonValue(n.name));
+  if (!n.activity_template.empty()) j.Set("tmpl", JsonValue(n.activity_template));
+  if (n.role.valid()) j.Set("role", JsonValue(n.role.value()));
+  if (n.server.valid()) j.Set("server", JsonValue(n.server.value()));
+  if (n.decision_data.valid()) {
+    j.Set("decision", JsonValue(n.decision_data.value()));
+  }
+  if (n.loop_data.valid()) j.Set("loop_data", JsonValue(n.loop_data.value()));
+  if (!n.attributes.empty()) {
+    JsonValue attrs = JsonValue::MakeObject();
+    for (const auto& [k, v] : n.attributes) attrs.Set(k, JsonValue(v));
+    j.Set("attrs", std::move(attrs));
+  }
+  return j;
+}
+
+Result<Node> NodeFromJson(const JsonValue& j) {
+  if (!j.is_object()) return Status::Corruption("node entry is not an object");
+  Node n;
+  n.id = NodeId(static_cast<uint32_t>(j.Get("id").as_int()));
+  n.type = static_cast<NodeType>(j.Get("type").as_int());
+  n.name = j.Get("name").as_string();
+  n.activity_template = j.Get("tmpl").as_string();
+  if (j.Has("role")) n.role = RoleId(static_cast<uint32_t>(j.Get("role").as_int()));
+  if (j.Has("server")) {
+    n.server = ServerId(static_cast<uint32_t>(j.Get("server").as_int()));
+  }
+  if (j.Has("decision")) {
+    n.decision_data = DataId(static_cast<uint32_t>(j.Get("decision").as_int()));
+  }
+  if (j.Has("loop_data")) {
+    n.loop_data = DataId(static_cast<uint32_t>(j.Get("loop_data").as_int()));
+  }
+  if (j.Has("attrs")) {
+    for (const auto& [k, v] : j.Get("attrs").as_object()) {
+      n.attributes[k] = v.as_string();
+    }
+  }
+  return n;
+}
+
+JsonValue EdgeToJson(const Edge& e) {
+  JsonValue j = JsonValue::MakeObject();
+  j.Set("id", JsonValue(e.id.value()));
+  j.Set("src", JsonValue(e.src.value()));
+  j.Set("dst", JsonValue(e.dst.value()));
+  j.Set("type", JsonValue(static_cast<int>(e.type)));
+  if (e.branch_value != 0) j.Set("branch", JsonValue(e.branch_value));
+  return j;
+}
+
+Result<Edge> EdgeFromJson(const JsonValue& j) {
+  if (!j.is_object()) return Status::Corruption("edge entry is not an object");
+  Edge e;
+  e.id = EdgeId(static_cast<uint32_t>(j.Get("id").as_int()));
+  e.src = NodeId(static_cast<uint32_t>(j.Get("src").as_int()));
+  e.dst = NodeId(static_cast<uint32_t>(j.Get("dst").as_int()));
+  e.type = static_cast<EdgeType>(j.Get("type").as_int());
+  e.branch_value = static_cast<int>(j.Get("branch").as_int());
+  return e;
+}
+
+}  // namespace
+
+JsonValue SchemaToJson(const ProcessSchema& schema) {
+  JsonValue j = JsonValue::MakeObject();
+  j.Set("format", JsonValue(1));
+  j.Set("type_name", JsonValue(schema.type_name()));
+  j.Set("version", JsonValue(schema.version()));
+  j.Set("next_node_id", JsonValue(schema.next_node_id()));
+  j.Set("next_edge_id", JsonValue(schema.next_edge_id()));
+  j.Set("next_data_id", JsonValue(schema.next_data_id()));
+
+  JsonValue nodes = JsonValue::MakeArray();
+  schema.VisitNodes([&](const Node& n) { nodes.Append(NodeToJson(n)); });
+  j.Set("nodes", std::move(nodes));
+
+  JsonValue edges = JsonValue::MakeArray();
+  schema.VisitEdges([&](const Edge& e) { edges.Append(EdgeToJson(e)); });
+  j.Set("edges", std::move(edges));
+
+  JsonValue data = JsonValue::MakeArray();
+  schema.VisitData([&](const DataElement& d) {
+    JsonValue dj = JsonValue::MakeObject();
+    dj.Set("id", JsonValue(d.id.value()));
+    dj.Set("name", JsonValue(d.name));
+    dj.Set("type", JsonValue(static_cast<int>(d.type)));
+    data.Append(std::move(dj));
+  });
+  j.Set("data", std::move(data));
+
+  JsonValue dedges = JsonValue::MakeArray();
+  for (const DataEdge& de : schema.data_edges()) {
+    JsonValue dj = JsonValue::MakeObject();
+    dj.Set("node", JsonValue(de.node.value()));
+    dj.Set("data", JsonValue(de.data.value()));
+    dj.Set("mode", JsonValue(static_cast<int>(de.mode)));
+    if (de.optional) dj.Set("optional", JsonValue(true));
+    dedges.Append(std::move(dj));
+  }
+  j.Set("data_edges", std::move(dedges));
+  return j;
+}
+
+Result<std::shared_ptr<ProcessSchema>> SchemaFromJson(const JsonValue& json) {
+  if (!json.is_object()) return Status::Corruption("schema json not an object");
+  if (json.Get("format").as_int() != 1) {
+    return Status::Corruption("unsupported schema format");
+  }
+  auto schema = std::make_shared<ProcessSchema>(
+      json.Get("type_name").as_string(),
+      static_cast<int>(json.Get("version").as_int()));
+
+  for (const JsonValue& nj : json.Get("nodes").as_array()) {
+    ADEPT_ASSIGN_OR_RETURN(Node n, NodeFromJson(nj));
+    ADEPT_RETURN_IF_ERROR(schema->AddNodeWithId(std::move(n)));
+  }
+  for (const JsonValue& ej : json.Get("edges").as_array()) {
+    ADEPT_ASSIGN_OR_RETURN(Edge e, EdgeFromJson(ej));
+    ADEPT_RETURN_IF_ERROR(schema->AddEdgeWithId(e));
+  }
+  for (const JsonValue& dj : json.Get("data").as_array()) {
+    DataElement d;
+    d.id = DataId(static_cast<uint32_t>(dj.Get("id").as_int()));
+    d.name = dj.Get("name").as_string();
+    d.type = static_cast<DataType>(dj.Get("type").as_int());
+    ADEPT_RETURN_IF_ERROR(schema->AddDataWithId(std::move(d)));
+  }
+  for (const JsonValue& dj : json.Get("data_edges").as_array()) {
+    ADEPT_RETURN_IF_ERROR(schema->AddDataEdge(
+        NodeId(static_cast<uint32_t>(dj.Get("node").as_int())),
+        DataId(static_cast<uint32_t>(dj.Get("data").as_int())),
+        static_cast<AccessMode>(dj.Get("mode").as_int()),
+        dj.Get("optional").is_bool() && dj.Get("optional").as_bool()));
+  }
+  schema->BumpCounters(
+      static_cast<uint32_t>(json.Get("next_node_id").as_int()),
+      static_cast<uint32_t>(json.Get("next_edge_id").as_int()),
+      static_cast<uint32_t>(json.Get("next_data_id").as_int()));
+  ADEPT_RETURN_IF_ERROR(schema->Freeze());
+  return schema;
+}
+
+std::shared_ptr<ProcessSchema> MaterializeView(const SchemaView& view,
+                                               uint32_t next_node_id,
+                                               uint32_t next_edge_id,
+                                               uint32_t next_data_id) {
+  auto schema =
+      std::make_shared<ProcessSchema>(view.type_name(), view.version());
+  view.VisitNodes([&](const Node& n) {
+    Status st = schema->AddNodeWithId(n);
+    (void)st;  // ids in a view are unique by construction
+  });
+  view.VisitEdges([&](const Edge& e) {
+    Status st = schema->AddEdgeWithId(e);
+    (void)st;
+  });
+  view.VisitData([&](const DataElement& d) {
+    Status st = schema->AddDataWithId(d);
+    (void)st;
+  });
+  view.VisitNodes([&](const Node& n) {
+    view.VisitDataEdges(n.id, [&](const DataEdge& de) {
+      Status st = schema->AddDataEdge(de.node, de.data, de.mode, de.optional);
+      (void)st;
+    });
+  });
+  schema->BumpCounters(next_node_id, next_edge_id, next_data_id);
+  return schema;
+}
+
+}  // namespace adept

@@ -1,0 +1,35 @@
+// JSON (de)serialization of process schemas.
+//
+// The storage module persists schemas through these functions; tests use
+// them for round-trip checks. The format is stable and versioned via the
+// top-level "format" field.
+
+#ifndef ADEPT_MODEL_SERIALIZATION_H_
+#define ADEPT_MODEL_SERIALIZATION_H_
+
+#include <memory>
+
+#include "common/json.h"
+#include "common/status.h"
+#include "model/schema.h"
+
+namespace adept {
+
+// Serializes a frozen (or mutable) schema, including id counters.
+JsonValue SchemaToJson(const ProcessSchema& schema);
+
+// Rebuilds and freezes a schema from its JSON form.
+Result<std::shared_ptr<ProcessSchema>> SchemaFromJson(const JsonValue& json);
+
+// Deep-copies an arbitrary SchemaView into a mutable ProcessSchema,
+// preserving entity ids. Counters are set to (max id + 1) unless higher
+// values are supplied (pass the source schema's counters to keep id-space
+// stability across deletions).
+std::shared_ptr<ProcessSchema> MaterializeView(const SchemaView& view,
+                                               uint32_t next_node_id = 0,
+                                               uint32_t next_edge_id = 0,
+                                               uint32_t next_data_id = 0);
+
+}  // namespace adept
+
+#endif  // ADEPT_MODEL_SERIALIZATION_H_

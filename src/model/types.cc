@@ -1,0 +1,75 @@
+#include "model/types.h"
+
+namespace adept {
+
+const char* NodeTypeToString(NodeType t) {
+  switch (t) {
+    case NodeType::kStartFlow:
+      return "StartFlow";
+    case NodeType::kEndFlow:
+      return "EndFlow";
+    case NodeType::kActivity:
+      return "Activity";
+    case NodeType::kAndSplit:
+      return "AndSplit";
+    case NodeType::kAndJoin:
+      return "AndJoin";
+    case NodeType::kXorSplit:
+      return "XorSplit";
+    case NodeType::kXorJoin:
+      return "XorJoin";
+    case NodeType::kLoopStart:
+      return "LoopStart";
+    case NodeType::kLoopEnd:
+      return "LoopEnd";
+  }
+  return "?";
+}
+
+const char* EdgeTypeToString(EdgeType t) {
+  switch (t) {
+    case EdgeType::kControl:
+      return "Control";
+    case EdgeType::kSync:
+      return "Sync";
+    case EdgeType::kLoop:
+      return "Loop";
+  }
+  return "?";
+}
+
+const char* DataTypeToString(DataType t) {
+  switch (t) {
+    case DataType::kBool:
+      return "bool";
+    case DataType::kInt:
+      return "int";
+    case DataType::kDouble:
+      return "double";
+    case DataType::kString:
+      return "string";
+  }
+  return "?";
+}
+
+const char* AccessModeToString(AccessMode m) {
+  switch (m) {
+    case AccessMode::kRead:
+      return "read";
+    case AccessMode::kWrite:
+      return "write";
+  }
+  return "?";
+}
+
+bool IsBlockOpener(NodeType t) {
+  return t == NodeType::kAndSplit || t == NodeType::kXorSplit ||
+         t == NodeType::kLoopStart;
+}
+
+bool IsBlockCloser(NodeType t) {
+  return t == NodeType::kAndJoin || t == NodeType::kXorJoin ||
+         t == NodeType::kLoopEnd;
+}
+
+}  // namespace adept

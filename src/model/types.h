@@ -1,0 +1,61 @@
+// Enumerations of the ADEPT WSM-net meta model.
+//
+// ADEPT2 process schemas are block-structured graphs ("WSM nets"): typed
+// nodes connected by control, synchronization, and loop edges, plus process
+// data elements connected to activities by read/write data edges.
+
+#ifndef ADEPT_MODEL_TYPES_H_
+#define ADEPT_MODEL_TYPES_H_
+
+namespace adept {
+
+// Node types. Splits and joins come in matched pairs enclosing properly
+// nested blocks; loop blocks are delimited by kLoopStart/kLoopEnd.
+enum class NodeType {
+  kStartFlow = 0,  // unique process entry
+  kEndFlow,        // unique process exit
+  kActivity,       // work item executed by a user/application
+  kAndSplit,       // opens a parallel block (all branches execute)
+  kAndJoin,        // closes a parallel block
+  kXorSplit,       // opens a conditional block (one branch executes)
+  kXorJoin,        // closes a conditional block
+  kLoopStart,      // opens a loop block
+  kLoopEnd,        // closes a loop block; may signal another iteration
+};
+
+// Edge types. Control edges define precedence inside a branch; sync edges
+// order activities of *different* branches of a common parallel block
+// (paper: "ET=Sync"); the loop edge connects kLoopEnd back to kLoopStart.
+enum class EdgeType {
+  kControl = 0,
+  kSync,
+  kLoop,
+};
+
+// Types of process data elements.
+enum class DataType {
+  kBool = 0,
+  kInt,
+  kDouble,
+  kString,
+};
+
+// Direction of a data edge between an activity and a data element.
+enum class AccessMode {
+  kRead = 0,
+  kWrite,
+};
+
+const char* NodeTypeToString(NodeType t);
+const char* EdgeTypeToString(EdgeType t);
+const char* DataTypeToString(DataType t);
+const char* AccessModeToString(AccessMode m);
+
+// True for kAndSplit/kXorSplit/kLoopStart (nodes that open a block).
+bool IsBlockOpener(NodeType t);
+// True for kAndJoin/kXorJoin/kLoopEnd (nodes that close a block).
+bool IsBlockCloser(NodeType t);
+
+}  // namespace adept
+
+#endif  // ADEPT_MODEL_TYPES_H_

@@ -1,0 +1,240 @@
+#include "monitor/monitor.h"
+
+#include <sstream>
+
+#include "common/string_util.h"
+#include "model/block_tree.h"
+
+namespace adept {
+
+namespace {
+
+std::string NodeLabel(const SchemaView& schema, NodeId id) {
+  const Node* n = schema.FindNode(id);
+  if (n == nullptr) return StrFormat("n%u", id.value());
+  if (!n->name.empty()) return n->name;
+  return NodeTypeToString(n->type);
+}
+
+void RenderBlock(const SchemaView& schema, const BlockTree& tree, int block,
+                 int indent, std::ostringstream& os) {
+  const BlockTree::Block& b = tree.block(block);
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  switch (b.kind) {
+    case BlockTree::BlockKind::kRoot:
+      break;
+    case BlockTree::BlockKind::kParallel:
+      os << pad << "AND {\n";
+      break;
+    case BlockTree::BlockKind::kConditional:
+      os << pad << "XOR {\n";
+      break;
+    case BlockTree::BlockKind::kLoop:
+      os << pad << "LOOP {\n";
+      break;
+    case BlockTree::BlockKind::kBranch:
+      os << pad << "branch:\n";
+      break;
+  }
+  int child_indent =
+      b.kind == BlockTree::BlockKind::kRoot ? indent : indent + 1;
+  if (b.kind == BlockTree::BlockKind::kBranch ||
+      b.kind == BlockTree::BlockKind::kRoot) {
+    for (const auto& item : b.sequence) {
+      if (item.composite_block >= 0) {
+        RenderBlock(schema, tree, item.composite_block, child_indent, os);
+      } else {
+        os << std::string(static_cast<size_t>(child_indent) * 2, ' ')
+           << NodeLabel(schema, item.node) << "\n";
+      }
+    }
+  } else {
+    for (int child : b.children) {
+      RenderBlock(schema, tree, child, child_indent, os);
+    }
+  }
+  if (b.kind == BlockTree::BlockKind::kParallel ||
+      b.kind == BlockTree::BlockKind::kConditional ||
+      b.kind == BlockTree::BlockKind::kLoop) {
+    os << pad << "}\n";
+  }
+}
+
+}  // namespace
+
+std::string RenderSchema(const SchemaView& schema) {
+  std::ostringstream os;
+  os << "process '" << schema.type_name() << "' V" << schema.version() << " ("
+     << schema.node_count() << " nodes, " << schema.edge_count() << " edges)\n";
+  auto tree = BlockTree::Build(schema);
+  if (tree.ok()) {
+    RenderBlock(schema, *tree, 0, 0, os);
+  } else {
+    os << "  <block structure unavailable: " << tree.status().message()
+       << ">\n";
+  }
+  bool any_sync = false;
+  schema.VisitEdges([&](const Edge& e) {
+    if (e.type != EdgeType::kSync) return;
+    if (!any_sync) {
+      os << "sync edges:\n";
+      any_sync = true;
+    }
+    os << "  " << NodeLabel(schema, e.src) << " >> " << NodeLabel(schema, e.dst)
+       << "\n";
+  });
+  return os.str();
+}
+
+std::string RenderInstance(const ProcessInstance& instance) {
+  const SchemaView& schema = instance.schema();
+  std::ostringstream os;
+  os << instance.id() << " on '" << schema.type_name() << "' V"
+     << schema.version() << (instance.biased() ? " (ad-hoc modified)" : "")
+     << (instance.Finished() ? " [finished]" : "") << "\n";
+  for (NodeId node : schema.TopologicalOrder()) {
+    const Node* n = schema.FindNode(node);
+    if (n == nullptr || n->type != NodeType::kActivity) continue;
+    os << StrFormat("  [%-12s] ", NodeStateToString(instance.node_state(node)))
+       << n->name << "\n";
+  }
+  return os.str();
+}
+
+std::string SchemaToDot(const SchemaView& schema,
+                        const ProcessInstance* instance) {
+  std::ostringstream os;
+  os << "digraph \"" << schema.type_name() << "_v" << schema.version()
+     << "\" {\n  rankdir=LR;\n  node [fontname=\"Helvetica\"];\n";
+  schema.VisitNodes([&](const Node& n) {
+    std::string shape = "box";
+    switch (n.type) {
+      case NodeType::kStartFlow:
+      case NodeType::kEndFlow:
+        shape = "circle";
+        break;
+      case NodeType::kAndSplit:
+      case NodeType::kAndJoin:
+        shape = "diamond";
+        break;
+      case NodeType::kXorSplit:
+      case NodeType::kXorJoin:
+        shape = "Mdiamond";
+        break;
+      case NodeType::kLoopStart:
+      case NodeType::kLoopEnd:
+        shape = "house";
+        break;
+      case NodeType::kActivity:
+        break;
+    }
+    std::string fill = "white";
+    if (instance != nullptr) {
+      switch (instance->node_state(n.id)) {
+        case NodeState::kActivated:
+          fill = "khaki";
+          break;
+        case NodeState::kRunning:
+        case NodeState::kSuspended:
+          fill = "lightblue";
+          break;
+        case NodeState::kCompleted:
+          fill = "palegreen";
+          break;
+        case NodeState::kSkipped:
+          fill = "lightgray";
+          break;
+        case NodeState::kFailed:
+          fill = "salmon";
+          break;
+        case NodeState::kNotActivated:
+          break;
+      }
+    }
+    os << StrFormat("  n%u [label=\"%s\", shape=%s, style=filled, "
+                    "fillcolor=%s];\n",
+                    n.id.value(), NodeLabel(schema, n.id).c_str(),
+                    shape.c_str(), fill.c_str());
+  });
+  schema.VisitEdges([&](const Edge& e) {
+    const char* attrs = "";
+    switch (e.type) {
+      case EdgeType::kControl:
+        attrs = "";
+        break;
+      case EdgeType::kSync:
+        attrs = " [style=dashed, color=red, constraint=false]";
+        break;
+      case EdgeType::kLoop:
+        attrs = " [style=dotted, constraint=false]";
+        break;
+    }
+    os << StrFormat("  n%u -> n%u%s;\n", e.src.value(), e.dst.value(), attrs);
+  });
+  os << "}\n";
+  return os.str();
+}
+
+std::string RenderMigrationReport(const MigrationReport& report) {
+  std::ostringstream os;
+  os << "=== Migration report: " << report.type_name << " V"
+     << report.from_version << " -> V" << report.to_version << " ===\n";
+  for (const auto& r : report.results) {
+    std::string location;
+    switch (r.outcome) {
+      case MigrationOutcome::kMigrated:
+      case MigrationOutcome::kMigratedBiased:
+      case MigrationOutcome::kBiasCancelled:
+        location = StrFormat("running on V%d", report.to_version);
+        break;
+      default:
+        location = StrFormat("remains on V%d", report.from_version);
+        break;
+    }
+    os << StrFormat("  %-6s %-28s %s",
+                    (std::string("I") + std::to_string(r.id.value())).c_str(),
+                    MigrationOutcomeToString(r.outcome), location.c_str());
+    if (r.was_biased) os << " (ad-hoc modified)";
+    if (!r.detail.empty()) os << ": " << r.detail;
+    os << "\n";
+  }
+  os << "  " << report.Summary() << "\n";
+  return os.str();
+}
+
+void MonitoringLog::Push(std::string line) {
+  lines_.push_back(std::move(line));
+  while (lines_.size() > capacity_) lines_.pop_front();
+}
+
+void MonitoringLog::OnNodeStateChange(const ProcessInstance& instance,
+                                      NodeId node, NodeState from,
+                                      NodeState to) {
+  ++transitions_;
+  Push(StrFormat("I%llu n%u %s -> %s",
+                 static_cast<unsigned long long>(instance.id().value()),
+                 node.value(), NodeStateToString(from),
+                 NodeStateToString(to)));
+}
+
+void MonitoringLog::OnInstanceFinished(const ProcessInstance& instance) {
+  ++finished_;
+  Push(StrFormat("I%llu finished",
+                 static_cast<unsigned long long>(instance.id().value())));
+}
+
+void MonitoringLog::OnDataWrite(const ProcessInstance& instance, NodeId writer,
+                                DataId data, const DataValue& value) {
+  Push(StrFormat("I%llu n%u wrote d%u = %s",
+                 static_cast<unsigned long long>(instance.id().value()),
+                 writer.value(), data.value(),
+                 value.ToDisplayString().c_str()));
+}
+
+std::string MonitoringLog::DebugString() const {
+  std::ostringstream os;
+  for (const auto& line : lines_) os << line << "\n";
+  return os.str();
+}
+
+}  // namespace adept

@@ -1,0 +1,68 @@
+// Monitoring component (paper Sec. 3, Fig. 3).
+//
+// "In our prototype the effects of ad-hoc instance modifications can be
+// visualized by a special monitoring component. The same applies for
+// process type changes." The reproduction renders to text:
+//   * RenderSchema / RenderInstance: ASCII view of a schema (block
+//     indentation) and an instance's node markings
+//   * SchemaToDot: Graphviz export (sync edges dashed, loop edges curved,
+//     node fill by instance state)
+//   * RenderMigrationReport: the Fig. 3 migration report, one line per
+//     instance with its outcome and conflict reason
+//   * MonitoringLog: an InstanceObserver that records state transitions
+//     and data writes for inspection
+
+#ifndef ADEPT_MONITOR_MONITOR_H_
+#define ADEPT_MONITOR_MONITOR_H_
+
+#include <deque>
+#include <string>
+
+#include "compliance/migration.h"
+#include "model/schema_view.h"
+#include "runtime/events.h"
+#include "runtime/instance.h"
+
+namespace adept {
+
+// Indented block-structure listing of a schema (with sync edges appended).
+std::string RenderSchema(const SchemaView& schema);
+
+// Node-by-node marking of an instance, in topological order.
+std::string RenderInstance(const ProcessInstance& instance);
+
+// Graphviz dot; when `instance` is non-null, nodes are colored by state.
+std::string SchemaToDot(const SchemaView& schema,
+                        const ProcessInstance* instance = nullptr);
+
+// Fig. 3 style migration report.
+std::string RenderMigrationReport(const MigrationReport& report);
+
+// Rolling event log (bounded) for diagnostics.
+class MonitoringLog : public InstanceObserver {
+ public:
+  explicit MonitoringLog(size_t capacity = 4096) : capacity_(capacity) {}
+
+  void OnNodeStateChange(const ProcessInstance& instance, NodeId node,
+                         NodeState from, NodeState to) override;
+  void OnInstanceFinished(const ProcessInstance& instance) override;
+  void OnDataWrite(const ProcessInstance& instance, NodeId writer, DataId data,
+                   const DataValue& value) override;
+
+  const std::deque<std::string>& lines() const { return lines_; }
+  size_t transition_count() const { return transitions_; }
+  size_t finished_count() const { return finished_; }
+  std::string DebugString() const;
+
+ private:
+  void Push(std::string line);
+
+  size_t capacity_;
+  std::deque<std::string> lines_;
+  size_t transitions_ = 0;
+  size_t finished_ = 0;
+};
+
+}  // namespace adept
+
+#endif  // ADEPT_MONITOR_MONITOR_H_

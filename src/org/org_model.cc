@@ -1,0 +1,88 @@
+#include "org/org_model.h"
+
+namespace adept {
+
+Result<RoleId> OrgModel::AddRole(const std::string& name) {
+  for (const auto& [id, existing] : roles_) {
+    if (existing == name) return Status::AlreadyExists("role exists: " + name);
+  }
+  RoleId id(next_role_++);
+  roles_.emplace(id, name);
+  return id;
+}
+
+Result<UserId> OrgModel::AddUser(const std::string& name) {
+  for (const auto& [id, user] : users_) {
+    if (user.name == name) return Status::AlreadyExists("user exists: " + name);
+  }
+  UserId id(next_user_++);
+  users_.emplace(id, User{name, {}});
+  return id;
+}
+
+Status OrgModel::AssignRole(UserId user, RoleId role) {
+  auto it = users_.find(user);
+  if (it == users_.end()) return Status::NotFound("no such user");
+  if (roles_.count(role) == 0) return Status::NotFound("no such role");
+  it->second.roles.insert(role);
+  return Status::OK();
+}
+
+Status OrgModel::RevokeRole(UserId user, RoleId role) {
+  auto it = users_.find(user);
+  if (it == users_.end()) return Status::NotFound("no such user");
+  if (it->second.roles.erase(role) == 0) {
+    return Status::NotFound("user does not hold the role");
+  }
+  return Status::OK();
+}
+
+bool OrgModel::UserHasRole(UserId user, RoleId role) const {
+  auto it = users_.find(user);
+  return it != users_.end() && it->second.roles.count(role) > 0;
+}
+
+std::vector<UserId> OrgModel::UsersInRole(RoleId role) const {
+  std::vector<UserId> out;
+  for (const auto& [id, user] : users_) {
+    if (user.roles.count(role) > 0) out.push_back(id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<RoleId> OrgModel::RolesOf(UserId user) const {
+  auto it = users_.find(user);
+  if (it == users_.end()) return {};
+  std::vector<RoleId> out(it->second.roles.begin(), it->second.roles.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Result<std::string> OrgModel::UserName(UserId user) const {
+  auto it = users_.find(user);
+  if (it == users_.end()) return Status::NotFound("no such user");
+  return it->second.name;
+}
+
+Result<std::string> OrgModel::RoleName(RoleId role) const {
+  auto it = roles_.find(role);
+  if (it == roles_.end()) return Status::NotFound("no such role");
+  return it->second;
+}
+
+Result<RoleId> OrgModel::FindRole(const std::string& name) const {
+  for (const auto& [id, existing] : roles_) {
+    if (existing == name) return id;
+  }
+  return Status::NotFound("no such role: " + name);
+}
+
+Result<UserId> OrgModel::FindUser(const std::string& name) const {
+  for (const auto& [id, user] : users_) {
+    if (user.name == name) return id;
+  }
+  return Status::NotFound("no such user: " + name);
+}
+
+}  // namespace adept

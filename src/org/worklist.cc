@@ -1,0 +1,104 @@
+#include "org/worklist.h"
+
+namespace adept {
+
+const char* WorkItemStateToString(WorkItemState s) {
+  switch (s) {
+    case WorkItemState::kOffered:
+      return "offered";
+    case WorkItemState::kClaimed:
+      return "claimed";
+    case WorkItemState::kStarted:
+      return "started";
+    case WorkItemState::kRevoked:
+      return "revoked";
+  }
+  return "?";
+}
+
+WorkItem* WorklistManager::LiveItemFor(InstanceId instance, NodeId node) {
+  for (auto& [_, item] : items_) {
+    if (item.instance == instance && item.node == node &&
+        (item.state == WorkItemState::kOffered ||
+         item.state == WorkItemState::kClaimed)) {
+      return &item;
+    }
+  }
+  return nullptr;
+}
+
+void WorklistManager::OnNodeStateChange(const ProcessInstance& instance,
+                                        NodeId node, NodeState from,
+                                        NodeState to) {
+  (void)from;
+  const Node* n = instance.schema().FindNode(node);
+  if (to == NodeState::kActivated) {
+    if (n == nullptr || n->type != NodeType::kActivity || !n->role.valid()) {
+      return;
+    }
+    if (LiveItemFor(instance.id(), node) != nullptr) return;  // already open
+    WorkItem item;
+    item.id = WorkItemId(next_item_++);
+    item.instance = instance.id();
+    item.node = node;
+    item.role = n->role;
+    items_.emplace(item.id, item);
+    return;
+  }
+  // Leaving Activated: close any live item.
+  WorkItem* live = LiveItemFor(instance.id(), node);
+  if (live == nullptr) return;
+  if (to == NodeState::kRunning) {
+    live->state = WorkItemState::kStarted;
+  } else {
+    live->state = WorkItemState::kRevoked;
+    ++revoked_count_;
+  }
+}
+
+std::vector<WorkItem> WorklistManager::OffersFor(UserId user) const {
+  std::vector<WorkItem> out;
+  for (const auto& [_, item] : items_) {
+    if (item.state == WorkItemState::kOffered &&
+        org_->UserHasRole(user, item.role)) {
+      out.push_back(item);
+    }
+  }
+  return out;
+}
+
+std::vector<WorkItem> WorklistManager::OpenItems() const {
+  std::vector<WorkItem> out;
+  for (const auto& [_, item] : items_) {
+    if (item.state == WorkItemState::kOffered ||
+        item.state == WorkItemState::kClaimed) {
+      out.push_back(item);
+    }
+  }
+  return out;
+}
+
+Status WorklistManager::Claim(WorkItemId item_id, UserId user) {
+  auto it = items_.find(item_id);
+  if (it == items_.end()) return Status::NotFound("no such work item");
+  WorkItem& item = it->second;
+  if (item.state != WorkItemState::kOffered) {
+    return Status::FailedPrecondition("work item is not offered");
+  }
+  if (!org_->UserHasRole(user, item.role)) {
+    return Status::FailedPrecondition("user does not hold the required role");
+  }
+  item.state = WorkItemState::kClaimed;
+  item.claimed_by = user;
+  return Status::OK();
+}
+
+size_t WorklistManager::offered_count() const {
+  size_t n = 0;
+  for (const auto& [_, item] : items_) {
+    if (item.state == WorkItemState::kOffered) ++n;
+  }
+  return n;
+}
+
+}  // namespace adept

@@ -1,0 +1,74 @@
+// WorklistManager: offers activated activities to authorized users.
+//
+// Subscribes to instance events: an activity entering Activated with a
+// staff-assignment role creates an offered WorkItem; leaving Activated
+// closes it (started, or revoked — the paper stresses that ad-hoc deletions
+// and migration demotions must cleanly retract work items, "all complexity
+// ... is hidden from users").
+
+#ifndef ADEPT_ORG_WORKLIST_H_
+#define ADEPT_ORG_WORKLIST_H_
+
+#include <map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "org/org_model.h"
+#include "runtime/events.h"
+#include "runtime/instance.h"
+
+namespace adept {
+
+enum class WorkItemState {
+  kOffered = 0,  // visible in role members' worklists
+  kClaimed,      // reserved by one user, not yet started
+  kStarted,      // activity execution began
+  kRevoked,      // retracted (skip, deletion, demotion)
+};
+
+const char* WorkItemStateToString(WorkItemState s);
+
+struct WorkItem {
+  WorkItemId id;
+  InstanceId instance;
+  NodeId node;
+  RoleId role;
+  WorkItemState state = WorkItemState::kOffered;
+  UserId claimed_by;
+};
+
+class WorklistManager : public InstanceObserver {
+ public:
+  explicit WorklistManager(const OrgModel* org) : org_(org) {}
+
+  // InstanceObserver:
+  void OnNodeStateChange(const ProcessInstance& instance, NodeId node,
+                         NodeState from, NodeState to) override;
+
+  // Items currently offered to `user` (role membership filter).
+  std::vector<WorkItem> OffersFor(UserId user) const;
+
+  // All live (offered/claimed) items.
+  std::vector<WorkItem> OpenItems() const;
+
+  // Reserves an offered item for `user` (must hold the role).
+  Status Claim(WorkItemId item, UserId user);
+
+  const std::map<WorkItemId, WorkItem>& items() const { return items_; }
+
+  size_t offered_count() const;
+  size_t revoked_count() const { return revoked_count_; }
+
+ private:
+  WorkItem* LiveItemFor(InstanceId instance, NodeId node);
+
+  const OrgModel* org_;
+  std::map<WorkItemId, WorkItem> items_;
+  uint64_t next_item_ = 1;
+  size_t revoked_count_ = 0;
+};
+
+}  // namespace adept
+
+#endif  // ADEPT_ORG_WORKLIST_H_

@@ -1,0 +1,64 @@
+#include "runtime/data_context.h"
+
+#include <algorithm>
+
+namespace adept {
+
+namespace {
+const std::vector<DataContext::Version>& EmptyHistory() {
+  static const std::vector<DataContext::Version> kEmpty;
+  return kEmpty;
+}
+}  // namespace
+
+void DataContext::Write(DataId data, DataValue value, NodeId writer,
+                        int64_t sequence) {
+  elements_[data].push_back(Version{std::move(value), writer, sequence});
+}
+
+Result<DataValue> DataContext::Read(DataId data) const {
+  auto it = elements_.find(data);
+  if (it == elements_.end() || it->second.empty()) {
+    return Status::NotFound("data element has no value");
+  }
+  return it->second.back().value;
+}
+
+bool DataContext::HasValue(DataId data) const {
+  auto it = elements_.find(data);
+  return it != elements_.end() && !it->second.empty();
+}
+
+const std::vector<DataContext::Version>& DataContext::History(
+    DataId data) const {
+  auto it = elements_.find(data);
+  return it == elements_.end() ? EmptyHistory() : it->second;
+}
+
+size_t DataContext::DropVersionsBy(NodeId writer) {
+  size_t dropped = 0;
+  for (auto& [_, versions] : elements_) {
+    size_t before = versions.size();
+    versions.erase(std::remove_if(versions.begin(), versions.end(),
+                                  [&](const Version& v) {
+                                    return v.writer == writer;
+                                  }),
+                   versions.end());
+    dropped += before - versions.size();
+  }
+  return dropped;
+}
+
+void DataContext::DropElement(DataId data) { elements_.erase(data); }
+
+size_t DataContext::MemoryFootprint() const {
+  size_t bytes = sizeof(*this);
+  for (const auto& [_, versions] : elements_) {
+    bytes += 48;  // hash node overhead
+    bytes += versions.capacity() * sizeof(Version);
+    for (const auto& v : versions) bytes += v.value.as_string().capacity();
+  }
+  return bytes;
+}
+
+}  // namespace adept

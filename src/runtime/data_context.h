@@ -1,0 +1,61 @@
+// DataContext: versioned values of a process instance's data elements.
+//
+// Every write appends a new version tagged with the writing node and the
+// trace sequence number. Reads return the latest version. Keeping the full
+// history is what allows activity deletions and migrations to reason about
+// "missing data" (e.g., a deleted activity's writes stay available to
+// readers that already consumed them, while compliance checks can detect
+// readers that would lose their only supplier).
+
+#ifndef ADEPT_RUNTIME_DATA_CONTEXT_H_
+#define ADEPT_RUNTIME_DATA_CONTEXT_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "runtime/data_value.h"
+
+namespace adept {
+
+class DataContext {
+ public:
+  struct Version {
+    DataValue value;
+    NodeId writer;    // invalid for external/system-supplied values
+    int64_t sequence; // trace sequence number of the write
+  };
+
+  // Appends a new version.
+  void Write(DataId data, DataValue value, NodeId writer, int64_t sequence);
+
+  // Latest value; kNotFound when the element was never written.
+  Result<DataValue> Read(DataId data) const;
+
+  bool HasValue(DataId data) const;
+
+  // Full history (empty when never written).
+  const std::vector<Version>& History(DataId data) const;
+
+  // Removes all versions written by `writer` (used when an activity's
+  // effects must be undone, e.g. delete of a completed loop-body activity
+  // after a reset). Returns number of versions dropped.
+  size_t DropVersionsBy(NodeId writer);
+
+  // Removes all versions of `data` (element deleted from the schema).
+  void DropElement(DataId data);
+
+  const std::unordered_map<DataId, std::vector<Version>>& elements() const {
+    return elements_;
+  }
+
+  size_t MemoryFootprint() const;
+
+ private:
+  std::unordered_map<DataId, std::vector<Version>> elements_;
+};
+
+}  // namespace adept
+
+#endif  // ADEPT_RUNTIME_DATA_CONTEXT_H_

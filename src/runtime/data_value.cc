@@ -1,0 +1,60 @@
+#include "runtime/data_value.h"
+
+#include "common/string_util.h"
+
+namespace adept {
+
+std::string DataValue::ToDisplayString() const {
+  switch (type_) {
+    case DataType::kBool:
+      return bool_ ? "true" : "false";
+    case DataType::kInt:
+      return std::to_string(int_);
+    case DataType::kDouble:
+      return StrFormat("%g", double_);
+    case DataType::kString:
+      return string_;
+  }
+  return "?";
+}
+
+JsonValue DataValue::ToJson() const {
+  JsonValue j = JsonValue::MakeObject();
+  j.Set("t", JsonValue(static_cast<int>(type_)));
+  switch (type_) {
+    case DataType::kBool:
+      j.Set("v", JsonValue(bool_));
+      break;
+    case DataType::kInt:
+      j.Set("v", JsonValue(int_));
+      break;
+    case DataType::kDouble:
+      j.Set("v", JsonValue(double_));
+      break;
+    case DataType::kString:
+      j.Set("v", JsonValue(string_));
+      break;
+  }
+  return j;
+}
+
+Result<DataValue> DataValue::FromJson(const JsonValue& json) {
+  if (!json.is_object() || !json.Has("t")) {
+    return Status::Corruption("malformed data value");
+  }
+  auto type = static_cast<DataType>(json.Get("t").as_int());
+  const JsonValue& v = json.Get("v");
+  switch (type) {
+    case DataType::kBool:
+      return DataValue::Bool(v.as_bool());
+    case DataType::kInt:
+      return DataValue::Int(v.as_int());
+    case DataType::kDouble:
+      return DataValue::Double(v.as_double());
+    case DataType::kString:
+      return DataValue::String(v.as_string());
+  }
+  return Status::Corruption("unknown data value type");
+}
+
+}  // namespace adept

@@ -1,0 +1,67 @@
+// DataValue: a typed runtime value of a process data element.
+
+#ifndef ADEPT_RUNTIME_DATA_VALUE_H_
+#define ADEPT_RUNTIME_DATA_VALUE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/json.h"
+#include "common/status.h"
+#include "model/types.h"
+
+namespace adept {
+
+class DataValue {
+ public:
+  DataValue() : type_(DataType::kString) {}
+
+  static DataValue Bool(bool v) {
+    DataValue d;
+    d.type_ = DataType::kBool;
+    d.bool_ = v;
+    return d;
+  }
+  static DataValue Int(int64_t v) {
+    DataValue d;
+    d.type_ = DataType::kInt;
+    d.int_ = v;
+    return d;
+  }
+  static DataValue Double(double v) {
+    DataValue d;
+    d.type_ = DataType::kDouble;
+    d.double_ = v;
+    return d;
+  }
+  static DataValue String(std::string v) {
+    DataValue d;
+    d.type_ = DataType::kString;
+    d.string_ = std::move(v);
+    return d;
+  }
+
+  DataType type() const { return type_; }
+  bool as_bool() const { return bool_; }
+  int64_t as_int() const { return int_; }
+  double as_double() const { return double_; }
+  const std::string& as_string() const { return string_; }
+
+  std::string ToDisplayString() const;
+
+  JsonValue ToJson() const;
+  static Result<DataValue> FromJson(const JsonValue& json);
+
+  bool operator==(const DataValue&) const = default;
+
+ private:
+  DataType type_;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+};
+
+}  // namespace adept
+
+#endif  // ADEPT_RUNTIME_DATA_VALUE_H_

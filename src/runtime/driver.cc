@@ -1,0 +1,133 @@
+#include "runtime/driver.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace adept {
+
+SimulationDriver::SimulationDriver(const DriverOptions& options)
+    : options_(options), rng_(options.seed) {}
+
+SimulationDriver::PlannedStep SimulationDriver::PlanStep(
+    ProcessInstance& instance) {
+  PlannedStep step;
+  std::vector<NodeId> ready = instance.ActivatedActivities();
+  if (ready.empty()) return step;
+  step.node = ready[rng_.NextIndex(ready.size())];
+  instance.schema().VisitDataEdges(step.node, [&](const DataEdge& de) {
+    if (de.mode != AccessMode::kWrite) return;
+    step.writes.push_back({de.data, PlanValue(instance, de)});
+  });
+  return step;
+}
+
+DataValue SimulationDriver::PlanValue(ProcessInstance& instance,
+                                      const DataEdge& edge) {
+  const SchemaView& schema = instance.schema();
+  const DataElement* elem = schema.FindData(edge.data);
+  if (elem == nullptr) return DataValue::Int(0);
+
+  switch (elem->type) {
+    case DataType::kInt: {
+      // If the element steers XOR splits, draw a valid branch code.
+      std::vector<int> codes;
+      schema.VisitNodes([&](const Node& n) {
+        if (n.type == NodeType::kXorSplit && n.decision_data == elem->id) {
+          schema.VisitOutEdges(n.id, [&](const Edge& e) {
+            if (e.type == EdgeType::kControl) codes.push_back(e.branch_value);
+          });
+        }
+      });
+      if (!codes.empty()) {
+        return DataValue::Int(codes[rng_.NextIndex(codes.size())]);
+      }
+      return DataValue::Int(static_cast<int64_t>(rng_.NextBelow(100)));
+    }
+    case DataType::kBool: {
+      // If the element is a loop condition, apply the loop policy.
+      bool is_loop_condition = false;
+      int max_seen_iteration = 0;
+      schema.VisitNodes([&](const Node& n) {
+        if (n.type == NodeType::kLoopEnd && n.loop_data == elem->id) {
+          is_loop_condition = true;
+          // Iterations are tracked per loop start; find it via block
+          // structure-free heuristic: the loop edge target.
+          schema.VisitOutEdges(n.id, [&](const Edge& e) {
+            if (e.type == EdgeType::kLoop) {
+              max_seen_iteration = std::max(
+                  max_seen_iteration, instance.loop_iteration(e.dst));
+            }
+          });
+        }
+      });
+      if (is_loop_condition) {
+        if (max_seen_iteration >= options_.max_loop_iterations) {
+          return DataValue::Bool(false);
+        }
+        return DataValue::Bool(
+            rng_.NextBool(options_.loop_continue_probability));
+      }
+      return DataValue::Bool(rng_.NextBool());
+    }
+    case DataType::kDouble:
+      return DataValue::Double(rng_.NextDouble() * 100.0);
+    case DataType::kString:
+      return DataValue::String(
+          StrFormat("v%llu", static_cast<unsigned long long>(
+                                 rng_.NextBelow(1000))));
+  }
+  return DataValue::Int(0);
+}
+
+Result<bool> SimulationDriver::Step(ProcessInstance& instance) {
+  PlannedStep step = PlanStep(instance);
+  if (!step.node.valid()) return false;
+  ADEPT_RETURN_IF_ERROR(instance.StartActivity(step.node));
+  ADEPT_RETURN_IF_ERROR(instance.CompleteActivity(step.node, step.writes));
+  return true;
+}
+
+Status SimulationDriver::RunToCompletion(ProcessInstance& instance,
+                                         int max_steps) {
+  for (int i = 0; i < max_steps; ++i) {
+    if (instance.Finished()) return Status::OK();
+    ADEPT_ASSIGN_OR_RETURN(bool progressed, Step(instance));
+    if (!progressed) {
+      if (instance.Finished()) return Status::OK();
+      return Status::FailedPrecondition(
+          "instance is blocked: no activated activities");
+    }
+  }
+  return Status::Internal("instance did not finish within step budget");
+}
+
+Status SimulationDriver::RunToProgress(ProcessInstance& instance,
+                                       double fraction) {
+  size_t total = 0;
+  instance.schema().VisitNodes([&](const Node& n) {
+    if (n.type == NodeType::kActivity) ++total;
+  });
+  if (total == 0) return Status::OK();
+  auto done = [&] {
+    size_t finals = 0;
+    instance.schema().VisitNodes([&](const Node& n) {
+      if (n.type == NodeType::kActivity &&
+          IsFinalNodeState(instance.node_state(n.id))) {
+        ++finals;
+      }
+    });
+    return static_cast<double>(finals) / static_cast<double>(total);
+  };
+  int guard = 0;
+  while (!instance.Finished() && done() < fraction) {
+    if (++guard > 100000) {
+      return Status::Internal("progress target unreachable");
+    }
+    ADEPT_ASSIGN_OR_RETURN(bool progressed, Step(instance));
+    if (!progressed) break;
+  }
+  return Status::OK();
+}
+
+}  // namespace adept

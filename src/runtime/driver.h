@@ -1,0 +1,72 @@
+// SimulationDriver: deterministic synthetic workload generator.
+//
+// The paper's prototype is driven by human users working on worklists; the
+// reproduction substitutes a seeded driver that starts/completes activated
+// activities, supplies type-appropriate output parameter values, and makes
+// schema-aware random choices:
+//   * data elements used as XOR decisions get uniformly drawn valid branch
+//     codes of the splits they steer,
+//   * loop condition elements continue a loop with a configurable
+//     probability, hard-capped at max_loop_iterations,
+//   * everything else gets small random values.
+//
+// RunToProgress drives an instance until a target fraction of its
+// activities is completed — the workload generator behind the migration
+// benchmarks (instances "in different states", paper Sec. 2).
+
+#ifndef ADEPT_RUNTIME_DRIVER_H_
+#define ADEPT_RUNTIME_DRIVER_H_
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "runtime/instance.h"
+
+namespace adept {
+
+struct DriverOptions {
+  uint64_t seed = 1;
+  double loop_continue_probability = 0.3;
+  int max_loop_iterations = 3;
+};
+
+class SimulationDriver {
+ public:
+  explicit SimulationDriver(const DriverOptions& options = {});
+
+  // One planned unit of work: which activity to run and which output
+  // parameter values to supply. Callers that need to route the execution
+  // through their own API (WAL logging, distributed control) use PlanStep
+  // and issue Start/Complete themselves.
+  struct PlannedStep {
+    NodeId node;
+    std::vector<ProcessInstance::DataWrite> writes;
+  };
+
+  // Plans the next step; node is invalid when nothing is activated.
+  PlannedStep PlanStep(ProcessInstance& instance);
+
+  // Schema-aware random value for one output parameter.
+  DataValue PlanValue(ProcessInstance& instance, const DataEdge& edge);
+
+  // Starts and completes one activated activity (uniformly chosen).
+  // Returns false when no activity is activated (finished or blocked).
+  Result<bool> Step(ProcessInstance& instance);
+
+  // Steps until Finished() or no progress; errors after `max_steps`.
+  Status RunToCompletion(ProcessInstance& instance, int max_steps = 100000);
+
+  // Steps until >= `fraction` of the schema's activities are in a final
+  // state (Completed/Skipped), the instance finishes, or no progress is
+  // possible.
+  Status RunToProgress(ProcessInstance& instance, double fraction);
+
+  Rng& rng() { return rng_; }
+
+ private:
+  DriverOptions options_;
+  Rng rng_;
+};
+
+}  // namespace adept
+
+#endif  // ADEPT_RUNTIME_DRIVER_H_

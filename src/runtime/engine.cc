@@ -1,0 +1,60 @@
+#include "runtime/engine.h"
+
+namespace adept {
+
+Result<ProcessInstance*> Engine::CreateInstance(
+    std::shared_ptr<const SchemaView> schema, SchemaId schema_ref) {
+  if (schema == nullptr) return Status::InvalidArgument("null schema");
+  InstanceId id(next_instance_id_++);
+  auto instance =
+      std::make_unique<ProcessInstance>(id, std::move(schema), schema_ref);
+  instance->set_observer(observer_);
+  ProcessInstance* ptr = instance.get();
+  instances_.emplace(id, std::move(instance));
+  return ptr;
+}
+
+Result<ProcessInstance*> Engine::AdoptInstance(
+    InstanceId id, std::shared_ptr<const SchemaView> schema,
+    SchemaId schema_ref) {
+  if (schema == nullptr) return Status::InvalidArgument("null schema");
+  if (instances_.count(id) > 0) {
+    return Status::AlreadyExists("instance id already registered");
+  }
+  auto instance =
+      std::make_unique<ProcessInstance>(id, std::move(schema), schema_ref);
+  instance->set_observer(observer_);
+  ProcessInstance* ptr = instance.get();
+  instances_.emplace(id, std::move(instance));
+  next_instance_id_ = std::max(next_instance_id_, id.value() + 1);
+  return ptr;
+}
+
+ProcessInstance* Engine::Find(InstanceId id) {
+  auto it = instances_.find(id);
+  return it == instances_.end() ? nullptr : it->second.get();
+}
+
+const ProcessInstance* Engine::Find(InstanceId id) const {
+  auto it = instances_.find(id);
+  return it == instances_.end() ? nullptr : it->second.get();
+}
+
+Status Engine::Remove(InstanceId id) {
+  if (instances_.erase(id) == 0) return Status::NotFound("no such instance");
+  return Status::OK();
+}
+
+std::vector<InstanceId> Engine::InstanceIds() const {
+  std::vector<InstanceId> out;
+  out.reserve(instances_.size());
+  for (const auto& [id, _] : instances_) out.push_back(id);
+  return out;
+}
+
+void Engine::ForEachInstance(
+    const std::function<void(ProcessInstance&)>& fn) {
+  for (auto& [_, instance] : instances_) fn(*instance);
+}
+
+}  // namespace adept

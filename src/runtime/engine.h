@@ -1,0 +1,59 @@
+// Engine: owner of all in-memory process instances.
+//
+// A thin container: schema management lives in storage::SchemaRepository,
+// change logic in the change/compliance modules. The engine assigns
+// instance ids, wires observers, and provides deterministic iteration.
+
+#ifndef ADEPT_RUNTIME_ENGINE_H_
+#define ADEPT_RUNTIME_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "runtime/instance.h"
+
+namespace adept {
+
+class Engine {
+ public:
+  Engine() = default;
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // Creates (but does not Start()) an instance of `schema`.
+  Result<ProcessInstance*> CreateInstance(
+      std::shared_ptr<const SchemaView> schema, SchemaId schema_ref);
+
+  // Re-registers a recovered instance under its original id.
+  Result<ProcessInstance*> AdoptInstance(InstanceId id,
+                                         std::shared_ptr<const SchemaView> schema,
+                                         SchemaId schema_ref);
+
+  ProcessInstance* Find(InstanceId id);
+  const ProcessInstance* Find(InstanceId id) const;
+
+  Status Remove(InstanceId id);
+
+  // Ascending id order.
+  std::vector<InstanceId> InstanceIds() const;
+  size_t instance_count() const { return instances_.size(); }
+
+  // Observer attached to every subsequently created instance.
+  void set_observer(InstanceObserver* observer) { observer_ = observer; }
+
+  // Applies `fn` to each instance in ascending id order.
+  void ForEachInstance(const std::function<void(ProcessInstance&)>& fn);
+
+ private:
+  uint64_t next_instance_id_ = 1;
+  std::map<InstanceId, std::unique_ptr<ProcessInstance>> instances_;
+  InstanceObserver* observer_ = nullptr;
+};
+
+}  // namespace adept
+
+#endif  // ADEPT_RUNTIME_ENGINE_H_

@@ -1,0 +1,553 @@
+#include "runtime/instance.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace adept {
+
+namespace {
+
+// Upper bound on automatic state transitions per propagation fixpoint;
+// exceeding it means a loop without user activities spins forever.
+constexpr int kMaxAutoTransitionsFactor = 64;
+
+}  // namespace
+
+ProcessInstance::ProcessInstance(InstanceId id,
+                                 std::shared_ptr<const SchemaView> schema,
+                                 SchemaId schema_ref)
+    : id_(id), schema_(std::move(schema)), schema_ref_(schema_ref) {}
+
+const BlockTree* ProcessInstance::block_tree() {
+  if (block_tree_cache_ == nullptr) {
+    auto tree = BlockTree::Build(*schema_);
+    if (!tree.ok()) return nullptr;
+    block_tree_cache_ = std::make_unique<BlockTree>(std::move(tree).value());
+  }
+  return block_tree_cache_.get();
+}
+
+void ProcessInstance::SetNodeState(NodeId node, NodeState state) {
+  NodeState old = marking_.node(node);
+  if (old == state) return;
+  marking_.set_node(node, state);
+  if (observer_ != nullptr) {
+    observer_->OnNodeStateChange(*this, node, old, state);
+  }
+}
+
+Status ProcessInstance::Start() {
+  if (started_) return Status::FailedPrecondition("instance already started");
+  started_ = true;
+  trace_.Append({.kind = TraceEventKind::kInstanceStarted});
+  const Node* start = schema_->FindNode(schema_->start_node());
+  if (start == nullptr) return Status::Internal("schema has no start node");
+  SetNodeState(start->id, NodeState::kCompleted);
+  ADEPT_RETURN_IF_ERROR(SignalCompletion(*start));
+  return Propagate();
+}
+
+std::optional<NodeState> ProcessInstance::ComputeActivation(
+    const Node& node) const {
+  // Control side.
+  int in_control = 0, in_true = 0, in_false = 0;
+  bool sync_pending = false;
+  schema_->VisitInEdges(node.id, [&](const Edge& e) {
+    if (e.type == EdgeType::kControl) {
+      ++in_control;
+      EdgeState s = marking_.edge(e.id);
+      if (s == EdgeState::kTrueSignaled) ++in_true;
+      if (s == EdgeState::kFalseSignaled) ++in_false;
+    } else if (e.type == EdgeType::kSync) {
+      if (marking_.edge(e.id) == EdgeState::kNotSignaled) sync_pending = true;
+    }
+  });
+  if (in_control == 0) return std::nullopt;  // start flow: handled by Start()
+
+  bool control_ready = false;
+  bool control_dead = false;
+  if (node.type == NodeType::kXorJoin) {
+    control_ready = in_true >= 1;
+    control_dead = in_false == in_control;
+  } else if (node.type == NodeType::kAndJoin) {
+    control_ready = in_true == in_control;
+    control_dead = (in_true + in_false == in_control) && in_false > 0;
+  } else {
+    control_ready = in_true == in_control;
+    control_dead = in_false > 0;
+  }
+  if (control_dead) return NodeState::kSkipped;
+  if (!control_ready) return std::nullopt;
+  // ADEPT sync rule: the node may start only once every incoming sync edge
+  // is resolved (source completed or definitely skipped).
+  if (sync_pending) return std::nullopt;
+  return NodeState::kActivated;
+}
+
+Status ProcessInstance::Propagate() {
+  const int max_transitions =
+      static_cast<int>(schema_->node_count()) * kMaxAutoTransitionsFactor +
+      1024;
+  int transitions = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    Status inner = Status::OK();
+    schema_->VisitNodes([&](const Node& node) {
+      if (!inner.ok()) return;
+      NodeState state = marking_.node(node.id);
+      if (state == NodeState::kNotActivated) {
+        std::optional<NodeState> next = ComputeActivation(node);
+        if (next.has_value()) {
+          if (*next == NodeState::kSkipped) {
+            SkipNode(node);
+          } else {
+            SetNodeState(node.id, NodeState::kActivated);
+          }
+          changed = true;
+          ++transitions;
+        }
+      } else if (state == NodeState::kActivated &&
+                 node.type != NodeType::kActivity) {
+        // An XOR split without a decidable branch waits in Activated until
+        // data arrives or SelectBranch() is called.
+        if (node.type == NodeType::kXorSplit &&
+            selected_branch_.find(node.id) == selected_branch_.end() &&
+            (!node.decision_data.valid() ||
+             !data_.HasValue(node.decision_data))) {
+          return;
+        }
+        inner = AutoComplete(node);
+        changed = true;
+        ++transitions;
+      }
+    });
+    ADEPT_RETURN_IF_ERROR(inner);
+    if (transitions > max_transitions) {
+      return Status::Internal(
+          "propagation did not converge (loop without user activities?)");
+    }
+  }
+  if (Finished() && !finished_notified_) {
+    finished_notified_ = true;
+    if (observer_ != nullptr) observer_->OnInstanceFinished(*this);
+  }
+  return Status::OK();
+}
+
+Status ProcessInstance::AutoComplete(const Node& node) {
+  if (node.type == NodeType::kLoopEnd) return HandleLoopEnd(node);
+  SetNodeState(node.id, NodeState::kCompleted);
+  return SignalCompletion(node);
+}
+
+Result<int> ProcessInstance::EvaluateDecision(const Node& split) {
+  auto it = selected_branch_.find(split.id);
+  if (it != selected_branch_.end()) {
+    int value = it->second;
+    selected_branch_.erase(it);
+    return value;
+  }
+  if (!split.decision_data.valid()) {
+    return Status::FailedPrecondition(
+        "XOR split '" + split.name +
+        "' has no decision data and no explicit branch selection");
+  }
+  auto value = data_.Read(split.decision_data);
+  if (!value.ok()) {
+    return Status::FailedPrecondition("decision data for XOR split '" +
+                                      split.name + "' has no value");
+  }
+  return static_cast<int>(value->as_int());
+}
+
+Result<bool> ProcessInstance::EvaluateLoopCondition(const Node& node) {
+  auto it = loop_decision_.find(node.id);
+  if (it != loop_decision_.end()) {
+    bool iterate = it->second;
+    loop_decision_.erase(it);
+    return iterate;
+  }
+  if (!node.loop_data.valid()) return false;  // default: single pass
+  auto value = data_.Read(node.loop_data);
+  if (!value.ok()) return false;
+  return value->as_bool();
+}
+
+Status ProcessInstance::SignalCompletion(const Node& node) {
+  if (node.type == NodeType::kXorSplit) {
+    ADEPT_ASSIGN_OR_RETURN(int decision, EvaluateDecision(node));
+    bool matched = false;
+    schema_->VisitOutEdges(node.id, [&](const Edge& e) {
+      if (e.type != EdgeType::kControl) return;
+      if (e.branch_value == decision && !matched) {
+        matched = true;
+        marking_.set_edge(e.id, EdgeState::kTrueSignaled);
+      } else {
+        marking_.set_edge(e.id, EdgeState::kFalseSignaled);
+      }
+    });
+    if (!matched) {
+      return Status::FailedPrecondition(
+          StrFormat("XOR split '%s': no branch matches decision value %d",
+                    node.name.c_str(), decision));
+    }
+    trace_.Append({.kind = TraceEventKind::kBranchChosen,
+                   .node = node.id,
+                   .branch_value = decision});
+    return Status::OK();
+  }
+  schema_->VisitOutEdges(node.id, [&](const Edge& e) {
+    if (e.type == EdgeType::kLoop) return;
+    // Completion signals control and sync edges alike, but never downgrades
+    // an existing signal (relevant during marking re-evaluation).
+    if (marking_.edge(e.id) == EdgeState::kNotSignaled) {
+      marking_.set_edge(e.id, EdgeState::kTrueSignaled);
+    }
+  });
+  return Status::OK();
+}
+
+void ProcessInstance::SkipNode(const Node& node) {
+  SetNodeState(node.id, NodeState::kSkipped);
+  if (node.type == NodeType::kActivity) {
+    trace_.Append({.kind = TraceEventKind::kActivitySkipped, .node = node.id});
+  }
+  schema_->VisitOutEdges(node.id, [&](const Edge& e) {
+    if (e.type == EdgeType::kLoop) return;
+    marking_.set_edge(e.id, EdgeState::kFalseSignaled);
+  });
+}
+
+Status ProcessInstance::HandleLoopEnd(const Node& node) {
+  ADEPT_ASSIGN_OR_RETURN(bool iterate, EvaluateLoopCondition(node));
+  if (!iterate) {
+    SetNodeState(node.id, NodeState::kCompleted);
+    return SignalCompletion(node);
+  }
+  const BlockTree* tree = block_tree();
+  if (tree == nullptr) {
+    return Status::Internal("loop iteration without parsable block structure");
+  }
+  int loop_block = tree->InnermostLoop(node.id);
+  if (loop_block < 0) {
+    return Status::Internal("loop end outside any loop block");
+  }
+  NodeId loop_start = tree->block(loop_block).entry;
+  std::vector<NodeId> region = tree->NodesIn(loop_block);
+  int iteration = ++loop_iterations_[loop_start];
+  trace_.Append({.kind = TraceEventKind::kLoopReset,
+                 .node = loop_start,
+                 .iteration = iteration,
+                 .reset_nodes = region});
+
+  // Erase body markings: node states, plus the states of every non-loop
+  // edge whose source lies inside the block (covers internal edges; the
+  // entry edge of the loop start keeps its signal, so propagation restarts
+  // the body).
+  std::unordered_map<NodeId, bool> in_region;
+  for (NodeId n : region) in_region[n] = true;
+  for (NodeId n : region) {
+    SetNodeState(n, NodeState::kNotActivated);
+    schema_->VisitOutEdges(n, [&](const Edge& e) {
+      marking_.set_edge(e.id, EdgeState::kNotSignaled);
+    });
+  }
+  return Status::OK();
+}
+
+Status ProcessInstance::StartActivity(NodeId node_id) {
+  const Node* node = schema_->FindNode(node_id);
+  if (node == nullptr) return Status::NotFound("no such node");
+  if (node->type != NodeType::kActivity) {
+    return Status::InvalidArgument("node is not an activity");
+  }
+  if (marking_.node(node_id) != NodeState::kActivated) {
+    return Status::FailedPrecondition(
+        StrFormat("activity '%s' is %s, expected Activated",
+                  node->name.c_str(),
+                  NodeStateToString(marking_.node(node_id))));
+  }
+  // Defense in depth: mandatory inputs must have values. The verifier
+  // guarantees this for unchanged schemas; dynamic changes re-verify, but a
+  // cheap runtime check keeps the property robust.
+  Status missing = Status::OK();
+  schema_->VisitDataEdges(node_id, [&](const DataEdge& de) {
+    if (!missing.ok()) return;
+    if (de.mode == AccessMode::kRead && !de.optional &&
+        !data_.HasValue(de.data)) {
+      const DataElement* d = schema_->FindData(de.data);
+      missing = Status::FailedPrecondition(
+          StrFormat("activity '%s': mandatory input '%s' has no value",
+                    node->name.c_str(),
+                    d != nullptr ? d->name.c_str() : "?"));
+    }
+  });
+  ADEPT_RETURN_IF_ERROR(missing);
+  SetNodeState(node_id, NodeState::kRunning);
+  trace_.Append({.kind = TraceEventKind::kActivityStarted, .node = node_id});
+  return Status::OK();
+}
+
+Status ProcessInstance::CompleteActivity(NodeId node_id,
+                                         const std::vector<DataWrite>& writes) {
+  const Node* node = schema_->FindNode(node_id);
+  if (node == nullptr) return Status::NotFound("no such node");
+  if (marking_.node(node_id) != NodeState::kRunning) {
+    return Status::FailedPrecondition(
+        StrFormat("activity '%s' is %s, expected Running", node->name.c_str(),
+                  NodeStateToString(marking_.node(node_id))));
+  }
+
+  // Writes must match declared output parameters, and all mandatory output
+  // parameters must be supplied.
+  std::vector<DataEdge> write_edges =
+      schema_->DataEdgesOf(node_id, AccessMode::kWrite);
+  for (const DataWrite& w : writes) {
+    auto it = std::find_if(
+        write_edges.begin(), write_edges.end(),
+        [&](const DataEdge& de) { return de.data == w.data; });
+    if (it == write_edges.end()) {
+      return Status::InvalidArgument(
+          StrFormat("activity '%s' has no write edge for the supplied data "
+                    "element",
+                    node->name.c_str()));
+    }
+    const DataElement* elem = schema_->FindData(w.data);
+    if (elem != nullptr && elem->type != w.value.type()) {
+      return Status::InvalidArgument(
+          StrFormat("activity '%s': value type mismatch for '%s'",
+                    node->name.c_str(), elem->name.c_str()));
+    }
+  }
+  for (const DataEdge& de : write_edges) {
+    if (de.optional) continue;
+    bool supplied =
+        std::any_of(writes.begin(), writes.end(),
+                    [&](const DataWrite& w) { return w.data == de.data; });
+    if (!supplied) {
+      const DataElement* elem = schema_->FindData(de.data);
+      return Status::FailedPrecondition(
+          StrFormat("activity '%s': mandatory output '%s' not supplied",
+                    node->name.c_str(),
+                    elem != nullptr ? elem->name.c_str() : "?"));
+    }
+  }
+
+  for (const DataWrite& w : writes) {
+    int64_t seq = trace_.Append(
+        {.kind = TraceEventKind::kDataWrite, .node = node_id, .data = w.data});
+    data_.Write(w.data, w.value, node_id, seq);
+    if (observer_ != nullptr) {
+      observer_->OnDataWrite(*this, node_id, w.data, w.value);
+    }
+  }
+
+  SetNodeState(node_id, NodeState::kCompleted);
+  trace_.Append({.kind = TraceEventKind::kActivityCompleted, .node = node_id});
+  ADEPT_RETURN_IF_ERROR(SignalCompletion(*node));
+  return Propagate();
+}
+
+Status ProcessInstance::FailActivity(NodeId node_id, const std::string& reason) {
+  const Node* node = schema_->FindNode(node_id);
+  if (node == nullptr) return Status::NotFound("no such node");
+  if (marking_.node(node_id) != NodeState::kRunning) {
+    return Status::FailedPrecondition("only running activities can fail");
+  }
+  SetNodeState(node_id, NodeState::kFailed);
+  trace_.Append({.kind = TraceEventKind::kActivityFailed,
+                 .node = node_id,
+                 .detail = reason});
+  return Status::OK();
+}
+
+Status ProcessInstance::RetryActivity(NodeId node_id) {
+  if (marking_.node(node_id) != NodeState::kFailed) {
+    return Status::FailedPrecondition("only failed activities can be retried");
+  }
+  SetNodeState(node_id, NodeState::kActivated);
+  trace_.Append({.kind = TraceEventKind::kActivityRetried, .node = node_id});
+  return Status::OK();
+}
+
+Status ProcessInstance::SuspendActivity(NodeId node_id) {
+  if (marking_.node(node_id) != NodeState::kRunning) {
+    return Status::FailedPrecondition("only running activities can suspend");
+  }
+  SetNodeState(node_id, NodeState::kSuspended);
+  return Status::OK();
+}
+
+Status ProcessInstance::ResumeActivity(NodeId node_id) {
+  if (marking_.node(node_id) != NodeState::kSuspended) {
+    return Status::FailedPrecondition("activity is not suspended");
+  }
+  SetNodeState(node_id, NodeState::kRunning);
+  return Status::OK();
+}
+
+Status ProcessInstance::SelectBranch(NodeId split, int branch_value) {
+  const Node* node = schema_->FindNode(split);
+  if (node == nullptr || node->type != NodeType::kXorSplit) {
+    return Status::InvalidArgument("node is not an XOR split");
+  }
+  if (IsFinalNodeState(marking_.node(split))) {
+    return Status::FailedPrecondition("XOR split already decided");
+  }
+  selected_branch_[split] = branch_value;
+  return Propagate();
+}
+
+Status ProcessInstance::SetLoopDecision(NodeId loop_end, bool iterate) {
+  const Node* node = schema_->FindNode(loop_end);
+  if (node == nullptr || node->type != NodeType::kLoopEnd) {
+    return Status::InvalidArgument("node is not a loop end");
+  }
+  loop_decision_[loop_end] = iterate;
+  return Propagate();
+}
+
+bool ProcessInstance::Finished() const {
+  return marking_.node(schema_->end_node()) == NodeState::kCompleted;
+}
+
+std::vector<NodeId> ProcessInstance::ActivatedActivities() const {
+  std::vector<NodeId> out;
+  schema_->VisitNodes([&](const Node& n) {
+    if (n.type == NodeType::kActivity &&
+        marking_.node(n.id) == NodeState::kActivated) {
+      out.push_back(n.id);
+    }
+  });
+  return out;
+}
+
+std::vector<NodeId> ProcessInstance::RunningActivities() const {
+  std::vector<NodeId> out;
+  schema_->VisitNodes([&](const Node& n) {
+    if (n.type == NodeType::kActivity &&
+        marking_.node(n.id) == NodeState::kRunning) {
+      out.push_back(n.id);
+    }
+  });
+  return out;
+}
+
+int ProcessInstance::loop_iteration(NodeId loop_start) const {
+  auto it = loop_iterations_.find(loop_start);
+  return it == loop_iterations_.end() ? 0 : it->second;
+}
+
+size_t ProcessInstance::MemoryFootprint() const {
+  return sizeof(*this) + marking_.MemoryFootprint() - sizeof(Marking) +
+         trace_.MemoryFootprint() - sizeof(ExecutionTrace) +
+         data_.MemoryFootprint() - sizeof(DataContext) +
+         loop_iterations_.size() * 24;
+}
+
+void ProcessInstance::RestoreState(
+    Marking marking, ExecutionTrace trace, DataContext data,
+    std::unordered_map<NodeId, int> loop_iterations, bool started) {
+  marking_ = std::move(marking);
+  trace_ = std::move(trace);
+  data_ = std::move(data);
+  loop_iterations_ = std::move(loop_iterations);
+  started_ = started;
+  finished_notified_ = Finished();
+}
+
+Status ProcessInstance::AdoptSchema(std::shared_ptr<const SchemaView> schema,
+                                    SchemaId ref) {
+  if (schema == nullptr) return Status::InvalidArgument("null schema");
+  schema_ = std::move(schema);
+  schema_ref_ = ref;
+  block_tree_cache_.reset();
+  return ReevaluateMarkings();
+}
+
+Status ProcessInstance::ReevaluateMarkings() {
+  // 1. Drop marking entries of entities that no longer exist. Routed
+  // through SetNodeState so observers (worklists!) see the retraction.
+  std::vector<NodeId> dead_nodes;
+  for (const auto& [node, _] : marking_.node_states()) {
+    if (schema_->FindNode(node) == nullptr) dead_nodes.push_back(node);
+  }
+  for (NodeId n : dead_nodes) SetNodeState(n, NodeState::kNotActivated);
+  std::vector<EdgeId> dead_edges;
+  for (const auto& [edge, _] : marking_.edge_states()) {
+    if (schema_->FindEdge(edge) == nullptr) dead_edges.push_back(edge);
+  }
+  for (EdgeId e : dead_edges) marking_.erase_edge(e);
+  std::vector<NodeId> dead_loops;
+  for (const auto& [loop_start, _] : loop_iterations_) {
+    if (schema_->FindNode(loop_start) == nullptr) {
+      dead_loops.push_back(loop_start);
+    }
+  }
+  for (NodeId n : dead_loops) loop_iterations_.erase(n);
+
+  // 2. Soft-reset: Activated and Skipped node states are derivable.
+  std::vector<NodeId> soft;
+  for (const auto& [node, state] : marking_.node_states()) {
+    if (state == NodeState::kActivated || state == NodeState::kSkipped) {
+      soft.push_back(node);
+    }
+  }
+  for (NodeId n : soft) SetNodeState(n, NodeState::kNotActivated);
+
+  // 3. Edge signals of non-completed sources are derivable; signals of
+  //    completed sources (including XOR decisions) are facts and stay.
+  std::vector<EdgeId> soft_edges;
+  for (const auto& [edge, _] : marking_.edge_states()) {
+    const Edge* e = schema_->FindEdge(edge);
+    if (e == nullptr || marking_.node(e->src) != NodeState::kCompleted) {
+      soft_edges.push_back(edge);
+    }
+  }
+  for (EdgeId e : soft_edges) marking_.erase_edge(e);
+
+  // 4. Completed sources signal their (new/unsignaled) outgoing edges.
+  Status derive = Status::OK();
+  schema_->VisitNodes([&](const Node& node) {
+    if (!derive.ok()) return;
+    if (marking_.node(node.id) != NodeState::kCompleted) return;
+    if (node.type == NodeType::kXorSplit) {
+      // Preserved signals encode the decision for surviving edges. Edges
+      // rewritten by a change (e.g. serial insert into the chosen branch)
+      // are re-signalled from the trace's recorded decision: the inserted
+      // edge inherits the branch selection code, so matching codes restores
+      // the signal exactly.
+      std::optional<int> chosen = trace_.LastBranchChosen(node.id);
+      bool any = false;
+      schema_->VisitOutEdges(node.id, [&](const Edge& e) {
+        if (e.type != EdgeType::kControl) return;
+        if (marking_.edge(e.id) != EdgeState::kNotSignaled) {
+          any = true;
+          return;
+        }
+        if (chosen.has_value()) {
+          marking_.set_edge(e.id, e.branch_value == *chosen
+                                      ? EdgeState::kTrueSignaled
+                                      : EdgeState::kFalseSignaled);
+          any = true;
+        }
+      });
+      if (!any) {
+        derive = Status::Internal(
+            "completed XOR split lost its decision signals");
+      }
+      return;
+    }
+    Status st = SignalCompletion(node);
+    if (!st.ok()) derive = st;
+  });
+  ADEPT_RETURN_IF_ERROR(derive);
+
+  // 5. Standard propagation re-derives activations and dead paths.
+  return Propagate();
+}
+
+}  // namespace adept

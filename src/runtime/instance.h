@@ -1,0 +1,176 @@
+// ProcessInstance: one running case of a process schema.
+//
+// The instance executes against an immutable SchemaView (either the type
+// schema shared by all unbiased instances, or an instance-specific view for
+// biased instances — the runtime cannot tell the difference, which is the
+// point of the Fig. 2 storage design).
+//
+// Firing rules (ADEPT marking semantics):
+//   * StartFlow auto-completes at Start(); completing a node signals its
+//     outgoing control edges TrueSignaled (XOR splits: only the selected
+//     branch, others FalseSignaled) and its outgoing sync edges.
+//   * A node becomes Activated when its control in-edges signal True
+//     (AndJoin: all; XorJoin: any) AND all its incoming sync edges are
+//     signaled (True = source completed, False = source will never run).
+//   * FalseSignaled control edges propagate Skipped (dead-path
+//     elimination); a skipped node signals all outgoing edges False.
+//   * Structural nodes (splits/joins/loop nodes/end) auto-complete;
+//     activities wait for StartActivity/CompleteActivity.
+//   * A completing LoopEnd evaluates its loop condition; on iteration the
+//     loop block's markings are reset and the body re-executes.
+//
+// Dynamic change support: AdoptSchema() swaps the execution schema (entity
+// ids are stable across versions) and ReevaluateMarkings() re-derives all
+// *soft* state (Activated/Skipped node states, signals of non-completed
+// sources) from the hard facts, which implements ADEPT's automatic instance
+// state adaptation after ad-hoc changes and migrations.
+
+#ifndef ADEPT_RUNTIME_INSTANCE_H_
+#define ADEPT_RUNTIME_INSTANCE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "model/block_tree.h"
+#include "model/schema_view.h"
+#include "runtime/data_context.h"
+#include "runtime/events.h"
+#include "runtime/marking.h"
+#include "runtime/trace.h"
+
+namespace adept {
+
+class ProcessInstance {
+ public:
+  ProcessInstance(InstanceId id, std::shared_ptr<const SchemaView> schema,
+                  SchemaId schema_ref);
+
+  ProcessInstance(const ProcessInstance&) = delete;
+  ProcessInstance& operator=(const ProcessInstance&) = delete;
+
+  InstanceId id() const { return id_; }
+  const SchemaView& schema() const { return *schema_; }
+  std::shared_ptr<const SchemaView> schema_ptr() const { return schema_; }
+  SchemaId schema_ref() const { return schema_ref_; }
+
+  // True once the instance deviates from its type schema (ad-hoc changed).
+  bool biased() const { return biased_; }
+  void set_biased(bool biased) { biased_ = biased; }
+
+  void set_observer(InstanceObserver* observer) { observer_ = observer; }
+
+  // --- Execution API --------------------------------------------------------
+
+  // Completes the start-flow node and activates the first activities.
+  Status Start();
+
+  Status StartActivity(NodeId node);
+
+  struct DataWrite {
+    DataId data;
+    DataValue value;
+  };
+  // Completes a running activity, applying its output parameter writes.
+  // All mandatory (non-optional) write edges must be supplied.
+  Status CompleteActivity(NodeId node, const std::vector<DataWrite>& writes = {});
+
+  Status FailActivity(NodeId node, const std::string& reason);
+  Status RetryActivity(NodeId node);
+  Status SuspendActivity(NodeId node);
+  Status ResumeActivity(NodeId node);
+
+  // Overrides the data-driven XOR decision for `split` (consumed once).
+  Status SelectBranch(NodeId split, int branch_value);
+  // Overrides the data-driven loop decision for `loop_end` (consumed once).
+  Status SetLoopDecision(NodeId loop_end, bool iterate);
+
+  bool Finished() const;
+  // Activities currently offered for execution.
+  std::vector<NodeId> ActivatedActivities() const;
+  std::vector<NodeId> RunningActivities() const;
+
+  // --- State inspection -----------------------------------------------------
+
+  NodeState node_state(NodeId node) const { return marking_.node(node); }
+  EdgeState edge_state(EdgeId edge) const { return marking_.edge(edge); }
+  const Marking& marking() const { return marking_; }
+  const ExecutionTrace& trace() const { return trace_; }
+  ExecutionTrace& mutable_trace() { return trace_; }
+  const DataContext& data() const { return data_; }
+  DataContext& mutable_data() { return data_; }
+
+  // Completed iteration count of the loop opened by `loop_start` (0 while in
+  // the first iteration).
+  int loop_iteration(NodeId loop_start) const;
+
+  size_t MemoryFootprint() const;
+
+  // --- Dynamic change support ----------------------------------------------
+
+  // Swaps the execution schema and re-evaluates soft markings. The caller
+  // (change framework / migration manager) is responsible for having
+  // verified the schema and checked compliance beforehand.
+  Status AdoptSchema(std::shared_ptr<const SchemaView> schema, SchemaId ref);
+
+  // Re-derives Activated/Skipped states and edge signals from hard facts.
+  // Exposed for the compliance module's state adaptation.
+  Status ReevaluateMarkings();
+
+  // Runs one propagation fixpoint. Needed by the trace-replay compliance
+  // checker after seeding data values directly into the data context.
+  Status PropagateMarkings() { return Propagate(); }
+
+  // Direct marking access for the state adapter (keep trace consistent!).
+  Marking* mutable_marking() { return &marking_; }
+
+  // Recovery support: overwrites the runtime state wholesale (snapshot
+  // load). The caller must pass state consistent with the current schema.
+  void RestoreState(Marking marking, ExecutionTrace trace, DataContext data,
+                    std::unordered_map<NodeId, int> loop_iterations,
+                    bool started);
+  const std::unordered_map<NodeId, int>& loop_iterations() const {
+    return loop_iterations_;
+  }
+  bool started() const { return started_; }
+
+ private:
+  Status Propagate();
+  Status AutoComplete(const Node& node);
+  Status SignalCompletion(const Node& node);
+  void SkipNode(const Node& node);
+  Status HandleLoopEnd(const Node& node);
+  Result<bool> EvaluateLoopCondition(const Node& node);
+  Result<int> EvaluateDecision(const Node& split);
+  void SetNodeState(NodeId node, NodeState state);
+  const BlockTree* block_tree();
+
+  // Activation check for a NotActivated node; returns the new state
+  // (kActivated / kSkipped) or nullopt when the node must keep waiting.
+  std::optional<NodeState> ComputeActivation(const Node& node) const;
+
+  InstanceId id_;
+  std::shared_ptr<const SchemaView> schema_;
+  SchemaId schema_ref_;
+  bool biased_ = false;
+  bool started_ = false;
+  bool finished_notified_ = false;
+
+  Marking marking_;
+  ExecutionTrace trace_;
+  DataContext data_;
+  std::unordered_map<NodeId, int> loop_iterations_;  // keyed by loop start
+  std::unordered_map<NodeId, int> selected_branch_;  // one-shot overrides
+  std::unordered_map<NodeId, bool> loop_decision_;   // one-shot overrides
+
+  std::unique_ptr<BlockTree> block_tree_cache_;
+  InstanceObserver* observer_ = nullptr;
+};
+
+}  // namespace adept
+
+#endif  // ADEPT_RUNTIME_INSTANCE_H_

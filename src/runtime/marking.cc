@@ -1,0 +1,46 @@
+#include "runtime/marking.h"
+
+namespace adept {
+
+const char* NodeStateToString(NodeState s) {
+  switch (s) {
+    case NodeState::kNotActivated:
+      return "NotActivated";
+    case NodeState::kActivated:
+      return "Activated";
+    case NodeState::kRunning:
+      return "Running";
+    case NodeState::kCompleted:
+      return "Completed";
+    case NodeState::kSkipped:
+      return "Skipped";
+    case NodeState::kSuspended:
+      return "Suspended";
+    case NodeState::kFailed:
+      return "Failed";
+  }
+  return "?";
+}
+
+const char* EdgeStateToString(EdgeState s) {
+  switch (s) {
+    case EdgeState::kNotSignaled:
+      return "NotSignaled";
+    case EdgeState::kTrueSignaled:
+      return "TrueSignaled";
+    case EdgeState::kFalseSignaled:
+      return "FalseSignaled";
+  }
+  return "?";
+}
+
+bool IsHardNodeState(NodeState s) {
+  return s == NodeState::kRunning || s == NodeState::kCompleted ||
+         s == NodeState::kSuspended || s == NodeState::kFailed;
+}
+
+bool IsFinalNodeState(NodeState s) {
+  return s == NodeState::kCompleted || s == NodeState::kSkipped;
+}
+
+}  // namespace adept

@@ -1,0 +1,103 @@
+// Node/edge markings of a process instance.
+//
+// ADEPT represents instance progress as a marking function over the nodes
+// and edges of the instance's execution schema:
+//
+//   node states  NS: NotActivated, Activated, Running, Completed, Skipped,
+//                    Suspended, Failed   (the paper's "Disabled" = Skipped)
+//   edge states  ES: NotSignaled, TrueSignaled, FalseSignaled
+//
+// {Running, Completed, Suspended, Failed} are *hard* facts created by user
+// actions; {Activated, Skipped} plus all edge signals of non-completed
+// sources are *soft* states the engine can re-derive — the distinction is
+// what makes marking re-evaluation after dynamic changes safe (see
+// ProcessInstance::ReevaluateMarkings).
+
+#ifndef ADEPT_RUNTIME_MARKING_H_
+#define ADEPT_RUNTIME_MARKING_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "common/ids.h"
+
+namespace adept {
+
+enum class NodeState {
+  kNotActivated = 0,
+  kActivated,   // ready; offered in worklists
+  kRunning,     // started by a user/application
+  kCompleted,
+  kSkipped,     // dead path (deselected XOR branch / deleted region)
+  kSuspended,   // running but paused
+  kFailed,      // activity execution failed; may be retried
+};
+
+enum class EdgeState {
+  kNotSignaled = 0,
+  kTrueSignaled,   // source completed (resp. branch selected)
+  kFalseSignaled,  // source definitely will not execute
+};
+
+const char* NodeStateToString(NodeState s);
+const char* EdgeStateToString(EdgeState s);
+
+// True for states produced only by explicit user/application actions.
+bool IsHardNodeState(NodeState s);
+// True when the node's work is over (Completed or Skipped).
+bool IsFinalNodeState(NodeState s);
+
+// A copyable value type: compliance checks run "what if" analyses on copies.
+class Marking {
+ public:
+  NodeState node(NodeId id) const {
+    auto it = node_states_.find(id);
+    return it == node_states_.end() ? NodeState::kNotActivated : it->second;
+  }
+  EdgeState edge(EdgeId id) const {
+    auto it = edge_states_.find(id);
+    return it == edge_states_.end() ? EdgeState::kNotSignaled : it->second;
+  }
+
+  void set_node(NodeId id, NodeState s) {
+    if (s == NodeState::kNotActivated) {
+      node_states_.erase(id);
+    } else {
+      node_states_[id] = s;
+    }
+  }
+  void set_edge(EdgeId id, EdgeState s) {
+    if (s == EdgeState::kNotSignaled) {
+      edge_states_.erase(id);
+    } else {
+      edge_states_[id] = s;
+    }
+  }
+
+  void erase_node(NodeId id) { node_states_.erase(id); }
+  void erase_edge(EdgeId id) { edge_states_.erase(id); }
+
+  // Only non-default entries are stored; iteration yields those.
+  const std::unordered_map<NodeId, NodeState>& node_states() const {
+    return node_states_;
+  }
+  const std::unordered_map<EdgeId, EdgeState>& edge_states() const {
+    return edge_states_;
+  }
+
+  size_t MemoryFootprint() const {
+    return sizeof(*this) +
+           node_states_.size() * (sizeof(NodeId) + sizeof(NodeState) + 16) +
+           edge_states_.size() * (sizeof(EdgeId) + sizeof(EdgeState) + 16);
+  }
+
+  bool operator==(const Marking&) const = default;
+
+ private:
+  std::unordered_map<NodeId, NodeState> node_states_;
+  std::unordered_map<EdgeId, EdgeState> edge_states_;
+};
+
+}  // namespace adept
+
+#endif  // ADEPT_RUNTIME_MARKING_H_

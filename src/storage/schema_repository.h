@@ -1,0 +1,73 @@
+// SchemaRepository: versioned storage of process type schemas.
+//
+// Every process type forms a version chain: V1 is deployed, later versions
+// are derived by applying a Delta (the type change) to a predecessor. The
+// repository keeps, per version, the frozen schema, its parent, and the
+// delta from the parent — the migration manager asks for exactly that delta
+// when propagating a type change to running instances.
+
+#ifndef ADEPT_STORAGE_SCHEMA_REPOSITORY_H_
+#define ADEPT_STORAGE_SCHEMA_REPOSITORY_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "change/delta.h"
+#include "common/ids.h"
+#include "common/status.h"
+#include "model/schema.h"
+
+namespace adept {
+
+class SchemaRepository {
+ public:
+  SchemaRepository() = default;
+  SchemaRepository(const SchemaRepository&) = delete;
+  SchemaRepository& operator=(const SchemaRepository&) = delete;
+
+  // Deploys a verified schema as the first version of its type.
+  // Rejects unverified schemas and duplicate type names.
+  Result<SchemaId> Deploy(std::shared_ptr<const ProcessSchema> schema);
+
+  // Applies `delta` to version `base`, verifies the result, and stores it
+  // as the next version of the type. The delta is retained.
+  Result<SchemaId> DeriveVersion(SchemaId base, Delta delta);
+
+  Result<std::shared_ptr<const ProcessSchema>> Get(SchemaId id) const;
+
+  // Latest (highest) version of a type.
+  Result<SchemaId> Latest(const std::string& type_name) const;
+
+  // All versions of a type in ascending version order.
+  std::vector<SchemaId> VersionsOf(const std::string& type_name) const;
+
+  // Parent version (invalid id for deployed roots).
+  Result<SchemaId> ParentOf(SchemaId id) const;
+
+  // The delta that derived `id` from its parent.
+  Result<const Delta*> DeltaFor(SchemaId id) const;
+
+  size_t size() const { return entries_.size(); }
+
+  // Total heap footprint of all stored schemas (Fig. 2 accounting).
+  size_t MemoryFootprint() const;
+
+  JsonValue ToJson() const;
+  Status LoadFromJson(const JsonValue& json);  // into an empty repository
+
+ private:
+  struct Entry {
+    std::shared_ptr<const ProcessSchema> schema;
+    SchemaId parent;
+    Delta delta_from_parent;
+  };
+
+  std::map<SchemaId, Entry> entries_;
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace adept
+
+#endif  // ADEPT_STORAGE_SCHEMA_REPOSITORY_H_

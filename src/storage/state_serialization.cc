@@ -1,0 +1,170 @@
+#include "storage/state_serialization.h"
+
+#include <algorithm>
+
+namespace adept {
+
+JsonValue MarkingToJson(const Marking& marking) {
+  JsonValue nodes = JsonValue::MakeArray();
+  std::vector<std::pair<NodeId, NodeState>> node_entries(
+      marking.node_states().begin(), marking.node_states().end());
+  std::sort(node_entries.begin(), node_entries.end());
+  for (const auto& [id, state] : node_entries) {
+    JsonValue e = JsonValue::MakeObject();
+    e.Set("n", JsonValue(id.value()));
+    e.Set("s", JsonValue(static_cast<int>(state)));
+    nodes.Append(std::move(e));
+  }
+  JsonValue edges = JsonValue::MakeArray();
+  std::vector<std::pair<EdgeId, EdgeState>> edge_entries(
+      marking.edge_states().begin(), marking.edge_states().end());
+  std::sort(edge_entries.begin(), edge_entries.end());
+  for (const auto& [id, state] : edge_entries) {
+    JsonValue e = JsonValue::MakeObject();
+    e.Set("e", JsonValue(id.value()));
+    e.Set("s", JsonValue(static_cast<int>(state)));
+    edges.Append(std::move(e));
+  }
+  JsonValue j = JsonValue::MakeObject();
+  j.Set("nodes", std::move(nodes));
+  j.Set("edges", std::move(edges));
+  return j;
+}
+
+Result<Marking> MarkingFromJson(const JsonValue& json) {
+  if (!json.is_object()) return Status::Corruption("marking json malformed");
+  Marking m;
+  for (const JsonValue& e : json.Get("nodes").as_array()) {
+    m.set_node(NodeId(static_cast<uint32_t>(e.Get("n").as_int())),
+               static_cast<NodeState>(e.Get("s").as_int()));
+  }
+  for (const JsonValue& e : json.Get("edges").as_array()) {
+    m.set_edge(EdgeId(static_cast<uint32_t>(e.Get("e").as_int())),
+               static_cast<EdgeState>(e.Get("s").as_int()));
+  }
+  return m;
+}
+
+JsonValue TraceToJson(const ExecutionTrace& trace) {
+  JsonValue events = JsonValue::MakeArray();
+  for (const TraceEvent& ev : trace.events()) {
+    JsonValue e = JsonValue::MakeObject();
+    e.Set("q", JsonValue(ev.sequence));
+    e.Set("k", JsonValue(static_cast<int>(ev.kind)));
+    if (ev.node.valid()) e.Set("n", JsonValue(ev.node.value()));
+    if (ev.data.valid()) e.Set("d", JsonValue(ev.data.value()));
+    if (ev.branch_value != 0) e.Set("b", JsonValue(ev.branch_value));
+    if (ev.iteration != 0) e.Set("i", JsonValue(ev.iteration));
+    if (!ev.reset_nodes.empty()) {
+      JsonValue rn = JsonValue::MakeArray();
+      for (NodeId n : ev.reset_nodes) rn.Append(JsonValue(n.value()));
+      e.Set("r", std::move(rn));
+    }
+    if (!ev.detail.empty()) e.Set("t", JsonValue(ev.detail));
+    events.Append(std::move(e));
+  }
+  JsonValue j = JsonValue::MakeObject();
+  j.Set("events", std::move(events));
+  return j;
+}
+
+Result<ExecutionTrace> TraceFromJson(const JsonValue& json) {
+  if (!json.is_object()) return Status::Corruption("trace json malformed");
+  std::vector<TraceEvent> events;
+  for (const JsonValue& e : json.Get("events").as_array()) {
+    TraceEvent ev;
+    ev.sequence = e.Get("q").as_int();
+    ev.kind = static_cast<TraceEventKind>(e.Get("k").as_int());
+    if (e.Has("n")) ev.node = NodeId(static_cast<uint32_t>(e.Get("n").as_int()));
+    if (e.Has("d")) ev.data = DataId(static_cast<uint32_t>(e.Get("d").as_int()));
+    ev.branch_value = static_cast<int>(e.Get("b").as_int());
+    ev.iteration = static_cast<int>(e.Get("i").as_int());
+    for (const JsonValue& r : e.Get("r").as_array()) {
+      ev.reset_nodes.push_back(NodeId(static_cast<uint32_t>(r.as_int())));
+    }
+    ev.detail = e.Get("t").as_string();
+    events.push_back(std::move(ev));
+  }
+  ExecutionTrace trace;
+  trace.Restore(std::move(events));
+  return trace;
+}
+
+JsonValue DataContextToJson(const DataContext& data) {
+  JsonValue elements = JsonValue::MakeArray();
+  std::vector<DataId> ids;
+  for (const auto& [id, _] : data.elements()) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  for (DataId id : ids) {
+    JsonValue versions = JsonValue::MakeArray();
+    for (const auto& v : data.History(id)) {
+      JsonValue vj = JsonValue::MakeObject();
+      vj.Set("v", v.value.ToJson());
+      if (v.writer.valid()) vj.Set("w", JsonValue(v.writer.value()));
+      vj.Set("q", JsonValue(v.sequence));
+      versions.Append(std::move(vj));
+    }
+    JsonValue ej = JsonValue::MakeObject();
+    ej.Set("d", JsonValue(id.value()));
+    ej.Set("versions", std::move(versions));
+    elements.Append(std::move(ej));
+  }
+  JsonValue j = JsonValue::MakeObject();
+  j.Set("elements", std::move(elements));
+  return j;
+}
+
+Result<DataContext> DataContextFromJson(const JsonValue& json) {
+  if (!json.is_object()) return Status::Corruption("data context malformed");
+  DataContext data;
+  for (const JsonValue& ej : json.Get("elements").as_array()) {
+    DataId id(static_cast<uint32_t>(ej.Get("d").as_int()));
+    for (const JsonValue& vj : ej.Get("versions").as_array()) {
+      ADEPT_ASSIGN_OR_RETURN(DataValue value, DataValue::FromJson(vj.Get("v")));
+      NodeId writer;
+      if (vj.Has("w")) {
+        writer = NodeId(static_cast<uint32_t>(vj.Get("w").as_int()));
+      }
+      data.Write(id, std::move(value), writer, vj.Get("q").as_int());
+    }
+  }
+  return data;
+}
+
+JsonValue InstanceStateToJson(const ProcessInstance& instance) {
+  JsonValue j = JsonValue::MakeObject();
+  j.Set("marking", MarkingToJson(instance.marking()));
+  j.Set("trace", TraceToJson(instance.trace()));
+  j.Set("data", DataContextToJson(instance.data()));
+  j.Set("started", JsonValue(instance.started()));
+  JsonValue loops = JsonValue::MakeArray();
+  std::vector<std::pair<NodeId, int>> loop_entries(
+      instance.loop_iterations().begin(), instance.loop_iterations().end());
+  std::sort(loop_entries.begin(), loop_entries.end());
+  for (const auto& [node, count] : loop_entries) {
+    JsonValue lj = JsonValue::MakeObject();
+    lj.Set("n", JsonValue(node.value()));
+    lj.Set("c", JsonValue(count));
+    loops.Append(std::move(lj));
+  }
+  j.Set("loops", std::move(loops));
+  return j;
+}
+
+Status RestoreInstanceState(ProcessInstance& instance, const JsonValue& json) {
+  if (!json.is_object()) return Status::Corruption("instance state malformed");
+  ADEPT_ASSIGN_OR_RETURN(Marking marking, MarkingFromJson(json.Get("marking")));
+  ADEPT_ASSIGN_OR_RETURN(ExecutionTrace trace, TraceFromJson(json.Get("trace")));
+  ADEPT_ASSIGN_OR_RETURN(DataContext data,
+                         DataContextFromJson(json.Get("data")));
+  std::unordered_map<NodeId, int> loops;
+  for (const JsonValue& lj : json.Get("loops").as_array()) {
+    loops[NodeId(static_cast<uint32_t>(lj.Get("n").as_int()))] =
+        static_cast<int>(lj.Get("c").as_int());
+  }
+  instance.RestoreState(std::move(marking), std::move(trace), std::move(data),
+                        std::move(loops), json.Get("started").as_bool());
+  return Status::OK();
+}
+
+}  // namespace adept

@@ -1,0 +1,29 @@
+// JSON (de)serialization of instance runtime state (marking, trace, data
+// context, loop counters) for snapshots and recovery.
+
+#ifndef ADEPT_STORAGE_STATE_SERIALIZATION_H_
+#define ADEPT_STORAGE_STATE_SERIALIZATION_H_
+
+#include "common/json.h"
+#include "common/status.h"
+#include "runtime/instance.h"
+
+namespace adept {
+
+JsonValue MarkingToJson(const Marking& marking);
+Result<Marking> MarkingFromJson(const JsonValue& json);
+
+JsonValue TraceToJson(const ExecutionTrace& trace);
+Result<ExecutionTrace> TraceFromJson(const JsonValue& json);
+
+JsonValue DataContextToJson(const DataContext& data);
+Result<DataContext> DataContextFromJson(const JsonValue& json);
+
+// Full runtime state of an instance (schema reference excluded — the caller
+// persists base schema id + bias delta separately).
+JsonValue InstanceStateToJson(const ProcessInstance& instance);
+Status RestoreInstanceState(ProcessInstance& instance, const JsonValue& json);
+
+}  // namespace adept
+
+#endif  // ADEPT_STORAGE_STATE_SERIALIZATION_H_

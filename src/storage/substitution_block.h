@@ -1,0 +1,67 @@
+// SubstitutionBlock: the minimal difference between a base schema and a
+// biased instance's execution schema (paper Fig. 2).
+//
+// "For each biased instance we maintain a minimal substitution block that
+// captures all changes applied to it so far. This block is then used to
+// overlay parts of the original schema when accessing the instance."
+//
+// The block is computed as a structural diff (added/replaced and removed
+// entities), which by construction guarantees
+//     overlay(base, block) == apply(bias delta, base)
+// — a property the test suite checks for randomized deltas.
+
+#ifndef ADEPT_STORAGE_SUBSTITUTION_BLOCK_H_
+#define ADEPT_STORAGE_SUBSTITUTION_BLOCK_H_
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/json.h"
+#include "common/status.h"
+#include "model/node.h"
+#include "model/schema.h"
+
+namespace adept {
+
+struct SubstitutionBlock {
+  // Entities present in the biased schema but absent from (or differing
+  // from) the base. Keyed by id for O(1) overlay resolution.
+  std::unordered_map<NodeId, Node> nodes;
+  std::unordered_map<EdgeId, Edge> edges;
+  std::unordered_map<DataId, DataElement> data;
+  std::vector<DataEdge> added_data_edges;
+
+  // Base entities hidden by the bias.
+  std::unordered_set<NodeId> removed_nodes;
+  std::unordered_set<EdgeId> removed_edges;
+  std::unordered_set<DataId> removed_data;
+  std::vector<DataEdge> removed_data_edges;
+
+  // Id counters of the biased schema (for faithful materialization).
+  uint32_t next_node_id = 0;
+  uint32_t next_edge_id = 0;
+  uint32_t next_data_id = 0;
+  int version = 0;
+
+  bool empty() const {
+    return nodes.empty() && edges.empty() && data.empty() &&
+           added_data_edges.empty() && removed_nodes.empty() &&
+           removed_edges.empty() && removed_data.empty() &&
+           removed_data_edges.empty();
+  }
+
+  size_t MemoryFootprint() const;
+
+  JsonValue ToJson() const;
+  static Result<SubstitutionBlock> FromJson(const JsonValue& json);
+};
+
+// Diffs `biased` against `base`.
+SubstitutionBlock ComputeSubstitutionBlock(const ProcessSchema& base,
+                                           const ProcessSchema& biased);
+
+}  // namespace adept
+
+#endif  // ADEPT_STORAGE_SUBSTITUTION_BLOCK_H_

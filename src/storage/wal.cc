@@ -1,0 +1,103 @@
+#include "storage/wal.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace adept {
+
+Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
+    const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "ab");
+  if (file == nullptr) {
+    return Status::Corruption(
+        StrFormat("cannot open WAL '%s': %s", path.c_str(),
+                  std::strerror(errno)));
+  }
+  return std::unique_ptr<WriteAheadLog>(new WriteAheadLog(path, file));
+}
+
+WriteAheadLog::~WriteAheadLog() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status WriteAheadLog::Append(const JsonValue& record) {
+  std::string payload = record.Dump();
+  std::string framed =
+      StrFormat("%zu:", payload.size()) + payload + "\n";
+  if (std::fwrite(framed.data(), 1, framed.size(), file_) != framed.size()) {
+    return Status::Corruption("WAL write failed");
+  }
+  if (std::fflush(file_) != 0) {
+    return Status::Corruption("WAL flush failed");
+  }
+  ++records_written_;
+  return Status::OK();
+}
+
+Status WriteAheadLog::Truncate() {
+  std::fclose(file_);
+  file_ = std::fopen(path_.c_str(), "wb");
+  if (file_ == nullptr) {
+    return Status::Corruption("cannot reopen WAL for truncation");
+  }
+  records_written_ = 0;
+  return Status::OK();
+}
+
+Result<std::vector<JsonValue>> WriteAheadLog::ReadAll(
+    const std::string& path) {
+  std::vector<JsonValue> records;
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return records;  // no log yet
+
+  std::string content;
+  char buffer[1 << 16];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    content.append(buffer, n);
+  }
+  std::fclose(file);
+
+  size_t pos = 0;
+  while (pos < content.size()) {
+    size_t colon = content.find(':', pos);
+    if (colon == std::string::npos) break;
+    size_t length = 0;
+    bool ok = colon > pos;
+    for (size_t i = pos; i < colon && ok; ++i) {
+      char c = content[i];
+      if (c < '0' || c > '9') {
+        ok = false;
+      } else {
+        length = length * 10 + static_cast<size_t>(c - '0');
+      }
+    }
+    if (!ok) {
+      ADEPT_LOG(kWarning) << "WAL: damaged frame header at offset " << pos
+                          << "; truncating";
+      break;
+    }
+    size_t payload_start = colon + 1;
+    if (payload_start + length + 1 > content.size()) break;  // truncated tail
+    if (content[payload_start + length] != '\n') {
+      ADEPT_LOG(kWarning) << "WAL: missing frame terminator at offset " << pos
+                          << "; truncating";
+      break;
+    }
+    auto parsed =
+        JsonValue::Parse(content.substr(payload_start, length));
+    if (!parsed.ok()) {
+      ADEPT_LOG(kWarning) << "WAL: unparsable record at offset " << pos
+                          << "; truncating";
+      break;
+    }
+    records.push_back(std::move(parsed).value());
+    pos = payload_start + length + 1;
+  }
+  return records;
+}
+
+}  // namespace adept

@@ -1,0 +1,54 @@
+// WriteAheadLog: append-only persistence of engine events.
+//
+// Records are JSON values framed as "<length>:<json>\n". ReadAll tolerates
+// a truncated tail (crash mid-append): it returns every complete, parsable
+// record and stops at the first damaged one — recovery then resumes from
+// consistent state, which the crash-injection tests exercise.
+
+#ifndef ADEPT_STORAGE_WAL_H_
+#define ADEPT_STORAGE_WAL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/status.h"
+
+namespace adept {
+
+class WriteAheadLog {
+ public:
+  // Opens (creating or appending) the log at `path`.
+  static Result<std::unique_ptr<WriteAheadLog>> Open(const std::string& path);
+
+  ~WriteAheadLog();
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  // Appends one record and flushes it to the OS.
+  Status Append(const JsonValue& record);
+
+  // Discards all records (checkpoint compaction after a snapshot).
+  Status Truncate();
+
+  const std::string& path() const { return path_; }
+  size_t records_written() const { return records_written_; }
+
+  // Reads all complete records; a truncated/corrupt tail ends the scan
+  // without error. Missing file yields an empty vector.
+  static Result<std::vector<JsonValue>> ReadAll(const std::string& path);
+
+ private:
+  WriteAheadLog(std::string path, std::FILE* file)
+      : path_(std::move(path)), file_(file) {}
+
+  std::string path_;
+  std::FILE* file_;
+  size_t records_written_ = 0;
+};
+
+}  // namespace adept
+
+#endif  // ADEPT_STORAGE_WAL_H_

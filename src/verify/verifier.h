@@ -1,0 +1,88 @@
+// Buildtime schema verification.
+//
+// ADEPT2 "ensures schema correctness, like the absence of deadlock-causing
+// cycles or erroneous data flows. This, in turn, constitutes an important
+// prerequisite for dynamic process changes" (paper, Sec. 2). The verifier
+// re-checks every candidate schema produced by the change framework — both
+// new type versions and instance-specific schemas of biased instances — so
+// a change that would break a buildtime guarantee is rejected up front
+// (Fig. 1: I2's structural conflict is exactly a kDeadlockCycle finding on
+// the combined schema).
+//
+// Checks performed:
+//   * node-degree rules per node type, unique start/end flow
+//   * control-edge acyclicity and full block-structure parse
+//   * sync-edge rules: endpoints in different branches of a common parallel
+//     block, same loop context, and no cycle over control+sync edges
+//     ("deadlock-causing cycle")
+//   * XOR/loop decision wiring (decision data present, branch codes unique)
+//   * data-flow: every mandatory read is guaranteed a prior write on every
+//     path ("no missing data"); warnings for parallel write/write and
+//     unsynchronized write/read races ("lost updates")
+
+#ifndef ADEPT_VERIFY_VERIFIER_H_
+#define ADEPT_VERIFY_VERIFIER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "model/schema_view.h"
+
+namespace adept {
+
+enum class VerifyRule {
+  kStructure,       // degree / start / end / unreachable node problems
+  kControlCycle,    // cycle over control edges
+  kBlockNesting,    // block structure does not parse
+  kSyncEdge,        // illegal sync edge placement
+  kDeadlockCycle,   // cycle over control + sync edges
+  kDecision,        // XOR/loop decision wiring problems
+  kMissingData,     // mandatory read without guaranteed prior write
+  kLostUpdate,      // parallel write/write on the same element
+  kDataRace,        // unsynchronized parallel write/read
+  kNaming,          // duplicate names (warning only)
+};
+
+enum class VerifySeverity { kError, kWarning };
+
+struct VerificationIssue {
+  VerifyRule rule;
+  VerifySeverity severity;
+  std::string message;
+  NodeId node;  // primary offending entity (optional)
+  EdgeId edge;
+  DataId data;
+};
+
+class VerificationReport {
+ public:
+  void Add(VerificationIssue issue) { issues_.push_back(std::move(issue)); }
+
+  const std::vector<VerificationIssue>& issues() const { return issues_; }
+
+  bool ok() const;  // no kError issues
+  size_t error_count() const;
+  size_t warning_count() const;
+
+  // First error message, or "" when ok().
+  std::string FirstError() const;
+
+  std::string DebugString() const;
+
+ private:
+  std::vector<VerificationIssue> issues_;
+};
+
+const char* VerifyRuleToString(VerifyRule rule);
+
+// Runs all checks; never fails by itself (problems land in the report).
+VerificationReport VerifySchema(const SchemaView& schema);
+
+// Convenience: kVerificationFailed carrying the first error, OK otherwise.
+Status VerifySchemaOrError(const SchemaView& schema);
+
+}  // namespace adept
+
+#endif  // ADEPT_VERIFY_VERIFIER_H_

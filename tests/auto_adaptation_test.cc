@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "change/change_op.h"
+#include "core/auto_adaptation.h"
+#include "tests/test_fixtures.h"
+
+namespace adept {
+namespace {
+
+using testing_fixtures::SequenceSchema;
+
+// Rule: when an activity fails, insert an "escalate" step right after it.
+AdaptationRule EscalationRule() {
+  AdaptationRule rule;
+  rule.name = "escalate-on-failure";
+  rule.trigger_state = NodeState::kFailed;
+  rule.action = [](const ProcessInstance& instance, NodeId failed) {
+    Delta delta;
+    NodeId succ = instance.schema().ControlSuccessor(failed);
+    if (!succ.valid()) return delta;
+    NewActivitySpec spec;
+    spec.name = "escalate";
+    delta.Add(std::make_unique<SerialInsertOp>(spec, failed, succ));
+    return delta;
+  };
+  return rule;
+}
+
+TEST(AutoAdapterTest, FailureTriggersInsertion) {
+  auto system = AdeptSystem::Create();
+  ASSERT_TRUE(system.ok());
+  AdeptSystem& adept = **system;
+  AutoAdapter adapter(&adept);
+  adapter.AddRule(EscalationRule());
+  adept.AddObserver(&adapter);
+
+  auto schema = SequenceSchema(3, "auto");
+  ASSERT_TRUE(adept.DeployProcessType(schema).ok());
+  auto inst = adept.CreateInstance("auto");
+  ASSERT_TRUE(inst.ok());
+
+  NodeId a1 = schema->FindNodeByName("a1");
+  ASSERT_TRUE(adept.StartActivity(*inst, a1).ok());
+  ASSERT_TRUE(adept.FailActivity(*inst, a1, "application error").ok());
+
+  ASSERT_EQ(adapter.pending(), 1u);
+  auto outcomes = adapter.Drain();
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_TRUE(outcomes[0].status.ok()) << outcomes[0].status;
+  EXPECT_EQ(outcomes[0].rule, "escalate-on-failure");
+  EXPECT_EQ(adapter.pending(), 0u);
+
+  // The corrective activity is in place; retry + escalation completes.
+  const ProcessInstance* instance = adept.Instance(*inst);
+  NodeId escalate = instance->schema().FindNodeByName("escalate");
+  ASSERT_TRUE(escalate.valid());
+  EXPECT_TRUE(instance->biased());
+
+  ASSERT_TRUE(adept.RetryActivity(*inst, a1).ok());
+  SimulationDriver driver({.seed = 1});
+  ASSERT_TRUE(adept.DriveToCompletion(*inst, driver).ok());
+  EXPECT_EQ(instance->node_state(escalate), NodeState::kCompleted);
+}
+
+TEST(AutoAdapterTest, NameFilterRestrictsRule) {
+  auto system = AdeptSystem::Create();
+  ASSERT_TRUE(system.ok());
+  AdeptSystem& adept = **system;
+  AutoAdapter adapter(&adept);
+  AdaptationRule rule = EscalationRule();
+  rule.activity_name = "a2";  // only a2 failures
+  adapter.AddRule(rule);
+  adept.AddObserver(&adapter);
+
+  auto schema = SequenceSchema(3, "filtered");
+  ASSERT_TRUE(adept.DeployProcessType(schema).ok());
+  auto inst = adept.CreateInstance("filtered");
+  ASSERT_TRUE(inst.ok());
+
+  NodeId a1 = schema->FindNodeByName("a1");
+  ASSERT_TRUE(adept.StartActivity(*inst, a1).ok());
+  ASSERT_TRUE(adept.FailActivity(*inst, a1, "boom").ok());
+  EXPECT_EQ(adapter.pending(), 0u);  // a1 does not match
+
+  ASSERT_TRUE(adept.RetryActivity(*inst, a1).ok());
+  ASSERT_TRUE(adept.StartActivity(*inst, a1).ok());
+  ASSERT_TRUE(adept.CompleteActivity(*inst, a1).ok());
+  NodeId a2 = schema->FindNodeByName("a2");
+  ASSERT_TRUE(adept.StartActivity(*inst, a2).ok());
+  ASSERT_TRUE(adept.FailActivity(*inst, a2, "boom").ok());
+  EXPECT_EQ(adapter.pending(), 1u);
+}
+
+TEST(AutoAdapterTest, RejectedAdaptationReportsStatus) {
+  auto system = AdeptSystem::Create();
+  ASSERT_TRUE(system.ok());
+  AdeptSystem& adept = **system;
+  AutoAdapter adapter(&adept);
+  // A rule that tries an illegal change: sync edge within a sequence.
+  AdaptationRule bad;
+  bad.name = "bad-rule";
+  bad.trigger_state = NodeState::kFailed;
+  bad.action = [](const ProcessInstance& instance, NodeId failed) {
+    Delta delta;
+    NodeId succ = instance.schema().ControlSuccessor(failed);
+    delta.Add(std::make_unique<InsertSyncEdgeOp>(failed, succ));
+    return delta;
+  };
+  adapter.AddRule(bad);
+  adept.AddObserver(&adapter);
+
+  auto schema = SequenceSchema(2, "badrule");
+  ASSERT_TRUE(adept.DeployProcessType(schema).ok());
+  auto inst = adept.CreateInstance("badrule");
+  ASSERT_TRUE(inst.ok());
+  NodeId a1 = schema->FindNodeByName("a1");
+  ASSERT_TRUE(adept.StartActivity(*inst, a1).ok());
+  ASSERT_TRUE(adept.FailActivity(*inst, a1, "x").ok());
+
+  auto outcomes = adapter.Drain();
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].status.code(), StatusCode::kVerificationFailed);
+  // The instance is untouched by the rejected rule.
+  EXPECT_FALSE(adept.Instance(*inst)->biased());
+}
+
+TEST(AutoAdapterTest, EmptyDeltaSkipsQuietly) {
+  auto system = AdeptSystem::Create();
+  ASSERT_TRUE(system.ok());
+  AdeptSystem& adept = **system;
+  AutoAdapter adapter(&adept);
+  AdaptationRule noop;
+  noop.name = "noop";
+  noop.trigger_state = NodeState::kFailed;
+  noop.action = [](const ProcessInstance&, NodeId) { return Delta(); };
+  adapter.AddRule(noop);
+  adept.AddObserver(&adapter);
+
+  auto schema = SequenceSchema(1, "noop");
+  ASSERT_TRUE(adept.DeployProcessType(schema).ok());
+  auto inst = adept.CreateInstance("noop");
+  ASSERT_TRUE(inst.ok());
+  NodeId a1 = schema->FindNodeByName("a1");
+  ASSERT_TRUE(adept.StartActivity(*inst, a1).ok());
+  ASSERT_TRUE(adept.FailActivity(*inst, a1, "x").ok());
+  auto outcomes = adapter.Drain();
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_TRUE(outcomes[0].status.ok());
+  EXPECT_FALSE(adept.Instance(*inst)->biased());
+}
+
+}  // namespace
+}  // namespace adept

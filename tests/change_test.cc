@@ -1,0 +1,416 @@
+#include <gtest/gtest.h>
+
+#include "change/change_op.h"
+#include "change/delta.h"
+#include "change/id_allocator.h"
+#include "model/serialization.h"
+#include "tests/test_fixtures.h"
+#include "verify/verifier.h"
+
+namespace adept {
+namespace {
+
+using testing_fixtures::OnlineOrderV1;
+using testing_fixtures::OnlineOrderV2;
+using testing_fixtures::SequenceSchema;
+using testing_fixtures::XorSchema;
+
+// The paper's Delta-T: serial insert of "send questions" after
+// "compose order" plus a sync edge "send questions" -> "confirm order".
+// The sync edge references the inserted node, so the insert is applied to a
+// probe schema first to learn (and pin) the new activity's id.
+Delta MakeFig1TypeChangePinned(const ProcessSchema& s) {
+  NodeId compose = s.FindNodeByName("compose order");
+  NodeId confirm = s.FindNodeByName("confirm order");
+  NodeId join = s.FindNodeByName("and_join");
+
+  Delta probe;
+  NewActivitySpec spec;
+  spec.name = "send questions";
+  auto* op = probe.Add(std::make_unique<SerialInsertOp>(spec, compose, join));
+  auto applied = probe.ApplyToSchema(s);
+  EXPECT_TRUE(applied.ok()) << applied.status();
+  NodeId inserted = static_cast<SerialInsertOp*>(op)->inserted_node();
+  EXPECT_TRUE(inserted.valid());
+
+  Delta delta;
+  auto* insert = delta.Add(op->Clone());
+  (void)insert;
+  delta.Add(std::make_unique<InsertSyncEdgeOp>(inserted, confirm));
+  return delta;
+}
+
+TEST(ChangeOpTest, SerialInsertRewiresEdge) {
+  auto base = OnlineOrderV1();
+  NodeId get_order = base->FindNodeByName("get order");
+  NodeId collect = base->FindNodeByName("collect data");
+
+  Delta delta;
+  NewActivitySpec spec;
+  spec.name = "check credit";
+  auto* op =
+      delta.Add(std::make_unique<SerialInsertOp>(spec, get_order, collect));
+  auto derived = delta.ApplyToSchema(*base);
+  ASSERT_TRUE(derived.ok()) << derived.status();
+
+  NodeId inserted = static_cast<SerialInsertOp*>(op)->inserted_node();
+  ASSERT_TRUE(inserted.valid());
+  EXPECT_EQ((*derived)->ControlSuccessor(get_order), inserted);
+  EXPECT_EQ((*derived)->ControlSuccessor(inserted), collect);
+  EXPECT_EQ((*derived)->node_count(), base->node_count() + 1);
+  EXPECT_EQ((*derived)->version(), base->version() + 1);
+  // Old edge gone.
+  EXPECT_EQ((*derived)->FindEdgeBetween(get_order, collect, EdgeType::kControl),
+            nullptr);
+  EXPECT_TRUE(VerifySchemaOrError(**derived).ok());
+}
+
+TEST(ChangeOpTest, SerialInsertRequiresEdge) {
+  auto base = OnlineOrderV1();
+  Delta delta;
+  NewActivitySpec spec;
+  spec.name = "x";
+  delta.Add(std::make_unique<SerialInsertOp>(
+      spec, base->FindNodeByName("get order"),
+      base->FindNodeByName("pack goods")));
+  auto derived = delta.ApplyToSchema(*base);
+  EXPECT_EQ(derived.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ChangeOpTest, ReapplicationPinsSameIds) {
+  auto base = OnlineOrderV1();
+  Delta delta = MakeFig1TypeChangePinned(*base);
+
+  auto first = delta.ApplyToSchema(*base);
+  ASSERT_TRUE(first.ok()) << first.status();
+  auto second = delta.ApplyToSchema(*base);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(SchemaToJson(**first).Dump(), SchemaToJson(**second).Dump());
+}
+
+TEST(ChangeOpTest, ParallelInsertWrapsRegion) {
+  auto base = OnlineOrderV1();
+  NodeId pack = base->FindNodeByName("pack goods");
+  NodeId deliver = base->FindNodeByName("deliver goods");
+
+  Delta delta;
+  NewActivitySpec spec;
+  spec.name = "notify customer";
+  delta.Add(std::make_unique<ParallelInsertOp>(spec, pack, deliver));
+  auto derived = delta.ApplyToSchema(*base);
+  ASSERT_TRUE(derived.ok()) << derived.status();
+  EXPECT_TRUE(VerifySchemaOrError(**derived).ok());
+  // pack..deliver now sit inside a new AND block with "notify customer".
+  NodeId notify = (*derived)->FindNodeByName("notify customer");
+  ASSERT_TRUE(notify.valid());
+  auto tree = (*derived)->block_tree();
+  ASSERT_TRUE(tree.ok());
+  EXPECT_TRUE((*tree)->InDifferentParallelBranches(notify, pack));
+  EXPECT_TRUE((*tree)->InDifferentParallelBranches(notify, deliver));
+}
+
+TEST(ChangeOpTest, ParallelInsertRejectsNonRegion) {
+  auto base = OnlineOrderV1();
+  Delta delta;
+  NewActivitySpec spec;
+  spec.name = "x";
+  // confirm/compose are in different branches: not a SESE region.
+  delta.Add(std::make_unique<ParallelInsertOp>(
+      spec, base->FindNodeByName("confirm order"),
+      base->FindNodeByName("compose order")));
+  auto derived = delta.ApplyToSchema(*base);
+  EXPECT_EQ(derived.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ChangeOpTest, BranchInsertAddsSelectableBranch) {
+  auto base = XorSchema();
+  NodeId split = base->FindNodeByName("xor_split");
+  Delta delta;
+  NewActivitySpec spec;
+  spec.name = "palliative care";
+  delta.Add(std::make_unique<BranchInsertOp>(spec, split, 2));
+  auto derived = delta.ApplyToSchema(*base);
+  ASSERT_TRUE(derived.ok()) << derived.status();
+  EXPECT_TRUE(VerifySchemaOrError(**derived).ok());
+  NodeId added = (*derived)->FindNodeByName("palliative care");
+  const Edge* entry = (*derived)->FindEdgeBetween(split, added, EdgeType::kControl);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->branch_value, 2);
+}
+
+TEST(ChangeOpTest, BranchInsertRejectsDuplicateCode) {
+  auto base = XorSchema();
+  Delta delta;
+  NewActivitySpec spec;
+  spec.name = "x";
+  delta.Add(std::make_unique<BranchInsertOp>(
+      spec, base->FindNodeByName("xor_split"), 1));
+  EXPECT_EQ(delta.ApplyToSchema(*base).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ChangeOpTest, DeleteActivityBridgesNeighbours) {
+  auto base = SequenceSchema(3);
+  NodeId a1 = base->FindNodeByName("a1");
+  NodeId a2 = base->FindNodeByName("a2");
+  NodeId a3 = base->FindNodeByName("a3");
+  Delta delta;
+  delta.Add(std::make_unique<DeleteActivityOp>(a2));
+  auto derived = delta.ApplyToSchema(*base);
+  ASSERT_TRUE(derived.ok()) << derived.status();
+  EXPECT_EQ((*derived)->FindNode(a2), nullptr);
+  EXPECT_EQ((*derived)->ControlSuccessor(a1), a3);
+  EXPECT_TRUE(VerifySchemaOrError(**derived).ok());
+}
+
+TEST(ChangeOpTest, DeleteActivityKeepsBranchCode) {
+  auto base = XorSchema();
+  NodeId split = base->FindNodeByName("xor_split");
+  NodeId intensive = base->FindNodeByName("intensive care");
+  NodeId join = base->FindNodeByName("xor_join");
+  Delta delta;
+  delta.Add(std::make_unique<DeleteActivityOp>(intensive));
+  auto derived = delta.ApplyToSchema(*base);
+  ASSERT_TRUE(derived.ok()) << derived.status();
+  const Edge* bridge = (*derived)->FindEdgeBetween(split, join, EdgeType::kControl);
+  ASSERT_NE(bridge, nullptr);
+  EXPECT_EQ(bridge->branch_value, 1);
+  EXPECT_TRUE(VerifySchemaOrError(**derived).ok());
+}
+
+TEST(ChangeOpTest, DeleteRejectsStructuralNodes) {
+  auto base = OnlineOrderV1();
+  Delta delta;
+  delta.Add(std::make_unique<DeleteActivityOp>(
+      base->FindNodeByName("and_split")));
+  EXPECT_EQ(delta.ApplyToSchema(*base).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ChangeOpTest, DeleteOfDataSupplierFailsVerification) {
+  auto base = XorSchema();
+  Delta delta;
+  delta.Add(std::make_unique<DeleteActivityOp>(
+      base->FindNodeByName("triage")));  // writes the decision element
+  auto derived = delta.ApplyToSchema(*base);
+  EXPECT_EQ(derived.status().code(), StatusCode::kVerificationFailed);
+}
+
+TEST(ChangeOpTest, MoveActivityRelocates) {
+  auto base = SequenceSchema(4);
+  NodeId a1 = base->FindNodeByName("a1");
+  NodeId a2 = base->FindNodeByName("a2");
+  NodeId a3 = base->FindNodeByName("a3");
+  NodeId a4 = base->FindNodeByName("a4");
+  Delta delta;
+  delta.Add(std::make_unique<MoveActivityOp>(a2, a3, a4));
+  auto derived = delta.ApplyToSchema(*base);
+  ASSERT_TRUE(derived.ok()) << derived.status();
+  EXPECT_EQ((*derived)->ControlSuccessor(a1), a3);
+  EXPECT_EQ((*derived)->ControlSuccessor(a3), a2);
+  EXPECT_EQ((*derived)->ControlSuccessor(a2), a4);
+  EXPECT_TRUE(VerifySchemaOrError(**derived).ok());
+}
+
+TEST(ChangeOpTest, SyncEdgeInsertAndDelete) {
+  auto base = OnlineOrderV1();
+  NodeId confirm = base->FindNodeByName("confirm order");
+  NodeId compose = base->FindNodeByName("compose order");
+
+  Delta add;
+  add.Add(std::make_unique<InsertSyncEdgeOp>(compose, confirm));
+  auto with_sync = add.ApplyToSchema(*base);
+  ASSERT_TRUE(with_sync.ok()) << with_sync.status();
+  EXPECT_NE((*with_sync)->FindEdgeBetween(compose, confirm, EdgeType::kSync),
+            nullptr);
+
+  Delta remove;
+  remove.Add(std::make_unique<DeleteSyncEdgeOp>(compose, confirm));
+  auto without = remove.ApplyToSchema(**with_sync);
+  ASSERT_TRUE(without.ok()) << without.status();
+  EXPECT_EQ((*without)->FindEdgeBetween(compose, confirm, EdgeType::kSync),
+            nullptr);
+}
+
+TEST(ChangeOpTest, SyncEdgeWithinBranchFailsVerification) {
+  auto base = OnlineOrderV1();
+  Delta delta;
+  delta.Add(std::make_unique<InsertSyncEdgeOp>(
+      base->FindNodeByName("get order"), base->FindNodeByName("collect data")));
+  EXPECT_EQ(delta.ApplyToSchema(*base).status().code(),
+            StatusCode::kVerificationFailed);
+}
+
+TEST(ChangeOpTest, Fig1TypeChangeProducesV2) {
+  auto base = OnlineOrderV1();
+  Delta delta = MakeFig1TypeChangePinned(*base);
+  auto derived = delta.ApplyToSchema(*base);
+  ASSERT_TRUE(derived.ok()) << derived.status();
+
+  // Same shape as the hand-built V2 fixture.
+  auto v2 = OnlineOrderV2();
+  EXPECT_EQ((*derived)->node_count(), v2->node_count());
+  EXPECT_EQ((*derived)->edge_count(), v2->edge_count());
+  NodeId send_q = (*derived)->FindNodeByName("send questions");
+  NodeId confirm = (*derived)->FindNodeByName("confirm order");
+  ASSERT_TRUE(send_q.valid());
+  EXPECT_NE((*derived)->FindEdgeBetween(send_q, confirm, EdgeType::kSync),
+            nullptr);
+}
+
+TEST(ChangeOpTest, OpposingSyncEdgesCreateDeadlockConflict) {
+  // Paper Fig. 1, instance I2: the bias (confirm -> compose) composed with
+  // the type change's sync edge (send questions -> confirm) closes a
+  // deadlock-causing cycle.
+  auto base = OnlineOrderV1();
+  Delta bias;
+  bias.Add(std::make_unique<InsertSyncEdgeOp>(
+      base->FindNodeByName("confirm order"),
+      base->FindNodeByName("compose order")));
+  BiasIdAllocator bias_alloc;
+  auto biased = bias.ApplyToSchema(*base, base->version(), &bias_alloc);
+  ASSERT_TRUE(biased.ok()) << biased.status();  // fine on its own
+
+  Delta type_change = MakeFig1TypeChangePinned(*base);
+  auto v2 = type_change.ApplyToSchema(*base);
+  ASSERT_TRUE(v2.ok());  // fine on its own
+
+  // Composing both must fail verification with a deadlock cycle.
+  auto combined = bias.ApplyToSchema(**v2, (*v2)->version());
+  ASSERT_FALSE(combined.ok());
+  EXPECT_EQ(combined.status().code(), StatusCode::kVerificationFailed);
+  EXPECT_NE(combined.status().message().find("deadlock"), std::string::npos)
+      << combined.status();
+}
+
+TEST(ChangeOpTest, DataOpsRoundTrip) {
+  auto base = SequenceSchema(2);
+  NodeId a1 = base->FindNodeByName("a1");
+  NodeId a2 = base->FindNodeByName("a2");
+
+  Delta delta;
+  auto* add_elem =
+      delta.Add(std::make_unique<AddDataElementOp>("score", DataType::kInt));
+  auto first = delta.ApplyToSchema(*base);
+  ASSERT_TRUE(first.ok()) << first.status();
+  DataId score = static_cast<AddDataElementOp*>(add_elem)->created_data();
+  ASSERT_TRUE(score.valid());
+
+  Delta wiring;
+  wiring.Add(std::make_unique<AddDataEdgeOp>(a1, score, AccessMode::kWrite,
+                                             false));
+  wiring.Add(
+      std::make_unique<AddDataEdgeOp>(a2, score, AccessMode::kRead, false));
+  auto second = wiring.ApplyToSchema(**first);
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_EQ((*second)->DataEdgesOf(a1, AccessMode::kWrite).size(), 1u);
+
+  Delta unwiring;
+  unwiring.Add(std::make_unique<DeleteDataEdgeOp>(a2, score, AccessMode::kRead));
+  auto third = unwiring.ApplyToSchema(**second);
+  ASSERT_TRUE(third.ok()) << third.status();
+  EXPECT_TRUE((*third)->DataEdgesOf(a2, AccessMode::kRead).empty());
+}
+
+TEST(ChangeOpTest, MissingDataReadFailsVerification) {
+  auto base = SequenceSchema(2);
+  Delta delta;
+  auto* add_elem =
+      delta.Add(std::make_unique<AddDataElementOp>("ghost", DataType::kInt));
+  auto first = delta.ApplyToSchema(*base);
+  ASSERT_TRUE(first.ok());
+  DataId ghost = static_cast<AddDataElementOp*>(add_elem)->created_data();
+
+  Delta bad;
+  bad.Add(std::make_unique<AddDataEdgeOp>(base->FindNodeByName("a1"), ghost,
+                                          AccessMode::kRead, false));
+  EXPECT_EQ(bad.ApplyToSchema(**first).status().code(),
+            StatusCode::kVerificationFailed);
+}
+
+TEST(ChangeOpTest, ReplaceActivityImpl) {
+  auto base = SequenceSchema(1);
+  NodeId a1 = base->FindNodeByName("a1");
+  Delta delta;
+  delta.Add(std::make_unique<ReplaceActivityImplOp>(a1, "impl_v2"));
+  auto derived = delta.ApplyToSchema(*base);
+  ASSERT_TRUE(derived.ok());
+  EXPECT_EQ((*derived)->FindNode(a1)->activity_template, "impl_v2");
+}
+
+TEST(DeltaTest, JsonRoundTripPreservesOpsAndPins) {
+  auto base = OnlineOrderV1();
+  Delta delta = MakeFig1TypeChangePinned(*base);
+  auto applied = delta.ApplyToSchema(*base);  // pins everything
+  ASSERT_TRUE(applied.ok());
+
+  auto restored = Delta::FromJson(delta.ToJson());
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ(restored->size(), delta.size());
+  EXPECT_EQ(restored->Signatures(), delta.Signatures());
+
+  // Pinned re-application through the JSON round trip yields the same ids.
+  auto from_restored = restored->ApplyToSchema(*base);
+  ASSERT_TRUE(from_restored.ok()) << from_restored.status();
+  EXPECT_EQ(SchemaToJson(**from_restored).Dump(),
+            SchemaToJson(**applied).Dump());
+}
+
+TEST(DeltaTest, CloneIsIndependent) {
+  auto base = SequenceSchema(3);
+  Delta delta;
+  NewActivitySpec spec;
+  spec.name = "x";
+  delta.Add(std::make_unique<SerialInsertOp>(
+      spec, base->FindNodeByName("a1"), base->FindNodeByName("a2")));
+  Delta copy = delta.Clone();
+  EXPECT_EQ(copy.size(), delta.size());
+  EXPECT_EQ(copy.Signatures(), delta.Signatures());
+  copy.Add(std::make_unique<DeleteActivityOp>(base->FindNodeByName("a3")));
+  EXPECT_EQ(delta.size(), 1u);
+  EXPECT_EQ(copy.size(), 2u);
+}
+
+TEST(DeltaTest, AtomicityOnMidDeltaFailure) {
+  auto base = SequenceSchema(3);
+  Delta delta;
+  NewActivitySpec spec;
+  spec.name = "ok";
+  delta.Add(std::make_unique<SerialInsertOp>(
+      spec, base->FindNodeByName("a1"), base->FindNodeByName("a2")));
+  delta.Add(std::make_unique<DeleteActivityOp>(NodeId(999)));  // fails
+  auto derived = delta.ApplyToSchema(*base);
+  EXPECT_FALSE(derived.ok());
+  // Base untouched (it is immutable anyway, but verify node count).
+  EXPECT_EQ(base->node_count(), 5u);
+}
+
+TEST(BiasAllocatorTest, BiasIdsComeFromReservedRange) {
+  auto base = OnlineOrderV1();
+  Delta delta;
+  NewActivitySpec spec;
+  spec.name = "ad hoc step";
+  auto* op = delta.Add(std::make_unique<SerialInsertOp>(
+      spec, base->FindNodeByName("get order"),
+      base->FindNodeByName("collect data")));
+  BiasIdAllocator alloc;
+  auto derived = delta.ApplyToSchema(*base, base->version(), &alloc);
+  ASSERT_TRUE(derived.ok()) << derived.status();
+  NodeId inserted = static_cast<SerialInsertOp*>(op)->inserted_node();
+  EXPECT_GE(inserted.value(), kBiasIdBase);
+
+  // A later type-level change on the same base cannot collide.
+  Delta type_change;
+  NewActivitySpec spec2;
+  spec2.name = "typed step";
+  auto* op2 = type_change.Add(std::make_unique<SerialInsertOp>(
+      spec2, base->FindNodeByName("pack goods"),
+      base->FindNodeByName("deliver goods")));
+  auto v2 = type_change.ApplyToSchema(*base);
+  ASSERT_TRUE(v2.ok());
+  EXPECT_LT(static_cast<SerialInsertOp*>(op2)->inserted_node().value(),
+            kBiasIdBase);
+}
+
+}  // namespace
+}  // namespace adept

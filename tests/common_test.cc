@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace adept {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "missing thing");
+  EXPECT_EQ(s.ToString(), "not found: missing thing");
+}
+
+TEST(StatusTest, AllFactoryCodes) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::VerificationFailed("x").code(),
+            StatusCode::kVerificationFailed);
+  EXPECT_EQ(Status::NotCompliant("x").code(), StatusCode::kNotCompliant);
+  EXPECT_EQ(Status::Corruption("x").code(), StatusCode::kCorruption);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+Result<int> ParsePositive(int v) {
+  if (v <= 0) return Status::InvalidArgument("not positive");
+  return v;
+}
+
+Status UsesAssignOrReturn(int v, int* out) {
+  ADEPT_ASSIGN_OR_RETURN(int parsed, ParsePositive(v));
+  *out = parsed + 1;
+  return Status::OK();
+}
+
+TEST(ResultTest, ValueAndStatusPaths) {
+  Result<int> ok = ParsePositive(41);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 41);
+
+  Result<int> bad = ParsePositive(-1);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+
+  int out = 0;
+  EXPECT_TRUE(UsesAssignOrReturn(1, &out).ok());
+  EXPECT_EQ(out, 2);
+  EXPECT_FALSE(UsesAssignOrReturn(0, &out).ok());
+}
+
+TEST(JsonTest, RoundTripScalars) {
+  JsonValue obj = JsonValue::MakeObject();
+  obj.Set("b", JsonValue(true));
+  obj.Set("i", JsonValue(int64_t{-42}));
+  obj.Set("d", JsonValue(2.5));
+  obj.Set("s", JsonValue("hello \"world\"\n"));
+  obj.Set("n", JsonValue());
+
+  auto parsed = JsonValue::Parse(obj.Dump());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(*parsed, obj);
+  EXPECT_TRUE(parsed->Get("b").as_bool());
+  EXPECT_EQ(parsed->Get("i").as_int(), -42);
+  EXPECT_DOUBLE_EQ(parsed->Get("d").as_double(), 2.5);
+  EXPECT_EQ(parsed->Get("s").as_string(), "hello \"world\"\n");
+  EXPECT_TRUE(parsed->Get("n").is_null());
+}
+
+TEST(JsonTest, RoundTripNested) {
+  JsonValue arr = JsonValue::MakeArray();
+  for (int i = 0; i < 5; ++i) {
+    JsonValue item = JsonValue::MakeObject();
+    item.Set("k", JsonValue(i));
+    arr.Append(std::move(item));
+  }
+  JsonValue root = JsonValue::MakeObject();
+  root.Set("items", std::move(arr));
+  auto parsed = JsonValue::Parse(root.Dump());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Get("items").as_array().size(), 5u);
+  EXPECT_EQ(parsed->Get("items").as_array()[3].Get("k").as_int(), 3);
+}
+
+TEST(JsonTest, ParseWhitespaceAndEscapes) {
+  auto parsed = JsonValue::Parse(" { \"a\" : [ 1 , 2.0 ,\t\"\\u0041\" ] } ");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  const auto& arr = parsed->Get("a").as_array();
+  ASSERT_EQ(arr.size(), 3u);
+  EXPECT_EQ(arr[0].as_int(), 1);
+  EXPECT_TRUE(arr[1].is_double());
+  EXPECT_EQ(arr[2].as_string(), "A");
+}
+
+TEST(JsonTest, MalformedInputsRejected) {
+  EXPECT_FALSE(JsonValue::Parse("").ok());
+  EXPECT_FALSE(JsonValue::Parse("{").ok());
+  EXPECT_FALSE(JsonValue::Parse("[1,]").ok());
+  EXPECT_FALSE(JsonValue::Parse("{\"a\":}").ok());
+  EXPECT_FALSE(JsonValue::Parse("\"unterminated").ok());
+  EXPECT_FALSE(JsonValue::Parse("tru").ok());
+  EXPECT_FALSE(JsonValue::Parse("1 2").ok());
+  EXPECT_FALSE(JsonValue::Parse("{\"a\":1} trailing").ok());
+}
+
+TEST(JsonTest, NumbersIntVsDouble) {
+  auto a = JsonValue::Parse("123");
+  ASSERT_TRUE(a.ok());
+  EXPECT_TRUE(a->is_int());
+  auto b = JsonValue::Parse("1.5e2");
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(b->is_double());
+  EXPECT_DOUBLE_EQ(b->as_double(), 150.0);
+  auto c = JsonValue::Parse("-7");
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->as_int(), -7);
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+  bool differs = false;
+  Rng a2(42);
+  for (int i = 0; i < 100; ++i) {
+    if (a2.Next() != c.Next()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(RngTest, BoundsRespected) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(10), 10u);
+    int64_t v = rng.NextInRange(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, ShufflePermutes) {
+  Rng rng(11);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(v);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, orig);
+}
+
+TEST(StringUtilTest, JoinAndSplit) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(Split("abc", ','), std::vector<std::string>{"abc"});
+}
+
+TEST(StringUtilTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 5, "x"), "5-x");
+  EXPECT_EQ(StrFormat("%05.1f", 2.25), "002.2");
+}
+
+TEST(StringUtilTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("abcdef", "abc"));
+  EXPECT_FALSE(StartsWith("ab", "abc"));
+  EXPECT_TRUE(StartsWith("x", ""));
+}
+
+}  // namespace
+}  // namespace adept

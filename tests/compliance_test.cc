@@ -1,0 +1,685 @@
+#include <gtest/gtest.h>
+
+#include "change/change_op.h"
+#include "compliance/adhoc.h"
+#include "compliance/conditions.h"
+#include "compliance/conflicts.h"
+#include "compliance/migration.h"
+#include "compliance/replay.h"
+#include "runtime/driver.h"
+#include "runtime/engine.h"
+#include "storage/instance_store.h"
+#include "storage/schema_repository.h"
+#include "tests/test_fixtures.h"
+#include "verify/verifier.h"
+
+namespace adept {
+namespace {
+
+using testing_fixtures::ComplexSchema;
+using testing_fixtures::OnlineOrderV1;
+using testing_fixtures::SequenceSchema;
+using testing_fixtures::XorSchema;
+
+Status Execute(ProcessInstance& i, NodeId node) {
+  ADEPT_RETURN_IF_ERROR(i.StartActivity(node));
+  return i.CompleteActivity(node);
+}
+
+Status ExecuteByName(ProcessInstance& i, const std::string& name) {
+  NodeId node = i.schema().FindNodeByName(name);
+  if (!node.valid()) return Status::NotFound(name);
+  return Execute(i, node);
+}
+
+// A full ADEPT system: engine + repository + store + migration manager.
+class ComplianceSystem : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    v1_ = OnlineOrderV1();
+    auto id = repo_.Deploy(v1_);
+    ASSERT_TRUE(id.ok());
+    v1_id_ = *id;
+  }
+
+  ProcessInstance* NewInstance() {
+    auto created = engine_.CreateInstance(v1_, v1_id_);
+    EXPECT_TRUE(created.ok());
+    EXPECT_TRUE(store_.Register((*created)->id(), v1_id_).ok());
+    EXPECT_TRUE((*created)->Start().ok());
+    return *created;
+  }
+
+  // The paper's Delta-T: serialInsert("send questions", compose order ->
+  // and_join) + insertSyncEdge(send questions -> confirm order). Applied to
+  // a probe first so the sync edge can reference the pinned new node. With
+  // `as_bias` the probe pins instance-range ids (how a user would build the
+  // same change ad hoc).
+  Delta MakeTypeChange(bool as_bias = false) {
+    NodeId compose = v1_->FindNodeByName("compose order");
+    NodeId confirm = v1_->FindNodeByName("confirm order");
+    NodeId join = v1_->FindNodeByName("and_join");
+    Delta probe;
+    NewActivitySpec spec;
+    spec.name = "send questions";
+    auto* op = probe.Add(std::make_unique<SerialInsertOp>(spec, compose, join));
+    BiasIdAllocator bias_alloc;
+    auto applied = probe.ApplyToSchema(*v1_, v1_->version(),
+                                       as_bias ? &bias_alloc : nullptr);
+    EXPECT_TRUE(applied.ok()) << applied.status();
+    NodeId send_q = static_cast<SerialInsertOp*>(op)->inserted_node();
+
+    Delta delta;
+    delta.Add(op->Clone());
+    delta.Add(std::make_unique<InsertSyncEdgeOp>(send_q, confirm));
+    return delta;
+  }
+
+  SchemaId DeriveV2() {
+    auto v2 = repo_.DeriveVersion(v1_id_, MakeTypeChange());
+    EXPECT_TRUE(v2.ok()) << v2.status();
+    return *v2;
+  }
+
+  Engine engine_;
+  SchemaRepository repo_;
+  InstanceStore store_{&repo_};
+  MigrationManager manager_{&engine_, &repo_, &store_};
+  std::shared_ptr<const ProcessSchema> v1_;
+  SchemaId v1_id_;
+};
+
+// ---------------------------------------------------------------------------
+// Per-operation conditions
+// ---------------------------------------------------------------------------
+
+TEST_F(ComplianceSystem, SerialInsertConditionDependsOnSuccessorState) {
+  ProcessInstance* inst = NewInstance();
+  NodeId get_order = v1_->FindNodeByName("get order");
+  NodeId collect = v1_->FindNodeByName("collect data");
+
+  NewActivitySpec spec;
+  spec.name = "x";
+  SerialInsertOp op(spec, get_order, collect);
+
+  // Before collect data starts: compliant.
+  EXPECT_TRUE(CheckOpStateCondition(*inst, op).compliant);
+
+  ASSERT_TRUE(ExecuteByName(*inst, "get order").ok());
+  EXPECT_TRUE(CheckOpStateCondition(*inst, op).compliant);  // Activated is ok
+
+  ASSERT_TRUE(inst->StartActivity(collect).ok());
+  EXPECT_FALSE(CheckOpStateCondition(*inst, op).compliant);  // Running
+
+  ASSERT_TRUE(inst->CompleteActivity(collect).ok());
+  EXPECT_FALSE(CheckOpStateCondition(*inst, op).compliant);  // Completed
+}
+
+TEST_F(ComplianceSystem, DeleteConditionRejectsStartedActivity) {
+  ProcessInstance* inst = NewInstance();
+  NodeId get_order = v1_->FindNodeByName("get order");
+  DeleteActivityOp op(get_order);
+  EXPECT_TRUE(CheckOpStateCondition(*inst, op).compliant);
+  ASSERT_TRUE(inst->StartActivity(get_order).ok());
+  EXPECT_FALSE(CheckOpStateCondition(*inst, op).compliant);
+}
+
+TEST_F(ComplianceSystem, SyncEdgeConditionUsesTraceWitness) {
+  ProcessInstance* inst = NewInstance();
+  ASSERT_TRUE(ExecuteByName(*inst, "get order").ok());
+  ASSERT_TRUE(ExecuteByName(*inst, "collect data").ok());
+  NodeId confirm = v1_->FindNodeByName("confirm order");
+  NodeId compose = v1_->FindNodeByName("compose order");
+
+  // Complete confirm first, then compose.
+  ASSERT_TRUE(Execute(*inst, confirm).ok());
+  ASSERT_TRUE(Execute(*inst, compose).ok());
+
+  // confirm -> compose: confirm completed before compose started: witness ok.
+  InsertSyncEdgeOp ok_edge(confirm, compose);
+  EXPECT_TRUE(CheckOpStateCondition(*inst, ok_edge).compliant);
+
+  // compose -> confirm: compose completed only after confirm started.
+  InsertSyncEdgeOp bad_edge(compose, confirm);
+  EXPECT_FALSE(CheckOpStateCondition(*inst, bad_edge).compliant);
+}
+
+TEST_F(ComplianceSystem, BranchInsertAlwaysCompliant) {
+  auto xor_schema = XorSchema();
+  auto xid = repo_.Deploy(xor_schema);
+  ASSERT_TRUE(xid.ok());
+  auto created = engine_.CreateInstance(xor_schema, *xid);
+  ASSERT_TRUE(created.ok());
+  ProcessInstance* inst = *created;
+  ASSERT_TRUE(inst->Start().ok());
+  SimulationDriver driver({.seed = 5});
+  ASSERT_TRUE(driver.RunToCompletion(*inst).ok());
+
+  NewActivitySpec spec;
+  spec.name = "late branch";
+  BranchInsertOp op(spec, xor_schema->FindNodeByName("xor_split"), 9);
+  EXPECT_TRUE(CheckOpStateCondition(*inst, op).compliant);
+}
+
+// ---------------------------------------------------------------------------
+// Ad-hoc changes
+// ---------------------------------------------------------------------------
+
+TEST_F(ComplianceSystem, AdHocInsertExecutes) {
+  ProcessInstance* inst = NewInstance();
+  ASSERT_TRUE(ExecuteByName(*inst, "get order").ok());
+
+  Delta delta;
+  NewActivitySpec spec;
+  spec.name = "call customer";
+  delta.Add(std::make_unique<SerialInsertOp>(
+      spec, v1_->FindNodeByName("collect data"),
+      v1_->FindNodeByName("and_split")));
+  ASSERT_TRUE(ApplyAdHocChange(*inst, store_, std::move(delta)).ok());
+
+  EXPECT_TRUE(inst->biased());
+  EXPECT_TRUE(store_.IsBiased(inst->id()));
+  EXPECT_TRUE(inst->schema().FindNodeByName("call customer").valid());
+
+  // The inserted activity becomes executable at its position.
+  ASSERT_TRUE(ExecuteByName(*inst, "collect data").ok());
+  auto ready = inst->ActivatedActivities();
+  ASSERT_EQ(ready.size(), 1u);
+  EXPECT_EQ(ready[0], inst->schema().FindNodeByName("call customer"));
+
+  SimulationDriver driver({.seed = 17});
+  ASSERT_TRUE(driver.RunToCompletion(*inst).ok());
+  EXPECT_TRUE(inst->Finished());
+}
+
+TEST_F(ComplianceSystem, AdHocChangeRejectedOnStateCondition) {
+  ProcessInstance* inst = NewInstance();
+  ASSERT_TRUE(ExecuteByName(*inst, "get order").ok());
+  ASSERT_TRUE(ExecuteByName(*inst, "collect data").ok());
+
+  Delta delta;
+  NewActivitySpec spec;
+  spec.name = "too late";
+  delta.Add(std::make_unique<SerialInsertOp>(
+      spec, v1_->FindNodeByName("get order"),
+      v1_->FindNodeByName("collect data")));
+  Status st = ApplyAdHocChange(*inst, store_, std::move(delta));
+  EXPECT_EQ(st.code(), StatusCode::kNotCompliant);
+  EXPECT_FALSE(inst->biased());
+}
+
+TEST_F(ComplianceSystem, AdHocChangeRejectedOnVerification) {
+  ProcessInstance* inst = NewInstance();
+  Delta delta;
+  delta.Add(std::make_unique<InsertSyncEdgeOp>(
+      v1_->FindNodeByName("get order"), v1_->FindNodeByName("collect data")));
+  Status st = ApplyAdHocChange(*inst, store_, std::move(delta));
+  EXPECT_EQ(st.code(), StatusCode::kVerificationFailed);
+  EXPECT_FALSE(inst->biased());
+}
+
+TEST_F(ComplianceSystem, AdHocDeleteSkipsActivity) {
+  ProcessInstance* inst = NewInstance();
+  ASSERT_TRUE(ExecuteByName(*inst, "get order").ok());
+
+  Delta delta;
+  delta.Add(std::make_unique<DeleteActivityOp>(
+      v1_->FindNodeByName("collect data")));
+  ASSERT_TRUE(ApplyAdHocChange(*inst, store_, std::move(delta)).ok());
+  EXPECT_EQ(inst->schema().FindNode(v1_->FindNodeByName("collect data")),
+            nullptr);
+  // Control flow bridges straight to the parallel block.
+  EXPECT_EQ(inst->node_state(v1_->FindNodeByName("confirm order")),
+            NodeState::kActivated);
+}
+
+TEST_F(ComplianceSystem, AdHocSyncEdgeDemotesActivatedTarget) {
+  // Inserting a sync edge whose target is already Activated must demote it
+  // back to NotActivated (the paper's automatic state adaptation).
+  ProcessInstance* inst = NewInstance();
+  ASSERT_TRUE(ExecuteByName(*inst, "get order").ok());
+  ASSERT_TRUE(ExecuteByName(*inst, "collect data").ok());
+  NodeId confirm = v1_->FindNodeByName("confirm order");
+  NodeId compose = v1_->FindNodeByName("compose order");
+  ASSERT_EQ(inst->node_state(confirm), NodeState::kActivated);
+
+  Delta delta;
+  delta.Add(std::make_unique<InsertSyncEdgeOp>(compose, confirm));
+  ASSERT_TRUE(ApplyAdHocChange(*inst, store_, std::move(delta)).ok());
+
+  EXPECT_EQ(inst->node_state(confirm), NodeState::kNotActivated);
+  ASSERT_TRUE(Execute(*inst, compose).ok());
+  EXPECT_EQ(inst->node_state(confirm), NodeState::kActivated);
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 1 / Fig. 3: end-to-end migration
+// ---------------------------------------------------------------------------
+
+TEST_F(ComplianceSystem, Fig1MigrationScenario) {
+  // I1: progressed past "collect data"; both branch activities activated.
+  ProcessInstance* i1 = NewInstance();
+  ASSERT_TRUE(ExecuteByName(*i1, "get order").ok());
+  ASSERT_TRUE(ExecuteByName(*i1, "collect data").ok());
+
+  // I2: ad-hoc modified with the opposite sync edge (confirm -> compose).
+  ProcessInstance* i2 = NewInstance();
+  {
+    Delta bias;
+    bias.Add(std::make_unique<InsertSyncEdgeOp>(
+        v1_->FindNodeByName("confirm order"),
+        v1_->FindNodeByName("compose order")));
+    ASSERT_TRUE(ApplyAdHocChange(*i2, store_, std::move(bias)).ok());
+  }
+
+  // I3: already past the parallel block: state-related conflict.
+  ProcessInstance* i3 = NewInstance();
+  ASSERT_TRUE(ExecuteByName(*i3, "get order").ok());
+  ASSERT_TRUE(ExecuteByName(*i3, "collect data").ok());
+  ASSERT_TRUE(ExecuteByName(*i3, "confirm order").ok());
+  ASSERT_TRUE(ExecuteByName(*i3, "compose order").ok());
+
+  SchemaId v2_id = DeriveV2();
+  auto report = manager_.MigrateAll(v1_id_, v2_id);
+  ASSERT_TRUE(report.ok()) << report.status();
+  ASSERT_EQ(report->results.size(), 3u);
+
+  auto outcome_of = [&](InstanceId id) {
+    for (const auto& r : report->results) {
+      if (r.id == id) return r;
+    }
+    return InstanceMigrationResult{};
+  };
+  EXPECT_EQ(outcome_of(i1->id()).outcome, MigrationOutcome::kMigrated);
+  auto r2 = outcome_of(i2->id());
+  EXPECT_EQ(r2.outcome, MigrationOutcome::kStructuralConflict);
+  EXPECT_NE(r2.detail.find("deadlock"), std::string::npos) << r2.detail;
+  EXPECT_EQ(outcome_of(i3->id()).outcome, MigrationOutcome::kStateConflict);
+  EXPECT_EQ(report->MigratedTotal(), 1u);
+
+  // I1 now runs on V2; the sync edge gates "confirm order" behind
+  // "send questions" (Fig. 1's adapted instance I1 on S').
+  EXPECT_EQ(i1->schema().version(), 2);
+  NodeId send_q = i1->schema().FindNodeByName("send questions");
+  ASSERT_TRUE(send_q.valid());
+  EXPECT_EQ(i1->node_state(i1->schema().FindNodeByName("confirm order")),
+            NodeState::kNotActivated);
+  EXPECT_EQ(i1->node_state(i1->schema().FindNodeByName("compose order")),
+            NodeState::kActivated);
+
+  // I2/I3 stay on V1 and still complete.
+  EXPECT_EQ(i2->schema().version(), 1);
+  EXPECT_EQ(i3->schema().version(), 1);
+  SimulationDriver driver({.seed = 23});
+  ASSERT_TRUE(driver.RunToCompletion(*i1).ok());
+  ASSERT_TRUE(driver.RunToCompletion(*i2).ok());
+  ASSERT_TRUE(driver.RunToCompletion(*i3).ok());
+
+  // On V2 the trace of I1 must show send questions before confirm order.
+  int64_t sq = i1->trace().LastCompletionSeq(send_q);
+  int64_t co =
+      i1->trace().LastStartSeq(i1->schema().FindNodeByName("confirm order"));
+  EXPECT_GE(co, 0);
+  EXPECT_LT(sq, co);
+  EXPECT_GT(sq, 0);
+}
+
+TEST_F(ComplianceSystem, MigrationWithReplayCheckerAgrees) {
+  ProcessInstance* compliant = NewInstance();
+  ASSERT_TRUE(ExecuteByName(*compliant, "get order").ok());
+
+  ProcessInstance* conflicting = NewInstance();
+  ASSERT_TRUE(ExecuteByName(*conflicting, "get order").ok());
+  ASSERT_TRUE(ExecuteByName(*conflicting, "collect data").ok());
+  ASSERT_TRUE(ExecuteByName(*conflicting, "confirm order").ok());
+  ASSERT_TRUE(ExecuteByName(*conflicting, "compose order").ok());
+
+  SchemaId v2_id = DeriveV2();
+  MigrationOptions options;
+  options.use_replay_checker = true;
+  options.verify_adaptation_with_replay = true;
+  auto report = manager_.MigrateAll(v1_id_, v2_id, options);
+  ASSERT_TRUE(report.ok()) << report.status();
+  ASSERT_EQ(report->results.size(), 2u);
+  EXPECT_EQ(report->results[0].outcome, MigrationOutcome::kMigrated);
+  EXPECT_EQ(report->results[1].outcome, MigrationOutcome::kStateConflict);
+}
+
+TEST_F(ComplianceSystem, FinishedInstancesStayBehind) {
+  ProcessInstance* done = NewInstance();
+  SimulationDriver driver({.seed = 31});
+  ASSERT_TRUE(driver.RunToCompletion(*done).ok());
+
+  SchemaId v2_id = DeriveV2();
+  auto report = manager_.MigrateAll(v1_id_, v2_id);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->results.size(), 1u);
+  EXPECT_EQ(report->results[0].outcome, MigrationOutcome::kFinishedSkipped);
+  EXPECT_EQ(done->schema().version(), 1);
+}
+
+TEST_F(ComplianceSystem, DryRunClassifiesWithoutModifying) {
+  ProcessInstance* inst = NewInstance();
+  SchemaId v2_id = DeriveV2();
+  MigrationOptions options;
+  options.dry_run = true;
+  auto report = manager_.MigrateAll(v1_id_, v2_id, options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->results[0].outcome, MigrationOutcome::kMigrated);
+  // Nothing actually changed.
+  EXPECT_EQ(inst->schema().version(), 1);
+  auto record = store_.Get(inst->id());
+  ASSERT_TRUE(record.ok());
+  EXPECT_EQ((*record)->base_schema, v1_id_);
+}
+
+TEST_F(ComplianceSystem, DisjointBiasMigratesAndKeepsBias) {
+  ProcessInstance* inst = NewInstance();
+  Delta bias;
+  NewActivitySpec spec;
+  spec.name = "gift wrap";
+  bias.Add(std::make_unique<SerialInsertOp>(
+      spec, v1_->FindNodeByName("pack goods"),
+      v1_->FindNodeByName("deliver goods")));
+  ASSERT_TRUE(ApplyAdHocChange(*inst, store_, std::move(bias)).ok());
+  NodeId gift_wrap = inst->schema().FindNodeByName("gift wrap");
+
+  SchemaId v2_id = DeriveV2();
+  auto report = manager_.MigrateAll(v1_id_, v2_id);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->results.size(), 1u);
+  EXPECT_EQ(report->results[0].outcome, MigrationOutcome::kMigratedBiased);
+
+  // Both the type change and the preserved bias are visible; ids stable.
+  EXPECT_TRUE(inst->schema().FindNodeByName("send questions").valid());
+  EXPECT_EQ(inst->schema().FindNodeByName("gift wrap"), gift_wrap);
+  EXPECT_TRUE(inst->biased());
+
+  SimulationDriver driver({.seed = 37});
+  ASSERT_TRUE(driver.RunToCompletion(*inst).ok());
+}
+
+TEST_F(ComplianceSystem, EquivalentBiasIsCancelled) {
+  // The user applied exactly the upcoming type change ad hoc.
+  ProcessInstance* inst = NewInstance();
+  ASSERT_TRUE(ApplyAdHocChange(*inst, store_, MakeTypeChange(/*as_bias=*/true)).ok());
+  NodeId adhoc_send_q = inst->schema().FindNodeByName("send questions");
+  ASSERT_TRUE(adhoc_send_q.valid());
+  EXPECT_GE(adhoc_send_q.value(), kBiasIdBase);
+
+  // Execute into the changed region so the remap has real state to carry.
+  ASSERT_TRUE(ExecuteByName(*inst, "get order").ok());
+  ASSERT_TRUE(ExecuteByName(*inst, "collect data").ok());
+  ASSERT_TRUE(ExecuteByName(*inst, "compose order").ok());
+  ASSERT_TRUE(ExecuteByName(*inst, "send questions").ok());
+  EXPECT_EQ(inst->node_state(inst->schema().FindNodeByName("confirm order")),
+            NodeState::kActivated);
+
+  SchemaId v2_id = DeriveV2();
+  auto report = manager_.MigrateAll(v1_id_, v2_id);
+  ASSERT_TRUE(report.ok()) << report.status();
+  ASSERT_EQ(report->results.size(), 1u);
+  EXPECT_EQ(report->results[0].outcome, MigrationOutcome::kBiasCancelled)
+      << report->results[0].detail;
+
+  // Instance is unbiased on V2 now; the completed ad-hoc activity's state
+  // was remapped onto the type-level node id.
+  EXPECT_FALSE(inst->biased());
+  EXPECT_FALSE(store_.IsBiased(inst->id()));
+  EXPECT_EQ(inst->schema().version(), 2);
+  NodeId type_send_q = inst->schema().FindNodeByName("send questions");
+  ASSERT_TRUE(type_send_q.valid());
+  EXPECT_LT(type_send_q.value(), kBiasIdBase);
+  EXPECT_EQ(inst->node_state(type_send_q), NodeState::kCompleted);
+
+  SimulationDriver driver({.seed = 41});
+  ASSERT_TRUE(driver.RunToCompletion(*inst).ok());
+}
+
+TEST_F(ComplianceSystem, PartialOverlapIsSemanticConflict) {
+  ProcessInstance* inst = NewInstance();
+  // Bias shares one op with Delta-T (the sync edge target differs, so the
+  // serial insert matches but the rest does not).
+  Delta bias = MakeTypeChange();
+  Delta partial;
+  partial.Add(bias.ops()[0]->Clone());  // only the serial insert
+  NewActivitySpec extra;
+  extra.name = "own extra";
+  partial.Add(std::make_unique<SerialInsertOp>(
+      extra, v1_->FindNodeByName("get order"),
+      v1_->FindNodeByName("collect data")));
+  ASSERT_TRUE(ApplyAdHocChange(*inst, store_, std::move(partial)).ok());
+
+  SchemaId v2_id = DeriveV2();
+  auto report = manager_.MigrateAll(v1_id_, v2_id);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->results[0].outcome, MigrationOutcome::kSemanticConflict);
+  EXPECT_EQ(inst->schema().version(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Overlap analysis unit tests
+// ---------------------------------------------------------------------------
+
+TEST_F(ComplianceSystem, OverlapClassification) {
+  Delta dt = MakeTypeChange();
+  (void)dt.ApplyToSchema(*v1_);
+
+  // Equivalent: structurally identical delta, different pins.
+  Delta di = MakeTypeChange(/*as_bias=*/true);
+  EXPECT_EQ(AnalyzeOverlap(dt, di), OverlapKind::kEquivalent);
+
+  // Disjoint.
+  Delta other;
+  NewActivitySpec spec;
+  spec.name = "elsewhere";
+  other.Add(std::make_unique<SerialInsertOp>(
+      spec, v1_->FindNodeByName("get order"),
+      v1_->FindNodeByName("collect data")));
+  EXPECT_EQ(AnalyzeOverlap(dt, other), OverlapKind::kDisjoint);
+
+  // Type change subsumes the bias.
+  Delta subset;
+  subset.Add(di.ops()[0]->Clone());
+  subset.Add(di.ops()[1]->Clone());
+  (void)subset;
+  Delta bigger = MakeTypeChange();
+  (void)bigger.ApplyToSchema(*v1_);
+  bigger.Add(std::make_unique<DeleteActivityOp>(
+      v1_->FindNodeByName("deliver goods")));
+  EXPECT_EQ(AnalyzeOverlap(bigger, subset), OverlapKind::kSubsumesInstance);
+  EXPECT_EQ(AnalyzeOverlap(subset, bigger), OverlapKind::kSubsumedByInstance);
+}
+
+TEST_F(ComplianceSystem, BiasCancellationMappingPairsPins) {
+  Delta dt = MakeTypeChange();
+  (void)dt.ApplyToSchema(*v1_);
+  Delta di = MakeTypeChange(/*as_bias=*/true);
+  // The bias is pinned by its (ad-hoc) application, as in the real flow.
+  BiasIdAllocator alloc;
+  (void)di.ApplyToSchema(*v1_, v1_->version(), &alloc);
+
+  auto mapping = BuildBiasCancellationMapping(dt, di);
+  ASSERT_TRUE(mapping.ok()) << mapping.status();
+  ASSERT_EQ(mapping->nodes.size(), 1u);
+  for (const auto& [from, to] : mapping->nodes) {
+    EXPECT_GE(from.value(), kBiasIdBase);
+    EXPECT_LT(to.value(), kBiasIdBase);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Replay checker
+// ---------------------------------------------------------------------------
+
+TEST_F(ComplianceSystem, ReplayProducesAdaptedMarking) {
+  ProcessInstance* inst = NewInstance();
+  ASSERT_TRUE(ExecuteByName(*inst, "get order").ok());
+  ASSERT_TRUE(ExecuteByName(*inst, "collect data").ok());
+
+  Delta dt = MakeTypeChange();
+  auto v2 = dt.ApplyToSchema(*v1_);
+  ASSERT_TRUE(v2.ok());
+
+  ReplayResult rr = CheckComplianceByReplay(*inst, *v2);
+  ASSERT_TRUE(rr.compliant) << rr.reason;
+  // In the adapted marking: compose order activated, confirm order held
+  // back by the new sync edge.
+  EXPECT_EQ(rr.adapted_marking.node((*v2)->FindNodeByName("compose order")),
+            NodeState::kActivated);
+  EXPECT_EQ(rr.adapted_marking.node((*v2)->FindNodeByName("confirm order")),
+            NodeState::kNotActivated);
+  EXPECT_EQ(rr.adapted_marking.node((*v2)->FindNodeByName("send questions")),
+            NodeState::kNotActivated);
+}
+
+TEST_F(ComplianceSystem, ReplayDetectsOrderViolation) {
+  ProcessInstance* inst = NewInstance();
+  ASSERT_TRUE(ExecuteByName(*inst, "get order").ok());
+  ASSERT_TRUE(ExecuteByName(*inst, "collect data").ok());
+  ASSERT_TRUE(ExecuteByName(*inst, "confirm order").ok());
+
+  Delta dt = MakeTypeChange();
+  auto v2 = dt.ApplyToSchema(*v1_);
+  ASSERT_TRUE(v2.ok());
+
+  ReplayResult rr = CheckComplianceByReplay(*inst, *v2);
+  EXPECT_FALSE(rr.compliant);
+}
+
+// Property: across random instances and random change operations, the
+// optimized per-op conditions never accept an instance the general replay
+// criterion rejects (soundness). For the core control-flow operations they
+// also agree exactly unless the anchor is in a skipped region (where the
+// paper's conditions are deliberately conservative).
+TEST(CompliancePropertyTest, ConditionsSoundWrtReplay) {
+  auto base = ComplexSchema();
+  ASSERT_NE(base, nullptr);
+  Rng rng(777);
+  int checked = 0;
+
+  for (int round = 0; round < 120; ++round) {
+    ProcessInstance inst(InstanceId(static_cast<uint64_t>(round + 1)), base,
+                         SchemaId(1));
+    ASSERT_TRUE(inst.Start().ok());
+    SimulationDriver driver({.seed = static_cast<uint64_t>(round * 13 + 1)});
+    ASSERT_TRUE(driver.RunToProgress(inst, rng.NextDouble()).ok());
+
+    // Random candidate op.
+    std::vector<const Edge*> control_edges;
+    std::vector<NodeId> activities;
+    base->VisitEdges([&](const Edge& e) {
+      if (e.type == EdgeType::kControl) {
+        control_edges.push_back(base->FindEdge(e.id));
+      }
+    });
+    base->VisitNodes([&](const Node& n) {
+      if (n.type == NodeType::kActivity) activities.push_back(n.id);
+    });
+
+    Delta delta;
+    switch (rng.NextBelow(4)) {
+      case 0: {
+        const Edge* e = control_edges[rng.NextIndex(control_edges.size())];
+        NewActivitySpec spec;
+        spec.name = "p" + std::to_string(round);
+        delta.Add(std::make_unique<SerialInsertOp>(spec, e->src, e->dst));
+        break;
+      }
+      case 1: {
+        delta.Add(std::make_unique<DeleteActivityOp>(
+            activities[rng.NextIndex(activities.size())]));
+        break;
+      }
+      case 2: {
+        NodeId from = activities[rng.NextIndex(activities.size())];
+        NodeId to = activities[rng.NextIndex(activities.size())];
+        delta.Add(std::make_unique<InsertSyncEdgeOp>(from, to));
+        break;
+      }
+      default: {
+        NodeId target = activities[rng.NextIndex(activities.size())];
+        delta.Add(std::make_unique<ReplaceActivityImplOp>(target, "v2"));
+        break;
+      }
+    }
+
+    // Structural application must succeed for the comparison to make sense.
+    BiasIdAllocator alloc;
+    auto candidate = delta.ApplyToSchema(*base, base->version(), &alloc);
+    if (!candidate.ok()) continue;
+
+    ConditionResult cond = CheckStateConditions(inst, delta);
+    ReplayResult rr = CheckComplianceByReplay(inst, *candidate);
+    ++checked;
+
+    if (cond.compliant) {
+      EXPECT_TRUE(rr.compliant)
+          << "round " << round << ": conditions accepted ["
+          << delta.Describe() << "] but replay rejected: " << rr.reason
+          << "\ntrace:\n"
+          << inst.trace().DebugString();
+    }
+  }
+  EXPECT_GT(checked, 40);
+}
+
+// Property: after a condition-approved migration, the engine's marking
+// re-evaluation and the replay oracle produce the same adapted marking.
+TEST(CompliancePropertyTest, StateAdaptationMatchesReplayOracle) {
+  auto base = OnlineOrderV1();
+  SchemaRepository repo;
+  auto v1_id = repo.Deploy(base);
+  ASSERT_TRUE(v1_id.ok());
+
+  // Type change: move "pack goods" insertion point around; use a simple
+  // serial insert at a varying edge per round.
+  std::vector<std::pair<std::string, std::string>> spots = {
+      {"get order", "collect data"},
+      {"collect data", "and_split"},
+      {"and_join", "pack goods"},
+      {"pack goods", "deliver goods"},
+  };
+
+  int migrated = 0;
+  for (size_t spot = 0; spot < spots.size(); ++spot) {
+    SchemaRepository local_repo;
+    auto local_v1 = local_repo.Deploy(base);
+    ASSERT_TRUE(local_v1.ok());
+    Engine engine;
+    InstanceStore store(&local_repo);
+    MigrationManager manager(&engine, &local_repo, &store);
+
+    Delta dt;
+    NewActivitySpec spec;
+    spec.name = "ins" + std::to_string(spot);
+    dt.Add(std::make_unique<SerialInsertOp>(
+        spec, base->FindNodeByName(spots[spot].first),
+        base->FindNodeByName(spots[spot].second)));
+    auto v2_id = local_repo.DeriveVersion(*local_v1, std::move(dt));
+    ASSERT_TRUE(v2_id.ok());
+
+    for (uint64_t seed = 1; seed <= 12; ++seed) {
+      auto created = engine.CreateInstance(base, *local_v1);
+      ASSERT_TRUE(created.ok());
+      ASSERT_TRUE(store.Register((*created)->id(), *local_v1).ok());
+      ASSERT_TRUE((*created)->Start().ok());
+      SimulationDriver driver({.seed = seed});
+      ASSERT_TRUE(
+          driver.RunToProgress(**created, (seed % 10) / 10.0).ok());
+    }
+
+    MigrationOptions options;
+    options.verify_adaptation_with_replay = true;  // oracle cross-check
+    auto report = manager.MigrateAll(*local_v1, *v2_id, options);
+    ASSERT_TRUE(report.ok()) << report.status();
+    for (const auto& r : report->results) {
+      EXPECT_NE(r.outcome, MigrationOutcome::kError) << r.detail;
+      if (r.outcome == MigrationOutcome::kMigrated) ++migrated;
+    }
+  }
+  EXPECT_GT(migrated, 10);
+}
+
+}  // namespace
+}  // namespace adept

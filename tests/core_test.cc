@@ -1,0 +1,389 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "change/change_op.h"
+#include "core/adept.h"
+#include "monitor/monitor.h"
+#include "tests/test_fixtures.h"
+
+namespace adept {
+namespace {
+
+using testing_fixtures::OnlineOrderV1;
+using testing_fixtures::SequenceSchema;
+
+class TempDir {
+ public:
+  TempDir() {
+    path_ = std::filesystem::temp_directory_path() /
+            ("adept_core_test_" + std::to_string(counter_++));
+    std::filesystem::create_directories(path_);
+  }
+  ~TempDir() { std::filesystem::remove_all(path_); }
+  std::string File(const std::string& name) const {
+    return (path_ / name).string();
+  }
+
+ private:
+  static int counter_;
+  std::filesystem::path path_;
+};
+
+int TempDir::counter_ = 0;
+
+AdeptOptions DurableOptions(const TempDir& dir) {
+  AdeptOptions options;
+  options.wal_path = dir.File("adept.wal");
+  options.snapshot_path = dir.File("adept.snapshot");
+  return options;
+}
+
+// Fig. 1's Delta-T against the deployed V1 schema.
+Delta MakeTypeChange(const ProcessSchema& v1) {
+  NodeId compose = v1.FindNodeByName("compose order");
+  NodeId confirm = v1.FindNodeByName("confirm order");
+  NodeId join = v1.FindNodeByName("and_join");
+  Delta probe;
+  NewActivitySpec spec;
+  spec.name = "send questions";
+  auto* op = probe.Add(std::make_unique<SerialInsertOp>(spec, compose, join));
+  EXPECT_TRUE(probe.ApplyToSchema(v1).ok());
+  Delta delta;
+  delta.Add(op->Clone());
+  delta.Add(std::make_unique<InsertSyncEdgeOp>(
+      static_cast<SerialInsertOp*>(op)->inserted_node(), confirm));
+  return delta;
+}
+
+TEST(AdeptSystemTest, EndToEndLifecycle) {
+  auto system = AdeptSystem::Create();
+  ASSERT_TRUE(system.ok());
+  AdeptSystem& adept = **system;
+
+  auto v1_id = adept.DeployProcessType(OnlineOrderV1());
+  ASSERT_TRUE(v1_id.ok()) << v1_id.status();
+  EXPECT_EQ(*adept.LatestVersion("online_order"), *v1_id);
+
+  auto instance = adept.CreateInstance("online_order");
+  ASSERT_TRUE(instance.ok());
+  const ProcessInstance* inst = adept.Instance(*instance);
+  ASSERT_NE(inst, nullptr);
+  EXPECT_FALSE(inst->Finished());
+
+  SimulationDriver driver({.seed = 3});
+  ASSERT_TRUE(adept.DriveToCompletion(*instance, driver).ok());
+  EXPECT_TRUE(inst->Finished());
+}
+
+TEST(AdeptSystemTest, UnknownEntitiesRejected) {
+  auto system = AdeptSystem::Create();
+  ASSERT_TRUE(system.ok());
+  AdeptSystem& adept = **system;
+  EXPECT_FALSE(adept.CreateInstance("no such type").ok());
+  EXPECT_FALSE(adept.StartActivity(InstanceId(99), NodeId(0)).ok());
+  EXPECT_FALSE(adept.LatestVersion("nope").ok());
+  EXPECT_EQ(adept.Instance(InstanceId(1)), nullptr);
+}
+
+TEST(AdeptSystemTest, EvolveAndMigrateThroughFacade) {
+  auto system = AdeptSystem::Create();
+  ASSERT_TRUE(system.ok());
+  AdeptSystem& adept = **system;
+
+  auto v1 = OnlineOrderV1();
+  auto v1_id = adept.DeployProcessType(v1);
+  ASSERT_TRUE(v1_id.ok());
+
+  auto i1 = adept.CreateInstance("online_order");
+  ASSERT_TRUE(i1.ok());
+  NodeId get_order = v1->FindNodeByName("get order");
+  ASSERT_TRUE(adept.StartActivity(*i1, get_order).ok());
+  ASSERT_TRUE(adept.CompleteActivity(*i1, get_order).ok());
+
+  auto v2_id = adept.EvolveProcessType(*v1_id, MakeTypeChange(*v1));
+  ASSERT_TRUE(v2_id.ok()) << v2_id.status();
+
+  auto report = adept.Migrate(*v1_id, *v2_id);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->MigratedTotal(), 1u);
+  EXPECT_EQ(adept.Instance(*i1)->schema().version(), 2);
+
+  std::string rendered = RenderMigrationReport(*report);
+  EXPECT_NE(rendered.find("1/1 migrated"), std::string::npos);
+}
+
+TEST(AdeptSystemTest, MigrateToLatestCrossesVersions) {
+  auto system = AdeptSystem::Create();
+  ASSERT_TRUE(system.ok());
+  AdeptSystem& adept = **system;
+
+  auto v1 = SequenceSchema(4, "chain");
+  auto v1_id = adept.DeployProcessType(v1);
+  ASSERT_TRUE(v1_id.ok());
+  auto inst = adept.CreateInstance("chain");
+  ASSERT_TRUE(inst.ok());
+
+  // V2: insert after a2; V3: insert after a3.
+  Delta d2;
+  NewActivitySpec s2;
+  s2.name = "b1";
+  d2.Add(std::make_unique<SerialInsertOp>(s2, v1->FindNodeByName("a2"),
+                                          v1->FindNodeByName("a3")));
+  auto v2_id = adept.EvolveProcessType(*v1_id, std::move(d2));
+  ASSERT_TRUE(v2_id.ok());
+  Delta d3;
+  NewActivitySpec s3;
+  s3.name = "b2";
+  d3.Add(std::make_unique<SerialInsertOp>(s3, v1->FindNodeByName("a3"),
+                                          v1->FindNodeByName("a4")));
+  auto v3_id = adept.EvolveProcessType(*v2_id, std::move(d3));
+  ASSERT_TRUE(v3_id.ok());
+
+  auto report = adept.MigrateToLatest("chain");
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(adept.Instance(*inst)->schema().version(), 3);
+  EXPECT_TRUE(adept.Instance(*inst)->schema().FindNodeByName("b1").valid());
+  EXPECT_TRUE(adept.Instance(*inst)->schema().FindNodeByName("b2").valid());
+}
+
+TEST(AdeptSystemTest, WorklistIntegration) {
+  auto system = AdeptSystem::Create();
+  ASSERT_TRUE(system.ok());
+  AdeptSystem& adept = **system;
+
+  auto clerk = adept.org().AddRole("clerk");
+  ASSERT_TRUE(clerk.ok());
+  auto alice = adept.org().AddUser("alice");
+  ASSERT_TRUE(alice.ok());
+  ASSERT_TRUE(adept.org().AssignRole(*alice, *clerk).ok());
+
+  SchemaBuilder b("office", 1);
+  b.Activity("file papers", {.role = *clerk});
+  auto schema = b.Build();
+  ASSERT_TRUE(schema.ok());
+  ASSERT_TRUE(adept.DeployProcessType(*schema).ok());
+  auto inst = adept.CreateInstance("office");
+  ASSERT_TRUE(inst.ok());
+
+  auto offers = adept.worklists().OffersFor(*alice);
+  ASSERT_EQ(offers.size(), 1u);
+  ASSERT_TRUE(adept.worklists().Claim(offers[0].id, *alice).ok());
+  ASSERT_TRUE(adept.StartActivity(*inst, offers[0].node).ok());
+  ASSERT_TRUE(adept.CompleteActivity(*inst, offers[0].node).ok());
+  EXPECT_TRUE(adept.Instance(*inst)->Finished());
+}
+
+TEST(AdeptSystemTest, WalRecoveryRestoresFullState) {
+  TempDir dir;
+  AdeptOptions options = DurableOptions(dir);
+
+  InstanceId running_id, biased_id;
+  std::string running_render, biased_render;
+  {
+    auto system = AdeptSystem::Create(options);
+    ASSERT_TRUE(system.ok());
+    AdeptSystem& adept = **system;
+    auto v1 = OnlineOrderV1();
+    auto v1_id = adept.DeployProcessType(v1);
+    ASSERT_TRUE(v1_id.ok());
+
+    auto i1 = adept.CreateInstance("online_order");
+    ASSERT_TRUE(i1.ok());
+    running_id = *i1;
+    NodeId get_order = v1->FindNodeByName("get order");
+    ASSERT_TRUE(adept.StartActivity(running_id, get_order).ok());
+    ASSERT_TRUE(adept.CompleteActivity(running_id, get_order).ok());
+
+    auto i2 = adept.CreateInstance("online_order");
+    ASSERT_TRUE(i2.ok());
+    biased_id = *i2;
+    Delta bias;
+    NewActivitySpec spec;
+    spec.name = "verify address";
+    bias.Add(std::make_unique<SerialInsertOp>(
+        spec, v1->FindNodeByName("get order"),
+        v1->FindNodeByName("collect data")));
+    ASSERT_TRUE(adept.ApplyAdHocChange(biased_id, std::move(bias)).ok());
+
+    running_render = RenderInstance(*adept.Instance(running_id));
+    biased_render = RenderInstance(*adept.Instance(biased_id));
+  }  // system destroyed ("crash")
+
+  auto recovered = AdeptSystem::Recover(options);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  AdeptSystem& adept = **recovered;
+
+  const ProcessInstance* running = adept.Instance(running_id);
+  ASSERT_NE(running, nullptr);
+  EXPECT_EQ(RenderInstance(*running), running_render);
+
+  const ProcessInstance* biased = adept.Instance(biased_id);
+  ASSERT_NE(biased, nullptr);
+  EXPECT_TRUE(biased->biased());
+  EXPECT_EQ(RenderInstance(*biased), biased_render);
+  EXPECT_TRUE(biased->schema().FindNodeByName("verify address").valid());
+
+  // The recovered system keeps working (and logging).
+  SimulationDriver driver({.seed = 4});
+  ASSERT_TRUE(adept.DriveToCompletion(running_id, driver).ok());
+  ASSERT_TRUE(adept.DriveToCompletion(biased_id, driver).ok());
+}
+
+TEST(AdeptSystemTest, WalRecoveryReplaysMigration) {
+  TempDir dir;
+  AdeptOptions options = DurableOptions(dir);
+  InstanceId inst_id;
+  {
+    auto system = AdeptSystem::Create(options);
+    ASSERT_TRUE(system.ok());
+    AdeptSystem& adept = **system;
+    auto v1 = OnlineOrderV1();
+    auto v1_id = adept.DeployProcessType(v1);
+    ASSERT_TRUE(v1_id.ok());
+    auto inst = adept.CreateInstance("online_order");
+    ASSERT_TRUE(inst.ok());
+    inst_id = *inst;
+    auto v2_id = adept.EvolveProcessType(*v1_id, MakeTypeChange(*v1));
+    ASSERT_TRUE(v2_id.ok());
+    auto report = adept.Migrate(*v1_id, *v2_id);
+    ASSERT_TRUE(report.ok());
+    ASSERT_EQ(report->MigratedTotal(), 1u);
+  }
+  auto recovered = AdeptSystem::Recover(options);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_EQ((*recovered)->Instance(inst_id)->schema().version(), 2);
+}
+
+TEST(AdeptSystemTest, CrashTruncatedWalRecoversPrefix) {
+  TempDir dir;
+  AdeptOptions options = DurableOptions(dir);
+  {
+    auto system = AdeptSystem::Create(options);
+    ASSERT_TRUE(system.ok());
+    AdeptSystem& adept = **system;
+    auto v1 = SequenceSchema(3, "crashy");
+    ASSERT_TRUE(adept.DeployProcessType(v1).ok());
+    auto inst = adept.CreateInstance("crashy");
+    ASSERT_TRUE(inst.ok());
+    NodeId a1 = v1->FindNodeByName("a1");
+    ASSERT_TRUE(adept.StartActivity(*inst, a1).ok());
+    ASSERT_TRUE(adept.CompleteActivity(*inst, a1).ok());
+  }
+  // Crash injection: chop the tail mid-record.
+  auto size = std::filesystem::file_size(options.wal_path);
+  std::filesystem::resize_file(options.wal_path, size - 7);
+
+  auto recovered = AdeptSystem::Recover(options);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  const ProcessInstance* inst = (*recovered)->Instance(InstanceId(1));
+  ASSERT_NE(inst, nullptr);
+  // The damaged record (a1's completion) is lost; a1 is Running again.
+  NodeId a1 = inst->schema().FindNodeByName("a1");
+  EXPECT_EQ(inst->node_state(a1), NodeState::kRunning);
+}
+
+TEST(AdeptSystemTest, SnapshotCheckpointAndTailReplay) {
+  TempDir dir;
+  AdeptOptions options = DurableOptions(dir);
+  InstanceId inst_id;
+  {
+    auto system = AdeptSystem::Create(options);
+    ASSERT_TRUE(system.ok());
+    AdeptSystem& adept = **system;
+    auto v1 = SequenceSchema(3, "snappy");
+    ASSERT_TRUE(adept.DeployProcessType(v1).ok());
+    auto inst = adept.CreateInstance("snappy");
+    ASSERT_TRUE(inst.ok());
+    inst_id = *inst;
+    NodeId a1 = v1->FindNodeByName("a1");
+    ASSERT_TRUE(adept.StartActivity(inst_id, a1).ok());
+    ASSERT_TRUE(adept.CompleteActivity(inst_id, a1).ok());
+
+    // Checkpoint: snapshot + WAL truncation.
+    ASSERT_TRUE(adept.SaveSnapshot().ok());
+    EXPECT_LT(std::filesystem::file_size(options.wal_path), 10u);
+
+    // Post-snapshot tail.
+    NodeId a2 = v1->FindNodeByName("a2");
+    ASSERT_TRUE(adept.StartActivity(inst_id, a2).ok());
+    ASSERT_TRUE(adept.CompleteActivity(inst_id, a2).ok());
+  }
+  auto recovered = AdeptSystem::Recover(options);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  const ProcessInstance* inst = (*recovered)->Instance(inst_id);
+  ASSERT_NE(inst, nullptr);
+  EXPECT_EQ(inst->node_state(inst->schema().FindNodeByName("a1")),
+            NodeState::kCompleted);
+  EXPECT_EQ(inst->node_state(inst->schema().FindNodeByName("a2")),
+            NodeState::kCompleted);
+  EXPECT_EQ(inst->node_state(inst->schema().FindNodeByName("a3")),
+            NodeState::kActivated);
+}
+
+TEST(AdeptSystemTest, SnapshotPersistsBiasedInstances) {
+  TempDir dir;
+  AdeptOptions options = DurableOptions(dir);
+  InstanceId inst_id;
+  {
+    auto system = AdeptSystem::Create(options);
+    ASSERT_TRUE(system.ok());
+    AdeptSystem& adept = **system;
+    auto v1 = OnlineOrderV1();
+    ASSERT_TRUE(adept.DeployProcessType(v1).ok());
+    auto inst = adept.CreateInstance("online_order");
+    ASSERT_TRUE(inst.ok());
+    inst_id = *inst;
+    Delta bias;
+    NewActivitySpec spec;
+    spec.name = "extra check";
+    bias.Add(std::make_unique<SerialInsertOp>(
+        spec, v1->FindNodeByName("pack goods"),
+        v1->FindNodeByName("deliver goods")));
+    ASSERT_TRUE(adept.ApplyAdHocChange(inst_id, std::move(bias)).ok());
+    ASSERT_TRUE(adept.SaveSnapshot().ok());
+  }
+  auto recovered = AdeptSystem::Recover(options);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  const ProcessInstance* inst = (*recovered)->Instance(inst_id);
+  ASSERT_NE(inst, nullptr);
+  EXPECT_TRUE(inst->biased());
+  EXPECT_TRUE(inst->schema().FindNodeByName("extra check").valid());
+  EXPECT_TRUE((*recovered)->store().IsBiased(inst_id));
+}
+
+TEST(AdeptSystemTest, RecoveredSystemIsDeterministicReplica) {
+  TempDir dir;
+  AdeptOptions options = DurableOptions(dir);
+  std::vector<std::string> renders_before;
+  {
+    auto system = AdeptSystem::Create(options);
+    ASSERT_TRUE(system.ok());
+    AdeptSystem& adept = **system;
+    auto v1 = testing_fixtures::ComplexSchema();
+    ASSERT_TRUE(adept.DeployProcessType(v1).ok());
+    SimulationDriver driver({.seed = 11});
+    for (int i = 0; i < 5; ++i) {
+      auto inst = adept.CreateInstance("complex");
+      ASSERT_TRUE(inst.ok());
+      for (int s = 0; s < i * 2; ++s) {
+        auto progressed = adept.DriveStep(*inst, driver);
+        ASSERT_TRUE(progressed.ok());
+        if (!*progressed) break;
+      }
+      renders_before.push_back(RenderInstance(*adept.Instance(*inst)));
+    }
+  }
+  auto recovered = AdeptSystem::Recover(options);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  for (size_t i = 0; i < renders_before.size(); ++i) {
+    const ProcessInstance* inst =
+        (*recovered)->Instance(InstanceId(i + 1));
+    ASSERT_NE(inst, nullptr);
+    EXPECT_EQ(RenderInstance(*inst), renders_before[i]) << "instance " << i;
+  }
+}
+
+}  // namespace
+}  // namespace adept

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "compliance/migration.h"
+#include "dist/cluster.h"
+#include "model/schema_builder.h"
+#include "runtime/driver.h"
+#include "tests/test_fixtures.h"
+
+namespace adept {
+namespace {
+
+using testing_fixtures::OnlineOrderV1;
+
+// The online ordering process partitioned over two servers: order handling
+// on "front", logistics on "warehouse".
+std::shared_ptr<const ProcessSchema> PartitionedSchema(ServerId front,
+                                                       ServerId warehouse) {
+  SchemaBuilder b("partitioned_order", 1);
+  b.Activity("get order", {.server = front});
+  b.Activity("collect data", {.server = front});
+  b.Parallel({
+      [&](SchemaBuilder& s) {
+        s.Activity("confirm order", {.server = front});
+      },
+      [&](SchemaBuilder& s) {
+        s.Activity("compose order", {.server = warehouse});
+      },
+  });
+  b.Activity("pack goods", {.server = warehouse});
+  b.Activity("deliver goods", {.server = warehouse});
+  auto schema = b.Build();
+  return schema.ok() ? *schema : nullptr;
+}
+
+TEST(ClusterTest, PartitionsDiscovered) {
+  SimulatedCluster cluster;
+  ServerId front = cluster.AddServer("front");
+  ServerId warehouse = cluster.AddServer("warehouse");
+  auto schema = PartitionedSchema(front, warehouse);
+  ASSERT_NE(schema, nullptr);
+
+  auto partitions = cluster.PartitionsOf(*schema);
+  ASSERT_EQ(partitions.size(), 2u);
+  EXPECT_EQ(partitions[0], front);
+  EXPECT_EQ(partitions[1], warehouse);
+  EXPECT_EQ(*cluster.ServerName(front), "front");
+}
+
+TEST(ClusterTest, DistributedRunHandsOverControl) {
+  SimulatedCluster cluster;
+  ServerId front = cluster.AddServer("front");
+  ServerId warehouse = cluster.AddServer("warehouse");
+  auto schema = PartitionedSchema(front, warehouse);
+  ASSERT_NE(schema, nullptr);
+
+  ProcessInstance inst(InstanceId(1), schema, SchemaId(1));
+  ASSERT_TRUE(inst.Start().ok());
+  SimulationDriver driver({.seed = 5});
+  ASSERT_TRUE(cluster.RunDistributed(inst, driver).ok());
+  EXPECT_TRUE(inst.Finished());
+
+  // At least one handover front -> warehouse happened.
+  EXPECT_GE(cluster.handover_count(), 1u);
+  auto front_stats = cluster.StatsFor(front);
+  auto wh_stats = cluster.StatsFor(warehouse);
+  ASSERT_TRUE(front_stats.ok());
+  ASSERT_TRUE(wh_stats.ok());
+  EXPECT_EQ(front_stats->activities_executed, 3u);
+  EXPECT_EQ(wh_stats->activities_executed, 3u);
+}
+
+TEST(ClusterTest, SingleServerNeedsNoHandover) {
+  SimulatedCluster cluster;
+  cluster.AddServer("only");
+  auto schema = OnlineOrderV1();  // no server assignments -> home server
+  ProcessInstance inst(InstanceId(1), schema, SchemaId(1));
+  ASSERT_TRUE(inst.Start().ok());
+  SimulationDriver driver({.seed = 7});
+  ASSERT_TRUE(cluster.RunDistributed(inst, driver).ok());
+  EXPECT_TRUE(inst.Finished());
+  EXPECT_EQ(cluster.handover_count(), 0u);
+}
+
+TEST(ClusterTest, LocalityHeuristicLimitsHandovers) {
+  // With both branch activities ready, the cluster prefers the one on the
+  // current controller, so the two-branch block costs at most 2 handovers.
+  SimulatedCluster cluster;
+  ServerId front = cluster.AddServer("front");
+  ServerId warehouse = cluster.AddServer("warehouse");
+  auto schema = PartitionedSchema(front, warehouse);
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    SimulatedCluster fresh;
+    ServerId f = fresh.AddServer("front");
+    ServerId w = fresh.AddServer("warehouse");
+    auto s = PartitionedSchema(f, w);
+    ProcessInstance inst(InstanceId(seed), s, SchemaId(1));
+    ASSERT_TRUE(inst.Start().ok());
+    SimulationDriver driver({.seed = seed});
+    ASSERT_TRUE(fresh.RunDistributed(inst, driver).ok());
+    EXPECT_LE(fresh.handover_count(), 2u) << "seed " << seed;
+  }
+  (void)schema;
+}
+
+TEST(ClusterTest, MigrationPropagationFansOut) {
+  SimulatedCluster cluster;
+  ServerId front = cluster.AddServer("front");
+  ServerId warehouse = cluster.AddServer("warehouse");
+  auto schema = PartitionedSchema(front, warehouse);
+
+  MigrationReport report;
+  report.type_name = "partitioned_order";
+  for (uint64_t i = 1; i <= 5; ++i) {
+    report.results.push_back(
+        {InstanceId(i), MigrationOutcome::kMigrated, false, ""});
+  }
+  ASSERT_TRUE(cluster.PropagateMigration(report, *schema).ok());
+  // One message per non-home partition per instance: 5 * 1.
+  size_t propagation = 0;
+  for (const auto& m : cluster.message_log()) {
+    if (m.kind == DistMessageKind::kChangePropagation) ++propagation;
+  }
+  EXPECT_EQ(propagation, 5u);
+  auto wh_stats = cluster.StatsFor(warehouse);
+  ASSERT_TRUE(wh_stats.ok());
+  EXPECT_EQ(wh_stats->messages_received, 5u);
+}
+
+TEST(ClusterTest, EmptyClusterRejected) {
+  SimulatedCluster cluster;
+  auto schema = OnlineOrderV1();
+  ProcessInstance inst(InstanceId(1), schema, SchemaId(1));
+  ASSERT_TRUE(inst.Start().ok());
+  SimulationDriver driver({.seed = 1});
+  EXPECT_EQ(cluster.RunDistributed(inst, driver).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace adept

@@ -1,0 +1,362 @@
+// Edge-case semantics of the execution engine: nested blocks, empty
+// branches, skipped composites, sync edges interacting with dead paths,
+// nested loops, and explicit decision APIs.
+
+#include <gtest/gtest.h>
+
+#include "model/schema_builder.h"
+#include "runtime/driver.h"
+#include "runtime/instance.h"
+#include "tests/test_fixtures.h"
+#include "verify/verifier.h"
+
+namespace adept {
+namespace {
+
+Status Execute(ProcessInstance& i, NodeId node) {
+  ADEPT_RETURN_IF_ERROR(i.StartActivity(node));
+  return i.CompleteActivity(node);
+}
+
+Status ExecuteByName(ProcessInstance& i, const std::string& name) {
+  NodeId node = i.schema().FindNodeByName(name);
+  if (!node.valid()) return Status::NotFound(name);
+  return Execute(i, node);
+}
+
+TEST(NestedBlockTest, XorInsideAnd) {
+  SchemaBuilder b("xor_in_and", 1);
+  DataId sel = b.Data("sel", DataType::kInt);
+  NodeId init = b.Activity("init");
+  b.Writes(init, sel);
+  b.Parallel({
+      [&](SchemaBuilder& s) {
+        s.Conditional(sel, {
+            [](SchemaBuilder& t) { t.Activity("left fast"); },
+            [](SchemaBuilder& t) { t.Activity("left slow"); },
+        });
+      },
+      [&](SchemaBuilder& s) { s.Activity("right"); },
+  });
+  b.Activity("done");
+  auto schema = b.Build();
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  ASSERT_TRUE(VerifySchemaOrError(**schema).ok());
+
+  ProcessInstance inst(InstanceId(1), *schema, SchemaId(1));
+  ASSERT_TRUE(inst.Start().ok());
+  ASSERT_TRUE(inst.StartActivity(init).ok());
+  ASSERT_TRUE(inst.CompleteActivity(init, {{sel, DataValue::Int(1)}}).ok());
+
+  // XOR decided inside the AND: slow branch active, fast skipped, right
+  // branch unaffected.
+  EXPECT_EQ(inst.node_state(inst.schema().FindNodeByName("left slow")),
+            NodeState::kActivated);
+  EXPECT_EQ(inst.node_state(inst.schema().FindNodeByName("left fast")),
+            NodeState::kSkipped);
+  EXPECT_EQ(inst.node_state(inst.schema().FindNodeByName("right")),
+            NodeState::kActivated);
+
+  ASSERT_TRUE(ExecuteByName(inst, "left slow").ok());
+  EXPECT_EQ(inst.node_state(inst.schema().FindNodeByName("done")),
+            NodeState::kNotActivated);  // AND join waits for right
+  ASSERT_TRUE(ExecuteByName(inst, "right").ok());
+  ASSERT_TRUE(ExecuteByName(inst, "done").ok());
+  EXPECT_TRUE(inst.Finished());
+}
+
+TEST(NestedBlockTest, AndInsideSkippedXorBranchIsFullySkipped) {
+  SchemaBuilder b("and_in_xor", 1);
+  DataId sel = b.Data("sel", DataType::kInt);
+  NodeId init = b.Activity("init");
+  b.Writes(init, sel);
+  b.Conditional(sel, {
+      [&](SchemaBuilder& s) {
+        s.Parallel({
+            [](SchemaBuilder& t) { t.Activity("par a"); },
+            [](SchemaBuilder& t) { t.Activity("par b"); },
+        });
+      },
+      [](SchemaBuilder& s) { s.Activity("simple"); },
+  });
+  b.Activity("done");
+  auto schema = b.Build();
+  ASSERT_TRUE(schema.ok());
+
+  ProcessInstance inst(InstanceId(1), *schema, SchemaId(1));
+  ASSERT_TRUE(inst.Start().ok());
+  ASSERT_TRUE(inst.StartActivity(init).ok());
+  ASSERT_TRUE(inst.CompleteActivity(init, {{sel, DataValue::Int(1)}}).ok());
+
+  // The whole parallel block inside the deselected branch is dead.
+  EXPECT_EQ(inst.node_state(inst.schema().FindNodeByName("par a")),
+            NodeState::kSkipped);
+  EXPECT_EQ(inst.node_state(inst.schema().FindNodeByName("par b")),
+            NodeState::kSkipped);
+  EXPECT_EQ(inst.node_state(inst.schema().FindNodeByName("simple")),
+            NodeState::kActivated);
+
+  ASSERT_TRUE(ExecuteByName(inst, "simple").ok());
+  ASSERT_TRUE(ExecuteByName(inst, "done").ok());
+  EXPECT_TRUE(inst.Finished());
+}
+
+TEST(NestedBlockTest, EmptyXorBranchPassesThrough) {
+  SchemaBuilder b("empty_branch", 1);
+  DataId sel = b.Data("sel", DataType::kInt);
+  NodeId init = b.Activity("init");
+  b.Writes(init, sel);
+  b.Conditional(sel, {
+      [](SchemaBuilder& s) { s.Activity("optional step"); },
+      [](SchemaBuilder&) { /* empty: skip entirely */ },
+  });
+  b.Activity("done");
+  auto schema = b.Build();
+  ASSERT_TRUE(schema.ok());
+
+  ProcessInstance inst(InstanceId(1), *schema, SchemaId(1));
+  ASSERT_TRUE(inst.Start().ok());
+  ASSERT_TRUE(inst.StartActivity(init).ok());
+  // Take the empty branch: control falls straight through to "done".
+  ASSERT_TRUE(inst.CompleteActivity(init, {{sel, DataValue::Int(1)}}).ok());
+  EXPECT_EQ(inst.node_state(inst.schema().FindNodeByName("optional step")),
+            NodeState::kSkipped);
+  EXPECT_EQ(inst.node_state(inst.schema().FindNodeByName("done")),
+            NodeState::kActivated);
+}
+
+TEST(NestedBlockTest, NestedLoopsResetIndependently) {
+  SchemaBuilder b("nested_loops", 1);
+  DataId outer_again = b.Data("outer", DataType::kBool);
+  DataId inner_again = b.Data("inner", DataType::kBool);
+  SchemaBuilder::BlockIds outer_ids{}, inner_ids{};
+  outer_ids = b.Loop(outer_again, [&](SchemaBuilder& s) {
+    NodeId prep = s.Activity("prep");
+    (void)prep;
+    inner_ids = s.Loop(inner_again, [&](SchemaBuilder& t) {
+      NodeId work = t.Activity("work");
+      t.Writes(work, inner_again);
+    });
+    NodeId wrap = s.Activity("wrap");
+    s.Writes(wrap, outer_again);
+  });
+  auto schema = b.Build();
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  ASSERT_TRUE(VerifySchemaOrError(**schema).ok());
+
+  ProcessInstance inst(InstanceId(1), *schema, SchemaId(1));
+  ASSERT_TRUE(inst.Start().ok());
+  NodeId work = (*schema)->FindNodeByName("work");
+  NodeId wrap = (*schema)->FindNodeByName("wrap");
+
+  // Outer iteration 1: inner loops twice, outer repeats once.
+  ASSERT_TRUE(ExecuteByName(inst, "prep").ok());
+  ASSERT_TRUE(inst.StartActivity(work).ok());
+  ASSERT_TRUE(
+      inst.CompleteActivity(work, {{inner_again, DataValue::Bool(true)}}).ok());
+  EXPECT_EQ(inst.loop_iteration(inner_ids.open), 1);
+  ASSERT_TRUE(inst.StartActivity(work).ok());
+  ASSERT_TRUE(
+      inst.CompleteActivity(work, {{inner_again, DataValue::Bool(false)}}).ok());
+  ASSERT_TRUE(inst.StartActivity(wrap).ok());
+  ASSERT_TRUE(
+      inst.CompleteActivity(wrap, {{outer_again, DataValue::Bool(true)}}).ok());
+
+  // Outer reset: inner loop counter belongs to the erased region history;
+  // body is fresh again.
+  EXPECT_EQ(inst.loop_iteration(outer_ids.open), 1);
+  EXPECT_EQ(inst.node_state((*schema)->FindNodeByName("prep")),
+            NodeState::kActivated);
+
+  // Outer iteration 2: inner runs once, outer stops.
+  ASSERT_TRUE(ExecuteByName(inst, "prep").ok());
+  ASSERT_TRUE(inst.StartActivity(work).ok());
+  ASSERT_TRUE(
+      inst.CompleteActivity(work, {{inner_again, DataValue::Bool(false)}}).ok());
+  ASSERT_TRUE(inst.StartActivity(wrap).ok());
+  ASSERT_TRUE(
+      inst.CompleteActivity(wrap, {{outer_again, DataValue::Bool(false)}}).ok());
+  EXPECT_TRUE(inst.Finished());
+}
+
+TEST(SyncEdgeTest, MultipleSyncSourcesAllGate) {
+  SchemaBuilder b("multi_sync", 1);
+  NodeId a1, a2, target;
+  b.Parallel({
+      [&](SchemaBuilder& s) { a1 = s.Activity("a1"); },
+      [&](SchemaBuilder& s) { a2 = s.Activity("a2"); },
+      [&](SchemaBuilder& s) { target = s.Activity("target"); },
+  });
+  b.SyncEdge(a1, target);
+  b.SyncEdge(a2, target);
+  auto schema = b.Build();
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  ASSERT_TRUE(VerifySchemaOrError(**schema).ok());
+
+  ProcessInstance inst(InstanceId(1), *schema, SchemaId(1));
+  ASSERT_TRUE(inst.Start().ok());
+  EXPECT_EQ(inst.node_state(target), NodeState::kNotActivated);
+  ASSERT_TRUE(Execute(inst, a1).ok());
+  EXPECT_EQ(inst.node_state(target), NodeState::kNotActivated);  // a2 pending
+  ASSERT_TRUE(Execute(inst, a2).ok());
+  EXPECT_EQ(inst.node_state(target), NodeState::kActivated);
+}
+
+TEST(SyncEdgeTest, SyncChainSerializesParallelBranches) {
+  // a -> b -> c across three branches: execution is forced into sequence.
+  SchemaBuilder b("sync_chain", 1);
+  NodeId a, bb, c;
+  b.Parallel({
+      [&](SchemaBuilder& s) { a = s.Activity("a"); },
+      [&](SchemaBuilder& s) { bb = s.Activity("b"); },
+      [&](SchemaBuilder& s) { c = s.Activity("c"); },
+  });
+  b.SyncEdge(a, bb);
+  b.SyncEdge(bb, c);
+  auto schema = b.Build();
+  ASSERT_TRUE(schema.ok());
+  ASSERT_TRUE(VerifySchemaOrError(**schema).ok());
+
+  ProcessInstance inst(InstanceId(1), *schema, SchemaId(1));
+  ASSERT_TRUE(inst.Start().ok());
+  auto ready = inst.ActivatedActivities();
+  ASSERT_EQ(ready.size(), 1u);
+  EXPECT_EQ(ready[0], a);
+  ASSERT_TRUE(Execute(inst, a).ok());
+  ready = inst.ActivatedActivities();
+  ASSERT_EQ(ready.size(), 1u);
+  EXPECT_EQ(ready[0], bb);
+  ASSERT_TRUE(Execute(inst, bb).ok());
+  ASSERT_TRUE(Execute(inst, c).ok());
+}
+
+TEST(SyncEdgeTest, SyncInsideLoopResetsWithBody) {
+  SchemaBuilder b("sync_loop", 1);
+  DataId again = b.Data("again", DataType::kBool);
+  NodeId first, second;
+  b.Loop(again, [&](SchemaBuilder& s) {
+    s.Parallel({
+        [&](SchemaBuilder& t) { first = t.Activity("first"); },
+        [&](SchemaBuilder& t) {
+          second = t.Activity("second");
+          t.Writes(second, again);
+        },
+    });
+  });
+  b.mutable_schema();  // keep builder alive; add sync edge below
+  b.SyncEdge(first, second);
+  auto schema = b.Build();
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  ASSERT_TRUE(VerifySchemaOrError(**schema).ok());
+
+  ProcessInstance inst(InstanceId(1), *schema, SchemaId(1));
+  ASSERT_TRUE(inst.Start().ok());
+
+  // Iteration 1: first gates second; request another round.
+  ASSERT_TRUE(Execute(inst, first).ok());
+  ASSERT_TRUE(inst.StartActivity(second).ok());
+  ASSERT_TRUE(
+      inst.CompleteActivity(second, {{again, DataValue::Bool(true)}}).ok());
+
+  // After the reset, the sync edge gates again in iteration 2.
+  EXPECT_EQ(inst.node_state(first), NodeState::kActivated);
+  EXPECT_EQ(inst.node_state(second), NodeState::kNotActivated);
+  ASSERT_TRUE(Execute(inst, first).ok());
+  ASSERT_TRUE(inst.StartActivity(second).ok());
+  ASSERT_TRUE(
+      inst.CompleteActivity(second, {{again, DataValue::Bool(false)}}).ok());
+  EXPECT_TRUE(inst.Finished());
+}
+
+TEST(DecisionApiTest, ExplicitDecisionOverridesData) {
+  auto schema = testing_fixtures::XorSchema();
+  ProcessInstance inst(InstanceId(1), schema, SchemaId(1));
+  ASSERT_TRUE(inst.Start().ok());
+  NodeId split = schema->FindNodeByName("xor_split");
+  NodeId triage = schema->FindNodeByName("triage");
+  DataId severity = schema->FindDataByName("severity");
+
+  // Pre-select branch 0 even though the data will say 1: the explicit
+  // selection wins (it is consumed at split completion).
+  ASSERT_TRUE(inst.SelectBranch(split, 0).ok());
+  ASSERT_TRUE(inst.StartActivity(triage).ok());
+  ASSERT_TRUE(
+      inst.CompleteActivity(triage, {{severity, DataValue::Int(1)}}).ok());
+  EXPECT_EQ(inst.node_state(schema->FindNodeByName("standard care")),
+            NodeState::kActivated);
+  EXPECT_EQ(inst.node_state(schema->FindNodeByName("intensive care")),
+            NodeState::kSkipped);
+}
+
+TEST(DecisionApiTest, LoopDecisionOverride) {
+  auto schema = testing_fixtures::LoopSchema();
+  ProcessInstance inst(InstanceId(1), schema, SchemaId(1));
+  ASSERT_TRUE(inst.Start().ok());
+  ASSERT_TRUE(ExecuteByName(inst, "prepare").ok());
+  NodeId check = schema->FindNodeByName("check");
+  NodeId loop_end = schema->FindNodeByName("loop_end");
+  DataId again = schema->FindDataByName("again");
+
+  // Data says stop, but the explicit one-shot override forces an iteration.
+  ASSERT_TRUE(inst.SetLoopDecision(loop_end, true).ok());
+  ASSERT_TRUE(inst.StartActivity(check).ok());
+  ASSERT_TRUE(
+      inst.CompleteActivity(check, {{again, DataValue::Bool(false)}}).ok());
+  EXPECT_EQ(inst.loop_iteration(schema->FindNodeByName("loop_start")), 1);
+  EXPECT_EQ(inst.node_state(check), NodeState::kActivated);
+
+  // Second pass: no override; data (false) ends the loop.
+  ASSERT_TRUE(inst.StartActivity(check).ok());
+  ASSERT_TRUE(
+      inst.CompleteActivity(check, {{again, DataValue::Bool(false)}}).ok());
+  EXPECT_EQ(inst.node_state(schema->FindNodeByName("finish")),
+            NodeState::kActivated);
+}
+
+TEST(FailureTest, FailedBranchBlocksJoinUntilRetried) {
+  auto schema = testing_fixtures::OnlineOrderV1();
+  ProcessInstance inst(InstanceId(1), schema, SchemaId(1));
+  ASSERT_TRUE(inst.Start().ok());
+  ASSERT_TRUE(ExecuteByName(inst, "get order").ok());
+  ASSERT_TRUE(ExecuteByName(inst, "collect data").ok());
+
+  NodeId confirm = schema->FindNodeByName("confirm order");
+  ASSERT_TRUE(inst.StartActivity(confirm).ok());
+  ASSERT_TRUE(inst.FailActivity(confirm, "phone unreachable").ok());
+  ASSERT_TRUE(ExecuteByName(inst, "compose order").ok());
+
+  // Join must not fire while one branch is failed.
+  EXPECT_EQ(inst.node_state(schema->FindNodeByName("pack goods")),
+            NodeState::kNotActivated);
+
+  ASSERT_TRUE(inst.RetryActivity(confirm).ok());
+  ASSERT_TRUE(Execute(inst, confirm).ok());
+  EXPECT_EQ(inst.node_state(schema->FindNodeByName("pack goods")),
+            NodeState::kActivated);
+}
+
+TEST(TraceTest, EventOrderingWithinActivity) {
+  auto schema = testing_fixtures::XorSchema();
+  ProcessInstance inst(InstanceId(1), schema, SchemaId(1));
+  ASSERT_TRUE(inst.Start().ok());
+  NodeId triage = schema->FindNodeByName("triage");
+  DataId severity = schema->FindDataByName("severity");
+  ASSERT_TRUE(inst.StartActivity(triage).ok());
+  ASSERT_TRUE(
+      inst.CompleteActivity(triage, {{severity, DataValue::Int(0)}}).ok());
+
+  // start < data write < completion, per sequence numbers.
+  int64_t start = inst.trace().LastStartSeq(triage);
+  int64_t complete = inst.trace().LastCompletionSeq(triage);
+  int64_t write = -1;
+  for (const auto& e : inst.trace().events()) {
+    if (e.kind == TraceEventKind::kDataWrite && e.node == triage) {
+      write = e.sequence;
+    }
+  }
+  EXPECT_LT(start, write);
+  EXPECT_LT(write, complete);
+}
+
+}  // namespace
+}  // namespace adept

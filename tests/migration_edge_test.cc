@@ -1,0 +1,373 @@
+// Migration corner cases, parameterized over the three storage strategies
+// (the representation must never change migration semantics), plus
+// data-flow type changes, loop-state migrations, and version chains.
+
+#include <gtest/gtest.h>
+
+#include "change/change_op.h"
+#include "compliance/adhoc.h"
+#include "compliance/migration.h"
+#include "monitor/monitor.h"
+#include "runtime/driver.h"
+#include "runtime/engine.h"
+#include "storage/instance_store.h"
+#include "storage/schema_repository.h"
+#include "tests/test_fixtures.h"
+
+namespace adept {
+namespace {
+
+using testing_fixtures::LoopSchema;
+using testing_fixtures::OnlineOrderV1;
+using testing_fixtures::SequenceSchema;
+
+class StrategyMigrationTest
+    : public ::testing::TestWithParam<StorageStrategy> {};
+
+TEST_P(StrategyMigrationTest, BiasedMigrationIdenticalAcrossStrategies) {
+  auto v1 = OnlineOrderV1();
+  SchemaRepository repo;
+  SchemaId v1_id = *repo.Deploy(v1);
+  InstanceStore store(&repo);
+  Engine engine;
+  MigrationManager manager(&engine, &repo, &store);
+
+  ProcessInstance* inst = *engine.CreateInstance(v1, v1_id);
+  ASSERT_TRUE(store.Register(inst->id(), v1_id, GetParam()).ok());
+  ASSERT_TRUE(inst->Start().ok());
+
+  Delta bias;
+  NewActivitySpec spec;
+  spec.name = "gift wrap";
+  bias.Add(std::make_unique<SerialInsertOp>(
+      spec, v1->FindNodeByName("pack goods"),
+      v1->FindNodeByName("deliver goods")));
+  ASSERT_TRUE(ApplyAdHocChange(*inst, store, std::move(bias)).ok());
+
+  Delta type_change;
+  NewActivitySpec spec2;
+  spec2.name = "check stock";
+  type_change.Add(std::make_unique<SerialInsertOp>(
+      spec2, v1->FindNodeByName("get order"),
+      v1->FindNodeByName("collect data")));
+  SchemaId v2_id = *repo.DeriveVersion(v1_id, std::move(type_change));
+
+  auto report = manager.MigrateAll(v1_id, v2_id);
+  ASSERT_TRUE(report.ok()) << report.status();
+  ASSERT_EQ(report->results.size(), 1u);
+  EXPECT_EQ(report->results[0].outcome, MigrationOutcome::kMigratedBiased)
+      << StorageStrategyToString(GetParam());
+
+  EXPECT_TRUE(inst->schema().FindNodeByName("check stock").valid());
+  EXPECT_TRUE(inst->schema().FindNodeByName("gift wrap").valid());
+  SimulationDriver driver({.seed = 9});
+  ASSERT_TRUE(driver.RunToCompletion(*inst).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, StrategyMigrationTest,
+                         ::testing::Values(StorageStrategy::kOverlay,
+                                           StorageStrategy::kFullCopy,
+                                           StorageStrategy::kMaterializeOnDemand),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case StorageStrategy::kOverlay:
+                               return "Overlay";
+                             case StorageStrategy::kFullCopy:
+                               return "FullCopy";
+                             default:
+                               return "MaterializeOnDemand";
+                           }
+                         });
+
+class MigrationEdgeTest : public ::testing::Test {
+ protected:
+  void Deploy(std::shared_ptr<const ProcessSchema> schema) {
+    v1_ = std::move(schema);
+    v1_id_ = *repo_.Deploy(v1_);
+  }
+
+  ProcessInstance* NewInstance() {
+    ProcessInstance* inst = *engine_.CreateInstance(v1_, v1_id_);
+    EXPECT_TRUE(store_.Register(inst->id(), v1_id_).ok());
+    EXPECT_TRUE(inst->Start().ok());
+    return inst;
+  }
+
+  SchemaRepository repo_;
+  Engine engine_;
+  InstanceStore store_{&repo_};
+  MigrationManager manager_{&engine_, &repo_, &store_};
+  std::shared_ptr<const ProcessSchema> v1_;
+  SchemaId v1_id_;
+};
+
+TEST_F(MigrationEdgeTest, DeleteOpDemotesActivatedActivity) {
+  Deploy(SequenceSchema(3, "del"));
+  ProcessInstance* inst = NewInstance();
+  NodeId a1 = v1_->FindNodeByName("a1");
+  EXPECT_EQ(inst->node_state(a1), NodeState::kActivated);
+
+  Delta type_change;
+  type_change.Add(std::make_unique<DeleteActivityOp>(a1));
+  SchemaId v2_id = *repo_.DeriveVersion(v1_id_, std::move(type_change));
+
+  auto report = manager_.MigrateAll(v1_id_, v2_id);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->results[0].outcome, MigrationOutcome::kMigrated);
+  // a1 is gone; a2 took its activation.
+  EXPECT_EQ(inst->schema().FindNode(a1), nullptr);
+  EXPECT_EQ(inst->node_state(v1_->FindNodeByName("a2")),
+            NodeState::kActivated);
+}
+
+TEST_F(MigrationEdgeTest, DeleteOpConflictsWhenRunning) {
+  Deploy(SequenceSchema(3, "del_run"));
+  ProcessInstance* inst = NewInstance();
+  NodeId a1 = v1_->FindNodeByName("a1");
+  ASSERT_TRUE(inst->StartActivity(a1).ok());
+
+  Delta type_change;
+  type_change.Add(std::make_unique<DeleteActivityOp>(a1));
+  SchemaId v2_id = *repo_.DeriveVersion(v1_id_, std::move(type_change));
+
+  auto report = manager_.MigrateAll(v1_id_, v2_id);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->results[0].outcome, MigrationOutcome::kStateConflict);
+  EXPECT_EQ(inst->schema().version(), 1);
+  // The running activity is untouched.
+  EXPECT_EQ(inst->node_state(a1), NodeState::kRunning);
+}
+
+TEST_F(MigrationEdgeTest, MoveOpMigratesWhenBothConditionsHold) {
+  Deploy(SequenceSchema(4, "move"));
+  ProcessInstance* inst = NewInstance();
+  // Progress past a1 only; moving a3 before a2... i.e. into edge a1->a2 is
+  // no longer possible (a2 region?) — actually a2 is merely Activated, so
+  // both the delete condition (a3 untouched) and the insertion condition
+  // (a2 not started) hold.
+  NodeId a1 = v1_->FindNodeByName("a1");
+  ASSERT_TRUE(inst->StartActivity(a1).ok());
+  ASSERT_TRUE(inst->CompleteActivity(a1).ok());
+
+  Delta type_change;
+  type_change.Add(std::make_unique<MoveActivityOp>(
+      v1_->FindNodeByName("a3"), a1, v1_->FindNodeByName("a2")));
+  SchemaId v2_id = *repo_.DeriveVersion(v1_id_, std::move(type_change));
+
+  auto report = manager_.MigrateAll(v1_id_, v2_id);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->results[0].outcome, MigrationOutcome::kMigrated)
+      << report->results[0].detail;
+  // New order: a1 -> a3 -> a2 -> a4; a3 is now the activated one and the
+  // previously activated a2 was demoted.
+  EXPECT_EQ(inst->node_state(v1_->FindNodeByName("a3")),
+            NodeState::kActivated);
+  EXPECT_EQ(inst->node_state(v1_->FindNodeByName("a2")),
+            NodeState::kNotActivated);
+  SimulationDriver driver({.seed = 1});
+  ASSERT_TRUE(driver.RunToCompletion(*inst).ok());
+}
+
+TEST_F(MigrationEdgeTest, DataFlowTypeChangePropagates) {
+  Deploy(SequenceSchema(3, "dataflow"));
+  ProcessInstance* inst = NewInstance();
+  NodeId a1 = v1_->FindNodeByName("a1");
+  NodeId a2 = v1_->FindNodeByName("a2");
+
+  // V2: new element written by a1, mandatorily read by a2.
+  Delta probe;
+  auto* add = probe.Add(
+      std::make_unique<AddDataElementOp>("priority", DataType::kInt));
+  (void)probe.ApplyToSchema(*v1_);
+  DataId priority = static_cast<AddDataElementOp*>(add)->created_data();
+  Delta type_change;
+  type_change.Add(add->Clone());
+  type_change.Add(
+      std::make_unique<AddDataEdgeOp>(a1, priority, AccessMode::kWrite, false));
+  type_change.Add(
+      std::make_unique<AddDataEdgeOp>(a2, priority, AccessMode::kRead, false));
+  SchemaId v2_id = *repo_.DeriveVersion(v1_id_, std::move(type_change));
+
+  auto report = manager_.MigrateAll(v1_id_, v2_id);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->results[0].outcome, MigrationOutcome::kMigrated)
+      << report->results[0].detail;
+
+  // Executing on V2 now requires (and checks) the new parameter.
+  ASSERT_TRUE(inst->StartActivity(a1).ok());
+  EXPECT_EQ(inst->CompleteActivity(a1).code(),
+            StatusCode::kFailedPrecondition);  // mandatory output missing
+  ASSERT_TRUE(
+      inst->CompleteActivity(a1, {{priority, DataValue::Int(2)}}).ok());
+  ASSERT_TRUE(inst->StartActivity(a2).ok());
+  ASSERT_TRUE(inst->CompleteActivity(a2).ok());
+}
+
+TEST_F(MigrationEdgeTest, DataFlowChangeConflictsAfterWriterCompleted) {
+  Deploy(SequenceSchema(3, "dataflow2"));
+  ProcessInstance* inst = NewInstance();
+  NodeId a1 = v1_->FindNodeByName("a1");
+  ASSERT_TRUE(inst->StartActivity(a1).ok());
+  ASSERT_TRUE(inst->CompleteActivity(a1).ok());  // a1 done, wrote nothing
+
+  Delta probe;
+  auto* add = probe.Add(
+      std::make_unique<AddDataElementOp>("late", DataType::kInt));
+  (void)probe.ApplyToSchema(*v1_);
+  DataId late = static_cast<AddDataElementOp*>(add)->created_data();
+  Delta type_change;
+  type_change.Add(add->Clone());
+  type_change.Add(
+      std::make_unique<AddDataEdgeOp>(a1, late, AccessMode::kWrite, false));
+  type_change.Add(std::make_unique<AddDataEdgeOp>(
+      v1_->FindNodeByName("a2"), late, AccessMode::kRead, false));
+  SchemaId v2_id = *repo_.DeriveVersion(v1_id_, std::move(type_change));
+
+  auto report = manager_.MigrateAll(v1_id_, v2_id);
+  ASSERT_TRUE(report.ok());
+  // a1 already completed without producing "late": not compliant.
+  EXPECT_EQ(report->results[0].outcome, MigrationOutcome::kStateConflict);
+}
+
+TEST_F(MigrationEdgeTest, MidLoopInstanceMigrates) {
+  Deploy(LoopSchema());
+  ProcessInstance* inst = NewInstance();
+  DataId again = v1_->FindDataByName("again");
+  NodeId check = v1_->FindNodeByName("check");
+  NodeId prepare = v1_->FindNodeByName("prepare");
+  ASSERT_TRUE(inst->StartActivity(prepare).ok());
+  ASSERT_TRUE(inst->CompleteActivity(prepare).ok());
+  // Iterate once; stop mid-second-iteration (check activated).
+  ASSERT_TRUE(inst->StartActivity(check).ok());
+  ASSERT_TRUE(
+      inst->CompleteActivity(check, {{again, DataValue::Bool(true)}}).ok());
+  ASSERT_EQ(inst->loop_iteration(v1_->FindNodeByName("loop_start")), 1);
+
+  // Type change inserts a step after "finish" (outside the loop).
+  Delta type_change;
+  NewActivitySpec spec;
+  spec.name = "archive";
+  type_change.Add(std::make_unique<SerialInsertOp>(
+      spec, v1_->FindNodeByName("finish"), v1_->end_node()));
+  SchemaId v2_id = *repo_.DeriveVersion(v1_id_, std::move(type_change));
+
+  MigrationOptions options;
+  options.verify_adaptation_with_replay = true;  // loop-tolerant oracle
+  auto report = manager_.MigrateAll(v1_id_, v2_id, options);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->results[0].outcome, MigrationOutcome::kMigrated)
+      << report->results[0].detail;
+
+  // Loop state survived: still mid-iteration 2 on V2.
+  EXPECT_EQ(inst->loop_iteration(v1_->FindNodeByName("loop_start")), 1);
+  EXPECT_EQ(inst->node_state(check), NodeState::kActivated);
+  ASSERT_TRUE(inst->StartActivity(check).ok());
+  ASSERT_TRUE(
+      inst->CompleteActivity(check, {{again, DataValue::Bool(false)}}).ok());
+  SimulationDriver driver({.seed = 2});
+  ASSERT_TRUE(driver.RunToCompletion(*inst).ok());
+  EXPECT_EQ(inst->node_state(inst->schema().FindNodeByName("archive")),
+            NodeState::kCompleted);
+}
+
+TEST_F(MigrationEdgeTest, VersionChainWithPerHopConflicts) {
+  Deploy(SequenceSchema(4, "chain2"));
+  // I1 fresh (migrates all hops); I2 progressed past a2 (conflicts on V2's
+  // change at a2, stays on V1 even for later hops).
+  ProcessInstance* i1 = NewInstance();
+  ProcessInstance* i2 = NewInstance();
+  SimulationDriver driver({.seed = 3});
+  for (const char* n : {"a1", "a2"}) {
+    NodeId node = v1_->FindNodeByName(n);
+    ASSERT_TRUE(i2->StartActivity(node).ok());
+    ASSERT_TRUE(i2->CompleteActivity(node).ok());
+  }
+
+  Delta d2;
+  NewActivitySpec s2;
+  s2.name = "v2step";
+  d2.Add(std::make_unique<SerialInsertOp>(s2, v1_->FindNodeByName("a1"),
+                                          v1_->FindNodeByName("a2")));
+  SchemaId v2_id = *repo_.DeriveVersion(v1_id_, std::move(d2));
+  auto r1 = manager_.MigrateAll(v1_id_, v2_id);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(r1->MigratedTotal(), 1u);  // only I1
+
+  Delta d3;
+  NewActivitySpec s3;
+  s3.name = "v3step";
+  d3.Add(std::make_unique<SerialInsertOp>(s3, v1_->FindNodeByName("a3"),
+                                          v1_->FindNodeByName("a4")));
+  SchemaId v3_id = *repo_.DeriveVersion(v2_id, std::move(d3));
+  auto r2 = manager_.MigrateAll(v2_id, v3_id);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->MigratedTotal(), 1u);  // I1 again; I2 is not on V2
+
+  EXPECT_EQ(i1->schema().version(), 3);
+  EXPECT_EQ(i2->schema().version(), 1);
+  ASSERT_TRUE(driver.RunToCompletion(*i1).ok());
+  ASSERT_TRUE(driver.RunToCompletion(*i2).ok());
+}
+
+TEST_F(MigrationEdgeTest, SkippedRegionInsertIsCompliant) {
+  // Insert into a dead (skipped) XOR branch: allowed by the paper's
+  // skipped-insertion clause as long as nothing behind it started.
+  Deploy(testing_fixtures::XorSchema());
+  ProcessInstance* inst = NewInstance();
+  NodeId triage = v1_->FindNodeByName("triage");
+  DataId severity = v1_->FindDataByName("severity");
+  ASSERT_TRUE(inst->StartActivity(triage).ok());
+  ASSERT_TRUE(
+      inst->CompleteActivity(triage, {{severity, DataValue::Int(1)}}).ok());
+  NodeId standard = v1_->FindNodeByName("standard care");
+  ASSERT_EQ(inst->node_state(standard), NodeState::kSkipped);
+
+  Delta type_change;
+  NewActivitySpec spec;
+  spec.name = "aftercare";
+  type_change.Add(std::make_unique<SerialInsertOp>(
+      spec, v1_->FindNodeByName("xor_split"), standard));
+  SchemaId v2_id = *repo_.DeriveVersion(v1_id_, std::move(type_change));
+
+  auto report = manager_.MigrateAll(v1_id_, v2_id);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->results[0].outcome, MigrationOutcome::kMigrated)
+      << report->results[0].detail;
+  // The inserted node lies on the dead path and is skipped automatically.
+  NodeId aftercare = inst->schema().FindNodeByName("aftercare");
+  EXPECT_EQ(inst->node_state(aftercare), NodeState::kSkipped);
+  SimulationDriver driver({.seed = 4});
+  ASSERT_TRUE(driver.RunToCompletion(*inst).ok());
+}
+
+TEST_F(MigrationEdgeTest, SkippedRegionInsertConflictsOncePassed) {
+  Deploy(testing_fixtures::XorSchema());
+  ProcessInstance* inst = NewInstance();
+  NodeId triage = v1_->FindNodeByName("triage");
+  DataId severity = v1_->FindDataByName("severity");
+  ASSERT_TRUE(inst->StartActivity(triage).ok());
+  ASSERT_TRUE(
+      inst->CompleteActivity(triage, {{severity, DataValue::Int(1)}}).ok());
+  // Execute the chosen branch and move past the join.
+  NodeId intensive = v1_->FindNodeByName("intensive care");
+  ASSERT_TRUE(inst->StartActivity(intensive).ok());
+  ASSERT_TRUE(inst->CompleteActivity(intensive).ok());
+  NodeId discharge = v1_->FindNodeByName("discharge");
+  ASSERT_TRUE(inst->StartActivity(discharge).ok());
+
+  // Insert before the skipped node whose region has been passed (the
+  // paper's Fig. 1 clause: successors beyond the dead region started).
+  Delta type_change;
+  NewActivitySpec spec;
+  spec.name = "late";
+  type_change.Add(std::make_unique<SerialInsertOp>(
+      spec, v1_->FindNodeByName("xor_split"),
+      v1_->FindNodeByName("standard care")));
+  SchemaId v2_id = *repo_.DeriveVersion(v1_id_, std::move(type_change));
+  auto report = manager_.MigrateAll(v1_id_, v2_id);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->results[0].outcome, MigrationOutcome::kStateConflict);
+}
+
+}  // namespace
+}  // namespace adept

@@ -1,0 +1,376 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "model/block_tree.h"
+#include "model/schema.h"
+#include "model/schema_builder.h"
+#include "model/serialization.h"
+#include "tests/test_fixtures.h"
+
+namespace adept {
+namespace {
+
+using testing_fixtures::ComplexSchema;
+using testing_fixtures::LoopSchema;
+using testing_fixtures::OnlineOrderV1;
+using testing_fixtures::OnlineOrderV2;
+using testing_fixtures::SequenceSchema;
+using testing_fixtures::XorSchema;
+
+TEST(SchemaTest, BuilderProducesFrozenSchema) {
+  auto schema = OnlineOrderV1();
+  ASSERT_NE(schema, nullptr);
+  EXPECT_TRUE(schema->frozen());
+  EXPECT_EQ(schema->type_name(), "online_order");
+  EXPECT_EQ(schema->version(), 1);
+  // start, 4 activities + 2 in parallel, and split/join, end = 10 nodes.
+  EXPECT_EQ(schema->node_count(), 10u);
+  EXPECT_TRUE(schema->FindNodeByName("pack goods").valid());
+  EXPECT_FALSE(schema->FindNodeByName("no such").valid());
+}
+
+TEST(SchemaTest, MutationAfterFreezeRejected) {
+  auto schema = OnlineOrderV1();
+  auto clone = schema->Clone();  // mutable again
+  EXPECT_FALSE(clone->frozen());
+  Node extra;
+  extra.type = NodeType::kActivity;
+  extra.name = "extra";
+  EXPECT_TRUE(clone->AddNode(extra).ok());
+
+  // The original stays frozen and immutable.
+  auto frozen = std::const_pointer_cast<ProcessSchema>(schema);
+  EXPECT_EQ(frozen->AddNode(extra).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(SchemaTest, CloneKeepsIdsStable) {
+  auto schema = OnlineOrderV1();
+  NodeId pack = schema->FindNodeByName("pack goods");
+  auto clone = schema->Clone();
+  ASSERT_TRUE(clone->Freeze().ok());
+  EXPECT_EQ(clone->FindNodeByName("pack goods"), pack);
+  EXPECT_EQ(clone->next_node_id(), schema->next_node_id());
+}
+
+TEST(SchemaTest, RemoveNodeDropsIncidentEdges) {
+  auto schema = SequenceSchema(3)->Clone();
+  NodeId a2 = schema->FindNodeByName("a2");
+  ASSERT_TRUE(a2.valid());
+  size_t edges_before = schema->edge_count();
+  ASSERT_TRUE(schema->RemoveNode(a2).ok());
+  EXPECT_EQ(schema->edge_count(), edges_before - 2);
+  EXPECT_EQ(schema->FindNode(a2), nullptr);
+  // Freeze fails gracefully? No: freeze succeeds (graph is just split);
+  // the verifier rejects it later.
+  EXPECT_TRUE(schema->Freeze().ok());
+}
+
+TEST(SchemaTest, DeletedIdsAreNotReused) {
+  auto schema = SequenceSchema(3)->Clone();
+  NodeId a2 = schema->FindNodeByName("a2");
+  uint32_t next_before = schema->next_node_id();
+  ASSERT_TRUE(schema->RemoveNode(a2).ok());
+  Node fresh;
+  fresh.type = NodeType::kActivity;
+  fresh.name = "fresh";
+  auto id = schema->AddNode(fresh);
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(id->value(), next_before);
+  EXPECT_NE(*id, a2);
+}
+
+TEST(SchemaTest, FreezeRejectsMissingStartOrEnd) {
+  ProcessSchema s("broken", 1);
+  Node a;
+  a.type = NodeType::kActivity;
+  a.name = "a";
+  ASSERT_TRUE(s.AddNode(a).ok());
+  EXPECT_EQ(s.Freeze().code(), StatusCode::kVerificationFailed);
+}
+
+TEST(SchemaTest, FreezeRejectsDuplicateStart) {
+  ProcessSchema s("broken", 1);
+  Node start;
+  start.type = NodeType::kStartFlow;
+  ASSERT_TRUE(s.AddNode(start).ok());
+  ASSERT_TRUE(s.AddNode(start).ok());
+  Node end;
+  end.type = NodeType::kEndFlow;
+  ASSERT_TRUE(s.AddNode(end).ok());
+  EXPECT_EQ(s.Freeze().code(), StatusCode::kVerificationFailed);
+}
+
+TEST(SchemaViewTest, SuccessorsAndPredecessors) {
+  auto schema = OnlineOrderV1();
+  NodeId get_order = schema->FindNodeByName("get order");
+  NodeId collect = schema->FindNodeByName("collect data");
+  EXPECT_EQ(schema->ControlSuccessor(get_order), collect);
+  EXPECT_EQ(schema->ControlPredecessor(collect), get_order);
+
+  NodeId split = schema->FindNodeByName("and_split");
+  auto branches = schema->Successors(split, EdgeType::kControl);
+  EXPECT_EQ(branches.size(), 2u);
+  EXPECT_FALSE(schema->ControlSuccessor(split).valid());  // ambiguous
+}
+
+TEST(SchemaViewTest, ReachabilityByControl) {
+  auto schema = OnlineOrderV1();
+  NodeId get_order = schema->FindNodeByName("get order");
+  NodeId pack = schema->FindNodeByName("pack goods");
+  NodeId confirm = schema->FindNodeByName("confirm order");
+  NodeId compose = schema->FindNodeByName("compose order");
+  EXPECT_TRUE(schema->ReachableByControl(get_order, pack));
+  EXPECT_FALSE(schema->ReachableByControl(pack, get_order));
+  EXPECT_FALSE(schema->ReachableByControl(confirm, compose));
+  EXPECT_FALSE(schema->ReachableByControl(compose, confirm));
+}
+
+TEST(SchemaViewTest, TopologicalOrderRespectsEdges) {
+  auto schema = ComplexSchema();
+  ASSERT_NE(schema, nullptr);
+  auto order = schema->TopologicalOrder();
+  EXPECT_EQ(order.size(), schema->node_count());
+  std::unordered_map<NodeId, size_t> pos;
+  for (size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  schema->VisitEdges([&](const Edge& e) {
+    if (e.type == EdgeType::kControl) {
+      EXPECT_LT(pos[e.src], pos[e.dst]);
+    }
+  });
+}
+
+TEST(SchemaViewTest, TopoRankAvailableAfterFreeze) {
+  auto schema = OnlineOrderV1();
+  auto rank_start = schema->TopoRank(schema->start_node());
+  auto rank_end = schema->TopoRank(schema->end_node());
+  ASSERT_TRUE(rank_start.ok());
+  ASSERT_TRUE(rank_end.ok());
+  EXPECT_EQ(*rank_start, 0);
+  EXPECT_EQ(static_cast<size_t>(*rank_end), schema->node_count() - 1);
+}
+
+TEST(BlockTreeTest, ParsesSequence) {
+  auto schema = SequenceSchema(4);
+  auto tree = schema->block_tree();
+  ASSERT_TRUE(tree.ok()) << tree.status();
+  const BlockTree& t = **tree;
+  EXPECT_EQ(t.root().kind, BlockTree::BlockKind::kRoot);
+  EXPECT_EQ(t.root().sequence.size(), 6u);  // start, a1..a4, end
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(BlockTreeTest, ParsesParallelBlock) {
+  auto schema = OnlineOrderV1();
+  auto tree = schema->block_tree();
+  ASSERT_TRUE(tree.ok());
+  const BlockTree& t = **tree;
+  // root + parallel + 2 branches
+  EXPECT_EQ(t.size(), 4u);
+  NodeId split = schema->FindNodeByName("and_split");
+  NodeId join = schema->FindNodeByName("and_join");
+  auto exit = t.MatchingExit(split);
+  ASSERT_TRUE(exit.ok());
+  EXPECT_EQ(*exit, join);
+  auto entry = t.MatchingEntry(join);
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ(*entry, split);
+}
+
+TEST(BlockTreeTest, ParallelBranchDetection) {
+  auto schema = OnlineOrderV2();
+  ASSERT_NE(schema, nullptr);
+  auto tree = schema->block_tree();
+  ASSERT_TRUE(tree.ok());
+  NodeId confirm = schema->FindNodeByName("confirm order");
+  NodeId compose = schema->FindNodeByName("compose order");
+  NodeId send_q = schema->FindNodeByName("send questions");
+  NodeId pack = schema->FindNodeByName("pack goods");
+  EXPECT_TRUE((*tree)->InDifferentParallelBranches(confirm, compose));
+  EXPECT_TRUE((*tree)->InDifferentParallelBranches(send_q, confirm));
+  EXPECT_FALSE((*tree)->InDifferentParallelBranches(compose, send_q));
+  EXPECT_FALSE((*tree)->InDifferentParallelBranches(confirm, pack));
+}
+
+TEST(BlockTreeTest, LoopBlockAndMembership) {
+  auto schema = LoopSchema();
+  ASSERT_NE(schema, nullptr);
+  auto tree = schema->block_tree();
+  ASSERT_TRUE(tree.ok()) << tree.status();
+  NodeId check = schema->FindNodeByName("check");
+  NodeId prepare = schema->FindNodeByName("prepare");
+  int loop = (*tree)->InnermostLoop(check);
+  EXPECT_GE(loop, 0);
+  EXPECT_EQ((*tree)->InnermostLoop(prepare), -1);
+  auto nodes = (*tree)->NodesIn(loop);
+  // loop start + check + loop end
+  EXPECT_EQ(nodes.size(), 3u);
+}
+
+TEST(BlockTreeTest, NestedBlocksParse) {
+  auto schema = ComplexSchema();
+  ASSERT_NE(schema, nullptr);
+  auto tree = schema->block_tree();
+  ASSERT_TRUE(tree.ok()) << tree.status();
+  // root, AND, 2 AND-branches, XOR, 2 XOR-branches, loop, loop branch
+  EXPECT_EQ((*tree)->size(), 9u);
+}
+
+TEST(BlockTreeTest, RegionMembersForSequence) {
+  auto schema = SequenceSchema(5);
+  auto tree = schema->block_tree();
+  ASSERT_TRUE(tree.ok());
+  NodeId a2 = schema->FindNodeByName("a2");
+  NodeId a4 = schema->FindNodeByName("a4");
+  auto region = (*tree)->RegionMembers(a2, a4);
+  ASSERT_TRUE(region.ok()) << region.status();
+  EXPECT_EQ(region->size(), 3u);
+
+  // Reversed endpoints are rejected.
+  EXPECT_FALSE((*tree)->RegionMembers(a4, a2).ok());
+}
+
+TEST(BlockTreeTest, RegionMembersAcrossComposite) {
+  auto schema = OnlineOrderV1();
+  auto tree = schema->block_tree();
+  ASSERT_TRUE(tree.ok());
+  NodeId collect = schema->FindNodeByName("collect data");
+  NodeId pack = schema->FindNodeByName("pack goods");
+  auto region = (*tree)->RegionMembers(collect, pack);
+  ASSERT_TRUE(region.ok()) << region.status();
+  // collect data + and_split + confirm + compose + and_join + pack goods
+  EXPECT_EQ(region->size(), 6u);
+
+  // Endpoints in different branches do not form a region.
+  NodeId confirm = schema->FindNodeByName("confirm order");
+  NodeId compose = schema->FindNodeByName("compose order");
+  EXPECT_FALSE((*tree)->RegionMembers(confirm, compose).ok());
+}
+
+TEST(BlockTreeTest, RejectsUnmatchedJoin) {
+  ProcessSchema s("bad", 1);
+  Node n;
+  n.type = NodeType::kStartFlow;
+  NodeId start = *s.AddNode(n);
+  n.type = NodeType::kAndSplit;
+  NodeId split = *s.AddNode(n);
+  n.type = NodeType::kActivity;
+  n.name = "a";
+  NodeId a = *s.AddNode(n);
+  n.name = "b";
+  NodeId bnode = *s.AddNode(n);
+  n.type = NodeType::kEndFlow;
+  NodeId end = *s.AddNode(n);
+  ASSERT_TRUE(s.AddEdge(start, split, EdgeType::kControl).ok());
+  ASSERT_TRUE(s.AddEdge(split, a, EdgeType::kControl).ok());
+  ASSERT_TRUE(s.AddEdge(split, bnode, EdgeType::kControl).ok());
+  // Branches never join: b -> end, a dangles into end too.
+  ASSERT_TRUE(s.AddEdge(a, end, EdgeType::kControl).ok());
+  ASSERT_TRUE(s.AddEdge(bnode, end, EdgeType::kControl).ok());
+  ASSERT_TRUE(s.Freeze().ok());
+  EXPECT_FALSE(s.block_tree().ok());
+}
+
+TEST(SerializationTest, RoundTripPreservesEverything) {
+  auto schema = ComplexSchema();
+  ASSERT_NE(schema, nullptr);
+  JsonValue json = SchemaToJson(*schema);
+  auto restored = SchemaFromJson(json);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+
+  EXPECT_EQ((*restored)->type_name(), schema->type_name());
+  EXPECT_EQ((*restored)->version(), schema->version());
+  EXPECT_EQ((*restored)->node_count(), schema->node_count());
+  EXPECT_EQ((*restored)->edge_count(), schema->edge_count());
+  EXPECT_EQ((*restored)->data_count(), schema->data_count());
+  EXPECT_EQ((*restored)->data_edges().size(), schema->data_edges().size());
+  EXPECT_EQ((*restored)->next_node_id(), schema->next_node_id());
+
+  // Byte-stable re-serialization.
+  EXPECT_EQ(SchemaToJson(**restored).Dump(), json.Dump());
+
+  schema->VisitNodes([&](const Node& n) {
+    const Node* r = (*restored)->FindNode(n.id);
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(*r, n);
+  });
+  schema->VisitEdges([&](const Edge& e) {
+    const Edge* r = (*restored)->FindEdge(e.id);
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(*r, e);
+  });
+}
+
+TEST(SerializationTest, RejectsGarbage) {
+  EXPECT_FALSE(SchemaFromJson(JsonValue(42)).ok());
+  JsonValue wrong_format = JsonValue::MakeObject();
+  wrong_format.Set("format", JsonValue(99));
+  EXPECT_FALSE(SchemaFromJson(wrong_format).ok());
+}
+
+TEST(SerializationTest, MaterializeViewCopiesAll) {
+  auto schema = OnlineOrderV2();
+  auto copy = MaterializeView(*schema, schema->next_node_id(),
+                              schema->next_edge_id(), schema->next_data_id());
+  ASSERT_TRUE(copy->Freeze().ok());
+  EXPECT_EQ(copy->node_count(), schema->node_count());
+  EXPECT_EQ(copy->edge_count(), schema->edge_count());
+  EXPECT_EQ(SchemaToJson(*copy).Dump(), SchemaToJson(*schema).Dump());
+}
+
+TEST(BuilderTest, ConditionalTagsBranchCodes) {
+  auto schema = XorSchema();
+  ASSERT_NE(schema, nullptr);
+  NodeId split = schema->FindNodeByName("xor_split");
+  NodeId standard = schema->FindNodeByName("standard care");
+  NodeId intensive = schema->FindNodeByName("intensive care");
+  const Edge* e0 = schema->FindEdgeBetween(split, standard, EdgeType::kControl);
+  const Edge* e1 =
+      schema->FindEdgeBetween(split, intensive, EdgeType::kControl);
+  ASSERT_NE(e0, nullptr);
+  ASSERT_NE(e1, nullptr);
+  EXPECT_EQ(e0->branch_value, 0);
+  EXPECT_EQ(e1->branch_value, 1);
+}
+
+TEST(BuilderTest, EmptyConditionalBranchAllowed) {
+  SchemaBuilder b("opt", 1);
+  DataId flag = b.Data("flag", DataType::kInt);
+  NodeId init = b.Activity("init");
+  b.Writes(init, flag);
+  b.Conditional(flag, {
+      [](SchemaBuilder& s) { s.Activity("extra step"); },
+      [](SchemaBuilder&) { /* skip */ },
+  });
+  b.Activity("wrap up");
+  auto schema = b.Build();
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  auto tree = (*schema)->block_tree();
+  ASSERT_TRUE(tree.ok()) << tree.status();
+}
+
+TEST(BuilderTest, ErrorsAreLatched) {
+  SchemaBuilder b("bad", 1);
+  b.Parallel({});  // needs >= 2 branches
+  auto schema = b.Build();
+  EXPECT_FALSE(schema.ok());
+  EXPECT_EQ(schema.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BuilderTest, LoopRequiresBody) {
+  SchemaBuilder b("bad_loop", 1);
+  DataId c = b.Data("c", DataType::kBool);
+  b.Loop(c, [](SchemaBuilder&) {});
+  auto schema = b.Build();
+  EXPECT_FALSE(schema.ok());
+}
+
+TEST(MemoryFootprintTest, GrowsWithSchemaSize) {
+  auto small = SequenceSchema(5);
+  auto large = SequenceSchema(200);
+  EXPECT_GT(large->MemoryFootprint(), small->MemoryFootprint());
+}
+
+}  // namespace
+}  // namespace adept

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "change/change_op.h"
+#include "compliance/adhoc.h"
+#include "compliance/migration.h"
+#include "monitor/monitor.h"
+#include "runtime/driver.h"
+#include "runtime/engine.h"
+#include "storage/instance_store.h"
+#include "storage/schema_repository.h"
+#include "tests/test_fixtures.h"
+
+namespace adept {
+namespace {
+
+using testing_fixtures::ComplexSchema;
+using testing_fixtures::OnlineOrderV1;
+using testing_fixtures::OnlineOrderV2;
+
+TEST(MonitorTest, RenderSchemaShowsBlocksAndSync) {
+  auto schema = OnlineOrderV2();
+  std::string out = RenderSchema(*schema);
+  EXPECT_NE(out.find("process 'online_order' V2"), std::string::npos);
+  EXPECT_NE(out.find("AND {"), std::string::npos);
+  EXPECT_NE(out.find("confirm order"), std::string::npos);
+  EXPECT_NE(out.find("sync edges:"), std::string::npos);
+  EXPECT_NE(out.find("send questions >> confirm order"), std::string::npos);
+}
+
+TEST(MonitorTest, RenderInstanceShowsStates) {
+  auto schema = OnlineOrderV1();
+  ProcessInstance inst(InstanceId(7), schema, SchemaId(1));
+  ASSERT_TRUE(inst.Start().ok());
+  NodeId get_order = schema->FindNodeByName("get order");
+  ASSERT_TRUE(inst.StartActivity(get_order).ok());
+  ASSERT_TRUE(inst.CompleteActivity(get_order).ok());
+
+  std::string out = RenderInstance(inst);
+  EXPECT_NE(out.find("I7 on 'online_order' V1"), std::string::npos);
+  EXPECT_NE(out.find("[Completed   ] get order"), std::string::npos);
+  EXPECT_NE(out.find("[Activated   ] collect data"), std::string::npos);
+  EXPECT_NE(out.find("[NotActivated] pack goods"), std::string::npos);
+}
+
+TEST(MonitorTest, DotExportWellFormed) {
+  auto schema = ComplexSchema();
+  ProcessInstance inst(InstanceId(1), schema, SchemaId(1));
+  ASSERT_TRUE(inst.Start().ok());
+  std::string dot = SchemaToDot(*schema, &inst);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("rankdir=LR"), std::string::npos);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);  // sync edge
+  EXPECT_NE(dot.find("style=dotted"), std::string::npos);  // loop edge
+  EXPECT_NE(dot.find("palegreen"), std::string::npos);     // completed start
+  // Balanced braces.
+  EXPECT_EQ(std::count(dot.begin(), dot.end(), '{'),
+            std::count(dot.begin(), dot.end(), '}'));
+}
+
+TEST(MonitorTest, MigrationReportRendering) {
+  MigrationReport report;
+  report.type_name = "online_order";
+  report.from_version = 1;
+  report.to_version = 2;
+  report.results.push_back(
+      {InstanceId(1), MigrationOutcome::kMigrated, false, ""});
+  report.results.push_back({InstanceId(2),
+                            MigrationOutcome::kStructuralConflict, true,
+                            "deadlock-causing cycle"});
+  report.results.push_back({InstanceId(3), MigrationOutcome::kStateConflict,
+                            false, "'pack goods' already Running"});
+
+  std::string out = RenderMigrationReport(report);
+  EXPECT_NE(out.find("online_order V1 -> V2"), std::string::npos);
+  EXPECT_NE(out.find("I1"), std::string::npos);
+  EXPECT_NE(out.find("running on V2"), std::string::npos);
+  EXPECT_NE(out.find("remains on V1"), std::string::npos);
+  EXPECT_NE(out.find("(ad-hoc modified)"), std::string::npos);
+  EXPECT_NE(out.find("deadlock-causing cycle"), std::string::npos);
+  EXPECT_NE(out.find("1/3 migrated"), std::string::npos);
+}
+
+TEST(MonitorTest, MonitoringLogRecordsEvents) {
+  auto schema = OnlineOrderV1();
+  MonitoringLog log(100);
+  ProcessInstance inst(InstanceId(1), schema, SchemaId(1));
+  inst.set_observer(&log);
+  ASSERT_TRUE(inst.Start().ok());
+  SimulationDriver driver({.seed = 3});
+  ASSERT_TRUE(driver.RunToCompletion(inst).ok());
+
+  EXPECT_GT(log.transition_count(), 10u);
+  EXPECT_EQ(log.finished_count(), 1u);
+  EXPECT_FALSE(log.lines().empty());
+  EXPECT_NE(log.DebugString().find("finished"), std::string::npos);
+}
+
+TEST(MonitorTest, MonitoringLogBounded) {
+  auto schema = OnlineOrderV1();
+  MonitoringLog log(5);
+  for (uint64_t i = 1; i <= 4; ++i) {
+    ProcessInstance inst(InstanceId(i), schema, SchemaId(1));
+    inst.set_observer(&log);
+    ASSERT_TRUE(inst.Start().ok());
+    SimulationDriver driver({.seed = i});
+    ASSERT_TRUE(driver.RunToCompletion(inst).ok());
+  }
+  EXPECT_LE(log.lines().size(), 5u);
+  EXPECT_GT(log.transition_count(), 5u);  // counted even when evicted
+}
+
+TEST(MonitorTest, BiasedInstanceRenderedAsModified) {
+  auto schema = OnlineOrderV1();
+  SchemaRepository repo;
+  auto schema_id = repo.Deploy(schema);
+  ASSERT_TRUE(schema_id.ok());
+  InstanceStore store(&repo);
+  Engine engine;
+  auto created = engine.CreateInstance(schema, *schema_id);
+  ASSERT_TRUE(created.ok());
+  ProcessInstance* inst = *created;
+  ASSERT_TRUE(store.Register(inst->id(), *schema_id).ok());
+  ASSERT_TRUE(inst->Start().ok());
+
+  Delta delta;
+  NewActivitySpec spec;
+  spec.name = "phone check";
+  delta.Add(std::make_unique<SerialInsertOp>(
+      spec, schema->FindNodeByName("get order"),
+      schema->FindNodeByName("collect data")));
+  ASSERT_TRUE(ApplyAdHocChange(*inst, store, std::move(delta)).ok());
+
+  std::string out = RenderInstance(*inst);
+  EXPECT_NE(out.find("(ad-hoc modified)"), std::string::npos);
+  EXPECT_NE(out.find("phone check"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace adept

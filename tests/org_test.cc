@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "change/change_op.h"
+#include "compliance/adhoc.h"
+#include "org/org_model.h"
+#include "org/worklist.h"
+#include "storage/instance_store.h"
+#include "storage/schema_repository.h"
+#include "model/schema_builder.h"
+#include "runtime/engine.h"
+
+namespace adept {
+namespace {
+
+// Order process whose activities carry staff-assignment roles.
+std::shared_ptr<const ProcessSchema> RoleSchema(RoleId clerk, RoleId packer) {
+  SchemaBuilder b("role_proc", 1);
+  b.Activity("take order", {.role = clerk});
+  b.Activity("pack", {.role = packer});
+  b.Activity("ship", {.role = packer});
+  auto schema = b.Build();
+  return schema.ok() ? *schema : nullptr;
+}
+
+class WorklistTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    clerk_ = *org_.AddRole("clerk");
+    packer_ = *org_.AddRole("packer");
+    alice_ = *org_.AddUser("alice");
+    bob_ = *org_.AddUser("bob");
+    ASSERT_TRUE(org_.AssignRole(alice_, clerk_).ok());
+    ASSERT_TRUE(org_.AssignRole(bob_, packer_).ok());
+    schema_ = RoleSchema(clerk_, packer_);
+    ASSERT_NE(schema_, nullptr);
+  }
+
+  OrgModel org_;
+  RoleId clerk_, packer_;
+  UserId alice_, bob_;
+  std::shared_ptr<const ProcessSchema> schema_;
+};
+
+TEST(OrgModelTest, RolesAndUsers) {
+  OrgModel org;
+  auto clerk = org.AddRole("clerk");
+  ASSERT_TRUE(clerk.ok());
+  EXPECT_FALSE(org.AddRole("clerk").ok());
+
+  auto alice = org.AddUser("alice");
+  ASSERT_TRUE(alice.ok());
+  EXPECT_FALSE(org.AddUser("alice").ok());
+
+  ASSERT_TRUE(org.AssignRole(*alice, *clerk).ok());
+  EXPECT_TRUE(org.UserHasRole(*alice, *clerk));
+  EXPECT_EQ(org.UsersInRole(*clerk).size(), 1u);
+  EXPECT_EQ(org.RolesOf(*alice).size(), 1u);
+
+  ASSERT_TRUE(org.RevokeRole(*alice, *clerk).ok());
+  EXPECT_FALSE(org.UserHasRole(*alice, *clerk));
+  EXPECT_FALSE(org.RevokeRole(*alice, *clerk).ok());
+
+  EXPECT_EQ(*org.FindUser("alice"), *alice);
+  EXPECT_EQ(*org.FindRole("clerk"), *clerk);
+  EXPECT_FALSE(org.FindUser("nobody").ok());
+  EXPECT_EQ(*org.UserName(*alice), "alice");
+  EXPECT_EQ(*org.RoleName(*clerk), "clerk");
+}
+
+TEST_F(WorklistTest, OffersFollowActivation) {
+  WorklistManager worklists(&org_);
+  ProcessInstance inst(InstanceId(1), schema_, SchemaId(1));
+  inst.set_observer(&worklists);
+  ASSERT_TRUE(inst.Start().ok());
+
+  // "take order" is activated -> offered to alice (clerk), not bob.
+  auto alice_offers = worklists.OffersFor(alice_);
+  ASSERT_EQ(alice_offers.size(), 1u);
+  EXPECT_EQ(alice_offers[0].node, schema_->FindNodeByName("take order"));
+  EXPECT_TRUE(worklists.OffersFor(bob_).empty());
+
+  // Claim and start.
+  ASSERT_TRUE(worklists.Claim(alice_offers[0].id, alice_).ok());
+  EXPECT_TRUE(worklists.OffersFor(alice_).empty());  // claimed, not offered
+  ASSERT_TRUE(inst.StartActivity(alice_offers[0].node).ok());
+  ASSERT_TRUE(inst.CompleteActivity(alice_offers[0].node).ok());
+
+  // Next item goes to bob.
+  auto bob_offers = worklists.OffersFor(bob_);
+  ASSERT_EQ(bob_offers.size(), 1u);
+  EXPECT_EQ(bob_offers[0].node, schema_->FindNodeByName("pack"));
+}
+
+TEST_F(WorklistTest, ClaimAuthorizationEnforced) {
+  WorklistManager worklists(&org_);
+  ProcessInstance inst(InstanceId(1), schema_, SchemaId(1));
+  inst.set_observer(&worklists);
+  ASSERT_TRUE(inst.Start().ok());
+  auto offers = worklists.OffersFor(alice_);
+  ASSERT_EQ(offers.size(), 1u);
+  // bob is no clerk.
+  EXPECT_EQ(worklists.Claim(offers[0].id, bob_).code(),
+            StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(worklists.Claim(offers[0].id, alice_).ok());
+  // Double claim rejected.
+  EXPECT_FALSE(worklists.Claim(offers[0].id, alice_).ok());
+}
+
+TEST_F(WorklistTest, AdHocDeletionRevokesWorkItem) {
+  SchemaRepository repo;
+  auto schema_id = repo.Deploy(schema_);
+  ASSERT_TRUE(schema_id.ok());
+  InstanceStore store(&repo);
+  WorklistManager worklists(&org_);
+
+  Engine engine;
+  engine.set_observer(&worklists);
+  auto created = engine.CreateInstance(schema_, *schema_id);
+  ASSERT_TRUE(created.ok());
+  ProcessInstance* inst = *created;
+  ASSERT_TRUE(store.Register(inst->id(), *schema_id).ok());
+  ASSERT_TRUE(inst->Start().ok());
+  ASSERT_EQ(worklists.offered_count(), 1u);
+
+  // Delete the offered activity ad hoc: the work item must be revoked.
+  Delta delta;
+  delta.Add(std::make_unique<DeleteActivityOp>(
+      schema_->FindNodeByName("take order")));
+  ASSERT_TRUE(ApplyAdHocChange(*inst, store, std::move(delta)).ok());
+
+  EXPECT_EQ(worklists.revoked_count(), 1u);
+  // The successor ("pack") is offered instead.
+  auto bob_offers = worklists.OffersFor(bob_);
+  ASSERT_EQ(bob_offers.size(), 1u);
+  EXPECT_EQ(bob_offers[0].node, schema_->FindNodeByName("pack"));
+}
+
+TEST_F(WorklistTest, SkippedBranchRevokesOffer) {
+  SchemaBuilder b("xor_roles", 1);
+  DataId sel = b.Data("sel", DataType::kInt);
+  NodeId init = b.Activity("init", {.role = clerk_});
+  b.Writes(init, sel);
+  b.Conditional(sel, {
+      [&](SchemaBuilder& s) { s.Activity("left", {.role = packer_}); },
+      [&](SchemaBuilder& s) { s.Activity("right", {.role = packer_}); },
+  });
+  auto schema = b.Build();
+  ASSERT_TRUE(schema.ok());
+
+  WorklistManager worklists(&org_);
+  ProcessInstance inst(InstanceId(1), *schema, SchemaId(1));
+  inst.set_observer(&worklists);
+  ASSERT_TRUE(inst.Start().ok());
+  ASSERT_TRUE(inst.StartActivity(init).ok());
+  ASSERT_TRUE(inst.CompleteActivity(init, {{sel, DataValue::Int(0)}}).ok());
+
+  // Only "left" is offered; "right" was skipped without ever being offered.
+  auto offers = worklists.OffersFor(bob_);
+  ASSERT_EQ(offers.size(), 1u);
+  EXPECT_EQ(offers[0].node, (*schema)->FindNodeByName("left"));
+}
+
+}  // namespace
+}  // namespace adept

@@ -1,0 +1,135 @@
+// Canonical schemas shared by tests and benchmarks.
+//
+// OnlineOrderV1/V2 reproduce the paper's Fig. 1: schema S is the online
+// ordering process, S' (V2) adds the activity "send questions" after
+// "compose order" plus a sync edge "send questions" -> "confirm order".
+
+#ifndef ADEPT_TESTS_TEST_FIXTURES_H_
+#define ADEPT_TESTS_TEST_FIXTURES_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "model/schema.h"
+#include "model/schema_builder.h"
+
+namespace adept {
+namespace testing_fixtures {
+
+using SchemaPtr = std::shared_ptr<const ProcessSchema>;
+
+// start -> get order -> collect data -> AND(confirm order || compose order)
+// -> pack goods -> deliver goods -> end
+inline SchemaPtr OnlineOrderV1() {
+  SchemaBuilder b("online_order", 1);
+  b.Activity("get order");
+  b.Activity("collect data");
+  b.Parallel({
+      [](SchemaBuilder& s) { s.Activity("confirm order"); },
+      [](SchemaBuilder& s) { s.Activity("compose order"); },
+  });
+  b.Activity("pack goods");
+  b.Activity("deliver goods");
+  auto schema = b.Build();
+  return schema.ok() ? *schema : nullptr;
+}
+
+// V2 = V1 + "send questions" after "compose order" + sync edge
+// send questions -> confirm order (paper Fig. 1, Delta-T).
+inline SchemaPtr OnlineOrderV2() {
+  SchemaBuilder b("online_order", 2);
+  b.Activity("get order");
+  b.Activity("collect data");
+  NodeId confirm, send_questions;
+  b.Parallel({
+      [&](SchemaBuilder& s) { confirm = s.Activity("confirm order"); },
+      [&](SchemaBuilder& s) {
+        s.Activity("compose order");
+        send_questions = s.Activity("send questions");
+      },
+  });
+  b.Activity("pack goods");
+  b.Activity("deliver goods");
+  b.SyncEdge(send_questions, confirm);
+  auto schema = b.Build();
+  return schema.ok() ? *schema : nullptr;
+}
+
+// start -> a1 -> a2 -> ... -> aN -> end
+inline SchemaPtr SequenceSchema(int n, const std::string& type_name = "seq") {
+  SchemaBuilder b(type_name, 1);
+  for (int i = 1; i <= n; ++i) {
+    b.Activity("a" + std::to_string(i));
+  }
+  auto schema = b.Build();
+  return schema.ok() ? *schema : nullptr;
+}
+
+// XOR block steered by an int decision element written by "triage".
+inline SchemaPtr XorSchema() {
+  SchemaBuilder b("xor_proc", 1);
+  DataId severity = b.Data("severity", DataType::kInt);
+  NodeId triage = b.Activity("triage");
+  b.Writes(triage, severity);
+  b.Conditional(severity, {
+      [](SchemaBuilder& s) { s.Activity("standard care"); },
+      [](SchemaBuilder& s) { s.Activity("intensive care"); },
+  });
+  b.Activity("discharge");
+  auto schema = b.Build();
+  return schema.ok() ? *schema : nullptr;
+}
+
+// Loop whose body activity "check" rewrites the bool condition "again".
+inline SchemaPtr LoopSchema() {
+  SchemaBuilder b("loop_proc", 1);
+  DataId again = b.Data("again", DataType::kBool);
+  b.Activity("prepare");
+  b.Loop(again, [&](SchemaBuilder& s) {
+    NodeId check = s.Activity("check");
+    s.Writes(check, again);
+  });
+  b.Activity("finish");
+  auto schema = b.Build();
+  return schema.ok() ? *schema : nullptr;
+}
+
+// Nested blocks + sync edge + data flow, exercising most meta-model
+// features at once.
+inline SchemaPtr ComplexSchema() {
+  SchemaBuilder b("complex", 1);
+  DataId amount = b.Data("amount", DataType::kDouble);
+  DataId route = b.Data("route", DataType::kInt);
+  DataId redo = b.Data("redo", DataType::kBool);
+  NodeId intake = b.Activity("intake");
+  b.Writes(intake, amount);
+  b.Writes(intake, route);
+  NodeId left_tail, right_head;
+  b.Parallel({
+      [&](SchemaBuilder& s) {
+        s.Conditional(route, {
+            [](SchemaBuilder& t) { t.Activity("fast path"); },
+            [](SchemaBuilder& t) { t.Activity("slow path"); },
+        });
+        left_tail = s.Activity("left done");
+      },
+      [&](SchemaBuilder& s) {
+        right_head = s.Activity("right head");
+        s.Loop(redo, [&](SchemaBuilder& t) {
+          NodeId work = t.Activity("loop work");
+          t.Writes(work, redo);
+        });
+      },
+  });
+  NodeId archive = b.Activity("archive");
+  b.Reads(archive, amount);
+  b.SyncEdge(right_head, left_tail);
+  auto schema = b.Build();
+  return schema.ok() ? *schema : nullptr;
+}
+
+}  // namespace testing_fixtures
+}  // namespace adept
+
+#endif  // ADEPT_TESTS_TEST_FIXTURES_H_
