@@ -1,0 +1,132 @@
+// E8: sharded cluster scaling ("millions of users" trajectory).
+//
+//   BM_ClusterBatchThroughput  synthetic activity steps per second on a
+//                              fixed instance population, executed through
+//                              AdeptCluster::SubmitBatch with 1/2/4/8
+//                              shards — the shard groups of each batch run
+//                              in parallel on the worker pool
+//   BM_ClusterMigration        full type migration of the population,
+//                              fanned out shard-parallel
+//
+// Expected shape: throughput grows with the shard count up to the core
+// count (per-instance ADEPT semantics are untouched; shards share nothing).
+// The 1-shard runs are the single-engine baseline, so speedup(N) =
+// items_per_second(N) / items_per_second(1).
+//
+// Emit machine-readable results like every other bench:
+//   ./build/bench_cluster_scaling --benchmark_format=json
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "cluster/adept_cluster.h"
+
+namespace adept {
+namespace {
+
+constexpr int kPopulation = 256;
+
+std::unique_ptr<AdeptCluster> MakeCluster(int shards,
+                                          std::vector<InstanceId>* ids) {
+  ClusterOptions options;
+  options.shards = shards;
+  options.driver.seed = 42;
+  auto cluster = AdeptCluster::Create(options);
+  if (!cluster.ok()) return nullptr;
+  auto schema = bench::ScaledSchema(48, /*seed=*/7, "scaled_cluster");
+  if ((*cluster)->DeployProcessType(schema).ok() == false) return nullptr;
+  std::vector<AdeptCluster::BatchOp> creates(
+      kPopulation, AdeptCluster::BatchOp::Create("scaled_cluster"));
+  for (const auto& result : (*cluster)->SubmitBatch(creates)) {
+    if (!result.status.ok()) return nullptr;
+    ids->push_back(result.id);
+  }
+  return std::move(*cluster);
+}
+
+void BM_ClusterBatchThroughput(benchmark::State& state) {
+  const int shards = static_cast<int>(state.range(0));
+  std::vector<InstanceId> ids;
+  auto cluster = MakeCluster(shards, &ids);
+  if (cluster == nullptr) {
+    state.SkipWithError("cluster setup failed");
+    return;
+  }
+
+  size_t executed = 0;
+  std::vector<AdeptCluster::BatchOp> batch;
+  for (auto _ : state) {
+    batch.clear();
+    for (InstanceId id : ids) {
+      batch.push_back(AdeptCluster::BatchOp::DriveStep(id));
+    }
+    auto results = cluster->SubmitBatch(batch);
+    benchmark::DoNotOptimize(results.data());
+    executed += results.size();
+
+    // Recycle finished instances outside the timed region.
+    state.PauseTiming();
+    for (InstanceId& id : ids) {
+      const ProcessInstance* inst = cluster->Instance(id);
+      if (inst != nullptr && !inst->Finished()) continue;
+      auto fresh = cluster->CreateInstance("scaled_cluster");
+      if (fresh.ok()) id = *fresh;
+    }
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(executed));
+  state.counters["shards"] = shards;
+  state.counters["population"] = kPopulation;
+}
+BENCHMARK(BM_ClusterBatchThroughput)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_ClusterMigration(benchmark::State& state) {
+  const int shards = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    ClusterOptions options;
+    options.shards = shards;
+    auto cluster = AdeptCluster::Create(options);
+    if (!cluster.ok()) {
+      state.SkipWithError("cluster setup failed");
+      return;
+    }
+    auto v1_schema = bench::OnlineOrderV1();
+    auto v1 = (*cluster)->DeployProcessType(v1_schema);
+    if (!v1.ok()) {
+      state.SkipWithError("deploy failed");
+      return;
+    }
+    std::vector<AdeptCluster::BatchOp> creates(
+        kPopulation, AdeptCluster::BatchOp::Create("online_order"));
+    (void)(*cluster)->SubmitBatch(creates);
+    auto v2 =
+        (*cluster)->EvolveProcessType(*v1, bench::Fig1TypeChange(*v1_schema));
+    if (!v2.ok()) {
+      state.SkipWithError("evolution failed");
+      return;
+    }
+    state.ResumeTiming();
+
+    auto report = (*cluster)->Migrate(*v1, *v2);
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetItemsProcessed(state.iterations() * kPopulation);
+  state.counters["shards"] = shards;
+}
+BENCHMARK(BM_ClusterMigration)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace adept
+
+BENCHMARK_MAIN();

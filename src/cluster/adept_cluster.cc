@@ -1,0 +1,548 @@
+#include "cluster/adept_cluster.h"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+namespace adept {
+
+// --- BatchOp factories --------------------------------------------------------
+
+AdeptCluster::BatchOp AdeptCluster::BatchOp::Create(std::string type_name) {
+  BatchOp op;
+  op.kind = Kind::kCreate;
+  op.type_name = std::move(type_name);
+  return op;
+}
+
+AdeptCluster::BatchOp AdeptCluster::BatchOp::CreateOn(SchemaId schema) {
+  BatchOp op;
+  op.kind = Kind::kCreate;
+  op.schema = schema;
+  return op;
+}
+
+AdeptCluster::BatchOp AdeptCluster::BatchOp::Start(InstanceId id,
+                                                   NodeId node) {
+  BatchOp op;
+  op.kind = Kind::kStart;
+  op.id = id;
+  op.node = node;
+  return op;
+}
+
+AdeptCluster::BatchOp AdeptCluster::BatchOp::Complete(
+    InstanceId id, NodeId node,
+    std::vector<ProcessInstance::DataWrite> writes) {
+  BatchOp op;
+  op.kind = Kind::kComplete;
+  op.id = id;
+  op.node = node;
+  op.writes = std::move(writes);
+  return op;
+}
+
+AdeptCluster::BatchOp AdeptCluster::BatchOp::Fail(InstanceId id, NodeId node,
+                                                  std::string reason) {
+  BatchOp op;
+  op.kind = Kind::kFail;
+  op.id = id;
+  op.node = node;
+  op.reason = std::move(reason);
+  return op;
+}
+
+AdeptCluster::BatchOp AdeptCluster::BatchOp::SelectBranch(InstanceId id,
+                                                          NodeId node,
+                                                          int branch_value) {
+  BatchOp op;
+  op.kind = Kind::kSelectBranch;
+  op.id = id;
+  op.node = node;
+  op.branch_value = branch_value;
+  return op;
+}
+
+AdeptCluster::BatchOp AdeptCluster::BatchOp::LoopDecision(InstanceId id,
+                                                          NodeId node,
+                                                          bool iterate) {
+  BatchOp op;
+  op.kind = Kind::kLoopDecision;
+  op.id = id;
+  op.node = node;
+  op.iterate = iterate;
+  return op;
+}
+
+AdeptCluster::BatchOp AdeptCluster::BatchOp::DriveStep(InstanceId id) {
+  BatchOp op;
+  op.kind = Kind::kDriveStep;
+  op.id = id;
+  return op;
+}
+
+AdeptCluster::BatchOp AdeptCluster::BatchOp::AdHocChange(InstanceId id,
+                                                         Delta delta) {
+  BatchOp op;
+  op.kind = Kind::kAdHocChange;
+  op.id = id;
+  op.delta = std::make_shared<Delta>(std::move(delta));
+  return op;
+}
+
+// --- Construction / recovery --------------------------------------------------
+
+AdeptCluster::AdeptCluster(const ClusterOptions& options) : options_(options) {}
+
+AdeptOptions AdeptCluster::ShardOptions(const ClusterOptions& options,
+                                        int index) {
+  AdeptOptions shard_options;
+  shard_options.default_strategy = options.default_strategy;
+  std::string suffix = ".shard" + std::to_string(index);
+  if (!options.wal_path.empty()) {
+    shard_options.wal_path = options.wal_path + suffix;
+  }
+  if (!options.snapshot_path.empty()) {
+    shard_options.snapshot_path = options.snapshot_path + suffix;
+  }
+  return shard_options;
+}
+
+namespace {
+
+Result<std::unique_ptr<SimulationDriver>> MakeShardDriver(
+    const ClusterOptions& options, int index) {
+  DriverOptions driver_options = options.driver;
+  driver_options.seed += static_cast<uint64_t>(index);
+  return std::make_unique<SimulationDriver>(driver_options);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<AdeptCluster>> AdeptCluster::Build(
+    const ClusterOptions& options,
+    const std::function<Result<std::unique_ptr<AdeptSystem>>(
+        const AdeptOptions&)>& make_system) {
+  if (options.shards < 1) {
+    return Status::InvalidArgument("cluster needs at least one shard");
+  }
+  std::unique_ptr<AdeptCluster> cluster(new AdeptCluster(options));
+  for (int i = 0; i < options.shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    ADEPT_ASSIGN_OR_RETURN(shard->system, make_system(ShardOptions(options, i)));
+    ADEPT_ASSIGN_OR_RETURN(shard->driver, MakeShardDriver(options, i));
+    cluster->shards_.push_back(std::move(shard));
+  }
+  size_t threads =
+      options.worker_threads > 0
+          ? static_cast<size_t>(options.worker_threads)
+          : std::min(static_cast<size_t>(options.shards),
+                     static_cast<size_t>(
+                         std::max(1u, std::thread::hardware_concurrency())));
+  cluster->pool_ = std::make_unique<WorkerPool>(threads);
+  return cluster;
+}
+
+void AdeptCluster::RunParallel(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  BlockingCounter pending(tasks.size() - 1);
+  for (size_t i = 0; i + 1 < tasks.size(); ++i) {
+    pool_->Submit([&tasks, i, &pending] {
+      tasks[i]();
+      pending.DecrementCount();
+    });
+  }
+  tasks.back()();
+  pending.Wait();
+}
+
+Result<std::unique_ptr<AdeptCluster>> AdeptCluster::Create(
+    const ClusterOptions& options) {
+  return Build(options, [](const AdeptOptions& shard_options) {
+    return AdeptSystem::Create(shard_options);
+  });
+}
+
+Result<std::unique_ptr<AdeptCluster>> AdeptCluster::Recover(
+    const ClusterOptions& options) {
+  ADEPT_ASSIGN_OR_RETURN(
+      std::unique_ptr<AdeptCluster> cluster,
+      Build(options, [](const AdeptOptions& shard_options) {
+        return AdeptSystem::Recover(shard_options);
+      }));
+  // Re-derive the shard-affine id allocators; an id on the wrong shard
+  // means the durable state was written with a different shard count.
+  const uint64_t n = cluster->shards_.size();
+  for (uint64_t k = 0; k < n; ++k) {
+    Shard& shard = *cluster->shards_[k];
+    for (InstanceId id : shard.system->engine().InstanceIds()) {
+      if ((id.value() - 1) % n != k) {
+        return Status::Corruption(
+            "instance " + std::to_string(id.value()) + " recovered on shard " +
+            std::to_string(k) + "; was the cluster resized?");
+      }
+      uint64_t seq = (id.value() - 1 - k) / n;
+      shard.next_seq = std::max(shard.next_seq, seq + 1);
+    }
+  }
+  return cluster;
+}
+
+AdeptCluster::~AdeptCluster() = default;
+
+// --- Schema management (fan-out) ----------------------------------------------
+
+namespace {
+
+Status SchemaPoisoned() {
+  return Status::FailedPrecondition(
+      "a previous schema fan-out failed part-way; shards disagree on schema "
+      "state — rebuild the cluster (Recover) before further schema changes");
+}
+
+}  // namespace
+
+Result<SchemaId> AdeptCluster::DeployProcessType(
+    std::shared_ptr<const ProcessSchema> schema) {
+  std::lock_guard<std::mutex> schema_lock(schema_mu_);
+  if (schema_poisoned_) return SchemaPoisoned();
+  SchemaId canonical;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    Shard& shard = *shards_[i];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto result = shard.system->DeployProcessType(schema);
+    if (i == 0) {
+      // Verification failures surface here, before any shard is touched.
+      if (!result.ok()) return result.status();
+      canonical = *result;
+    } else if (!result.ok() || *result != canonical) {
+      schema_poisoned_ = true;
+      return Status::Internal("schema deploy diverged on shard " +
+                              std::to_string(i) +
+                              "; schema management is now disabled");
+    }
+  }
+  return canonical;
+}
+
+Result<SchemaId> AdeptCluster::EvolveProcessType(SchemaId base, Delta delta) {
+  std::lock_guard<std::mutex> schema_lock(schema_mu_);
+  if (schema_poisoned_) return SchemaPoisoned();
+  SchemaId canonical;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    Shard& shard = *shards_[i];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto result = shard.system->EvolveProcessType(base, delta.Clone());
+    if (i == 0) {
+      if (!result.ok()) return result.status();
+      canonical = *result;
+    } else if (!result.ok() || *result != canonical) {
+      schema_poisoned_ = true;
+      return Status::Internal("schema evolution diverged on shard " +
+                              std::to_string(i) +
+                              "; schema management is now disabled");
+    }
+  }
+  return canonical;
+}
+
+Result<SchemaId> AdeptCluster::LatestVersion(
+    const std::string& type_name) const {
+  // schema_mu_ keeps the read from observing a half-applied fan-out (shard 0
+  // already evolved, later shards not yet).
+  std::lock_guard<std::mutex> schema_lock(schema_mu_);
+  const Shard& shard = *shards_[0];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.system->LatestVersion(type_name);
+}
+
+Result<std::shared_ptr<const ProcessSchema>> AdeptCluster::Schema(
+    SchemaId id) const {
+  std::lock_guard<std::mutex> schema_lock(schema_mu_);
+  const Shard& shard = *shards_[0];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.system->Schema(id);
+}
+
+// --- Instance lifecycle (routed) ----------------------------------------------
+
+InstanceId AdeptCluster::NextIdLocked(size_t shard_index) {
+  Shard& shard = *shards_[shard_index];
+  uint64_t seq = shard.next_seq++;
+  return InstanceId(seq * shards_.size() + shard_index + 1);
+}
+
+Result<InstanceId> AdeptCluster::CreateOnShard(size_t shard_index,
+                                               const std::string& type_name,
+                                               SchemaId schema) {
+  Shard& shard = *shards_[shard_index];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (!schema.valid()) {
+    ADEPT_ASSIGN_OR_RETURN(schema, shard.system->LatestVersion(type_name));
+  }
+  return shard.system->CreateInstanceWithId(schema, NextIdLocked(shard_index));
+}
+
+Result<InstanceId> AdeptCluster::CreateInstance(const std::string& type_name) {
+  return CreateOnShard(NextCreationShard(), type_name, SchemaId::Invalid());
+}
+
+Result<InstanceId> AdeptCluster::CreateInstanceOn(SchemaId schema) {
+  return CreateOnShard(NextCreationShard(), std::string(), schema);
+}
+
+const ProcessInstance* AdeptCluster::Instance(InstanceId id) const {
+  if (!id.valid()) return nullptr;
+  const Shard& shard = *shards_[ShardOf(id)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.system->Instance(id);
+}
+
+#define ADEPT_CLUSTER_ROUTE(id, call)                    \
+  do {                                                   \
+    Shard& _shard = *shards_[ShardOf(id)];               \
+    std::lock_guard<std::mutex> _lock(_shard.mu);        \
+    return _shard.system->call;                          \
+  } while (0)
+
+Status AdeptCluster::StartActivity(InstanceId id, NodeId node) {
+  ADEPT_CLUSTER_ROUTE(id, StartActivity(id, node));
+}
+
+Status AdeptCluster::CompleteActivity(
+    InstanceId id, NodeId node,
+    const std::vector<ProcessInstance::DataWrite>& writes) {
+  ADEPT_CLUSTER_ROUTE(id, CompleteActivity(id, node, writes));
+}
+
+Status AdeptCluster::FailActivity(InstanceId id, NodeId node,
+                                  const std::string& reason) {
+  ADEPT_CLUSTER_ROUTE(id, FailActivity(id, node, reason));
+}
+
+Status AdeptCluster::RetryActivity(InstanceId id, NodeId node) {
+  ADEPT_CLUSTER_ROUTE(id, RetryActivity(id, node));
+}
+
+Status AdeptCluster::SuspendActivity(InstanceId id, NodeId node) {
+  ADEPT_CLUSTER_ROUTE(id, SuspendActivity(id, node));
+}
+
+Status AdeptCluster::ResumeActivity(InstanceId id, NodeId node) {
+  ADEPT_CLUSTER_ROUTE(id, ResumeActivity(id, node));
+}
+
+Status AdeptCluster::SelectBranch(InstanceId id, NodeId split,
+                                  int branch_value) {
+  ADEPT_CLUSTER_ROUTE(id, SelectBranch(id, split, branch_value));
+}
+
+Status AdeptCluster::SetLoopDecision(InstanceId id, NodeId loop_end,
+                                     bool iterate) {
+  ADEPT_CLUSTER_ROUTE(id, SetLoopDecision(id, loop_end, iterate));
+}
+
+Result<bool> AdeptCluster::DriveStep(InstanceId id, SimulationDriver& driver) {
+  ADEPT_CLUSTER_ROUTE(id, DriveStep(id, driver));
+}
+
+Status AdeptCluster::DriveToCompletion(InstanceId id, SimulationDriver& driver,
+                                       int max_steps) {
+  ADEPT_CLUSTER_ROUTE(id, DriveToCompletion(id, driver, max_steps));
+}
+
+Status AdeptCluster::ApplyAdHocChange(InstanceId id, Delta delta) {
+  ADEPT_CLUSTER_ROUTE(id, ApplyAdHocChange(id, std::move(delta)));
+}
+
+#undef ADEPT_CLUSTER_ROUTE
+
+// --- Dynamic change (fan-out) -------------------------------------------------
+
+namespace {
+
+// A failed shard turns the whole call into an error, but the message names
+// the failed shards and how many instances the successful ones already
+// migrated — that migration work is committed (and WAL-logged) per shard.
+Result<MigrationReport> MergeReports(
+    std::vector<Result<MigrationReport>>& reports) {
+  std::string failures;
+  size_t migrated_elsewhere = 0;
+  for (size_t i = 0; i < reports.size(); ++i) {
+    if (reports[i].ok()) {
+      migrated_elsewhere += reports[i]->MigratedTotal();
+      continue;
+    }
+    if (!failures.empty()) failures += "; ";
+    failures += "shard " + std::to_string(i) + ": " +
+                reports[i].status().ToString();
+  }
+  if (!failures.empty()) {
+    return Status::Internal(
+        "migration failed on " + failures + " (other shards committed " +
+        std::to_string(migrated_elsewhere) + " migrated instances)");
+  }
+  MigrationReport merged;
+  bool first = true;
+  for (auto& report : reports) {
+    if (first) {
+      merged = std::move(*report);
+      first = false;
+      continue;
+    }
+    for (auto& result : report->results) {
+      merged.results.push_back(std::move(result));
+    }
+  }
+  return merged;
+}
+
+}  // namespace
+
+Result<MigrationReport> AdeptCluster::Migrate(SchemaId from, SchemaId to,
+                                              const MigrationOptions& options) {
+  std::lock_guard<std::mutex> schema_lock(schema_mu_);
+  std::vector<Result<MigrationReport>> reports(
+      shards_.size(), Result<MigrationReport>(Status::Internal("not run")));
+  std::vector<std::function<void()>> tasks;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    tasks.push_back([this, i, from, to, &options, &reports] {
+      Shard& shard = *shards_[i];
+      std::lock_guard<std::mutex> lock(shard.mu);
+      reports[i] = shard.system->Migrate(from, to, options);
+    });
+  }
+  RunParallel(std::move(tasks));
+  return MergeReports(reports);
+}
+
+Result<MigrationReport> AdeptCluster::MigrateToLatest(
+    const std::string& type_name, const MigrationOptions& options) {
+  std::lock_guard<std::mutex> schema_lock(schema_mu_);
+  std::vector<Result<MigrationReport>> reports(
+      shards_.size(), Result<MigrationReport>(Status::Internal("not run")));
+  std::vector<std::function<void()>> tasks;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    tasks.push_back([this, i, &type_name, &options, &reports] {
+      Shard& shard = *shards_[i];
+      std::lock_guard<std::mutex> lock(shard.mu);
+      reports[i] = shard.system->MigrateToLatest(type_name, options);
+    });
+  }
+  RunParallel(std::move(tasks));
+  return MergeReports(reports);
+}
+
+// --- Durability / observers ---------------------------------------------------
+
+Status AdeptCluster::SaveSnapshot() {
+  std::lock_guard<std::mutex> schema_lock(schema_mu_);
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    ADEPT_RETURN_IF_ERROR(shard.system->SaveSnapshot());
+  }
+  return Status::OK();
+}
+
+void AdeptCluster::AddObserver(InstanceObserver* observer) {
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.system->AddObserver(observer);
+  }
+}
+
+// --- Batch execution ----------------------------------------------------------
+
+AdeptCluster::BatchResult AdeptCluster::ExecuteOpLocked(Shard& shard,
+                                                        size_t shard_index,
+                                                        const BatchOp& op) {
+  BatchResult result;
+  result.id = op.id;
+  AdeptSystem& system = *shard.system;
+  switch (op.kind) {
+    case BatchOp::Kind::kCreate: {
+      SchemaId schema = op.schema;
+      if (!schema.valid()) {
+        auto latest = system.LatestVersion(op.type_name);
+        if (!latest.ok()) {
+          result.status = latest.status();
+          return result;
+        }
+        schema = *latest;
+      }
+      auto created =
+          system.CreateInstanceWithId(schema, NextIdLocked(shard_index));
+      if (created.ok()) {
+        result.id = *created;
+      } else {
+        result.status = created.status();
+      }
+      return result;
+    }
+    case BatchOp::Kind::kStart:
+      result.status = system.StartActivity(op.id, op.node);
+      return result;
+    case BatchOp::Kind::kComplete:
+      result.status = system.CompleteActivity(op.id, op.node, op.writes);
+      return result;
+    case BatchOp::Kind::kFail:
+      result.status = system.FailActivity(op.id, op.node, op.reason);
+      return result;
+    case BatchOp::Kind::kSelectBranch:
+      result.status = system.SelectBranch(op.id, op.node, op.branch_value);
+      return result;
+    case BatchOp::Kind::kLoopDecision:
+      result.status = system.SetLoopDecision(op.id, op.node, op.iterate);
+      return result;
+    case BatchOp::Kind::kDriveStep: {
+      auto progressed = system.DriveStep(op.id, *shard.driver);
+      if (progressed.ok()) {
+        result.progressed = *progressed;
+      } else {
+        result.status = progressed.status();
+      }
+      return result;
+    }
+    case BatchOp::Kind::kAdHocChange: {
+      if (op.delta == nullptr) {
+        result.status = Status::InvalidArgument("batch ad-hoc op needs delta");
+        return result;
+      }
+      result.status = system.ApplyAdHocChange(op.id, op.delta->Clone());
+      return result;
+    }
+  }
+  result.status = Status::Internal("unknown batch op kind");
+  return result;
+}
+
+std::vector<AdeptCluster::BatchResult> AdeptCluster::SubmitBatch(
+    const std::vector<BatchOp>& ops) {
+  std::vector<BatchResult> results(ops.size());
+  // Route every op up front (creates get their round-robin placement here),
+  // then run one task per shard that has work.
+  std::vector<std::vector<size_t>> by_shard(shards_.size());
+  for (size_t i = 0; i < ops.size(); ++i) {
+    size_t shard_index = ops[i].kind == BatchOp::Kind::kCreate
+                             ? NextCreationShard()
+                             : ShardOf(ops[i].id);
+    by_shard[shard_index].push_back(i);
+  }
+  std::vector<std::function<void()>> tasks;
+  for (size_t shard_index = 0; shard_index < by_shard.size(); ++shard_index) {
+    if (by_shard[shard_index].empty()) continue;
+    tasks.push_back([this, shard_index, &by_shard, &ops, &results] {
+      Shard& shard = *shards_[shard_index];
+      std::lock_guard<std::mutex> lock(shard.mu);
+      for (size_t op_index : by_shard[shard_index]) {
+        results[op_index] = ExecuteOpLocked(shard, shard_index, ops[op_index]);
+      }
+    });
+  }
+  RunParallel(std::move(tasks));
+  return results;
+}
+
+}  // namespace adept

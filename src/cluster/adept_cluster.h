@@ -1,0 +1,257 @@
+// AdeptCluster: N AdeptSystem shards behind the AdeptApi facade.
+//
+// The single-node AdeptSystem is single-threaded by design; this layer is
+// where concurrency enters the codebase. Instances are partitioned across
+// `shards` fully independent AdeptSystem instances:
+//
+//   * shard key        ShardOf(id) == (id - 1) % shards. The cluster
+//                      allocates instance ids shard-affinely (shard k issues
+//                      k+1, k+1+N, k+2N+1, ...), so the owning shard is a
+//                      pure function of the id — no routing table, stable
+//                      across recovery.
+//   * creation         new instances are placed round-robin; all later
+//                      lifecycle/worklist calls are routed to the owner.
+//   * schema calls     DeployProcessType/EvolveProcessType/Migrate fan out
+//                      to every shard under a global schema lock; since all
+//                      shards see the identical call sequence, they allocate
+//                      identical SchemaIds (divergence is detected and
+//                      reported as kInternal).
+//   * locking          one mutex per shard serializes that shard's engine
+//                      turn; distinct shards execute in parallel.
+//   * durability       each shard owns a WAL/snapshot pair derived from the
+//                      configured base paths ("<path>.shard<k>");
+//                      Recover() rebuilds every shard and re-derives the
+//                      per-shard id allocators.
+//
+// SubmitBatch() is the scale-out entry point: heterogeneous operations are
+// grouped by owning shard and the groups execute in parallel on a small
+// worker pool — one lock acquisition per shard per batch instead of one
+// per operation.
+//
+// Observers registered via AddObserver() are invoked from worker threads
+// (under the owning shard's lock) and must be thread-safe.
+
+#ifndef ADEPT_CLUSTER_ADEPT_CLUSTER_H_
+#define ADEPT_CLUSTER_ADEPT_CLUSTER_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cluster/thread_pool.h"
+#include "core/adept.h"
+#include "core/adept_api.h"
+
+namespace adept {
+
+struct ClusterOptions {
+  // Number of instance partitions (and worker threads, unless overridden).
+  int shards = 4;
+  // Per-shard AdeptSystem defaults (see AdeptOptions).
+  StorageStrategy default_strategy = StorageStrategy::kOverlay;
+  // Base durability paths; shard k appends ".shard<k>". Empty disables.
+  std::string wal_path;
+  std::string snapshot_path;
+  // Seed/policy of the shard-local drivers behind BatchOp::DriveStep (shard
+  // k runs with seed `driver.seed + k`).
+  DriverOptions driver;
+  // Worker pool size; 0 sizes it to min(shards, hardware concurrency) —
+  // more threads than cores only adds context switching, and the caller
+  // thread already executes one shard group of every fan-out itself.
+  int worker_threads = 0;
+};
+
+class AdeptCluster : public AdeptApi {
+ public:
+  // Fresh cluster (ignores existing per-shard WAL/snapshot files).
+  static Result<std::unique_ptr<AdeptCluster>> Create(
+      const ClusterOptions& options = {});
+
+  // Rebuilds every shard from its snapshot + WAL tail. `options.shards`
+  // must match the writing cluster; a mismatch is detected (kCorruption)
+  // because recovered instance ids land on the wrong shard.
+  static Result<std::unique_ptr<AdeptCluster>> Recover(
+      const ClusterOptions& options);
+
+  AdeptCluster(const AdeptCluster&) = delete;
+  AdeptCluster& operator=(const AdeptCluster&) = delete;
+  ~AdeptCluster() override;
+
+  // --- Partitioning ---------------------------------------------------------
+
+  size_t shard_count() const { return shards_.size(); }
+  size_t ShardOf(InstanceId id) const {
+    return static_cast<size_t>((id.value() - 1) % shards_.size());
+  }
+
+  // Direct shard access (tests, benchmarks, per-shard org/worklists). The
+  // caller owns the synchronization story when mixing this with concurrent
+  // cluster calls.
+  AdeptSystem& shard(size_t index) { return *shards_[index]->system; }
+
+  // --- AdeptApi: schema management (fans out to every shard) ---------------
+
+  Result<SchemaId> DeployProcessType(
+      std::shared_ptr<const ProcessSchema> schema) override;
+  Result<SchemaId> EvolveProcessType(SchemaId base, Delta delta) override;
+  Result<SchemaId> LatestVersion(const std::string& type_name) const override;
+  Result<std::shared_ptr<const ProcessSchema>> Schema(
+      SchemaId id) const override;
+
+  // --- AdeptApi: instance lifecycle (routed to the owning shard) ------------
+
+  Result<InstanceId> CreateInstance(const std::string& type_name) override;
+  Result<InstanceId> CreateInstanceOn(SchemaId schema) override;
+
+  // The returned pointer is looked up under the owning shard's lock but
+  // read after it is released: dereference it only while no other thread
+  // can mutate that shard (quiescent cluster, or all traffic for this
+  // instance funneled through the calling thread).
+  const ProcessInstance* Instance(InstanceId id) const override;
+
+  Status StartActivity(InstanceId id, NodeId node) override;
+  Status CompleteActivity(
+      InstanceId id, NodeId node,
+      const std::vector<ProcessInstance::DataWrite>& writes = {}) override;
+  Status FailActivity(InstanceId id, NodeId node,
+                      const std::string& reason) override;
+  Status RetryActivity(InstanceId id, NodeId node) override;
+  Status SuspendActivity(InstanceId id, NodeId node) override;
+  Status ResumeActivity(InstanceId id, NodeId node) override;
+  Status SelectBranch(InstanceId id, NodeId split, int branch_value) override;
+  Status SetLoopDecision(InstanceId id, NodeId loop_end,
+                         bool iterate) override;
+
+  Result<bool> DriveStep(InstanceId id, SimulationDriver& driver) override;
+  Status DriveToCompletion(InstanceId id, SimulationDriver& driver,
+                           int max_steps = 100000) override;
+
+  // --- AdeptApi: dynamic change ---------------------------------------------
+
+  Status ApplyAdHocChange(InstanceId id, Delta delta) override;
+  Result<MigrationReport> Migrate(SchemaId from, SchemaId to,
+                                  const MigrationOptions& options = {}) override;
+  Result<MigrationReport> MigrateToLatest(
+      const std::string& type_name,
+      const MigrationOptions& options = {}) override;
+
+  // --- AdeptApi: durability --------------------------------------------------
+
+  Status SaveSnapshot() override;
+
+  // --- Observers -------------------------------------------------------------
+
+  // Subscribes to events of every shard. The observer is called from worker
+  // threads (under the owning shard's lock) and must be thread-safe.
+  void AddObserver(InstanceObserver* observer);
+
+  // --- Batch execution --------------------------------------------------------
+
+  struct BatchOp {
+    enum class Kind {
+      kCreate,       // type_name (or schema when valid)
+      kStart,        // id, node
+      kComplete,     // id, node, writes
+      kFail,         // id, node, reason
+      kSelectBranch, // id, node, branch_value
+      kLoopDecision, // id, node, iterate
+      kDriveStep,    // id; one synthetic step by the shard-local driver
+      kAdHocChange,  // id, delta
+    };
+
+    Kind kind = Kind::kDriveStep;
+    std::string type_name;
+    SchemaId schema;
+    InstanceId id;
+    NodeId node;
+    std::vector<ProcessInstance::DataWrite> writes;
+    std::string reason;
+    int branch_value = 0;
+    bool iterate = false;
+    std::shared_ptr<Delta> delta;  // shared_ptr: BatchOp stays copyable
+
+    static BatchOp Create(std::string type_name);
+    static BatchOp CreateOn(SchemaId schema);
+    static BatchOp Start(InstanceId id, NodeId node);
+    static BatchOp Complete(
+        InstanceId id, NodeId node,
+        std::vector<ProcessInstance::DataWrite> writes = {});
+    static BatchOp Fail(InstanceId id, NodeId node, std::string reason);
+    static BatchOp SelectBranch(InstanceId id, NodeId node, int branch_value);
+    static BatchOp LoopDecision(InstanceId id, NodeId node, bool iterate);
+    static BatchOp DriveStep(InstanceId id);
+    static BatchOp AdHocChange(InstanceId id, Delta delta);
+  };
+
+  struct BatchResult {
+    Status status;
+    // kCreate: the new instance id. Others: the routed id.
+    InstanceId id;
+    // kDriveStep: whether the instance progressed.
+    bool progressed = false;
+  };
+
+  // Groups `ops` by owning shard (creates are placed round-robin first) and
+  // executes the shard groups in parallel on the worker pool. Within one
+  // shard, ops run in submission order; results align with `ops`. Failures
+  // are per-op: one bad op does not stop the rest of its group.
+  std::vector<BatchResult> SubmitBatch(const std::vector<BatchOp>& ops);
+
+ private:
+  struct Shard {
+    std::unique_ptr<AdeptSystem> system;
+    // Serializes this shard's engine turn. Mutable: read-only facade calls
+    // (Instance, LatestVersion, ...) also lock.
+    mutable std::mutex mu;
+    // Next shard-affine sequence number: id = seq * N + shard_index + 1.
+    uint64_t next_seq = 0;
+    // Drives BatchOp::DriveStep ops; only touched under `mu`.
+    std::unique_ptr<SimulationDriver> driver;
+  };
+
+  explicit AdeptCluster(const ClusterOptions& options);
+
+  // Shared scaffold of Create()/Recover(): builds shards via `make_system`
+  // and sizes the worker pool.
+  static Result<std::unique_ptr<AdeptCluster>> Build(
+      const ClusterOptions& options,
+      const std::function<Result<std::unique_ptr<AdeptSystem>>(
+          const AdeptOptions&)>& make_system);
+
+  static AdeptOptions ShardOptions(const ClusterOptions& options, int index);
+
+  // Runs the tasks concurrently: all but the last go to the worker pool,
+  // the last runs on the calling thread; returns when every task finished.
+  void RunParallel(std::vector<std::function<void()>> tasks);
+
+  InstanceId NextIdLocked(size_t shard_index);
+  Result<InstanceId> CreateOnShard(size_t shard_index,
+                                   const std::string& type_name,
+                                   SchemaId schema);
+  BatchResult ExecuteOpLocked(Shard& shard, size_t shard_index,
+                              const BatchOp& op);
+  size_t NextCreationShard() {
+    return static_cast<size_t>(rr_.fetch_add(1, std::memory_order_relaxed) %
+                               shards_.size());
+  }
+
+  ClusterOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  // Serializes schema-management fan-outs so every shard sees the identical
+  // deploy/evolve/migrate sequence (identical SchemaId allocation). Also
+  // taken by cross-shard reads (LatestVersion/Schema) so they never observe
+  // a half-applied fan-out.
+  mutable std::mutex schema_mu_;
+  // Set when a fan-out failed part-way (shards now disagree on schema
+  // state); all further schema management is refused. Guarded by schema_mu_.
+  bool schema_poisoned_ = false;
+  std::atomic<uint64_t> rr_{0};
+  std::unique_ptr<WorkerPool> pool_;
+};
+
+}  // namespace adept
+
+#endif  // ADEPT_CLUSTER_ADEPT_CLUSTER_H_

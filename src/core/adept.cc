@@ -203,6 +203,21 @@ Result<InstanceId> AdeptSystem::CreateInstanceOn(SchemaId schema) {
   return id;
 }
 
+Result<InstanceId> AdeptSystem::CreateInstanceWithId(SchemaId schema,
+                                                     InstanceId forced_id) {
+  if (!forced_id.valid()) {
+    return Status::InvalidArgument("forced instance id must be valid");
+  }
+  ADEPT_ASSIGN_OR_RETURN(InstanceId id,
+                         CreateInstanceInternal(schema, forced_id));
+  JsonValue record = JsonValue::MakeObject();
+  record.Set("t", JsonValue("create"));
+  record.Set("id", JsonValue(id.value()));
+  record.Set("schema", JsonValue(schema.value()));
+  ADEPT_RETURN_IF_ERROR(Log(record));
+  return id;
+}
+
 const ProcessInstance* AdeptSystem::Instance(InstanceId id) const {
   return engine_.Find(id);
 }

@@ -16,6 +16,9 @@
 //
 // Threading: the facade is single-threaded by design (one engine turn at a
 // time), matching the original prototype's per-server execution model.
+// Concurrency is layered on top: cluster/adept_cluster.h partitions
+// instances across N AdeptSystem shards (one mutex each) behind the same
+// AdeptApi interface.
 
 #ifndef ADEPT_CORE_ADEPT_H_
 #define ADEPT_CORE_ADEPT_H_
@@ -27,6 +30,7 @@
 #include "change/delta.h"
 #include "common/status.h"
 #include "compliance/migration.h"
+#include "core/adept_api.h"
 #include "model/schema.h"
 #include "org/org_model.h"
 #include "org/worklist.h"
@@ -47,7 +51,7 @@ struct AdeptOptions {
   std::string snapshot_path;
 };
 
-class AdeptSystem {
+class AdeptSystem : public AdeptApi {
  public:
   // Fresh system (ignores any existing WAL/snapshot files).
   static Result<std::unique_ptr<AdeptSystem>> Create(
@@ -65,51 +69,60 @@ class AdeptSystem {
 
   // Verifies and deploys version 1 of a process type.
   Result<SchemaId> DeployProcessType(
-      std::shared_ptr<const ProcessSchema> schema);
+      std::shared_ptr<const ProcessSchema> schema) override;
 
   // Applies a type change, creating the next version (schema evolution).
-  Result<SchemaId> EvolveProcessType(SchemaId base, Delta delta);
+  Result<SchemaId> EvolveProcessType(SchemaId base, Delta delta) override;
 
-  Result<SchemaId> LatestVersion(const std::string& type_name) const;
-  Result<std::shared_ptr<const ProcessSchema>> Schema(SchemaId id) const;
+  Result<SchemaId> LatestVersion(const std::string& type_name) const override;
+  Result<std::shared_ptr<const ProcessSchema>> Schema(
+      SchemaId id) const override;
 
   // --- Instance lifecycle -----------------------------------------------------
 
   // Creates and starts an instance of the latest version of `type_name`.
-  Result<InstanceId> CreateInstance(const std::string& type_name);
-  Result<InstanceId> CreateInstanceOn(SchemaId schema);
+  Result<InstanceId> CreateInstance(const std::string& type_name) override;
+  Result<InstanceId> CreateInstanceOn(SchemaId schema) override;
+
+  // Creates and starts an instance under a caller-chosen id (WAL-logged).
+  // The cluster layer uses this for shard-affine id allocation; plain
+  // applications should prefer CreateInstance/CreateInstanceOn.
+  Result<InstanceId> CreateInstanceWithId(SchemaId schema, InstanceId id);
 
   // Read access to the live instance (schema view, marking, trace, ...).
-  const ProcessInstance* Instance(InstanceId id) const;
+  const ProcessInstance* Instance(InstanceId id) const override;
 
-  Status StartActivity(InstanceId id, NodeId node);
+  Status StartActivity(InstanceId id, NodeId node) override;
   Status CompleteActivity(
       InstanceId id, NodeId node,
-      const std::vector<ProcessInstance::DataWrite>& writes = {});
-  Status FailActivity(InstanceId id, NodeId node, const std::string& reason);
-  Status RetryActivity(InstanceId id, NodeId node);
-  Status SuspendActivity(InstanceId id, NodeId node);
-  Status ResumeActivity(InstanceId id, NodeId node);
-  Status SelectBranch(InstanceId id, NodeId split, int branch_value);
-  Status SetLoopDecision(InstanceId id, NodeId loop_end, bool iterate);
+      const std::vector<ProcessInstance::DataWrite>& writes = {}) override;
+  Status FailActivity(InstanceId id, NodeId node,
+                      const std::string& reason) override;
+  Status RetryActivity(InstanceId id, NodeId node) override;
+  Status SuspendActivity(InstanceId id, NodeId node) override;
+  Status ResumeActivity(InstanceId id, NodeId node) override;
+  Status SelectBranch(InstanceId id, NodeId split, int branch_value) override;
+  Status SetLoopDecision(InstanceId id, NodeId loop_end,
+                         bool iterate) override;
 
   // Synthetic execution through the facade (WAL-logged, unlike driving the
   // ProcessInstance directly).
-  Result<bool> DriveStep(InstanceId id, SimulationDriver& driver);
+  Result<bool> DriveStep(InstanceId id, SimulationDriver& driver) override;
   Status DriveToCompletion(InstanceId id, SimulationDriver& driver,
-                           int max_steps = 100000);
+                           int max_steps = 100000) override;
 
   // --- Dynamic change ---------------------------------------------------------
 
   // Ad-hoc change of a single instance (paper Sec. 2).
-  Status ApplyAdHocChange(InstanceId id, Delta delta);
+  Status ApplyAdHocChange(InstanceId id, Delta delta) override;
 
   // Propagates the type change `from` -> `to` to all running instances.
   Result<MigrationReport> Migrate(SchemaId from, SchemaId to,
-                                  const MigrationOptions& options = {});
+                                  const MigrationOptions& options = {}) override;
   // Convenience: migrate every predecessor-version instance to the latest.
-  Result<MigrationReport> MigrateToLatest(const std::string& type_name,
-                                          const MigrationOptions& options = {});
+  Result<MigrationReport> MigrateToLatest(
+      const std::string& type_name,
+      const MigrationOptions& options = {}) override;
 
   // --- Organization -----------------------------------------------------------
 
@@ -123,7 +136,7 @@ class AdeptSystem {
   // --- Durability -------------------------------------------------------------
 
   // Writes a full snapshot and truncates the WAL (checkpoint).
-  Status SaveSnapshot();
+  Status SaveSnapshot() override;
 
   // --- Substrate access (benchmarks, monitoring, tests) ----------------------
 

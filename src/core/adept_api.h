@@ -1,0 +1,98 @@
+// AdeptApi: the abstract process-management facade.
+//
+// Two implementations exist:
+//   * AdeptSystem (core/adept.h)      — one engine, single-threaded, the
+//     faithful reproduction of the prototype's per-server execution model
+//   * AdeptCluster (cluster/adept_cluster.h) — N independent AdeptSystem
+//     shards behind the same API, instances partitioned by id, shards
+//     executing in parallel
+//
+// Application code written against AdeptApi runs unchanged on either; the
+// scale-out path is a configuration decision, not a code change. Schema
+// management calls (deploy/evolve) affect the whole deployment; instance
+// calls are routed to wherever the instance lives.
+
+#ifndef ADEPT_CORE_ADEPT_API_H_
+#define ADEPT_CORE_ADEPT_API_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "change/delta.h"
+#include "common/ids.h"
+#include "common/status.h"
+#include "compliance/migration.h"
+#include "model/schema.h"
+#include "runtime/driver.h"
+#include "runtime/instance.h"
+
+namespace adept {
+
+class AdeptApi {
+ public:
+  virtual ~AdeptApi() = default;
+
+  // --- Buildtime ------------------------------------------------------------
+
+  // Verifies and deploys version 1 of a process type.
+  virtual Result<SchemaId> DeployProcessType(
+      std::shared_ptr<const ProcessSchema> schema) = 0;
+
+  // Applies a type change, creating the next version (schema evolution).
+  virtual Result<SchemaId> EvolveProcessType(SchemaId base, Delta delta) = 0;
+
+  virtual Result<SchemaId> LatestVersion(const std::string& type_name)
+      const = 0;
+  virtual Result<std::shared_ptr<const ProcessSchema>> Schema(SchemaId id)
+      const = 0;
+
+  // --- Instance lifecycle -----------------------------------------------------
+
+  virtual Result<InstanceId> CreateInstance(const std::string& type_name) = 0;
+  virtual Result<InstanceId> CreateInstanceOn(SchemaId schema) = 0;
+
+  // Read access to the live instance (schema view, marking, trace, ...).
+  virtual const ProcessInstance* Instance(InstanceId id) const = 0;
+
+  virtual Status StartActivity(InstanceId id, NodeId node) = 0;
+  virtual Status CompleteActivity(
+      InstanceId id, NodeId node,
+      const std::vector<ProcessInstance::DataWrite>& writes = {}) = 0;
+  virtual Status FailActivity(InstanceId id, NodeId node,
+                              const std::string& reason) = 0;
+  virtual Status RetryActivity(InstanceId id, NodeId node) = 0;
+  virtual Status SuspendActivity(InstanceId id, NodeId node) = 0;
+  virtual Status ResumeActivity(InstanceId id, NodeId node) = 0;
+  virtual Status SelectBranch(InstanceId id, NodeId split,
+                              int branch_value) = 0;
+  virtual Status SetLoopDecision(InstanceId id, NodeId loop_end,
+                                 bool iterate) = 0;
+
+  // Synthetic execution through the facade (WAL-logged, unlike driving the
+  // ProcessInstance directly).
+  virtual Result<bool> DriveStep(InstanceId id, SimulationDriver& driver) = 0;
+  virtual Status DriveToCompletion(InstanceId id, SimulationDriver& driver,
+                                   int max_steps = 100000) = 0;
+
+  // --- Dynamic change ---------------------------------------------------------
+
+  // Ad-hoc change of a single instance (paper Sec. 2).
+  virtual Status ApplyAdHocChange(InstanceId id, Delta delta) = 0;
+
+  // Propagates the type change `from` -> `to` to all running instances.
+  virtual Result<MigrationReport> Migrate(
+      SchemaId from, SchemaId to, const MigrationOptions& options = {}) = 0;
+  // Convenience: migrate every predecessor-version instance to the latest.
+  virtual Result<MigrationReport> MigrateToLatest(
+      const std::string& type_name, const MigrationOptions& options = {}) = 0;
+
+  // --- Durability -------------------------------------------------------------
+
+  // Writes a full snapshot and truncates the WAL (checkpoint).
+  virtual Status SaveSnapshot() = 0;
+};
+
+}  // namespace adept
+
+#endif  // ADEPT_CORE_ADEPT_API_H_

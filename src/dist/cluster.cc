@@ -1,0 +1,122 @@
+#include "dist/cluster.h"
+
+#include <algorithm>
+
+namespace adept {
+
+ServerId SimulatedCluster::AddServer(const std::string& name) {
+  ServerId id(static_cast<uint32_t>(servers_.size()));
+  servers_.push_back({name, {}});
+  return id;
+}
+
+Result<std::string> SimulatedCluster::ServerName(ServerId server) const {
+  if (!Known(server)) return Status::NotFound("unknown server");
+  return servers_[server.value()].name;
+}
+
+ServerId SimulatedCluster::home_server() const {
+  return servers_.empty() ? ServerId::Invalid() : ServerId(0);
+}
+
+ServerId SimulatedCluster::ServerOf(const Node& node) const {
+  return Known(node.server) ? node.server : home_server();
+}
+
+std::vector<ServerId> SimulatedCluster::PartitionsOf(
+    const SchemaView& schema) const {
+  std::vector<ServerId> partitions;
+  schema.VisitNodes([&](const Node& node) {
+    if (node.type != NodeType::kActivity) return;
+    ServerId owner = ServerOf(node);
+    if (!owner.valid()) return;
+    if (std::find(partitions.begin(), partitions.end(), owner) ==
+        partitions.end()) {
+      partitions.push_back(owner);
+    }
+  });
+  return partitions;
+}
+
+void SimulatedCluster::Send(DistMessageKind kind, ServerId from, ServerId to,
+                            InstanceId instance, NodeId node) {
+  message_log_.push_back({kind, from, to, instance, node});
+  servers_[from.value()].stats.messages_sent++;
+  servers_[to.value()].stats.messages_received++;
+}
+
+Status SimulatedCluster::RunDistributed(ProcessInstance& instance,
+                                        SimulationDriver& driver,
+                                        int max_steps) {
+  if (servers_.empty()) {
+    return Status::FailedPrecondition("cluster has no servers");
+  }
+  ServerId controller = home_server();
+  for (int step = 0; step < max_steps; ++step) {
+    if (instance.Finished()) return Status::OK();
+    std::vector<NodeId> ready = instance.ActivatedActivities();
+    if (ready.empty()) {
+      return instance.Finished()
+                 ? Status::OK()
+                 : Status::FailedPrecondition(
+                       "instance is blocked: no activated activities");
+    }
+    // Locality heuristic: stay on the current controller when possible.
+    std::vector<NodeId> local;
+    for (NodeId node : ready) {
+      const Node* n = instance.schema().FindNode(node);
+      if (n != nullptr && ServerOf(*n) == controller) local.push_back(node);
+    }
+    const std::vector<NodeId>& pool = local.empty() ? ready : local;
+    NodeId chosen = pool[driver.rng().NextIndex(pool.size())];
+    const Node* node = instance.schema().FindNode(chosen);
+    if (node == nullptr) return Status::Internal("activated node vanished");
+
+    ServerId target = ServerOf(*node);
+    if (target != controller) {
+      Send(DistMessageKind::kHandover, controller, target, instance.id(),
+           chosen);
+      servers_[target.value()].stats.handovers_in++;
+      ++handover_count_;
+      controller = target;
+    }
+
+    std::vector<ProcessInstance::DataWrite> writes;
+    instance.schema().VisitDataEdges(chosen, [&](const DataEdge& de) {
+      if (de.mode != AccessMode::kWrite) return;
+      writes.push_back({de.data, driver.PlanValue(instance, de)});
+    });
+    ADEPT_RETURN_IF_ERROR(instance.StartActivity(chosen));
+    ADEPT_RETURN_IF_ERROR(instance.CompleteActivity(chosen, writes));
+    servers_[controller.value()].stats.activities_executed++;
+  }
+  return Status::Internal("instance did not finish within step budget");
+}
+
+Status SimulatedCluster::PropagateMigration(const MigrationReport& report,
+                                            const SchemaView& schema) {
+  if (servers_.empty()) {
+    return Status::FailedPrecondition("cluster has no servers");
+  }
+  ServerId home = home_server();
+  std::vector<ServerId> partitions = PartitionsOf(schema);
+  for (const InstanceMigrationResult& result : report.results) {
+    bool migrated = result.outcome == MigrationOutcome::kMigrated ||
+                    result.outcome == MigrationOutcome::kMigratedBiased ||
+                    result.outcome == MigrationOutcome::kBiasCancelled;
+    if (!migrated) continue;
+    for (ServerId partition : partitions) {
+      if (partition == home) continue;
+      Send(DistMessageKind::kChangePropagation, home, partition, result.id,
+           NodeId::Invalid());
+    }
+  }
+  return Status::OK();
+}
+
+Result<ServerStats> SimulatedCluster::StatsFor(ServerId server) const {
+  if (!Known(server)) return Status::NotFound("unknown server");
+  return servers_[server.value()].stats;
+}
+
+}  // namespace adept

@@ -38,7 +38,12 @@ struct Node {
   // Free-form extension attributes (kept sorted for stable serialization).
   std::map<std::string, std::string> attributes;
 
-  bool operator==(const Node&) const = default;
+  bool operator==(const Node& o) const {
+    return id == o.id && type == o.type && name == o.name &&
+           activity_template == o.activity_template && role == o.role &&
+           server == o.server && decision_data == o.decision_data &&
+           loop_data == o.loop_data && attributes == o.attributes;
+  }
 };
 
 // A control/sync/loop edge. `branch_value` is only meaningful on control
@@ -51,7 +56,10 @@ struct Edge {
   EdgeType type = EdgeType::kControl;
   int branch_value = 0;
 
-  bool operator==(const Edge&) const = default;
+  bool operator==(const Edge& o) const {
+    return id == o.id && src == o.src && dst == o.dst && type == o.type &&
+           branch_value == o.branch_value;
+  }
 };
 
 // A process data element (global store, versioned at runtime).
@@ -60,7 +68,9 @@ struct DataElement {
   std::string name;
   DataType type = DataType::kString;
 
-  bool operator==(const DataElement&) const = default;
+  bool operator==(const DataElement& o) const {
+    return id == o.id && name == o.name && type == o.type;
+  }
 };
 
 // Connects an activity to a data element. A mandatory (non-optional) read
@@ -72,7 +82,10 @@ struct DataEdge {
   AccessMode mode = AccessMode::kRead;
   bool optional = false;
 
-  bool operator==(const DataEdge&) const = default;
+  bool operator==(const DataEdge& o) const {
+    return node == o.node && data == o.data && mode == o.mode &&
+           optional == o.optional;
+  }
 };
 
 }  // namespace adept

@@ -52,7 +52,10 @@ class DataValue {
   JsonValue ToJson() const;
   static Result<DataValue> FromJson(const JsonValue& json);
 
-  bool operator==(const DataValue&) const = default;
+  bool operator==(const DataValue& o) const {
+    return type_ == o.type_ && bool_ == o.bool_ && int_ == o.int_ &&
+           double_ == o.double_ && string_ == o.string_;
+  }
 
  private:
   DataType type_;

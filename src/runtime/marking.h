@@ -91,7 +91,9 @@ class Marking {
            edge_states_.size() * (sizeof(EdgeId) + sizeof(EdgeState) + 16);
   }
 
-  bool operator==(const Marking&) const = default;
+  bool operator==(const Marking& o) const {
+    return node_states_ == o.node_states_ && edge_states_ == o.edge_states_;
+  }
 
  private:
   std::unordered_map<NodeId, NodeState> node_states_;

@@ -1,0 +1,319 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "change/change_op.h"
+#include "cluster/adept_cluster.h"
+#include "tests/test_fixtures.h"
+
+namespace adept {
+namespace {
+
+using testing_fixtures::OnlineOrderV1;
+using testing_fixtures::SequenceSchema;
+
+class TempDir {
+ public:
+  TempDir() {
+    path_ = std::filesystem::temp_directory_path() /
+            ("adept_cluster_test_" + std::to_string(counter_++));
+    std::filesystem::create_directories(path_);
+  }
+  ~TempDir() { std::filesystem::remove_all(path_); }
+  std::string File(const std::string& name) const {
+    return (path_ / name).string();
+  }
+
+ private:
+  static int counter_;
+  std::filesystem::path path_;
+};
+
+int TempDir::counter_ = 0;
+
+ClusterOptions DurableOptions(const TempDir& dir, int shards) {
+  ClusterOptions options;
+  options.shards = shards;
+  options.wal_path = dir.File("cluster.wal");
+  options.snapshot_path = dir.File("cluster.snapshot");
+  return options;
+}
+
+TEST(AdeptClusterTest, ShardRoutingStability) {
+  auto cluster = AdeptCluster::Create({.shards = 4});
+  ASSERT_TRUE(cluster.ok());
+  ASSERT_TRUE((*cluster)->DeployProcessType(OnlineOrderV1()).ok());
+
+  std::set<InstanceId> ids;
+  std::vector<size_t> per_shard(4, 0);
+  for (int i = 0; i < 40; ++i) {
+    auto id = (*cluster)->CreateInstance("online_order");
+    ASSERT_TRUE(id.ok()) << id.status();
+    EXPECT_TRUE(ids.insert(*id).second) << "duplicate id " << *id;
+    size_t owner = (*cluster)->ShardOf(*id);
+    // The shard key is a pure function of the id.
+    EXPECT_EQ(owner, (id->value() - 1) % 4);
+    per_shard[owner]++;
+    // The instance lives on its owning shard and nowhere else.
+    for (size_t s = 0; s < 4; ++s) {
+      const ProcessInstance* found = (*cluster)->shard(s).Instance(*id);
+      EXPECT_EQ(found != nullptr, s == owner);
+    }
+    // Routed reads resolve through the facade.
+    EXPECT_NE((*cluster)->Instance(*id), nullptr);
+  }
+  // Round-robin placement keeps shards balanced.
+  for (size_t s = 0; s < 4; ++s) EXPECT_EQ(per_shard[s], 10u);
+}
+
+TEST(AdeptClusterTest, CrossShardSchemaVisibility) {
+  auto cluster = AdeptCluster::Create({.shards = 4});
+  ASSERT_TRUE(cluster.ok());
+  auto v1 = (*cluster)->DeployProcessType(SequenceSchema(3));
+  ASSERT_TRUE(v1.ok()) << v1.status();
+  for (size_t s = 0; s < 4; ++s) {
+    auto latest = (*cluster)->shard(s).LatestVersion("seq");
+    ASSERT_TRUE(latest.ok());
+    EXPECT_EQ(*latest, *v1);
+  }
+
+  // Evolution is visible on every shard under the same id.
+  auto base = (*cluster)->Schema(*v1);
+  ASSERT_TRUE(base.ok());
+  Delta delta;
+  NewActivitySpec spec;
+  spec.name = "audit";
+  delta.Add(std::make_unique<SerialInsertOp>(
+      spec, (*base)->FindNodeByName("a1"), (*base)->FindNodeByName("a2")));
+  auto v2 = (*cluster)->EvolveProcessType(*v1, std::move(delta));
+  ASSERT_TRUE(v2.ok()) << v2.status();
+  for (size_t s = 0; s < 4; ++s) {
+    auto latest = (*cluster)->shard(s).LatestVersion("seq");
+    ASSERT_TRUE(latest.ok());
+    EXPECT_EQ(*latest, *v2);
+    auto schema = (*cluster)->shard(s).Schema(*v2);
+    ASSERT_TRUE(schema.ok());
+    EXPECT_TRUE((*schema)->FindNodeByName("audit").valid());
+  }
+
+  // New instances on any shard start on the evolved version.
+  for (int i = 0; i < 8; ++i) {
+    auto id = (*cluster)->CreateInstance("seq");
+    ASSERT_TRUE(id.ok());
+    EXPECT_EQ((*cluster)->Instance(*id)->schema_ref(), *v2);
+  }
+}
+
+TEST(AdeptClusterTest, ConcurrentCompleteActivityOnDistinctShards) {
+  constexpr int kShards = 4;
+  constexpr int kPerShard = 8;
+  auto cluster = AdeptCluster::Create({.shards = kShards});
+  ASSERT_TRUE(cluster.ok());
+  auto v1 = (*cluster)->DeployProcessType(SequenceSchema(12));
+  ASSERT_TRUE(v1.ok());
+  auto schema = (*cluster)->Schema(*v1);
+  ASSERT_TRUE(schema.ok());
+  std::vector<NodeId> order;
+  for (int i = 1; i <= 12; ++i) {
+    order.push_back((*schema)->FindNodeByName("a" + std::to_string(i)));
+    ASSERT_TRUE(order.back().valid());
+  }
+
+  std::vector<std::vector<InstanceId>> ids(kShards);
+  for (int i = 0; i < kShards * kPerShard; ++i) {
+    auto id = (*cluster)->CreateInstance("seq");
+    ASSERT_TRUE(id.ok());
+    ids[(*cluster)->ShardOf(*id)].push_back(*id);
+  }
+  for (int s = 0; s < kShards; ++s) {
+    ASSERT_EQ(ids[s].size(), static_cast<size_t>(kPerShard));
+  }
+
+  // One worker per shard completes every activity of its instances through
+  // the shared facade; per-shard locks make this race-free.
+  std::vector<std::thread> workers;
+  std::vector<int> failures(kShards, 0);
+  for (int s = 0; s < kShards; ++s) {
+    workers.emplace_back([&, s] {
+      for (InstanceId id : ids[s]) {
+        for (NodeId node : order) {
+          if (!(*cluster)->StartActivity(id, node).ok() ||
+              !(*cluster)->CompleteActivity(id, node).ok()) {
+            failures[s]++;
+          }
+        }
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+
+  for (int s = 0; s < kShards; ++s) {
+    EXPECT_EQ(failures[s], 0) << "shard " << s;
+    for (InstanceId id : ids[s]) {
+      const ProcessInstance* inst = (*cluster)->Instance(id);
+      ASSERT_NE(inst, nullptr);
+      EXPECT_TRUE(inst->Finished());
+    }
+  }
+}
+
+TEST(AdeptClusterTest, SubmitBatchGroupsByShardAndReportsPerOp) {
+  auto cluster = AdeptCluster::Create({.shards = 4});
+  ASSERT_TRUE(cluster.ok());
+  ASSERT_TRUE((*cluster)->DeployProcessType(OnlineOrderV1()).ok());
+
+  // Heterogeneous batch: 8 creates up front.
+  std::vector<AdeptCluster::BatchOp> creates(
+      8, AdeptCluster::BatchOp::Create("online_order"));
+  auto created = (*cluster)->SubmitBatch(creates);
+  ASSERT_EQ(created.size(), 8u);
+  std::vector<InstanceId> ids;
+  for (const auto& result : created) {
+    ASSERT_TRUE(result.status.ok()) << result.status;
+    ASSERT_TRUE(result.id.valid());
+    ids.push_back(result.id);
+  }
+
+  // Synthetic steps progress every instance; a bogus op fails only its slot.
+  std::vector<AdeptCluster::BatchOp> steps;
+  for (InstanceId id : ids) {
+    steps.push_back(AdeptCluster::BatchOp::DriveStep(id));
+  }
+  steps.push_back(
+      AdeptCluster::BatchOp::Start(InstanceId(999983), NodeId(1)));
+  auto stepped = (*cluster)->SubmitBatch(steps);
+  ASSERT_EQ(stepped.size(), 9u);
+  for (size_t i = 0; i < 8; ++i) {
+    EXPECT_TRUE(stepped[i].status.ok());
+    EXPECT_TRUE(stepped[i].progressed);
+  }
+  EXPECT_EQ(stepped[8].status.code(), StatusCode::kNotFound);
+
+  // Batches drive instances to completion eventually.
+  for (int round = 0; round < 64; ++round) {
+    std::vector<AdeptCluster::BatchOp> batch;
+    for (InstanceId id : ids) {
+      if (!(*cluster)->Instance(id)->Finished()) {
+        batch.push_back(AdeptCluster::BatchOp::DriveStep(id));
+      }
+    }
+    if (batch.empty()) break;
+    (*cluster)->SubmitBatch(batch);
+  }
+  for (InstanceId id : ids) {
+    EXPECT_TRUE((*cluster)->Instance(id)->Finished());
+  }
+}
+
+TEST(AdeptClusterTest, RecoverRestoresAllShards) {
+  TempDir dir;
+  ClusterOptions options = DurableOptions(dir, 4);
+  std::vector<InstanceId> ids;
+  SchemaId v1;
+  NodeId a1;
+  {
+    auto cluster = AdeptCluster::Create(options);
+    ASSERT_TRUE(cluster.ok());
+    auto deployed = (*cluster)->DeployProcessType(SequenceSchema(4));
+    ASSERT_TRUE(deployed.ok());
+    v1 = *deployed;
+    auto schema = (*cluster)->Schema(v1);
+    a1 = (*schema)->FindNodeByName("a1");
+    for (int i = 0; i < 4; ++i) {
+      auto id = (*cluster)->CreateInstance("seq");
+      ASSERT_TRUE(id.ok());
+      ids.push_back(*id);
+    }
+    // Half the history goes into the snapshot, the rest stays WAL-only.
+    ASSERT_TRUE((*cluster)->SaveSnapshot().ok());
+    for (int i = 0; i < 4; ++i) {
+      auto id = (*cluster)->CreateInstance("seq");
+      ASSERT_TRUE(id.ok());
+      ids.push_back(*id);
+    }
+    ASSERT_TRUE((*cluster)->StartActivity(ids[0], a1).ok());
+    ASSERT_TRUE((*cluster)->CompleteActivity(ids[0], a1).ok());
+  }
+
+  auto recovered = AdeptCluster::Recover(options);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  for (InstanceId id : ids) {
+    const ProcessInstance* inst = (*recovered)->Instance(id);
+    ASSERT_NE(inst, nullptr) << "instance " << id << " lost";
+    // Still reachable on the shard the id hashes to.
+    EXPECT_NE((*recovered)->shard((*recovered)->ShardOf(id)).Instance(id),
+              nullptr);
+  }
+  EXPECT_EQ((*recovered)->Instance(ids[0])->node_state(a1),
+            NodeState::kCompleted);
+  auto latest = (*recovered)->LatestVersion("seq");
+  ASSERT_TRUE(latest.ok());
+  EXPECT_EQ(*latest, v1);
+
+  // Post-recovery id allocation continues without collisions.
+  for (int i = 0; i < 8; ++i) {
+    auto fresh = (*recovered)->CreateInstance("seq");
+    ASSERT_TRUE(fresh.ok());
+    EXPECT_EQ(std::count(ids.begin(), ids.end(), *fresh), 0);
+  }
+}
+
+TEST(AdeptClusterTest, RecoverRejectsShardCountMismatch) {
+  TempDir dir;
+  {
+    auto cluster = AdeptCluster::Create(DurableOptions(dir, 4));
+    ASSERT_TRUE(cluster.ok());
+    ASSERT_TRUE((*cluster)->DeployProcessType(SequenceSchema(2)).ok());
+    for (int i = 0; i < 8; ++i) {
+      ASSERT_TRUE((*cluster)->CreateInstance("seq").ok());
+    }
+  }
+  auto resized = AdeptCluster::Recover(DurableOptions(dir, 3));
+  EXPECT_FALSE(resized.ok());
+  EXPECT_EQ(resized.status().code(), StatusCode::kCorruption);
+}
+
+TEST(AdeptClusterTest, MigrationFansOutAndMergesReports) {
+  auto cluster = AdeptCluster::Create({.shards = 4});
+  ASSERT_TRUE(cluster.ok());
+  auto v1 = (*cluster)->DeployProcessType(SequenceSchema(3));
+  ASSERT_TRUE(v1.ok());
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE((*cluster)->CreateInstance("seq").ok());
+  }
+
+  auto base = (*cluster)->Schema(*v1);
+  Delta delta;
+  NewActivitySpec spec;
+  spec.name = "review";
+  delta.Add(std::make_unique<SerialInsertOp>(
+      spec, (*base)->FindNodeByName("a2"), (*base)->FindNodeByName("a3")));
+  auto v2 = (*cluster)->EvolveProcessType(*v1, std::move(delta));
+  ASSERT_TRUE(v2.ok());
+
+  auto report = (*cluster)->Migrate(*v1, *v2);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->results.size(), 12u);
+  EXPECT_EQ(report->Count(MigrationOutcome::kMigrated), 12u);
+  for (const auto& result : report->results) {
+    EXPECT_EQ((*cluster)->Instance(result.id)->schema_ref(), *v2);
+  }
+}
+
+TEST(AdeptClusterTest, SingleShardDegeneratesToPlainSystem) {
+  auto cluster = AdeptCluster::Create({.shards = 1});
+  ASSERT_TRUE(cluster.ok());
+  ASSERT_TRUE((*cluster)->DeployProcessType(OnlineOrderV1()).ok());
+  auto id = (*cluster)->CreateInstance("online_order");
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ((*cluster)->ShardOf(*id), 0u);
+  SimulationDriver driver({.seed = 11});
+  ASSERT_TRUE((*cluster)->DriveToCompletion(*id, driver).ok());
+  EXPECT_TRUE((*cluster)->Instance(*id)->Finished());
+}
+
+}  // namespace
+}  // namespace adept
