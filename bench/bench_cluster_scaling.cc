@@ -64,11 +64,15 @@ void BM_ClusterBatchThroughput(benchmark::State& state) {
     benchmark::DoNotOptimize(results.data());
     executed += results.size();
 
-    // Recycle finished instances outside the timed region.
+    // Recycle finished instances outside the timed region. WithInstance
+    // reads under the owning shard's lock (the race-free idiom even though
+    // the pool is idle between batches).
     state.PauseTiming();
     for (InstanceId& id : ids) {
-      const ProcessInstance* inst = cluster->Instance(id);
-      if (inst != nullptr && !inst->Finished()) continue;
+      bool finished = false;
+      Status st = cluster->WithInstance(
+          id, [&](const ProcessInstance& inst) { finished = inst.Finished(); });
+      if (st.ok() && !finished) continue;
       auto fresh = cluster->CreateInstance("scaled_cluster");
       if (fresh.ok()) id = *fresh;
     }

@@ -1,0 +1,150 @@
+// WAL durability scaling: appenders × sync mode ("async durability"
+// trajectory).
+//
+//   BM_WalPerAppendSync  baseline: one mutex-serialized WriteAheadLog and
+//                        one Sync per append — the discipline the engine
+//                        used before group commit (every shard-locked
+//                        append flushed on its own)
+//   BM_WalGroupCommit    WalWriter: appenders enqueue + WaitDurable; the
+//                        background thread coalesces every concurrent
+//                        append into a single write burst + one Sync
+//
+// Arg(0) selects the SyncMode (0 none, 1 flush, 2 fsync); ->Threads(N)
+// sets the number of concurrent appenders. Expected shape: identical at
+// one appender (nothing to coalesce, the ticket round trip is overhead),
+// group commit pulling ahead as appenders grow on the durable modes
+// (kFlush/kFsync), because N syncs collapse into one per batch.
+//
+// Emit machine-readable results like every other bench:
+//   ./build/bench_wal_throughput --benchmark_format=json
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/json.h"
+#include "storage/wal.h"
+#include "storage/wal_writer.h"
+
+namespace adept {
+namespace {
+
+std::string BenchPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+// A realistic activity-completion record (the hot WAL payload in practice).
+JsonValue SampleRecord() {
+  JsonValue record = JsonValue::MakeObject();
+  record.Set("t", JsonValue("act"));
+  record.Set("ev", JsonValue("complete"));
+  record.Set("id", JsonValue(123456789));
+  record.Set("node", JsonValue(42));
+  record.Set("writes", JsonValue::MakeArray());
+  return record;
+}
+
+// Shared across the benchmark's worker threads; created/destroyed by the
+// Setup/Teardown hooks, which run outside the threads.
+std::unique_ptr<WriteAheadLog> g_log;
+std::mutex g_log_mu;
+std::unique_ptr<WalWriter> g_writer;
+
+void SetUpPerAppendLog(const benchmark::State&) {
+  std::string path = BenchPath("adept_bench_wal_baseline.log");
+  std::remove(path.c_str());
+  auto log = WriteAheadLog::Open(path);
+  if (log.ok()) g_log = std::move(log).value();
+}
+
+void TearDownPerAppendLog(const benchmark::State&) {
+  std::string path = g_log != nullptr ? g_log->path() : std::string();
+  g_log.reset();
+  if (!path.empty()) std::remove(path.c_str());
+}
+
+void BM_WalPerAppendSync(benchmark::State& state) {
+  const SyncMode mode = static_cast<SyncMode>(state.range(0));
+  if (g_log == nullptr) {
+    state.SkipWithError("WAL setup failed");
+    return;
+  }
+  const JsonValue record = SampleRecord();
+  for (auto _ : state) {
+    std::lock_guard<std::mutex> lock(g_log_mu);
+    auto lsn = g_log->Append(record);
+    benchmark::DoNotOptimize(lsn);
+    Status st = g_log->Sync(mode);
+    benchmark::DoNotOptimize(st);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["sync"] = benchmark::Counter(
+      static_cast<double>(mode), benchmark::Counter::kAvgThreads);
+  state.counters["appenders"] = benchmark::Counter(
+      state.threads(), benchmark::Counter::kAvgThreads);
+}
+BENCHMARK(BM_WalPerAppendSync)
+    ->Setup(SetUpPerAppendLog)
+    ->Teardown(TearDownPerAppendLog)
+    ->Arg(static_cast<int>(SyncMode::kNone))
+    ->Arg(static_cast<int>(SyncMode::kFlush))
+    ->Arg(static_cast<int>(SyncMode::kFsync))
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->Threads(8)
+    ->Unit(benchmark::kMicrosecond)
+    ->UseRealTime();
+
+void SetUpGroupCommit(const benchmark::State& state) {
+  std::string path = BenchPath("adept_bench_wal_group.log");
+  std::remove(path.c_str());
+  WalWriterOptions options;
+  options.sync = static_cast<SyncMode>(state.range(0));
+  auto writer = WalWriter::Open(path, options);
+  if (writer.ok()) g_writer = std::move(writer).value();
+}
+
+void TearDownGroupCommit(const benchmark::State&) {
+  std::string path = g_writer != nullptr ? g_writer->path() : std::string();
+  g_writer.reset();
+  if (!path.empty()) std::remove(path.c_str());
+}
+
+void BM_WalGroupCommit(benchmark::State& state) {
+  if (g_writer == nullptr) {
+    state.SkipWithError("WalWriter setup failed");
+    return;
+  }
+  const JsonValue record = SampleRecord();
+  for (auto _ : state) {
+    Status st = g_writer->Append(record);
+    benchmark::DoNotOptimize(st);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["sync"] = benchmark::Counter(
+      static_cast<double>(state.range(0)), benchmark::Counter::kAvgThreads);
+  state.counters["appenders"] = benchmark::Counter(
+      state.threads(), benchmark::Counter::kAvgThreads);
+}
+BENCHMARK(BM_WalGroupCommit)
+    ->Setup(SetUpGroupCommit)
+    ->Teardown(TearDownGroupCommit)
+    ->Arg(static_cast<int>(SyncMode::kNone))
+    ->Arg(static_cast<int>(SyncMode::kFlush))
+    ->Arg(static_cast<int>(SyncMode::kFsync))
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->Threads(8)
+    ->Unit(benchmark::kMicrosecond)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace adept
+
+BENCHMARK_MAIN();

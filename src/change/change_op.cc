@@ -66,7 +66,8 @@ std::string SpecSignature(const NewActivitySpec& spec,
                           const ChangeOp::SignatureContext& ctx) {
   std::string sig = spec.name + "/" + spec.activity_template;
   for (const auto& w : spec.data_wirings) {
-    sig += "|" + ctx.data(w.data) + ":" + std::to_string(static_cast<int>(w.mode));
+    sig += "|" + ctx.data(w.data) + ":" +
+           std::to_string(static_cast<int>(w.mode));
   }
   return sig;
 }
@@ -736,7 +737,8 @@ Status ReplaceActivityImplOp::ApplyTo(ProcessSchema& schema, IdAllocator&) {
   return Status::OK();
 }
 
-std::string ReplaceActivityImplOp::Signature(const SignatureContext& ctx) const {
+std::string ReplaceActivityImplOp::Signature(
+    const SignatureContext& ctx) const {
   return "replaceActivityImpl:" + ctx.node(node_) + "/" + new_template_;
 }
 
@@ -785,12 +787,14 @@ Result<std::unique_ptr<ChangeOp>> ChangeOpFromJson(const JsonValue& json) {
         static_cast<DataType>(json.Get("type").as_int()));
   } else if (op == "addDataEdge") {
     out = std::make_unique<AddDataEdgeOp>(
-        node_id("node"), DataId(static_cast<uint32_t>(json.Get("data").as_int())),
+        node_id("node"),
+        DataId(static_cast<uint32_t>(json.Get("data").as_int())),
         static_cast<AccessMode>(json.Get("mode").as_int()),
         json.Get("optional").is_bool() && json.Get("optional").as_bool());
   } else if (op == "deleteDataEdge") {
     out = std::make_unique<DeleteDataEdgeOp>(
-        node_id("node"), DataId(static_cast<uint32_t>(json.Get("data").as_int())),
+        node_id("node"),
+        DataId(static_cast<uint32_t>(json.Get("data").as_int())),
         static_cast<AccessMode>(json.Get("mode").as_int()));
   } else if (op == "replaceActivityImpl") {
     out = std::make_unique<ReplaceActivityImplOp>(node_id("node"),

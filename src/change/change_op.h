@@ -185,7 +185,9 @@ class ParallelInsertOp final : public ChangeOp {
 class BranchInsertOp final : public ChangeOp {
  public:
   BranchInsertOp(NewActivitySpec spec, NodeId xor_split, int branch_value)
-      : spec_(std::move(spec)), split_(xor_split), branch_value_(branch_value) {}
+      : spec_(std::move(spec)),
+        split_(xor_split),
+        branch_value_(branch_value) {}
 
   ChangeOpKind kind() const override { return ChangeOpKind::kBranchInsert; }
   std::string Describe() const override;

@@ -6,7 +6,7 @@
 
 namespace adept {
 
-// --- BatchOp factories --------------------------------------------------------
+// --- BatchOp factories -------------------------------------------------------
 
 AdeptCluster::BatchOp AdeptCluster::BatchOp::Create(std::string type_name) {
   BatchOp op;
@@ -90,7 +90,7 @@ AdeptCluster::BatchOp AdeptCluster::BatchOp::AdHocChange(InstanceId id,
   return op;
 }
 
-// --- Construction / recovery --------------------------------------------------
+// --- Construction / recovery -------------------------------------------------
 
 AdeptCluster::AdeptCluster(const ClusterOptions& options) : options_(options) {}
 
@@ -98,6 +98,10 @@ AdeptOptions AdeptCluster::ShardOptions(const ClusterOptions& options,
                                         int index) {
   AdeptOptions shard_options;
   shard_options.default_strategy = options.default_strategy;
+  shard_options.sync = options.sync;
+  // The cluster pipelines durability itself: records are enqueued under the
+  // shard lock, the wait happens after the lock is released.
+  shard_options.defer_wal_sync = true;
   std::string suffix = ".shard" + std::to_string(index);
   if (!options.wal_path.empty()) {
     shard_options.wal_path = options.wal_path + suffix;
@@ -129,7 +133,8 @@ Result<std::unique_ptr<AdeptCluster>> AdeptCluster::Build(
   std::unique_ptr<AdeptCluster> cluster(new AdeptCluster(options));
   for (int i = 0; i < options.shards; ++i) {
     auto shard = std::make_unique<Shard>();
-    ADEPT_ASSIGN_OR_RETURN(shard->system, make_system(ShardOptions(options, i)));
+    ADEPT_ASSIGN_OR_RETURN(shard->system,
+                           make_system(ShardOptions(options, i)));
     ADEPT_ASSIGN_OR_RETURN(shard->driver, MakeShardDriver(options, i));
     cluster->shards_.push_back(std::move(shard));
   }
@@ -190,7 +195,7 @@ Result<std::unique_ptr<AdeptCluster>> AdeptCluster::Recover(
 
 AdeptCluster::~AdeptCluster() = default;
 
-// --- Schema management (fan-out) ----------------------------------------------
+// --- Schema management (fan-out) ---------------------------------------------
 
 namespace {
 
@@ -202,48 +207,54 @@ Status SchemaPoisoned() {
 
 }  // namespace
 
-Result<SchemaId> AdeptCluster::DeployProcessType(
-    std::shared_ptr<const ProcessSchema> schema) {
+Result<SchemaId> AdeptCluster::FanOutSchemaOp(
+    const char* what,
+    const std::function<Result<SchemaId>(AdeptSystem&)>& op) {
   std::lock_guard<std::mutex> schema_lock(schema_mu_);
   if (schema_poisoned_) return SchemaPoisoned();
   SchemaId canonical;
+  std::vector<uint64_t> lsns(shards_.size(), 0);
   for (size_t i = 0; i < shards_.size(); ++i) {
     Shard& shard = *shards_[i];
     std::lock_guard<std::mutex> lock(shard.mu);
-    auto result = shard.system->DeployProcessType(schema);
+    auto result = op(*shard.system);
+    lsns[i] = shard.system->last_enqueued_lsn();
     if (i == 0) {
       // Verification failures surface here, before any shard is touched.
       if (!result.ok()) return result.status();
       canonical = *result;
     } else if (!result.ok() || *result != canonical) {
       schema_poisoned_ = true;
-      return Status::Internal("schema deploy diverged on shard " +
-                              std::to_string(i) +
+      return Status::Internal(std::string("schema ") + what +
+                              " diverged on shard " + std::to_string(i) +
                               "; schema management is now disabled");
+    }
+  }
+  // All shard locks are released; the per-shard writers flush in parallel.
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    Status durable = shards_[i]->system->WaitWalDurable(lsns[i]);
+    if (!durable.ok()) {
+      // Every shard applied the change in memory but shard i's log durably
+      // lacks the record: after a crash the shards disagree, the same
+      // hazard as a diverged fan-out — refuse further schema management.
+      schema_poisoned_ = true;
+      return durable;
     }
   }
   return canonical;
 }
 
+Result<SchemaId> AdeptCluster::DeployProcessType(
+    std::shared_ptr<const ProcessSchema> schema) {
+  return FanOutSchemaOp("deploy", [&](AdeptSystem& system) {
+    return system.DeployProcessType(schema);
+  });
+}
+
 Result<SchemaId> AdeptCluster::EvolveProcessType(SchemaId base, Delta delta) {
-  std::lock_guard<std::mutex> schema_lock(schema_mu_);
-  if (schema_poisoned_) return SchemaPoisoned();
-  SchemaId canonical;
-  for (size_t i = 0; i < shards_.size(); ++i) {
-    Shard& shard = *shards_[i];
-    std::lock_guard<std::mutex> lock(shard.mu);
-    auto result = shard.system->EvolveProcessType(base, delta.Clone());
-    if (i == 0) {
-      if (!result.ok()) return result.status();
-      canonical = *result;
-    } else if (!result.ok() || *result != canonical) {
-      schema_poisoned_ = true;
-      return Status::Internal("schema evolution diverged on shard " +
-                              std::to_string(i) +
-                              "; schema management is now disabled");
-    }
-  }
-  return canonical;
+  return FanOutSchemaOp("evolution", [&](AdeptSystem& system) {
+    return system.EvolveProcessType(base, delta.Clone());
+  });
 }
 
 Result<SchemaId> AdeptCluster::LatestVersion(
@@ -264,7 +275,7 @@ Result<std::shared_ptr<const ProcessSchema>> AdeptCluster::Schema(
   return shard.system->Schema(id);
 }
 
-// --- Instance lifecycle (routed) ----------------------------------------------
+// --- Instance lifecycle (routed) ---------------------------------------------
 
 InstanceId AdeptCluster::NextIdLocked(size_t shard_index) {
   Shard& shard = *shards_[shard_index];
@@ -276,11 +287,20 @@ Result<InstanceId> AdeptCluster::CreateOnShard(size_t shard_index,
                                                const std::string& type_name,
                                                SchemaId schema) {
   Shard& shard = *shards_[shard_index];
-  std::lock_guard<std::mutex> lock(shard.mu);
-  if (!schema.valid()) {
-    ADEPT_ASSIGN_OR_RETURN(schema, shard.system->LatestVersion(type_name));
-  }
-  return shard.system->CreateInstanceWithId(schema, NextIdLocked(shard_index));
+  uint64_t lsn = 0;
+  Result<InstanceId> created = [&]() -> Result<InstanceId> {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (!schema.valid()) {
+      ADEPT_ASSIGN_OR_RETURN(schema, shard.system->LatestVersion(type_name));
+    }
+    auto result =
+        shard.system->CreateInstanceWithId(schema, NextIdLocked(shard_index));
+    lsn = shard.system->last_enqueued_lsn();
+    return result;
+  }();
+  if (!created.ok()) return created;
+  ADEPT_RETURN_IF_ERROR(shard.system->WaitWalDurable(lsn));
+  return created;
 }
 
 Result<InstanceId> AdeptCluster::CreateInstance(const std::string& type_name) {
@@ -298,66 +318,108 @@ const ProcessInstance* AdeptCluster::Instance(InstanceId id) const {
   return shard.system->Instance(id);
 }
 
-#define ADEPT_CLUSTER_ROUTE(id, call)                    \
-  do {                                                   \
-    Shard& _shard = *shards_[ShardOf(id)];               \
-    std::lock_guard<std::mutex> _lock(_shard.mu);        \
-    return _shard.system->call;                          \
-  } while (0)
+Status AdeptCluster::WithInstance(
+    InstanceId id,
+    const std::function<void(const ProcessInstance&)>& fn) const {
+  if (!id.valid()) return Status::NotFound("invalid instance id");
+  const Shard& shard = *shards_[ShardOf(id)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const ProcessInstance* instance = shard.system->Instance(id);
+  if (instance == nullptr) return Status::NotFound("no such instance");
+  fn(*instance);
+  return Status::OK();
+}
+
+// Pipelined routing: the engine turn and the WAL enqueue happen under the
+// shard lock, the durability wait after it — a thread working shard A waits
+// for A's writer while a thread on shard B is already inside B's engine.
+template <typename Fn>
+auto AdeptCluster::RouteDurable(InstanceId id, Fn&& fn)
+    -> decltype(fn(std::declval<AdeptSystem&>())) {
+  Shard& shard = *shards_[ShardOf(id)];
+  uint64_t lsn = 0;
+  auto result = [&] {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto inner = fn(*shard.system);
+    lsn = shard.system->last_enqueued_lsn();
+    return inner;
+  }();
+  if (!result.ok()) return result;
+  Status durable = shard.system->WaitWalDurable(lsn);
+  if (!durable.ok()) return durable;
+  return result;
+}
 
 Status AdeptCluster::StartActivity(InstanceId id, NodeId node) {
-  ADEPT_CLUSTER_ROUTE(id, StartActivity(id, node));
+  return RouteDurable(
+      id, [&](AdeptSystem& system) { return system.StartActivity(id, node); });
 }
 
 Status AdeptCluster::CompleteActivity(
     InstanceId id, NodeId node,
     const std::vector<ProcessInstance::DataWrite>& writes) {
-  ADEPT_CLUSTER_ROUTE(id, CompleteActivity(id, node, writes));
+  return RouteDurable(id, [&](AdeptSystem& system) {
+    return system.CompleteActivity(id, node, writes);
+  });
 }
 
 Status AdeptCluster::FailActivity(InstanceId id, NodeId node,
                                   const std::string& reason) {
-  ADEPT_CLUSTER_ROUTE(id, FailActivity(id, node, reason));
+  return RouteDurable(id, [&](AdeptSystem& system) {
+    return system.FailActivity(id, node, reason);
+  });
 }
 
 Status AdeptCluster::RetryActivity(InstanceId id, NodeId node) {
-  ADEPT_CLUSTER_ROUTE(id, RetryActivity(id, node));
+  return RouteDurable(
+      id, [&](AdeptSystem& system) { return system.RetryActivity(id, node); });
 }
 
 Status AdeptCluster::SuspendActivity(InstanceId id, NodeId node) {
-  ADEPT_CLUSTER_ROUTE(id, SuspendActivity(id, node));
+  return RouteDurable(id, [&](AdeptSystem& system) {
+    return system.SuspendActivity(id, node);
+  });
 }
 
 Status AdeptCluster::ResumeActivity(InstanceId id, NodeId node) {
-  ADEPT_CLUSTER_ROUTE(id, ResumeActivity(id, node));
+  return RouteDurable(
+      id, [&](AdeptSystem& system) { return system.ResumeActivity(id, node); });
 }
 
 Status AdeptCluster::SelectBranch(InstanceId id, NodeId split,
                                   int branch_value) {
-  ADEPT_CLUSTER_ROUTE(id, SelectBranch(id, split, branch_value));
+  return RouteDurable(id, [&](AdeptSystem& system) {
+    return system.SelectBranch(id, split, branch_value);
+  });
 }
 
 Status AdeptCluster::SetLoopDecision(InstanceId id, NodeId loop_end,
                                      bool iterate) {
-  ADEPT_CLUSTER_ROUTE(id, SetLoopDecision(id, loop_end, iterate));
+  return RouteDurable(id, [&](AdeptSystem& system) {
+    return system.SetLoopDecision(id, loop_end, iterate);
+  });
 }
 
 Result<bool> AdeptCluster::DriveStep(InstanceId id, SimulationDriver& driver) {
-  ADEPT_CLUSTER_ROUTE(id, DriveStep(id, driver));
+  return RouteDurable(
+      id, [&](AdeptSystem& system) { return system.DriveStep(id, driver); });
 }
 
 Status AdeptCluster::DriveToCompletion(InstanceId id, SimulationDriver& driver,
                                        int max_steps) {
-  ADEPT_CLUSTER_ROUTE(id, DriveToCompletion(id, driver, max_steps));
+  return RouteDurable(id, [&](AdeptSystem& system) {
+    return system.DriveToCompletion(id, driver, max_steps);
+  });
 }
 
 Status AdeptCluster::ApplyAdHocChange(InstanceId id, Delta delta) {
-  ADEPT_CLUSTER_ROUTE(id, ApplyAdHocChange(id, std::move(delta)));
+  return RouteDurable(
+      id, [&, delta = std::move(delta)](AdeptSystem& system) mutable {
+        return system.ApplyAdHocChange(id, std::move(delta));
+      });
 }
 
-#undef ADEPT_CLUSTER_ROUTE
-
-// --- Dynamic change (fan-out) -------------------------------------------------
+// --- Dynamic change (fan-out) ------------------------------------------------
 
 namespace {
 
@@ -408,8 +470,17 @@ Result<MigrationReport> AdeptCluster::Migrate(SchemaId from, SchemaId to,
   for (size_t i = 0; i < shards_.size(); ++i) {
     tasks.push_back([this, i, from, to, &options, &reports] {
       Shard& shard = *shards_[i];
-      std::lock_guard<std::mutex> lock(shard.mu);
-      reports[i] = shard.system->Migrate(from, to, options);
+      uint64_t lsn = 0;
+      {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        reports[i] = shard.system->Migrate(from, to, options);
+        lsn = shard.system->last_enqueued_lsn();
+      }
+      // Each task awaits its own shard's writer with the lock released.
+      if (reports[i].ok()) {
+        Status durable = shard.system->WaitWalDurable(lsn);
+        if (!durable.ok()) reports[i] = durable;
+      }
     });
   }
   RunParallel(std::move(tasks));
@@ -425,15 +496,23 @@ Result<MigrationReport> AdeptCluster::MigrateToLatest(
   for (size_t i = 0; i < shards_.size(); ++i) {
     tasks.push_back([this, i, &type_name, &options, &reports] {
       Shard& shard = *shards_[i];
-      std::lock_guard<std::mutex> lock(shard.mu);
-      reports[i] = shard.system->MigrateToLatest(type_name, options);
+      uint64_t lsn = 0;
+      {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        reports[i] = shard.system->MigrateToLatest(type_name, options);
+        lsn = shard.system->last_enqueued_lsn();
+      }
+      if (reports[i].ok()) {
+        Status durable = shard.system->WaitWalDurable(lsn);
+        if (!durable.ok()) reports[i] = durable;
+      }
     });
   }
   RunParallel(std::move(tasks));
   return MergeReports(reports);
 }
 
-// --- Durability / observers ---------------------------------------------------
+// --- Durability / observers --------------------------------------------------
 
 Status AdeptCluster::SaveSnapshot() {
   std::lock_guard<std::mutex> schema_lock(schema_mu_);
@@ -453,7 +532,7 @@ void AdeptCluster::AddObserver(InstanceObserver* observer) {
   }
 }
 
-// --- Batch execution ----------------------------------------------------------
+// --- Batch execution ---------------------------------------------------------
 
 AdeptCluster::BatchResult AdeptCluster::ExecuteOpLocked(Shard& shard,
                                                         size_t shard_index,
@@ -535,9 +614,25 @@ std::vector<AdeptCluster::BatchResult> AdeptCluster::SubmitBatch(
     if (by_shard[shard_index].empty()) continue;
     tasks.push_back([this, shard_index, &by_shard, &ops, &results] {
       Shard& shard = *shards_[shard_index];
-      std::lock_guard<std::mutex> lock(shard.mu);
-      for (size_t op_index : by_shard[shard_index]) {
-        results[op_index] = ExecuteOpLocked(shard, shard_index, ops[op_index]);
+      uint64_t lsn = 0;
+      {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        for (size_t op_index : by_shard[shard_index]) {
+          results[op_index] =
+              ExecuteOpLocked(shard, shard_index, ops[op_index]);
+        }
+        lsn = shard.system->last_enqueued_lsn();
+      }
+      // Batch-level group commit: one durability wait covers the whole
+      // shard group, after the lock is released. On failure every op that
+      // reported success is downgraded — its record may not have survived.
+      Status durable = shard.system->WaitWalDurable(lsn);
+      if (!durable.ok()) {
+        for (size_t op_index : by_shard[shard_index]) {
+          if (results[op_index].status.ok()) {
+            results[op_index].status = durable;
+          }
+        }
       }
     });
   }

@@ -19,7 +19,12 @@
 //   * locking          one mutex per shard serializes that shard's engine
 //                      turn; distinct shards execute in parallel.
 //   * durability       each shard owns a WAL/snapshot pair derived from the
-//                      configured base paths ("<path>.shard<k>");
+//                      configured base paths ("<path>.shard<k>"), written
+//                      through a group-commit WalWriter with the configured
+//                      SyncMode. Calls are *pipelined*: state mutates and
+//                      the WAL record is enqueued under the shard lock, the
+//                      durability wait happens after the lock is released —
+//                      distinct shards overlap engine work with WAL I/O.
 //                      Recover() rebuilds every shard and re-derives the
 //                      per-shard id allocators.
 //
@@ -39,6 +44,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cluster/thread_pool.h"
@@ -55,6 +61,9 @@ struct ClusterOptions {
   // Base durability paths; shard k appends ".shard<k>". Empty disables.
   std::string wal_path;
   std::string snapshot_path;
+  // Durability level of each shard's group-commit WAL writer (see SyncMode
+  // in storage/wal.h).
+  SyncMode sync = SyncMode::kFlush;
   // Seed/policy of the shard-local drivers behind BatchOp::DriveStep (shard
   // k runs with seed `driver.seed + k`).
   DriverOptions driver;
@@ -109,8 +118,16 @@ class AdeptCluster : public AdeptApi {
   // The returned pointer is looked up under the owning shard's lock but
   // read after it is released: dereference it only while no other thread
   // can mutate that shard (quiescent cluster, or all traffic for this
-  // instance funneled through the calling thread).
+  // instance funneled through the calling thread). For reads concurrent
+  // with writers, use WithInstance instead.
   const ProcessInstance* Instance(InstanceId id) const override;
+
+  // Runs `fn` under the owning shard's lock, so the instance cannot be
+  // mutated (or removed) while the callback reads it. Keep `fn` short: it
+  // blocks every operation routed to that shard.
+  Status WithInstance(
+      InstanceId id,
+      const std::function<void(const ProcessInstance&)>& fn) const override;
 
   Status StartActivity(InstanceId id, NodeId node) override;
   Status CompleteActivity(
@@ -132,8 +149,9 @@ class AdeptCluster : public AdeptApi {
   // --- AdeptApi: dynamic change ---------------------------------------------
 
   Status ApplyAdHocChange(InstanceId id, Delta delta) override;
-  Result<MigrationReport> Migrate(SchemaId from, SchemaId to,
-                                  const MigrationOptions& options = {}) override;
+  Result<MigrationReport> Migrate(
+      SchemaId from, SchemaId to,
+      const MigrationOptions& options = {}) override;
   Result<MigrationReport> MigrateToLatest(
       const std::string& type_name,
       const MigrationOptions& options = {}) override;
@@ -148,7 +166,7 @@ class AdeptCluster : public AdeptApi {
   // threads (under the owning shard's lock) and must be thread-safe.
   void AddObserver(InstanceObserver* observer);
 
-  // --- Batch execution --------------------------------------------------------
+  // --- Batch execution -------------------------------------------------------
 
   struct BatchOp {
     enum class Kind {
@@ -226,6 +244,23 @@ class AdeptCluster : public AdeptApi {
   // Runs the tasks concurrently: all but the last go to the worker pool,
   // the last runs on the calling thread; returns when every task finished.
   void RunParallel(std::vector<std::function<void()>> tasks);
+
+  // Routes a single-instance call: runs `fn(AdeptSystem&)` on the owning
+  // shard under its lock, then waits for WAL durability *after* releasing
+  // the lock so distinct shards overlap engine work with WAL I/O. `fn`
+  // must return Status or Result<T>. Defined in the .cc (all
+  // instantiations live there).
+  template <typename Fn>
+  auto RouteDurable(InstanceId id, Fn&& fn)
+      -> decltype(fn(std::declval<AdeptSystem&>()));
+
+  // Shared body of DeployProcessType/EvolveProcessType: fans `op` out to
+  // every shard under schema_mu_, verifies the allocated SchemaIds agree,
+  // then (locks released) waits for every shard's WAL durability. Any
+  // divergence or durability failure poisons schema management.
+  Result<SchemaId> FanOutSchemaOp(
+      const char* what,
+      const std::function<Result<SchemaId>(AdeptSystem&)>& op);
 
   InstanceId NextIdLocked(size_t shard_index);
   Result<InstanceId> CreateOnShard(size_t shard_index,

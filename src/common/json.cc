@@ -255,7 +255,9 @@ class Parser {
 
   Status ParseNumber(JsonValue& out) {
     size_t start = pos_;
-    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
     bool is_double = false;
     while (pos_ < text_.size()) {
       char c = text_[pos_];

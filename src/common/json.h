@@ -56,7 +56,9 @@ class JsonValue {
   int64_t as_int() const {
     return is_double() ? static_cast<int64_t>(double_) : int_;
   }
-  double as_double() const { return is_int() ? static_cast<double>(int_) : double_; }
+  double as_double() const {
+    return is_int() ? static_cast<double>(int_) : double_;
+  }
   const std::string& as_string() const { return string_; }
   const Array& as_array() const { return array_; }
   Array& as_array() { return array_; }

@@ -31,7 +31,8 @@ class Rng {
 
   // Uniform integer in [lo, hi] inclusive.
   int64_t NextInRange(int64_t lo, int64_t hi) {
-    return lo + static_cast<int64_t>(NextBelow(static_cast<uint64_t>(hi - lo + 1)));
+    return lo + static_cast<int64_t>(
+                    NextBelow(static_cast<uint64_t>(hi - lo + 1)));
   }
 
   // Uniform double in [0, 1).

@@ -5,7 +5,8 @@
 
 namespace adept {
 
-std::string Join(const std::vector<std::string>& parts, const std::string& sep) {
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep) {
   std::string out;
   for (size_t i = 0; i < parts.size(); ++i) {
     if (i > 0) out += sep;

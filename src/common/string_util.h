@@ -15,7 +15,8 @@ std::string Join(const std::vector<std::string>& parts, const std::string& sep);
 std::vector<std::string> Split(const std::string& s, char sep);
 
 // printf-style formatting into a std::string.
-std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
 
 // True if `s` starts with `prefix`.
 bool StartsWith(const std::string& s, const std::string& prefix);

@@ -68,9 +68,13 @@ AdeptSystem::AdeptSystem(const AdeptOptions& options) : options_(options) {
   engine_.set_observer(&fanout_);
 }
 
-Status AdeptSystem::OpenWalIfConfigured() {
+Status AdeptSystem::OpenWalIfConfigured(uint64_t min_last_lsn) {
   if (options_.wal_path.empty()) return Status::OK();
-  ADEPT_ASSIGN_OR_RETURN(wal_, WriteAheadLog::Open(options_.wal_path));
+  WalWriterOptions writer_options;
+  writer_options.sync = options_.sync;
+  writer_options.min_last_lsn = min_last_lsn;
+  ADEPT_ASSIGN_OR_RETURN(wal_,
+                         WalWriter::Open(options_.wal_path, writer_options));
   return Status::OK();
 }
 
@@ -78,7 +82,17 @@ Result<std::unique_ptr<AdeptSystem>> AdeptSystem::Create(
     const AdeptOptions& options) {
   std::unique_ptr<AdeptSystem> system(new AdeptSystem(options));
   ADEPT_RETURN_IF_ERROR(system->OpenWalIfConfigured());
-  // A fresh system starts a fresh history.
+  // A fresh system starts a fresh history — durably: a stale snapshot left
+  // on disk would otherwise be resurrected by a later Recover() (which
+  // would also skip this run's WAL records below its covered LSN).
+  if (!options.snapshot_path.empty()) {
+    std::error_code ec;
+    std::filesystem::remove(options.snapshot_path, ec);
+    if (ec) {
+      return Status::Corruption("cannot discard stale snapshot '" +
+                                options.snapshot_path + "': " + ec.message());
+    }
+  }
   if (system->wal_ != nullptr) {
     ADEPT_RETURN_IF_ERROR(system->wal_->Truncate());
   }
@@ -90,34 +104,49 @@ Result<std::unique_ptr<AdeptSystem>> AdeptSystem::Recover(
   std::unique_ptr<AdeptSystem> system(new AdeptSystem(options));
   system->recovering_ = true;
 
+  uint64_t snapshot_lsn = 0;
   if (!options.snapshot_path.empty() &&
       std::filesystem::exists(options.snapshot_path)) {
     ADEPT_ASSIGN_OR_RETURN(std::string content,
                            ReadFile(options.snapshot_path));
     ADEPT_ASSIGN_OR_RETURN(JsonValue json, JsonValue::Parse(content));
-    ADEPT_RETURN_IF_ERROR(system->LoadSnapshotJson(json));
+    ADEPT_RETURN_IF_ERROR(system->LoadSnapshotJson(json, &snapshot_lsn));
   }
 
   if (!options.wal_path.empty()) {
-    ADEPT_ASSIGN_OR_RETURN(std::vector<JsonValue> records,
-                           WriteAheadLog::ReadAll(options.wal_path));
-    for (const JsonValue& record : records) {
-      Status st = system->ApplyWalRecord(record);
+    ADEPT_ASSIGN_OR_RETURN(std::vector<WalRecord> records,
+                           WriteAheadLog::ReadRecords(options.wal_path));
+    for (const WalRecord& record : records) {
+      // Records at or below the snapshot's covered LSN are already part of
+      // the snapshot state; replaying them would double-apply (the window
+      // exists when a checkpoint wrote the snapshot but failed to truncate).
+      if (record.lsn <= snapshot_lsn) continue;
+      Status st = system->ApplyWalRecord(record.value);
       if (!st.ok()) {
         return Status::Corruption("WAL replay failed at record " +
-                                  record.Dump() + ": " + st.message());
+                                  record.value.Dump() + ": " + st.message());
       }
     }
   }
 
   system->recovering_ = false;
-  ADEPT_RETURN_IF_ERROR(system->OpenWalIfConfigured());
+  // Seed LSN numbering past the snapshot's coverage: after a checkpoint
+  // truncated the log, the file alone would restart at 1 and the *next*
+  // recovery would skip the new records as already covered.
+  ADEPT_RETURN_IF_ERROR(system->OpenWalIfConfigured(snapshot_lsn));
   return system;
 }
 
 Status AdeptSystem::Log(const JsonValue& record) {
   if (wal_ == nullptr || recovering_) return Status::OK();
-  return wal_->Append(record);
+  last_enqueued_lsn_ = wal_->Enqueue(record);
+  if (options_.defer_wal_sync) return Status::OK();
+  return wal_->WaitDurable(last_enqueued_lsn_);
+}
+
+Status AdeptSystem::WaitWalDurable(uint64_t lsn) {
+  if (wal_ == nullptr || lsn == 0) return Status::OK();
+  return wal_->WaitDurable(lsn);
 }
 
 // --- Buildtime ---------------------------------------------------------------
@@ -159,7 +188,7 @@ Result<std::shared_ptr<const ProcessSchema>> AdeptSystem::Schema(
   return repository_.Get(id);
 }
 
-// --- Instance lifecycle --------------------------------------------------------
+// --- Instance lifecycle ------------------------------------------------------
 
 Result<InstanceId> AdeptSystem::CreateInstanceInternal(SchemaId schema_id,
                                                        InstanceId forced_id) {
@@ -359,7 +388,7 @@ Status AdeptSystem::DriveToCompletion(InstanceId id, SimulationDriver& driver,
   return Status::Internal("step budget exceeded");
 }
 
-// --- Dynamic change ------------------------------------------------------------
+// --- Dynamic change ----------------------------------------------------------
 
 Status AdeptSystem::ApplyAdHocChange(InstanceId id, Delta delta) {
   ADEPT_ASSIGN_OR_RETURN(ProcessInstance * instance,
@@ -411,11 +440,14 @@ Result<MigrationReport> AdeptSystem::MigrateToLatest(
   return merged;
 }
 
-// --- Durability ------------------------------------------------------------------
+// --- Durability --------------------------------------------------------------
 
-JsonValue AdeptSystem::SnapshotToJson() const {
+JsonValue AdeptSystem::SnapshotToJson(uint64_t wal_lsn) const {
   JsonValue j = JsonValue::MakeObject();
   j.Set("format", JsonValue(1));
+  // Every WAL record with an LSN <= wal_lsn is folded into this snapshot;
+  // recovery must not replay them again.
+  j.Set("wal_lsn", JsonValue(wal_lsn));
   j.Set("repo", repository_.ToJson());
   JsonValue instances = JsonValue::MakeArray();
   for (InstanceId id : store_.Ids()) {
@@ -434,10 +466,14 @@ JsonValue AdeptSystem::SnapshotToJson() const {
   return j;
 }
 
-Status AdeptSystem::LoadSnapshotJson(const JsonValue& json) {
+Status AdeptSystem::LoadSnapshotJson(const JsonValue& json,
+                                     uint64_t* wal_lsn) {
   if (json.Get("format").as_int() != 1) {
     return Status::Corruption("unsupported snapshot format");
   }
+  // Pre-LSN snapshots carry no "wal_lsn"; Get() then yields null/0, which
+  // reproduces the old replay-everything behavior.
+  *wal_lsn = static_cast<uint64_t>(json.Get("wal_lsn").as_int());
   ADEPT_RETURN_IF_ERROR(repository_.LoadFromJson(json.Get("repo")));
   for (const JsonValue& ij : json.Get("instances").as_array()) {
     InstanceId id(static_cast<uint64_t>(ij.Get("id").as_int()));
@@ -463,15 +499,21 @@ Status AdeptSystem::SaveSnapshot() {
   if (options_.snapshot_path.empty()) {
     return Status::FailedPrecondition("no snapshot path configured");
   }
+  // The snapshot is built from in-memory state, which already reflects
+  // every enqueued record, so it covers everything up to this LSN — even
+  // records the writer thread has not flushed yet.
+  const uint64_t cover = wal_ != nullptr ? wal_->last_enqueued_lsn() : 0;
   ADEPT_RETURN_IF_ERROR(
-      WriteFileAtomic(options_.snapshot_path, SnapshotToJson().Dump()));
+      WriteFileAtomic(options_.snapshot_path, SnapshotToJson(cover).Dump()));
   if (wal_ != nullptr) {
+    // If this truncation fails, the stale records stay in the log but carry
+    // LSNs <= cover, so recovery skips them: no double-apply.
     ADEPT_RETURN_IF_ERROR(wal_->Truncate());
   }
   return Status::OK();
 }
 
-// --- WAL replay ------------------------------------------------------------------
+// --- WAL replay --------------------------------------------------------------
 
 Status AdeptSystem::ApplyWalRecord(const JsonValue& record) {
   const std::string& type = record.Get("t").as_string();

@@ -9,10 +9,11 @@
 //   compliance         ad-hoc changes, compliance checks, migration
 //   OrgModel/Worklists staff assignment and work items
 //   monitor            Fig. 3 reports and visualization (separate headers)
-//   WAL + snapshots    durability: every state-changing call is logged;
-//                      Recover() replays the log (optionally on top of the
-//                      last snapshot); SaveSnapshot() checkpoints and
-//                      truncates the log
+//   WAL + snapshots    durability: every state-changing call is logged via
+//                      a group-commit WalWriter (storage/wal_writer.h) with
+//                      a configurable SyncMode; Recover() replays the log
+//                      tail above the snapshot's covered LSN;
+//                      SaveSnapshot() checkpoints and truncates the log
 //
 // Threading: the facade is single-threaded by design (one engine turn at a
 // time), matching the original prototype's per-server execution model.
@@ -39,6 +40,7 @@
 #include "storage/instance_store.h"
 #include "storage/schema_repository.h"
 #include "storage/wal.h"
+#include "storage/wal_writer.h"
 
 namespace adept {
 
@@ -49,6 +51,14 @@ struct AdeptOptions {
   std::string wal_path;
   // Snapshot path used by SaveSnapshot()/Recover(); empty disables.
   std::string snapshot_path;
+  // Durability level applied per group-commit batch (see SyncMode in
+  // storage/wal.h). kFlush matches the historical per-append fflush.
+  SyncMode sync = SyncMode::kFlush;
+  // When true, state-changing calls only *enqueue* their WAL record and
+  // return without waiting for durability; callers then await
+  // WaitWalDurable(last_enqueued_lsn()) themselves. The cluster layer uses
+  // this to overlap engine work with WAL I/O across shards.
+  bool defer_wal_sync = false;
 };
 
 class AdeptSystem : public AdeptApi {
@@ -78,7 +88,7 @@ class AdeptSystem : public AdeptApi {
   Result<std::shared_ptr<const ProcessSchema>> Schema(
       SchemaId id) const override;
 
-  // --- Instance lifecycle -----------------------------------------------------
+  // --- Instance lifecycle ----------------------------------------------------
 
   // Creates and starts an instance of the latest version of `type_name`.
   Result<InstanceId> CreateInstance(const std::string& type_name) override;
@@ -111,20 +121,21 @@ class AdeptSystem : public AdeptApi {
   Status DriveToCompletion(InstanceId id, SimulationDriver& driver,
                            int max_steps = 100000) override;
 
-  // --- Dynamic change ---------------------------------------------------------
+  // --- Dynamic change --------------------------------------------------------
 
   // Ad-hoc change of a single instance (paper Sec. 2).
   Status ApplyAdHocChange(InstanceId id, Delta delta) override;
 
   // Propagates the type change `from` -> `to` to all running instances.
-  Result<MigrationReport> Migrate(SchemaId from, SchemaId to,
-                                  const MigrationOptions& options = {}) override;
+  Result<MigrationReport> Migrate(
+      SchemaId from, SchemaId to,
+      const MigrationOptions& options = {}) override;
   // Convenience: migrate every predecessor-version instance to the latest.
   Result<MigrationReport> MigrateToLatest(
       const std::string& type_name,
       const MigrationOptions& options = {}) override;
 
-  // --- Organization -----------------------------------------------------------
+  // --- Organization ----------------------------------------------------------
 
   OrgModel& org() { return org_; }
   const OrgModel& org() const { return org_; }
@@ -133,10 +144,20 @@ class AdeptSystem : public AdeptApi {
   // Subscribes an additional observer to all instance events (monitoring).
   void AddObserver(InstanceObserver* observer) { fanout_.Add(observer); }
 
-  // --- Durability -------------------------------------------------------------
+  // --- Durability ------------------------------------------------------------
 
-  // Writes a full snapshot and truncates the WAL (checkpoint).
+  // Writes a full snapshot (recording the covered WAL LSN) and truncates
+  // the WAL (checkpoint). Recovery skips WAL records at or below the
+  // snapshot's LSN, so an interrupted truncation cannot double-apply.
   Status SaveSnapshot() override;
+
+  // LSN of the most recent record this system enqueued (0 when nothing was
+  // logged yet). Meaningful for durability waits under defer_wal_sync.
+  uint64_t last_enqueued_lsn() const { return last_enqueued_lsn_; }
+
+  // Blocks until every WAL record with an LSN <= `lsn` is durable per the
+  // configured SyncMode. No-op without a WAL or for lsn 0.
+  Status WaitWalDurable(uint64_t lsn);
 
   // --- Substrate access (benchmarks, monitoring, tests) ----------------------
 
@@ -149,13 +170,13 @@ class AdeptSystem : public AdeptApi {
  private:
   explicit AdeptSystem(const AdeptOptions& options);
 
-  Status OpenWalIfConfigured();
+  Status OpenWalIfConfigured(uint64_t min_last_lsn = 0);
   Status Log(const JsonValue& record);
   Status ApplyWalRecord(const JsonValue& record);
   Result<InstanceId> CreateInstanceInternal(SchemaId schema_id,
                                             InstanceId forced_id);
-  JsonValue SnapshotToJson() const;
-  Status LoadSnapshotJson(const JsonValue& json);
+  JsonValue SnapshotToJson(uint64_t wal_lsn) const;
+  Status LoadSnapshotJson(const JsonValue& json, uint64_t* wal_lsn);
 
   AdeptOptions options_;
   SchemaRepository repository_;
@@ -165,7 +186,8 @@ class AdeptSystem : public AdeptApi {
   OrgModel org_;
   WorklistManager worklists_{&org_};
   ObserverFanout fanout_;
-  std::unique_ptr<WriteAheadLog> wal_;
+  std::unique_ptr<WalWriter> wal_;
+  uint64_t last_enqueued_lsn_ = 0;
   bool recovering_ = false;
 };
 

@@ -15,6 +15,7 @@
 #ifndef ADEPT_CORE_ADEPT_API_H_
 #define ADEPT_CORE_ADEPT_API_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -47,13 +48,29 @@ class AdeptApi {
   virtual Result<std::shared_ptr<const ProcessSchema>> Schema(SchemaId id)
       const = 0;
 
-  // --- Instance lifecycle -----------------------------------------------------
+  // --- Instance lifecycle ----------------------------------------------------
 
   virtual Result<InstanceId> CreateInstance(const std::string& type_name) = 0;
   virtual Result<InstanceId> CreateInstanceOn(SchemaId schema) = 0;
 
   // Read access to the live instance (schema view, marking, trace, ...).
+  // Implementations that execute concurrently (AdeptCluster) return a
+  // pointer that may be invalidated by other threads the moment the call
+  // returns; prefer WithInstance for reads that must be race-free.
   virtual const ProcessInstance* Instance(InstanceId id) const = 0;
+
+  // Runs `fn` with the live instance while it cannot be concurrently
+  // mutated (AdeptCluster overrides this to hold the owning shard's lock
+  // for the duration of the callback). Returns kNotFound when the instance
+  // does not exist. Keep `fn` short: it blocks the instance's engine.
+  virtual Status WithInstance(
+      InstanceId id,
+      const std::function<void(const ProcessInstance&)>& fn) const {
+    const ProcessInstance* instance = Instance(id);
+    if (instance == nullptr) return Status::NotFound("no such instance");
+    fn(*instance);
+    return Status::OK();
+  }
 
   virtual Status StartActivity(InstanceId id, NodeId node) = 0;
   virtual Status CompleteActivity(
@@ -75,7 +92,7 @@ class AdeptApi {
   virtual Status DriveToCompletion(InstanceId id, SimulationDriver& driver,
                                    int max_steps = 100000) = 0;
 
-  // --- Dynamic change ---------------------------------------------------------
+  // --- Dynamic change --------------------------------------------------------
 
   // Ad-hoc change of a single instance (paper Sec. 2).
   virtual Status ApplyAdHocChange(InstanceId id, Delta delta) = 0;
@@ -87,7 +104,7 @@ class AdeptApi {
   virtual Result<MigrationReport> MigrateToLatest(
       const std::string& type_name, const MigrationOptions& options = {}) = 0;
 
-  // --- Durability -------------------------------------------------------------
+  // --- Durability ------------------------------------------------------------
 
   // Writes a full snapshot and truncates the WAL (checkpoint).
   virtual Status SaveSnapshot() = 0;

@@ -105,8 +105,9 @@ class ProcessSchema final : public SchemaView {
       NodeId node, const std::function<void(const Edge&)>& fn) const override;
   void VisitInEdges(
       NodeId node, const std::function<void(const Edge&)>& fn) const override;
-  void VisitDataEdges(
-      NodeId node, const std::function<void(const DataEdge&)>& fn) const override;
+  void VisitDataEdges(NodeId node,
+                      const std::function<void(const DataEdge&)>& fn)
+      const override;
 
   // --- Frozen-only structural services ---------------------------------------
 

@@ -11,7 +11,9 @@ JsonValue NodeToJson(const Node& n) {
   j.Set("id", JsonValue(n.id.value()));
   j.Set("type", JsonValue(static_cast<int>(n.type)));
   j.Set("name", JsonValue(n.name));
-  if (!n.activity_template.empty()) j.Set("tmpl", JsonValue(n.activity_template));
+  if (!n.activity_template.empty()) {
+    j.Set("tmpl", JsonValue(n.activity_template));
+  }
   if (n.role.valid()) j.Set("role", JsonValue(n.role.value()));
   if (n.server.valid()) j.Set("server", JsonValue(n.server.value()));
   if (n.decision_data.valid()) {
@@ -33,7 +35,9 @@ Result<Node> NodeFromJson(const JsonValue& j) {
   n.type = static_cast<NodeType>(j.Get("type").as_int());
   n.name = j.Get("name").as_string();
   n.activity_template = j.Get("tmpl").as_string();
-  if (j.Has("role")) n.role = RoleId(static_cast<uint32_t>(j.Get("role").as_int()));
+  if (j.Has("role")) {
+    n.role = RoleId(static_cast<uint32_t>(j.Get("role").as_int()));
+  }
   if (j.Has("server")) {
     n.server = ServerId(static_cast<uint32_t>(j.Get("server").as_int()));
   }

@@ -29,9 +29,9 @@ class Engine {
       std::shared_ptr<const SchemaView> schema, SchemaId schema_ref);
 
   // Re-registers a recovered instance under its original id.
-  Result<ProcessInstance*> AdoptInstance(InstanceId id,
-                                         std::shared_ptr<const SchemaView> schema,
-                                         SchemaId schema_ref);
+  Result<ProcessInstance*> AdoptInstance(
+      InstanceId id, std::shared_ptr<const SchemaView> schema,
+      SchemaId schema_ref);
 
   ProcessInstance* Find(InstanceId id);
   const ProcessInstance* Find(InstanceId id) const;

@@ -351,7 +351,8 @@ Status ProcessInstance::CompleteActivity(NodeId node_id,
   return Propagate();
 }
 
-Status ProcessInstance::FailActivity(NodeId node_id, const std::string& reason) {
+Status ProcessInstance::FailActivity(NodeId node_id,
+                                     const std::string& reason) {
   const Node* node = schema_->FindNode(node_id);
   if (node == nullptr) return Status::NotFound("no such node");
   if (marking_.node(node_id) != NodeState::kRunning) {

@@ -77,7 +77,8 @@ class ProcessInstance {
   };
   // Completes a running activity, applying its output parameter writes.
   // All mandatory (non-optional) write edges must be supplied.
-  Status CompleteActivity(NodeId node, const std::vector<DataWrite>& writes = {});
+  Status CompleteActivity(NodeId node,
+                          const std::vector<DataWrite>& writes = {});
 
   Status FailActivity(NodeId node, const std::string& reason);
   Status RetryActivity(NodeId node);

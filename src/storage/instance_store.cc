@@ -53,8 +53,8 @@ std::vector<InstanceId> InstanceStore::Ids() const {
   return out;
 }
 
-Status InstanceStore::Refresh(Record& record,
-                              std::shared_ptr<const ProcessSchema> materialized) {
+Status InstanceStore::Refresh(
+    Record& record, std::shared_ptr<const ProcessSchema> materialized) {
   ADEPT_ASSIGN_OR_RETURN(std::shared_ptr<const ProcessSchema> base,
                          repository_->Get(record.base_schema));
   switch (record.strategy) {
@@ -174,7 +174,9 @@ InstanceStore::MemoryStats InstanceStore::Memory() const {
     for (const auto& op : record.bias.ops()) {
       stats.records += op->ToJson().Dump().size();  // serialized op size
     }
-    if (record.block != nullptr) stats.blocks += record.block->MemoryFootprint();
+    if (record.block != nullptr) {
+      stats.blocks += record.block->MemoryFootprint();
+    }
     if (record.full_copy != nullptr) {
       stats.full_copies += record.full_copy->MemoryFootprint();
     }

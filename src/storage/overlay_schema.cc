@@ -181,7 +181,9 @@ Result<std::shared_ptr<ProcessSchema>> OverlaySchema::Materialize() const {
   });
   VisitNodes([&](const Node& n) {
     VisitDataEdges(n.id, [&](const DataEdge& de) {
-      if (st.ok()) st = schema->AddDataEdge(de.node, de.data, de.mode, de.optional);
+      if (st.ok()) {
+        st = schema->AddDataEdge(de.node, de.data, de.mode, de.optional);
+      }
     });
   });
   ADEPT_RETURN_IF_ERROR(st);

@@ -42,8 +42,9 @@ class OverlaySchema final : public SchemaView {
       NodeId node, const std::function<void(const Edge&)>& fn) const override;
   void VisitInEdges(
       NodeId node, const std::function<void(const Edge&)>& fn) const override;
-  void VisitDataEdges(
-      NodeId node, const std::function<void(const DataEdge&)>& fn) const override;
+  void VisitDataEdges(NodeId node,
+                      const std::function<void(const DataEdge&)>& fn)
+      const override;
 
   // Materializes the overlay into a frozen, standalone schema.
   Result<std::shared_ptr<ProcessSchema>> Materialize() const;

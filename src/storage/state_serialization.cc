@@ -75,8 +75,12 @@ Result<ExecutionTrace> TraceFromJson(const JsonValue& json) {
     TraceEvent ev;
     ev.sequence = e.Get("q").as_int();
     ev.kind = static_cast<TraceEventKind>(e.Get("k").as_int());
-    if (e.Has("n")) ev.node = NodeId(static_cast<uint32_t>(e.Get("n").as_int()));
-    if (e.Has("d")) ev.data = DataId(static_cast<uint32_t>(e.Get("d").as_int()));
+    if (e.Has("n")) {
+      ev.node = NodeId(static_cast<uint32_t>(e.Get("n").as_int()));
+    }
+    if (e.Has("d")) {
+      ev.data = DataId(static_cast<uint32_t>(e.Get("d").as_int()));
+    }
     ev.branch_value = static_cast<int>(e.Get("b").as_int());
     ev.iteration = static_cast<int>(e.Get("i").as_int());
     for (const JsonValue& r : e.Get("r").as_array()) {
@@ -154,7 +158,8 @@ JsonValue InstanceStateToJson(const ProcessInstance& instance) {
 Status RestoreInstanceState(ProcessInstance& instance, const JsonValue& json) {
   if (!json.is_object()) return Status::Corruption("instance state malformed");
   ADEPT_ASSIGN_OR_RETURN(Marking marking, MarkingFromJson(json.Get("marking")));
-  ADEPT_ASSIGN_OR_RETURN(ExecutionTrace trace, TraceFromJson(json.Get("trace")));
+  ADEPT_ASSIGN_OR_RETURN(ExecutionTrace trace,
+                         TraceFromJson(json.Get("trace")));
   ADEPT_ASSIGN_OR_RETURN(DataContext data,
                          DataContextFromJson(json.Get("data")));
   std::unordered_map<NodeId, int> loops;

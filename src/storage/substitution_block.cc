@@ -113,11 +113,17 @@ JsonValue SubstitutionBlock::ToJson() const {
     nj.Set("id", JsonValue(n.id.value()));
     nj.Set("type", JsonValue(static_cast<int>(n.type)));
     nj.Set("name", JsonValue(n.name));
-    if (!n.activity_template.empty()) nj.Set("tmpl", JsonValue(n.activity_template));
+    if (!n.activity_template.empty()) {
+      nj.Set("tmpl", JsonValue(n.activity_template));
+    }
     if (n.role.valid()) nj.Set("role", JsonValue(n.role.value()));
     if (n.server.valid()) nj.Set("server", JsonValue(n.server.value()));
-    if (n.decision_data.valid()) nj.Set("decision", JsonValue(n.decision_data.value()));
-    if (n.loop_data.valid()) nj.Set("loop_data", JsonValue(n.loop_data.value()));
+    if (n.decision_data.valid()) {
+      nj.Set("decision", JsonValue(n.decision_data.value()));
+    }
+    if (n.loop_data.valid()) {
+      nj.Set("loop_data", JsonValue(n.loop_data.value()));
+    }
     nodes_json.Append(std::move(nj));
   }
   j.Set("nodes", std::move(nodes_json));
@@ -165,7 +171,9 @@ JsonValue SubstitutionBlock::ToJson() const {
   j.Set("removed_data", id_array(removed_data));
 
   JsonValue added_de = JsonValue::MakeArray();
-  for (const DataEdge& de : added_data_edges) added_de.Append(DataEdgeToJson(de));
+  for (const DataEdge& de : added_data_edges) {
+    added_de.Append(DataEdgeToJson(de));
+  }
   j.Set("added_data_edges", std::move(added_de));
   JsonValue removed_de = JsonValue::MakeArray();
   for (const DataEdge& de : removed_data_edges) {
@@ -191,12 +199,15 @@ Result<SubstitutionBlock> SubstitutionBlock::FromJson(const JsonValue& json) {
     n.type = static_cast<NodeType>(nj.Get("type").as_int());
     n.name = nj.Get("name").as_string();
     n.activity_template = nj.Get("tmpl").as_string();
-    if (nj.Has("role")) n.role = RoleId(static_cast<uint32_t>(nj.Get("role").as_int()));
+    if (nj.Has("role")) {
+      n.role = RoleId(static_cast<uint32_t>(nj.Get("role").as_int()));
+    }
     if (nj.Has("server")) {
       n.server = ServerId(static_cast<uint32_t>(nj.Get("server").as_int()));
     }
     if (nj.Has("decision")) {
-      n.decision_data = DataId(static_cast<uint32_t>(nj.Get("decision").as_int()));
+      n.decision_data =
+          DataId(static_cast<uint32_t>(nj.Get("decision").as_int()));
     }
     if (nj.Has("loop_data")) {
       n.loop_data = DataId(static_cast<uint32_t>(nj.Get("loop_data").as_int()));

@@ -1,13 +1,44 @@
 // WriteAheadLog: append-only persistence of engine events.
 //
-// Records are JSON values framed as "<length>:<json>\n". ReadAll tolerates
-// a truncated tail (crash mid-append): it returns every complete, parsable
-// record and stops at the first damaged one — recovery then resumes from
-// consistent state, which the crash-injection tests exercise.
+// Records are JSON values framed as "<lsn>:<length>:<json>\n". This
+// framing replaces the pre-LSN "<length>:<json>\n" format wholesale; old
+// logs are not readable (checkpoint via SaveSnapshot before upgrading —
+// snapshots stay compatible, a missing "wal_lsn" simply replays
+// everything). The LSN
+// (log sequence number) is strictly monotonic per log path and survives
+// Truncate(), so a snapshot that records the LSN it covers makes replay
+// unambiguous even when a checkpoint is interrupted between the snapshot
+// write and the log truncation.
+//
+// Durability contract: Append() only buffers the frame in the stdio
+// buffer; data reaches the OS (or the disk) when Sync() runs:
+//
+//   SyncMode::kNone    no explicit flush. Fastest; an exiting process
+//                      still flushes via fclose, but a crash loses every
+//                      buffered record.
+//   SyncMode::kFlush   fflush to the OS page cache. Survives a process
+//                      crash, not an OS crash or power failure.
+//   SyncMode::kFsync   fflush + fsync. Survives OS/power failure, at the
+//                      price of a disk round trip.
+//
+// Group commit lives one layer up: storage/wal_writer.h batches frames
+// from concurrent appenders into a single write + Sync() per batch.
+//
+// ReadRecords/ReadAll tolerate a truncated or corrupt tail (crash
+// mid-append, forged headers): they return every complete, parsable,
+// LSN-ordered record and stop at the first damaged one. Opening a log
+// whose tail is damaged truncates the file back to the last good frame so
+// new appends are never hidden behind unreadable bytes.
+//
+// Failure hardening: a failed write, flush, or truncation kills the file
+// handle; every later Append/Sync on the dead handle returns kCorruption
+// instead of touching a poisoned tail (or a null FILE*). Truncate() may
+// be retried and revives the handle when the reopen succeeds.
 
 #ifndef ADEPT_STORAGE_WAL_H_
 #define ADEPT_STORAGE_WAL_H_
 
+#include <cstdint>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -18,34 +49,72 @@
 
 namespace adept {
 
+// How far Sync() pushes buffered records toward stable storage.
+enum class SyncMode {
+  kNone = 0,   // stdio buffer only; lost on process crash
+  kFlush = 1,  // OS page cache; lost on OS crash / power failure
+  kFsync = 2,  // stable storage
+};
+
+// "none", "flush", or "fsync".
+const char* SyncModeToString(SyncMode mode);
+
+// One decoded log record: payload plus its log sequence number.
+struct WalRecord {
+  uint64_t lsn = 0;
+  JsonValue value;
+};
+
 class WriteAheadLog {
  public:
-  // Opens (creating or appending) the log at `path`.
+  // Opens (creating or appending) the log at `path`. Scans any existing
+  // frames to resume LSN numbering and truncates a damaged tail back to
+  // the last complete frame.
   static Result<std::unique_ptr<WriteAheadLog>> Open(const std::string& path);
 
   ~WriteAheadLog();
   WriteAheadLog(const WriteAheadLog&) = delete;
   WriteAheadLog& operator=(const WriteAheadLog&) = delete;
 
-  // Appends one record and flushes it to the OS.
-  Status Append(const JsonValue& record);
+  // Appends one record under the next LSN and returns that LSN. The frame
+  // is buffered; call Sync() to make it durable (see SyncMode above).
+  Result<uint64_t> Append(const JsonValue& record);
 
-  // Discards all records (checkpoint compaction after a snapshot).
+  // Appends a pre-serialized payload under a caller-assigned LSN, which
+  // must exceed last_lsn(). Used by WalWriter, whose appenders draw LSN
+  // tickets before the background thread performs the write.
+  Status AppendFrame(uint64_t lsn, const std::string& payload);
+
+  // Pushes buffered frames toward stable storage per `mode`.
+  Status Sync(SyncMode mode);
+
+  // Discards all records (checkpoint compaction after a snapshot). The
+  // LSN counter intentionally survives: LSNs are never reused for a path,
+  // so a snapshot's recorded coverage stays unambiguous.
   Status Truncate();
 
   const std::string& path() const { return path_; }
   size_t records_written() const { return records_written_; }
+  // Highest LSN ever appended to (or recovered from) this log.
+  uint64_t last_lsn() const { return last_lsn_; }
+  // True once an I/O failure killed the handle; Append/Sync then return
+  // kCorruption until a successful Truncate() revives it.
+  bool dead() const { return file_ == nullptr; }
 
-  // Reads all complete records; a truncated/corrupt tail ends the scan
-  // without error. Missing file yields an empty vector.
+  // Reads all complete records with their LSNs; a truncated/corrupt tail
+  // ends the scan without error. Missing file yields an empty vector.
+  static Result<std::vector<WalRecord>> ReadRecords(const std::string& path);
+
+  // Convenience wrapper over ReadRecords that drops the LSNs.
   static Result<std::vector<JsonValue>> ReadAll(const std::string& path);
 
  private:
-  WriteAheadLog(std::string path, std::FILE* file)
-      : path_(std::move(path)), file_(file) {}
+  WriteAheadLog(std::string path, std::FILE* file, uint64_t last_lsn)
+      : path_(std::move(path)), file_(file), last_lsn_(last_lsn) {}
 
   std::string path_;
   std::FILE* file_;
+  uint64_t last_lsn_ = 0;
   size_t records_written_ = 0;
 };
 

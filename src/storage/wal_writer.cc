@@ -1,0 +1,125 @@
+#include "storage/wal_writer.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace adept {
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Open(
+    const std::string& path, const WalWriterOptions& options) {
+  ADEPT_ASSIGN_OR_RETURN(std::unique_ptr<WriteAheadLog> log,
+                         WriteAheadLog::Open(path));
+  return std::unique_ptr<WalWriter>(
+      new WalWriter(path, options, std::move(log)));
+}
+
+WalWriter::WalWriter(std::string path, const WalWriterOptions& options,
+                     std::unique_ptr<WriteAheadLog> log)
+    : path_(std::move(path)), options_(options), log_(std::move(log)) {
+  next_lsn_ = std::max(log_->last_lsn(), options_.min_last_lsn);
+  durable_lsn_ = next_lsn_;
+  writer_ = std::thread([this] { WriterLoop(); });
+}
+
+WalWriter::~WalWriter() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  if (writer_.joinable()) writer_.join();
+}
+
+uint64_t WalWriter::Enqueue(const JsonValue& record) {
+  std::string payload = record.Dump();  // serialize outside the lock
+  uint64_t lsn;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    lsn = ++next_lsn_;
+    queue_.push_back({lsn, std::move(payload)});
+  }
+  work_cv_.notify_one();
+  return lsn;
+}
+
+Status WalWriter::WaitDurable(uint64_t lsn) {
+  std::unique_lock<std::mutex> lock(mu_);
+  durable_cv_.wait(lock, [&] {
+    return durable_lsn_ >= lsn || !error_.ok() || stopped_;
+  });
+  if (durable_lsn_ >= lsn) return Status::OK();
+  if (!error_.ok()) return error_;
+  return Status::Corruption("WAL writer stopped before LSN became durable");
+}
+
+Status WalWriter::Append(const JsonValue& record) {
+  return WaitDurable(Enqueue(record));
+}
+
+Status WalWriter::Truncate() {
+  std::unique_lock<std::mutex> lock(mu_);
+  // Drain: once the queue is empty and no batch is in flight, the writer
+  // thread is parked on work_cv_ and cannot touch log_ while we hold mu_.
+  durable_cv_.wait(lock,
+                   [&] { return (queue_.empty() && !writing_) || stopped_; });
+  if (!queue_.empty() || writing_) {
+    return Status::Corruption("WAL writer stopped with a pending backlog");
+  }
+  Status st = log_->Truncate();
+  if (st.ok()) {
+    // Fresh file: a prior I/O failure is repaired, and every LSN handed out
+    // so far is covered by the caller's snapshot.
+    error_ = Status::OK();
+    durable_lsn_ = next_lsn_;
+    durable_cv_.notify_all();
+  }
+  return st;
+}
+
+uint64_t WalWriter::last_enqueued_lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_lsn_;
+}
+
+uint64_t WalWriter::durable_lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return durable_lsn_;
+}
+
+void WalWriter::WriterLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) break;  // stopping_ with a drained queue
+    std::vector<Pending> batch;
+    batch.reserve(std::min(queue_.size(), options_.max_batch_records));
+    while (!queue_.empty() && batch.size() < options_.max_batch_records) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    writing_ = true;
+    lock.unlock();
+
+    // Group commit: one frame write per record, one Sync per batch.
+    Status st;
+    for (const Pending& pending : batch) {
+      st = log_->AppendFrame(pending.lsn, pending.payload);
+      if (!st.ok()) break;
+    }
+    if (st.ok()) st = log_->Sync(options_.sync);
+
+    lock.lock();
+    writing_ = false;
+    if (st.ok()) {
+      durable_lsn_ = batch.back().lsn;
+    } else if (error_.ok()) {
+      error_ = st;
+    }
+    durable_cv_.notify_all();
+  }
+  stopped_ = true;
+  durable_cv_.notify_all();
+}
+
+}  // namespace adept

@@ -1,0 +1,124 @@
+// WalWriter: group-commit front end for WriteAheadLog.
+//
+// Concurrent appenders call Enqueue() and immediately receive a monotonic
+// LSN ticket; a per-log background thread drains the queue, coalesces every
+// pending frame into one stdio write burst, applies the configured SyncMode
+// once per batch, and wakes the waiters whose LSN is now durable. Under N
+// concurrent appenders that turns N flushes/fsyncs into one — the classic
+// group-commit amortization (cf. realm-core's group writer) — while
+// preserving exactly the per-record durability contract of
+// WriteAheadLog::Sync.
+//
+// Threading: Enqueue/WaitDurable/Append are safe from any thread. The
+// underlying WriteAheadLog is touched only by the background thread (and by
+// Truncate(), which first drains the queue and parks the thread).
+//
+// Failure model: an I/O error is sticky. The failing batch and every later
+// WaitDurable whose LSN is not yet durable return the error; already-durable
+// LSNs keep reporting OK. A successful Truncate() — the checkpoint path,
+// called after a snapshot covering all enqueued LSNs was written — starts a
+// fresh file and clears the sticky error.
+
+#ifndef ADEPT_STORAGE_WAL_WRITER_H_
+#define ADEPT_STORAGE_WAL_WRITER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/json.h"
+#include "common/status.h"
+#include "storage/wal.h"
+
+namespace adept {
+
+struct WalWriterOptions {
+  // Durability applied once per drained batch (see SyncMode in wal.h).
+  SyncMode sync = SyncMode::kFlush;
+  // Cap on frames coalesced into one write+sync cycle; bounds the latency
+  // a single huge backlog can impose on the oldest waiter.
+  size_t max_batch_records = 4096;
+  // LSN tickets start above max(this, the log's persisted last LSN).
+  // Recovery seeds it with the snapshot's covered LSN: after a checkpoint
+  // truncated the log, the file alone no longer remembers how far
+  // numbering got, and a restart that restarted at 1 would make the next
+  // recovery skip genuinely new records as "already covered".
+  uint64_t min_last_lsn = 0;
+};
+
+class WalWriter {
+ public:
+  // Opens (creating or appending) the log at `path` and starts the writer
+  // thread. LSN numbering resumes from the existing frames.
+  static Result<std::unique_ptr<WalWriter>> Open(
+      const std::string& path, const WalWriterOptions& options = {});
+
+  // Drains every enqueued record, then stops and joins the writer thread.
+  ~WalWriter();
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  // Serializes `record`, enqueues it, and returns its LSN ticket. Never
+  // blocks on I/O; write/sync errors surface in WaitDurable.
+  uint64_t Enqueue(const JsonValue& record);
+
+  // Blocks until every record with an LSN <= `lsn` is durable per the
+  // configured SyncMode, or returns the sticky writer error.
+  Status WaitDurable(uint64_t lsn);
+
+  // Synchronous append: Enqueue + WaitDurable. Still benefits from group
+  // commit when other threads append concurrently.
+  Status Append(const JsonValue& record);
+
+  // Checkpoint compaction: drains the queue, truncates the underlying log,
+  // and (on success) clears any sticky error. Contract: the caller must
+  // (a) have persisted a snapshot covering last_enqueued_lsn() and
+  // (b) exclude concurrent Enqueue/Append for the duration — a record
+  // enqueued mid-truncation could be deleted while its waiter is told it
+  // is durable. AdeptSystem satisfies both (single-threaded engine turn;
+  // the cluster checkpoints under the shard lock).
+  Status Truncate();
+
+  const std::string& path() const { return path_; }
+  SyncMode sync_mode() const { return options_.sync; }
+  // Highest LSN ticket handed out so far.
+  uint64_t last_enqueued_lsn() const;
+  // Highest LSN known durable per the configured SyncMode.
+  uint64_t durable_lsn() const;
+
+ private:
+  struct Pending {
+    uint64_t lsn;
+    std::string payload;
+  };
+
+  WalWriter(std::string path, const WalWriterOptions& options,
+            std::unique_ptr<WriteAheadLog> log);
+
+  void WriterLoop();
+
+  const std::string path_;
+  const WalWriterOptions options_;
+  // Touched only by the writer thread, except in Truncate() after a drain.
+  std::unique_ptr<WriteAheadLog> log_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;     // wakes the writer thread
+  std::condition_variable durable_cv_;  // wakes WaitDurable/Truncate callers
+  std::deque<Pending> queue_;           // guarded by mu_
+  uint64_t next_lsn_ = 0;               // guarded by mu_; last ticket issued
+  uint64_t durable_lsn_ = 0;            // guarded by mu_
+  Status error_;                        // guarded by mu_; sticky
+  bool writing_ = false;                // guarded by mu_; batch in flight
+  bool stopping_ = false;               // guarded by mu_
+  bool stopped_ = false;                // guarded by mu_; loop exited
+  std::thread writer_;
+};
+
+}  // namespace adept
+
+#endif  // ADEPT_STORAGE_WAL_WRITER_H_

@@ -42,7 +42,8 @@ class VerifyPass {
  private:
   void Error(VerifyRule rule, std::string msg, NodeId node = NodeId::Invalid(),
              EdgeId edge = EdgeId::Invalid(), DataId data = DataId::Invalid()) {
-    report_.Add({rule, VerifySeverity::kError, std::move(msg), node, edge, data});
+    report_.Add(
+        {rule, VerifySeverity::kError, std::move(msg), node, edge, data});
   }
   void Warn(VerifyRule rule, std::string msg, NodeId node = NodeId::Invalid(),
             EdgeId edge = EdgeId::Invalid(), DataId data = DataId::Invalid()) {
@@ -105,45 +106,68 @@ class VerifyPass {
       switch (n->type) {
         case NodeType::kStartFlow:
           ++starts;
-          expect(d.in_control == 0, "start-flow must have no incoming control edge");
-          expect(d.out_control == 1, "start-flow must have exactly one outgoing control edge");
-          expect(d.in_sync == 0 && d.out_sync == 0, "start-flow must not touch sync edges");
-          expect(d.in_loop == 0 && d.out_loop == 0, "start-flow must not touch loop edges");
+          expect(d.in_control == 0,
+                 "start-flow must have no incoming control edge");
+          expect(d.out_control == 1,
+                 "start-flow must have exactly one outgoing control edge");
+          expect(d.in_sync == 0 && d.out_sync == 0,
+                 "start-flow must not touch sync edges");
+          expect(d.in_loop == 0 && d.out_loop == 0,
+                 "start-flow must not touch loop edges");
           break;
         case NodeType::kEndFlow:
           ++ends;
-          expect(d.in_control == 1, "end-flow must have exactly one incoming control edge");
-          expect(d.out_control == 0, "end-flow must have no outgoing control edge");
-          expect(d.in_sync == 0 && d.out_sync == 0, "end-flow must not touch sync edges");
-          expect(d.in_loop == 0 && d.out_loop == 0, "end-flow must not touch loop edges");
+          expect(d.in_control == 1,
+                 "end-flow must have exactly one incoming control edge");
+          expect(d.out_control == 0,
+                 "end-flow must have no outgoing control edge");
+          expect(d.in_sync == 0 && d.out_sync == 0,
+                 "end-flow must not touch sync edges");
+          expect(d.in_loop == 0 && d.out_loop == 0,
+                 "end-flow must not touch loop edges");
           break;
         case NodeType::kActivity:
-          expect(d.in_control == 1, "activity must have exactly one incoming control edge");
-          expect(d.out_control == 1, "activity must have exactly one outgoing control edge");
-          expect(d.in_loop == 0 && d.out_loop == 0, "activity must not touch loop edges");
+          expect(d.in_control == 1,
+                 "activity must have exactly one incoming control edge");
+          expect(d.out_control == 1,
+                 "activity must have exactly one outgoing control edge");
+          expect(d.in_loop == 0 && d.out_loop == 0,
+                 "activity must not touch loop edges");
           break;
         case NodeType::kAndSplit:
         case NodeType::kXorSplit:
-          expect(d.in_control == 1, "split must have exactly one incoming control edge");
-          expect(d.out_control >= 2, "split must have >= 2 outgoing control edges");
-          expect(d.in_loop == 0 && d.out_loop == 0, "split must not touch loop edges");
+          expect(d.in_control == 1,
+                 "split must have exactly one incoming control edge");
+          expect(d.out_control >= 2,
+                 "split must have >= 2 outgoing control edges");
+          expect(d.in_loop == 0 && d.out_loop == 0,
+                 "split must not touch loop edges");
           break;
         case NodeType::kAndJoin:
         case NodeType::kXorJoin:
-          expect(d.in_control >= 2, "join must have >= 2 incoming control edges");
-          expect(d.out_control == 1, "join must have exactly one outgoing control edge");
-          expect(d.in_loop == 0 && d.out_loop == 0, "join must not touch loop edges");
+          expect(d.in_control >= 2,
+                 "join must have >= 2 incoming control edges");
+          expect(d.out_control == 1,
+                 "join must have exactly one outgoing control edge");
+          expect(d.in_loop == 0 && d.out_loop == 0,
+                 "join must not touch loop edges");
           break;
         case NodeType::kLoopStart:
-          expect(d.in_control == 1, "loop start must have exactly one incoming control edge");
-          expect(d.out_control == 1, "loop start must have exactly one body branch");
-          expect(d.in_loop == 1, "loop start must have exactly one incoming loop edge");
+          expect(d.in_control == 1,
+                 "loop start must have exactly one incoming control edge");
+          expect(d.out_control == 1,
+                 "loop start must have exactly one body branch");
+          expect(d.in_loop == 1,
+                 "loop start must have exactly one incoming loop edge");
           expect(d.out_loop == 0, "loop start must have no outgoing loop edge");
           break;
         case NodeType::kLoopEnd:
-          expect(d.in_control == 1, "loop end must have exactly one incoming control edge");
-          expect(d.out_control == 1, "loop end must have exactly one outgoing control edge");
-          expect(d.out_loop == 1, "loop end must have exactly one outgoing loop edge");
+          expect(d.in_control == 1,
+                 "loop end must have exactly one incoming control edge");
+          expect(d.out_control == 1,
+                 "loop end must have exactly one outgoing control edge");
+          expect(d.out_loop == 1,
+                 "loop end must have exactly one outgoing loop edge");
           expect(d.in_loop == 0, "loop end must have no incoming loop edge");
           break;
       }

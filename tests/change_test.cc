@@ -133,7 +133,8 @@ TEST(ChangeOpTest, BranchInsertAddsSelectableBranch) {
   ASSERT_TRUE(derived.ok()) << derived.status();
   EXPECT_TRUE(VerifySchemaOrError(**derived).ok());
   NodeId added = (*derived)->FindNodeByName("palliative care");
-  const Edge* entry = (*derived)->FindEdgeBetween(split, added, EdgeType::kControl);
+  const Edge* entry =
+      (*derived)->FindEdgeBetween(split, added, EdgeType::kControl);
   ASSERT_NE(entry, nullptr);
   EXPECT_EQ(entry->branch_value, 2);
 }
@@ -172,7 +173,8 @@ TEST(ChangeOpTest, DeleteActivityKeepsBranchCode) {
   delta.Add(std::make_unique<DeleteActivityOp>(intensive));
   auto derived = delta.ApplyToSchema(*base);
   ASSERT_TRUE(derived.ok()) << derived.status();
-  const Edge* bridge = (*derived)->FindEdgeBetween(split, join, EdgeType::kControl);
+  const Edge* bridge =
+      (*derived)->FindEdgeBetween(split, join, EdgeType::kControl);
   ASSERT_NE(bridge, nullptr);
   EXPECT_EQ(bridge->branch_value, 1);
   EXPECT_TRUE(VerifySchemaOrError(**derived).ok());
@@ -306,7 +308,8 @@ TEST(ChangeOpTest, DataOpsRoundTrip) {
   EXPECT_EQ((*second)->DataEdgesOf(a1, AccessMode::kWrite).size(), 1u);
 
   Delta unwiring;
-  unwiring.Add(std::make_unique<DeleteDataEdgeOp>(a2, score, AccessMode::kRead));
+  unwiring.Add(
+      std::make_unique<DeleteDataEdgeOp>(a2, score, AccessMode::kRead));
   auto third = unwiring.ApplyToSchema(**second);
   ASSERT_TRUE(third.ok()) << third.status();
   EXPECT_TRUE((*third)->DataEdgesOf(a2, AccessMode::kRead).empty());

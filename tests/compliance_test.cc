@@ -402,7 +402,8 @@ TEST_F(ComplianceSystem, DisjointBiasMigratesAndKeepsBias) {
 TEST_F(ComplianceSystem, EquivalentBiasIsCancelled) {
   // The user applied exactly the upcoming type change ad hoc.
   ProcessInstance* inst = NewInstance();
-  ASSERT_TRUE(ApplyAdHocChange(*inst, store_, MakeTypeChange(/*as_bias=*/true)).ok());
+  ASSERT_TRUE(
+      ApplyAdHocChange(*inst, store_, MakeTypeChange(/*as_bias=*/true)).ok());
   NodeId adhoc_send_q = inst->schema().FindNodeByName("send questions");
   ASSERT_TRUE(adhoc_send_q.valid());
   EXPECT_GE(adhoc_send_q.value(), kBiasIdBase);

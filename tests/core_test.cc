@@ -2,6 +2,8 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 
 #include "change/change_op.h"
 #include "core/adept.h"
@@ -320,6 +322,91 @@ TEST(AdeptSystemTest, SnapshotCheckpointAndTailReplay) {
             NodeState::kCompleted);
   EXPECT_EQ(inst->node_state(inst->schema().FindNodeByName("a3")),
             NodeState::kActivated);
+}
+
+// Regression for the checkpoint double-apply window: when the WAL
+// truncation after a successful snapshot write is lost (crash, I/O error),
+// the stale records survive in the log — but they carry LSNs at or below
+// the snapshot's recorded coverage, so recovery must skip them instead of
+// replaying deploy/create/complete a second time.
+TEST(AdeptSystemTest, StaleWalAfterSnapshotIsNotDoubleApplied) {
+  TempDir dir;
+  AdeptOptions options = DurableOptions(dir);
+  InstanceId inst_id;
+  std::string pre_snapshot_wal;
+  {
+    auto system = AdeptSystem::Create(options);
+    ASSERT_TRUE(system.ok());
+    AdeptSystem& adept = **system;
+    auto v1 = SequenceSchema(3, "chk");
+    ASSERT_TRUE(adept.DeployProcessType(v1).ok());
+    auto inst = adept.CreateInstance("chk");
+    ASSERT_TRUE(inst.ok());
+    inst_id = *inst;
+    NodeId a1 = v1->FindNodeByName("a1");
+    ASSERT_TRUE(adept.StartActivity(inst_id, a1).ok());
+    ASSERT_TRUE(adept.CompleteActivity(inst_id, a1).ok());
+
+    {
+      std::ifstream in(options.wal_path, std::ios::binary);
+      std::stringstream buffer;
+      buffer << in.rdbuf();
+      pre_snapshot_wal = buffer.str();
+    }
+    ASSERT_FALSE(pre_snapshot_wal.empty());
+
+    ASSERT_TRUE(adept.SaveSnapshot().ok());
+  }
+  // Crash injection: undo the truncation, as if it never reached the disk.
+  {
+    std::ofstream out(options.wal_path, std::ios::binary);
+    out << pre_snapshot_wal;
+  }
+
+  auto recovered = AdeptSystem::Recover(options);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  const ProcessInstance* inst = (*recovered)->Instance(inst_id);
+  ASSERT_NE(inst, nullptr);
+  // a1 completed exactly once; without LSN skipping the replayed "deploy"
+  // record already fails recovery with kAlreadyExists.
+  EXPECT_EQ(inst->node_state(inst->schema().FindNodeByName("a1")),
+            NodeState::kCompleted);
+  EXPECT_EQ((*recovered)->engine().InstanceIds().size(), 1u);
+}
+
+// Regression: after a checkpoint truncates the WAL, the file alone no
+// longer remembers how far LSN numbering got. A restarted system must
+// resume above the snapshot's covered LSN — otherwise the records of the
+// restarted run land at LSN 1.. and the *next* recovery skips them as
+// "already covered by the snapshot".
+TEST(AdeptSystemTest, LsnNumberingSurvivesCheckpointRestart) {
+  TempDir dir;
+  AdeptOptions options = DurableOptions(dir);
+  InstanceId inst_id;
+  NodeId a1;
+  {
+    auto system = AdeptSystem::Create(options);
+    ASSERT_TRUE(system.ok());
+    auto v1 = SequenceSchema(3, "restart");
+    ASSERT_TRUE((*system)->DeployProcessType(v1).ok());
+    auto inst = (*system)->CreateInstance("restart");
+    ASSERT_TRUE(inst.ok());
+    inst_id = *inst;
+    a1 = v1->FindNodeByName("a1");
+    ASSERT_TRUE((*system)->SaveSnapshot().ok());  // covers LSN 2, truncates
+  }
+  {
+    // Clean restart: these two ops are the entire WAL of this run.
+    auto system = AdeptSystem::Recover(options);
+    ASSERT_TRUE(system.ok()) << system.status();
+    ASSERT_TRUE((*system)->StartActivity(inst_id, a1).ok());
+    ASSERT_TRUE((*system)->CompleteActivity(inst_id, a1).ok());
+  }
+  auto recovered = AdeptSystem::Recover(options);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  const ProcessInstance* inst = (*recovered)->Instance(inst_id);
+  ASSERT_NE(inst, nullptr);
+  EXPECT_EQ(inst->node_state(a1), NodeState::kCompleted);
 }
 
 TEST(AdeptSystemTest, SnapshotPersistsBiasedInstances) {

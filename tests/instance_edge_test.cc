@@ -157,7 +157,8 @@ TEST(NestedBlockTest, NestedLoopsResetIndependently) {
   EXPECT_EQ(inst.loop_iteration(inner_ids.open), 1);
   ASSERT_TRUE(inst.StartActivity(work).ok());
   ASSERT_TRUE(
-      inst.CompleteActivity(work, {{inner_again, DataValue::Bool(false)}}).ok());
+      inst.CompleteActivity(work, {{inner_again, DataValue::Bool(false)}})
+          .ok());
   ASSERT_TRUE(inst.StartActivity(wrap).ok());
   ASSERT_TRUE(
       inst.CompleteActivity(wrap, {{outer_again, DataValue::Bool(true)}}).ok());
@@ -172,10 +173,12 @@ TEST(NestedBlockTest, NestedLoopsResetIndependently) {
   ASSERT_TRUE(ExecuteByName(inst, "prep").ok());
   ASSERT_TRUE(inst.StartActivity(work).ok());
   ASSERT_TRUE(
-      inst.CompleteActivity(work, {{inner_again, DataValue::Bool(false)}}).ok());
+      inst.CompleteActivity(work, {{inner_again, DataValue::Bool(false)}})
+          .ok());
   ASSERT_TRUE(inst.StartActivity(wrap).ok());
   ASSERT_TRUE(
-      inst.CompleteActivity(wrap, {{outer_again, DataValue::Bool(false)}}).ok());
+      inst.CompleteActivity(wrap, {{outer_again, DataValue::Bool(false)}})
+          .ok());
   EXPECT_TRUE(inst.Finished());
 }
 

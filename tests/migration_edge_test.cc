@@ -65,9 +65,10 @@ TEST_P(StrategyMigrationTest, BiasedMigrationIdenticalAcrossStrategies) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllStrategies, StrategyMigrationTest,
-                         ::testing::Values(StorageStrategy::kOverlay,
-                                           StorageStrategy::kFullCopy,
-                                           StorageStrategy::kMaterializeOnDemand),
+                         ::testing::Values(
+                             StorageStrategy::kOverlay,
+                             StorageStrategy::kFullCopy,
+                             StorageStrategy::kMaterializeOnDemand),
                          [](const auto& info) {
                            switch (info.param) {
                              case StorageStrategy::kOverlay:

@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
+#include <set>
+#include <thread>
 
 #include "change/change_op.h"
 #include "change/delta.h"
@@ -13,6 +16,7 @@
 #include "storage/state_serialization.h"
 #include "storage/substitution_block.h"
 #include "storage/wal.h"
+#include "storage/wal_writer.h"
 #include "runtime/driver.h"
 #include "tests/test_fixtures.h"
 
@@ -185,7 +189,8 @@ TEST(SchemaRepositoryTest, DeployAndDerive) {
   auto id1 = repo.Deploy(v1);
   ASSERT_TRUE(id1.ok()) << id1.status();
 
-  Delta delta = OneSerialInsert(*v1, "check stock", "get order", "collect data");
+  Delta delta =
+      OneSerialInsert(*v1, "check stock", "get order", "collect data");
   auto id2 = repo.DeriveVersion(*id1, std::move(delta));
   ASSERT_TRUE(id2.ok()) << id2.status();
 
@@ -475,6 +480,295 @@ TEST(WalTest, MissingFileYieldsEmpty) {
   auto records = WriteAheadLog::ReadAll(TempPath("does_not_exist_123.log"));
   ASSERT_TRUE(records.ok());
   EXPECT_TRUE(records->empty());
+}
+
+TEST(WalTest, LsnsAreMonotonicAndSurviveReopenAndTruncate) {
+  std::string path = TempPath("adept_wal_lsn.log");
+  std::remove(path.c_str());
+  {
+    auto wal = WriteAheadLog::Open(path);
+    ASSERT_TRUE(wal.ok());
+    for (int i = 0; i < 3; ++i) {
+      auto lsn = (*wal)->Append(JsonValue::MakeObject());
+      ASSERT_TRUE(lsn.ok());
+      EXPECT_EQ(*lsn, static_cast<uint64_t>(i + 1));
+    }
+  }
+  {
+    // A reopen resumes numbering from the persisted frames.
+    auto wal = WriteAheadLog::Open(path);
+    ASSERT_TRUE(wal.ok());
+    EXPECT_EQ((*wal)->last_lsn(), 3u);
+    auto lsn = (*wal)->Append(JsonValue::MakeObject());
+    ASSERT_TRUE(lsn.ok());
+    EXPECT_EQ(*lsn, 4u);
+    // Truncation empties the file but never reuses an LSN: a snapshot that
+    // recorded coverage up to 4 stays unambiguous.
+    ASSERT_TRUE((*wal)->Truncate().ok());
+    auto after = (*wal)->Append(JsonValue::MakeObject());
+    ASSERT_TRUE(after.ok());
+    EXPECT_EQ(*after, 5u);
+  }
+  auto records = WriteAheadLog::ReadRecords(path);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0].lsn, 5u);
+  std::remove(path.c_str());
+}
+
+// Regression: a forged header with a long digit run used to overflow the
+// size_t length accumulator, wrap the bounds check, and index out of
+// bounds. The parser must reject it and salvage the prefix.
+TEST(WalTest, ForgedOversizedHeaderIsRejected) {
+  std::string path = TempPath("adept_wal_forged.log");
+  const char* forged_lengths[] = {
+      // 20+ digit runs: would overflow uint64 accumulation.
+      "184467440737095516151",
+      "99999999999999999999999999999999",
+      // Parses fine but exceeds any plausible payload: must be capped.
+      "18446744073709551615",
+      "4294967296",
+  };
+  for (const char* forged : forged_lengths) {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    // One good frame, then the forged one.
+    std::fputs("1:7:{\"k\":1}\n", f);
+    std::fprintf(f, "2:%s:{}\n", forged);
+    std::fclose(f);
+    auto records = WriteAheadLog::ReadRecords(path);
+    ASSERT_TRUE(records.ok());
+    ASSERT_EQ(records->size(), 1u) << "forged length " << forged;
+    EXPECT_EQ((*records)[0].lsn, 1u);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(WalTest, NonMonotonicLsnEndsScan) {
+  std::string path = TempPath("adept_wal_replayed_lsn.log");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  // LSN 7 twice: the second frame is forged/stale and must end the scan.
+  std::fputs("7:7:{\"k\":1}\n7:7:{\"k\":2}\n", f);
+  std::fclose(f);
+  auto records = WriteAheadLog::ReadRecords(path);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0].value.Get("k").as_int(), 1);
+  std::remove(path.c_str());
+}
+
+TEST(WalTest, DamagedTailIsRepairedOnOpen) {
+  std::string path = TempPath("adept_wal_repair.log");
+  std::remove(path.c_str());
+  {
+    auto wal = WriteAheadLog::Open(path);
+    ASSERT_TRUE(wal.ok());
+    JsonValue record = JsonValue::MakeObject();
+    record.Set("k", JsonValue(1));
+    ASSERT_TRUE((*wal)->Append(record).ok());
+  }
+  {
+    // Crash injection: garbage after the last complete frame.
+    std::FILE* f = std::fopen(path.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    std::fputs("####garbage####", f);
+    std::fclose(f);
+  }
+  {
+    // Open truncates back to the last good frame so the next append is not
+    // hidden behind unreadable bytes.
+    auto wal = WriteAheadLog::Open(path);
+    ASSERT_TRUE(wal.ok());
+    JsonValue record = JsonValue::MakeObject();
+    record.Set("k", JsonValue(2));
+    ASSERT_TRUE((*wal)->Append(record).ok());
+  }
+  auto records = WriteAheadLog::ReadAll(path);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 2u);
+  EXPECT_EQ((*records)[1].Get("k").as_int(), 2);
+  std::remove(path.c_str());
+}
+
+// Regression: a failed Truncate() used to leave a null FILE* behind, and
+// the next Append crashed in fwrite. Both must report kCorruption instead,
+// and a later successful Truncate() revives the log.
+TEST(WalTest, FailedTruncateThenAppendReturnsCorruption) {
+  std::string dir_path = TempPath("adept_wal_deadhandle");
+  std::string path = dir_path + "/wal.log";
+  std::filesystem::remove_all(dir_path);
+  ASSERT_TRUE(std::filesystem::create_directories(dir_path));
+  auto wal = WriteAheadLog::Open(path);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE((*wal)->Append(JsonValue::MakeObject()).ok());
+
+  // Make the reopen inside Truncate() fail: replace the log file with a
+  // directory of the same name (fopen(..., "wb") then fails with EISDIR).
+  std::filesystem::remove_all(dir_path);
+  ASSERT_TRUE(std::filesystem::create_directories(path));
+  EXPECT_EQ((*wal)->Truncate().code(), StatusCode::kCorruption);
+  EXPECT_TRUE((*wal)->dead());
+
+  // Dead handle: error, not a crash.
+  EXPECT_EQ((*wal)->Append(JsonValue::MakeObject()).status().code(),
+            StatusCode::kCorruption);
+  EXPECT_EQ((*wal)->Sync(SyncMode::kFlush).code(), StatusCode::kCorruption);
+
+  // Once the path is writable again, Truncate() revives the handle.
+  std::filesystem::remove_all(path);
+  ASSERT_TRUE((*wal)->Truncate().ok());
+  EXPECT_FALSE((*wal)->dead());
+  EXPECT_TRUE((*wal)->Append(JsonValue::MakeObject()).ok());
+  std::filesystem::remove_all(dir_path);
+}
+
+// Fuzz loop: random byte corruptions of a valid log must never trip the
+// parser (the ASan/UBSan CI job turns any OOB index into a failure).
+TEST(WalTest, CorruptHeaderFuzzLoopCompletesReadAll) {
+  std::string path = TempPath("adept_wal_fuzz.log");
+  std::remove(path.c_str());
+  std::string pristine;
+  {
+    auto wal = WriteAheadLog::Open(path);
+    ASSERT_TRUE(wal.ok());
+    for (int i = 0; i < 20; ++i) {
+      JsonValue record = JsonValue::MakeObject();
+      record.Set("k", JsonValue(i));
+      record.Set("pad", JsonValue(std::string(32, 'x')));
+      ASSERT_TRUE((*wal)->Append(record).ok());
+    }
+  }
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    char buffer[1 << 16];
+    size_t n;
+    while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+      pristine.append(buffer, n);
+    }
+    std::fclose(f);
+  }
+
+  Rng rng(20260726);
+  const std::string digit_runs[] = {"9", "99999999999999999999",
+                                    "18446744073709551615", ":", "\n"};
+  for (int round = 0; round < 200; ++round) {
+    std::string mutated = pristine;
+    // Flip a handful of bytes and splice a hostile digit run somewhere.
+    for (int flips = 0; flips < 4; ++flips) {
+      mutated[rng.NextIndex(mutated.size())] =
+          static_cast<char>(rng.NextBelow(256));
+    }
+    const std::string& splice = digit_runs[rng.NextIndex(5)];
+    mutated.insert(rng.NextIndex(mutated.size()), splice);
+
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite(mutated.data(), 1, mutated.size(), f);
+    std::fclose(f);
+
+    auto records = WriteAheadLog::ReadAll(path);
+    ASSERT_TRUE(records.ok()) << "round " << round;
+    EXPECT_LE(records->size(), 20u);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(WalWriterTest, SingleThreadAppendIsDurableAndReadable) {
+  std::string path = TempPath("adept_walwriter_single.log");
+  std::remove(path.c_str());
+  for (SyncMode mode : {SyncMode::kNone, SyncMode::kFlush, SyncMode::kFsync}) {
+    std::remove(path.c_str());
+    WalWriterOptions options;
+    options.sync = mode;
+    {
+      auto writer = WalWriter::Open(path, options);
+      ASSERT_TRUE(writer.ok()) << SyncModeToString(mode);
+      for (int i = 0; i < 10; ++i) {
+        JsonValue record = JsonValue::MakeObject();
+        record.Set("k", JsonValue(i));
+        ASSERT_TRUE((*writer)->Append(record).ok());
+      }
+      EXPECT_EQ((*writer)->last_enqueued_lsn(), 10u);
+      EXPECT_EQ((*writer)->durable_lsn(), 10u);
+    }
+    auto records = WriteAheadLog::ReadRecords(path);
+    ASSERT_TRUE(records.ok());
+    ASSERT_EQ(records->size(), 10u) << SyncModeToString(mode);
+    EXPECT_EQ((*records)[9].value.Get("k").as_int(), 9);
+  }
+  std::remove(path.c_str());
+}
+
+// Group commit: N appender threads, every ticket LSN becomes durable, and
+// the replayed log contains each record exactly once in LSN order.
+TEST(WalWriterTest, ConcurrentAppendersAllLsnsDurableAndReplayable) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50;
+  std::string path = TempPath("adept_walwriter_group.log");
+  std::remove(path.c_str());
+  {
+    WalWriterOptions options;
+    options.sync = SyncMode::kFlush;
+    auto writer = WalWriter::Open(path, options);
+    ASSERT_TRUE(writer.ok());
+
+    std::vector<std::thread> appenders;
+    std::vector<Status> results(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      appenders.emplace_back([&, t] {
+        uint64_t max_lsn = 0;
+        for (int i = 0; i < kPerThread; ++i) {
+          JsonValue record = JsonValue::MakeObject();
+          record.Set("payload", JsonValue(t * kPerThread + i));
+          max_lsn = std::max(max_lsn, (*writer)->Enqueue(record));
+        }
+        results[t] = (*writer)->WaitDurable(max_lsn);
+      });
+    }
+    for (auto& appender : appenders) appender.join();
+    for (int t = 0; t < kThreads; ++t) {
+      EXPECT_TRUE(results[t].ok()) << "thread " << t << ": " << results[t];
+    }
+    EXPECT_EQ((*writer)->durable_lsn(),
+              static_cast<uint64_t>(kThreads * kPerThread));
+  }
+
+  auto records = WriteAheadLog::ReadRecords(path);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), static_cast<size_t>(kThreads * kPerThread));
+  std::set<int64_t> payloads;
+  uint64_t previous_lsn = 0;
+  for (const WalRecord& record : *records) {
+    EXPECT_GT(record.lsn, previous_lsn);  // strictly increasing on disk
+    previous_lsn = record.lsn;
+    EXPECT_TRUE(
+        payloads.insert(record.value.Get("payload").as_int()).second);
+  }
+  EXPECT_EQ(payloads.size(), static_cast<size_t>(kThreads * kPerThread));
+  std::remove(path.c_str());
+}
+
+TEST(WalWriterTest, TruncateDrainsAndContinuesLsns) {
+  std::string path = TempPath("adept_walwriter_trunc.log");
+  std::remove(path.c_str());
+  auto writer = WalWriter::Open(path, {});
+  ASSERT_TRUE(writer.ok());
+  for (int i = 0; i < 5; ++i) {
+    (*writer)->Enqueue(JsonValue::MakeObject());
+  }
+  ASSERT_TRUE((*writer)->Truncate().ok());
+  EXPECT_EQ((*writer)->durable_lsn(), 5u);
+  JsonValue record = JsonValue::MakeObject();
+  record.Set("post", JsonValue(true));
+  ASSERT_TRUE((*writer)->Append(record).ok());
+  auto records = WriteAheadLog::ReadRecords(path);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0].lsn, 6u);
+  EXPECT_TRUE((*records)[0].value.Get("post").as_bool());
+  std::remove(path.c_str());
 }
 
 }  // namespace
