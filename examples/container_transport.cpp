@@ -126,11 +126,13 @@ int main() {
   // In-flight containers complete on V2 with the customs step.
   for (InstanceId id : in_flight) {
     (void)adept.DriveToCompletion(id, driver);
-    const ProcessInstance* inst = adept.Instance(id);
-    NodeId customs_node = inst->schema().FindNodeByName("customs inspection");
-    std::cout << "I" << id.value() << " finished on V"
-              << inst->schema().version() << ", customs inspection: "
-              << NodeStateToString(inst->node_state(customs_node)) << "\n";
+    (void)adept.WithInstance(id, [&](const ProcessInstance& inst) {
+      NodeId customs_node =
+          inst.schema().FindNodeByName("customs inspection");
+      std::cout << "I" << id.value() << " finished on V"
+                << inst.schema().version() << ", customs inspection: "
+                << NodeStateToString(inst.node_state(customs_node)) << "\n";
+    });
   }
   return 0;
 }

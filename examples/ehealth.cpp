@@ -78,8 +78,10 @@ int main() {
   (void)adept.CompleteActivity(patient, triage_node,
                                {{severity, DataValue::Int(1)}});  // ICU
 
-  std::cout << "after triage (ICU branch selected, ward branch skipped):\n"
-            << RenderInstance(*adept.Instance(patient)) << "\n";
+  (void)adept.WithInstance(patient, [](const ProcessInstance& i) {
+    std::cout << "after triage (ICU branch selected, ward branch skipped):\n"
+              << RenderInstance(i) << "\n";
+  });
 
   // Ad-hoc deviation: this patient needs an extra lab test before ICU
   // admission. The paper: "to deal with an exceptional situation".
@@ -105,27 +107,35 @@ int main() {
               << "  <- correctly rejected\n\n";
   }
 
-  // Work through the worklists until discharge.
+  // Work through the worklists until discharge. All instance reads run
+  // through WithInstance (the bare Instance() pointer is deprecated).
+  auto patient_finished = [&] {
+    bool done = false;
+    (void)adept.WithInstance(
+        patient, [&](const ProcessInstance& i) { done = i.Finished(); });
+    return done;
+  };
   int guard = 0;
-  while (!adept.Instance(patient)->Finished() && ++guard < 100) {
+  while (!patient_finished() && ++guard < 100) {
     bool worked = false;
     for (UserId user : {dr_weber, nurse_kim}) {
       for (const WorkItem& item : adept.worklists().OffersFor(user)) {
         (void)adept.worklists().Claim(item.id, user);
         (void)adept.StartActivity(patient, item.node);
         std::vector<ProcessInstance::DataWrite> writes;
-        const ProcessInstance* inst = adept.Instance(patient);
-        inst->schema().VisitDataEdges(item.node, [&](const DataEdge& de) {
-          if (de.mode != AccessMode::kWrite) return;
-          if (de.data == continue_treatment) {
-            // Two treatment cycles, then stop.
-            writes.push_back(
-                {de.data, DataValue::Bool(inst->loop_iteration(
-                              inst->schema().FindNodeByName("loop_start")) <
-                          1)});
-          } else {
-            writes.push_back({de.data, DataValue::String("stable")});
-          }
+        (void)adept.WithInstance(patient, [&](const ProcessInstance& inst) {
+          inst.schema().VisitDataEdges(item.node, [&](const DataEdge& de) {
+            if (de.mode != AccessMode::kWrite) return;
+            if (de.data == continue_treatment) {
+              // Two treatment cycles, then stop.
+              writes.push_back(
+                  {de.data, DataValue::Bool(inst.loop_iteration(
+                                inst.schema().FindNodeByName("loop_start")) <
+                            1)});
+            } else {
+              writes.push_back({de.data, DataValue::String("stable")});
+            }
+          });
         });
         (void)adept.CompleteActivity(patient, item.node, writes);
         worked = true;
@@ -134,15 +144,13 @@ int main() {
     if (!worked) break;
   }
 
-  std::cout << "--- final state ---\n"
-            << RenderInstance(*adept.Instance(patient));
-  NodeId loop_start = adept.Instance(patient)->schema().FindNodeByName(
-      "loop_start");
-  std::cout << "treatment cycles: "
-            << adept.Instance(patient)->loop_iteration(loop_start) + 1 << "\n";
-  std::cout << "trace length: "
-            << adept.Instance(patient)->trace().events().size()
-            << " events (reduced: "
-            << adept.Instance(patient)->trace().Reduced().size() << ")\n";
+  (void)adept.WithInstance(patient, [](const ProcessInstance& i) {
+    std::cout << "--- final state ---\n" << RenderInstance(i);
+    NodeId loop_start = i.schema().FindNodeByName("loop_start");
+    std::cout << "treatment cycles: " << i.loop_iteration(loop_start) + 1
+              << "\n";
+    std::cout << "trace length: " << i.trace().events().size()
+              << " events (reduced: " << i.trace().Reduced().size() << ")\n";
+  });
   return 0;
 }

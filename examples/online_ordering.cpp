@@ -39,8 +39,11 @@ std::shared_ptr<const ProcessSchema> ModelV1() {
 }
 
 Status Run(AdeptSystem& adept, InstanceId id, const char* name) {
-  const ProcessInstance* inst = adept.Instance(id);
-  NodeId node = inst->schema().FindNodeByName(name);
+  NodeId node;
+  ADEPT_RETURN_IF_ERROR(adept.WithInstance(
+      id, [&](const ProcessInstance& inst) {
+        node = inst.schema().FindNodeByName(name);
+      }));
   ADEPT_RETURN_IF_ERROR(adept.StartActivity(id, node));
   return adept.CompleteActivity(id, node);
 }
@@ -107,19 +110,27 @@ int main() {
 
   // I1 now runs on V2 with adapted markings: confirm order is gated behind
   // the new "send questions" activity.
-  std::cout << "--- I1 after migration ---\n"
-            << RenderInstance(*adept.Instance(i1)) << "\n";
+  (void)adept.WithInstance(i1, [](const ProcessInstance& inst) {
+    std::cout << "--- I1 after migration ---\n" << RenderInstance(inst)
+              << "\n";
+  });
 
   // All three instances still finish (I2/I3 on V1).
   SimulationDriver driver({.seed = 7});
   for (InstanceId id : {i1, i2, i3}) {
     Status st = adept.DriveToCompletion(id, driver);
+    int version = 0;
+    (void)adept.WithInstance(id, [&](const ProcessInstance& inst) {
+      version = inst.schema().version();
+    });
     std::cout << "I" << id.value() << " finished: "
-              << (st.ok() ? "yes" : st.ToString()) << " on V"
-              << adept.Instance(id)->schema().version() << "\n";
+              << (st.ok() ? "yes" : st.ToString()) << " on V" << version
+              << "\n";
   }
 
-  std::cout << "\nGraphviz of I1's V2 schema (render with `dot -Tpng`):\n"
-            << SchemaToDot(adept.Instance(i1)->schema(), adept.Instance(i1));
+  (void)adept.WithInstance(i1, [](const ProcessInstance& inst) {
+    std::cout << "\nGraphviz of I1's V2 schema (render with `dot -Tpng`):\n"
+              << SchemaToDot(inst.schema(), &inst);
+  });
   return 0;
 }

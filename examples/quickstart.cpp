@@ -54,10 +54,17 @@ int main() {
   }
   std::cout << RenderSchema(**schema) << "\n";
 
-  // 5. Create and run one instance, pulling work from worklists.
+  // 5. Create and run one instance, pulling work from worklists. Reads go
+  // through WithInstance — race-free on any AdeptApi implementation.
   InstanceId instance = *adept.CreateInstance("online_order");
+  auto finished = [&] {
+    bool done = false;
+    (void)adept.WithInstance(
+        instance, [&](const ProcessInstance& i) { done = i.Finished(); });
+    return done;
+  };
   int step = 0;
-  while (!adept.Instance(instance)->Finished()) {
+  while (!finished()) {
     bool worked = false;
     for (UserId user : {alice, bob}) {
       auto offers = adept.worklists().OffersFor(user);
@@ -66,18 +73,23 @@ int main() {
       (void)adept.worklists().Claim(item.id, user);
       (void)adept.StartActivity(instance, item.node);
       Status done = adept.CompleteActivity(instance, item.node);
-      const Node* node = adept.Instance(instance)->schema().FindNode(item.node);
+      std::string name = "?";
+      (void)adept.WithInstance(instance, [&](const ProcessInstance& i) {
+        const Node* node = i.schema().FindNode(item.node);
+        if (node != nullptr) name = node->name;
+      });
       std::printf("step %d: %-8s completes '%s' (%s)\n", ++step,
-                  adept.org().UserName(user)->c_str(),
-                  node != nullptr ? node->name.c_str() : "?",
+                  adept.org().UserName(user)->c_str(), name.c_str(),
                   done.ok() ? "ok" : done.ToString().c_str());
       worked = true;
     }
     if (!worked) break;
   }
 
-  std::cout << "\n" << RenderInstance(*adept.Instance(instance));
-  std::cout << "\ninstance finished: "
-            << (adept.Instance(instance)->Finished() ? "yes" : "no") << "\n";
+  (void)adept.WithInstance(instance, [&](const ProcessInstance& i) {
+    std::cout << "\n" << RenderInstance(i);
+    std::cout << "\ninstance finished: " << (i.Finished() ? "yes" : "no")
+              << "\n";
+  });
   return 0;
 }

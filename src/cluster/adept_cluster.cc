@@ -4,6 +4,8 @@
 #include <thread>
 #include <utility>
 
+#include "worklist/worklist_service.h"
+
 namespace adept {
 
 // --- BatchOp factories -------------------------------------------------------
@@ -161,11 +163,39 @@ void AdeptCluster::RunParallel(std::vector<std::function<void()>> tasks) {
   pending.Wait();
 }
 
+Status AdeptCluster::AttachWorklist(bool recover) {
+  WorklistServiceOptions worklist_options;
+  if (!options_.wal_path.empty()) {
+    worklist_options.journal_path = options_.wal_path + ".worklist";
+  }
+  worklist_options.sync = options_.sync;
+  if (recover) {
+    ADEPT_ASSIGN_OR_RETURN(
+        worklist_,
+        WorklistService::Recover(
+            &org_, this, worklist_options,
+            [this](const WorklistService::InstanceVisitor& visitor) {
+              ForEachInstance(visitor);
+            }));
+  } else {
+    ADEPT_ASSIGN_OR_RETURN(
+        worklist_, WorklistService::Create(&org_, this, worklist_options));
+  }
+  for (auto& shard_ptr : shards_) {
+    shard_ptr->system->AddObserver(worklist_.get());
+  }
+  return Status::OK();
+}
+
 Result<std::unique_ptr<AdeptCluster>> AdeptCluster::Create(
     const ClusterOptions& options) {
-  return Build(options, [](const AdeptOptions& shard_options) {
-    return AdeptSystem::Create(shard_options);
-  });
+  ADEPT_ASSIGN_OR_RETURN(
+      std::unique_ptr<AdeptCluster> cluster,
+      Build(options, [](const AdeptOptions& shard_options) {
+        return AdeptSystem::Create(shard_options);
+      }));
+  ADEPT_RETURN_IF_ERROR(cluster->AttachWorklist(/*recover=*/false));
+  return cluster;
 }
 
 Result<std::unique_ptr<AdeptCluster>> AdeptCluster::Recover(
@@ -190,6 +220,10 @@ Result<std::unique_ptr<AdeptCluster>> AdeptCluster::Recover(
       shard.next_seq = std::max(shard.next_seq, seq + 1);
     }
   }
+  // Rebuild open work items: offers from recovered instance state, claims
+  // from the worklist journal. The org model is not durable — repopulate
+  // it (same call order => same ids) before serving worklist traffic.
+  ADEPT_RETURN_IF_ERROR(cluster->AttachWorklist(/*recover=*/true));
   return cluster;
 }
 
@@ -328,6 +362,18 @@ Status AdeptCluster::WithInstance(
   if (instance == nullptr) return Status::NotFound("no such instance");
   fn(*instance);
   return Status::OK();
+}
+
+void AdeptCluster::ForEachInstance(
+    const std::function<void(const ProcessInstance&)>& fn) const {
+  for (const auto& shard_ptr : shards_) {
+    const Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (InstanceId id : shard.system->engine().InstanceIds()) {
+      const ProcessInstance* instance = shard.system->Instance(id);
+      if (instance != nullptr) fn(*instance);
+    }
+  }
 }
 
 // Pipelined routing: the engine turn and the WAL enqueue happen under the
@@ -484,7 +530,11 @@ Result<MigrationReport> AdeptCluster::Migrate(SchemaId from, SchemaId to,
     });
   }
   RunParallel(std::move(tasks));
-  return MergeReports(reports);
+  auto merged = MergeReports(reports);
+  // Resync even when a shard failed: the successful shards' migrations
+  // are committed, so their stale items must still be retracted.
+  if (!options.dry_run) ResyncClusterWorklist();
+  return merged;
 }
 
 Result<MigrationReport> AdeptCluster::MigrateToLatest(
@@ -509,7 +559,21 @@ Result<MigrationReport> AdeptCluster::MigrateToLatest(
     });
   }
   RunParallel(std::move(tasks));
-  return MergeReports(reports);
+  auto merged = MergeReports(reports);
+  // Resync even when a shard failed: the successful shards' migrations
+  // are committed, so their stale items must still be retracted.
+  if (!options.dry_run) ResyncClusterWorklist();
+  return merged;
+}
+
+// Per-shard resyncs already ran inside AdeptSystem::Migrate; this one
+// reconciles the *cluster* worklist (revoke items whose node vanished in
+// the remap, offer what the demotion events could not announce).
+void AdeptCluster::ResyncClusterWorklist() {
+  worklist_->ResyncAfterMigration(
+      [this](const WorklistService::InstanceVisitor& visitor) {
+        ForEachInstance(visitor);
+      });
 }
 
 // --- Durability / observers --------------------------------------------------

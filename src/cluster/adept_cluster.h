@@ -50,8 +50,11 @@
 #include "cluster/thread_pool.h"
 #include "core/adept.h"
 #include "core/adept_api.h"
+#include "org/org_model.h"
 
 namespace adept {
+
+class WorklistService;
 
 struct ClusterOptions {
   // Number of instance partitions (and worker threads, unless overridden).
@@ -100,6 +103,24 @@ class AdeptCluster : public AdeptApi {
   // caller owns the synchronization story when mixing this with concurrent
   // cluster calls.
   AdeptSystem& shard(size_t index) { return *shards_[index]->system; }
+
+  // Runs `fn` for every live instance, one shard at a time under that
+  // shard's lock (the WithInstance discipline, extended to a full sweep).
+  // Keep `fn` short: it blocks the visited shard.
+  void ForEachInstance(
+      const std::function<void(const ProcessInstance&)>& fn) const;
+
+  // --- Organization / worklist ----------------------------------------------
+
+  // Cluster-level organizational model backing Worklist(). Not internally
+  // synchronized: populate users/roles before serving concurrent traffic.
+  OrgModel& org() { return org_; }
+  const OrgModel& org() const { return org_; }
+
+  // The cluster-wide concurrent worklist service. Subscribed to every
+  // shard's instance events; claim/start transitions are journaled to
+  // "<wal_path>.worklist" and rebuilt by Recover().
+  WorklistService& Worklist() { return *worklist_; }
 
   // --- AdeptApi: schema management (fans out to every shard) ---------------
 
@@ -273,8 +294,17 @@ class AdeptCluster : public AdeptApi {
                                shards_.size());
   }
 
+  // Shared scaffold of Create()/Recover(): opens (or rebuilds) the
+  // worklist service and subscribes it to every shard.
+  Status AttachWorklist(bool recover);
+  // Shared tail of Migrate()/MigrateToLatest(): reconciles the worklist
+  // with post-migration engine truth.
+  void ResyncClusterWorklist();
+
   ClusterOptions options_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  OrgModel org_;
+  std::unique_ptr<WorklistService> worklist_;
   // Serializes schema-management fan-outs so every shard sees the identical
   // deploy/evolve/migrate sequence (identical SchemaId allocation). Also
   // taken by cross-shard reads (LatestVersion/Schema) so they never observe

@@ -68,13 +68,14 @@ AdeptSystem::AdeptSystem(const AdeptOptions& options) : options_(options) {
   engine_.set_observer(&fanout_);
 }
 
-Status AdeptSystem::OpenWalIfConfigured(uint64_t min_last_lsn) {
+Status AdeptSystem::OpenWalIfConfigured(uint64_t min_last_lsn,
+                                        const WalScan* prescan) {
   if (options_.wal_path.empty()) return Status::OK();
   WalWriterOptions writer_options;
   writer_options.sync = options_.sync;
   writer_options.min_last_lsn = min_last_lsn;
-  ADEPT_ASSIGN_OR_RETURN(wal_,
-                         WalWriter::Open(options_.wal_path, writer_options));
+  ADEPT_ASSIGN_OR_RETURN(
+      wal_, WalWriter::Open(options_.wal_path, writer_options, prescan));
   return Status::OK();
 }
 
@@ -113,10 +114,12 @@ Result<std::unique_ptr<AdeptSystem>> AdeptSystem::Recover(
     ADEPT_RETURN_IF_ERROR(system->LoadSnapshotJson(json, &snapshot_lsn));
   }
 
+  WalScan scan;
   if (!options.wal_path.empty()) {
-    ADEPT_ASSIGN_OR_RETURN(std::vector<WalRecord> records,
-                           WriteAheadLog::ReadRecords(options.wal_path));
-    for (const WalRecord& record : records) {
+    // One parse pass serves both the replay below and the writer open at
+    // the end (historically Open() rescanned the file a second time).
+    ADEPT_ASSIGN_OR_RETURN(scan, WriteAheadLog::Scan(options.wal_path));
+    for (const WalRecord& record : scan.records) {
       // Records at or below the snapshot's covered LSN are already part of
       // the snapshot state; replaying them would double-apply (the window
       // exists when a checkpoint wrote the snapshot but failed to truncate).
@@ -133,7 +136,7 @@ Result<std::unique_ptr<AdeptSystem>> AdeptSystem::Recover(
   // Seed LSN numbering past the snapshot's coverage: after a checkpoint
   // truncated the log, the file alone would restart at 1 and the *next*
   // recovery would skip the new records as already covered.
-  ADEPT_RETURN_IF_ERROR(system->OpenWalIfConfigured(snapshot_lsn));
+  ADEPT_RETURN_IF_ERROR(system->OpenWalIfConfigured(snapshot_lsn, &scan));
   return system;
 }
 
@@ -404,11 +407,23 @@ Status AdeptSystem::ApplyAdHocChange(InstanceId id, Delta delta) {
   return Log(wal_record);
 }
 
+void AdeptSystem::ResyncWorklists() {
+  std::vector<const ProcessInstance*> instances;
+  for (InstanceId id : engine_.InstanceIds()) {
+    instances.push_back(engine_.Find(id));
+  }
+  worklists_.Resync(instances);
+}
+
 Result<MigrationReport> AdeptSystem::Migrate(SchemaId from, SchemaId to,
                                              const MigrationOptions& options) {
   ADEPT_ASSIGN_OR_RETURN(MigrationReport report,
                          migration_manager_.MigrateAll(from, to, options));
   if (!options.dry_run) {
+    // Bias-cancellation migrations rewrite instance markings wholesale
+    // (no per-node events), which can strand work items referencing
+    // remapped node ids; reconcile before anyone claims a stale item.
+    ResyncWorklists();
     JsonValue record = JsonValue::MakeObject();
     record.Set("t", JsonValue("migrate"));
     record.Set("from", JsonValue(from.value()));
@@ -586,12 +601,15 @@ Status AdeptSystem::ApplyWalRecord(const JsonValue& record) {
   if (type == "migrate") {
     MigrationOptions options;
     options.use_replay_checker = record.Get("use_replay").as_bool();
-    return migration_manager_
-        .MigrateAll(
-            SchemaId(static_cast<uint64_t>(record.Get("from").as_int())),
-            SchemaId(static_cast<uint64_t>(record.Get("to").as_int())),
-            options)
-        .status();
+    Status st =
+        migration_manager_
+            .MigrateAll(
+                SchemaId(static_cast<uint64_t>(record.Get("from").as_int())),
+                SchemaId(static_cast<uint64_t>(record.Get("to").as_int())),
+                options)
+            .status();
+    if (st.ok()) ResyncWorklists();
+    return st;
   }
   return Status::Corruption("unknown WAL record type: " + type);
 }

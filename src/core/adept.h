@@ -162,6 +162,7 @@ class AdeptSystem : public AdeptApi {
   // --- Substrate access (benchmarks, monitoring, tests) ----------------------
 
   Engine& engine() { return engine_; }
+  const Engine& engine() const { return engine_; }
   SchemaRepository& repository() { return repository_; }
   InstanceStore& store() { return store_; }
   MigrationManager& migration_manager() { return migration_manager_; }
@@ -170,13 +171,19 @@ class AdeptSystem : public AdeptApi {
  private:
   explicit AdeptSystem(const AdeptOptions& options);
 
-  Status OpenWalIfConfigured(uint64_t min_last_lsn = 0);
+  // `prescan` (recovery only): the replay pass's parse of the WAL, reused
+  // so opening the writer does not rescan the file.
+  Status OpenWalIfConfigured(uint64_t min_last_lsn = 0,
+                             const WalScan* prescan = nullptr);
   Status Log(const JsonValue& record);
   Status ApplyWalRecord(const JsonValue& record);
   Result<InstanceId> CreateInstanceInternal(SchemaId schema_id,
                                             InstanceId forced_id);
   JsonValue SnapshotToJson(uint64_t wal_lsn) const;
   Status LoadSnapshotJson(const JsonValue& json, uint64_t* wal_lsn);
+  // Reconciles worklists with engine truth after a migration (bias
+  // cancellation rewrites markings without firing instance events).
+  void ResyncWorklists();
 
   AdeptOptions options_;
   SchemaRepository repository_;

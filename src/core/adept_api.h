@@ -53,10 +53,13 @@ class AdeptApi {
   virtual Result<InstanceId> CreateInstance(const std::string& type_name) = 0;
   virtual Result<InstanceId> CreateInstanceOn(SchemaId schema) = 0;
 
-  // Read access to the live instance (schema view, marking, trace, ...).
-  // Implementations that execute concurrently (AdeptCluster) return a
-  // pointer that may be invalidated by other threads the moment the call
-  // returns; prefer WithInstance for reads that must be race-free.
+  // DEPRECATED: TOCTOU-prone bare read path — implementations that
+  // execute concurrently (AdeptCluster) return a pointer that may be
+  // invalidated by other threads the moment the call returns, so any
+  // check-then-dereference against it races. Use WithInstance, which runs
+  // the read under the owner's lock. Retained for single-threaded
+  // substrate access (tests, benchmarks, the single-node AdeptSystem);
+  // new call sites should not appear outside those.
   virtual const ProcessInstance* Instance(InstanceId id) const = 0;
 
   // Runs `fn` with the live instance while it cannot be concurrently

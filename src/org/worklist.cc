@@ -2,6 +2,18 @@
 
 namespace adept {
 
+const Node* OfferableActivity(const SchemaView& schema, NodeId node) {
+  const Node* n = schema.FindNode(node);
+  if (n == nullptr || n->type != NodeType::kActivity || !n->role.valid()) {
+    return nullptr;
+  }
+  return n;
+}
+
+uint64_t ActivationEpoch(const ProcessInstance& instance, NodeId node) {
+  return instance.completed_runs(node);
+}
+
 const char* WorkItemStateToString(WorkItemState s) {
   switch (s) {
     case WorkItemState::kOffered:
@@ -27,22 +39,25 @@ WorkItem* WorklistManager::LiveItemFor(InstanceId instance, NodeId node) {
   return nullptr;
 }
 
+void WorklistManager::Offer(const ProcessInstance& instance, NodeId node,
+                            RoleId role) {
+  if (LiveItemFor(instance.id(), node) != nullptr) return;  // already open
+  WorkItem item;
+  item.id = WorkItemId(next_item_++);
+  item.instance = instance.id();
+  item.node = node;
+  item.role = role;
+  item.epoch = ActivationEpoch(instance, node);
+  items_.emplace(item.id, item);
+}
+
 void WorklistManager::OnNodeStateChange(const ProcessInstance& instance,
                                         NodeId node, NodeState from,
                                         NodeState to) {
   (void)from;
-  const Node* n = instance.schema().FindNode(node);
   if (to == NodeState::kActivated) {
-    if (n == nullptr || n->type != NodeType::kActivity || !n->role.valid()) {
-      return;
-    }
-    if (LiveItemFor(instance.id(), node) != nullptr) return;  // already open
-    WorkItem item;
-    item.id = WorkItemId(next_item_++);
-    item.instance = instance.id();
-    item.node = node;
-    item.role = n->role;
-    items_.emplace(item.id, item);
+    const Node* n = OfferableActivity(instance.schema(), node);
+    if (n != nullptr) Offer(instance, node, n->role);
     return;
   }
   // Leaving Activated: close any live item.
@@ -76,6 +91,46 @@ std::vector<WorkItem> WorklistManager::OpenItems() const {
     }
   }
   return out;
+}
+
+void WorklistManager::Resync(
+    const std::vector<const ProcessInstance*>& instances) {
+  std::map<InstanceId, const ProcessInstance*> by_id;
+  for (const ProcessInstance* instance : instances) {
+    if (instance != nullptr) by_id.emplace(instance->id(), instance);
+  }
+  // 1. Revoke live items that no longer correspond to an Activated node of
+  // a known schema entity. Dropped from the map entirely: a claim ticket
+  // for a vanished node must fail kNotFound, not "not offered".
+  for (auto it = items_.begin(); it != items_.end();) {
+    const WorkItem& item = it->second;
+    if (item.state != WorkItemState::kOffered &&
+        item.state != WorkItemState::kClaimed) {
+      ++it;
+      continue;
+    }
+    auto found = by_id.find(item.instance);
+    const ProcessInstance* instance =
+        found == by_id.end() ? nullptr : found->second;
+    bool stale = instance == nullptr ||
+                 instance->schema().FindNode(item.node) == nullptr ||
+                 instance->node_state(item.node) != NodeState::kActivated;
+    if (stale) {
+      ++revoked_count_;
+      it = items_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // 2. Offer Activated role-carrying activities that have no live item
+  // (a bias-cancellation remap re-keys marking entries without events).
+  for (const auto& [_, instance] : by_id) {
+    for (const auto& [node, state] : instance->marking().node_states()) {
+      if (state != NodeState::kActivated) continue;
+      const Node* n = OfferableActivity(instance->schema(), node);
+      if (n != nullptr) Offer(*instance, node, n->role);
+    }
+  }
 }
 
 Status WorklistManager::Claim(WorkItemId item_id, UserId user) {

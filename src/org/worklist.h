@@ -36,7 +36,21 @@ struct WorkItem {
   RoleId role;
   WorkItemState state = WorkItemState::kOffered;
   UserId claimed_by;
+  // Activation epoch: completed runs of the node when the item was
+  // offered. Distinguishes loop iterations of the same (instance, node)
+  // in the worklist service's claim journal (see worklist_service.h).
+  uint64_t epoch = 0;
 };
+
+// The staff-assignment activity behind `node`, or nullptr when the node
+// does not exist, is not an activity, or carries no role. The single
+// source of the offer-eligibility rule shared by WorklistManager and
+// WorklistService.
+const Node* OfferableActivity(const SchemaView& schema, NodeId node);
+
+// Completed runs of `node` per the instance trace — the activation epoch
+// recorded in offered items.
+uint64_t ActivationEpoch(const ProcessInstance& instance, NodeId node);
 
 class WorklistManager : public InstanceObserver {
  public:
@@ -52,8 +66,19 @@ class WorklistManager : public InstanceObserver {
   // All live (offered/claimed) items.
   std::vector<WorkItem> OpenItems() const;
 
-  // Reserves an offered item for `user` (must hold the role).
+  // Reserves an offered item for `user` (must hold the role). Returns
+  // kNotFound for unknown ids — including items dropped by Resync because
+  // their node vanished from the instance's schema.
   Status Claim(WorkItemId item, UserId user);
+
+  // Reconciles the worklist with engine truth after a state rewrite that
+  // bypassed instance events (migration with bias cancellation restores
+  // markings wholesale): revokes live items whose node vanished from the
+  // instance's schema or is no longer Activated — dropping them from the
+  // map, so a later Claim gets kNotFound — and offers Activated
+  // role-carrying activities that have no live item. `instances` is the
+  // complete set of live instances; items of absent instances are revoked.
+  void Resync(const std::vector<const ProcessInstance*>& instances);
 
   const std::map<WorkItemId, WorkItem>& items() const { return items_; }
 
@@ -62,6 +87,8 @@ class WorklistManager : public InstanceObserver {
 
  private:
   WorkItem* LiveItemFor(InstanceId instance, NodeId node);
+  // Offers `node` (no-op when a live item already exists).
+  void Offer(const ProcessInstance& instance, NodeId node, RoleId role);
 
   const OrgModel* org_;
   std::map<WorkItemId, WorkItem> items_;

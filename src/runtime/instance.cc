@@ -347,6 +347,7 @@ Status ProcessInstance::CompleteActivity(NodeId node_id,
 
   SetNodeState(node_id, NodeState::kCompleted);
   trace_.Append({.kind = TraceEventKind::kActivityCompleted, .node = node_id});
+  ++completed_runs_[node_id];
   ADEPT_RETURN_IF_ERROR(SignalCompletion(*node));
   return Propagate();
 }
@@ -458,6 +459,15 @@ void ProcessInstance::RestoreState(
   loop_iterations_ = std::move(loop_iterations);
   started_ = started;
   finished_notified_ = Finished();
+  // Re-derive the per-node completion counters from the restored trace
+  // (covers snapshot recovery and migration's bias-cancellation remap).
+  completed_runs_.clear();
+  for (const TraceEvent& event : trace_.events()) {
+    if (event.kind == TraceEventKind::kActivityCompleted &&
+        event.node.valid()) {
+      ++completed_runs_[event.node];
+    }
+  }
 }
 
 Status ProcessInstance::AdoptSchema(std::shared_ptr<const SchemaView> schema,

@@ -109,6 +109,14 @@ class ProcessInstance {
   // the first iteration).
   int loop_iteration(NodeId loop_start) const;
 
+  // Completed runs of `node` — equals the node's kActivityCompleted trace
+  // events, maintained incrementally (and re-derived on RestoreState) so
+  // the worklist can stamp activation epochs in O(1).
+  uint64_t completed_runs(NodeId node) const {
+    auto it = completed_runs_.find(node);
+    return it == completed_runs_.end() ? 0 : it->second;
+  }
+
   size_t MemoryFootprint() const;
 
   // --- Dynamic change support ----------------------------------------------
@@ -165,6 +173,7 @@ class ProcessInstance {
   ExecutionTrace trace_;
   DataContext data_;
   std::unordered_map<NodeId, int> loop_iterations_;  // keyed by loop start
+  std::unordered_map<NodeId, uint64_t> completed_runs_;
   std::unordered_map<NodeId, int> selected_branch_;  // one-shot overrides
   std::unordered_map<NodeId, bool> loop_decision_;   // one-shot overrides
 

@@ -1,5 +1,6 @@
 #include "storage/wal.h"
 
+#include <atomic>
 #include <cerrno>
 #include <cstring>
 #include <filesystem>
@@ -130,6 +131,8 @@ Status DeadHandle(const std::string& path) {
                 path.c_str()));
 }
 
+std::atomic<uint64_t> g_scan_count{0};
+
 }  // namespace
 
 const char* SyncModeToString(SyncMode mode) {
@@ -144,29 +147,47 @@ const char* SyncModeToString(SyncMode mode) {
   return "unknown";
 }
 
-Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
-    const std::string& path) {
-  uint64_t last_lsn = 0;
+Result<WalScan> WriteAheadLog::Scan(const std::string& path) {
+  g_scan_count.fetch_add(1, std::memory_order_relaxed);
+  WalScan scan;
   auto content = ReadWholeFile(path);
-  if (!content.ok() && content.status().code() != StatusCode::kNotFound) {
+  if (!content.ok()) {
+    if (content.status().code() == StatusCode::kNotFound) return scan;
     return content.status();  // unreadable is not the same as absent
   }
-  if (content.ok()) {
-    ParsedFrames parsed = ParseFrames(*content);
-    if (!parsed.records.empty()) last_lsn = parsed.records.back().lsn;
-    if (parsed.valid_bytes < content->size()) {
-      // Appending after a damaged tail would hide the new frames from every
-      // reader; chop the tail back to the last complete frame first.
-      ADEPT_LOG(kWarning) << "WAL '" << path << "': discarding "
-                          << content->size() - parsed.valid_bytes
-                          << " damaged tail bytes";
-      std::error_code ec;
-      std::filesystem::resize_file(path, parsed.valid_bytes, ec);
-      if (ec) {
-        return Status::Corruption(
-            StrFormat("cannot repair damaged WAL tail of '%s': %s",
-                      path.c_str(), ec.message().c_str()));
-      }
+  scan.exists = true;
+  scan.total_bytes = content->size();
+  ParsedFrames parsed = ParseFrames(*content);
+  scan.valid_bytes = parsed.valid_bytes;
+  if (!parsed.records.empty()) scan.last_lsn = parsed.records.back().lsn;
+  scan.records = std::move(parsed.records);
+  return scan;
+}
+
+uint64_t WriteAheadLog::scan_count() {
+  return g_scan_count.load(std::memory_order_relaxed);
+}
+
+Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
+    const std::string& path) {
+  ADEPT_ASSIGN_OR_RETURN(WalScan scan, Scan(path));
+  return OpenScanned(path, scan);
+}
+
+Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::OpenScanned(
+    const std::string& path, const WalScan& scan) {
+  if (scan.exists && scan.valid_bytes < scan.total_bytes) {
+    // Appending after a damaged tail would hide the new frames from every
+    // reader; chop the tail back to the last complete frame first.
+    ADEPT_LOG(kWarning) << "WAL '" << path << "': discarding "
+                        << scan.total_bytes - scan.valid_bytes
+                        << " damaged tail bytes";
+    std::error_code ec;
+    std::filesystem::resize_file(path, scan.valid_bytes, ec);
+    if (ec) {
+      return Status::Corruption(
+          StrFormat("cannot repair damaged WAL tail of '%s': %s", path.c_str(),
+                    ec.message().c_str()));
     }
   }
   std::FILE* file = std::fopen(path.c_str(), "ab");
@@ -175,7 +196,7 @@ Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
                                         path.c_str(), std::strerror(errno)));
   }
   return std::unique_ptr<WriteAheadLog>(
-      new WriteAheadLog(path, file, last_lsn));
+      new WriteAheadLog(path, file, scan.last_lsn));
 }
 
 WriteAheadLog::~WriteAheadLog() {
@@ -257,14 +278,8 @@ Status WriteAheadLog::Truncate() {
 
 Result<std::vector<WalRecord>> WriteAheadLog::ReadRecords(
     const std::string& path) {
-  auto content = ReadWholeFile(path);
-  if (!content.ok()) {
-    if (content.status().code() == StatusCode::kNotFound) {
-      return std::vector<WalRecord>{};  // no log yet
-    }
-    return content.status();  // I/O error: not the same as an empty log
-  }
-  return ParseFrames(*content).records;
+  ADEPT_ASSIGN_OR_RETURN(WalScan scan, Scan(path));
+  return std::move(scan.records);
 }
 
 Result<std::vector<JsonValue>> WriteAheadLog::ReadAll(

@@ -65,12 +65,46 @@ struct WalRecord {
   JsonValue value;
 };
 
+// Everything one full parse pass over a log file learns. Produced by
+// Scan(); consumers that need both the records (replay) and the framing
+// facts (resuming appends, tail repair) hand the same WalScan to
+// OpenScanned() so the file is parsed exactly once per recovery.
+struct WalScan {
+  std::vector<WalRecord> records;
+  // Offset one past the last complete frame; bytes beyond it are a
+  // damaged (crash-truncated or corrupt) tail.
+  size_t valid_bytes = 0;
+  // Total bytes read from the file.
+  size_t total_bytes = 0;
+  // LSN of the last complete frame (0 for an empty/absent log).
+  uint64_t last_lsn = 0;
+  // False when no file existed at the path.
+  bool exists = false;
+};
+
 class WriteAheadLog {
  public:
   // Opens (creating or appending) the log at `path`. Scans any existing
   // frames to resume LSN numbering and truncates a damaged tail back to
   // the last complete frame.
   static Result<std::unique_ptr<WriteAheadLog>> Open(const std::string& path);
+
+  // Parses every complete frame of the log at `path` in one pass. A
+  // missing file yields an empty scan (exists == false); a damaged tail
+  // ends the scan without error (valid_bytes < total_bytes).
+  static Result<WalScan> Scan(const std::string& path);
+
+  // Open() without re-reading the file: trusts `scan` (from Scan() on the
+  // same, since-unmodified path) for LSN resumption and tail repair.
+  // Recovery replays scan.records and then opens the log through this —
+  // one parse pass instead of two.
+  static Result<std::unique_ptr<WriteAheadLog>> OpenScanned(
+      const std::string& path, const WalScan& scan);
+
+  // Number of full parse passes performed by this process (Scan() calls,
+  // including those made by Open/ReadRecords/ReadAll). Regression
+  // instrumentation for the single-pass recovery contract.
+  static uint64_t scan_count();
 
   ~WriteAheadLog();
   WriteAheadLog(const WriteAheadLog&) = delete;

@@ -7,9 +7,14 @@
 namespace adept {
 
 Result<std::unique_ptr<WalWriter>> WalWriter::Open(
-    const std::string& path, const WalWriterOptions& options) {
-  ADEPT_ASSIGN_OR_RETURN(std::unique_ptr<WriteAheadLog> log,
-                         WriteAheadLog::Open(path));
+    const std::string& path, const WalWriterOptions& options,
+    const WalScan* prescan) {
+  std::unique_ptr<WriteAheadLog> log;
+  if (prescan != nullptr) {
+    ADEPT_ASSIGN_OR_RETURN(log, WriteAheadLog::OpenScanned(path, *prescan));
+  } else {
+    ADEPT_ASSIGN_OR_RETURN(log, WriteAheadLog::Open(path));
+  }
   return std::unique_ptr<WalWriter>(
       new WalWriter(path, options, std::move(log)));
 }

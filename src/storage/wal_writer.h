@@ -53,9 +53,13 @@ struct WalWriterOptions {
 class WalWriter {
  public:
   // Opens (creating or appending) the log at `path` and starts the writer
-  // thread. LSN numbering resumes from the existing frames.
+  // thread. LSN numbering resumes from the existing frames. When the
+  // caller already parsed the log (recovery replays it first), pass that
+  // pass's WalScan as `prescan` so the file is not read a second time
+  // (WriteAheadLog::OpenScanned).
   static Result<std::unique_ptr<WalWriter>> Open(
-      const std::string& path, const WalWriterOptions& options = {});
+      const std::string& path, const WalWriterOptions& options = {},
+      const WalScan* prescan = nullptr);
 
   // Drains every enqueued record, then stops and joins the writer thread.
   ~WalWriter();

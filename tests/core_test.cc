@@ -233,6 +233,37 @@ TEST(AdeptSystemTest, WalRecoveryRestoresFullState) {
   ASSERT_TRUE(adept.DriveToCompletion(biased_id, driver).ok());
 }
 
+// Regression for the ROADMAP item "recovery scans+parses the WAL twice":
+// Recover() performs exactly one parse pass (the replay scan seeds the
+// reopened writer via OpenScanned).
+TEST(AdeptSystemTest, RecoverParsesWalExactlyOnce) {
+  TempDir dir;
+  AdeptOptions options = DurableOptions(dir);
+  {
+    auto system = AdeptSystem::Create(options);
+    ASSERT_TRUE(system.ok());
+    AdeptSystem& adept = **system;
+    auto v1 = OnlineOrderV1();
+    ASSERT_TRUE(adept.DeployProcessType(v1).ok());
+    auto id = adept.CreateInstance("online_order");
+    ASSERT_TRUE(id.ok());
+    NodeId get_order = v1->FindNodeByName("get order");
+    ASSERT_TRUE(adept.StartActivity(*id, get_order).ok());
+    ASSERT_TRUE(adept.CompleteActivity(*id, get_order).ok());
+  }
+
+  const uint64_t scans_before = WriteAheadLog::scan_count();
+  auto recovered = AdeptSystem::Recover(options);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_EQ(WriteAheadLog::scan_count() - scans_before, 1u);
+
+  // The single-scan recovery is complete: state replayed, log appendable.
+  const ProcessInstance* instance = (*recovered)->Instance(InstanceId(1));
+  ASSERT_NE(instance, nullptr);
+  SimulationDriver driver({.seed = 11});
+  ASSERT_TRUE((*recovered)->DriveToCompletion(InstanceId(1), driver).ok());
+}
+
 TEST(AdeptSystemTest, WalRecoveryReplaysMigration) {
   TempDir dir;
   AdeptOptions options = DurableOptions(dir);

@@ -2,6 +2,7 @@
 
 #include "change/change_op.h"
 #include "compliance/adhoc.h"
+#include "core/adept.h"
 #include "org/org_model.h"
 #include "org/worklist.h"
 #include "storage/instance_store.h"
@@ -133,6 +134,150 @@ TEST_F(WorklistTest, AdHocDeletionRevokesWorkItem) {
   auto bob_offers = worklists.OffersFor(bob_);
   ASSERT_EQ(bob_offers.size(), 1u);
   EXPECT_EQ(bob_offers[0].node, schema_->FindNodeByName("pack"));
+}
+
+TEST_F(WorklistTest, AdHocDeletionRevokesClaimedItemExactlyOnce) {
+  SchemaRepository repo;
+  auto schema_id = repo.Deploy(schema_);
+  ASSERT_TRUE(schema_id.ok());
+  InstanceStore store(&repo);
+  WorklistManager worklists(&org_);
+
+  Engine engine;
+  engine.set_observer(&worklists);
+  auto created = engine.CreateInstance(schema_, *schema_id);
+  ASSERT_TRUE(created.ok());
+  ProcessInstance* inst = *created;
+  ASSERT_TRUE(store.Register(inst->id(), *schema_id).ok());
+  ASSERT_TRUE(inst->Start().ok());
+
+  // Claim the offered "take order" before it is deleted ad hoc.
+  auto offers = worklists.OffersFor(alice_);
+  ASSERT_EQ(offers.size(), 1u);
+  ASSERT_TRUE(worklists.Claim(offers[0].id, alice_).ok());
+
+  Delta delta;
+  delta.Add(std::make_unique<DeleteActivityOp>(
+      schema_->FindNodeByName("take order")));
+  ASSERT_TRUE(ApplyAdHocChange(*inst, store, std::move(delta)).ok());
+
+  // Retracted exactly once — claimed items included.
+  EXPECT_EQ(worklists.revoked_count(), 1u);
+  EXPECT_TRUE(worklists.OffersFor(alice_).empty());
+  EXPECT_FALSE(worklists.Claim(offers[0].id, alice_).ok());
+}
+
+// Regression: a migration with bias cancellation rewrites the instance
+// marking wholesale (no per-node events), leaving work items that
+// reference the cancelled bias node ids. Claiming such a stale item used
+// to succeed; Migrate now resyncs the worklist and the claim fails
+// kNotFound.
+TEST_F(WorklistTest, StaleItemAfterBiasCancellationMigration) {
+  auto system = AdeptSystem::Create();
+  ASSERT_TRUE(system.ok());
+  AdeptSystem& adept = **system;
+  RoleId clerk = *adept.org().AddRole("clerk");
+  UserId alice = *adept.org().AddUser("alice");
+  ASSERT_TRUE(adept.org().AssignRole(alice, clerk).ok());
+
+  SchemaBuilder b("bias_proc", 1);
+  NodeId a = b.Activity("a", {.role = clerk});
+  NodeId c = b.Activity("c", {.role = clerk});
+  auto schema = b.Build();
+  ASSERT_TRUE(schema.ok());
+  auto v1 = adept.DeployProcessType(*schema);
+  ASSERT_TRUE(v1.ok());
+
+  InstanceId id = *adept.CreateInstance("bias_proc");
+  ASSERT_TRUE(adept.StartActivity(id, a).ok());
+  ASSERT_TRUE(adept.CompleteActivity(id, a).ok());
+
+  // Ad-hoc: insert "x" between a and c; it activates and is offered.
+  auto make_insert = [&] {
+    Delta delta;
+    NewActivitySpec spec;
+    spec.name = "x";
+    spec.role = clerk;
+    delta.Add(std::make_unique<SerialInsertOp>(spec, a, c));
+    return delta;
+  };
+  ASSERT_TRUE(adept.ApplyAdHocChange(id, make_insert()).ok());
+  auto offers = adept.worklists().OffersFor(alice);
+  ASSERT_EQ(offers.size(), 1u);
+  WorkItemId stale = offers[0].id;
+
+  // The type evolves by the semantically identical change; migration
+  // cancels the bias and remaps the instance state onto the type's ids.
+  auto v2 = adept.EvolveProcessType(*v1, make_insert());
+  ASSERT_TRUE(v2.ok());
+  auto report = adept.Migrate(*v1, *v2);
+  ASSERT_TRUE(report.ok()) << report.status();
+  ASSERT_EQ(report->MigratedTotal(), 1u);
+
+  // The stale item (bias node id) is gone; claiming it is kNotFound.
+  EXPECT_EQ(adept.worklists().Claim(stale, alice).code(),
+            StatusCode::kNotFound);
+  // Exactly one live offer for the remapped "x" node remains, claimable.
+  offers = adept.worklists().OffersFor(alice);
+  ASSERT_EQ(offers.size(), 1u);
+  EXPECT_NE(offers[0].id, stale);
+  const ProcessInstance* inst = adept.Instance(id);
+  ASSERT_NE(inst, nullptr);
+  EXPECT_NE(inst->schema().FindNode(offers[0].node), nullptr);
+  EXPECT_TRUE(adept.worklists().Claim(offers[0].id, alice).ok());
+}
+
+// Migration demotion (paper: state adaptation may deactivate an activity
+// when the type change inserts a predecessor) retracts offered and
+// claimed items exactly once.
+TEST_F(WorklistTest, MigrationDemotionRevokesClaimedItems) {
+  auto system = AdeptSystem::Create();
+  ASSERT_TRUE(system.ok());
+  AdeptSystem& adept = **system;
+  RoleId clerk = *adept.org().AddRole("clerk");
+  UserId alice = *adept.org().AddUser("alice");
+  ASSERT_TRUE(adept.org().AssignRole(alice, clerk).ok());
+
+  SchemaBuilder b("demote_proc", 1);
+  NodeId a = b.Activity("a", {.role = clerk});
+  NodeId c = b.Activity("c", {.role = clerk});
+  auto schema = b.Build();
+  ASSERT_TRUE(schema.ok());
+  auto v1 = adept.DeployProcessType(*schema);
+  ASSERT_TRUE(v1.ok());
+
+  InstanceId offered_id = *adept.CreateInstance("demote_proc");
+  InstanceId claimed_id = *adept.CreateInstance("demote_proc");
+  for (InstanceId id : {offered_id, claimed_id}) {
+    ASSERT_TRUE(adept.StartActivity(id, a).ok());
+    ASSERT_TRUE(adept.CompleteActivity(id, a).ok());
+  }
+  auto offers = adept.worklists().OffersFor(alice);
+  ASSERT_EQ(offers.size(), 2u);
+  const WorkItem claimed_item =
+      offers[0].instance == claimed_id ? offers[0] : offers[1];
+  ASSERT_TRUE(adept.worklists().Claim(claimed_item.id, alice).ok());
+
+  Delta delta;
+  NewActivitySpec spec;
+  spec.name = "gate";
+  spec.role = clerk;
+  delta.Add(std::make_unique<SerialInsertOp>(spec, a, c));
+  auto v2 = adept.EvolveProcessType(*v1, std::move(delta));
+  ASSERT_TRUE(v2.ok());
+  auto report = adept.Migrate(*v1, *v2);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->MigratedTotal(), 2u);
+
+  // Both "c" items (one offered, one claimed) retracted exactly once;
+  // the new "gate" is offered on both instances.
+  EXPECT_EQ(adept.worklists().revoked_count(), 2u);
+  offers = adept.worklists().OffersFor(alice);
+  ASSERT_EQ(offers.size(), 2u);
+  for (const WorkItem& item : offers) {
+    EXPECT_NE(item.node, c);
+  }
+  EXPECT_FALSE(adept.worklists().Claim(claimed_item.id, alice).ok());
 }
 
 TEST_F(WorklistTest, SkippedBranchRevokesOffer) {

@@ -464,6 +464,52 @@ TEST(WalTest, TruncatedTailTolerated) {
   std::remove(path.c_str());
 }
 
+TEST(WalTest, ScanFeedsOpenWithoutRescan) {
+  std::string path = TempPath("adept_wal_scan.log");
+  std::remove(path.c_str());
+  {
+    auto wal = WriteAheadLog::Open(path);
+    ASSERT_TRUE(wal.ok());
+    for (int i = 0; i < 3; ++i) {
+      JsonValue record = JsonValue::MakeObject();
+      record.Set("k", JsonValue(i));
+      ASSERT_TRUE((*wal)->Append(record).ok());
+    }
+    ASSERT_TRUE((*wal)->Sync(SyncMode::kFlush).ok());
+  }
+  // Crash injection: damage the tail so OpenScanned must repair it from
+  // the scan's framing facts alone.
+  auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size - 3);
+
+  auto scan = WriteAheadLog::Scan(path);
+  ASSERT_TRUE(scan.ok());
+  EXPECT_TRUE(scan->exists);
+  EXPECT_EQ(scan->records.size(), 2u);
+  EXPECT_EQ(scan->last_lsn, 2u);
+  EXPECT_LT(scan->valid_bytes, scan->total_bytes);
+
+  const uint64_t scans_before = WriteAheadLog::scan_count();
+  auto wal = WriteAheadLog::OpenScanned(path, *scan);
+  ASSERT_TRUE(wal.ok());
+  // No re-read: the scan counter is untouched and LSNs resume correctly
+  // past the repaired tail.
+  EXPECT_EQ(WriteAheadLog::scan_count(), scans_before);
+  EXPECT_EQ((*wal)->last_lsn(), 2u);
+  JsonValue record = JsonValue::MakeObject();
+  record.Set("k", JsonValue(99));
+  auto lsn = (*wal)->Append(record);
+  ASSERT_TRUE(lsn.ok());
+  EXPECT_EQ(*lsn, 3u);
+  ASSERT_TRUE((*wal)->Sync(SyncMode::kFlush).ok());
+
+  auto records = WriteAheadLog::ReadRecords(path);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 3u);
+  EXPECT_EQ(records->back().lsn, 3u);
+  std::remove(path.c_str());
+}
+
 TEST(WalTest, GarbageFileYieldsNoRecords) {
   std::string path = TempPath("adept_wal_garbage.log");
   std::FILE* f = std::fopen(path.c_str(), "wb");
