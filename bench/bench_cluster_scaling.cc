@@ -7,6 +7,9 @@
 //                              in parallel on the worker pool
 //   BM_ClusterMigration        full type migration of the population,
 //                              fanned out shard-parallel
+//   BM_ClusterResize           elastic repartitioning cost: moving the
+//                              whole population through the WAL-logged
+//                              export/import handover (2 -> N -> 2)
 //
 // Expected shape: throughput grows with the shard count up to the core
 // count (per-instance ADEPT semantics are untouched; shards share nothing).
@@ -127,6 +130,42 @@ void BM_ClusterMigration(benchmark::State& state) {
 BENCHMARK(BM_ClusterMigration)
     ->Arg(1)
     ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// Elastic resize round trip on a live in-memory cluster: 2 -> N moves the
+// instances the new routing places elsewhere, N -> 2 moves them back. One
+// iteration therefore prices two full repartitioning passes over the
+// population (items processed counts moved instances).
+void BM_ClusterResize(benchmark::State& state) {
+  const int target = static_cast<int>(state.range(0));
+  std::vector<InstanceId> ids;
+  auto cluster = MakeCluster(2, &ids);
+  if (cluster == nullptr) {
+    state.SkipWithError("cluster setup failed");
+    return;
+  }
+  size_t moved = 0;
+  for (auto _ : state) {
+    if (!cluster->Resize(target).ok() || !cluster->Resize(2).ok()) {
+      state.SkipWithError("resize failed");
+      return;
+    }
+    // Instances whose owner differs between the two routings moved twice.
+    for (InstanceId id : ids) {
+      size_t owner2 = (id.value() - 1) % 2;
+      size_t ownerN = (id.value() - 1) % static_cast<size_t>(target);
+      if (owner2 != ownerN) moved += 2;
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(moved));
+  state.counters["target_shards"] = target;
+  state.counters["population"] = kPopulation;
+}
+BENCHMARK(BM_ClusterResize)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(8)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 

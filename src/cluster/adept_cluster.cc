@@ -1,9 +1,12 @@
 #include "cluster/adept_cluster.h"
 
 #include <algorithm>
+#include <filesystem>
+#include <set>
 #include <thread>
 #include <utility>
 
+#include "common/fs_util.h"
 #include "worklist/worklist_service.h"
 
 namespace adept {
@@ -104,13 +107,10 @@ AdeptOptions AdeptCluster::ShardOptions(const ClusterOptions& options,
   // The cluster pipelines durability itself: records are enqueued under the
   // shard lock, the wait happens after the lock is released.
   shard_options.defer_wal_sync = true;
-  std::string suffix = ".shard" + std::to_string(index);
-  if (!options.wal_path.empty()) {
-    shard_options.wal_path = options.wal_path + suffix;
-  }
-  if (!options.snapshot_path.empty()) {
-    shard_options.snapshot_path = options.snapshot_path + suffix;
-  }
+  shard_options.wal_path =
+      ShardRouting::PathFor(options.wal_path, static_cast<size_t>(index));
+  shard_options.snapshot_path =
+      ShardRouting::PathFor(options.snapshot_path, static_cast<size_t>(index));
   return shard_options;
 }
 
@@ -123,6 +123,47 @@ Result<std::unique_ptr<SimulationDriver>> MakeShardDriver(
   return std::make_unique<SimulationDriver>(driver_options);
 }
 
+// True when shard `index` left durable state at the configured base paths.
+bool ShardFilesExist(const ClusterOptions& options, size_t index) {
+  const std::string wal = ShardRouting::PathFor(options.wal_path, index);
+  const std::string snapshot =
+      ShardRouting::PathFor(options.snapshot_path, index);
+  return (!wal.empty() && std::filesystem::exists(wal)) ||
+         (!snapshot.empty() && std::filesystem::exists(snapshot));
+}
+
+// Highest contiguous shard index with durable state, i.e. the shard count
+// the durable cluster was last written with (0 when nothing is on disk).
+size_t CountShardsOnDisk(const ClusterOptions& options) {
+  if (options.wal_path.empty() && options.snapshot_path.empty()) return 0;
+  size_t count = 0;
+  while (ShardFilesExist(options, count)) ++count;
+  return count;
+}
+
+// The resize error contract: name the recovered and requested counts and
+// the repair action.
+Status ResizeError(size_t recovered, size_t requested,
+                   const std::string& detail) {
+  return Status::Corruption(
+      "cluster resize from " + std::to_string(recovered) +
+      " recovered shard(s) to " + std::to_string(requested) +
+      " requested shard(s) failed: " + detail +
+      "; repair: recover with shards=" + std::to_string(recovered) +
+      " (the recorded count), or restore the damaged per-shard files and "
+      "retry the resize");
+}
+
+// Best-effort removal of a retired shard's durability files.
+void RemoveShardFiles(const ClusterOptions& options, size_t index) {
+  std::error_code ec;
+  const std::string wal = ShardRouting::PathFor(options.wal_path, index);
+  const std::string snapshot =
+      ShardRouting::PathFor(options.snapshot_path, index);
+  if (!wal.empty()) std::filesystem::remove(wal, ec);
+  if (!snapshot.empty()) std::filesystem::remove(snapshot, ec);
+}
+
 }  // namespace
 
 Result<std::unique_ptr<AdeptCluster>> AdeptCluster::Build(
@@ -133,6 +174,7 @@ Result<std::unique_ptr<AdeptCluster>> AdeptCluster::Build(
     return Status::InvalidArgument("cluster needs at least one shard");
   }
   std::unique_ptr<AdeptCluster> cluster(new AdeptCluster(options));
+  cluster->routing_ = ShardRouting(static_cast<size_t>(options.shards));
   for (int i = 0; i < options.shards; ++i) {
     auto shard = std::make_unique<Shard>();
     ADEPT_ASSIGN_OR_RETURN(shard->system,
@@ -194,37 +236,205 @@ Result<std::unique_ptr<AdeptCluster>> AdeptCluster::Create(
       Build(options, [](const AdeptOptions& shard_options) {
         return AdeptSystem::Create(shard_options);
       }));
+  // A fresh cluster starts a fresh durable history at these paths. The
+  // per-shard Create() calls reset shards 0..N-1, but a previous (larger)
+  // cluster may have left ".shard<k>" files beyond the count and an org
+  // file — Recover() probes for both and would resurrect the dead
+  // cluster's state into this one.
+  for (size_t k = cluster->shards_.size(); ShardFilesExist(options, k); ++k) {
+    RemoveShardFiles(options, k);
+  }
+  if (!options.wal_path.empty()) {
+    std::error_code ec;
+    std::filesystem::remove(options.wal_path + ".org", ec);
+    if (ec) {
+      return Status::Corruption("cannot discard stale org file '" +
+                                options.wal_path + ".org': " + ec.message());
+    }
+  }
   ADEPT_RETURN_IF_ERROR(cluster->AttachWorklist(/*recover=*/false));
   return cluster;
 }
 
 Result<std::unique_ptr<AdeptCluster>> AdeptCluster::Recover(
     const ClusterOptions& options) {
-  ADEPT_ASSIGN_OR_RETURN(
-      std::unique_ptr<AdeptCluster> cluster,
-      Build(options, [](const AdeptOptions& shard_options) {
-        return AdeptSystem::Recover(shard_options);
-      }));
-  // Re-derive the shard-affine id allocators; an id on the wrong shard
-  // means the durable state was written with a different shard count.
-  const uint64_t n = cluster->shards_.size();
-  for (uint64_t k = 0; k < n; ++k) {
-    Shard& shard = *cluster->shards_[k];
-    for (InstanceId id : shard.system->engine().InstanceIds()) {
-      if ((id.value() - 1) % n != k) {
-        return Status::Corruption(
-            "instance " + std::to_string(id.value()) + " recovered on shard " +
-            std::to_string(k) + "; was the cluster resized?");
+  // The shard count the durable state was written with; differing from
+  // options.shards is not corruption but a resize request.
+  const size_t on_disk = CountShardsOnDisk(options);
+  const size_t requested = static_cast<size_t>(std::max(options.shards, 1));
+  const size_t recorded = on_disk == 0 ? requested : on_disk;
+
+  auto built = Build(options, [](const AdeptOptions& shard_options) {
+    return AdeptSystem::Recover(shard_options);
+  });
+  if (!built.ok()) {
+    if (on_disk != 0 && on_disk != requested) {
+      return ResizeError(recorded, requested, built.status().ToString());
+    }
+    return built.status();
+  }
+  std::unique_ptr<AdeptCluster> cluster = std::move(*built);
+
+  // Shrink: durable shards beyond the requested count become donors —
+  // recovered in full, drained below, retired afterwards.
+  std::vector<std::unique_ptr<Shard>> donors;
+  for (size_t k = requested; k < on_disk; ++k) {
+    auto donor = std::make_unique<Shard>();
+    auto system = AdeptSystem::Recover(ShardOptions(options, k));
+    if (!system.ok()) {
+      return ResizeError(recorded, requested,
+                         "donor shard " + std::to_string(k) +
+                             " did not recover: " + system.status().ToString());
+    }
+    donor->system = std::move(*system);
+    donors.push_back(std::move(donor));
+  }
+
+  // Grow: freshly created shards start with an empty schema repository;
+  // replicate the cluster's schema history before instances arrive.
+  ADEPT_RETURN_IF_ERROR(cluster->ReplicateSchemasToFreshShards(donors));
+
+  // Redistribute every instance the requested routing places elsewhere
+  // (crash-window duplicates are deduped back to exactly one owner).
+  Status moved = cluster->MoveMisplacedInstances(&donors);
+  if (!moved.ok()) {
+    return ResizeError(recorded, requested, moved.ToString());
+  }
+
+  if (on_disk != 0 && on_disk != requested) {
+    // The topology changed: checkpoint it (when snapshots are configured)
+    // so the donors' durable copies become redundant, then retire the
+    // donor files. Without snapshots the WAL-logged moves already carry
+    // the new placement.
+    if (!options.snapshot_path.empty()) {
+      for (auto& shard_ptr : cluster->shards_) {
+        ADEPT_RETURN_IF_ERROR(shard_ptr->system->SaveSnapshot());
       }
-      uint64_t seq = (id.value() - 1 - k) / n;
-      shard.next_seq = std::max(shard.next_seq, seq + 1);
+    }
+    for (size_t k = requested; k < on_disk; ++k) {
+      donors[k - requested].reset();  // joins the WAL writer, closes files
+      RemoveShardFiles(options, k);
     }
   }
+
+  // Re-derive the shard-affine id allocators; an id still on the wrong
+  // shard after redistribution is damage, not a resize.
+  ADEPT_RETURN_IF_ERROR(cluster->DeriveShardAllocators(recorded));
+
+  // Restore the durable org model (if the cluster ever checkpointed one)
+  // before the worklist rebuild; without an org file the historical
+  // contract applies — the application repopulates users/roles after
+  // Recover() in the same call order.
+  ADEPT_RETURN_IF_ERROR(cluster->RestoreOrg());
+
   // Rebuild open work items: offers from recovered instance state, claims
-  // from the worklist journal. The org model is not durable — repopulate
-  // it (same call order => same ids) before serving worklist traffic.
+  // from the worklist journal (both keyed by instance id — placement
+  // changes above do not disturb them).
   ADEPT_RETURN_IF_ERROR(cluster->AttachWorklist(/*recover=*/true));
   return cluster;
+}
+
+Status AdeptCluster::ReplicateSchemasToFreshShards(
+    const std::vector<std::unique_ptr<Shard>>& donors) {
+  AdeptSystem* reference = nullptr;
+  for (auto& shard_ptr : shards_) {
+    if (shard_ptr->system->repository().size() > 0) {
+      reference = shard_ptr->system.get();
+      break;
+    }
+  }
+  for (size_t i = 0; reference == nullptr && i < donors.size(); ++i) {
+    if (donors[i]->system->repository().size() > 0) {
+      reference = donors[i]->system.get();
+    }
+  }
+  if (reference == nullptr) return Status::OK();  // nothing ever deployed
+  const JsonValue repo = reference->repository().ToJson();
+  for (auto& shard_ptr : shards_) {
+    AdeptSystem& system = *shard_ptr->system;
+    if (system.repository().size() > 0) continue;
+    ADEPT_RETURN_IF_ERROR(system.ReplicateSchemas(repo));
+    ADEPT_RETURN_IF_ERROR(system.WaitWalDurable(system.last_enqueued_lsn()));
+  }
+  return Status::OK();
+}
+
+Status AdeptCluster::MoveMisplacedInstances(
+    const std::vector<std::unique_ptr<Shard>>* donors) {
+  struct Move {
+    AdeptSystem* src;
+    AdeptSystem* dst;
+    InstanceId id;
+  };
+  std::vector<Move> moves;
+  auto collect = [&](AdeptSystem& system, bool placed, size_t index) {
+    for (InstanceId id : system.engine().InstanceIds()) {
+      size_t owner = routing_.OwnerOf(id);
+      if (placed && owner == index) continue;
+      moves.push_back({&system, shards_[owner]->system.get(), id});
+    }
+  };
+  for (size_t j = 0; j < shards_.size(); ++j) {
+    // During a shrink, shards_ still holds indexes beyond the new count;
+    // everything there is misplaced by construction.
+    collect(*shards_[j]->system, j < routing_.shards(), j);
+  }
+  if (donors != nullptr) {
+    for (const auto& donor : *donors) {
+      collect(*donor->system, /*placed=*/false, 0);
+    }
+  }
+  if (moves.empty()) return Status::OK();
+
+  // Phase 1: import at the destinations, then make every destination
+  // durable. A destination that already holds the id is the crash window
+  // between a durable import and its evict — the copies are identical
+  // (moves only run quiesced), so keep the destination's and fall through
+  // to the evict.
+  std::set<AdeptSystem*> dirty;
+  for (const Move& move : moves) {
+    if (move.dst->Instance(move.id) != nullptr) continue;
+    ADEPT_ASSIGN_OR_RETURN(JsonValue exported,
+                           move.src->ExportInstance(move.id));
+    ADEPT_RETURN_IF_ERROR(move.dst->ImportInstance(exported));
+    dirty.insert(move.dst);
+  }
+  for (AdeptSystem* system : dirty) {
+    ADEPT_RETURN_IF_ERROR(
+        system->WaitWalDurable(system->last_enqueued_lsn()));
+  }
+  dirty.clear();
+
+  // Phase 2: evict at the sources — enqueued only after every import is
+  // durable, so a durable evict always implies a durable import and no
+  // crash point leaves an instance on zero shards.
+  for (const Move& move : moves) {
+    ADEPT_RETURN_IF_ERROR(move.src->EvictInstance(move.id));
+    dirty.insert(move.src);
+  }
+  for (AdeptSystem* system : dirty) {
+    ADEPT_RETURN_IF_ERROR(
+        system->WaitWalDurable(system->last_enqueued_lsn()));
+  }
+  return Status::OK();
+}
+
+Status AdeptCluster::DeriveShardAllocators(size_t recovered_count) {
+  for (auto& shard_ptr : shards_) shard_ptr->next_seq = 0;
+  for (size_t j = 0; j < shards_.size(); ++j) {
+    Shard& shard = *shards_[j];
+    for (InstanceId id : shard.system->engine().InstanceIds()) {
+      if (!routing_.Owns(j, id)) {
+        return ResizeError(
+            recovered_count, routing_.shards(),
+            "instance " + std::to_string(id.value()) +
+                " still lands on shard " + std::to_string(j) +
+                " after redistribution (mid-move WAL damage?)");
+      }
+      shard.next_seq = std::max(shard.next_seq, routing_.SeqOf(id) + 1);
+    }
+  }
+  return Status::OK();
 }
 
 AdeptCluster::~AdeptCluster() = default;
@@ -241,11 +451,22 @@ Status SchemaPoisoned() {
 
 }  // namespace
 
+Status AdeptCluster::CheckTopology() const {
+  if (topology_poisoned_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition(
+        "a cluster resize failed part-way; the in-memory topology is "
+        "inconsistent — rebuild the cluster from durable state (Recover) "
+        "before further calls");
+  }
+  return Status::OK();
+}
+
 Result<SchemaId> AdeptCluster::FanOutSchemaOp(
     const char* what,
     const std::function<Result<SchemaId>(AdeptSystem&)>& op) {
   std::lock_guard<std::mutex> schema_lock(schema_mu_);
   if (schema_poisoned_) return SchemaPoisoned();
+  ADEPT_RETURN_IF_ERROR(CheckTopology());
   SchemaId canonical;
   std::vector<uint64_t> lsns(shards_.size(), 0);
   for (size_t i = 0; i < shards_.size(); ++i) {
@@ -313,13 +534,13 @@ Result<std::shared_ptr<const ProcessSchema>> AdeptCluster::Schema(
 
 InstanceId AdeptCluster::NextIdLocked(size_t shard_index) {
   Shard& shard = *shards_[shard_index];
-  uint64_t seq = shard.next_seq++;
-  return InstanceId(seq * shards_.size() + shard_index + 1);
+  return routing_.IdFor(shard_index, shard.next_seq++);
 }
 
 Result<InstanceId> AdeptCluster::CreateOnShard(size_t shard_index,
                                                const std::string& type_name,
                                                SchemaId schema) {
+  ADEPT_RETURN_IF_ERROR(CheckTopology());
   Shard& shard = *shards_[shard_index];
   uint64_t lsn = 0;
   Result<InstanceId> created = [&]() -> Result<InstanceId> {
@@ -382,6 +603,8 @@ void AdeptCluster::ForEachInstance(
 template <typename Fn>
 auto AdeptCluster::RouteDurable(InstanceId id, Fn&& fn)
     -> decltype(fn(std::declval<AdeptSystem&>())) {
+  Status topology = CheckTopology();
+  if (!topology.ok()) return topology;
   Shard& shard = *shards_[ShardOf(id)];
   uint64_t lsn = 0;
   auto result = [&] {
@@ -510,6 +733,7 @@ Result<MigrationReport> MergeReports(
 Result<MigrationReport> AdeptCluster::Migrate(SchemaId from, SchemaId to,
                                               const MigrationOptions& options) {
   std::lock_guard<std::mutex> schema_lock(schema_mu_);
+  ADEPT_RETURN_IF_ERROR(CheckTopology());
   std::vector<Result<MigrationReport>> reports(
       shards_.size(), Result<MigrationReport>(Status::Internal("not run")));
   std::vector<std::function<void()>> tasks;
@@ -540,6 +764,7 @@ Result<MigrationReport> AdeptCluster::Migrate(SchemaId from, SchemaId to,
 Result<MigrationReport> AdeptCluster::MigrateToLatest(
     const std::string& type_name, const MigrationOptions& options) {
   std::lock_guard<std::mutex> schema_lock(schema_mu_);
+  ADEPT_RETURN_IF_ERROR(CheckTopology());
   std::vector<Result<MigrationReport>> reports(
       shards_.size(), Result<MigrationReport>(Status::Internal("not run")));
   std::vector<std::function<void()>> tasks;
@@ -580,20 +805,156 @@ void AdeptCluster::ResyncClusterWorklist() {
 
 Status AdeptCluster::SaveSnapshot() {
   std::lock_guard<std::mutex> schema_lock(schema_mu_);
+  ADEPT_RETURN_IF_ERROR(CheckTopology());
+  return SaveSnapshotLocked();
+}
+
+Status AdeptCluster::SaveSnapshotLocked() {
   for (auto& shard_ptr : shards_) {
     Shard& shard = *shard_ptr;
     std::lock_guard<std::mutex> lock(shard.mu);
     ADEPT_RETURN_IF_ERROR(shard.system->SaveSnapshot());
   }
-  return Status::OK();
+  // The checkpoint also persists the org model and rewrites the claim
+  // journal as one record per live claim — both keep Recover() exact
+  // while bounding the cluster's durable footprint at O(live state).
+  ADEPT_RETURN_IF_ERROR(PersistOrg());
+  return worklist_->CompactJournal();
+}
+
+std::string AdeptCluster::OrgPath() const {
+  return options_.wal_path.empty() ? std::string()
+                                   : options_.wal_path + ".org";
+}
+
+Status AdeptCluster::PersistOrg() {
+  const std::string path = OrgPath();
+  if (path.empty()) return Status::OK();
+  return WriteFileAtomic(path, org_.ToJson().Dump());
+}
+
+Status AdeptCluster::RestoreOrg() {
+  const std::string path = OrgPath();
+  if (path.empty() || !std::filesystem::exists(path)) return Status::OK();
+  Status st = [&]() -> Status {
+    ADEPT_ASSIGN_OR_RETURN(std::string content, ReadFileToString(path));
+    ADEPT_ASSIGN_OR_RETURN(JsonValue json, JsonValue::Parse(content));
+    return org_.LoadFromJson(json);
+  }();
+  if (!st.ok()) {
+    return Status::Corruption(
+        "cannot restore the org model from '" + path + "': " + st.ToString() +
+        "; repair: restore the file, or remove it to fall back to "
+        "repopulating the org after Recover()");
+  }
+  return st;
 }
 
 void AdeptCluster::AddObserver(InstanceObserver* observer) {
+  observers_.push_back(observer);
   for (auto& shard_ptr : shards_) {
     Shard& shard = *shard_ptr;
     std::lock_guard<std::mutex> lock(shard.mu);
     shard.system->AddObserver(observer);
   }
+}
+
+// --- Elastic resizing --------------------------------------------------------
+
+Status AdeptCluster::Resize(int new_shard_count) {
+  if (new_shard_count < 1) {
+    return Status::InvalidArgument("cluster needs at least one shard");
+  }
+  const size_t m = static_cast<size_t>(new_shard_count);
+  std::lock_guard<std::mutex> schema_lock(schema_mu_);
+  if (schema_poisoned_) return SchemaPoisoned();
+  ADEPT_RETURN_IF_ERROR(CheckTopology());
+  const size_t n = shards_.size();
+  if (m == n) return Status::OK();
+
+  // Drain every shard's writer so the handover below never interleaves
+  // with records still in flight.
+  for (auto& shard_ptr : shards_) {
+    AdeptSystem& system = *shard_ptr->system;
+    ADEPT_RETURN_IF_ERROR(system.WaitWalDurable(system.last_enqueued_lsn()));
+  }
+
+  // Grow: fresh shards with fresh ".shard<k>" files, the replicated
+  // schema history, and the same observer set as the original shards.
+  // A failure here rolls back cleanly — nothing but the fresh shards
+  // (and their empty files) exists yet.
+  if (m > n) {
+    Status grown = [&]() -> Status {
+      for (size_t k = n; k < m; ++k) {
+        auto shard = std::make_unique<Shard>();
+        ADEPT_ASSIGN_OR_RETURN(
+            shard->system,
+            AdeptSystem::Create(ShardOptions(options_, static_cast<int>(k))));
+        ADEPT_ASSIGN_OR_RETURN(shard->driver,
+                               MakeShardDriver(options_, static_cast<int>(k)));
+        shard->system->AddObserver(worklist_.get());
+        for (InstanceObserver* observer : observers_) {
+          shard->system->AddObserver(observer);
+        }
+        shards_.push_back(std::move(shard));
+      }
+      return ReplicateSchemasToFreshShards({});
+    }();
+    if (!grown.ok()) {
+      while (shards_.size() > n) {
+        const size_t k = shards_.size() - 1;
+        shards_.pop_back();
+        RemoveShardFiles(options_, k);
+      }
+      return grown;
+    }
+  }
+
+  // Swap the routing invariant and move what it now places elsewhere. The
+  // worklist survives untouched: items (including claims) are keyed by
+  // instance id, and the export/import handover fires no instance events.
+  // From here on a failure leaves in-memory placement inconsistent with
+  // the routing — poison the cluster so every later call fails loudly
+  // (the durable state is intact; Recover() rebuilds a consistent one).
+  routing_ = ShardRouting(m);
+  Status applied = [&]() -> Status {
+    ADEPT_RETURN_IF_ERROR(MoveMisplacedInstances(nullptr));
+    options_.shards = new_shard_count;
+
+    // Checkpoint the new topology before any old file is retired: with
+    // snapshots configured the drained shards' durable copies become
+    // redundant; without them the WAL-logged moves already carry the new
+    // placement.
+    if (!options_.snapshot_path.empty()) {
+      ADEPT_RETURN_IF_ERROR(SaveSnapshotLocked());
+    }
+
+    // Shrink: retire the drained shards and their durability files.
+    while (shards_.size() > m) {
+      const size_t k = shards_.size() - 1;
+      shards_.pop_back();  // joins the shard's WAL writer, closes files
+      RemoveShardFiles(options_, k);
+    }
+
+    return DeriveShardAllocators(n);
+  }();
+  if (!applied.ok()) {
+    topology_poisoned_.store(true, std::memory_order_release);
+    return applied;
+  }
+
+  // Size the worker pool for the new shard count (unless pinned).
+  if (options_.worker_threads <= 0) {
+    const size_t threads =
+        std::min(m, static_cast<size_t>(
+                        std::max(1u, std::thread::hardware_concurrency())));
+    pool_ = std::make_unique<WorkerPool>(threads);
+  }
+
+  // Self-check sweep: reconcile the worklist with engine truth under the
+  // new placement (a no-op when the handover was clean).
+  ResyncClusterWorklist();
+  return Status::OK();
 }
 
 // --- Batch execution ---------------------------------------------------------
@@ -664,6 +1025,14 @@ AdeptCluster::BatchResult AdeptCluster::ExecuteOpLocked(Shard& shard,
 std::vector<AdeptCluster::BatchResult> AdeptCluster::SubmitBatch(
     const std::vector<BatchOp>& ops) {
   std::vector<BatchResult> results(ops.size());
+  Status topology = CheckTopology();
+  if (!topology.ok()) {
+    for (size_t i = 0; i < ops.size(); ++i) {
+      results[i].status = topology;
+      results[i].id = ops[i].id;
+    }
+    return results;
+  }
   // Route every op up front (creates get their round-robin placement here),
   // then run one task per shard that has work.
   std::vector<std::vector<size_t>> by_shard(shards_.size());

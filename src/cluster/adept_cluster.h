@@ -47,6 +47,7 @@
 #include <utility>
 #include <vector>
 
+#include "cluster/shard_routing.h"
 #include "cluster/thread_pool.h"
 #include "core/adept.h"
 #include "core/adept_api.h"
@@ -83,8 +84,15 @@ class AdeptCluster : public AdeptApi {
       const ClusterOptions& options = {});
 
   // Rebuilds every shard from its snapshot + WAL tail. `options.shards`
-  // must match the writing cluster; a mismatch is detected (kCorruption)
-  // because recovered instance ids land on the wrong shard.
+  // may differ from the writing cluster: recovery probes the per-shard
+  // files on disk and, when the counts differ, performs the same
+  // redistribution as Resize() — surplus durable shards are drained as
+  // donors and retired, missing shards are created fresh with the
+  // replicated schema history, and every instance is moved to the shard
+  // the new routing assigns it (crash-window duplicates are deduped back
+  // to exactly one owner). kCorruption — naming the recovered and
+  // requested counts and the repair action — only when the durable state
+  // is damaged beyond redistribution.
   static Result<std::unique_ptr<AdeptCluster>> Recover(
       const ClusterOptions& options);
 
@@ -95,9 +103,24 @@ class AdeptCluster : public AdeptApi {
   // --- Partitioning ---------------------------------------------------------
 
   size_t shard_count() const { return shards_.size(); }
-  size_t ShardOf(InstanceId id) const {
-    return static_cast<size_t>((id.value() - 1) % shards_.size());
-  }
+  size_t ShardOf(InstanceId id) const { return routing_.OwnerOf(id); }
+  const ShardRouting& routing() const { return routing_; }
+
+  // --- Elastic resizing ------------------------------------------------------
+
+  // Repartitions the live cluster onto `new_shard_count` shards in place:
+  // quiesces, creates (grow) or retires (shrink) per-shard ".shard<k>"
+  // WAL/snapshot files, moves every instance the new routing places
+  // elsewhere via the WAL-logged export/import handover (at every crash
+  // point an instance is durable on at least one shard; recovery dedups
+  // the import-durable/evict-lost window back to exactly one owner),
+  // re-derives the shard-affine id allocators, and checkpoints the new
+  // topology. Existing work items — including claimed ones — keep their
+  // WorkItemId and owner: the worklist is keyed by instance id, which a
+  // move never changes. The caller must exclude concurrent facade calls
+  // for the duration (same contract as Recover); schema management is
+  // blocked internally via the schema lock.
+  Status Resize(int new_shard_count);
 
   // Direct shard access (tests, benchmarks, per-shard org/worklists). The
   // caller owns the synchronization story when mixing this with concurrent
@@ -114,6 +137,10 @@ class AdeptCluster : public AdeptApi {
 
   // Cluster-level organizational model backing Worklist(). Not internally
   // synchronized: populate users/roles before serving concurrent traffic.
+  // Durable: SaveSnapshot() persists it to "<wal_path>.org" and Recover()
+  // restores it (before the worklist rebuild). When no org file exists —
+  // the cluster never checkpointed — the historical contract applies:
+  // repopulate after Recover() in the same call order for stable ids.
   OrgModel& org() { return org_; }
   const OrgModel& org() const { return org_; }
 
@@ -287,6 +314,43 @@ class AdeptCluster : public AdeptApi {
   Result<InstanceId> CreateOnShard(size_t shard_index,
                                    const std::string& type_name,
                                    SchemaId schema);
+
+  // --- Resize machinery (quiescent; shared by Resize and Recover) -----------
+
+  // Copies the schema history of the first shard that has one into every
+  // shard whose repository is still empty (freshly created by a grow).
+  Status ReplicateSchemasToFreshShards(
+      const std::vector<std::unique_ptr<Shard>>& donors);
+  // Moves every instance the current routing_ places elsewhere to its
+  // owner: phase 1 imports at the destinations and waits until every
+  // import is durable, phase 2 evicts at the sources — so a durable evict
+  // always implies a durable import, and no crash point leaves an
+  // instance on zero shards. Destination-side duplicates (a crash between
+  // a durable import and its evict) are not re-imported, only evicted at
+  // the source. `donors` are drained completely.
+  Status MoveMisplacedInstances(
+      const std::vector<std::unique_ptr<Shard>>* donors);
+  // Recomputes every shard's next_seq under routing_; an instance still
+  // misplaced after redistribution is damage and yields the named
+  // resize error (`recovered_count` feeds the message).
+  Status DeriveShardAllocators(size_t recovered_count);
+
+  // kFailedPrecondition once a Resize() failed after it started moving
+  // state: the in-memory topology may disagree with the routing, so every
+  // routed call refuses instead of misrouting. Recover() (the durable
+  // state stays consistent — moves are WAL-logged) is the repair.
+  Status CheckTopology() const;
+
+  // --- Org-model persistence -------------------------------------------------
+
+  std::string OrgPath() const;
+  Status PersistOrg();
+  Status RestoreOrg();
+
+  // Body of SaveSnapshot() with schema_mu_ already held (Resize
+  // checkpoints while holding it): per-shard snapshots, org persistence,
+  // claim-journal compaction.
+  Status SaveSnapshotLocked();
   BatchResult ExecuteOpLocked(Shard& shard, size_t shard_index,
                               const BatchOp& op);
   size_t NextCreationShard() {
@@ -303,8 +367,13 @@ class AdeptCluster : public AdeptApi {
 
   ClusterOptions options_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  // The placement invariant (owner == (id-1) % N); swapped by Resize.
+  ShardRouting routing_{1};
   OrgModel org_;
   std::unique_ptr<WorklistService> worklist_;
+  // Everything registered via AddObserver(), so shards created by a later
+  // Resize() see the same observers as the original ones.
+  std::vector<InstanceObserver*> observers_;
   // Serializes schema-management fan-outs so every shard sees the identical
   // deploy/evolve/migrate sequence (identical SchemaId allocation). Also
   // taken by cross-shard reads (LatestVersion/Schema) so they never observe
@@ -313,6 +382,8 @@ class AdeptCluster : public AdeptApi {
   // Set when a fan-out failed part-way (shards now disagree on schema
   // state); all further schema management is refused. Guarded by schema_mu_.
   bool schema_poisoned_ = false;
+  // Set when a Resize() failed after the routing swap; see CheckTopology.
+  std::atomic<bool> topology_poisoned_{false};
   std::atomic<uint64_t> rr_{0};
   std::unique_ptr<WorkerPool> pool_;
 };

@@ -1,0 +1,68 @@
+// ShardRouting: the single source of the cluster's placement invariant.
+//
+// The owning shard of an instance is a pure function of its id:
+//
+//   OwnerOf(id) == (id - 1) % shards
+//
+// and ids are allocated shard-affinely (shard k issues k+1, k+1+N,
+// k+1+2N, ...), so no routing table exists and ownership is stable across
+// process restarts. That invariant is load-bearing in every layer that
+// touches instance ids — the cluster router, the id allocators, recovery's
+// misplacement detection, the per-shard durability file naming, and the
+// worklist's id-routed Start/Complete calls — which is why it lives behind
+// this one object instead of being re-spelled as `(id - 1) % n` at every
+// site. Elastic resizing (AdeptCluster::Resize, Recover with a different
+// shard count) is nothing but swapping one ShardRouting for another and
+// moving the instances the new function places elsewhere.
+
+#ifndef ADEPT_CLUSTER_SHARD_ROUTING_H_
+#define ADEPT_CLUSTER_SHARD_ROUTING_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/ids.h"
+
+namespace adept {
+
+class ShardRouting {
+ public:
+  explicit ShardRouting(size_t shards) : shards_(shards == 0 ? 1 : shards) {}
+
+  size_t shards() const { return shards_; }
+
+  // Owning shard of `id` under this shard count.
+  size_t OwnerOf(InstanceId id) const {
+    return static_cast<size_t>((id.value() - 1) % shards_);
+  }
+
+  bool Owns(size_t shard, InstanceId id) const {
+    return OwnerOf(id) == shard;
+  }
+
+  // The id shard `shard` issues for its local sequence number `seq`.
+  InstanceId IdFor(size_t shard, uint64_t seq) const {
+    return InstanceId(seq * shards_ + shard + 1);
+  }
+
+  // Inverse of IdFor for an id this routing places on OwnerOf(id).
+  uint64_t SeqOf(InstanceId id) const {
+    return (id.value() - 1 - OwnerOf(id)) / shards_;
+  }
+
+  // Per-shard durability file naming: shard k's WAL/snapshot live at
+  // "<base>.shard<k>" (empty base stays empty — durability disabled).
+  static std::string ShardSuffix(size_t shard) {
+    return ".shard" + std::to_string(shard);
+  }
+  static std::string PathFor(const std::string& base, size_t shard) {
+    return base.empty() ? base : base + ShardSuffix(shard);
+  }
+
+ private:
+  size_t shards_;
+};
+
+}  // namespace adept
+
+#endif  // ADEPT_CLUSTER_SHARD_ROUTING_H_

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <filesystem>
 
+#include "common/fs_util.h"
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "compliance/adhoc.h"
@@ -12,32 +13,6 @@
 namespace adept {
 
 namespace {
-
-Result<std::string> ReadFile(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return Status::NotFound("cannot open " + path);
-  std::string content;
-  char buffer[1 << 16];
-  size_t n;
-  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
-    content.append(buffer, n);
-  }
-  std::fclose(f);
-  return content;
-}
-
-Status WriteFileAtomic(const std::string& path, const std::string& content) {
-  std::string tmp = path + ".tmp";
-  std::FILE* f = std::fopen(tmp.c_str(), "wb");
-  if (f == nullptr) return Status::Corruption("cannot open " + tmp);
-  bool ok = std::fwrite(content.data(), 1, content.size(), f) == content.size();
-  ok = std::fclose(f) == 0 && ok;
-  if (!ok) return Status::Corruption("short write to " + tmp);
-  std::error_code ec;
-  std::filesystem::rename(tmp, path, ec);
-  if (ec) return Status::Corruption("rename failed: " + ec.message());
-  return Status::OK();
-}
 
 JsonValue WritesToJson(const std::vector<ProcessInstance::DataWrite>& writes) {
   JsonValue arr = JsonValue::MakeArray();
@@ -109,7 +84,7 @@ Result<std::unique_ptr<AdeptSystem>> AdeptSystem::Recover(
   if (!options.snapshot_path.empty() &&
       std::filesystem::exists(options.snapshot_path)) {
     ADEPT_ASSIGN_OR_RETURN(std::string content,
-                           ReadFile(options.snapshot_path));
+                           ReadFileToString(options.snapshot_path));
     ADEPT_ASSIGN_OR_RETURN(JsonValue json, JsonValue::Parse(content));
     ADEPT_RETURN_IF_ERROR(system->LoadSnapshotJson(json, &snapshot_lsn));
   }
@@ -457,6 +432,40 @@ Result<MigrationReport> AdeptSystem::MigrateToLatest(
 
 // --- Durability --------------------------------------------------------------
 
+Result<JsonValue> AdeptSystem::InstanceToJson(InstanceId id) const {
+  const ProcessInstance* instance = engine_.Find(id);
+  if (instance == nullptr) return Status::NotFound("no such instance");
+  ADEPT_ASSIGN_OR_RETURN(const InstanceStore::Record* record, store_.Get(id));
+  JsonValue ij = JsonValue::MakeObject();
+  ij.Set("id", JsonValue(id.value()));
+  ij.Set("base", JsonValue(record->base_schema.value()));
+  ij.Set("strategy", JsonValue(static_cast<int>(record->strategy)));
+  if (record->biased()) ij.Set("bias", record->bias.ToJson());
+  ij.Set("state", InstanceStateToJson(*instance));
+  return ij;
+}
+
+Status AdeptSystem::AdoptInstanceFromJson(const JsonValue& ij) {
+  InstanceId id(static_cast<uint64_t>(ij.Get("id").as_int()));
+  SchemaId base(static_cast<uint64_t>(ij.Get("base").as_int()));
+  auto strategy = static_cast<StorageStrategy>(ij.Get("strategy").as_int());
+  ADEPT_RETURN_IF_ERROR(store_.Register(id, base, strategy));
+  bool biased = ij.Has("bias");
+  if (biased) {
+    ADEPT_ASSIGN_OR_RETURN(Delta bias, Delta::FromJson(ij.Get("bias")));
+    ADEPT_RETURN_IF_ERROR(store_.AddBias(id, std::move(bias)).status());
+  }
+  ADEPT_ASSIGN_OR_RETURN(std::shared_ptr<const SchemaView> view,
+                         store_.ExecutionSchema(id));
+  auto adopted = engine_.AdoptInstance(id, view, base);
+  if (!adopted.ok()) {
+    (void)store_.Unregister(id);
+    return adopted.status();
+  }
+  (*adopted)->set_biased(biased);
+  return RestoreInstanceState(**adopted, ij.Get("state"));
+}
+
 JsonValue AdeptSystem::SnapshotToJson(uint64_t wal_lsn) const {
   JsonValue j = JsonValue::MakeObject();
   j.Set("format", JsonValue(1));
@@ -466,16 +475,8 @@ JsonValue AdeptSystem::SnapshotToJson(uint64_t wal_lsn) const {
   j.Set("repo", repository_.ToJson());
   JsonValue instances = JsonValue::MakeArray();
   for (InstanceId id : store_.Ids()) {
-    const ProcessInstance* instance = engine_.Find(id);
-    auto record = store_.Get(id);
-    if (instance == nullptr || !record.ok()) continue;
-    JsonValue ij = JsonValue::MakeObject();
-    ij.Set("id", JsonValue(id.value()));
-    ij.Set("base", JsonValue((*record)->base_schema.value()));
-    ij.Set("strategy", JsonValue(static_cast<int>((*record)->strategy)));
-    if ((*record)->biased()) ij.Set("bias", (*record)->bias.ToJson());
-    ij.Set("state", InstanceStateToJson(*instance));
-    instances.Append(std::move(ij));
+    auto ij = InstanceToJson(id);
+    if (ij.ok()) instances.Append(std::move(*ij));
   }
   j.Set("instances", std::move(instances));
   return j;
@@ -491,23 +492,40 @@ Status AdeptSystem::LoadSnapshotJson(const JsonValue& json,
   *wal_lsn = static_cast<uint64_t>(json.Get("wal_lsn").as_int());
   ADEPT_RETURN_IF_ERROR(repository_.LoadFromJson(json.Get("repo")));
   for (const JsonValue& ij : json.Get("instances").as_array()) {
-    InstanceId id(static_cast<uint64_t>(ij.Get("id").as_int()));
-    SchemaId base(static_cast<uint64_t>(ij.Get("base").as_int()));
-    auto strategy = static_cast<StorageStrategy>(ij.Get("strategy").as_int());
-    ADEPT_RETURN_IF_ERROR(store_.Register(id, base, strategy));
-    bool biased = ij.Has("bias");
-    if (biased) {
-      ADEPT_ASSIGN_OR_RETURN(Delta bias, Delta::FromJson(ij.Get("bias")));
-      ADEPT_RETURN_IF_ERROR(store_.AddBias(id, std::move(bias)).status());
-    }
-    ADEPT_ASSIGN_OR_RETURN(std::shared_ptr<const SchemaView> view,
-                           store_.ExecutionSchema(id));
-    ADEPT_ASSIGN_OR_RETURN(ProcessInstance * instance,
-                           engine_.AdoptInstance(id, view, base));
-    instance->set_biased(biased);
-    ADEPT_RETURN_IF_ERROR(RestoreInstanceState(*instance, ij.Get("state")));
+    ADEPT_RETURN_IF_ERROR(AdoptInstanceFromJson(ij));
   }
   return Status::OK();
+}
+
+// --- Cross-shard instance migration ------------------------------------------
+
+Result<JsonValue> AdeptSystem::ExportInstance(InstanceId id) const {
+  return InstanceToJson(id);
+}
+
+Status AdeptSystem::ImportInstance(const JsonValue& exported) {
+  ADEPT_RETURN_IF_ERROR(AdoptInstanceFromJson(exported));
+  JsonValue record = JsonValue::MakeObject();
+  record.Set("t", JsonValue("import"));
+  record.Set("inst", exported);
+  return Log(record);
+}
+
+Status AdeptSystem::EvictInstance(InstanceId id) {
+  ADEPT_RETURN_IF_ERROR(engine_.Remove(id));
+  (void)store_.Unregister(id);
+  JsonValue record = JsonValue::MakeObject();
+  record.Set("t", JsonValue("evict"));
+  record.Set("id", JsonValue(id.value()));
+  return Log(record);
+}
+
+Status AdeptSystem::ReplicateSchemas(const JsonValue& repo_json) {
+  ADEPT_RETURN_IF_ERROR(repository_.LoadFromJson(repo_json));
+  JsonValue record = JsonValue::MakeObject();
+  record.Set("t", JsonValue("repo"));
+  record.Set("repo", repo_json);
+  return Log(record);
 }
 
 Status AdeptSystem::SaveSnapshot() {
@@ -558,6 +576,20 @@ Status AdeptSystem::ApplyWalRecord(const JsonValue& record) {
                SchemaId(static_cast<uint64_t>(record.Get("schema").as_int())),
                InstanceId(static_cast<uint64_t>(record.Get("id").as_int())))
         .status();
+  }
+  if (type == "repo") {
+    return repository_.LoadFromJson(record.Get("repo"));
+  }
+  if (type == "import") {
+    return AdoptInstanceFromJson(record.Get("inst"));
+  }
+  if (type == "evict") {
+    // Tolerate an already-absent instance: an evict whose import side was
+    // checkpointed away replays against a shard that never re-created it.
+    InstanceId evicted(static_cast<uint64_t>(record.Get("id").as_int()));
+    if (engine_.Find(evicted) == nullptr) return Status::OK();
+    (void)store_.Unregister(evicted);
+    return engine_.Remove(evicted);
   }
   InstanceId id(static_cast<uint64_t>(record.Get("id").as_int()));
   NodeId node(static_cast<uint32_t>(record.Get("node").as_int()));

@@ -135,6 +135,37 @@ class AdeptSystem : public AdeptApi {
       const std::string& type_name,
       const MigrationOptions& options = {}) override;
 
+  // --- Cross-shard instance migration (cluster resize) -----------------------
+  //
+  // The cluster layer hands instances over between shards with these three
+  // calls (paper §distributed execution: instances migrate between servers
+  // as load and structure change). The move protocol is: Export on the
+  // source (pure read), Import on the destination (WAL-logged, waited
+  // durable), then Evict on the source (WAL-logged) — so at every crash
+  // point the instance is durable on at least one shard, and recovery
+  // dedups a both-sides window (import durable, evict lost) back to
+  // exactly one owner.
+
+  // Serializes the instance wholesale: base schema ref, storage strategy,
+  // bias delta, and full runtime state (marking, trace, data, loops).
+  Result<JsonValue> ExportInstance(InstanceId id) const;
+
+  // Adopts an exported instance under its original id. Fails
+  // kAlreadyExists when the id is live here; the base schema (and any
+  // bias) must resolve against this system's repository.
+  Status ImportInstance(const JsonValue& exported);
+
+  // Removes the instance from this system (engine + store). Fires no
+  // instance events: the work items of a moving instance must survive the
+  // handover untouched.
+  Status EvictInstance(InstanceId id);
+
+  // Adopts a full schema repository image (SchemaRepository::ToJson) into
+  // this system, which must not have deployed anything yet. WAL-logged.
+  // The cluster uses this to bring freshly created shards up to the
+  // cluster's identical-schema invariant before importing instances.
+  Status ReplicateSchemas(const JsonValue& repo_json);
+
   // --- Organization ----------------------------------------------------------
 
   OrgModel& org() { return org_; }
@@ -179,6 +210,10 @@ class AdeptSystem : public AdeptApi {
   Status ApplyWalRecord(const JsonValue& record);
   Result<InstanceId> CreateInstanceInternal(SchemaId schema_id,
                                             InstanceId forced_id);
+  // Per-instance (de)serialization shared by snapshots and the
+  // export/import handover: id, base schema ref, strategy, bias, state.
+  Result<JsonValue> InstanceToJson(InstanceId id) const;
+  Status AdoptInstanceFromJson(const JsonValue& ij);
   JsonValue SnapshotToJson(uint64_t wal_lsn) const;
   Status LoadSnapshotJson(const JsonValue& json, uint64_t* wal_lsn);
   // Reconciles worklists with engine truth after a migration (bias

@@ -85,4 +85,61 @@ Result<UserId> OrgModel::FindUser(const std::string& name) const {
   return Status::NotFound("no such user: " + name);
 }
 
+JsonValue OrgModel::ToJson() const {
+  JsonValue roles = JsonValue::MakeArray();
+  for (const auto& [id, name] : roles_) {
+    JsonValue rj = JsonValue::MakeObject();
+    rj.Set("id", JsonValue(id.value()));
+    rj.Set("name", JsonValue(name));
+    roles.Append(std::move(rj));
+  }
+  JsonValue users = JsonValue::MakeArray();
+  for (const auto& [id, user] : users_) {
+    JsonValue uj = JsonValue::MakeObject();
+    uj.Set("id", JsonValue(id.value()));
+    uj.Set("name", JsonValue(user.name));
+    JsonValue assigned = JsonValue::MakeArray();
+    for (RoleId role : user.roles) assigned.Append(JsonValue(role.value()));
+    uj.Set("roles", std::move(assigned));
+    users.Append(std::move(uj));
+  }
+  JsonValue j = JsonValue::MakeObject();
+  j.Set("roles", std::move(roles));
+  j.Set("users", std::move(users));
+  j.Set("next_user", JsonValue(next_user_));
+  j.Set("next_role", JsonValue(next_role_));
+  return j;
+}
+
+Status OrgModel::LoadFromJson(const JsonValue& json) {
+  if (!users_.empty() || !roles_.empty()) {
+    return Status::FailedPrecondition("org model is not empty");
+  }
+  if (!json.is_object()) return Status::Corruption("org json malformed");
+  for (const JsonValue& rj : json.Get("roles").as_array()) {
+    RoleId id(static_cast<uint32_t>(rj.Get("id").as_int()));
+    roles_.emplace(id, rj.Get("name").as_string());
+    next_role_ = std::max(next_role_, id.value() + 1);
+  }
+  for (const JsonValue& uj : json.Get("users").as_array()) {
+    UserId id(static_cast<uint32_t>(uj.Get("id").as_int()));
+    User user;
+    user.name = uj.Get("name").as_string();
+    for (const JsonValue& rj : uj.Get("roles").as_array()) {
+      RoleId role(static_cast<uint32_t>(rj.as_int()));
+      if (roles_.count(role) == 0) {
+        return Status::Corruption("org json assigns an unknown role");
+      }
+      user.roles.insert(role);
+    }
+    users_.emplace(id, std::move(user));
+    next_user_ = std::max(next_user_, id.value() + 1);
+  }
+  next_user_ = std::max(
+      next_user_, static_cast<uint32_t>(json.Get("next_user").as_int()));
+  next_role_ = std::max(
+      next_role_, static_cast<uint32_t>(json.Get("next_role").as_int()));
+  return Status::OK();
+}
+
 }  // namespace adept

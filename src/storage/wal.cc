@@ -276,6 +276,18 @@ Status WriteAheadLog::Truncate() {
   return Status::OK();
 }
 
+Status WriteAheadLog::RenameTo(const std::string& new_path) {
+  std::error_code ec;
+  std::filesystem::rename(path_, new_path, ec);
+  if (ec) {
+    return Status::Corruption(StrFormat("cannot rename WAL '%s' to '%s': %s",
+                                        path_.c_str(), new_path.c_str(),
+                                        ec.message().c_str()));
+  }
+  path_ = new_path;
+  return Status::OK();
+}
+
 Result<std::vector<WalRecord>> WriteAheadLog::ReadRecords(
     const std::string& path) {
   ADEPT_ASSIGN_OR_RETURN(WalScan scan, Scan(path));

@@ -1,6 +1,7 @@
 #include "storage/wal_writer.h"
 
 #include <algorithm>
+#include <filesystem>
 #include <utility>
 #include <vector>
 
@@ -80,6 +81,47 @@ Status WalWriter::Truncate() {
     durable_cv_.notify_all();
   }
   return st;
+}
+
+Status WalWriter::Rewrite(const std::vector<JsonValue>& records) {
+  std::unique_lock<std::mutex> lock(mu_);
+  // Drain exactly like Truncate: with the queue empty, no batch in flight,
+  // and mu_ held, the writer thread is parked and cannot touch log_.
+  durable_cv_.wait(lock,
+                   [&] { return (queue_.empty() && !writing_) || stopped_; });
+  if (!queue_.empty() || writing_) {
+    return Status::Corruption("WAL writer stopped with a pending backlog");
+  }
+  // Build the replacement under a temp name; the live file stays intact
+  // until the rename, so a crash at any point here loses nothing.
+  const std::string tmp = path_ + ".rewrite";
+  std::error_code ec;
+  std::filesystem::remove(tmp, ec);
+  if (ec) {
+    return Status::Corruption("cannot clear rewrite temp '" + tmp +
+                              "': " + ec.message());
+  }
+  auto replacement = WriteAheadLog::Open(tmp);
+  if (!replacement.ok()) return replacement.status();
+  uint64_t lsn = next_lsn_;
+  for (const JsonValue& record : records) {
+    Status st = (*replacement)->AppendFrame(++lsn, record.Dump());
+    if (!st.ok()) return st;
+  }
+  Status synced = (*replacement)->Sync(options_.sync);
+  if (!synced.ok()) return synced;
+  // The atomic swap: the replacement's open handle follows the inode to
+  // the live path, so it simply becomes the log.
+  ADEPT_RETURN_IF_ERROR((*replacement)->RenameTo(path_));
+  log_ = std::move(*replacement);
+  next_lsn_ = lsn;
+  // Every outstanding ticket is covered by the caller's replacement
+  // records (the exclusion contract), and a prior I/O failure is repaired
+  // by the fresh file.
+  error_ = Status::OK();
+  durable_lsn_ = next_lsn_;
+  durable_cv_.notify_all();
+  return Status::OK();
 }
 
 uint64_t WalWriter::last_enqueued_lsn() const {

@@ -29,6 +29,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "common/json.h"
 #include "common/status.h"
@@ -86,6 +87,18 @@ class WalWriter {
   // is durable. AdeptSystem satisfies both (single-threaded engine turn;
   // the cluster checkpoints under the shard lock).
   Status Truncate();
+
+  // Checkpoint compaction by replacement: drains the queue, then
+  // atomically swaps the log's contents for `records` (written to a
+  // "<path>.rewrite" temp file, synced per the configured SyncMode, and
+  // renamed over the live path — a crash mid-rewrite leaves the old file
+  // intact). The rewritten frames continue the existing LSN numbering, so
+  // outstanding WaitDurable tickets stay valid, and a success clears any
+  // sticky error. Same exclusion contract as Truncate: `records` must be
+  // the caller's authoritative replacement for everything logged so far,
+  // and no concurrent Enqueue/Append may run. The worklist service uses
+  // this to rewrite its claim journal as one record per live claim.
+  Status Rewrite(const std::vector<JsonValue>& records);
 
   const std::string& path() const { return path_; }
   SyncMode sync_mode() const { return options_.sync; }

@@ -547,6 +547,28 @@ WorklistStats WorklistService::Stats() const {
   return stats;
 }
 
+// --- Checkpointing -----------------------------------------------------------
+
+Status WorklistService::CompactJournal() {
+  if (journal_ == nullptr) return Status::OK();
+  // Quiesce the claim lifecycle: with every segment lock held no journal
+  // record can be enqueued (all enqueues run under an item's segment
+  // lock), so the live-claim sweep and the rewrite see the same state.
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(item_segments_.size());
+  for (auto& seg : item_segments_) locks.emplace_back(seg->mu);
+  std::vector<JsonValue> records;
+  for (const auto& seg : item_segments_) {
+    for (const auto& [_, item] : seg->items) {
+      if (!CarriesClaim(item)) continue;
+      records.push_back(JournalRecord(
+          item.state == WorkItemState::kStarted ? "start" : "claim",
+          item.instance, item.node, item.claimed_by, item.epoch));
+    }
+  }
+  return journal_->Rewrite(records);
+}
+
 // --- Event subscription ------------------------------------------------------
 
 void WorklistService::OnNodeStateChange(const ProcessInstance& instance,

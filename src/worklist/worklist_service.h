@@ -155,6 +155,16 @@ class WorklistService : public InstanceObserver {
 
   WorklistStats Stats() const;
 
+  // --- Checkpointing --------------------------------------------------------
+
+  // Rewrites the claim journal as one record per live claim (claimed →
+  // "claim", started → "start"), bounding the file at O(live claims)
+  // instead of O(total claim history). Runs under quiescence — every item
+  // segment lock is held — and swaps the file atomically (temp + rename),
+  // so a crash mid-compaction keeps the full journal. AdeptCluster calls
+  // this from SaveSnapshot(); safe (and a no-op) without a journal.
+  Status CompactJournal();
+
   // --- Adaptation hooks -----------------------------------------------------
 
   // Reconciles the worklist with engine truth after a migration fan-out:

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <filesystem>
 #include <set>
@@ -362,19 +363,42 @@ TEST(AdeptClusterTest, RecoverRestoresAllShards) {
   }
 }
 
-TEST(AdeptClusterTest, RecoverRejectsShardCountMismatch) {
+// Recovering with a different shard count is the supported resize path
+// (formerly a kCorruption dead end): instances are redistributed onto the
+// requested routing and the surplus shard files are retired.
+TEST(AdeptClusterTest, RecoverWithDifferentShardCountRedistributes) {
   TempDir dir;
+  std::vector<InstanceId> ids;
   {
     auto cluster = AdeptCluster::Create(DurableOptions(dir, 4));
     ASSERT_TRUE(cluster.ok());
     ASSERT_TRUE((*cluster)->DeployProcessType(SequenceSchema(2)).ok());
     for (int i = 0; i < 8; ++i) {
-      ASSERT_TRUE((*cluster)->CreateInstance("seq").ok());
+      auto id = (*cluster)->CreateInstance("seq");
+      ASSERT_TRUE(id.ok());
+      ids.push_back(*id);
     }
   }
   auto resized = AdeptCluster::Recover(DurableOptions(dir, 3));
-  EXPECT_FALSE(resized.ok());
-  EXPECT_EQ(resized.status().code(), StatusCode::kCorruption);
+  ASSERT_TRUE(resized.ok()) << resized.status();
+  EXPECT_EQ((*resized)->shard_count(), 3u);
+  for (InstanceId id : ids) {
+    size_t owner = (*resized)->ShardOf(id);
+    EXPECT_EQ(owner, (id.value() - 1) % 3);
+    for (size_t s = 0; s < 3; ++s) {
+      EXPECT_EQ((*resized)->shard(s).Instance(id) != nullptr, s == owner);
+    }
+  }
+  // The retired shard's files are gone.
+  EXPECT_FALSE(std::filesystem::exists(dir.File("cluster.wal.shard3")));
+  EXPECT_FALSE(std::filesystem::exists(dir.File("cluster.snapshot.shard3")));
+  // Post-resize id allocation continues without collisions.
+  for (int i = 0; i < 9; ++i) {
+    auto fresh = (*resized)->CreateInstance("seq");
+    ASSERT_TRUE(fresh.ok()) << fresh.status();
+    EXPECT_EQ(std::count(ids.begin(), ids.end(), *fresh), 0);
+    ids.push_back(*fresh);
+  }
 }
 
 TEST(AdeptClusterTest, MigrationFansOutAndMergesReports) {

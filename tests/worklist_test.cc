@@ -473,5 +473,81 @@ TEST_F(WorklistServiceTest, AdHocDeletionRetractsClaimedItem) {
   ASSERT_EQ(worklist.OffersFor(bob_).size(), 1u);
 }
 
+// The claim journal must not grow without bound: each checkpoint rewrites
+// it as one record per live claim, so after N cycles of claim/complete
+// churn its size is O(live claims), not O(total claim history).
+TEST_F(WorklistServiceTest, JournalCompactionBoundsFileAtLiveClaims) {
+  TempDir dir;
+  ClusterOptions options;
+  options.shards = 2;
+  options.wal_path = dir.File("cluster.wal");
+  options.snapshot_path = dir.File("cluster.snapshot");
+  const std::string journal = options.wal_path + ".worklist";
+
+  auto cluster = AdeptCluster::Create(options);
+  ASSERT_TRUE(cluster.ok());
+  Init(**cluster);
+  WorklistService& worklist = (*cluster)->Worklist();
+
+  // A full claim cycle for one user on the instance's currently offered
+  // activity: claim -> start -> complete.
+  auto run_cycle = [&](InstanceId id, UserId user) {
+    WorkItemId item;
+    bool found = false;
+    for (const WorkItem& offer : worklist.OffersFor(user)) {
+      if (offer.instance == id) {
+        item = offer.id;
+        found = true;
+      }
+    }
+    ASSERT_TRUE(found) << "no offer for instance " << id;
+    ASSERT_TRUE(worklist.Claim(item, user).ok());
+    ASSERT_TRUE(worklist.Start(item, user).ok());
+    ASSERT_TRUE(worklist.Complete(item, user).ok());
+  };
+
+  // 10 checkpointed churn cycles; every claim closes within its cycle.
+  for (int cycle = 0; cycle < 10; ++cycle) {
+    InstanceId id = *(*cluster)->CreateInstance("wl_proc");
+    run_cycle(id, alice_);  // prepare (clerk)
+    run_cycle(id, bob_);    // execute (packer)
+    ASSERT_TRUE((*cluster)->SaveSnapshot().ok());
+    // Bounded after every checkpoint: no live claims -> no records, even
+    // though 4+ lifecycle records were journaled during the cycle.
+    auto compacted = WriteAheadLog::ReadRecords(journal);
+    ASSERT_TRUE(compacted.ok());
+    EXPECT_EQ(compacted->size(), 0u) << "cycle " << cycle;
+  }
+
+  // With live claims the compacted journal holds exactly one record each.
+  InstanceId open1 = *(*cluster)->CreateInstance("wl_proc");
+  InstanceId open2 = *(*cluster)->CreateInstance("wl_proc");
+  std::map<uint64_t, WorkItemId> by_instance;
+  for (const WorkItem& offer : worklist.OffersFor(alice_)) {
+    by_instance[offer.instance.value()] = offer.id;
+  }
+  ASSERT_TRUE(worklist.Claim(by_instance[open1.value()], alice_).ok());
+  ASSERT_TRUE(worklist.Claim(by_instance[open2.value()], carol_).ok());
+  ASSERT_TRUE(worklist.Start(by_instance[open2.value()], carol_).ok());
+  ASSERT_TRUE((*cluster)->SaveSnapshot().ok());
+  auto compacted = WriteAheadLog::ReadRecords(journal);
+  ASSERT_TRUE(compacted.ok());
+  EXPECT_EQ(compacted->size(), 2u);
+
+  // The compacted journal still recovers claims with owner and state.
+  cluster->reset();
+  auto recovered = AdeptCluster::Recover(options);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  WorklistService& recovered_worklist = (*recovered)->Worklist();
+  auto alice_assigned = recovered_worklist.AssignedTo(alice_);
+  ASSERT_EQ(alice_assigned.size(), 1u);
+  EXPECT_EQ(alice_assigned[0].instance, open1);
+  EXPECT_EQ(alice_assigned[0].state, WorkItemState::kClaimed);
+  auto carol_assigned = recovered_worklist.AssignedTo(carol_);
+  ASSERT_EQ(carol_assigned.size(), 1u);
+  EXPECT_EQ(carol_assigned[0].instance, open2);
+  EXPECT_EQ(carol_assigned[0].state, WorkItemState::kStarted);
+}
+
 }  // namespace
 }  // namespace adept
