@@ -10,16 +10,34 @@
 //   BM_ClusterResize           elastic repartitioning cost: moving the
 //                              whole population through the WAL-logged
 //                              export/import handover (2 -> N -> 2)
+//   BM_ClusterReadThroughput   lock-free snapshot reads (SnapshotOf),
+//                              1/2/4/8 reader threads x 0/1 background
+//                              writers — the read path under test must
+//                              scale with readers and not collapse when a
+//                              writer holds the shard mutexes
+//   BM_ClusterWithInstanceRead the pre-snapshot baseline: the same read
+//                              load through WithInstance, which serializes
+//                              on the owning shard's mutex behind writers
+//   BM_ClusterMixedReadWrite   90/10 read/write per thread — the paper's
+//                              read-dominated monitoring + worklist load
 //
-// Expected shape: throughput grows with the shard count up to the core
-// count (per-instance ADEPT semantics are untouched; shards share nothing).
-// The 1-shard runs are the single-engine baseline, so speedup(N) =
-// items_per_second(N) / items_per_second(1).
+// Expected shape: batch throughput grows with the shard count up to the
+// core count; snapshot-read throughput grows with the reader count (and
+// with 1 writer stays far above the WithInstance baseline, which
+// serializes every read behind the writer's engine turns). The 1-shard /
+// 1-reader runs are the baselines for both speedup curves.
 //
 // Emit machine-readable results like every other bench:
 //   ./build/bench_cluster_scaling --benchmark_format=json
+// The CI job uploads the read-path subset as BENCH_read.json:
+//   --benchmark_filter='BM_Cluster(Read|WithInstanceRead|MixedReadWrite)'
 
 #include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <unordered_map>
 
 #include "bench/bench_util.h"
 #include "cluster/adept_cluster.h"
@@ -67,15 +85,12 @@ void BM_ClusterBatchThroughput(benchmark::State& state) {
     benchmark::DoNotOptimize(results.data());
     executed += results.size();
 
-    // Recycle finished instances outside the timed region. WithInstance
-    // reads under the owning shard's lock (the race-free idiom even though
-    // the pool is idle between batches).
+    // Recycle finished instances outside the timed region, via the
+    // lock-free snapshot read path.
     state.PauseTiming();
     for (InstanceId& id : ids) {
-      bool finished = false;
-      Status st = cluster->WithInstance(
-          id, [&](const ProcessInstance& inst) { finished = inst.Finished(); });
-      if (st.ok() && !finished) continue;
+      auto snapshot = cluster->SnapshotOf(id);
+      if (snapshot != nullptr && !snapshot->finished) continue;
       auto fresh = cluster->CreateInstance("scaled_cluster");
       if (fresh.ok()) id = *fresh;
     }
@@ -167,6 +182,203 @@ BENCHMARK(BM_ClusterResize)
     ->Arg(4)
     ->Arg(8)
     ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// --- Read-path scaling -------------------------------------------------------
+//
+// Shared environment for the read benchmarks: a 4-shard cluster with two
+// populations on the same shards — `read_ids` (the benchmark threads'
+// stable read targets) and `write_ids` (a background writer's churn).
+// With writers=1 the writer continuously takes the shard mutexes through
+// DriveStep; snapshot readers must not care, WithInstance readers queue
+// behind it.
+struct ReadBenchEnv {
+  std::unique_ptr<AdeptCluster> cluster;
+  std::vector<InstanceId> read_ids;
+  std::vector<InstanceId> write_ids;
+  std::thread writer;
+  std::atomic<bool> stop{false};
+};
+ReadBenchEnv* g_read_env = nullptr;
+
+void SetUpReadBench(const benchmark::State& state) {
+  auto env = new ReadBenchEnv;
+  ClusterOptions options;
+  options.shards = 4;
+  options.driver.seed = 42;
+  auto cluster = AdeptCluster::Create(options);
+  if (!cluster.ok()) {
+    delete env;
+    return;
+  }
+  env->cluster = std::move(*cluster);
+  auto schema = bench::ScaledSchema(48, /*seed=*/7, "scaled_cluster");
+  if (!env->cluster->DeployProcessType(schema).ok()) {
+    delete env;
+    return;
+  }
+  std::vector<AdeptCluster::BatchOp> creates(
+      2 * kPopulation, AdeptCluster::BatchOp::Create("scaled_cluster"));
+  auto created = env->cluster->SubmitBatch(creates);
+  for (size_t i = 0; i < created.size(); ++i) {
+    if (!created[i].status.ok()) {
+      delete env;
+      return;
+    }
+    (i % 2 == 0 ? env->read_ids : env->write_ids).push_back(created[i].id);
+  }
+  if (state.range(0) == 1) {
+    env->writer = std::thread([env] {
+      SimulationDriver driver({.seed = 7, .loop_continue_probability = 0.8});
+      size_t i = 0;
+      while (!env->stop.load(std::memory_order_relaxed)) {
+        InstanceId& id = env->write_ids[i++ % env->write_ids.size()];
+        auto progressed = env->cluster->DriveStep(id, driver);
+        if (progressed.ok() && *progressed) continue;
+        // Recycle finished instances (write_ids is writer-owned) so the
+        // write load never decays to lock-only no-ops.
+        auto fresh = env->cluster->CreateInstance("scaled_cluster");
+        if (fresh.ok()) id = *fresh;
+      }
+    });
+  }
+  g_read_env = env;
+}
+
+void TearDownReadBench(const benchmark::State&) {
+  if (g_read_env == nullptr) return;
+  g_read_env->stop.store(true, std::memory_order_release);
+  if (g_read_env->writer.joinable()) g_read_env->writer.join();
+  delete g_read_env;
+  g_read_env = nullptr;
+}
+
+// Lock-free snapshot reads; ->Threads(N) are the concurrent readers,
+// Arg(0/1) toggles the background writer.
+void BM_ClusterReadThroughput(benchmark::State& state) {
+  if (g_read_env == nullptr) {
+    state.SkipWithError("read bench setup failed");
+    return;
+  }
+  const std::vector<InstanceId>& ids = g_read_env->read_ids;
+  size_t i = static_cast<size_t>(state.thread_index());
+  for (auto _ : state) {
+    auto snapshot = g_read_env->cluster->SnapshotOf(ids[i++ % ids.size()]);
+    benchmark::DoNotOptimize(snapshot);
+    if (snapshot != nullptr) {
+      benchmark::DoNotOptimize(snapshot->completed_total);
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["readers"] = benchmark::Counter(
+      state.threads(), benchmark::Counter::kAvgThreads);
+  state.counters["writers"] = benchmark::Counter(
+      static_cast<double>(state.range(0)), benchmark::Counter::kAvgThreads);
+}
+BENCHMARK(BM_ClusterReadThroughput)
+    ->Setup(SetUpReadBench)
+    ->Teardown(TearDownReadBench)
+    ->Arg(0)
+    ->Arg(1)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->Threads(8)
+    ->Unit(benchmark::kMicrosecond)
+    ->UseRealTime();
+
+// The pre-snapshot baseline: identical load through WithInstance, which
+// takes the owning shard's mutex per read and therefore serializes
+// against the writer (and against other readers of the same shard).
+void BM_ClusterWithInstanceRead(benchmark::State& state) {
+  if (g_read_env == nullptr) {
+    state.SkipWithError("read bench setup failed");
+    return;
+  }
+  const std::vector<InstanceId>& ids = g_read_env->read_ids;
+  size_t i = static_cast<size_t>(state.thread_index());
+  for (auto _ : state) {
+    bool finished = false;
+    Status st = g_read_env->cluster->WithInstance(
+        ids[i++ % ids.size()],
+        [&](const ProcessInstance& inst) { finished = inst.Finished(); });
+    benchmark::DoNotOptimize(st);
+    benchmark::DoNotOptimize(finished);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["readers"] = benchmark::Counter(
+      state.threads(), benchmark::Counter::kAvgThreads);
+  state.counters["writers"] = benchmark::Counter(
+      static_cast<double>(state.range(0)), benchmark::Counter::kAvgThreads);
+}
+BENCHMARK(BM_ClusterWithInstanceRead)
+    ->Setup(SetUpReadBench)
+    ->Teardown(TearDownReadBench)
+    ->Arg(0)
+    ->Arg(1)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->Threads(8)
+    ->Unit(benchmark::kMicrosecond)
+    ->UseRealTime();
+
+// 90/10 read/write mix per thread — worklist polling plus occasional
+// activity completion, the paper's interactive monitoring workload. Each
+// thread writes only its own instance slice (i % threads == thread_index),
+// so write conflicts are benchmark-free while reads roam the whole
+// population.
+void BM_ClusterMixedReadWrite(benchmark::State& state) {
+  if (g_read_env == nullptr) {
+    state.SkipWithError("read bench setup failed");
+    return;
+  }
+  const std::vector<InstanceId>& reads = g_read_env->read_ids;
+  const std::vector<InstanceId>& writes = g_read_env->write_ids;
+  SimulationDriver driver(
+      {.seed = 1000 + static_cast<uint64_t>(state.thread_index()),
+       .loop_continue_probability = 0.8});
+  size_t i = static_cast<size_t>(state.thread_index());
+  size_t writes_done = 0;
+  // Per-thread replacements for finished write targets: the write load
+  // must stay a real engine turn, and threads never touch each other's
+  // slots (slot ownership is i % threads == thread_index).
+  std::unordered_map<size_t, InstanceId> recycled;
+  for (auto _ : state) {
+    ++i;
+    if (i % 10 == 0) {
+      size_t slot = ((i / 10) % (writes.size() / state.threads())) *
+                        state.threads() +
+                    static_cast<size_t>(state.thread_index());
+      auto it = recycled.find(slot);
+      InstanceId id = it != recycled.end() ? it->second : writes[slot];
+      auto progressed = g_read_env->cluster->DriveStep(id, driver);
+      benchmark::DoNotOptimize(progressed);
+      if (!progressed.ok() || !*progressed) {
+        auto fresh = g_read_env->cluster->CreateInstance("scaled_cluster");
+        if (fresh.ok()) recycled[slot] = *fresh;
+      }
+      ++writes_done;
+    } else {
+      auto snapshot = g_read_env->cluster->SnapshotOf(reads[i % reads.size()]);
+      benchmark::DoNotOptimize(snapshot);
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["writes"] = benchmark::Counter(
+      static_cast<double>(writes_done));
+  state.counters["readers"] = benchmark::Counter(
+      state.threads(), benchmark::Counter::kAvgThreads);
+}
+BENCHMARK(BM_ClusterMixedReadWrite)
+    ->Setup(SetUpReadBench)
+    ->Teardown(TearDownReadBench)
+    ->Arg(0)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->Threads(8)
+    ->Unit(benchmark::kMicrosecond)
     ->UseRealTime();
 
 }  // namespace

@@ -1,30 +1,45 @@
 // WAL durability scaling: appenders × sync mode ("async durability"
 // trajectory).
 //
-//   BM_WalPerAppendSync  baseline: one mutex-serialized WriteAheadLog and
-//                        one Sync per append — the discipline the engine
-//                        used before group commit (every shard-locked
-//                        append flushed on its own)
-//   BM_WalGroupCommit    WalWriter: appenders enqueue + WaitDurable; the
-//                        background thread coalesces every concurrent
-//                        append into a single write burst + one Sync
+//   BM_WalPerAppendSync   baseline: one mutex-serialized WriteAheadLog and
+//                         one Sync per append — the discipline the engine
+//                         used before group commit (every shard-locked
+//                         append flushed on its own)
+//   BM_WalGroupCommit     WalWriter: appenders enqueue + WaitDurable; the
+//                         first waiter leads the batch inline (leader-
+//                         based group commit), coalescing every concurrent
+//                         append into a single write burst + one Sync
+//   BM_WalFlushCrossover  the low-appender-count crossover, measured
+//                         head-to-head in one run: per iteration it times
+//                         the same kFlush append load through both
+//                         disciplines and reports the speedup. With the
+//                         old writer-thread handoff, group commit paid two
+//                         context switches per append and lost below ~4
+//                         appenders on one core; leader commit runs the
+//                         solo append entirely on the caller's thread, so
+//                         the speedup should be >= ~1 from 1 appender up.
 //
 // Arg(0) selects the SyncMode (0 none, 1 flush, 2 fsync); ->Threads(N)
-// sets the number of concurrent appenders. Expected shape: identical at
-// one appender (nothing to coalesce, the ticket round trip is overhead),
-// group commit pulling ahead as appenders grow on the durable modes
-// (kFlush/kFsync), because N syncs collapse into one per batch.
+// sets the number of concurrent appenders. Expected shape: comparable at
+// one appender (leader commit = append + flush inline), group commit
+// pulling ahead as appenders grow on the durable modes (kFlush/kFsync),
+// because N syncs collapse into one per batch.
 //
 // Emit machine-readable results like every other bench:
 //   ./build/bench_wal_throughput --benchmark_format=json
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "common/json.h"
 #include "storage/wal.h"
@@ -143,6 +158,101 @@ BENCHMARK(BM_WalGroupCommit)
     ->Threads(8)
     ->Unit(benchmark::kMicrosecond)
     ->UseRealTime();
+
+// --- The kFlush crossover, head-to-head --------------------------------------
+
+// Runs `appenders` threads each performing `ops` calls of `append`,
+// returning the wall time of the whole run. A start gate keeps thread
+// spawn cost out of the measured window.
+double TimedAppendRun(int appenders, int ops,
+                      const std::function<void()>& append) {
+  std::atomic<bool> go{false};
+  std::atomic<int> ready{0};
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(appenders));
+  for (int t = 0; t < appenders; ++t) {
+    threads.emplace_back([&] {
+      ready.fetch_add(1, std::memory_order_acq_rel);
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (int k = 0; k < ops; ++k) append();
+    });
+  }
+  while (ready.load(std::memory_order_acquire) < appenders) {
+    std::this_thread::yield();
+  }
+  auto begin = std::chrono::steady_clock::now();
+  go.store(true, std::memory_order_release);
+  for (auto& thread : threads) thread.join();
+  auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(end - begin).count();
+}
+
+// One iteration = the same kFlush append load pushed through the
+// per-append-sync baseline and through the leader-commit WalWriter; the
+// reported (manual) time is the group-commit side, the counters carry
+// both throughputs and the speedup. Arg(0) = appender count — the
+// interesting region is 1..4, where the old writer-thread handoff kept
+// group commit behind plain flushing on one core.
+void BM_WalFlushCrossover(benchmark::State& state) {
+  const int appenders = static_cast<int>(state.range(0));
+  const int kOps = 256;
+  const JsonValue record = SampleRecord();
+  double per_append_seconds = 0;
+  double group_seconds = 0;
+  size_t total_ops = 0;
+  for (auto _ : state) {
+    const std::string base_path = BenchPath("adept_bench_wal_crossover");
+    std::remove((base_path + ".baseline").c_str());
+    std::remove((base_path + ".group").c_str());
+    double per_append = 0;
+    {
+      auto log = WriteAheadLog::Open(base_path + ".baseline");
+      if (!log.ok()) {
+        state.SkipWithError("baseline WAL setup failed");
+        return;
+      }
+      std::mutex mu;
+      per_append = TimedAppendRun(appenders, kOps, [&] {
+        std::lock_guard<std::mutex> lock(mu);
+        (void)(*log)->Append(record);
+        (void)(*log)->Sync(SyncMode::kFlush);
+      });
+    }
+    double group = 0;
+    {
+      WalWriterOptions options;
+      options.sync = SyncMode::kFlush;
+      auto writer = WalWriter::Open(base_path + ".group", options);
+      if (!writer.ok()) {
+        state.SkipWithError("WalWriter setup failed");
+        return;
+      }
+      group = TimedAppendRun(appenders, kOps,
+                             [&] { (void)(*writer)->Append(record); });
+    }
+    std::remove((base_path + ".baseline").c_str());
+    std::remove((base_path + ".group").c_str());
+    per_append_seconds += per_append;
+    group_seconds += group;
+    total_ops += static_cast<size_t>(appenders) * kOps;
+    state.SetIterationTime(group);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(total_ops));
+  state.counters["appenders"] = appenders;
+  state.counters["per_append_ops_per_s"] =
+      per_append_seconds > 0 ? total_ops / per_append_seconds : 0;
+  state.counters["group_ops_per_s"] =
+      group_seconds > 0 ? total_ops / group_seconds : 0;
+  // > 1: leader-based group commit beats per-append flushing.
+  state.counters["group_speedup"] =
+      group_seconds > 0 ? per_append_seconds / group_seconds : 0;
+}
+BENCHMARK(BM_WalFlushCrossover)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseManualTime();
 
 }  // namespace
 }  // namespace adept

@@ -55,13 +55,13 @@ int main() {
   std::cout << RenderSchema(**schema) << "\n";
 
   // 5. Create and run one instance, pulling work from worklists. Reads go
-  // through WithInstance — race-free on any AdeptApi implementation.
+  // through the published snapshot (ReadInstance/SnapshotOf) — lock-free
+  // and race-free on any AdeptApi implementation; monitoring never blocks
+  // the engine.
   InstanceId instance = *adept.CreateInstance("online_order");
   auto finished = [&] {
-    bool done = false;
-    (void)adept.WithInstance(
-        instance, [&](const ProcessInstance& i) { done = i.Finished(); });
-    return done;
+    auto snapshot = adept.SnapshotOf(instance);
+    return snapshot != nullptr && snapshot->finished;
   };
   int step = 0;
   while (!finished()) {
@@ -74,8 +74,8 @@ int main() {
       (void)adept.StartActivity(instance, item.node);
       Status done = adept.CompleteActivity(instance, item.node);
       std::string name = "?";
-      (void)adept.WithInstance(instance, [&](const ProcessInstance& i) {
-        const Node* node = i.schema().FindNode(item.node);
+      (void)adept.ReadInstance(instance, [&](const InstanceSnapshot& s) {
+        const Node* node = s.schema->FindNode(item.node);
         if (node != nullptr) name = node->name;
       });
       std::printf("step %d: %-8s completes '%s' (%s)\n", ++step,
@@ -86,9 +86,9 @@ int main() {
     if (!worked) break;
   }
 
-  (void)adept.WithInstance(instance, [&](const ProcessInstance& i) {
-    std::cout << "\n" << RenderInstance(i);
-    std::cout << "\ninstance finished: " << (i.Finished() ? "yes" : "no")
+  (void)adept.ReadInstance(instance, [&](const InstanceSnapshot& s) {
+    std::cout << "\n" << RenderInstance(s);
+    std::cout << "\ninstance finished: " << (s.finished ? "yes" : "no")
               << "\n";
   });
   return 0;

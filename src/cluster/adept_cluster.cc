@@ -176,7 +176,7 @@ Result<std::unique_ptr<AdeptCluster>> AdeptCluster::Build(
   std::unique_ptr<AdeptCluster> cluster(new AdeptCluster(options));
   cluster->routing_ = ShardRouting(static_cast<size_t>(options.shards));
   for (int i = 0; i < options.shards; ++i) {
-    auto shard = std::make_unique<Shard>();
+    auto shard = std::make_shared<Shard>();
     ADEPT_ASSIGN_OR_RETURN(shard->system,
                            make_system(ShardOptions(options, i)));
     ADEPT_ASSIGN_OR_RETURN(shard->driver, MakeShardDriver(options, i));
@@ -189,6 +189,7 @@ Result<std::unique_ptr<AdeptCluster>> AdeptCluster::Build(
                      static_cast<size_t>(
                          std::max(1u, std::thread::hardware_concurrency())));
   cluster->pool_ = std::make_unique<WorkerPool>(threads);
+  cluster->PublishReadView();
   return cluster;
 }
 
@@ -277,9 +278,9 @@ Result<std::unique_ptr<AdeptCluster>> AdeptCluster::Recover(
 
   // Shrink: durable shards beyond the requested count become donors —
   // recovered in full, drained below, retired afterwards.
-  std::vector<std::unique_ptr<Shard>> donors;
+  std::vector<std::shared_ptr<Shard>> donors;
   for (size_t k = requested; k < on_disk; ++k) {
-    auto donor = std::make_unique<Shard>();
+    auto donor = std::make_shared<Shard>();
     auto system = AdeptSystem::Recover(ShardOptions(options, k));
     if (!system.ok()) {
       return ResizeError(recorded, requested,
@@ -335,7 +336,7 @@ Result<std::unique_ptr<AdeptCluster>> AdeptCluster::Recover(
 }
 
 Status AdeptCluster::ReplicateSchemasToFreshShards(
-    const std::vector<std::unique_ptr<Shard>>& donors) {
+    const std::vector<std::shared_ptr<Shard>>& donors) {
   AdeptSystem* reference = nullptr;
   for (auto& shard_ptr : shards_) {
     if (shard_ptr->system->repository().size() > 0) {
@@ -360,7 +361,7 @@ Status AdeptCluster::ReplicateSchemasToFreshShards(
 }
 
 Status AdeptCluster::MoveMisplacedInstances(
-    const std::vector<std::unique_ptr<Shard>>* donors) {
+    const std::vector<std::shared_ptr<Shard>>* donors) {
   struct Move {
     AdeptSystem* src;
     AdeptSystem* dst;
@@ -393,7 +394,7 @@ Status AdeptCluster::MoveMisplacedInstances(
   // to the evict.
   std::set<AdeptSystem*> dirty;
   for (const Move& move : moves) {
-    if (move.dst->Instance(move.id) != nullptr) continue;
+    if (move.dst->engine().Find(move.id) != nullptr) continue;
     ADEPT_ASSIGN_OR_RETURN(JsonValue exported,
                            move.src->ExportInstance(move.id));
     ADEPT_RETURN_IF_ERROR(move.dst->ImportInstance(exported));
@@ -566,11 +567,11 @@ Result<InstanceId> AdeptCluster::CreateInstanceOn(SchemaId schema) {
   return CreateOnShard(NextCreationShard(), std::string(), schema);
 }
 
-const ProcessInstance* AdeptCluster::Instance(InstanceId id) const {
+const ProcessInstance* AdeptCluster::InstanceImpl(InstanceId id) const {
   if (!id.valid()) return nullptr;
   const Shard& shard = *shards_[ShardOf(id)];
   std::lock_guard<std::mutex> lock(shard.mu);
-  return shard.system->Instance(id);
+  return shard.system->engine().Find(id);
 }
 
 Status AdeptCluster::WithInstance(
@@ -579,7 +580,7 @@ Status AdeptCluster::WithInstance(
   if (!id.valid()) return Status::NotFound("invalid instance id");
   const Shard& shard = *shards_[ShardOf(id)];
   std::lock_guard<std::mutex> lock(shard.mu);
-  const ProcessInstance* instance = shard.system->Instance(id);
+  const ProcessInstance* instance = shard.system->engine().Find(id);
   if (instance == nullptr) return Status::NotFound("no such instance");
   fn(*instance);
   return Status::OK();
@@ -591,9 +592,96 @@ void AdeptCluster::ForEachInstance(
     const Shard& shard = *shard_ptr;
     std::lock_guard<std::mutex> lock(shard.mu);
     for (InstanceId id : shard.system->engine().InstanceIds()) {
-      const ProcessInstance* instance = shard.system->Instance(id);
+      const ProcessInstance* instance = shard.system->engine().Find(id);
       if (instance != nullptr) fn(*instance);
     }
+  }
+}
+
+// --- Lock-free read path -----------------------------------------------------
+
+void AdeptCluster::PublishReadView() {
+  auto view = std::make_unique<ReadView>();
+  view->routing = routing_;
+  view->systems.reserve(shards_.size());
+  for (const auto& shard_ptr : shards_) {
+    view->systems.push_back(shard_ptr->system.get());
+  }
+  old_views_.push_back(std::move(view));
+  read_view_.store(old_views_.back().get(), std::memory_order_release);
+}
+
+Result<std::shared_ptr<const InstanceSnapshot>> AdeptCluster::FindSnapshot(
+    InstanceId id) const {
+  if (!id.valid()) return Status::NotFound("invalid instance id");
+  for (;;) {
+    // Poison beats retry: a failed resize leaves the epoch odd forever.
+    ADEPT_RETURN_IF_ERROR(CheckTopology());
+    const uint64_t before = read_epoch_.load(std::memory_order_acquire);
+    const ReadView* view = read_view_.load(std::memory_order_acquire);
+    std::shared_ptr<const InstanceSnapshot> snapshot =
+        view->systems[view->routing.OwnerOf(id)]->SnapshotOf(id);
+    // A hit is always safe to return: the snapshot is immutable and was
+    // live on its shard at lookup time (at worst it is a bounded-stale
+    // pre-move version of an instance that just migrated).
+    if (snapshot != nullptr) return snapshot;
+    const uint64_t after = read_epoch_.load(std::memory_order_acquire);
+    if (before == after && (before & 1) == 0) {
+      // Stable topology across the whole lookup: the id is genuinely
+      // absent (never created, or evicted by a completed shrink).
+      return Status::NotFound("no such instance");
+    }
+    // A Resize() is repartitioning (or just finished): the instance may
+    // sit in the evicted-at-source / published-at-destination window.
+    // Retry against the settling view; resizes are rare and bounded.
+    std::this_thread::yield();
+  }
+}
+
+std::shared_ptr<const InstanceSnapshot> AdeptCluster::SnapshotOf(
+    InstanceId id) const {
+  auto found = FindSnapshot(id);
+  return found.ok() ? *found : nullptr;
+}
+
+Status AdeptCluster::ReadInstance(
+    InstanceId id,
+    const std::function<void(const InstanceSnapshot&)>& fn) const {
+  ADEPT_ASSIGN_OR_RETURN(std::shared_ptr<const InstanceSnapshot> snapshot,
+                         FindSnapshot(id));
+  fn(*snapshot);
+  return Status::OK();
+}
+
+void AdeptCluster::ForEachSnapshot(
+    const std::function<void(const InstanceSnapshot&)>& fn) const {
+  // The same seqlock discipline as FindSnapshot, extended to a sweep: a
+  // resize concurrent with a naive sweep could hide an instance entirely
+  // (imported to a shard outside the stale view, then evicted at the
+  // source before the sweep arrives) or visit its pre- and post-move
+  // copies twice. Collect first, invoke `fn` only after the epoch proved
+  // stable across the whole collection — within one stable epoch every
+  // instance lives on exactly one shard, so the batch is duplicate-free.
+  std::vector<std::shared_ptr<const InstanceSnapshot>> batch;
+  for (;;) {
+    const bool poisoned = !CheckTopology().ok();
+    const uint64_t before = read_epoch_.load(std::memory_order_acquire);
+    if (!poisoned && (before & 1) != 0) {
+      std::this_thread::yield();  // resize in flight; the view is settling
+      continue;
+    }
+    batch.clear();
+    const ReadView* view = read_view_.load(std::memory_order_acquire);
+    for (AdeptSystem* system : view->systems) {
+      system->snapshots().Collect(&batch);
+    }
+    const uint64_t after = read_epoch_.load(std::memory_order_acquire);
+    // After a failed resize the epoch never stabilizes; sweep the last
+    // published view best-effort instead of spinning forever.
+    if (poisoned || before == after) break;
+  }
+  for (const auto& snapshot : batch) {
+    if (snapshot != nullptr) fn(*snapshot);
   }
 }
 
@@ -886,7 +974,7 @@ Status AdeptCluster::Resize(int new_shard_count) {
   if (m > n) {
     Status grown = [&]() -> Status {
       for (size_t k = n; k < m; ++k) {
-        auto shard = std::make_unique<Shard>();
+        auto shard = std::make_shared<Shard>();
         ADEPT_ASSIGN_OR_RETURN(
             shard->system,
             AdeptSystem::Create(ShardOptions(options_, static_cast<int>(k))));
@@ -916,6 +1004,14 @@ Status AdeptCluster::Resize(int new_shard_count) {
   // From here on a failure leaves in-memory placement inconsistent with
   // the routing — poison the cluster so every later call fails loudly
   // (the durable state is intact; Recover() rebuilds a consistent one).
+  //
+  // Lock-free readers keep running throughout (they are the one facade
+  // call exempt from the quiescence contract): the epoch goes odd here,
+  // so a reader that misses an instance mid-move — evicted at the source,
+  // view not yet republished — retries instead of reporting NotFound,
+  // and the old ReadView's shared_ptrs keep retired shards alive for
+  // readers still inside them.
+  read_epoch_.fetch_add(1, std::memory_order_acq_rel);
   routing_ = ShardRouting(m);
   Status applied = [&]() -> Status {
     ADEPT_RETURN_IF_ERROR(MoveMisplacedInstances(nullptr));
@@ -929,19 +1025,29 @@ Status AdeptCluster::Resize(int new_shard_count) {
       ADEPT_RETURN_IF_ERROR(SaveSnapshotLocked());
     }
 
-    // Shrink: retire the drained shards and their durability files.
+    // Shrink: retire the drained shards and their durability files. The
+    // Shard objects are parked, not destroyed: a lock-free reader inside
+    // a stale ReadView may still dereference their systems.
     while (shards_.size() > m) {
       const size_t k = shards_.size() - 1;
-      shards_.pop_back();  // joins the shard's WAL writer, closes files
+      retired_shards_.push_back(std::move(shards_.back()));
+      shards_.pop_back();
       RemoveShardFiles(options_, k);
     }
 
     return DeriveShardAllocators(n);
   }();
   if (!applied.ok()) {
+    // The epoch stays odd; FindSnapshot's poison check turns retrying
+    // readers into kFailedPrecondition instead of a spin.
     topology_poisoned_.store(true, std::memory_order_release);
     return applied;
   }
+
+  // Publish the new topology to lock-free readers, then stabilize the
+  // epoch (even again): from here a miss is a genuine miss.
+  PublishReadView();
+  read_epoch_.fetch_add(1, std::memory_order_acq_rel);
 
   // Size the worker pool for the new shard count (unless pinned).
   if (options_.worker_threads <= 0) {

@@ -17,7 +17,11 @@
 //                      identical SchemaIds (divergence is detected and
 //                      reported as kInternal).
 //   * locking          one mutex per shard serializes that shard's engine
-//                      turn; distinct shards execute in parallel.
+//                      turn; distinct shards execute in parallel. Reads
+//                      (SnapshotOf/ReadInstance/ForEachSnapshot) take no
+//                      shard mutex: they fetch immutable published
+//                      snapshots through an epoch-checked routing view
+//                      (see "Reading instances" in README.md).
 //   * durability       each shard owns a WAL/snapshot pair derived from the
 //                      configured base paths ("<path>.shard<k>"), written
 //                      through a group-commit WalWriter with the configured
@@ -129,9 +133,16 @@ class AdeptCluster : public AdeptApi {
 
   // Runs `fn` for every live instance, one shard at a time under that
   // shard's lock (the WithInstance discipline, extended to a full sweep).
-  // Keep `fn` short: it blocks the visited shard.
+  // Keep `fn` short: it blocks the visited shard. Prefer ForEachSnapshot
+  // for monitoring/compliance sweeps that tolerate snapshot staleness.
   void ForEachInstance(
       const std::function<void(const ProcessInstance&)>& fn) const;
+
+  // Lock-free sweep over the published snapshot of every instance. Takes
+  // no shard lock: each instance is seen at some published version, not
+  // one global point in time, and `fn` may be arbitrarily slow.
+  void ForEachSnapshot(
+      const std::function<void(const InstanceSnapshot&)>& fn) const;
 
   // --- Organization / worklist ----------------------------------------------
 
@@ -163,16 +174,26 @@ class AdeptCluster : public AdeptApi {
   Result<InstanceId> CreateInstance(const std::string& type_name) override;
   Result<InstanceId> CreateInstanceOn(SchemaId schema) override;
 
-  // The returned pointer is looked up under the owning shard's lock but
-  // read after it is released: dereference it only while no other thread
-  // can mutate that shard (quiescent cluster, or all traffic for this
-  // instance funneled through the calling thread). For reads concurrent
-  // with writers, use WithInstance instead.
-  const ProcessInstance* Instance(InstanceId id) const override;
+  // Lock-free read path: resolves the owning shard through an immutable
+  // routing view and fetches the instance's published snapshot without
+  // taking the shard mutex — readers scale with the reader count and
+  // never block behind CompleteActivity/Migrate on the same shard. The
+  // lookup is epoch-checked against the routing (see ReadView below): a
+  // miss observed while a Resize() is repartitioning retries until the
+  // topology stabilizes, so a mid-move instance is never reported absent
+  // and a retired donor shard's memory stays alive for in-flight readers.
+  // Returns nullptr for an unknown id, or while the cluster is topology-
+  // poisoned (ReadInstance surfaces the distinguishing error).
+  std::shared_ptr<const InstanceSnapshot> SnapshotOf(
+      InstanceId id) const override;
+  Status ReadInstance(
+      InstanceId id,
+      const std::function<void(const InstanceSnapshot&)>& fn) const override;
 
   // Runs `fn` under the owning shard's lock, so the instance cannot be
   // mutated (or removed) while the callback reads it. Keep `fn` short: it
-  // blocks every operation routed to that shard.
+  // blocks every operation routed to that shard. Prefer ReadInstance
+  // unless the callback needs live state a snapshot cannot give.
   Status WithInstance(
       InstanceId id,
       const std::function<void(const ProcessInstance&)>& fn) const override;
@@ -266,6 +287,12 @@ class AdeptCluster : public AdeptApi {
   // are per-op: one bad op does not stop the rest of its group.
   std::vector<BatchResult> SubmitBatch(const std::vector<BatchOp>& ops);
 
+ protected:
+  // The pointer is looked up under the owning shard's lock but read after
+  // it is released (the bare-Instance() hazard); lock-free reads go
+  // through SnapshotOf.
+  const ProcessInstance* InstanceImpl(InstanceId id) const override;
+
  private:
   struct Shard {
     std::unique_ptr<AdeptSystem> system;
@@ -276,6 +303,22 @@ class AdeptCluster : public AdeptApi {
     uint64_t next_seq = 0;
     // Drives BatchOp::DriveStep ops; only touched under `mu`.
     std::unique_ptr<SimulationDriver> driver;
+  };
+
+  // The readers' view of the topology: an immutable (routing, systems)
+  // pair published by swapping one raw atomic pointer. A raw pointer — not
+  // an atomic shared_ptr — keeps the per-read cost at one plain acquire
+  // load: every published view lives until the cluster dies (old_views_),
+  // and shards retired by a shrink are parked in retired_shards_ instead
+  // of freed, so a reader still inside a stale view dereferences valid
+  // memory. Both graveyards are bounded by the number of resizes, which
+  // are rare and operator-driven. Paired with read_epoch_ — a
+  // seqlock-style counter, odd while a resize is repartitioning — so a
+  // miss during the unstable window retries instead of reporting a
+  // mid-move instance as absent.
+  struct ReadView {
+    ShardRouting routing{1};
+    std::vector<AdeptSystem*> systems;
   };
 
   explicit AdeptCluster(const ClusterOptions& options);
@@ -315,12 +358,20 @@ class AdeptCluster : public AdeptApi {
                                    const std::string& type_name,
                                    SchemaId schema);
 
+  // Publishes the current (routing_, shards_) pair as the readers' view.
+  void PublishReadView();
+  // Body of SnapshotOf/ReadInstance: the epoch-checked snapshot lookup.
+  // kNotFound when the id is absent under a stable topology;
+  // kFailedPrecondition when the cluster is topology-poisoned.
+  Result<std::shared_ptr<const InstanceSnapshot>> FindSnapshot(
+      InstanceId id) const;
+
   // --- Resize machinery (quiescent; shared by Resize and Recover) -----------
 
   // Copies the schema history of the first shard that has one into every
   // shard whose repository is still empty (freshly created by a grow).
   Status ReplicateSchemasToFreshShards(
-      const std::vector<std::unique_ptr<Shard>>& donors);
+      const std::vector<std::shared_ptr<Shard>>& donors);
   // Moves every instance the current routing_ places elsewhere to its
   // owner: phase 1 imports at the destinations and waits until every
   // import is durable, phase 2 evicts at the sources — so a durable evict
@@ -329,7 +380,7 @@ class AdeptCluster : public AdeptApi {
   // a durable import and its evict) are not re-imported, only evicted at
   // the source. `donors` are drained completely.
   Status MoveMisplacedInstances(
-      const std::vector<std::unique_ptr<Shard>>* donors);
+      const std::vector<std::shared_ptr<Shard>>* donors);
   // Recomputes every shard's next_seq under routing_; an instance still
   // misplaced after redistribution is damage and yields the named
   // resize error (`recovered_count` feeds the message).
@@ -366,9 +417,21 @@ class AdeptCluster : public AdeptApi {
   void ResyncClusterWorklist();
 
   ClusterOptions options_;
-  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::shared_ptr<Shard>> shards_;
   // The placement invariant (owner == (id-1) % N); swapped by Resize.
   ShardRouting routing_{1};
+  // Readers' topology view (see ReadView). The atomic points at the
+  // current entry of old_views_; superseded views stay allocated for
+  // readers still inside them.
+  std::atomic<const ReadView*> read_view_{nullptr};
+  std::vector<std::unique_ptr<const ReadView>> old_views_;
+  // Shards removed by a shrink, parked (drained, files retired) so stale
+  // views keep dereferencing valid systems; freed with the cluster.
+  std::vector<std::shared_ptr<Shard>> retired_shards_;
+  // Seqlock-style routing epoch: even = stable, odd = a Resize() is
+  // repartitioning. Bumped around the routing swap so lock-free readers
+  // can tell a genuine miss from a mid-move window.
+  std::atomic<uint64_t> read_epoch_{0};
   OrgModel org_;
   std::unique_ptr<WorklistService> worklist_;
   // Everything registered via AddObserver(), so shards created by a later

@@ -108,6 +108,9 @@ Result<std::unique_ptr<AdeptSystem>> AdeptSystem::Recover(
   }
 
   system->recovering_ = false;
+  // One bulk snapshot publication instead of one per replayed record: the
+  // lock-free read path serves the recovered state from here on.
+  system->PublishAllSnapshots();
   // Seed LSN numbering past the snapshot's coverage: after a checkpoint
   // truncated the log, the file alone would restart at 1 and the *next*
   // recovery would skip the new records as already covered.
@@ -191,6 +194,7 @@ Result<InstanceId> AdeptSystem::CreateInstanceInternal(SchemaId schema_id,
     (void)engine_.Remove(instance->id());
     return st;
   }
+  PublishSnapshot(instance->id());
   return instance->id();
 }
 
@@ -225,8 +229,29 @@ Result<InstanceId> AdeptSystem::CreateInstanceWithId(SchemaId schema,
   return id;
 }
 
-const ProcessInstance* AdeptSystem::Instance(InstanceId id) const {
+const ProcessInstance* AdeptSystem::InstanceImpl(InstanceId id) const {
   return engine_.Find(id);
+}
+
+std::shared_ptr<const InstanceSnapshot> AdeptSystem::SnapshotOf(
+    InstanceId id) const {
+  return snapshots_.Get(id);
+}
+
+void AdeptSystem::PublishSnapshot(InstanceId id) {
+  if (recovering_) return;
+  const ProcessInstance* instance = engine_.Find(id);
+  if (instance == nullptr) {
+    snapshots_.Erase(id);
+    return;
+  }
+  snapshots_.Publish(instance->BuildSnapshot());
+}
+
+void AdeptSystem::PublishAllSnapshots() {
+  for (InstanceId id : engine_.InstanceIds()) {
+    PublishSnapshot(id);
+  }
 }
 
 namespace {
@@ -241,6 +266,7 @@ Status AdeptSystem::StartActivity(InstanceId id, NodeId node) {
   ADEPT_ASSIGN_OR_RETURN(ProcessInstance * instance,
                          RequireInstance(engine_, id));
   ADEPT_RETURN_IF_ERROR(instance->StartActivity(node));
+  PublishSnapshot(id);
   JsonValue record = JsonValue::MakeObject();
   record.Set("t", JsonValue("act"));
   record.Set("ev", JsonValue("start"));
@@ -255,6 +281,7 @@ Status AdeptSystem::CompleteActivity(
   ADEPT_ASSIGN_OR_RETURN(ProcessInstance * instance,
                          RequireInstance(engine_, id));
   ADEPT_RETURN_IF_ERROR(instance->CompleteActivity(node, writes));
+  PublishSnapshot(id);
   JsonValue record = JsonValue::MakeObject();
   record.Set("t", JsonValue("act"));
   record.Set("ev", JsonValue("complete"));
@@ -269,6 +296,7 @@ Status AdeptSystem::FailActivity(InstanceId id, NodeId node,
   ADEPT_ASSIGN_OR_RETURN(ProcessInstance * instance,
                          RequireInstance(engine_, id));
   ADEPT_RETURN_IF_ERROR(instance->FailActivity(node, reason));
+  PublishSnapshot(id);
   JsonValue record = JsonValue::MakeObject();
   record.Set("t", JsonValue("act"));
   record.Set("ev", JsonValue("fail"));
@@ -282,6 +310,7 @@ Status AdeptSystem::RetryActivity(InstanceId id, NodeId node) {
   ADEPT_ASSIGN_OR_RETURN(ProcessInstance * instance,
                          RequireInstance(engine_, id));
   ADEPT_RETURN_IF_ERROR(instance->RetryActivity(node));
+  PublishSnapshot(id);
   JsonValue record = JsonValue::MakeObject();
   record.Set("t", JsonValue("act"));
   record.Set("ev", JsonValue("retry"));
@@ -294,6 +323,7 @@ Status AdeptSystem::SuspendActivity(InstanceId id, NodeId node) {
   ADEPT_ASSIGN_OR_RETURN(ProcessInstance * instance,
                          RequireInstance(engine_, id));
   ADEPT_RETURN_IF_ERROR(instance->SuspendActivity(node));
+  PublishSnapshot(id);
   JsonValue record = JsonValue::MakeObject();
   record.Set("t", JsonValue("act"));
   record.Set("ev", JsonValue("suspend"));
@@ -306,6 +336,7 @@ Status AdeptSystem::ResumeActivity(InstanceId id, NodeId node) {
   ADEPT_ASSIGN_OR_RETURN(ProcessInstance * instance,
                          RequireInstance(engine_, id));
   ADEPT_RETURN_IF_ERROR(instance->ResumeActivity(node));
+  PublishSnapshot(id);
   JsonValue record = JsonValue::MakeObject();
   record.Set("t", JsonValue("act"));
   record.Set("ev", JsonValue("resume"));
@@ -319,6 +350,7 @@ Status AdeptSystem::SelectBranch(InstanceId id, NodeId split,
   ADEPT_ASSIGN_OR_RETURN(ProcessInstance * instance,
                          RequireInstance(engine_, id));
   ADEPT_RETURN_IF_ERROR(instance->SelectBranch(split, branch_value));
+  PublishSnapshot(id);
   JsonValue record = JsonValue::MakeObject();
   record.Set("t", JsonValue("branch"));
   record.Set("id", JsonValue(id.value()));
@@ -332,6 +364,7 @@ Status AdeptSystem::SetLoopDecision(InstanceId id, NodeId loop_end,
   ADEPT_ASSIGN_OR_RETURN(ProcessInstance * instance,
                          RequireInstance(engine_, id));
   ADEPT_RETURN_IF_ERROR(instance->SetLoopDecision(loop_end, iterate));
+  PublishSnapshot(id);
   JsonValue record = JsonValue::MakeObject();
   record.Set("t", JsonValue("loopdec"));
   record.Set("id", JsonValue(id.value()));
@@ -353,7 +386,7 @@ Result<bool> AdeptSystem::DriveStep(InstanceId id, SimulationDriver& driver) {
 Status AdeptSystem::DriveToCompletion(InstanceId id, SimulationDriver& driver,
                                       int max_steps) {
   for (int i = 0; i < max_steps; ++i) {
-    const ProcessInstance* instance = Instance(id);
+    const ProcessInstance* instance = engine_.Find(id);
     if (instance == nullptr) return Status::NotFound("no such instance");
     if (instance->Finished()) return Status::OK();
     ADEPT_ASSIGN_OR_RETURN(bool progressed, DriveStep(id, driver));
@@ -373,6 +406,7 @@ Status AdeptSystem::ApplyAdHocChange(InstanceId id, Delta delta) {
                          RequireInstance(engine_, id));
   ADEPT_RETURN_IF_ERROR(
       adept::ApplyAdHocChange(*instance, store_, std::move(delta)));
+  PublishSnapshot(id);
   // Serialize the *applied* (pinned) bias from the store record.
   ADEPT_ASSIGN_OR_RETURN(const InstanceStore::Record* record, store_.Get(id));
   JsonValue wal_record = JsonValue::MakeObject();
@@ -399,6 +433,12 @@ Result<MigrationReport> AdeptSystem::Migrate(SchemaId from, SchemaId to,
     // (no per-node events), which can strand work items referencing
     // remapped node ids; reconcile before anyone claims a stale item.
     ResyncWorklists();
+    // Migration mutates instances below the facade's per-call hooks;
+    // republish the touched instances so the read path sees the new
+    // schema refs and remapped markings.
+    for (const auto& result : report.results) {
+      PublishSnapshot(result.id);
+    }
     JsonValue record = JsonValue::MakeObject();
     record.Set("t", JsonValue("migrate"));
     record.Set("from", JsonValue(from.value()));
@@ -463,7 +503,12 @@ Status AdeptSystem::AdoptInstanceFromJson(const JsonValue& ij) {
     return adopted.status();
   }
   (*adopted)->set_biased(biased);
-  return RestoreInstanceState(**adopted, ij.Get("state"));
+  ADEPT_RETURN_IF_ERROR(RestoreInstanceState(**adopted, ij.Get("state")));
+  // Live imports (cross-shard handover) must be readable immediately;
+  // during recovery PublishSnapshot is a no-op and Recover() bulk-
+  // publishes at the end.
+  PublishSnapshot(id);
+  return Status::OK();
 }
 
 JsonValue AdeptSystem::SnapshotToJson(uint64_t wal_lsn) const {
@@ -514,6 +559,11 @@ Status AdeptSystem::ImportInstance(const JsonValue& exported) {
 Status AdeptSystem::EvictInstance(InstanceId id) {
   ADEPT_RETURN_IF_ERROR(engine_.Remove(id));
   (void)store_.Unregister(id);
+  // The cluster's epoch-checked read path retries a miss while a resize
+  // is in flight, so erasing here never turns a live instance invisible:
+  // by the time the routing epoch stabilizes, the import side's snapshot
+  // is published.
+  snapshots_.Erase(id);
   JsonValue record = JsonValue::MakeObject();
   record.Set("t", JsonValue("evict"));
   record.Set("id", JsonValue(id.value()));

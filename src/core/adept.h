@@ -99,8 +99,15 @@ class AdeptSystem : public AdeptApi {
   // applications should prefer CreateInstance/CreateInstanceOn.
   Result<InstanceId> CreateInstanceWithId(SchemaId schema, InstanceId id);
 
-  // Read access to the live instance (schema view, marking, trace, ...).
-  const ProcessInstance* Instance(InstanceId id) const override;
+  // Lock-free read path: current published snapshot of `id` (rebuilt by
+  // every mutating facade call; see runtime/instance_snapshot.h). Direct
+  // substrate mutation (MutableInstance, engine()) bypasses publication —
+  // republish by routing the next change through the facade.
+  std::shared_ptr<const InstanceSnapshot> SnapshotOf(
+      InstanceId id) const override;
+
+  // The published-snapshot table (cluster sweeps, tests).
+  const SnapshotTable& snapshots() const { return snapshots_; }
 
   Status StartActivity(InstanceId id, NodeId node) override;
   Status CompleteActivity(
@@ -199,6 +206,9 @@ class AdeptSystem : public AdeptApi {
   MigrationManager& migration_manager() { return migration_manager_; }
   ProcessInstance* MutableInstance(InstanceId id) { return engine_.Find(id); }
 
+ protected:
+  const ProcessInstance* InstanceImpl(InstanceId id) const override;
+
  private:
   explicit AdeptSystem(const AdeptOptions& options);
 
@@ -219,6 +229,11 @@ class AdeptSystem : public AdeptApi {
   // Reconciles worklists with engine truth after a migration (bias
   // cancellation rewrites markings without firing instance events).
   void ResyncWorklists();
+  // Publishes `id`'s current state into the snapshot table (erases when
+  // the instance is gone). No-op during recovery — Recover() bulk-
+  // publishes once at the end instead of once per replayed record.
+  void PublishSnapshot(InstanceId id);
+  void PublishAllSnapshots();
 
   AdeptOptions options_;
   SchemaRepository repository_;
@@ -228,6 +243,7 @@ class AdeptSystem : public AdeptApi {
   OrgModel org_;
   WorklistManager worklists_{&org_};
   ObserverFanout fanout_;
+  SnapshotTable snapshots_;
   std::unique_ptr<WalWriter> wal_;
   uint64_t last_enqueued_lsn_ = 0;
   bool recovering_ = false;

@@ -27,6 +27,7 @@
 #include "model/schema.h"
 #include "runtime/driver.h"
 #include "runtime/instance.h"
+#include "runtime/instance_snapshot.h"
 
 namespace adept {
 
@@ -56,20 +57,56 @@ class AdeptApi {
   // DEPRECATED: TOCTOU-prone bare read path — implementations that
   // execute concurrently (AdeptCluster) return a pointer that may be
   // invalidated by other threads the moment the call returns, so any
-  // check-then-dereference against it races. Use WithInstance, which runs
-  // the read under the owner's lock. Retained for single-threaded
-  // substrate access (tests, benchmarks, the single-node AdeptSystem);
-  // new call sites should not appear outside those.
-  virtual const ProcessInstance* Instance(InstanceId id) const = 0;
+  // check-then-dereference against it races. Use ReadInstance/SnapshotOf
+  // for lock-free reads, or WithInstance when the callback needs the live
+  // instance under the owner's lock. The accessor is [[deprecated]] and
+  // CI builds with -Werror=deprecated-declarations, so new call sites
+  // cannot appear; implementations override the protected InstanceImpl.
+  [[deprecated(
+      "bare Instance() races against concurrent mutation; use "
+      "ReadInstance/SnapshotOf (lock-free) or WithInstance "
+      "(linearized)")]] const ProcessInstance*
+  Instance(InstanceId id) const {
+    return InstanceImpl(id);
+  }
+
+  // --- Lock-free read path ---------------------------------------------------
+  //
+  // The versioned-snapshot discipline (runtime/instance_snapshot.h):
+  // mutators publish an immutable InstanceSnapshot after every change,
+  // readers fetch the current one without touching the lock that
+  // serializes the instance's engine turn. Reads therefore scale with the
+  // reader count and never block behind CompleteActivity/Migrate on the
+  // same shard; staleness is bounded by one in-flight mutation.
+
+  // Current snapshot of `id`, or nullptr when the instance does not exist
+  // (AdeptCluster: also nullptr while the cluster is topology-poisoned —
+  // use ReadInstance for the distinguishing error).
+  virtual std::shared_ptr<const InstanceSnapshot> SnapshotOf(
+      InstanceId id) const = 0;
+
+  // Runs `fn` on the current snapshot. kNotFound when the instance does
+  // not exist. `fn` may be arbitrarily slow: it holds no lock, only the
+  // snapshot's shared_ptr.
+  virtual Status ReadInstance(
+      InstanceId id,
+      const std::function<void(const InstanceSnapshot&)>& fn) const {
+    std::shared_ptr<const InstanceSnapshot> snapshot = SnapshotOf(id);
+    if (snapshot == nullptr) return Status::NotFound("no such instance");
+    fn(*snapshot);
+    return Status::OK();
+  }
 
   // Runs `fn` with the live instance while it cannot be concurrently
   // mutated (AdeptCluster overrides this to hold the owning shard's lock
   // for the duration of the callback). Returns kNotFound when the instance
-  // does not exist. Keep `fn` short: it blocks the instance's engine.
+  // does not exist. Keep `fn` short: it blocks the instance's engine —
+  // prefer ReadInstance unless the read needs live-state guarantees a
+  // snapshot cannot give (e.g. the full trace).
   virtual Status WithInstance(
       InstanceId id,
       const std::function<void(const ProcessInstance&)>& fn) const {
-    const ProcessInstance* instance = Instance(id);
+    const ProcessInstance* instance = InstanceImpl(id);
     if (instance == nullptr) return Status::NotFound("no such instance");
     fn(*instance);
     return Status::OK();
@@ -111,6 +148,12 @@ class AdeptApi {
 
   // Writes a full snapshot and truncates the WAL (checkpoint).
   virtual Status SaveSnapshot() = 0;
+
+ protected:
+  // Implementation behind the deprecated bare Instance() accessor and the
+  // default WithInstance(). Same hazard as Instance(): the pointer is only
+  // meaningful while the caller excludes concurrent mutation.
+  virtual const ProcessInstance* InstanceImpl(InstanceId id) const = 0;
 };
 
 }  // namespace adept

@@ -26,13 +26,18 @@ std::vector<AdaptationOutcome> AutoAdapter::Drain() {
     const AdaptationRule& rule = rules_[firing.rule_index];
     AdaptationOutcome outcome{firing.instance, firing.node, rule.name,
                               Status::OK()};
-    const ProcessInstance* instance = system_->Instance(firing.instance);
-    if (instance == nullptr) {
+    // The rule's action reads the live instance under the owner's lock;
+    // the derived delta is applied afterwards through the facade.
+    Delta delta;
+    Status read = system_->WithInstance(
+        firing.instance, [&](const ProcessInstance& instance) {
+          delta = rule.action(instance, firing.node);
+        });
+    if (!read.ok()) {
       outcome.status = Status::NotFound("instance vanished before adaptation");
       outcomes.push_back(std::move(outcome));
       continue;
     }
-    Delta delta = rule.action(*instance, firing.node);
     if (delta.empty()) {
       outcome.status = Status::OK();  // rule chose not to act
       outcomes.push_back(std::move(outcome));

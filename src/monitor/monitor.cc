@@ -1,5 +1,6 @@
 #include "monitor/monitor.h"
 
+#include <functional>
 #include <sstream>
 
 #include "common/string_util.h"
@@ -86,23 +87,46 @@ std::string RenderSchema(const SchemaView& schema) {
   return os.str();
 }
 
-std::string RenderInstance(const ProcessInstance& instance) {
-  const SchemaView& schema = instance.schema();
+namespace {
+
+// Shared body of the two RenderInstance overloads: everything it needs is
+// a schema plus a node-state function, so live instances and published
+// snapshots render identically.
+std::string RenderInstanceImpl(
+    const SchemaView& schema, InstanceId id, bool biased, bool finished,
+    const std::function<NodeState(NodeId)>& state_of) {
   std::ostringstream os;
-  os << instance.id() << " on '" << schema.type_name() << "' V"
-     << schema.version() << (instance.biased() ? " (ad-hoc modified)" : "")
-     << (instance.Finished() ? " [finished]" : "") << "\n";
+  os << id << " on '" << schema.type_name() << "' V" << schema.version()
+     << (biased ? " (ad-hoc modified)" : "") << (finished ? " [finished]" : "")
+     << "\n";
   for (NodeId node : schema.TopologicalOrder()) {
     const Node* n = schema.FindNode(node);
     if (n == nullptr || n->type != NodeType::kActivity) continue;
-    os << StrFormat("  [%-12s] ", NodeStateToString(instance.node_state(node)))
+    os << StrFormat("  [%-12s] ", NodeStateToString(state_of(node)))
        << n->name << "\n";
   }
   return os.str();
 }
 
-std::string SchemaToDot(const SchemaView& schema,
-                        const ProcessInstance* instance) {
+}  // namespace
+
+std::string RenderInstance(const ProcessInstance& instance) {
+  return RenderInstanceImpl(
+      instance.schema(), instance.id(), instance.biased(),
+      instance.Finished(),
+      [&](NodeId node) { return instance.node_state(node); });
+}
+
+std::string RenderInstance(const InstanceSnapshot& snapshot) {
+  return RenderInstanceImpl(
+      *snapshot.schema, snapshot.id, snapshot.biased, snapshot.finished,
+      [&](NodeId node) { return snapshot.marking.node(node); });
+}
+
+namespace {
+
+std::string SchemaToDotImpl(const SchemaView& schema,
+                            const std::function<NodeState(NodeId)>* state_of) {
   std::ostringstream os;
   os << "digraph \"" << schema.type_name() << "_v" << schema.version()
      << "\" {\n  rankdir=LR;\n  node [fontname=\"Helvetica\"];\n";
@@ -129,8 +153,8 @@ std::string SchemaToDot(const SchemaView& schema,
         break;
     }
     std::string fill = "white";
-    if (instance != nullptr) {
-      switch (instance->node_state(n.id)) {
+    if (state_of != nullptr) {
+      switch ((*state_of)(n.id)) {
         case NodeState::kActivated:
           fill = "khaki";
           break;
@@ -173,6 +197,26 @@ std::string SchemaToDot(const SchemaView& schema,
   });
   os << "}\n";
   return os.str();
+}
+
+}  // namespace
+
+std::string SchemaToDot(const SchemaView& schema,
+                        const ProcessInstance* instance) {
+  if (instance == nullptr) return SchemaToDotImpl(schema, nullptr);
+  std::function<NodeState(NodeId)> state_of = [&](NodeId node) {
+    return instance->node_state(node);
+  };
+  return SchemaToDotImpl(schema, &state_of);
+}
+
+std::string SchemaToDot(const SchemaView& schema,
+                        const InstanceSnapshot* snapshot) {
+  if (snapshot == nullptr) return SchemaToDotImpl(schema, nullptr);
+  std::function<NodeState(NodeId)> state_of = [&](NodeId node) {
+    return snapshot->marking.node(node);
+  };
+  return SchemaToDotImpl(schema, &state_of);
 }
 
 std::string RenderMigrationReport(const MigrationReport& report) {

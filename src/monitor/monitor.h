@@ -22,18 +22,26 @@
 #include "model/schema_view.h"
 #include "runtime/events.h"
 #include "runtime/instance.h"
+#include "runtime/instance_snapshot.h"
 
 namespace adept {
 
 // Indented block-structure listing of a schema (with sync edges appended).
 std::string RenderSchema(const SchemaView& schema);
 
-// Node-by-node marking of an instance, in topological order.
+// Node-by-node marking of an instance, in topological order. The
+// ProcessInstance overload needs the live instance (WithInstance
+// discipline); the InstanceSnapshot overload is the lock-free monitoring
+// path — renderable from any thread without blocking the engine.
 std::string RenderInstance(const ProcessInstance& instance);
+std::string RenderInstance(const InstanceSnapshot& snapshot);
 
-// Graphviz dot; when `instance` is non-null, nodes are colored by state.
+// Graphviz dot; when `instance`/`snapshot` is non-null, nodes are colored
+// by state. The snapshot overload renders without any engine lock.
 std::string SchemaToDot(const SchemaView& schema,
                         const ProcessInstance* instance = nullptr);
+std::string SchemaToDot(const SchemaView& schema,
+                        const InstanceSnapshot* snapshot);
 
 // Fig. 3 style migration report.
 std::string RenderMigrationReport(const MigrationReport& report);

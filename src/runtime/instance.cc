@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "runtime/instance_snapshot.h"
 
 namespace adept {
 
@@ -441,6 +442,32 @@ std::vector<NodeId> ProcessInstance::RunningActivities() const {
 int ProcessInstance::loop_iteration(NodeId loop_start) const {
   auto it = loop_iterations_.find(loop_start);
   return it == loop_iterations_.end() ? 0 : it->second;
+}
+
+std::shared_ptr<InstanceSnapshot> ProcessInstance::BuildSnapshot() const {
+  auto snapshot = std::make_shared<InstanceSnapshot>();
+  snapshot->id = id_;
+  snapshot->schema = schema_;
+  snapshot->schema_ref = schema_ref_;
+  snapshot->biased = biased_;
+  snapshot->started = started_;
+  snapshot->finished = Finished();
+  snapshot->marking = marking_;
+  snapshot->activated_activities = ActivatedActivities();
+  snapshot->running_activities = RunningActivities();
+  snapshot->completed_runs = completed_runs_;
+  for (const auto& [_, runs] : completed_runs_) {
+    snapshot->completed_total += runs;
+  }
+  snapshot->loop_iterations = loop_iterations_;
+  for (const auto& [data, versions] : data_.elements()) {
+    if (!versions.empty()) {
+      snapshot->data_values.emplace(data, versions.back().value);
+    }
+  }
+  snapshot->trace_length = static_cast<int64_t>(trace_.events().size());
+  snapshot->trace_next_sequence = trace_.next_sequence();
+  return snapshot;
 }
 
 size_t ProcessInstance::MemoryFootprint() const {

@@ -45,6 +45,8 @@
 
 namespace adept {
 
+struct InstanceSnapshot;
+
 class ProcessInstance {
  public:
   ProcessInstance(InstanceId id, std::shared_ptr<const SchemaView> schema,
@@ -116,6 +118,13 @@ class ProcessInstance {
     auto it = completed_runs_.find(node);
     return it == completed_runs_.end() ? 0 : it->second;
   }
+  // Builds an immutable, internally consistent read snapshot of the
+  // current state (see runtime/instance_snapshot.h). Must run while the
+  // instance cannot be concurrently mutated — the owning facade calls it
+  // at the end of every mutating operation, under the same lock — and is
+  // O(live state): the trace is summarized, not copied. The returned
+  // object is safe to read from any thread, forever.
+  std::shared_ptr<InstanceSnapshot> BuildSnapshot() const;
 
   size_t MemoryFootprint() const;
 

@@ -1,0 +1,41 @@
+#include "runtime/instance_snapshot.h"
+
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace adept {
+
+std::shared_ptr<const InstanceSnapshot> SnapshotTable::Get(
+    InstanceId id) const {
+  const Stripe& stripe = StripeOf(id);
+  std::lock_guard<SpinLock> lock(stripe.mu);
+  auto it = stripe.entries.find(id.value());
+  return it == stripe.entries.end() ? nullptr : it->second;
+}
+
+void SnapshotTable::Publish(std::shared_ptr<InstanceSnapshot> snapshot) {
+  Stripe& stripe = StripeOf(snapshot->id);
+  std::lock_guard<SpinLock> lock(stripe.mu);
+  auto& slot = stripe.entries[snapshot->id.value()];
+  snapshot->version = (slot == nullptr ? 0 : slot->version) + 1;
+  slot = std::move(snapshot);
+}
+
+void SnapshotTable::Erase(InstanceId id) {
+  Stripe& stripe = StripeOf(id);
+  std::lock_guard<SpinLock> lock(stripe.mu);
+  stripe.entries.erase(id.value());
+}
+
+void SnapshotTable::Collect(
+    std::vector<std::shared_ptr<const InstanceSnapshot>>* out) const {
+  for (const Stripe& stripe : stripes_) {
+    std::lock_guard<SpinLock> lock(stripe.mu);
+    for (const auto& [_, snapshot] : stripe.entries) {
+      out->push_back(snapshot);
+    }
+  }
+}
+
+}  // namespace adept

@@ -40,27 +40,59 @@ WalWriter::~WalWriter() {
 uint64_t WalWriter::Enqueue(const JsonValue& record) {
   std::string payload = record.Dump();  // serialize outside the lock
   uint64_t lsn;
+  bool background = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     lsn = ++next_lsn_;
     queue_.push_back({lsn, std::move(payload)});
+    // With a waiter around, that waiter (or the current leader's handover)
+    // drains the record; only a fire-and-forget append with nobody waiting
+    // needs the background thread.
+    background = waiters_ == 0;
   }
-  work_cv_.notify_one();
+  if (background) work_cv_.notify_one();
   return lsn;
 }
 
-Status WalWriter::WaitDurable(uint64_t lsn) {
-  std::unique_lock<std::mutex> lock(mu_);
-  durable_cv_.wait(lock, [&] {
-    return durable_lsn_ >= lsn || !error_.ok() || stopped_;
-  });
+Status WalWriter::WaitDurableLocked(uint64_t lsn,
+                                    std::unique_lock<std::mutex>& lock) {
+  ++waiters_;
+  while (durable_lsn_ < lsn && error_.ok() && !stopped_) {
+    if (!writing_ && !queue_.empty()) {
+      // Leader election is implicit: whoever observes an idle log with a
+      // backlog drains it inline. Followers sleep below; when this batch
+      // lands, any follower whose LSN is still pending becomes the next
+      // leader for what queued up during the I/O.
+      DrainBatchLocked(lock);
+    } else {
+      durable_cv_.wait(lock);
+    }
+  }
+  --waiters_;
+  if (waiters_ == 0 && !queue_.empty()) {
+    // Records arrived while the last waiter was finishing up; hand the
+    // remainder to the background drain.
+    work_cv_.notify_one();
+  }
   if (durable_lsn_ >= lsn) return Status::OK();
   if (!error_.ok()) return error_;
   return Status::Corruption("WAL writer stopped before LSN became durable");
 }
 
+Status WalWriter::WaitDurable(uint64_t lsn) {
+  std::unique_lock<std::mutex> lock(mu_);
+  return WaitDurableLocked(lsn, lock);
+}
+
 Status WalWriter::Append(const JsonValue& record) {
-  return WaitDurable(Enqueue(record));
+  // One lock acquisition covers enqueue + lead + wait: the solo-appender
+  // path is append, inline write+sync, return — no handoff, no second
+  // mutex round trip.
+  std::string payload = record.Dump();  // serialize outside the lock
+  std::unique_lock<std::mutex> lock(mu_);
+  uint64_t lsn = ++next_lsn_;
+  queue_.push_back({lsn, std::move(payload)});
+  return WaitDurableLocked(lsn, lock);
 }
 
 Status WalWriter::Truncate() {
@@ -134,36 +166,51 @@ uint64_t WalWriter::durable_lsn() const {
   return durable_lsn_;
 }
 
+void WalWriter::DrainBatchLocked(std::unique_lock<std::mutex>& lock) {
+  std::vector<Pending> batch;
+  batch.reserve(std::min(queue_.size(), options_.max_batch_records));
+  while (!queue_.empty() && batch.size() < options_.max_batch_records) {
+    batch.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  writing_ = true;
+  lock.unlock();
+
+  // Group commit: one frame write per record, one Sync per batch.
+  Status st;
+  for (const Pending& pending : batch) {
+    st = log_->AppendFrame(pending.lsn, pending.payload);
+    if (!st.ok()) break;
+  }
+  if (st.ok()) st = log_->Sync(options_.sync);
+
+  lock.lock();
+  writing_ = false;
+  if (st.ok()) {
+    durable_lsn_ = batch.back().lsn;
+  } else if (error_.ok()) {
+    error_ = st;
+  }
+  // Wake followers (one of them leads the next batch if the queue refilled
+  // during the I/O) and Truncate/Rewrite drains.
+  durable_cv_.notify_all();
+  if (!queue_.empty() && waiters_ == 0) work_cv_.notify_one();
+}
+
 void WalWriter::WriterLoop() {
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
-    work_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+    // Drain of last resort: only runs for records nobody waits on
+    // (defer_wal_sync pipelining, fire-and-forget journal appends) — an
+    // active waiter is always the preferred leader. On shutdown the
+    // backlog is drained here regardless.
+    work_cv_.wait(lock, [&] {
+      if (writing_) return false;  // a leader owns the log
+      if (!queue_.empty()) return stopping_ || waiters_ == 0;
+      return stopping_;
+    });
     if (queue_.empty()) break;  // stopping_ with a drained queue
-    std::vector<Pending> batch;
-    batch.reserve(std::min(queue_.size(), options_.max_batch_records));
-    while (!queue_.empty() && batch.size() < options_.max_batch_records) {
-      batch.push_back(std::move(queue_.front()));
-      queue_.pop_front();
-    }
-    writing_ = true;
-    lock.unlock();
-
-    // Group commit: one frame write per record, one Sync per batch.
-    Status st;
-    for (const Pending& pending : batch) {
-      st = log_->AppendFrame(pending.lsn, pending.payload);
-      if (!st.ok()) break;
-    }
-    if (st.ok()) st = log_->Sync(options_.sync);
-
-    lock.lock();
-    writing_ = false;
-    if (st.ok()) {
-      durable_lsn_ = batch.back().lsn;
-    } else if (error_.ok()) {
-      error_ = st;
-    }
-    durable_cv_.notify_all();
+    DrainBatchLocked(lock);
   }
   stopped_ = true;
   durable_cv_.notify_all();

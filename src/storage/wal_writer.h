@@ -1,17 +1,29 @@
-// WalWriter: group-commit front end for WriteAheadLog.
+// WalWriter: leader-based group-commit front end for WriteAheadLog.
 //
 // Concurrent appenders call Enqueue() and immediately receive a monotonic
-// LSN ticket; a per-log background thread drains the queue, coalesces every
-// pending frame into one stdio write burst, applies the configured SyncMode
-// once per batch, and wakes the waiters whose LSN is now durable. Under N
-// concurrent appenders that turns N flushes/fsyncs into one — the classic
-// group-commit amortization (cf. realm-core's group writer) — while
-// preserving exactly the per-record durability contract of
-// WriteAheadLog::Sync.
+// LSN ticket. Durability is leader-driven: the first WaitDurable caller
+// whose LSN is not yet durable becomes the *leader* and drains the queue
+// inline on its own thread — one stdio write burst, one Sync per batch —
+// while followers sleep until their LSN is covered; when the leader's
+// batch completes, the next unsatisfied follower takes over the leader
+// role for whatever queued up meanwhile. Under N concurrent appenders
+// that turns N flushes/fsyncs into one (the classic group-commit
+// amortization, cf. realm-core's group writer); under ONE appender the
+// append-wait-drain path runs entirely on the caller's thread, so group
+// commit no longer pays the writer-thread handoff (two context switches
+// per append) that historically kept kFlush group commit behind plain
+// per-append flushing at low appender counts.
+//
+// A background thread still exists, but only as the drain of last resort
+// for records nobody waits on — fire-and-forget Enqueue()s (the cluster's
+// defer_wal_sync pipelining, the worklist's engine-event journaling). It
+// wakes only when the queue is non-empty and no waiter is present, so it
+// never races a leader for the log.
 //
 // Threading: Enqueue/WaitDurable/Append are safe from any thread. The
-// underlying WriteAheadLog is touched only by the background thread (and by
-// Truncate(), which first drains the queue and parks the thread).
+// underlying WriteAheadLog is touched only while `writing_` is held (by
+// the current leader or the background thread) or under mu_ with a
+// drained queue (Truncate/Rewrite).
 //
 // Failure model: an I/O error is sticky. The failing batch and every later
 // WaitDurable whose LSN is not yet durable return the error; already-durable
@@ -72,7 +84,9 @@ class WalWriter {
   uint64_t Enqueue(const JsonValue& record);
 
   // Blocks until every record with an LSN <= `lsn` is durable per the
-  // configured SyncMode, or returns the sticky writer error.
+  // configured SyncMode, or returns the sticky writer error. The calling
+  // thread may be drafted as the group-commit leader and perform the
+  // write+sync itself (see the header comment).
   Status WaitDurable(uint64_t lsn);
 
   // Synchronous append: Enqueue + WaitDurable. Still benefits from group
@@ -116,20 +130,28 @@ class WalWriter {
   WalWriter(std::string path, const WalWriterOptions& options,
             std::unique_ptr<WriteAheadLog> log);
 
+  // Takes one batch off the queue and writes+syncs it with mu_ released
+  // (`lock` must hold mu_; writing_ is set for the duration). Runs on a
+  // leader's thread or the background thread.
+  void DrainBatchLocked(std::unique_lock<std::mutex>& lock);
+  // The leader/follower wait loop; `lock` must hold mu_.
+  Status WaitDurableLocked(uint64_t lsn, std::unique_lock<std::mutex>& lock);
   void WriterLoop();
 
   const std::string path_;
   const WalWriterOptions options_;
-  // Touched only by the writer thread, except in Truncate() after a drain.
+  // Touched only while writing_ is held, or under mu_ after a drain
+  // (Truncate/Rewrite).
   std::unique_ptr<WriteAheadLog> log_;
 
   mutable std::mutex mu_;
-  std::condition_variable work_cv_;     // wakes the writer thread
+  std::condition_variable work_cv_;     // wakes the background thread
   std::condition_variable durable_cv_;  // wakes WaitDurable/Truncate callers
   std::deque<Pending> queue_;           // guarded by mu_
   uint64_t next_lsn_ = 0;               // guarded by mu_; last ticket issued
   uint64_t durable_lsn_ = 0;            // guarded by mu_
   Status error_;                        // guarded by mu_; sticky
+  size_t waiters_ = 0;                  // guarded by mu_; WaitDurable callers
   bool writing_ = false;                // guarded by mu_; batch in flight
   bool stopping_ = false;               // guarded by mu_
   bool stopped_ = false;                // guarded by mu_; loop exited

@@ -492,9 +492,35 @@ std::vector<WorkItem> WorklistService::OffersFor(UserId user) const {
   }
   // The index is advisory (it may trail a concurrent claim by a moment);
   // the item table is the truth, so re-check the state per item.
-  return SnapshotItems(candidates, [](const WorkItem& item) {
-    return item.state == WorkItemState::kOffered;
-  });
+  std::vector<WorkItem> items =
+      SnapshotItems(candidates, [](const WorkItem& item) {
+        return item.state == WorkItemState::kOffered;
+      });
+  // Revalidate hits against the engine's published snapshots — the
+  // lock-free read path, so the hottest worklist query never takes a
+  // shard mutex. An offer whose node is no longer Activated, or whose
+  // activation epoch belongs to an earlier loop iteration, is stale
+  // (the retraction event will erase it momentarily); conversely a
+  // snapshot that trails an in-flight mutation can only *hide* an offer
+  // for one poll, never surface a wrong one. No snapshot (instance
+  // mid-move during a resize) keeps the item: the table is the truth.
+  std::vector<WorkItem> offers;
+  offers.reserve(items.size());
+  for (WorkItem& item : items) {
+    std::shared_ptr<const InstanceSnapshot> snapshot =
+        api_->SnapshotOf(item.instance);
+    if (snapshot != nullptr) {
+      if (snapshot->marking.node(item.node) != NodeState::kActivated) {
+        continue;
+      }
+      auto runs = snapshot->completed_runs.find(item.node);
+      uint64_t epoch = runs == snapshot->completed_runs.end() ? 0
+                                                              : runs->second;
+      if (epoch != item.epoch) continue;
+    }
+    offers.push_back(std::move(item));
+  }
+  return offers;
 }
 
 std::vector<WorkItem> WorklistService::AssignedTo(UserId user) const {

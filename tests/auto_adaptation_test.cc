@@ -51,15 +51,17 @@ TEST(AutoAdapterTest, FailureTriggersInsertion) {
   EXPECT_EQ(adapter.pending(), 0u);
 
   // The corrective activity is in place; retry + escalation completes.
-  const ProcessInstance* instance = adept.Instance(*inst);
-  NodeId escalate = instance->schema().FindNodeByName("escalate");
+  auto snapshot = adept.SnapshotOf(*inst);
+  ASSERT_NE(snapshot, nullptr);
+  NodeId escalate = snapshot->schema->FindNodeByName("escalate");
   ASSERT_TRUE(escalate.valid());
-  EXPECT_TRUE(instance->biased());
+  EXPECT_TRUE(snapshot->biased);
 
   ASSERT_TRUE(adept.RetryActivity(*inst, a1).ok());
   SimulationDriver driver({.seed = 1});
   ASSERT_TRUE(adept.DriveToCompletion(*inst, driver).ok());
-  EXPECT_EQ(instance->node_state(escalate), NodeState::kCompleted);
+  EXPECT_EQ(adept.SnapshotOf(*inst)->marking.node(escalate),
+            NodeState::kCompleted);
 }
 
 TEST(AutoAdapterTest, NameFilterRestrictsRule) {
@@ -121,7 +123,7 @@ TEST(AutoAdapterTest, RejectedAdaptationReportsStatus) {
   ASSERT_EQ(outcomes.size(), 1u);
   EXPECT_EQ(outcomes[0].status.code(), StatusCode::kVerificationFailed);
   // The instance is untouched by the rejected rule.
-  EXPECT_FALSE(adept.Instance(*inst)->biased());
+  EXPECT_FALSE(adept.SnapshotOf(*inst)->biased);
 }
 
 TEST(AutoAdapterTest, EmptyDeltaSkipsQuietly) {
@@ -146,7 +148,7 @@ TEST(AutoAdapterTest, EmptyDeltaSkipsQuietly) {
   auto outcomes = adapter.Drain();
   ASSERT_EQ(outcomes.size(), 1u);
   EXPECT_TRUE(outcomes[0].status.ok());
-  EXPECT_FALSE(adept.Instance(*inst)->biased());
+  EXPECT_FALSE(adept.SnapshotOf(*inst)->biased);
 }
 
 }  // namespace

@@ -61,11 +61,11 @@ TEST(AdeptClusterTest, ShardRoutingStability) {
     per_shard[owner]++;
     // The instance lives on its owning shard and nowhere else.
     for (size_t s = 0; s < 4; ++s) {
-      const ProcessInstance* found = (*cluster)->shard(s).Instance(*id);
+      const ProcessInstance* found = (*cluster)->shard(s).engine().Find(*id);
       EXPECT_EQ(found != nullptr, s == owner);
     }
-    // Routed reads resolve through the facade.
-    EXPECT_NE((*cluster)->Instance(*id), nullptr);
+    // Routed lock-free reads resolve through the facade.
+    EXPECT_NE((*cluster)->SnapshotOf(*id), nullptr);
   }
   // Round-robin placement keeps shards balanced.
   for (size_t s = 0; s < 4; ++s) EXPECT_EQ(per_shard[s], 10u);
@@ -105,7 +105,7 @@ TEST(AdeptClusterTest, CrossShardSchemaVisibility) {
   for (int i = 0; i < 8; ++i) {
     auto id = (*cluster)->CreateInstance("seq");
     ASSERT_TRUE(id.ok());
-    EXPECT_EQ((*cluster)->Instance(*id)->schema_ref(), *v2);
+    EXPECT_EQ((*cluster)->SnapshotOf(*id)->schema_ref, *v2);
   }
 }
 
@@ -298,7 +298,7 @@ TEST(AdeptClusterTest, SubmitBatchGroupsByShardAndReportsPerOp) {
   for (int round = 0; round < 64; ++round) {
     std::vector<AdeptCluster::BatchOp> batch;
     for (InstanceId id : ids) {
-      if (!(*cluster)->Instance(id)->Finished()) {
+      if (!(*cluster)->SnapshotOf(id)->finished) {
         batch.push_back(AdeptCluster::BatchOp::DriveStep(id));
       }
     }
@@ -306,7 +306,7 @@ TEST(AdeptClusterTest, SubmitBatchGroupsByShardAndReportsPerOp) {
     (*cluster)->SubmitBatch(batch);
   }
   for (InstanceId id : ids) {
-    EXPECT_TRUE((*cluster)->Instance(id)->Finished());
+    EXPECT_TRUE((*cluster)->SnapshotOf(id)->finished);
   }
 }
 
@@ -343,13 +343,14 @@ TEST(AdeptClusterTest, RecoverRestoresAllShards) {
   auto recovered = AdeptCluster::Recover(options);
   ASSERT_TRUE(recovered.ok()) << recovered.status();
   for (InstanceId id : ids) {
-    const ProcessInstance* inst = (*recovered)->Instance(id);
-    ASSERT_NE(inst, nullptr) << "instance " << id << " lost";
+    ASSERT_NE((*recovered)->SnapshotOf(id), nullptr)
+        << "instance " << id << " lost";
     // Still reachable on the shard the id hashes to.
-    EXPECT_NE((*recovered)->shard((*recovered)->ShardOf(id)).Instance(id),
-              nullptr);
+    EXPECT_NE(
+        (*recovered)->shard((*recovered)->ShardOf(id)).engine().Find(id),
+        nullptr);
   }
-  EXPECT_EQ((*recovered)->Instance(ids[0])->node_state(a1),
+  EXPECT_EQ((*recovered)->SnapshotOf(ids[0])->marking.node(a1),
             NodeState::kCompleted);
   auto latest = (*recovered)->LatestVersion("seq");
   ASSERT_TRUE(latest.ok());
@@ -386,7 +387,8 @@ TEST(AdeptClusterTest, RecoverWithDifferentShardCountRedistributes) {
     size_t owner = (*resized)->ShardOf(id);
     EXPECT_EQ(owner, (id.value() - 1) % 3);
     for (size_t s = 0; s < 3; ++s) {
-      EXPECT_EQ((*resized)->shard(s).Instance(id) != nullptr, s == owner);
+      EXPECT_EQ((*resized)->shard(s).engine().Find(id) != nullptr,
+                s == owner);
     }
   }
   // The retired shard's files are gone.
@@ -424,7 +426,7 @@ TEST(AdeptClusterTest, MigrationFansOutAndMergesReports) {
   EXPECT_EQ(report->results.size(), 12u);
   EXPECT_EQ(report->Count(MigrationOutcome::kMigrated), 12u);
   for (const auto& result : report->results) {
-    EXPECT_EQ((*cluster)->Instance(result.id)->schema_ref(), *v2);
+    EXPECT_EQ((*cluster)->SnapshotOf(result.id)->schema_ref, *v2);
   }
 }
 
@@ -437,7 +439,7 @@ TEST(AdeptClusterTest, SingleShardDegeneratesToPlainSystem) {
   EXPECT_EQ((*cluster)->ShardOf(*id), 0u);
   SimulationDriver driver({.seed = 11});
   ASSERT_TRUE((*cluster)->DriveToCompletion(*id, driver).ok());
-  EXPECT_TRUE((*cluster)->Instance(*id)->Finished());
+  EXPECT_TRUE((*cluster)->SnapshotOf(*id)->finished);
 }
 
 }  // namespace

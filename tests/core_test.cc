@@ -70,13 +70,13 @@ TEST(AdeptSystemTest, EndToEndLifecycle) {
 
   auto instance = adept.CreateInstance("online_order");
   ASSERT_TRUE(instance.ok());
-  const ProcessInstance* inst = adept.Instance(*instance);
-  ASSERT_NE(inst, nullptr);
-  EXPECT_FALSE(inst->Finished());
+  auto created = adept.SnapshotOf(*instance);
+  ASSERT_NE(created, nullptr);
+  EXPECT_FALSE(created->finished);
 
   SimulationDriver driver({.seed = 3});
   ASSERT_TRUE(adept.DriveToCompletion(*instance, driver).ok());
-  EXPECT_TRUE(inst->Finished());
+  EXPECT_TRUE(adept.SnapshotOf(*instance)->finished);
 }
 
 TEST(AdeptSystemTest, UnknownEntitiesRejected) {
@@ -86,7 +86,7 @@ TEST(AdeptSystemTest, UnknownEntitiesRejected) {
   EXPECT_FALSE(adept.CreateInstance("no such type").ok());
   EXPECT_FALSE(adept.StartActivity(InstanceId(99), NodeId(0)).ok());
   EXPECT_FALSE(adept.LatestVersion("nope").ok());
-  EXPECT_EQ(adept.Instance(InstanceId(1)), nullptr);
+  EXPECT_EQ(adept.SnapshotOf(InstanceId(1)), nullptr);
 }
 
 TEST(AdeptSystemTest, EvolveAndMigrateThroughFacade) {
@@ -110,7 +110,7 @@ TEST(AdeptSystemTest, EvolveAndMigrateThroughFacade) {
   auto report = adept.Migrate(*v1_id, *v2_id);
   ASSERT_TRUE(report.ok());
   EXPECT_EQ(report->MigratedTotal(), 1u);
-  EXPECT_EQ(adept.Instance(*i1)->schema().version(), 2);
+  EXPECT_EQ(adept.SnapshotOf(*i1)->schema->version(), 2);
 
   std::string rendered = RenderMigrationReport(*report);
   EXPECT_NE(rendered.find("1/1 migrated"), std::string::npos);
@@ -145,9 +145,11 @@ TEST(AdeptSystemTest, MigrateToLatestCrossesVersions) {
 
   auto report = adept.MigrateToLatest("chain");
   ASSERT_TRUE(report.ok()) << report.status();
-  EXPECT_EQ(adept.Instance(*inst)->schema().version(), 3);
-  EXPECT_TRUE(adept.Instance(*inst)->schema().FindNodeByName("b1").valid());
-  EXPECT_TRUE(adept.Instance(*inst)->schema().FindNodeByName("b2").valid());
+  auto snapshot = adept.SnapshotOf(*inst);
+  ASSERT_NE(snapshot, nullptr);
+  EXPECT_EQ(snapshot->schema->version(), 3);
+  EXPECT_TRUE(snapshot->schema->FindNodeByName("b1").valid());
+  EXPECT_TRUE(snapshot->schema->FindNodeByName("b2").valid());
 }
 
 TEST(AdeptSystemTest, WorklistIntegration) {
@@ -174,7 +176,7 @@ TEST(AdeptSystemTest, WorklistIntegration) {
   ASSERT_TRUE(adept.worklists().Claim(offers[0].id, *alice).ok());
   ASSERT_TRUE(adept.StartActivity(*inst, offers[0].node).ok());
   ASSERT_TRUE(adept.CompleteActivity(*inst, offers[0].node).ok());
-  EXPECT_TRUE(adept.Instance(*inst)->Finished());
+  EXPECT_TRUE(adept.SnapshotOf(*inst)->finished);
 }
 
 TEST(AdeptSystemTest, WalRecoveryRestoresFullState) {
@@ -209,23 +211,23 @@ TEST(AdeptSystemTest, WalRecoveryRestoresFullState) {
         v1->FindNodeByName("collect data")));
     ASSERT_TRUE(adept.ApplyAdHocChange(biased_id, std::move(bias)).ok());
 
-    running_render = RenderInstance(*adept.Instance(running_id));
-    biased_render = RenderInstance(*adept.Instance(biased_id));
+    running_render = RenderInstance(*adept.SnapshotOf(running_id));
+    biased_render = RenderInstance(*adept.SnapshotOf(biased_id));
   }  // system destroyed ("crash")
 
   auto recovered = AdeptSystem::Recover(options);
   ASSERT_TRUE(recovered.ok()) << recovered.status();
   AdeptSystem& adept = **recovered;
 
-  const ProcessInstance* running = adept.Instance(running_id);
+  auto running = adept.SnapshotOf(running_id);
   ASSERT_NE(running, nullptr);
   EXPECT_EQ(RenderInstance(*running), running_render);
 
-  const ProcessInstance* biased = adept.Instance(biased_id);
+  auto biased = adept.SnapshotOf(biased_id);
   ASSERT_NE(biased, nullptr);
-  EXPECT_TRUE(biased->biased());
+  EXPECT_TRUE(biased->biased);
   EXPECT_EQ(RenderInstance(*biased), biased_render);
-  EXPECT_TRUE(biased->schema().FindNodeByName("verify address").valid());
+  EXPECT_TRUE(biased->schema->FindNodeByName("verify address").valid());
 
   // The recovered system keeps working (and logging).
   SimulationDriver driver({.seed = 4});
@@ -258,8 +260,7 @@ TEST(AdeptSystemTest, RecoverParsesWalExactlyOnce) {
   EXPECT_EQ(WriteAheadLog::scan_count() - scans_before, 1u);
 
   // The single-scan recovery is complete: state replayed, log appendable.
-  const ProcessInstance* instance = (*recovered)->Instance(InstanceId(1));
-  ASSERT_NE(instance, nullptr);
+  ASSERT_NE((*recovered)->SnapshotOf(InstanceId(1)), nullptr);
   SimulationDriver driver({.seed = 11});
   ASSERT_TRUE((*recovered)->DriveToCompletion(InstanceId(1), driver).ok());
 }
@@ -286,7 +287,7 @@ TEST(AdeptSystemTest, WalRecoveryReplaysMigration) {
   }
   auto recovered = AdeptSystem::Recover(options);
   ASSERT_TRUE(recovered.ok()) << recovered.status();
-  EXPECT_EQ((*recovered)->Instance(inst_id)->schema().version(), 2);
+  EXPECT_EQ((*recovered)->SnapshotOf(inst_id)->schema->version(), 2);
 }
 
 TEST(AdeptSystemTest, CrashTruncatedWalRecoversPrefix) {
@@ -310,11 +311,11 @@ TEST(AdeptSystemTest, CrashTruncatedWalRecoversPrefix) {
 
   auto recovered = AdeptSystem::Recover(options);
   ASSERT_TRUE(recovered.ok()) << recovered.status();
-  const ProcessInstance* inst = (*recovered)->Instance(InstanceId(1));
-  ASSERT_NE(inst, nullptr);
+  auto snapshot = (*recovered)->SnapshotOf(InstanceId(1));
+  ASSERT_NE(snapshot, nullptr);
   // The damaged record (a1's completion) is lost; a1 is Running again.
-  NodeId a1 = inst->schema().FindNodeByName("a1");
-  EXPECT_EQ(inst->node_state(a1), NodeState::kRunning);
+  NodeId a1 = snapshot->schema->FindNodeByName("a1");
+  EXPECT_EQ(snapshot->marking.node(a1), NodeState::kRunning);
 }
 
 TEST(AdeptSystemTest, SnapshotCheckpointAndTailReplay) {
@@ -345,13 +346,13 @@ TEST(AdeptSystemTest, SnapshotCheckpointAndTailReplay) {
   }
   auto recovered = AdeptSystem::Recover(options);
   ASSERT_TRUE(recovered.ok()) << recovered.status();
-  const ProcessInstance* inst = (*recovered)->Instance(inst_id);
-  ASSERT_NE(inst, nullptr);
-  EXPECT_EQ(inst->node_state(inst->schema().FindNodeByName("a1")),
+  auto snapshot = (*recovered)->SnapshotOf(inst_id);
+  ASSERT_NE(snapshot, nullptr);
+  EXPECT_EQ(snapshot->marking.node(snapshot->schema->FindNodeByName("a1")),
             NodeState::kCompleted);
-  EXPECT_EQ(inst->node_state(inst->schema().FindNodeByName("a2")),
+  EXPECT_EQ(snapshot->marking.node(snapshot->schema->FindNodeByName("a2")),
             NodeState::kCompleted);
-  EXPECT_EQ(inst->node_state(inst->schema().FindNodeByName("a3")),
+  EXPECT_EQ(snapshot->marking.node(snapshot->schema->FindNodeByName("a3")),
             NodeState::kActivated);
 }
 
@@ -396,11 +397,12 @@ TEST(AdeptSystemTest, StaleWalAfterSnapshotIsNotDoubleApplied) {
 
   auto recovered = AdeptSystem::Recover(options);
   ASSERT_TRUE(recovered.ok()) << recovered.status();
-  const ProcessInstance* inst = (*recovered)->Instance(inst_id);
-  ASSERT_NE(inst, nullptr);
+  auto recovered_snapshot = (*recovered)->SnapshotOf(inst_id);
+  ASSERT_NE(recovered_snapshot, nullptr);
   // a1 completed exactly once; without LSN skipping the replayed "deploy"
   // record already fails recovery with kAlreadyExists.
-  EXPECT_EQ(inst->node_state(inst->schema().FindNodeByName("a1")),
+  EXPECT_EQ(recovered_snapshot->marking.node(
+                recovered_snapshot->schema->FindNodeByName("a1")),
             NodeState::kCompleted);
   EXPECT_EQ((*recovered)->engine().InstanceIds().size(), 1u);
 }
@@ -435,9 +437,9 @@ TEST(AdeptSystemTest, LsnNumberingSurvivesCheckpointRestart) {
   }
   auto recovered = AdeptSystem::Recover(options);
   ASSERT_TRUE(recovered.ok()) << recovered.status();
-  const ProcessInstance* inst = (*recovered)->Instance(inst_id);
-  ASSERT_NE(inst, nullptr);
-  EXPECT_EQ(inst->node_state(a1), NodeState::kCompleted);
+  auto snapshot = (*recovered)->SnapshotOf(inst_id);
+  ASSERT_NE(snapshot, nullptr);
+  EXPECT_EQ(snapshot->marking.node(a1), NodeState::kCompleted);
 }
 
 TEST(AdeptSystemTest, SnapshotPersistsBiasedInstances) {
@@ -464,10 +466,11 @@ TEST(AdeptSystemTest, SnapshotPersistsBiasedInstances) {
   }
   auto recovered = AdeptSystem::Recover(options);
   ASSERT_TRUE(recovered.ok()) << recovered.status();
-  const ProcessInstance* inst = (*recovered)->Instance(inst_id);
-  ASSERT_NE(inst, nullptr);
-  EXPECT_TRUE(inst->biased());
-  EXPECT_TRUE(inst->schema().FindNodeByName("extra check").valid());
+  auto recovered_snapshot = (*recovered)->SnapshotOf(inst_id);
+  ASSERT_NE(recovered_snapshot, nullptr);
+  EXPECT_TRUE(recovered_snapshot->biased);
+  EXPECT_TRUE(
+      recovered_snapshot->schema->FindNodeByName("extra check").valid());
   EXPECT_TRUE((*recovered)->store().IsBiased(inst_id));
 }
 
@@ -490,16 +493,16 @@ TEST(AdeptSystemTest, RecoveredSystemIsDeterministicReplica) {
         ASSERT_TRUE(progressed.ok());
         if (!*progressed) break;
       }
-      renders_before.push_back(RenderInstance(*adept.Instance(*inst)));
+      renders_before.push_back(RenderInstance(*adept.SnapshotOf(*inst)));
     }
   }
   auto recovered = AdeptSystem::Recover(options);
   ASSERT_TRUE(recovered.ok()) << recovered.status();
   for (size_t i = 0; i < renders_before.size(); ++i) {
-    const ProcessInstance* inst =
-        (*recovered)->Instance(InstanceId(i + 1));
-    ASSERT_NE(inst, nullptr);
-    EXPECT_EQ(RenderInstance(*inst), renders_before[i]) << "instance " << i;
+    auto snapshot = (*recovered)->SnapshotOf(InstanceId(i + 1));
+    ASSERT_NE(snapshot, nullptr);
+    EXPECT_EQ(RenderInstance(*snapshot), renders_before[i])
+        << "instance " << i;
   }
 }
 

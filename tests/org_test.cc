@@ -221,9 +221,9 @@ TEST_F(WorklistTest, StaleItemAfterBiasCancellationMigration) {
   offers = adept.worklists().OffersFor(alice);
   ASSERT_EQ(offers.size(), 1u);
   EXPECT_NE(offers[0].id, stale);
-  const ProcessInstance* inst = adept.Instance(id);
-  ASSERT_NE(inst, nullptr);
-  EXPECT_NE(inst->schema().FindNode(offers[0].node), nullptr);
+  auto snapshot = adept.SnapshotOf(id);
+  ASSERT_NE(snapshot, nullptr);
+  EXPECT_NE(snapshot->schema->FindNode(offers[0].node), nullptr);
   EXPECT_TRUE(adept.worklists().Claim(offers[0].id, alice).ok());
 }
 

@@ -86,7 +86,7 @@ class ResizeTest : public ::testing::Test {
       size_t owner = cluster.ShardOf(id);
       ASSERT_LT(owner, cluster.shard_count());
       for (size_t s = 0; s < cluster.shard_count(); ++s) {
-        EXPECT_EQ(cluster.shard(s).Instance(id) != nullptr, s == owner)
+        EXPECT_EQ(cluster.shard(s).engine().Find(id) != nullptr, s == owner)
             << "instance " << id << " vs shard " << s;
       }
       EXPECT_TRUE(cluster.WithInstance(id, [](const ProcessInstance&) {}).ok())
@@ -388,8 +388,8 @@ TEST_F(ResizeTest, CrashBetweenImportAndEvictRecoversExactlyOneOwner) {
   ASSERT_TRUE(recovered.ok()) << recovered.status();
   // Exactly one owner: the routed shard kept the instance, the duplicate
   // was evicted.
-  EXPECT_NE((*recovered)->shard(0).Instance(victim), nullptr);
-  EXPECT_EQ((*recovered)->shard(1).Instance(victim), nullptr);
+  EXPECT_NE((*recovered)->shard(0).engine().Find(victim), nullptr);
+  EXPECT_EQ((*recovered)->shard(1).engine().Find(victim), nullptr);
   size_t events_after = 0;
   ASSERT_TRUE((*recovered)
                   ->WithInstance(victim,
@@ -404,8 +404,8 @@ TEST_F(ResizeTest, CrashBetweenImportAndEvictRecoversExactlyOneOwner) {
   recovered->reset();
   auto again = AdeptCluster::Recover(DurableOptions(dir, 2));
   ASSERT_TRUE(again.ok()) << again.status();
-  EXPECT_NE((*again)->shard(0).Instance(victim), nullptr);
-  EXPECT_EQ((*again)->shard(1).Instance(victim), nullptr);
+  EXPECT_NE((*again)->shard(0).engine().Find(victim), nullptr);
+  EXPECT_EQ((*again)->shard(1).engine().Find(victim), nullptr);
 }
 
 // When the durable state is damaged beyond redistribution, the error must
@@ -506,7 +506,7 @@ TEST_F(ResizeTest, RepopulatePathStillWorksWithoutOrgFile) {
   PopulateOrg(**recovered);  // same call order => same ids
   EXPECT_TRUE((*recovered)->org().UserHasRole(alice_, clerk_));
   EXPECT_EQ((*recovered)->Worklist().OffersFor(alice_).size(), 1u);
-  EXPECT_NE((*recovered)->Instance(id), nullptr);
+  EXPECT_NE((*recovered)->SnapshotOf(id), nullptr);
 }
 
 }  // namespace
