@@ -11,6 +11,7 @@
 // Build & run:  ./build/examples/ehealth
 
 #include <iostream>
+#include <string>
 
 #include "change/change_op.h"
 #include "core/adept.h"
@@ -83,6 +84,17 @@ int main() {
               << RenderInstance(i) << "\n";
   });
 
+  // The unified read API: a textual query replaces a hand-written sweep.
+  // This ward's dashboard question — "which severe cases are running?" —
+  // is one indexed, lock-free Query() against published snapshots.
+  auto severe = adept.Query("data.severity == 1 && state == running");
+  if (!severe.ok()) {
+    std::cerr << "query failed: " << severe.status() << "\n";
+    return 1;
+  }
+  std::cout << "severe running cases (data.severity == 1): "
+            << severe->size() << "\n\n";
+
   // Ad-hoc deviation: this patient needs an extra lab test before ICU
   // admission. The paper: "to deal with an exceptional situation".
   {
@@ -107,13 +119,13 @@ int main() {
               << "  <- correctly rejected\n\n";
   }
 
-  // Work through the worklists until discharge. All instance reads run
-  // through WithInstance (the bare Instance() pointer is deprecated).
+  // Work through the worklists until discharge. The completion poll is a
+  // point query on the published snapshot — no engine lock, no sweep.
+  const std::string done_query =
+      "id == " + std::to_string(patient.value()) + " && state == finished";
   auto patient_finished = [&] {
-    bool done = false;
-    (void)adept.WithInstance(
-        patient, [&](const ProcessInstance& i) { done = i.Finished(); });
-    return done;
+    auto result = adept.Query(done_query);
+    return result.ok() && !result->empty();
   };
   int guard = 0;
   while (!patient_finished() && ++guard < 100) {
@@ -144,8 +156,16 @@ int main() {
     if (!worked) break;
   }
 
+  // Final render goes through the same query surface (RenderMatching is
+  // Query + RenderInstance per hit); only the execution-trace statistics
+  // still need the live instance under WithInstance.
+  auto rendered = RenderMatching(adept, "state == finished");
+  if (!rendered.ok()) {
+    std::cerr << "render query failed: " << rendered.status() << "\n";
+    return 1;
+  }
+  std::cout << "--- final state ---\n" << *rendered;
   (void)adept.WithInstance(patient, [](const ProcessInstance& i) {
-    std::cout << "--- final state ---\n" << RenderInstance(i);
     NodeId loop_start = i.schema().FindNodeByName("loop_start");
     std::cout << "treatment cycles: " << i.loop_iteration(loop_start) + 1
               << "\n";

@@ -14,6 +14,7 @@
 // Build & run:  ./build/examples/online_ordering
 
 #include <iostream>
+#include <string>
 
 #include "change/change_op.h"
 #include "core/adept.h"
@@ -109,28 +110,45 @@ int main() {
   std::cout << RenderMigrationReport(*report) << "\n";
 
   // I1 now runs on V2 with adapted markings: confirm order is gated behind
-  // the new "send questions" activity.
-  (void)adept.WithInstance(i1, [](const ProcessInstance& inst) {
-    std::cout << "--- I1 after migration ---\n" << RenderInstance(inst)
-              << "\n";
-  });
+  // the new "send questions" activity. The render is a query — exactly
+  // the instances on V2 — instead of naming I1 by hand.
+  auto migrated = RenderMatching(adept, "schema_version == 2");
+  if (!migrated.ok()) {
+    std::cerr << "query failed: " << migrated.status() << "\n";
+    return 1;
+  }
+  std::cout << "--- instances on V2 after migration ---\n" << *migrated
+            << "\n";
 
-  // All three instances still finish (I2/I3 on V1).
+  // Fig. 3's population summary as two indexed queries over the published
+  // snapshots (bare identifiers parse as string literals).
+  for (int version : {1, 2}) {
+    auto on_version = adept.Query(
+        "type == online_order && schema_version == " +
+        std::to_string(version) + " && state == running");
+    if (!on_version.ok()) {
+      std::cerr << "query failed: " << on_version.status() << "\n";
+      return 1;
+    }
+    std::cout << "running on V" << version << ": " << on_version->size()
+              << "\n";
+  }
+
+  // All three instances still finish (I2/I3 on V1). The version read is a
+  // lock-free snapshot fetch — no WithInstance needed for derived state.
   SimulationDriver driver({.seed = 7});
   for (InstanceId id : {i1, i2, i3}) {
     Status st = adept.DriveToCompletion(id, driver);
-    int version = 0;
-    (void)adept.WithInstance(id, [&](const ProcessInstance& inst) {
-      version = inst.schema().version();
-    });
+    auto snapshot = adept.SnapshotOf(id);
+    int version = snapshot == nullptr ? 0 : snapshot->schema->version();
     std::cout << "I" << id.value() << " finished: "
               << (st.ok() ? "yes" : st.ToString()) << " on V" << version
               << "\n";
   }
 
-  (void)adept.WithInstance(i1, [](const ProcessInstance& inst) {
+  if (auto i1_snapshot = adept.SnapshotOf(i1)) {
     std::cout << "\nGraphviz of I1's V2 schema (render with `dot -Tpng`):\n"
-              << SchemaToDot(inst.schema(), &inst);
-  });
+              << SchemaToDot(*i1_snapshot->schema, i1_snapshot.get());
+  }
   return 0;
 }

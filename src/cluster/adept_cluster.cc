@@ -111,6 +111,7 @@ AdeptOptions AdeptCluster::ShardOptions(const ClusterOptions& options,
       ShardRouting::PathFor(options.wal_path, static_cast<size_t>(index));
   shard_options.snapshot_path =
       ShardRouting::PathFor(options.snapshot_path, static_cast<size_t>(index));
+  shard_options.query_indexes = options.query_indexes;
   return shard_options;
 }
 
@@ -653,16 +654,17 @@ Status AdeptCluster::ReadInstance(
   return Status::OK();
 }
 
-void AdeptCluster::ForEachSnapshot(
-    const std::function<void(const InstanceSnapshot&)>& fn) const {
+void AdeptCluster::CollectQueryMatches(const CompiledQuery& query,
+                                       QueryResult* result) const {
   // The same seqlock discipline as FindSnapshot, extended to a sweep: a
   // resize concurrent with a naive sweep could hide an instance entirely
   // (imported to a shard outside the stale view, then evicted at the
-  // source before the sweep arrives) or visit its pre- and post-move
-  // copies twice. Collect first, invoke `fn` only after the epoch proved
-  // stable across the whole collection — within one stable epoch every
-  // instance lives on exactly one shard, so the batch is duplicate-free.
-  std::vector<std::shared_ptr<const InstanceSnapshot>> batch;
+  // source before the sweep arrives) or match its pre- and post-move
+  // copies twice. Collect per-shard matches first, accept the batch only
+  // after the epoch proved stable across the whole collection — within
+  // one stable epoch every instance lives on exactly one shard, so the
+  // merge is duplicate-free. Index candidacy is per shard; every hit was
+  // re-validated against its shard's current published snapshot.
   for (;;) {
     const bool poisoned = !CheckTopology().ok();
     const uint64_t before = read_epoch_.load(std::memory_order_acquire);
@@ -670,18 +672,40 @@ void AdeptCluster::ForEachSnapshot(
       std::this_thread::yield();  // resize in flight; the view is settling
       continue;
     }
-    batch.clear();
+    result->snapshots.clear();
+    result->used_index = false;
+    result->evaluated = 0;
     const ReadView* view = read_view_.load(std::memory_order_acquire);
     for (AdeptSystem* system : view->systems) {
-      system->snapshots().Collect(&batch);
+      system->CollectQueryMatches(query, result);
     }
     const uint64_t after = read_epoch_.load(std::memory_order_acquire);
     // After a failed resize the epoch never stabilizes; sweep the last
     // published view best-effort instead of spinning forever.
     if (poisoned || before == after) break;
   }
+  SortQueryResult(result);
+}
+
+Result<QueryResult> AdeptCluster::Query(const std::string& query) const {
+  ADEPT_ASSIGN_OR_RETURN(CompiledQuery compiled,
+                         CompiledQuery::Compile(query));
+  // Surface poisoning as the distinguishing error (like ReadInstance)
+  // rather than a silently partial sweep.
+  ADEPT_RETURN_IF_ERROR(CheckTopology());
+  QueryResult result;
+  CollectQueryMatches(compiled, &result);
+  return result;
+}
+
+void AdeptCluster::ForEachSnapshot(
+    const std::function<void(const InstanceSnapshot&)>& fn) const {
+  // A match-all query: the sweep is just the degenerate case of the query
+  // fan-out (one consolidated epoch-stable read path instead of two).
+  QueryResult batch;
+  CollectQueryMatches(CompiledQuery::MatchAll(), &batch);
   for (const auto& snapshot : batch) {
-    if (snapshot != nullptr) fn(*snapshot);
+    fn(*snapshot);
   }
 }
 

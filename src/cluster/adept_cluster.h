@@ -79,6 +79,9 @@ struct ClusterOptions {
   // more threads than cores only adds context switching, and the caller
   // thread already executes one shard group of every fan-out itself.
   int worker_threads = 0;
+  // Maintain per-shard secondary query indexes (src/query/README.md);
+  // when off, Query() falls back to full snapshot scans.
+  bool query_indexes = true;
 };
 
 class AdeptCluster : public AdeptApi {
@@ -138,11 +141,21 @@ class AdeptCluster : public AdeptApi {
   void ForEachInstance(
       const std::function<void(const ProcessInstance&)>& fn) const;
 
-  // Lock-free sweep over the published snapshot of every instance. Takes
-  // no shard lock: each instance is seen at some published version, not
-  // one global point in time, and `fn` may be arbitrarily slow.
+  // Lock-free sweep over the published snapshot of every instance (in
+  // ascending instance-id order). Takes no shard lock: each instance is
+  // seen at some published version, not one global point in time, and
+  // `fn` may be arbitrarily slow. Implemented as a match-all Query —
+  // prefer Query(predicate) when only a subset matters.
   void ForEachSnapshot(
       const std::function<void(const InstanceSnapshot&)>& fn) const;
+
+  // Indexed predicate evaluation across every shard (the AdeptApi::Query
+  // contract). The compiled predicate fans out over the atomic ReadView
+  // under the same epoch-stable discipline as ForEachSnapshot, so the
+  // merged result is duplicate-free across a concurrent Resize();
+  // per-shard candidates come from that shard's secondary indexes.
+  // kFailedPrecondition while the cluster is topology-poisoned.
+  Result<QueryResult> Query(const std::string& query) const override;
 
   // --- Organization / worklist ----------------------------------------------
 
@@ -365,6 +378,13 @@ class AdeptCluster : public AdeptApi {
   // kFailedPrecondition when the cluster is topology-poisoned.
   Result<std::shared_ptr<const InstanceSnapshot>> FindSnapshot(
       InstanceId id) const;
+
+  // Body of Query/ForEachSnapshot: fans the compiled predicate out to
+  // every shard of the read view, retrying until the routing epoch is
+  // stable across the whole collection (or sweeping best-effort once
+  // topology-poisoned), then sorts the merge by instance id.
+  void CollectQueryMatches(const CompiledQuery& query,
+                           QueryResult* result) const;
 
   // --- Resize machinery (quiescent; shared by Resize and Recover) -----------
 

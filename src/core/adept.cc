@@ -242,16 +242,45 @@ void AdeptSystem::PublishSnapshot(InstanceId id) {
   if (recovering_) return;
   const ProcessInstance* instance = engine_.Find(id);
   if (instance == nullptr) {
-    snapshots_.Erase(id);
+    ErasePublishedSnapshot(id);
     return;
   }
-  snapshots_.Publish(instance->BuildSnapshot());
+  std::shared_ptr<InstanceSnapshot> snapshot = instance->BuildSnapshot();
+  // The table swap returns the superseded snapshot: exactly the delta the
+  // query indexes need. Publication is serialized per system, so the
+  // index trails the table by at most this one call — and the query
+  // executor re-validates every candidate against the table anyway.
+  std::shared_ptr<const InstanceSnapshot> previous =
+      snapshots_.Publish(snapshot);
+  if (options_.query_indexes) {
+    query_index_.ApplyDelta(previous.get(), snapshot.get());
+  }
+}
+
+void AdeptSystem::ErasePublishedSnapshot(InstanceId id) {
+  std::shared_ptr<const InstanceSnapshot> previous = snapshots_.Erase(id);
+  if (options_.query_indexes && previous != nullptr) {
+    query_index_.ApplyDelta(previous.get(), nullptr);
+  }
 }
 
 void AdeptSystem::PublishAllSnapshots() {
   for (InstanceId id : engine_.InstanceIds()) {
     PublishSnapshot(id);
   }
+}
+
+Result<QueryResult> AdeptSystem::Query(const std::string& query) const {
+  ADEPT_ASSIGN_OR_RETURN(CompiledQuery compiled,
+                         CompiledQuery::Compile(query));
+  return RunQuery(compiled, snapshots_,
+                  options_.query_indexes ? &query_index_ : nullptr);
+}
+
+void AdeptSystem::CollectQueryMatches(const CompiledQuery& query,
+                                      QueryResult* result) const {
+  RunQueryInto(query, snapshots_,
+               options_.query_indexes ? &query_index_ : nullptr, result);
 }
 
 namespace {
@@ -562,8 +591,8 @@ Status AdeptSystem::EvictInstance(InstanceId id) {
   // The cluster's epoch-checked read path retries a miss while a resize
   // is in flight, so erasing here never turns a live instance invisible:
   // by the time the routing epoch stabilizes, the import side's snapshot
-  // is published.
-  snapshots_.Erase(id);
+  // (and its index entries) is published.
+  ErasePublishedSnapshot(id);
   JsonValue record = JsonValue::MakeObject();
   record.Set("t", JsonValue("evict"));
   record.Set("id", JsonValue(id.value()));

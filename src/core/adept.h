@@ -59,6 +59,11 @@ struct AdeptOptions {
   // WaitWalDurable(last_enqueued_lsn()) themselves. The cluster layer uses
   // this to overlap engine work with WAL I/O across shards.
   bool defer_wal_sync = false;
+  // Maintain the secondary query indexes (src/query/README.md) on every
+  // snapshot publication. Disabling trades indexed Query() execution
+  // (falls back to full scans) for zero index-delta work on the mutation
+  // path — benchmarks price the difference.
+  bool query_indexes = true;
 };
 
 class AdeptSystem : public AdeptApi {
@@ -108,6 +113,16 @@ class AdeptSystem : public AdeptApi {
 
   // The published-snapshot table (cluster sweeps, tests).
   const SnapshotTable& snapshots() const { return snapshots_; }
+
+  // Indexed predicate evaluation over the published snapshots (the
+  // AdeptApi::Query contract). Lock-free; safe from any thread.
+  Result<QueryResult> Query(const std::string& query) const override;
+
+  // Appends this system's matches for an already compiled query to
+  // `result` (unsorted — the cluster's fan-out merges across shards and
+  // sorts once). Takes no engine lock.
+  void CollectQueryMatches(const CompiledQuery& query,
+                           QueryResult* result) const;
 
   Status StartActivity(InstanceId id, NodeId node) override;
   Status CompleteActivity(
@@ -230,10 +245,14 @@ class AdeptSystem : public AdeptApi {
   // cancellation rewrites markings without firing instance events).
   void ResyncWorklists();
   // Publishes `id`'s current state into the snapshot table (erases when
-  // the instance is gone). No-op during recovery — Recover() bulk-
-  // publishes once at the end instead of once per replayed record.
+  // the instance is gone) and applies the publication delta to the query
+  // indexes. No-op during recovery — Recover() bulk-publishes once at
+  // the end instead of once per replayed record, which also rebuilds the
+  // indexes from scratch.
   void PublishSnapshot(InstanceId id);
   void PublishAllSnapshots();
+  // Erases `id`'s published snapshot + index entries (eviction paths).
+  void ErasePublishedSnapshot(InstanceId id);
 
   AdeptOptions options_;
   SchemaRepository repository_;
@@ -244,6 +263,7 @@ class AdeptSystem : public AdeptApi {
   WorklistManager worklists_{&org_};
   ObserverFanout fanout_;
   SnapshotTable snapshots_;
+  QueryIndex query_index_;
   std::unique_ptr<WalWriter> wal_;
   uint64_t last_enqueued_lsn_ = 0;
   bool recovering_ = false;

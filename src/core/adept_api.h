@@ -25,6 +25,7 @@
 #include "common/status.h"
 #include "compliance/migration.h"
 #include "model/schema.h"
+#include "query/query.h"
 #include "runtime/driver.h"
 #include "runtime/instance.h"
 #include "runtime/instance_snapshot.h"
@@ -78,6 +79,14 @@ class AdeptApi {
   // serializes the instance's engine turn. Reads therefore scale with the
   // reader count and never block behind CompleteActivity/Migrate on the
   // same shard; staleness is bounded by one in-flight mutation.
+  //
+  // Choosing a read call (the full guide lives in src/cluster/README.md):
+  //   SnapshotOf     one instance by id, lock-free
+  //   ReadInstance   same, with a distinguishing error instead of nullptr
+  //   Query          all instances matching a predicate, lock-free +
+  //                  index-accelerated — the monitoring/worklist sweep
+  //   WithInstance   live state under the owner's lock (trace access);
+  //                  last resort, blocks the instance's engine
 
   // Current snapshot of `id`, or nullptr when the instance does not exist
   // (AdeptCluster: also nullptr while the cluster is topology-poisoned —
@@ -111,6 +120,19 @@ class AdeptApi {
     fn(*instance);
     return Status::OK();
   }
+
+  // Evaluates a textual predicate (grammar + semantics: src/query/
+  // README.md) over the published snapshots and returns the matches in
+  // ascending instance-id order. Lock-free: takes no shard mutex; when a
+  // conjunct is indexable the candidate set comes from the snapshot-
+  // maintained secondary indexes, and every hit is re-validated against
+  // its current published snapshot (no stale-wrong results). Staleness is
+  // bounded exactly like SnapshotOf: each match reflects its instance's
+  // latest publication, not a global point in time. kInvalidArgument on a
+  // malformed query (message carries the offset and a caret span);
+  // AdeptCluster additionally kFailedPrecondition while topology-
+  // poisoned.
+  virtual Result<QueryResult> Query(const std::string& query) const = 0;
 
   virtual Status StartActivity(InstanceId id, NodeId node) = 0;
   virtual Status CompleteActivity(

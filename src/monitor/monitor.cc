@@ -1,6 +1,6 @@
 #include "monitor/monitor.h"
 
-#include <functional>
+#include <memory>
 #include <sstream>
 
 #include "common/string_util.h"
@@ -87,46 +87,31 @@ std::string RenderSchema(const SchemaView& schema) {
   return os.str();
 }
 
-namespace {
-
-// Shared body of the two RenderInstance overloads: everything it needs is
-// a schema plus a node-state function, so live instances and published
-// snapshots render identically.
-std::string RenderInstanceImpl(
-    const SchemaView& schema, InstanceId id, bool biased, bool finished,
-    const std::function<NodeState(NodeId)>& state_of) {
+// The snapshot overload is the single implementation; the live-instance
+// overload below adapts through BuildSnapshot() so both views print
+// identically by construction.
+std::string RenderInstance(const InstanceSnapshot& snapshot) {
+  const SchemaView& schema = *snapshot.schema;
   std::ostringstream os;
-  os << id << " on '" << schema.type_name() << "' V" << schema.version()
-     << (biased ? " (ad-hoc modified)" : "") << (finished ? " [finished]" : "")
-     << "\n";
+  os << snapshot.id << " on '" << schema.type_name() << "' V"
+     << schema.version() << (snapshot.biased ? " (ad-hoc modified)" : "")
+     << (snapshot.finished ? " [finished]" : "") << "\n";
   for (NodeId node : schema.TopologicalOrder()) {
     const Node* n = schema.FindNode(node);
     if (n == nullptr || n->type != NodeType::kActivity) continue;
-    os << StrFormat("  [%-12s] ", NodeStateToString(state_of(node)))
+    os << StrFormat("  [%-12s] ",
+                    NodeStateToString(snapshot.marking.node(node)))
        << n->name << "\n";
   }
   return os.str();
 }
 
-}  // namespace
-
 std::string RenderInstance(const ProcessInstance& instance) {
-  return RenderInstanceImpl(
-      instance.schema(), instance.id(), instance.biased(),
-      instance.Finished(),
-      [&](NodeId node) { return instance.node_state(node); });
+  return RenderInstance(*instance.BuildSnapshot());
 }
 
-std::string RenderInstance(const InstanceSnapshot& snapshot) {
-  return RenderInstanceImpl(
-      *snapshot.schema, snapshot.id, snapshot.biased, snapshot.finished,
-      [&](NodeId node) { return snapshot.marking.node(node); });
-}
-
-namespace {
-
-std::string SchemaToDotImpl(const SchemaView& schema,
-                            const std::function<NodeState(NodeId)>* state_of) {
+std::string SchemaToDot(const SchemaView& schema,
+                        const InstanceSnapshot* snapshot) {
   std::ostringstream os;
   os << "digraph \"" << schema.type_name() << "_v" << schema.version()
      << "\" {\n  rankdir=LR;\n  node [fontname=\"Helvetica\"];\n";
@@ -153,8 +138,8 @@ std::string SchemaToDotImpl(const SchemaView& schema,
         break;
     }
     std::string fill = "white";
-    if (state_of != nullptr) {
-      switch ((*state_of)(n.id)) {
+    if (snapshot != nullptr) {
+      switch (snapshot->marking.node(n.id)) {
         case NodeState::kActivated:
           fill = "khaki";
           break;
@@ -199,24 +184,24 @@ std::string SchemaToDotImpl(const SchemaView& schema,
   return os.str();
 }
 
-}  // namespace
-
 std::string SchemaToDot(const SchemaView& schema,
                         const ProcessInstance* instance) {
-  if (instance == nullptr) return SchemaToDotImpl(schema, nullptr);
-  std::function<NodeState(NodeId)> state_of = [&](NodeId node) {
-    return instance->node_state(node);
-  };
-  return SchemaToDotImpl(schema, &state_of);
+  if (instance == nullptr) {
+    return SchemaToDot(schema, static_cast<const InstanceSnapshot*>(nullptr));
+  }
+  // Keep the built snapshot alive across the render.
+  std::shared_ptr<InstanceSnapshot> snapshot = instance->BuildSnapshot();
+  return SchemaToDot(schema, snapshot.get());
 }
 
-std::string SchemaToDot(const SchemaView& schema,
-                        const InstanceSnapshot* snapshot) {
-  if (snapshot == nullptr) return SchemaToDotImpl(schema, nullptr);
-  std::function<NodeState(NodeId)> state_of = [&](NodeId node) {
-    return snapshot->marking.node(node);
-  };
-  return SchemaToDotImpl(schema, &state_of);
+Result<std::string> RenderMatching(const AdeptApi& api,
+                                   const std::string& query) {
+  ADEPT_ASSIGN_OR_RETURN(QueryResult result, api.Query(query));
+  std::ostringstream os;
+  for (const auto& snapshot : result) {
+    os << RenderInstance(*snapshot);
+  }
+  return os.str();
 }
 
 std::string RenderMigrationReport(const MigrationReport& report) {

@@ -7,6 +7,8 @@
 //     indentation) and an instance's node markings
 //   * SchemaToDot: Graphviz export (sync edges dashed, loop edges curved,
 //     node fill by instance state)
+//   * RenderMatching: renders every instance matching a query predicate —
+//     the monitoring sweep as a consumer of the unified read-side API
 //   * RenderMigrationReport: the Fig. 3 migration report, one line per
 //     instance with its outcome and conflict reason
 //   * MonitoringLog: an InstanceObserver that records state transitions
@@ -18,7 +20,9 @@
 #include <deque>
 #include <string>
 
+#include "common/status.h"
 #include "compliance/migration.h"
+#include "core/adept_api.h"
 #include "model/schema_view.h"
 #include "runtime/events.h"
 #include "runtime/instance.h"
@@ -30,18 +34,30 @@ namespace adept {
 std::string RenderSchema(const SchemaView& schema);
 
 // Node-by-node marking of an instance, in topological order. The
-// ProcessInstance overload needs the live instance (WithInstance
-// discipline); the InstanceSnapshot overload is the lock-free monitoring
-// path — renderable from any thread without blocking the engine.
-std::string RenderInstance(const ProcessInstance& instance);
+// InstanceSnapshot overload is THE implementation — the lock-free
+// monitoring path, renderable from any thread without blocking the
+// engine. The ProcessInstance overload (WithInstance discipline) is a
+// thin adapter that builds a snapshot of the live state and renders
+// that, so both views are guaranteed to print identically.
 std::string RenderInstance(const InstanceSnapshot& snapshot);
+std::string RenderInstance(const ProcessInstance& instance);
 
 // Graphviz dot; when `instance`/`snapshot` is non-null, nodes are colored
-// by state. The snapshot overload renders without any engine lock.
-std::string SchemaToDot(const SchemaView& schema,
-                        const ProcessInstance* instance = nullptr);
+// by state. As with RenderInstance, the snapshot overload is the
+// implementation and the live overload adapts through BuildSnapshot().
 std::string SchemaToDot(const SchemaView& schema,
                         const InstanceSnapshot* snapshot);
+std::string SchemaToDot(const SchemaView& schema,
+                        const ProcessInstance* instance = nullptr);
+
+// Renders every instance matching `query` (grammar: src/query/README.md),
+// in ascending instance-id order — e.g.
+//   RenderMatching(api, "state == running && schema == 3")
+// One Query() sweep, lock-free, works identically on AdeptSystem and
+// AdeptCluster. Propagates Query's errors (kInvalidArgument with a caret
+// span; kFailedPrecondition from a topology-poisoned cluster).
+Result<std::string> RenderMatching(const AdeptApi& api,
+                                   const std::string& query);
 
 // Fig. 3 style migration report.
 std::string RenderMigrationReport(const MigrationReport& report);

@@ -1,0 +1,231 @@
+#include "query/query.h"
+
+#include <algorithm>
+
+#include "query/query_parser.h"
+
+namespace adept {
+
+Result<CompiledQuery> CompiledQuery::Compile(const std::string& text) {
+  ADEPT_ASSIGN_OR_RETURN(std::unique_ptr<query::Expr> root,
+                         query::Parse(text));
+  return CompiledQuery(std::shared_ptr<const query::Expr>(std::move(root)),
+                       text);
+}
+
+CompiledQuery CompiledQuery::MatchAll() {
+  auto root = std::make_shared<query::Expr>();
+  root->kind = query::ExprKind::kConst;
+  root->const_value = true;
+  return CompiledQuery(std::move(root), "true");
+}
+
+namespace {
+
+using query::CompareOp;
+using query::Expr;
+using query::ExprKind;
+using query::FieldKind;
+using query::Literal;
+
+// Top-level conjuncts of the predicate (the children of an AND chain; the
+// whole tree when the root is not an AND). Only these can narrow the
+// candidate set — a disjunct or negated term must see every candidate.
+void FlattenConjuncts(const Expr& expr, std::vector<const Expr*>* out) {
+  if (expr.kind == ExprKind::kAnd) {
+    for (const auto& child : expr.children) FlattenConjuncts(*child, out);
+    return;
+  }
+  out->push_back(&expr);
+}
+
+// An index probe the planner chose: which family to ask, keyed how.
+// Lower `priority` = expected more selective.
+struct Probe {
+  enum class Kind {
+    kNone,
+    kById,      // point lookup straight off the SnapshotTable
+    kData,      // exact data value
+    kNode,      // activated/running node name
+    kSchema,    // schema ref
+    kState,     // lifecycle rank
+    kBiased,    // biased set
+    kVersion,   // publication-version range
+  };
+  Kind kind = Kind::kNone;
+  const Expr* expr = nullptr;
+  int priority = 1 << 20;
+};
+
+DataValue LiteralToDataValue(const Literal& literal) {
+  switch (literal.type) {
+    case Literal::Type::kBool:
+      return DataValue::Bool(literal.bool_value);
+    case Literal::Type::kInt:
+      return DataValue::Int(literal.int_value);
+    case Literal::Type::kDouble:
+      return DataValue::Double(literal.double_value);
+    case Literal::Type::kString:
+      return DataValue::String(literal.string_value);
+  }
+  return DataValue();
+}
+
+Probe ClassifyConjunct(const Expr& conjunct) {
+  Probe probe;
+  probe.expr = &conjunct;
+  if (conjunct.kind == ExprKind::kNodeIn) {
+    probe.kind = Probe::Kind::kNode;
+    probe.priority = 2;
+    return probe;
+  }
+  if (conjunct.kind != ExprKind::kCompare) return probe;
+  const bool is_eq = conjunct.op == CompareOp::kEq;
+  switch (conjunct.field) {
+    case FieldKind::kId:
+      if (is_eq && conjunct.literal.type == Literal::Type::kInt) {
+        probe.kind = Probe::Kind::kById;
+        probe.priority = 0;
+      }
+      break;
+    case FieldKind::kData:
+      if (is_eq) {
+        probe.kind = Probe::Kind::kData;
+        probe.priority = 1;
+      }
+      break;
+    case FieldKind::kSchema:
+      if (is_eq && conjunct.literal.type == Literal::Type::kInt) {
+        probe.kind = Probe::Kind::kSchema;
+        probe.priority = 3;
+      }
+      break;
+    case FieldKind::kState:
+      if (is_eq && conjunct.literal.type == Literal::Type::kString &&
+          query::StateRankOfName(conjunct.literal.string_value) >= 0) {
+        probe.kind = Probe::Kind::kState;
+        probe.priority = 4;
+      }
+      break;
+    case FieldKind::kBiased:
+      if (is_eq && conjunct.literal.type == Literal::Type::kBool &&
+          conjunct.literal.bool_value) {
+        probe.kind = Probe::Kind::kBiased;
+        probe.priority = 5;
+      }
+      break;
+    case FieldKind::kVersion:
+      if (conjunct.op != CompareOp::kNe &&
+          conjunct.literal.type == Literal::Type::kInt) {
+        probe.kind = Probe::Kind::kVersion;
+        probe.priority = 6;
+      }
+      break;
+    default:
+      break;
+  }
+  return probe;
+}
+
+Probe ChooseProbe(const Expr& root) {
+  std::vector<const Expr*> conjuncts;
+  FlattenConjuncts(root, &conjuncts);
+  Probe best;
+  for (const Expr* conjunct : conjuncts) {
+    Probe probe = ClassifyConjunct(*conjunct);
+    if (probe.kind != Probe::Kind::kNone && probe.priority < best.priority) {
+      best = probe;
+    }
+  }
+  return best;
+}
+
+std::vector<InstanceId> ProbeCandidates(const Probe& probe,
+                                        const QueryIndex& index) {
+  const Expr& e = *probe.expr;
+  switch (probe.kind) {
+    case Probe::Kind::kData:
+      return index.ByDataValue(e.name, LiteralToDataValue(e.literal));
+    case Probe::Kind::kNode:
+      return index.ByNode(e.node_set, e.name);
+    case Probe::Kind::kSchema:
+      return index.BySchema(
+          static_cast<uint64_t>(e.literal.int_value));
+    case Probe::Kind::kState:
+      return index.ByStateRank(
+          query::StateRankOfName(e.literal.string_value));
+    case Probe::Kind::kBiased:
+      return index.ByBiased();
+    case Probe::Kind::kVersion:
+      return index.ByVersion(e.op, e.literal.int_value);
+    case Probe::Kind::kNone:
+    case Probe::Kind::kById:
+      break;
+  }
+  return {};
+}
+
+}  // namespace
+
+void RunQueryInto(const CompiledQuery& query, const SnapshotTable& table,
+                  const QueryIndex* index, QueryResult* result) {
+  const Probe probe = ChooseProbe(query.root());
+
+  // An `id == K` conjunct needs no index at all: the snapshot table is
+  // already a point-lookup structure.
+  if (probe.kind == Probe::Kind::kById) {
+    result->used_index = true;
+    const int64_t raw = probe.expr->literal.int_value;
+    if (raw <= 0) return;
+    ++result->evaluated;
+    std::shared_ptr<const InstanceSnapshot> snapshot =
+        table.Get(InstanceId(static_cast<uint64_t>(raw)));
+    if (snapshot != nullptr && query.Matches(*snapshot)) {
+      result->snapshots.push_back(std::move(snapshot));
+    }
+    return;
+  }
+
+  if (index != nullptr && probe.kind != Probe::Kind::kNone) {
+    // Candidates from the index, truth from the table: re-fetch the
+    // current snapshot and re-evaluate the full predicate, so a trailing
+    // index entry can never surface a stale-wrong match.
+    result->used_index = true;
+    for (InstanceId id : ProbeCandidates(probe, *index)) {
+      ++result->evaluated;
+      std::shared_ptr<const InstanceSnapshot> snapshot = table.Get(id);
+      if (snapshot != nullptr && query.Matches(*snapshot)) {
+        result->snapshots.push_back(std::move(snapshot));
+      }
+    }
+    return;
+  }
+
+  // No indexable conjunct (or indexes disabled): full scan.
+  std::vector<std::shared_ptr<const InstanceSnapshot>> all;
+  table.Collect(&all);
+  result->evaluated += all.size();
+  for (auto& snapshot : all) {
+    if (snapshot != nullptr && query.Matches(*snapshot)) {
+      result->snapshots.push_back(std::move(snapshot));
+    }
+  }
+}
+
+void SortQueryResult(QueryResult* result) {
+  std::sort(result->snapshots.begin(), result->snapshots.end(),
+            [](const std::shared_ptr<const InstanceSnapshot>& a,
+               const std::shared_ptr<const InstanceSnapshot>& b) {
+              return a->id.value() < b->id.value();
+            });
+}
+
+QueryResult RunQuery(const CompiledQuery& query, const SnapshotTable& table,
+                     const QueryIndex* index) {
+  QueryResult result;
+  RunQueryInto(query, table, index, &result);
+  SortQueryResult(&result);
+  return result;
+}
+
+}  // namespace adept

@@ -1,0 +1,300 @@
+#include "query/query_index.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "model/node.h"
+
+namespace adept {
+
+namespace {
+
+// Activity names in `set`, resolved through the snapshot's own schema (a
+// migrated instance's node ids mean nothing outside its schema version).
+std::vector<std::string> NodeNames(const InstanceSnapshot& snapshot,
+                                   query::NodeSet set) {
+  std::vector<std::string> names;
+  if (snapshot.schema == nullptr) return names;
+  const std::vector<NodeId>& nodes = set == query::NodeSet::kActivated
+                                         ? snapshot.activated_activities
+                                         : snapshot.running_activities;
+  names.reserve(nodes.size());
+  for (NodeId id : nodes) {
+    const Node* node = snapshot.schema->FindNode(id);
+    if (node != nullptr && !node->name.empty()) names.push_back(node->name);
+  }
+  return names;
+}
+
+// (element name, encoded value) pairs of every written data element.
+std::vector<std::pair<std::string, std::string>> DataKeys(
+    const InstanceSnapshot& snapshot) {
+  std::vector<std::pair<std::string, std::string>> keys;
+  if (snapshot.schema == nullptr) return keys;
+  keys.reserve(snapshot.data_values.size());
+  for (const auto& [id, value] : snapshot.data_values) {
+    const DataElement* element = snapshot.schema->FindData(id);
+    if (element == nullptr || element->name.empty()) continue;
+    keys.emplace_back(element->name, QueryIndex::EncodeDataKey(value));
+  }
+  return keys;
+}
+
+std::vector<InstanceId> ToIds(
+    const std::unordered_set<uint64_t>& set) {
+  std::vector<InstanceId> ids;
+  ids.reserve(set.size());
+  for (uint64_t v : set) ids.push_back(InstanceId(v));
+  return ids;
+}
+
+}  // namespace
+
+std::string QueryIndex::EncodeDataKey(const DataValue& value) {
+  switch (value.type()) {
+    case DataType::kBool:
+      return value.as_bool() ? "b:1" : "b:0";
+    case DataType::kInt:
+      return "i:" + std::to_string(value.as_int());
+    case DataType::kDouble: {
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), "d:%.17g", value.as_double());
+      return buf;
+    }
+    case DataType::kString:
+      return "s:" + value.as_string();
+  }
+  return "s:";
+}
+
+void QueryIndex::ApplyDelta(const InstanceSnapshot* before,
+                            const InstanceSnapshot* after) {
+  if (before == nullptr && after == nullptr) return;
+  const uint64_t id =
+      (after != nullptr ? after->id : before->id).value();
+
+  // Schema family.
+  {
+    const bool same = before != nullptr && after != nullptr &&
+                      before->schema_ref == after->schema_ref;
+    if (!same) {
+      std::lock_guard<std::mutex> lock(schema_.mu);
+      if (before != nullptr) {
+        auto it = schema_.map.find(before->schema_ref.value());
+        if (it != schema_.map.end()) {
+          it->second.erase(id);
+          if (it->second.empty()) schema_.map.erase(it);
+        }
+      }
+      if (after != nullptr) {
+        schema_.map[after->schema_ref.value()].insert(id);
+      }
+    }
+  }
+
+  // State family (lifecycle rank + biased set).
+  {
+    const int before_rank =
+        before != nullptr ? query::SnapshotStateRank(*before) : -1;
+    const int after_rank =
+        after != nullptr ? query::SnapshotStateRank(*after) : -1;
+    const bool before_biased = before != nullptr && before->biased;
+    const bool after_biased = after != nullptr && after->biased;
+    if (before_rank != after_rank || before_biased != after_biased) {
+      std::lock_guard<std::mutex> lock(state_.mu);
+      if (before_rank != after_rank) {
+        if (before_rank >= 0) state_.by_rank[before_rank].erase(id);
+        if (after_rank >= 0) state_.by_rank[after_rank].insert(id);
+      }
+      if (before_biased != after_biased) {
+        if (before_biased) state_.biased.erase(id);
+        if (after_biased) state_.biased.insert(id);
+      }
+    }
+  }
+
+  // Node families.
+  UpdateNodeFamily(activated_, id, before, after, query::NodeSet::kActivated);
+  UpdateNodeFamily(running_, id, before, after, query::NodeSet::kRunning);
+
+  // Data family.
+  {
+    std::vector<std::pair<std::string, std::string>> before_keys =
+        before != nullptr
+            ? DataKeys(*before)
+            : std::vector<std::pair<std::string, std::string>>{};
+    std::vector<std::pair<std::string, std::string>> after_keys =
+        after != nullptr
+            ? DataKeys(*after)
+            : std::vector<std::pair<std::string, std::string>>{};
+    std::sort(before_keys.begin(), before_keys.end());
+    std::sort(after_keys.begin(), after_keys.end());
+    if (before_keys != after_keys) {
+      std::lock_guard<std::mutex> lock(data_.mu);
+      for (const auto& [field, key] : before_keys) {
+        auto field_it = data_.map.find(field);
+        if (field_it == data_.map.end()) continue;
+        auto key_it = field_it->second.find(key);
+        if (key_it == field_it->second.end()) continue;
+        key_it->second.erase(id);
+        if (key_it->second.empty()) field_it->second.erase(key_it);
+        if (field_it->second.empty()) data_.map.erase(field_it);
+      }
+      for (const auto& [field, key] : after_keys) {
+        data_.map[field][key].insert(id);
+      }
+    }
+  }
+
+  // Version family (every publication bumps the version, so this is the
+  // one family that moves on every delta — one ordered-map erase+insert).
+  {
+    std::lock_guard<std::mutex> lock(version_.mu);
+    if (before != nullptr) {
+      auto it = version_.map.find(before->version);
+      if (it != version_.map.end()) {
+        it->second.erase(id);
+        if (it->second.empty()) version_.map.erase(it);
+      }
+    }
+    if (after != nullptr) {
+      version_.map[after->version].insert(id);
+    }
+  }
+}
+
+void QueryIndex::UpdateNodeFamily(NodeFamily& family, uint64_t id,
+                                  const InstanceSnapshot* before,
+                                  const InstanceSnapshot* after,
+                                  query::NodeSet set) {
+  std::vector<std::string> before_names =
+      before != nullptr ? NodeNames(*before, set) : std::vector<std::string>{};
+  std::vector<std::string> after_names =
+      after != nullptr ? NodeNames(*after, set) : std::vector<std::string>{};
+  std::sort(before_names.begin(), before_names.end());
+  std::sort(after_names.begin(), after_names.end());
+  if (before_names == after_names) return;
+  std::lock_guard<std::mutex> lock(family.mu);
+  for (const std::string& name : before_names) {
+    auto it = family.map.find(name);
+    if (it == family.map.end()) continue;
+    it->second.erase(id);
+    if (it->second.empty()) family.map.erase(it);
+  }
+  for (const std::string& name : after_names) {
+    family.map[name].insert(id);
+  }
+}
+
+void QueryIndex::Clear() {
+  {
+    std::lock_guard<std::mutex> lock(schema_.mu);
+    schema_.map.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lock(state_.mu);
+    for (IdSet& set : state_.by_rank) set.clear();
+    state_.biased.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lock(activated_.mu);
+    activated_.map.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lock(running_.mu);
+    running_.map.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lock(data_.mu);
+    data_.map.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lock(version_.mu);
+    version_.map.clear();
+  }
+}
+
+std::vector<InstanceId> QueryIndex::BySchema(uint64_t schema_ref) const {
+  std::lock_guard<std::mutex> lock(schema_.mu);
+  auto it = schema_.map.find(schema_ref);
+  return it == schema_.map.end() ? std::vector<InstanceId>{}
+                                 : ToIds(it->second);
+}
+
+std::vector<InstanceId> QueryIndex::ByStateRank(int rank) const {
+  if (rank < 0 || rank > 2) return {};
+  std::lock_guard<std::mutex> lock(state_.mu);
+  return ToIds(state_.by_rank[rank]);
+}
+
+std::vector<InstanceId> QueryIndex::ByBiased() const {
+  std::lock_guard<std::mutex> lock(state_.mu);
+  return ToIds(state_.biased);
+}
+
+std::vector<InstanceId> QueryIndex::ByNode(query::NodeSet set,
+                                           const std::string& name) const {
+  const NodeFamily& family =
+      set == query::NodeSet::kActivated ? activated_ : running_;
+  std::lock_guard<std::mutex> lock(family.mu);
+  auto it = family.map.find(name);
+  return it == family.map.end() ? std::vector<InstanceId>{}
+                                : ToIds(it->second);
+}
+
+std::vector<InstanceId> QueryIndex::ByDataValue(const std::string& field,
+                                                const DataValue& value) const {
+  const std::string key = EncodeDataKey(value);
+  std::lock_guard<std::mutex> lock(data_.mu);
+  auto field_it = data_.map.find(field);
+  if (field_it == data_.map.end()) return {};
+  auto key_it = field_it->second.find(key);
+  return key_it == field_it->second.end() ? std::vector<InstanceId>{}
+                                          : ToIds(key_it->second);
+}
+
+std::vector<InstanceId> QueryIndex::ByVersion(query::CompareOp op,
+                                              int64_t bound) const {
+  using query::CompareOp;
+  std::vector<InstanceId> ids;
+  std::lock_guard<std::mutex> lock(version_.mu);
+  // Versions are unsigned; clamp a negative bound to "below everything".
+  if (bound < 0) {
+    if (op == CompareOp::kLt || op == CompareOp::kLe ||
+        op == CompareOp::kEq) {
+      return ids;
+    }
+    bound = 0;  // kGt/kGe: everything qualifies, fall through with [0, end)
+    op = CompareOp::kGe;
+  }
+  const uint64_t key = static_cast<uint64_t>(bound);
+  auto begin = version_.map.begin();
+  auto end = version_.map.end();
+  switch (op) {
+    case CompareOp::kEq: {
+      auto it = version_.map.find(key);
+      return it == end ? ids : ToIds(it->second);
+    }
+    case CompareOp::kLt:
+      end = version_.map.lower_bound(key);
+      break;
+    case CompareOp::kLe:
+      end = version_.map.upper_bound(key);
+      break;
+    case CompareOp::kGt:
+      begin = version_.map.upper_bound(key);
+      break;
+    case CompareOp::kGe:
+      begin = version_.map.lower_bound(key);
+      break;
+    case CompareOp::kNe:
+      return ids;  // never planned; a != probe would be a full scan
+  }
+  for (auto it = begin; it != end; ++it) {
+    for (uint64_t v : it->second) ids.push_back(InstanceId(v));
+  }
+  return ids;
+}
+
+}  // namespace adept

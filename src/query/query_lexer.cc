@@ -1,0 +1,185 @@
+#include "query/query_lexer.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <utility>
+
+namespace adept {
+namespace query {
+
+Status QueryError(const std::string& text, size_t offset,
+                  const std::string& what) {
+  if (offset > text.size()) offset = text.size();
+  std::string message = what + " at offset " + std::to_string(offset);
+  message += "\n  ";
+  message += text;
+  message += "\n  ";
+  message.append(offset, ' ');
+  message += '^';
+  return Status::InvalidArgument(message);
+}
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool IsDigit(char c) {
+  return std::isdigit(static_cast<unsigned char>(c)) != 0;
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Lex(const std::string& text) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = text.size();
+  while (i < n) {
+    const char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    Token token;
+    token.offset = i;
+    // Two-character operators first.
+    if (i + 1 < n) {
+      const char d = text[i + 1];
+      TokenKind two = TokenKind::kEnd;
+      if (c == '=' && d == '=') two = TokenKind::kEq;
+      if (c == '!' && d == '=') two = TokenKind::kNe;
+      if (c == '<' && d == '=') two = TokenKind::kLe;
+      if (c == '>' && d == '=') two = TokenKind::kGe;
+      if (c == '&' && d == '&') two = TokenKind::kAndAnd;
+      if (c == '|' && d == '|') two = TokenKind::kOrOr;
+      if (two != TokenKind::kEnd) {
+        token.kind = two;
+        tokens.push_back(std::move(token));
+        i += 2;
+        continue;
+      }
+    }
+    switch (c) {
+      case '<':
+        token.kind = TokenKind::kLt;
+        break;
+      case '>':
+        token.kind = TokenKind::kGt;
+        break;
+      case '!':
+        token.kind = TokenKind::kBang;
+        break;
+      case '(':
+        token.kind = TokenKind::kLParen;
+        break;
+      case ')':
+        token.kind = TokenKind::kRParen;
+        break;
+      case '.':
+        token.kind = TokenKind::kDot;
+        break;
+      default:
+        token.kind = TokenKind::kEnd;  // not a single-char operator
+        break;
+    }
+    if (token.kind != TokenKind::kEnd) {
+      tokens.push_back(std::move(token));
+      ++i;
+      continue;
+    }
+    if (c == '"') {
+      // String literal with a small escape set.
+      token.kind = TokenKind::kString;
+      size_t j = i + 1;
+      while (j < n && text[j] != '"') {
+        char out = text[j];
+        if (out == '\\') {
+          if (j + 1 >= n) break;
+          ++j;
+          switch (text[j]) {
+            case 'n':
+              out = '\n';
+              break;
+            case 't':
+              out = '\t';
+              break;
+            case '"':
+              out = '"';
+              break;
+            case '\\':
+              out = '\\';
+              break;
+            default:
+              return QueryError(text, j - 1, "unknown string escape");
+          }
+        }
+        token.text += out;
+        ++j;
+      }
+      if (j >= n) return QueryError(text, i, "unterminated string literal");
+      tokens.push_back(std::move(token));
+      i = j + 1;
+      continue;
+    }
+    if (IsDigit(c) || (c == '-' && i + 1 < n && IsDigit(text[i + 1]))) {
+      size_t j = i;
+      if (text[j] == '-') ++j;
+      while (j < n && IsDigit(text[j])) ++j;
+      bool floating = false;
+      if (j < n && text[j] == '.' && j + 1 < n && IsDigit(text[j + 1])) {
+        floating = true;
+        ++j;
+        while (j < n && IsDigit(text[j])) ++j;
+      }
+      token.text = text.substr(i, j - i);
+      errno = 0;
+      if (floating) {
+        token.kind = TokenKind::kDouble;
+        token.double_value = std::strtod(token.text.c_str(), nullptr);
+      } else {
+        token.kind = TokenKind::kInt;
+        token.int_value =
+            static_cast<int64_t>(std::strtoll(token.text.c_str(), nullptr, 10));
+      }
+      if (errno == ERANGE) {
+        return QueryError(text, i, "numeric literal out of range");
+      }
+      tokens.push_back(std::move(token));
+      i = j;
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      size_t j = i;
+      while (j < n && IsIdentChar(text[j])) ++j;
+      token.text = text.substr(i, j - i);
+      if (token.text == "and") {
+        token.kind = TokenKind::kAndAnd;
+      } else if (token.text == "or") {
+        token.kind = TokenKind::kOrOr;
+      } else if (token.text == "not") {
+        token.kind = TokenKind::kBang;
+      } else {
+        token.kind = TokenKind::kIdentifier;
+      }
+      tokens.push_back(std::move(token));
+      i = j;
+      continue;
+    }
+    return QueryError(text, i,
+                      std::string("unexpected character '") + c + "'");
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.offset = n;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace query
+}  // namespace adept

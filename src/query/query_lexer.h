@@ -1,0 +1,70 @@
+// Lexer of the process query language (src/query/README.md).
+//
+// Tokenizes a query string into operator/literal/identifier tokens, each
+// carrying its byte offset into the source text so the parser (and the
+// lexer itself) can report errors with an exact span:
+//
+//   state == runing && data.priority >= 3
+//            ^ unknown state name 'runing' at offset 9
+//
+// The language is tiny on purpose — it has to stay evaluable against an
+// immutable InstanceSnapshot with no callbacks into the engine.
+
+#ifndef ADEPT_QUERY_QUERY_LEXER_H_
+#define ADEPT_QUERY_QUERY_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace adept {
+namespace query {
+
+enum class TokenKind {
+  kIdentifier,  // field / function / bare-word names, true/false
+  kInt,         // 64-bit integer literal
+  kDouble,      // floating literal (has '.' or exponent)
+  kString,      // double-quoted, with \" \\ \n \t escapes
+  kEq,          // ==
+  kNe,          // !=
+  kLt,          // <
+  kLe,          // <=
+  kGt,          // >
+  kGe,          // >=
+  kAndAnd,      // && (or the word 'and')
+  kOrOr,        // || (or the word 'or')
+  kBang,        // !  (or the word 'not')
+  kLParen,      // (
+  kRParen,      // )
+  kDot,         // .
+  kEnd,         // end of input (always the last token)
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  // kIdentifier: the name; kString: the unescaped contents; kInt/kDouble:
+  // the literal's spelling; operators: empty.
+  std::string text;
+  // Byte offset of the token's first character in the query text.
+  size_t offset = 0;
+  int64_t int_value = 0;
+  double double_value = 0.0;
+};
+
+// Builds a kInvalidArgument status whose message carries the offset and a
+// caret-annotated copy of the query line — the error-span format shared
+// by the lexer and the parser.
+Status QueryError(const std::string& text, size_t offset,
+                  const std::string& what);
+
+// Tokenizes `text`; the result always ends with a kEnd token. Returns
+// kInvalidArgument (via QueryError) on unterminated strings, malformed
+// numbers, or characters outside the language.
+Result<std::vector<Token>> Lex(const std::string& text);
+
+}  // namespace query
+}  // namespace adept
+
+#endif  // ADEPT_QUERY_QUERY_LEXER_H_

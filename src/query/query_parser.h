@@ -1,0 +1,45 @@
+// Recursive-descent parser of the process query language.
+//
+// Grammar (precedence low to high; '&&'/'||' also spellable 'and'/'or',
+// '!' also 'not'):
+//
+//   query    := or-expr
+//   or-expr  := and-expr ( '||' and-expr )*
+//   and-expr := unary ( '&&' unary )*
+//   unary    := '!' unary | primary
+//   primary  := '(' or-expr ')'
+//             | 'true' | 'false'
+//             | 'activated' '(' string ')'      node currently Activated
+//             | 'running'   '(' string ')'      node currently Running
+//             | 'has'       '(' string ')'      data element ever written
+//             | 'biased'                        sugar for biased == true
+//             | field op literal
+//   field    := 'id' | 'type' | 'schema' | 'schema_version' | 'state'
+//             | 'biased' | 'version' | 'trace_length' | 'completed_total'
+//             | 'data' '.' identifier
+//   op       := '==' | '!=' | '<' | '<=' | '>' | '>='
+//   literal  := int | double | string | 'true' | 'false' | identifier
+//
+// A bare identifier on the right-hand side of a comparison is shorthand
+// for a string literal (`state == running` ≡ `state == "running"`).
+// Errors are kInvalidArgument with the offending offset and a caret line
+// (query_lexer.h's QueryError format).
+
+#ifndef ADEPT_QUERY_QUERY_PARSER_H_
+#define ADEPT_QUERY_QUERY_PARSER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "query/query_ast.h"
+
+namespace adept {
+namespace query {
+
+Result<std::unique_ptr<Expr>> Parse(const std::string& text);
+
+}  // namespace query
+}  // namespace adept
+
+#endif  // ADEPT_QUERY_QUERY_PARSER_H_

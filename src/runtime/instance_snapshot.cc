@@ -14,18 +14,25 @@ std::shared_ptr<const InstanceSnapshot> SnapshotTable::Get(
   return it == stripe.entries.end() ? nullptr : it->second;
 }
 
-void SnapshotTable::Publish(std::shared_ptr<InstanceSnapshot> snapshot) {
+std::shared_ptr<const InstanceSnapshot> SnapshotTable::Publish(
+    std::shared_ptr<InstanceSnapshot> snapshot) {
   Stripe& stripe = StripeOf(snapshot->id);
   std::lock_guard<SpinLock> lock(stripe.mu);
   auto& slot = stripe.entries[snapshot->id.value()];
-  snapshot->version = (slot == nullptr ? 0 : slot->version) + 1;
+  std::shared_ptr<const InstanceSnapshot> previous = std::move(slot);
+  snapshot->version = (previous == nullptr ? 0 : previous->version) + 1;
   slot = std::move(snapshot);
+  return previous;
 }
 
-void SnapshotTable::Erase(InstanceId id) {
+std::shared_ptr<const InstanceSnapshot> SnapshotTable::Erase(InstanceId id) {
   Stripe& stripe = StripeOf(id);
   std::lock_guard<SpinLock> lock(stripe.mu);
-  stripe.entries.erase(id.value());
+  auto it = stripe.entries.find(id.value());
+  if (it == stripe.entries.end()) return nullptr;
+  std::shared_ptr<const InstanceSnapshot> previous = std::move(it->second);
+  stripe.entries.erase(it);
+  return previous;
 }
 
 void SnapshotTable::Collect(

@@ -104,11 +104,15 @@ class SnapshotTable {
   std::shared_ptr<const InstanceSnapshot> Get(InstanceId id) const;
 
   // Publishes `snapshot` as the current version of its instance, stamping
-  // `snapshot->version` with the predecessor's version + 1.
-  void Publish(std::shared_ptr<InstanceSnapshot> snapshot);
+  // `snapshot->version` with the predecessor's version + 1. Returns the
+  // superseded snapshot (nullptr on first publication) — the delta the
+  // publisher feeds into its QueryIndex.
+  std::shared_ptr<const InstanceSnapshot> Publish(
+      std::shared_ptr<InstanceSnapshot> snapshot);
 
-  // Removes the instance's snapshot (eviction / deletion).
-  void Erase(InstanceId id);
+  // Removes the instance's snapshot (eviction / deletion); returns the
+  // removed snapshot (nullptr when none was published).
+  std::shared_ptr<const InstanceSnapshot> Erase(InstanceId id);
 
   // Appends the current snapshot of every instance to `out`. The
   // collected set is the table's state at stripe-lock time per stripe —

@@ -481,6 +481,18 @@ std::vector<WorkItem> WorklistService::SnapshotItems(
 }
 
 std::vector<WorkItem> WorklistService::OffersFor(UserId user) const {
+  return OffersForImpl(user, nullptr);
+}
+
+Result<std::vector<WorkItem>> WorklistService::OffersFor(
+    UserId user, const std::string& predicate) const {
+  ADEPT_ASSIGN_OR_RETURN(CompiledQuery compiled,
+                         CompiledQuery::Compile(predicate));
+  return OffersForImpl(user, &compiled);
+}
+
+std::vector<WorkItem> WorklistService::OffersForImpl(
+    UserId user, const CompiledQuery* predicate) const {
   std::set<WorkItemId> candidates;
   for (RoleId role : org_->RolesOf(user)) {
     const RoleSegment& seg =
@@ -503,7 +515,10 @@ std::vector<WorkItem> WorklistService::OffersFor(UserId user) const {
   // (the retraction event will erase it momentarily); conversely a
   // snapshot that trails an in-flight mutation can only *hide* an offer
   // for one poll, never surface a wrong one. No snapshot (instance
-  // mid-move during a resize) keeps the item: the table is the truth.
+  // mid-move during a resize) keeps the item — except under a predicate,
+  // which has nothing to evaluate against and drops it for this poll.
+  // The predicate reuses the snapshot this pass already fetched, so the
+  // filtered view costs zero extra locks or lookups.
   std::vector<WorkItem> offers;
   offers.reserve(items.size());
   for (WorkItem& item : items) {
@@ -517,6 +532,9 @@ std::vector<WorkItem> WorklistService::OffersFor(UserId user) const {
       uint64_t epoch = runs == snapshot->completed_runs.end() ? 0
                                                               : runs->second;
       if (epoch != item.epoch) continue;
+      if (predicate != nullptr && !predicate->Matches(*snapshot)) continue;
+    } else if (predicate != nullptr) {
+      continue;
     }
     offers.push_back(std::move(item));
   }

@@ -148,6 +148,17 @@ class WorklistService : public InstanceObserver {
   // user's roles — no full-table scan).
   std::vector<WorkItem> OffersFor(UserId user) const;
 
+  // Same, filtered by a query predicate (grammar: src/query/README.md)
+  // evaluated against each offer's published instance snapshot during the
+  // existing revalidation pass — no extra locks, no extra snapshot
+  // fetches. E.g. OffersFor(nurse, "data.priority >= 3"). An offer whose
+  // instance has no published snapshot this poll (mid-move during a
+  // resize) is dropped from the filtered view — there is nothing to
+  // evaluate the predicate against; it resurfaces next poll. Returns
+  // kInvalidArgument (offset + caret span) on a malformed predicate.
+  Result<std::vector<WorkItem>> OffersFor(UserId user,
+                                          const std::string& predicate) const;
+
   // Items currently claimed or started by `user`.
   std::vector<WorkItem> AssignedTo(UserId user) const;
 
@@ -251,6 +262,12 @@ class WorklistService : public InstanceObserver {
   std::vector<WorkItem> SnapshotItems(
       const std::set<WorkItemId>& ids,
       const std::function<bool(const WorkItem&)>& keep) const;
+
+  // Shared body of both OffersFor overloads: role-index union, item-table
+  // recheck, snapshot revalidation, and (when `predicate` is non-null)
+  // predicate evaluation against the same snapshot.
+  std::vector<WorkItem> OffersForImpl(UserId user,
+                                      const CompiledQuery* predicate) const;
 
   // Recovery: replays the scanned journal onto freshly derived offers.
   struct ActivityState {
