@@ -34,7 +34,7 @@ std::unique_ptr<AdhocSetup> MakeSetup(int activities) {
 
 // The last plain activity in control order that writes no data (deleting a
 // decision/loop-condition writer would rightly fail verification).
-NodeId LastPlainActivity(const ProcessSchema& schema) {
+NodeId LastPlainActivity(const SchemaView& schema) {
   NodeId found;
   for (NodeId node : schema.TopologicalOrder()) {
     const Node* n = schema.FindNode(node);
@@ -46,7 +46,7 @@ NodeId LastPlainActivity(const ProcessSchema& schema) {
   return found;
 }
 
-Delta MakeOp(const ProcessSchema& schema, int64_t kind, int round) {
+Delta MakeOp(const SchemaView& schema, int64_t kind, int round) {
   NodeId end = schema.end_node();
   NodeId before_end = schema.Predecessors(end, EdgeType::kControl)[0];
   NodeId activity = LastPlainActivity(schema);
@@ -135,6 +135,55 @@ BENCHMARK(BM_CumulativeBias)
     ->Arg(1)
     ->Arg(4)
     ->Arg(16)
+    ->Unit(benchmark::kMicrosecond);
+
+// The k-th change on an already-biased instance, timed alone. AddBias
+// seeds delta verification with the analysis cached on the instance
+// record, so the verify share of the k-th change stays flat instead of
+// growing with schema size; blocks_reused counts the summaries the cached
+// analysis contributed during the timed change.
+void BM_BiasedInstanceChange(benchmark::State& state) {
+  int prior = static_cast<int>(state.range(0));
+  size_t reused = 0, total = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto setup = MakeSetup(400);
+    ProcessInstance* inst =
+        *setup->engine.CreateInstance(setup->schema, setup->schema_id);
+    (void)setup->store->Register(inst->id(), setup->schema_id);
+    (void)inst->Start();
+    for (int k = 0; k < prior; ++k) {
+      Status st =
+          ApplyAdHocChange(*inst, *setup->store, MakeOp(inst->schema(), 0, k));
+      if (!st.ok()) {
+        state.SkipWithError("bias setup failed");
+        return;
+      }
+    }
+    Delta delta = MakeOp(inst->schema(), 0, prior);
+    state.ResumeTiming();
+
+    Status st = ApplyAdHocChange(*inst, *setup->store, std::move(delta));
+    benchmark::DoNotOptimize(st);
+
+    state.PauseTiming();
+    if (auto rec = setup->store->Get(inst->id()); rec.ok()) {
+      if ((*rec)->analysis != nullptr) {
+        reused = (*rec)->analysis->stats().blocks_reused;
+        total = (*rec)->analysis->stats().blocks_total;
+      }
+    }
+    state.ResumeTiming();
+  }
+  state.SetLabel("prior_bias=" + std::to_string(prior) + "/400 activities");
+  state.SetItemsProcessed(state.iterations());
+  state.counters["blocks"] = static_cast<double>(total);
+  state.counters["blocks_reused"] = static_cast<double>(reused);
+}
+BENCHMARK(BM_BiasedInstanceChange)
+    ->Arg(0)
+    ->Arg(4)
+    ->Arg(12)
     ->Unit(benchmark::kMicrosecond);
 
 }  // namespace

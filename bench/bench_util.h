@@ -31,12 +31,17 @@ namespace bench {
 
 // --- Random scaled schemas ---------------------------------------------------
 
-inline void BuildSegment(SchemaBuilder& b, Rng& rng, int& budget, int depth) {
+// `uid` makes generated names unique across sibling branches — parallel
+// branches share a budget value, and budget-derived names alone would
+// duplicate on every branch pair, drowning the verifier benchmarks in
+// duplicate-name warnings instead of analysis work.
+inline void BuildSegment(SchemaBuilder& b, Rng& rng, int& budget, int depth,
+                         int& uid) {
   while (budget > 0) {
     int roll = static_cast<int>(rng.NextBelow(10));
     if (depth >= 3) roll = 0;  // cap nesting
     if (roll < 6 || budget < 4) {
-      b.Activity("act" + std::to_string(budget));
+      b.Activity("act" + std::to_string(++uid));
       --budget;
     } else if (roll < 8) {
       // AND block, two branches.
@@ -45,17 +50,17 @@ inline void BuildSegment(SchemaBuilder& b, Rng& rng, int& budget, int depth) {
       b.Parallel({
           [&, slice](SchemaBuilder& s) mutable {
             int sub = slice;
-            BuildSegment(s, rng, sub, depth + 1);
+            BuildSegment(s, rng, sub, depth + 1, uid);
           },
           [&, slice](SchemaBuilder& s) mutable {
             int sub = slice;
-            BuildSegment(s, rng, sub, depth + 1);
+            BuildSegment(s, rng, sub, depth + 1, uid);
           },
       });
     } else if (roll < 9) {
       // XOR block steered by a fresh element written just before.
-      DataId sel = b.Data("sel" + std::to_string(budget), DataType::kInt);
-      NodeId writer = b.Activity("route" + std::to_string(budget));
+      DataId sel = b.Data("sel" + std::to_string(++uid), DataType::kInt);
+      NodeId writer = b.Activity("route" + std::to_string(uid));
       b.Writes(writer, sel);
       --budget;
       int slice = std::max(1, budget / 4);
@@ -63,22 +68,22 @@ inline void BuildSegment(SchemaBuilder& b, Rng& rng, int& budget, int depth) {
       b.Conditional(sel, {
           [&, slice](SchemaBuilder& s) mutable {
             int sub = slice;
-            BuildSegment(s, rng, sub, depth + 1);
+            BuildSegment(s, rng, sub, depth + 1, uid);
           },
           [&, slice](SchemaBuilder& s) mutable {
             int sub = slice;
-            BuildSegment(s, rng, sub, depth + 1);
+            BuildSegment(s, rng, sub, depth + 1, uid);
           },
       });
     } else {
       // Loop whose last body activity rewrites the condition.
-      DataId again = b.Data("again" + std::to_string(budget), DataType::kBool);
+      DataId again = b.Data("again" + std::to_string(++uid), DataType::kBool);
       int slice = std::max(1, budget / 4);
       budget -= slice;
       b.Loop(again, [&, slice, again](SchemaBuilder& s) mutable {
         int sub = slice - 1;
-        if (sub > 0) BuildSegment(s, rng, sub, depth + 1);
-        NodeId last = s.Activity("body" + std::to_string(slice));
+        if (sub > 0) BuildSegment(s, rng, sub, depth + 1, uid);
+        NodeId last = s.Activity("body" + std::to_string(++uid));
         s.Writes(last, again);
       });
     }
@@ -90,7 +95,8 @@ inline std::shared_ptr<const ProcessSchema> ScaledSchema(
   SchemaBuilder b(name, 1);
   Rng rng(seed);
   int budget = activities;
-  BuildSegment(b, rng, budget, 0);
+  int uid = 0;
+  BuildSegment(b, rng, budget, 0, uid);
   auto schema = b.Build();
   return schema.ok() ? *schema : nullptr;
 }

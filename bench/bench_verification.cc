@@ -122,6 +122,94 @@ BENCHMARK(BM_ChangeTransactionVerify)
     ->Arg(1000)
     ->Unit(benchmark::kMicrosecond);
 
+// Incremental re-verification of a single-op change (the sixth report
+// trajectory, paired with BM_FullVerification on the same seed-17
+// schemas): the base analysis is cached, the candidate and its change
+// region are pre-built, and each iteration re-analyzes only the dirty
+// blocks and recomposes. The acceptance bar for the incremental engine is
+// >= 10x over BM_FullVerification at 1000 nodes.
+void BM_IncrementalDeltaVerify(benchmark::State& state) {
+  auto schema =
+      bench::ScaledSchema(static_cast<int>(state.range(0)), 17, "verify");
+  if (schema == nullptr) {
+    state.SkipWithError("schema generation failed");
+    return;
+  }
+  AnalysisResult base = AnalyzeSchema(*schema);
+
+  // One serial insert in front of the end node, region collected the way
+  // Delta::ApplyVerified collects it.
+  NodeId end = schema->end_node();
+  NodeId last = schema->Predecessors(end, EdgeType::kControl)[0];
+  Delta delta;
+  NewActivitySpec spec;
+  spec.name = "inc";
+  delta.Add(std::make_unique<SerialInsertOp>(spec, last, end));
+  SchemaIdAllocator alloc;
+  std::shared_ptr<ProcessSchema> candidate = schema->Clone();
+  candidate->set_version(schema->version() + 1);
+  ChangeRegion region;
+  for (const auto& op : delta.ops()) {
+    op->RegionBefore(*candidate, region);
+    if (!op->ApplyTo(*candidate, alloc).ok()) {
+      state.SkipWithError("op application failed");
+      return;
+    }
+    op->RegionAfter(*candidate, region);
+  }
+  if (!candidate->Freeze().ok()) {
+    state.SkipWithError("freeze failed");
+    return;
+  }
+
+  size_t reused = 0, total = 0;
+  for (auto _ : state) {
+    AnalysisResult r = AnalyzeDelta(*base.analysis, *candidate, region);
+    reused = r.analysis->stats().blocks_reused;
+    total = r.analysis->stats().blocks_total;
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * candidate->node_count());
+  state.counters["nodes"] = static_cast<double>(candidate->node_count());
+  state.counters["blocks"] = static_cast<double>(total);
+  state.counters["blocks_reused"] = static_cast<double>(reused);
+}
+BENCHMARK(BM_IncrementalDeltaVerify)
+    ->Arg(10)
+    ->Arg(50)
+    ->Arg(250)
+    ->Arg(1000)
+    ->Arg(5000)
+    ->Unit(benchmark::kMicrosecond);
+
+// The same change through the full transaction path (clone + apply +
+// incremental verify + analysis handoff) — what DeriveVersion/AddBias
+// actually pay per delta, including the costs the cached analysis cannot
+// remove (schema clone, tree parse at Freeze).
+void BM_IncrementalChangeTransaction(benchmark::State& state) {
+  auto schema =
+      bench::ScaledSchema(static_cast<int>(state.range(0)), 23, "txn");
+  AnalysisResult base = AnalyzeSchema(*schema);
+  NodeId end = schema->end_node();
+  NodeId last = schema->Predecessors(end, EdgeType::kControl)[0];
+  int round = 0;
+  for (auto _ : state) {
+    Delta delta;
+    NewActivitySpec spec;
+    spec.name = "txn" + std::to_string(round++);
+    delta.Add(std::make_unique<SerialInsertOp>(spec, last, end));
+    auto verified = delta.ApplyVerified(*schema, base.analysis.get());
+    benchmark::DoNotOptimize(verified);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["nodes"] = static_cast<double>(schema->node_count());
+}
+BENCHMARK(BM_IncrementalChangeTransaction)
+    ->Arg(50)
+    ->Arg(250)
+    ->Arg(1000)
+    ->Unit(benchmark::kMicrosecond);
+
 }  // namespace
 }  // namespace adept
 

@@ -26,6 +26,17 @@ Status ApplyWirings(ProcessSchema& schema, NodeId node,
   return Status::OK();
 }
 
+// Records a node and all of its current edge partners in the region. Used
+// by ops that detach a node: the partners get re-linked to each other, so
+// their (key-stable) block must be re-summarized.
+void AddNodeAndPartners(const SchemaView& schema, NodeId node,
+                        ChangeRegion& region) {
+  region.AddNode(node);
+  if (schema.FindNode(node) == nullptr) return;
+  schema.VisitInEdges(node, [&](const Edge& e) { region.AddNode(e.src); });
+  schema.VisitOutEdges(node, [&](const Edge& e) { region.AddNode(e.dst); });
+}
+
 JsonValue SpecToJson(const NewActivitySpec& spec) {
   JsonValue j = JsonValue::MakeObject();
   j.Set("name", JsonValue(spec.name));
@@ -127,6 +138,22 @@ const char* ChangeOpKindToString(ChangeOpKind kind) {
       return "replaceActivityImpl";
   }
   return "?";
+}
+
+void ChangeOp::RegionBefore(const SchemaView& schema,
+                            ChangeRegion& region) const {
+  (void)schema;
+  for (NodeId n : TargetNodes()) region.AddNode(n);
+}
+
+void ChangeOp::RegionAfter(const SchemaView& schema,
+                           ChangeRegion& region) const {
+  (void)schema;
+  for (uint32_t id : pinned_node_ids_) region.AddNode(NodeId(id));
+  // Created data elements can resolve decision references that previously
+  // reported "data element missing"; AnalyzeDelta re-checks blocks whose
+  // cached decision_refs intersect this set.
+  for (uint32_t id : pinned_data_ids_) region.AddData(DataId(id));
 }
 
 NodeId ChangeOp::PinNode(size_t slot, const ProcessSchema& schema,
@@ -442,6 +469,11 @@ Status DeleteActivityOp::ApplyTo(ProcessSchema& schema, IdAllocator& alloc) {
   return schema.AddEdgeWithId(bridge);
 }
 
+void DeleteActivityOp::RegionBefore(const SchemaView& schema,
+                                    ChangeRegion& region) const {
+  AddNodeAndPartners(schema, target_, region);
+}
+
 std::string DeleteActivityOp::Signature(const SignatureContext& ctx) const {
   return "deleteActivity:" + ctx.node(target_);
 }
@@ -465,6 +497,13 @@ std::unique_ptr<ChangeOp> MoveActivityOp::Clone() const {
   auto copy = std::make_unique<MoveActivityOp>(target_, new_pred_, new_succ_);
   CopyPinsTo(*copy);
   return copy;
+}
+
+void MoveActivityOp::RegionBefore(const SchemaView& schema,
+                                  ChangeRegion& region) const {
+  AddNodeAndPartners(schema, target_, region);
+  region.AddNode(new_pred_);
+  region.AddNode(new_succ_);
 }
 
 Status MoveActivityOp::ApplyTo(ProcessSchema& schema, IdAllocator& alloc) {

@@ -25,6 +25,7 @@
 #include "common/status.h"
 #include "change/id_allocator.h"
 #include "model/schema.h"
+#include "verify/analysis.h"
 
 namespace adept {
 
@@ -75,6 +76,19 @@ class ChangeOp {
   // inserts, targets of deletes/moves/sync edges). Used by the overlap
   // analysis; newly created nodes are not included.
   virtual std::vector<NodeId> TargetNodes() const = 0;
+
+  // Incremental-verification region hooks (verify/analysis.h). RegionBefore
+  // runs against the schema the op is about to modify and records every
+  // pre-change node whose block summary the op can invalidate; the default
+  // (the op's target nodes) suffices for ops that only touch their targets'
+  // immediate blocks. Ops that detach a node from its context (delete,
+  // move) also record the node's current edge partners — those stay behind
+  // in a block whose identity key does not change. RegionAfter runs after a
+  // successful ApplyTo and records created entities (pinned ids).
+  virtual void RegionBefore(const SchemaView& schema,
+                            ChangeRegion& region) const;
+  virtual void RegionAfter(const SchemaView& schema,
+                           ChangeRegion& region) const;
 
   // Renders entity references in signatures. Delta::Signatures() maps ids
   // created by sibling ops to symbolic tokens ("@n2.0" = op 2, slot 0), so
@@ -217,6 +231,10 @@ class DeleteActivityOp final : public ChangeOp {
   std::unique_ptr<ChangeOp> Clone() const override;
   Status ApplyTo(ProcessSchema& schema, IdAllocator& alloc) override;
   std::vector<NodeId> TargetNodes() const override { return {target_}; }
+  // The delete re-links the target's neighbours; their block keeps its
+  // identity key, so the neighbours must be dirtied explicitly.
+  void RegionBefore(const SchemaView& schema,
+                    ChangeRegion& region) const override;
   std::string Signature(const SignatureContext& ctx) const override;
   JsonValue ToJson() const override;
 
@@ -241,6 +259,10 @@ class MoveActivityOp final : public ChangeOp {
   std::vector<NodeId> TargetNodes() const override {
     return {target_, new_pred_, new_succ_};
   }
+  // The source neighbourhood (old pred/succ, sync partners) stays behind in
+  // a key-stable block after the move; dirty it from the pre-change schema.
+  void RegionBefore(const SchemaView& schema,
+                    ChangeRegion& region) const override;
   std::string Signature(const SignatureContext& ctx) const override;
   JsonValue ToJson() const override;
 

@@ -36,10 +36,49 @@ Result<std::shared_ptr<ProcessSchema>> Delta::ApplyRaw(
 
 Result<std::shared_ptr<ProcessSchema>> Delta::ApplyToSchema(
     const ProcessSchema& base, int new_version, IdAllocator* alloc) {
-  ADEPT_ASSIGN_OR_RETURN(std::shared_ptr<ProcessSchema> candidate,
-                         ApplyRaw(base, new_version, alloc));
-  ADEPT_RETURN_IF_ERROR(VerifySchemaOrError(*candidate));
-  return candidate;
+  ADEPT_ASSIGN_OR_RETURN(VerifiedSchema verified,
+                         ApplyVerified(base, nullptr, new_version, alloc));
+  return std::move(verified.schema);
+}
+
+Result<Delta::VerifiedSchema> Delta::ApplyVerified(const ProcessSchema& base,
+                                                   const SchemaAnalysis* base_analysis,
+                                                   int new_version,
+                                                   IdAllocator* alloc,
+                                                   size_t region_from_op) {
+  SchemaIdAllocator default_alloc;
+  IdAllocator& a = alloc != nullptr ? *alloc : default_alloc;
+  std::shared_ptr<ProcessSchema> candidate = base.Clone();
+  candidate->set_version(new_version >= 0 ? new_version : base.version() + 1);
+
+  const bool track_region =
+      base_analysis != nullptr && base_analysis->incremental();
+  ChangeRegion region;
+  for (size_t i = 0; i < ops_.size(); ++i) {
+    const ChangeOp& op = *ops_[i];
+    // RegionBefore must see the pre-op state: deletes/moves record the
+    // target's current neighbours, which the op is about to re-link.
+    if (track_region && i >= region_from_op) {
+      op.RegionBefore(*candidate, region);
+    }
+    Status st = ops_[i]->ApplyTo(*candidate, a);
+    if (!st.ok()) {
+      return Status::FailedPrecondition(op.Describe() + ": " + st.message());
+    }
+    if (track_region && i >= region_from_op) {
+      op.RegionAfter(*candidate, region);
+    }
+  }
+  ADEPT_RETURN_IF_ERROR(candidate->Freeze());
+
+  AnalysisResult analyzed =
+      track_region ? AnalyzeDelta(*base_analysis, *candidate, region)
+                   : AnalyzeSchema(*candidate);
+  if (!analyzed.report.ok()) {
+    return Status::VerificationFailed(analyzed.report.FirstError());
+  }
+  return VerifiedSchema{std::move(candidate), std::move(analyzed.report),
+                        std::move(analyzed.analysis)};
 }
 
 std::vector<NodeId> Delta::TargetNodes() const {

@@ -51,6 +51,28 @@ class Delta {
       const ProcessSchema& base, int new_version = -1,
       IdAllocator* alloc = nullptr);
 
+  // Result of a verified application: the frozen candidate plus the full
+  // verification report (warnings included — ApplyToSchema discards them)
+  // and the candidate's analysis, to be cached for the next delta on top.
+  struct VerifiedSchema {
+    std::shared_ptr<ProcessSchema> schema;
+    VerificationReport report;
+    std::shared_ptr<const SchemaAnalysis> analysis;
+  };
+
+  // ApplyToSchema with incremental verification and warning retention.
+  // `base_analysis` is the cached analysis of the schema the *tail* of this
+  // delta extends; ops with index >= `region_from_op` contribute their
+  // change regions and only the blocks they touched are re-verified. Ops
+  // before `region_from_op` are a replay prefix that reconstructs the
+  // schema `base_analysis` describes (bias re-application), so they add no
+  // region. Pass base_analysis == nullptr for a full analysis.
+  Result<VerifiedSchema> ApplyVerified(const ProcessSchema& base,
+                                       const SchemaAnalysis* base_analysis,
+                                       int new_version = -1,
+                                       IdAllocator* alloc = nullptr,
+                                       size_t region_from_op = 0);
+
   // Like ApplyToSchema but skips verification (conflict analysis uses this
   // to separate "does not apply" from "applies but is incorrect").
   Result<std::shared_ptr<ProcessSchema>> ApplyRaw(const ProcessSchema& base,

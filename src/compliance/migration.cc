@@ -320,14 +320,21 @@ Result<InstanceMigrationResult> MigrationManager::MigrateBiased(
   {
     Delta probe = record.bias.Clone();
     BiasIdAllocator alloc;
-    auto candidate = probe.ApplyToSchema(*target, target->version(), &alloc);
+    // Incremental probe: seed from the target version's cached analysis so
+    // only the blocks the bias touches are re-verified.
+    std::shared_ptr<const SchemaAnalysis> target_analysis;
+    if (auto a = repository_->AnalysisFor(to); a.ok()) {
+      target_analysis = *a;
+    }
+    auto candidate = probe.ApplyVerified(*target, target_analysis.get(),
+                                         target->version(), &alloc);
     if (!candidate.ok()) {
       result.outcome = MigrationOutcome::kStructuralConflict;
       result.detail = candidate.status().message();
       return result;
     }
     if (options.use_replay_checker) {
-      std::shared_ptr<const SchemaView> candidate_view = *candidate;
+      std::shared_ptr<const SchemaView> candidate_view = candidate->schema;
       ReplayResult rr = CheckComplianceByReplay(instance, candidate_view);
       if (!rr.compliant) {
         result.outcome = MigrationOutcome::kStateConflict;

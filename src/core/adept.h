@@ -93,6 +93,26 @@ class AdeptSystem : public AdeptApi {
   Result<std::shared_ptr<const ProcessSchema>> Schema(
       SchemaId id) const override;
 
+  // Full verification report of a stored type version, warnings included
+  // (Deploy/Evolve reject versions with errors, so the report carries at
+  // most warnings — races, duplicate names).
+  Result<const VerificationReport*> SchemaReport(SchemaId id) {
+    return repository_.ReportFor(id);
+  }
+
+  // Verification report of a biased instance's combined schema (the last
+  // AddBias/Rebase application). Errors out for unbiased instances — their
+  // report is the type schema's (SchemaReport).
+  Result<const VerificationReport*> InstanceReport(InstanceId id) const {
+    ADEPT_ASSIGN_OR_RETURN(const InstanceStore::Record* record,
+                           store_.Get(id));
+    if (!record->biased()) {
+      return Status::FailedPrecondition(
+          "instance is unbiased; use SchemaReport on its type version");
+    }
+    return &record->report;
+  }
+
   // --- Instance lifecycle ----------------------------------------------------
 
   // Creates and starts an instance of the latest version of `type_name`.

@@ -114,15 +114,30 @@ Result<std::shared_ptr<const SchemaView>> InstanceStore::AddBias(
                          repository_->Get(record.base_schema));
 
   // Combined bias = existing ops (pinned) + new ops (fresh bias-range ids).
+  // The existing ops are a replay prefix reconstructing the schema the
+  // record's cached analysis describes, so incremental verification only
+  // re-checks the blocks the *new* ops touch.
+  const size_t replay_ops = record.bias.size();
+  const SchemaAnalysis* seed = record.analysis.get();
+  std::shared_ptr<const SchemaAnalysis> base_analysis;
+  if (seed == nullptr) {
+    // First bias: seed from the shared type schema's cached analysis.
+    ADEPT_ASSIGN_OR_RETURN(base_analysis,
+                           repository_->AnalysisFor(record.base_schema));
+    seed = base_analysis.get();
+  }
   Delta combined = record.bias.Clone();
   for (const auto& op : delta.ops()) combined.Add(op->Clone());
   BiasIdAllocator alloc;
   ADEPT_ASSIGN_OR_RETURN(
-      std::shared_ptr<ProcessSchema> materialized,
-      combined.ApplyToSchema(*base, base->version(), &alloc));
+      Delta::VerifiedSchema verified,
+      combined.ApplyVerified(*base, seed, base->version(), &alloc,
+                             replay_ops));
 
   record.bias = std::move(combined);
-  ADEPT_RETURN_IF_ERROR(Refresh(record, std::move(materialized)));
+  record.report = std::move(verified.report);
+  record.analysis = std::move(verified.analysis);
+  ADEPT_RETURN_IF_ERROR(Refresh(record, std::move(verified.schema)));
   return ViewFor(record);
 }
 
@@ -137,12 +152,18 @@ Result<std::shared_ptr<const SchemaView>> InstanceStore::Rebase(
     record.base_schema = new_base;
     return ViewFor(record);
   }
+  // Seed from the new base version's analysis: every bias op contributes
+  // its region, so only the blocks the bias touches are re-verified.
+  ADEPT_ASSIGN_OR_RETURN(std::shared_ptr<const SchemaAnalysis> base_analysis,
+                         repository_->AnalysisFor(new_base));
   BiasIdAllocator alloc;
-  ADEPT_ASSIGN_OR_RETURN(
-      std::shared_ptr<ProcessSchema> materialized,
-      record.bias.ApplyToSchema(*base, base->version(), &alloc));
+  ADEPT_ASSIGN_OR_RETURN(Delta::VerifiedSchema verified,
+                         record.bias.ApplyVerified(*base, base_analysis.get(),
+                                                   base->version(), &alloc));
   record.base_schema = new_base;
-  ADEPT_RETURN_IF_ERROR(Refresh(record, std::move(materialized)));
+  record.report = std::move(verified.report);
+  record.analysis = std::move(verified.analysis);
+  ADEPT_RETURN_IF_ERROR(Refresh(record, std::move(verified.schema)));
   return ViewFor(record);
 }
 
@@ -155,6 +176,8 @@ Result<std::shared_ptr<const SchemaView>> InstanceStore::ClearBias(
   record.bias = Delta();
   record.block = nullptr;
   record.full_copy = nullptr;
+  record.report = VerificationReport();
+  record.analysis = nullptr;
   record.base_schema = new_base;
   return ViewFor(record);
 }

@@ -48,6 +48,13 @@ class InstanceStore {
     // Strategy-dependent cached representation (unbiased: both empty).
     std::shared_ptr<const SubstitutionBlock> block;
     std::shared_ptr<const ProcessSchema> full_copy;
+    // Verification artifacts of the instance-specific schema (base + bias):
+    // the full report of the last verified bias application (warnings
+    // included) and the analysis that seeds incremental re-verification of
+    // the next bias. Empty/null while unbiased (the type schema's report
+    // lives in the repository).
+    VerificationReport report;
+    std::shared_ptr<const SchemaAnalysis> analysis;
 
     bool biased() const { return !bias.empty(); }
   };

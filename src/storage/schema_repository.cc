@@ -1,10 +1,26 @@
 #include "storage/schema_repository.h"
 
+#include "common/logging.h"
 #include "common/string_util.h"
 #include "model/serialization.h"
 #include "verify/verifier.h"
 
 namespace adept {
+
+namespace {
+
+void LogWarnings(const char* action, const std::string& type_name,
+                 int version, const VerificationReport& report) {
+  if (report.warning_count() == 0) return;
+  for (const auto& issue : report.issues()) {
+    if (issue.severity != VerifySeverity::kWarning) continue;
+    ADEPT_LOG(kWarning) << action << " " << type_name << " v" << version
+                        << ": [" << VerifyRuleId(issue.rule) << "] "
+                        << issue.message;
+  }
+}
+
+}  // namespace
 
 Result<SchemaId> SchemaRepository::Deploy(
     std::shared_ptr<const ProcessSchema> schema) {
@@ -17,9 +33,16 @@ Result<SchemaId> SchemaRepository::Deploy(
           "process type already deployed; use DeriveVersion");
     }
   }
-  ADEPT_RETURN_IF_ERROR(VerifySchemaOrError(*schema));
+  AnalysisResult analyzed = AnalyzeSchema(*schema);
+  if (!analyzed.report.ok()) {
+    return Status::VerificationFailed(analyzed.report.FirstError());
+  }
+  LogWarnings("deploy", schema->type_name(), schema->version(),
+              analyzed.report);
   SchemaId id(next_id_++);
-  entries_.emplace(id, Entry{std::move(schema), SchemaId::Invalid(), Delta()});
+  Entry entry{std::move(schema), SchemaId::Invalid(), Delta(),
+              std::move(analyzed.report), std::move(analyzed.analysis)};
+  entries_.emplace(id, std::move(entry));
   return id;
 }
 
@@ -36,11 +59,51 @@ Result<SchemaId> SchemaRepository::DeriveVersion(SchemaId base, Delta delta) {
         "only the latest version of a type can be evolved");
   }
 
-  ADEPT_ASSIGN_OR_RETURN(std::shared_ptr<ProcessSchema> derived,
-                         delta.ApplyToSchema(base_schema));
+  // Incremental: re-verify only the blocks the delta touched, seeded from
+  // the base version's cached analysis.
+  Entry* base_entry = EnsureAnalyzed(base);
+  ADEPT_ASSIGN_OR_RETURN(
+      Delta::VerifiedSchema verified,
+      delta.ApplyVerified(base_schema, base_entry->analysis.get()));
+  LogWarnings("evolve", verified.schema->type_name(),
+              verified.schema->version(), verified.report);
   SchemaId id(next_id_++);
-  entries_.emplace(id, Entry{std::move(derived), base, std::move(delta)});
+  Entry entry{std::move(verified.schema), base, std::move(delta),
+              std::move(verified.report), std::move(verified.analysis)};
+  entries_.emplace(id, std::move(entry));
   return id;
+}
+
+SchemaRepository::Entry* SchemaRepository::EnsureAnalyzed(SchemaId id) {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return nullptr;
+  Entry& entry = it->second;
+  if (entry.analysis == nullptr) {
+    AnalysisResult analyzed = AnalyzeSchema(*entry.schema);
+    entry.report = std::move(analyzed.report);
+    entry.analysis = std::move(analyzed.analysis);
+  }
+  return &entry;
+}
+
+Result<const VerificationReport*> SchemaRepository::ReportFor(SchemaId id) {
+  Entry* entry = EnsureAnalyzed(id);
+  if (entry == nullptr) return Status::NotFound("no such schema version");
+  return &entry->report;
+}
+
+Result<std::shared_ptr<const SchemaAnalysis>> SchemaRepository::AnalysisFor(
+    SchemaId id) {
+  Entry* entry = EnsureAnalyzed(id);
+  if (entry == nullptr) return Status::NotFound("no such schema version");
+  return entry->analysis;
+}
+
+std::vector<SchemaId> SchemaRepository::AllIds() const {
+  std::vector<SchemaId> out;
+  out.reserve(entries_.size());
+  for (const auto& [id, _] : entries_) out.push_back(id);
+  return out;
 }
 
 Result<std::shared_ptr<const ProcessSchema>> SchemaRepository::Get(

@@ -18,6 +18,7 @@
 #include "common/ids.h"
 #include "common/status.h"
 #include "model/schema.h"
+#include "verify/analysis.h"
 
 namespace adept {
 
@@ -49,6 +50,20 @@ class SchemaRepository {
   // The delta that derived `id` from its parent.
   Result<const Delta*> DeltaFor(SchemaId id) const;
 
+  // Full verification report of a stored version, warnings included
+  // (Deploy/DeriveVersion reject versions with errors, so stored reports
+  // only ever carry warnings). Analyzes lazily for versions loaded from
+  // JSON.
+  Result<const VerificationReport*> ReportFor(SchemaId id);
+
+  // Cached block-summary analysis of a stored version; seed for
+  // incremental re-verification of deltas on top of it (bias application,
+  // migration probes, DeriveVersion).
+  Result<std::shared_ptr<const SchemaAnalysis>> AnalysisFor(SchemaId id);
+
+  // All stored versions in id order (adept_lint batch enumeration).
+  std::vector<SchemaId> AllIds() const;
+
   size_t size() const { return entries_.size(); }
 
   // Total heap footprint of all stored schemas (Fig. 2 accounting).
@@ -62,7 +77,13 @@ class SchemaRepository {
     std::shared_ptr<const ProcessSchema> schema;
     SchemaId parent;
     Delta delta_from_parent;
+    // Verification artifacts; analysis == nullptr until EnsureAnalyzed
+    // (versions loaded from JSON are analyzed on first use).
+    VerificationReport report;
+    std::shared_ptr<const SchemaAnalysis> analysis;
   };
+
+  Entry* EnsureAnalyzed(SchemaId id);
 
   std::map<SchemaId, Entry> entries_;
   uint64_t next_id_ = 1;

@@ -1,0 +1,1065 @@
+#include "verify/analysis.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "common/string_util.h"
+#include "model/block_tree.h"
+#include "model/node.h"
+#include "model/schema.h"
+
+namespace adept {
+
+namespace internal {
+
+// Context-independent facts about one block's subtree. Everything in here
+// depends only on the subtree's own nodes and edges — never on what
+// surrounds the block — which is what makes a summary reusable when the
+// block reappears unchanged in a derived schema version.
+struct BlockSummary {
+  // Why a data element must be readable at a node.
+  enum class Why : uint8_t { kInput, kDecision, kLoopCondition };
+
+  struct PendingRead {
+    NodeId node;
+    DataId data;
+    Why why;
+  };
+
+  // One data edge of a subtree node, in composition order.
+  struct Occurrence {
+    DataId data;
+    NodeId node;
+    bool write;
+  };
+
+  // Data surely written by one execution of the block (sorted, unique).
+  std::vector<DataId> gen;
+  // Mandatory uses no prefix inside the block could satisfy; resolved (or
+  // reported) during ancestor composition.
+  std::vector<PendingRead> pending;
+  // All subtree data accesses; parallel blocks derive race pairs from the
+  // per-branch partition of this list.
+  std::vector<Occurrence> occurrences;
+  // Names of direct activity members (for the duplicate-name fold). The
+  // hash is computed once at summary build time so clean blocks never pay
+  // for string hashing again.
+  struct NameRef {
+    std::string name;
+    uint64_t hash = 0;
+    NodeId node;
+  };
+  std::vector<NameRef> names;
+  // Decision/loop-condition elements referenced by the entry/exit. Cached
+  // wiring issues go stale if such an element comes into existence, so
+  // AnalyzeDelta re-dirties blocks whose refs intersect region.data.
+  std::vector<DataId> decision_refs;
+  // Direct start-/end-flow members (uniqueness is a whole-schema fold).
+  int starts = 0;
+  int ends = 0;
+  // Issues fully attributable to this block: degree rules of direct
+  // members, decision wiring, race warnings owned by this parallel block.
+  std::vector<VerificationIssue> issues;
+};
+
+}  // namespace internal
+
+namespace {
+
+using internal::BlockSummary;
+using BlockKind = BlockTree::BlockKind;
+using Why = BlockSummary::Why;
+
+std::string NodeDesc(const SchemaView& schema, NodeId id) {
+  const Node* n = schema.FindNode(id);
+  if (n == nullptr) return "<missing>";
+  if (n->name.empty()) return NodeTypeToString(n->type);
+  return n->name;
+}
+
+std::string DataName(const SchemaView& schema, DataId id) {
+  const DataElement* e = schema.FindData(id);
+  return e != nullptr ? e->name : std::string("?");
+}
+
+const char* WhyString(Why why) {
+  switch (why) {
+    case Why::kInput:
+      return "mandatory input";
+    case Why::kDecision:
+      return "decision parameter";
+    case Why::kLoopCondition:
+      return "loop condition";
+  }
+  return "?";
+}
+
+VerificationIssue Issue(VerifyRule rule, VerifySeverity severity,
+                        std::string message, std::string fix_hint,
+                        NodeId node = NodeId::Invalid(),
+                        EdgeId edge = EdgeId::Invalid(),
+                        DataId data = DataId::Invalid()) {
+  VerificationIssue issue{rule,          severity, std::move(message), node,
+                          edge,          data,     {},
+                          std::move(fix_hint)};
+  if (node.valid()) issue.span.push_back(EntitySpan::Node(node));
+  if (edge.valid()) issue.span.push_back(EntitySpan::Edge(edge));
+  if (data.valid()) issue.span.push_back(EntitySpan::Data(data));
+  return issue;
+}
+
+}  // namespace
+
+// The analysis engine. Full analysis and delta analysis share one code
+// path (full = every block dirty), which is what guarantees identical
+// reports between the two modes.
+class AnalysisPass {
+ public:
+  explicit AnalysisPass(const SchemaView& schema) : schema_(schema) {}
+
+  AnalysisResult Run(const SchemaAnalysis* base, const ChangeRegion* region) {
+    // Prefer the tree the schema already parsed at Freeze(); candidates
+    // produced by Delta::ApplyRaw always have one, so the incremental path
+    // pays no parse cost.
+    const BlockTree* tree = nullptr;
+    std::optional<BlockTree> local_tree;
+    Status tree_error = Status::OK();
+    const auto* frozen = dynamic_cast<const ProcessSchema*>(&schema_);
+    if (frozen != nullptr && frozen->frozen()) {
+      auto t = frozen->block_tree();
+      if (t.ok()) {
+        tree = *t;
+      } else {
+        tree_error = t.status();
+      }
+    } else {
+      auto t = BlockTree::Build(schema_);
+      if (t.ok()) {
+        local_tree = std::move(t).value();
+        tree = &*local_tree;
+      } else {
+        tree_error = t.status();
+      }
+    }
+    if (tree == nullptr) return RunDegenerate(tree_error);
+    return RunOnTree(*tree, base, region);
+  }
+
+ private:
+  using Summary = std::shared_ptr<const BlockSummary>;
+
+  // --- structured (block tree) mode ----------------------------------------
+
+  AnalysisResult RunOnTree(const BlockTree& tree, const SchemaAnalysis* base,
+                           const ChangeRegion* region) {
+    const size_t nblocks = tree.size();
+    std::vector<Summary> summaries(nblocks);
+    std::vector<char> dirty(nblocks, 1);
+
+    const bool use_cache = base != nullptr && base->stats_.incremental &&
+                           region != nullptr && !region->full;
+    if (use_cache) {
+      std::fill(dirty.begin(), dirty.end(), 0);
+      for (NodeId n : region->nodes) {
+        auto b = tree.BlockOfNode(n);
+        if (!b.ok()) continue;  // node no longer exists in the candidate
+        MarkDirtyChain(tree, dirty, *b);
+      }
+    }
+
+    size_t reused = 0;
+    for (int i = static_cast<int>(nblocks) - 1; i >= 0; --i) {
+      if (!dirty[i]) {
+        auto it = base->summaries_.find(KeyOf(tree, i));
+        if (it != base->summaries_.end() &&
+            !RefsDirty(*it->second, region->data)) {
+          summaries[i] = it->second;
+          ++reused;
+          continue;
+        }
+        if (it == base->summaries_.end()) {
+          // Structure changed without a region node inside — should not
+          // happen with correct op regions, but recompute the enclosing
+          // compositions too rather than trust stale aggregates.
+          MarkDirtyChain(tree, dirty, tree.block(i).parent);
+        }
+      }
+      // Children carry higher indices than their parent, so they are
+      // already computed when the parent composes them.
+      summaries[i] = ComputeSummary(tree, i, summaries);
+    }
+
+    VerificationReport report = AssembleReport(tree, summaries);
+
+    auto analysis = std::make_shared<SchemaAnalysis>();
+    analysis->stats_.blocks_total = nblocks;
+    analysis->stats_.blocks_reused = reused;
+    analysis->stats_.incremental = true;
+    analysis->summaries_.reserve(nblocks);
+    for (size_t i = 0; i < nblocks; ++i) {
+      analysis->summaries_.emplace(KeyOf(tree, static_cast<int>(i)),
+                                   summaries[i]);
+    }
+    return {std::move(report), std::move(analysis)};
+  }
+
+  static void MarkDirtyChain(const BlockTree& tree, std::vector<char>& dirty,
+                             int block) {
+    for (int cur = block; cur >= 0 && !dirty[cur];
+         cur = tree.block(cur).parent) {
+      dirty[cur] = 1;
+    }
+  }
+
+  static SchemaAnalysis::BlockKey KeyOf(const BlockTree& tree, int index) {
+    const BlockTree::Block& b = tree.block(index);
+    SchemaAnalysis::BlockKey key;
+    key.kind = static_cast<uint8_t>(b.kind);
+    key.entry = b.entry.value();
+    key.exit = b.exit.value();
+    key.parent_entry = (b.kind == BlockKind::kBranch && b.parent >= 0)
+                           ? tree.block(b.parent).entry.value()
+                           : NodeId::Invalid().value();
+    return key;
+  }
+
+  static bool RefsDirty(const BlockSummary& summary,
+                        const std::vector<DataId>& region_data) {
+    if (region_data.empty() || summary.decision_refs.empty()) return false;
+    for (DataId ref : summary.decision_refs) {
+      for (DataId d : region_data) {
+        if (ref == d) return true;
+      }
+    }
+    return false;
+  }
+
+  Summary ComputeSummary(const BlockTree& tree, int index,
+                         const std::vector<Summary>& summaries) {
+    const BlockTree::Block& b = tree.block(index);
+    if (b.kind == BlockKind::kRoot || b.kind == BlockKind::kBranch) {
+      return ComputeSequenceSummary(tree, index, summaries);
+    }
+    return ComputeCompositeSummary(tree, index, summaries);
+  }
+
+  // Root/branch blocks: fold the sequence left to right. `avail` tracks
+  // the data surely written by the block-internal prefix; reads the prefix
+  // cannot satisfy bubble up as pending and are re-resolved (against the
+  // surrounding context) by the ancestor compositions.
+  Summary ComputeSequenceSummary(const BlockTree& tree, int index,
+                                 const std::vector<Summary>& summaries) {
+    const BlockTree::Block& b = tree.block(index);
+    auto s = std::make_shared<BlockSummary>();
+    std::unordered_set<uint32_t> avail;
+    for (const BlockTree::SequenceItem& item : b.sequence) {
+      if (item.composite_block >= 0) {
+        const BlockSummary& child = *summaries[item.composite_block];
+        for (const auto& p : child.pending) {
+          if (avail.count(p.data.value()) == 0) s->pending.push_back(p);
+        }
+        for (DataId d : child.gen) avail.insert(d.value());
+        if (b.kind != BlockKind::kRoot) {
+          s->occurrences.insert(s->occurrences.end(),
+                                child.occurrences.begin(),
+                                child.occurrences.end());
+        }
+      } else {
+        const Node* n = schema_.FindNode(item.node);
+        if (n == nullptr) continue;  // impossible on frozen schemas
+        CheckMember(*n, *s);
+        FoldNodeDataFlow(*n, avail, *s,
+                         /*record_occurrences=*/b.kind != BlockKind::kRoot);
+      }
+    }
+    StoreGen(avail, *s);
+    return s;
+  }
+
+  // Composite blocks (AND/XOR/loop): entry, then the branches against the
+  // entry's writes only (branches do not feed each other), then the
+  // branch-combine (union for AND, intersection for XOR, the body for a
+  // loop — one iteration always runs), then the exit.
+  Summary ComputeCompositeSummary(const BlockTree& tree, int index,
+                                  const std::vector<Summary>& summaries) {
+    const BlockTree::Block& b = tree.block(index);
+    auto s = std::make_shared<BlockSummary>();
+    std::unordered_set<uint32_t> avail;
+
+    const Node* entry = schema_.FindNode(b.entry);
+    if (entry != nullptr) {
+      CheckMember(*entry, *s);
+      FoldNodeDataFlow(*entry, avail, *s, /*record_occurrences=*/true);
+    }
+
+    // Resolve every branch's pending reads against the entry's writes
+    // before any gen set is merged: sibling branches run independently.
+    for (int child : b.children) {
+      const BlockSummary& cs = *summaries[child];
+      for (const auto& p : cs.pending) {
+        if (avail.count(p.data.value()) == 0) s->pending.push_back(p);
+      }
+      s->occurrences.insert(s->occurrences.end(), cs.occurrences.begin(),
+                            cs.occurrences.end());
+    }
+    if (b.kind == BlockKind::kParallel) {
+      for (int child : b.children) {
+        for (DataId d : summaries[child]->gen) avail.insert(d.value());
+      }
+    } else if (b.kind == BlockKind::kConditional) {
+      std::vector<DataId> combined;
+      bool first = true;
+      for (int child : b.children) {
+        const std::vector<DataId>& g = summaries[child]->gen;
+        if (first) {
+          combined = g;
+          first = false;
+        } else {
+          std::vector<DataId> next;
+          next.reserve(combined.size());
+          for (DataId d : combined) {
+            if (std::binary_search(g.begin(), g.end(), d)) next.push_back(d);
+          }
+          combined = std::move(next);
+        }
+      }
+      for (DataId d : combined) avail.insert(d.value());
+    } else {  // kLoop: the body executes at least once
+      for (int child : b.children) {
+        for (DataId d : summaries[child]->gen) avail.insert(d.value());
+      }
+    }
+
+    const Node* exit = schema_.FindNode(b.exit);
+    if (exit != nullptr) {
+      CheckMember(*exit, *s);
+      FoldNodeDataFlow(*exit, avail, *s, /*record_occurrences=*/true);
+    }
+    StoreGen(avail, *s);
+
+    if (b.kind == BlockKind::kParallel) CheckRaces(tree, index, summaries, *s);
+    return s;
+  }
+
+  static void StoreGen(const std::unordered_set<uint32_t>& avail,
+                       BlockSummary& s) {
+    s.gen.reserve(avail.size());
+    for (uint32_t v : avail) s.gen.push_back(DataId(v));
+    std::sort(s.gen.begin(), s.gen.end());
+  }
+
+  // Degree rules, decision wiring, name/start/end bookkeeping for a node
+  // that is a *direct* member of the block under computation. Also used by
+  // the degenerate (flat) mode with a single scratch summary.
+  void CheckMember(const Node& n, BlockSummary& s) {
+    CheckMemberDegrees(n, s);
+    CheckMemberDecision(n, s);
+    if (n.type == NodeType::kActivity && !n.name.empty()) {
+      s.names.push_back(
+          {n.name, std::hash<std::string_view>{}(n.name), n.id});
+    }
+  }
+
+  void CheckMemberDegrees(const Node& n, BlockSummary& s) {
+    int in_control = 0, out_control = 0;
+    int in_sync = 0, out_sync = 0;
+    int in_loop = 0, out_loop = 0;
+    schema_.VisitInEdges(n.id, [&](const Edge& e) {
+      switch (e.type) {
+        case EdgeType::kControl:
+          in_control++;
+          break;
+        case EdgeType::kSync:
+          in_sync++;
+          break;
+        case EdgeType::kLoop:
+          in_loop++;
+          break;
+      }
+    });
+    schema_.VisitOutEdges(n.id, [&](const Edge& e) {
+      switch (e.type) {
+        case EdgeType::kControl:
+          out_control++;
+          break;
+        case EdgeType::kSync:
+          out_sync++;
+          break;
+        case EdgeType::kLoop:
+          out_loop++;
+          break;
+      }
+    });
+    auto expect = [&](bool cond, const std::string& what) {
+      if (!cond) {
+        s.issues.push_back(Issue(
+            VerifyRule::kStructure, VerifySeverity::kError,
+            NodeDesc(schema_, n.id) + ": " + what,
+            "restructure the control edges to satisfy the node type's "
+            "degree rules",
+            n.id));
+      }
+    };
+    switch (n.type) {
+      case NodeType::kStartFlow:
+        ++s.starts;
+        expect(in_control == 0,
+               "start-flow must have no incoming control edge");
+        expect(out_control == 1,
+               "start-flow must have exactly one outgoing control edge");
+        expect(in_sync == 0 && out_sync == 0,
+               "start-flow must not touch sync edges");
+        expect(in_loop == 0 && out_loop == 0,
+               "start-flow must not touch loop edges");
+        break;
+      case NodeType::kEndFlow:
+        ++s.ends;
+        expect(in_control == 1,
+               "end-flow must have exactly one incoming control edge");
+        expect(out_control == 0,
+               "end-flow must have no outgoing control edge");
+        expect(in_sync == 0 && out_sync == 0,
+               "end-flow must not touch sync edges");
+        expect(in_loop == 0 && out_loop == 0,
+               "end-flow must not touch loop edges");
+        break;
+      case NodeType::kActivity:
+        expect(in_control == 1,
+               "activity must have exactly one incoming control edge");
+        expect(out_control == 1,
+               "activity must have exactly one outgoing control edge");
+        expect(in_loop == 0 && out_loop == 0,
+               "activity must not touch loop edges");
+        break;
+      case NodeType::kAndSplit:
+      case NodeType::kXorSplit:
+        expect(in_control == 1,
+               "split must have exactly one incoming control edge");
+        expect(out_control >= 2,
+               "split must have >= 2 outgoing control edges");
+        expect(in_loop == 0 && out_loop == 0,
+               "split must not touch loop edges");
+        break;
+      case NodeType::kAndJoin:
+      case NodeType::kXorJoin:
+        expect(in_control >= 2,
+               "join must have >= 2 incoming control edges");
+        expect(out_control == 1,
+               "join must have exactly one outgoing control edge");
+        expect(in_loop == 0 && out_loop == 0,
+               "join must not touch loop edges");
+        break;
+      case NodeType::kLoopStart:
+        expect(in_control == 1,
+               "loop start must have exactly one incoming control edge");
+        expect(out_control == 1, "loop start must have exactly one body branch");
+        expect(in_loop == 1,
+               "loop start must have exactly one incoming loop edge");
+        expect(out_loop == 0, "loop start must have no outgoing loop edge");
+        break;
+      case NodeType::kLoopEnd:
+        expect(in_control == 1,
+               "loop end must have exactly one incoming control edge");
+        expect(out_control == 1,
+               "loop end must have exactly one outgoing control edge");
+        expect(out_loop == 1,
+               "loop end must have exactly one outgoing loop edge");
+        expect(in_loop == 0, "loop end must have no incoming loop edge");
+        break;
+    }
+  }
+
+  void CheckMemberDecision(const Node& n, BlockSummary& s) {
+    if (n.type == NodeType::kXorSplit) {
+      if (!n.decision_data.valid()) {
+        s.issues.push_back(Issue(
+            VerifyRule::kDecision, VerifySeverity::kWarning,
+            NodeDesc(schema_, n.id) +
+                ": XOR split without decision data element (requires "
+                "explicit runtime branch selection)",
+            "assign an int decision data element to the XOR split", n.id));
+      } else {
+        s.decision_refs.push_back(n.decision_data);
+        const DataElement* d = schema_.FindData(n.decision_data);
+        if (d == nullptr) {
+          s.issues.push_back(Issue(
+              VerifyRule::kDecision, VerifySeverity::kError,
+              NodeDesc(schema_, n.id) + ": decision data element missing",
+              "add the referenced decision data element or re-wire the split",
+              n.id, EdgeId::Invalid(), n.decision_data));
+        } else if (d->type != DataType::kInt) {
+          s.issues.push_back(Issue(
+              VerifyRule::kDecision, VerifySeverity::kError,
+              NodeDesc(schema_, n.id) +
+                  ": decision data element must be int, is " +
+                  DataTypeToString(d->type),
+              "change the decision data element's type to int", n.id,
+              EdgeId::Invalid(), d->id));
+        }
+      }
+      std::unordered_set<int> seen;
+      schema_.VisitOutEdges(n.id, [&](const Edge& e) {
+        if (e.type != EdgeType::kControl) return;
+        if (!seen.insert(e.branch_value).second) {
+          s.issues.push_back(Issue(
+              VerifyRule::kDecision, VerifySeverity::kError,
+              StrFormat("%s: duplicate branch selection code %d",
+                        NodeDesc(schema_, n.id).c_str(), e.branch_value),
+              "assign a unique selection code to each outgoing branch", n.id,
+              e.id));
+        }
+      });
+    } else if (n.type == NodeType::kLoopEnd) {
+      if (!n.loop_data.valid()) {
+        s.issues.push_back(Issue(
+            VerifyRule::kDecision, VerifySeverity::kWarning,
+            NodeDesc(schema_, n.id) +
+                ": loop end without condition data element (defaults to "
+                "single iteration)",
+            "assign a bool condition data element to the loop end", n.id));
+      } else {
+        s.decision_refs.push_back(n.loop_data);
+        const DataElement* d = schema_.FindData(n.loop_data);
+        if (d == nullptr) {
+          s.issues.push_back(Issue(
+              VerifyRule::kDecision, VerifySeverity::kError,
+              NodeDesc(schema_, n.id) + ": loop data element missing",
+              "add the referenced loop condition element or re-wire the "
+              "loop end",
+              n.id, EdgeId::Invalid(), n.loop_data));
+        } else if (d->type != DataType::kBool) {
+          s.issues.push_back(Issue(
+              VerifyRule::kDecision, VerifySeverity::kError,
+              NodeDesc(schema_, n.id) +
+                  ": loop condition element must be bool, is " +
+                  DataTypeToString(d->type),
+              "change the loop condition element's type to bool", n.id,
+              EdgeId::Invalid(), d->id));
+        }
+      }
+    }
+  }
+
+  // Resolves the node's mandatory uses against `avail` (the data written
+  // before the node within the current composition scope), then merges its
+  // writes — a node's own writes never satisfy its own reads.
+  void FoldNodeDataFlow(const Node& n, std::unordered_set<uint32_t>& avail,
+                        BlockSummary& s, bool record_occurrences) {
+    schema_.VisitDataEdges(n.id, [&](const DataEdge& de) {
+      if (de.mode != AccessMode::kRead) return;
+      if (record_occurrences) s.occurrences.push_back({de.data, n.id, false});
+      if (!de.optional && avail.count(de.data.value()) == 0) {
+        s.pending.push_back({n.id, de.data, Why::kInput});
+      }
+    });
+    if (n.type == NodeType::kXorSplit && n.decision_data.valid() &&
+        avail.count(n.decision_data.value()) == 0) {
+      s.pending.push_back({n.id, n.decision_data, Why::kDecision});
+    }
+    if (n.type == NodeType::kLoopEnd && n.loop_data.valid() &&
+        avail.count(n.loop_data.value()) == 0) {
+      s.pending.push_back({n.id, n.loop_data, Why::kLoopCondition});
+    }
+    schema_.VisitDataEdges(n.id, [&](const DataEdge& de) {
+      if (de.mode != AccessMode::kWrite) return;
+      if (record_occurrences) s.occurrences.push_back({de.data, n.id, true});
+      avail.insert(de.data.value());
+    });
+  }
+
+  // Race analysis owned by parallel block `index`: a write/write or
+  // write/read pair is flagged here iff this block is the least common
+  // ancestor of the pair (the accesses sit in *different direct branches*),
+  // which partitions the old whole-schema pairwise check exactly.
+  void CheckRaces(const BlockTree& tree, int index,
+                  const std::vector<Summary>& summaries, BlockSummary& s) {
+    const BlockTree::Block& b = tree.block(index);
+    struct Access {
+      int branch;
+      NodeId node;
+    };
+    struct DataAccesses {
+      std::vector<Access> writers;
+      std::vector<Access> readers;
+      int first_branch = -1;  // branch of the first access of either kind
+    };
+    std::map<uint32_t, DataAccesses> by_data;  // deterministic order
+    bool cross_possible = false;
+    for (size_t bi = 0; bi < b.children.size(); ++bi) {
+      for (const auto& occ : summaries[b.children[bi]]->occurrences) {
+        auto& entry = by_data[occ.data.value()];
+        if (entry.first_branch == -1) {
+          entry.first_branch = static_cast<int>(bi);
+        } else if (entry.first_branch != static_cast<int>(bi)) {
+          cross_possible = true;
+        }
+        auto& list = occ.write ? entry.writers : entry.readers;
+        list.push_back({static_cast<int>(bi), occ.node});
+      }
+    }
+    if (!cross_possible) return;
+
+    // Sync-path reachability is bounded to this block's subtree: legal
+    // sync edges never leave it, and control flow exits only via the join.
+    std::optional<std::unordered_set<NodeId>> members;
+    auto ordered = [&](NodeId a, NodeId to) {
+      if (!members) {
+        members.emplace();
+        for (NodeId m : tree.NodesIn(index)) members->insert(m);
+      }
+      return OrderedBySync(a, to, *members);
+    };
+    auto unordered_pair = [&](NodeId a, NodeId c) {
+      return !ordered(a, c) && !ordered(c, a);
+    };
+
+    for (const auto& [data_value, groups] : by_data) {
+      const DataId d(data_value);
+      const auto& writers = groups.writers;
+      const auto& readers = groups.readers;
+      for (size_t i = 0; i < writers.size(); ++i) {
+        for (size_t j = i + 1; j < writers.size(); ++j) {
+          if (writers[i].branch == writers[j].branch) continue;
+          if (!unordered_pair(writers[i].node, writers[j].node)) continue;
+          VerificationIssue issue = Issue(
+              VerifyRule::kLostUpdate, VerifySeverity::kWarning,
+              StrFormat("parallel unordered writes of '%s' by %s and %s",
+                        DataName(schema_, d).c_str(),
+                        NodeDesc(schema_, writers[i].node).c_str(),
+                        NodeDesc(schema_, writers[j].node).c_str()),
+              "order the writers with a sync edge", writers[i].node,
+              EdgeId::Invalid(), d);
+          issue.span.push_back(EntitySpan::Node(writers[j].node));
+          s.issues.push_back(std::move(issue));
+        }
+        for (const Access& r : readers) {
+          if (writers[i].branch == r.branch) continue;
+          if (!unordered_pair(writers[i].node, r.node)) continue;
+          VerificationIssue issue = Issue(
+              VerifyRule::kDataRace, VerifySeverity::kWarning,
+              StrFormat("unsynchronized parallel write/read of '%s' "
+                        "(%s writes, %s reads)",
+                        DataName(schema_, d).c_str(),
+                        NodeDesc(schema_, writers[i].node).c_str(),
+                        NodeDesc(schema_, r.node).c_str()),
+              "order writer and reader with a sync edge", writers[i].node,
+              EdgeId::Invalid(), d);
+          issue.span.push_back(EntitySpan::Node(r.node));
+          s.issues.push_back(std::move(issue));
+        }
+      }
+    }
+  }
+
+  // True if a control+sync path inside `members` orders a before b.
+  bool OrderedBySync(NodeId a, NodeId b,
+                     const std::unordered_set<NodeId>& members) {
+    std::unordered_set<NodeId> visited{a};
+    std::deque<NodeId> queue{a};
+    while (!queue.empty()) {
+      NodeId cur = queue.front();
+      queue.pop_front();
+      bool found = false;
+      schema_.VisitOutEdges(cur, [&](const Edge& e) {
+        if (e.type == EdgeType::kLoop || found) return;
+        if (e.dst == b) {
+          found = true;
+          return;
+        }
+        if (members.count(e.dst) == 0) return;
+        if (visited.insert(e.dst).second) queue.push_back(e.dst);
+      });
+      if (found) return true;
+    }
+    return false;
+  }
+
+  // --- report assembly (runs on every analysis; O(edges + blocks)) ---------
+
+  VerificationReport AssembleReport(const BlockTree& tree,
+                                    const std::vector<Summary>& summaries) {
+    VerificationReport report;
+    for (const Summary& s : summaries) {
+      for (const VerificationIssue& issue : s->issues) report.Add(issue);
+    }
+
+    int starts = 0, ends = 0;
+    for (const Summary& s : summaries) {
+      starts += s->starts;
+      ends += s->ends;
+    }
+    CheckStartEndCounts(starts, ends, report);
+
+    std::vector<Edge> sync_edges;
+    ScanEdges(sync_edges, report);
+    for (const Edge& e : sync_edges) {
+      CheckSyncEdgePlacement(tree, e, report);
+    }
+    CheckDeadlocks(tree, sync_edges, report);
+
+    // Mandatory uses the root composition could not satisfy start from an
+    // empty availability set — they are the missing-data errors.
+    for (const auto& p : summaries[0]->pending) {
+      const DataElement* elem = schema_.FindData(p.data);
+      if (elem == nullptr) continue;  // dangling ref, reported elsewhere
+      report.Add(Issue(
+          VerifyRule::kMissingData, VerifySeverity::kError,
+          StrFormat("%s: %s '%s' is not guaranteed to be written on "
+                    "every path",
+                    NodeDesc(schema_, p.node).c_str(), WhyString(p.why),
+                    elem->name.c_str()),
+          StrFormat("write '%s' on every path before this node or mark "
+                    "the read optional",
+                    elem->name.c_str()),
+          p.node, EdgeId::Invalid(), p.data));
+    }
+
+    CheckNaming(summaries, report);
+    return report;
+  }
+
+  // Duplicate-name fold. A flat open-addressed count table over
+  // string_views borrowing the summary-owned strings, probed with the
+  // hashes cached in the summaries — node-allocating hash maps (and even
+  // rehashing per verify) dominated the whole incremental verify on large
+  // schemas. The deterministic grouping pass runs only when a duplicate
+  // actually exists.
+  void CheckNaming(const std::vector<Summary>& summaries,
+                   VerificationReport& report) {
+    size_t total = 0;
+    for (const Summary& s : summaries) total += s->names.size();
+    if (total < 2) return;
+    size_t cap = 16;
+    while (cap < total * 2) cap <<= 1;
+    struct Slot {
+      std::string_view name;
+      uint64_t hash = 0;
+      int count = 0;
+    };
+    std::vector<Slot> table(cap);
+    const size_t mask = cap - 1;
+    auto find_slot = [&](std::string_view name, uint64_t hash) -> Slot& {
+      size_t i = hash & mask;
+      while (table[i].count != 0 &&
+             (table[i].hash != hash || table[i].name != name)) {
+        i = (i + 1) & mask;
+      }
+      return table[i];
+    };
+    bool any_dup = false;
+    for (const Summary& s : summaries) {
+      for (const auto& ref : s->names) {
+        Slot& slot = find_slot(ref.name, ref.hash);
+        if (slot.count == 0) {
+          slot.name = ref.name;
+          slot.hash = ref.hash;
+        }
+        if (++slot.count > 1) any_dup = true;
+      }
+    }
+    if (!any_dup) return;
+    std::map<std::string_view, std::vector<NodeId>> dups;  // deterministic
+    for (const Summary& s : summaries) {
+      for (const auto& ref : s->names) {
+        if (find_slot(ref.name, ref.hash).count > 1) {
+          dups[ref.name].push_back(ref.node);
+        }
+      }
+    }
+    for (const auto& [name, nodes] : dups) {
+      VerificationIssue issue = Issue(
+          VerifyRule::kNaming, VerifySeverity::kWarning,
+          StrFormat("activity name '%s' used %zu times",
+                    std::string(name).c_str(), nodes.size()),
+          "rename the duplicate activities");
+      for (NodeId n : nodes) issue.span.push_back(EntitySpan::Node(n));
+      report.Add(std::move(issue));
+    }
+  }
+
+  void CheckStartEndCounts(int starts, int ends, VerificationReport& report) {
+    if (starts != 1) {
+      report.Add(Issue(
+          VerifyRule::kStructure, VerifySeverity::kError,
+          StrFormat("schema has %d start-flow nodes, expected 1", starts),
+          "ensure the schema has exactly one start-flow node"));
+    }
+    if (ends != 1) {
+      report.Add(Issue(
+          VerifyRule::kStructure, VerifySeverity::kError,
+          StrFormat("schema has %d end-flow nodes, expected 1", ends),
+          "ensure the schema has exactly one end-flow node"));
+    }
+  }
+
+  // One pass over all edges: loop-edge typing + sync edge collection.
+  void ScanEdges(std::vector<Edge>& sync_edges, VerificationReport& report) {
+    schema_.VisitEdges([&](const Edge& e) {
+      if (e.type == EdgeType::kSync) {
+        sync_edges.push_back(e);
+        return;
+      }
+      if (e.type != EdgeType::kLoop) return;
+      const Node* src = schema_.FindNode(e.src);
+      const Node* dst = schema_.FindNode(e.dst);
+      if (src == nullptr || dst == nullptr ||
+          src->type != NodeType::kLoopEnd ||
+          dst->type != NodeType::kLoopStart) {
+        report.Add(Issue(
+            VerifyRule::kStructure, VerifySeverity::kError,
+            "loop edge must connect a loop end to a loop start",
+            "connect the loop edge from the loop end back to its loop start",
+            NodeId::Invalid(), e.id));
+      }
+    });
+  }
+
+  void CheckSyncEdgePlacement(const BlockTree& tree, const Edge& e,
+                              VerificationReport& report) {
+    const Node* src = schema_.FindNode(e.src);
+    const Node* dst = schema_.FindNode(e.dst);
+    if (src == nullptr || dst == nullptr) return;  // freeze caught this
+    if (src->type != NodeType::kActivity || dst->type != NodeType::kActivity) {
+      VerificationIssue issue = Issue(
+          VerifyRule::kSyncEdge, VerifySeverity::kError,
+          StrFormat("sync edge %s->%s must connect activities",
+                    NodeDesc(schema_, e.src).c_str(),
+                    NodeDesc(schema_, e.dst).c_str()),
+          "attach both sync edge endpoints to activity nodes", e.src, e.id);
+      issue.span.push_back(EntitySpan::Node(e.dst));
+      report.Add(std::move(issue));
+      return;
+    }
+    if (!tree.InDifferentParallelBranches(e.src, e.dst)) {
+      VerificationIssue issue = Issue(
+          VerifyRule::kSyncEdge, VerifySeverity::kError,
+          StrFormat("sync edge %s->%s does not connect different "
+                    "branches of a common parallel block",
+                    NodeDesc(schema_, e.src).c_str(),
+                    NodeDesc(schema_, e.dst).c_str()),
+          "place both endpoints in different branches of a common AND block",
+          e.src, e.id);
+      issue.span.push_back(EntitySpan::Node(e.dst));
+      report.Add(std::move(issue));
+    }
+    if (tree.InnermostLoop(e.src) != tree.InnermostLoop(e.dst)) {
+      VerificationIssue issue = Issue(
+          VerifyRule::kSyncEdge, VerifySeverity::kError,
+          StrFormat("sync edge %s->%s crosses a loop boundary",
+                    NodeDesc(schema_, e.src).c_str(),
+                    NodeDesc(schema_, e.dst).c_str()),
+          "keep both sync edge endpoints inside the same loop block", e.src,
+          e.id);
+      issue.span.push_back(EntitySpan::Node(e.dst));
+      report.Add(std::move(issue));
+    }
+  }
+
+  // Deadlock-causing cycles need a sync edge (the tree parse already
+  // proves control-only acyclicity), and any such cycle is contained in
+  // the subtree of a *maximal* block owning a sync edge (owner = least
+  // common ancestor of the endpoints). Kahn over those subtrees only.
+  void CheckDeadlocks(const BlockTree& tree, const std::vector<Edge>& syncs,
+                      VerificationReport& report) {
+    if (syncs.empty()) return;
+    std::unordered_set<int> owners;
+    for (const Edge& e : syncs) {
+      auto ba = tree.BlockOfNode(e.src);
+      auto bb = tree.BlockOfNode(e.dst);
+      if (!ba.ok() || !bb.ok()) continue;
+      owners.insert(tree.CommonAncestor(*ba, *bb));
+    }
+    std::vector<int> maximal;
+    for (int o : owners) {
+      bool covered = false;
+      for (int cur = tree.block(o).parent; cur >= 0;
+           cur = tree.block(cur).parent) {
+        if (owners.count(cur) > 0) {
+          covered = true;
+          break;
+        }
+      }
+      if (!covered) maximal.push_back(o);
+    }
+    std::sort(maximal.begin(), maximal.end());
+    for (int o : maximal) {
+      std::vector<NodeId> members = tree.NodesIn(o);
+      KahnCycleCheck(members, report);
+    }
+  }
+
+  // Kahn's algorithm over control+sync edges among `members`; a shortfall
+  // is a deadlock-causing cycle (paper Fig. 1: instance I2). Extracts one
+  // concrete cycle for the report.
+  void KahnCycleCheck(const std::vector<NodeId>& members,
+                      VerificationReport& report) {
+    std::unordered_set<NodeId> member_set(members.begin(), members.end());
+    std::unordered_map<NodeId, int> indegree;
+    indegree.reserve(members.size());
+    for (NodeId m : members) indegree[m] = 0;
+    for (NodeId m : members) {
+      schema_.VisitOutEdges(m, [&](const Edge& e) {
+        if (e.type == EdgeType::kLoop) return;
+        if (member_set.count(e.dst) > 0) indegree[e.dst]++;
+      });
+    }
+    std::deque<NodeId> ready;
+    for (NodeId m : members) {
+      if (indegree[m] == 0) ready.push_back(m);
+    }
+    size_t emitted = 0;
+    while (!ready.empty()) {
+      NodeId cur = ready.front();
+      ready.pop_front();
+      ++emitted;
+      schema_.VisitOutEdges(cur, [&](const Edge& e) {
+        if (e.type == EdgeType::kLoop || member_set.count(e.dst) == 0) return;
+        if (--indegree[e.dst] == 0) ready.push_back(e.dst);
+      });
+    }
+    if (emitted == members.size()) return;
+
+    // DFS from a residual node, backtracking out of dead ends (residual
+    // nodes downstream of the cycle), until an on-path node repeats.
+    std::vector<std::string> names;
+    std::vector<NodeId> cycle_nodes;
+    std::unordered_set<NodeId> exhausted;
+    for (NodeId seed : members) {
+      if (indegree[seed] == 0 || !names.empty()) continue;
+      std::vector<NodeId> path{seed};
+      std::unordered_set<NodeId> on_path{seed};
+      while (!path.empty() && names.empty()) {
+        NodeId cur = path.back();
+        NodeId next;
+        NodeId repeat;
+        schema_.VisitOutEdges(cur, [&](const Edge& e) {
+          if (e.type == EdgeType::kLoop || next.valid() || repeat.valid()) {
+            return;
+          }
+          if (member_set.count(e.dst) == 0) return;
+          if (indegree[e.dst] <= 0 || exhausted.count(e.dst) > 0) return;
+          if (on_path.count(e.dst) > 0) {
+            repeat = e.dst;
+          } else {
+            next = e.dst;
+          }
+        });
+        if (repeat.valid()) {
+          bool in_cycle = false;
+          for (NodeId n : path) {
+            if (n == repeat) in_cycle = true;
+            if (in_cycle) {
+              names.push_back(NodeDesc(schema_, n));
+              cycle_nodes.push_back(n);
+            }
+          }
+          names.push_back(NodeDesc(schema_, repeat));
+          break;
+        }
+        if (next.valid()) {
+          path.push_back(next);
+          on_path.insert(next);
+        } else {
+          exhausted.insert(cur);
+          on_path.erase(cur);
+          path.pop_back();
+        }
+      }
+    }
+    VerificationIssue issue = Issue(
+        VerifyRule::kDeadlockCycle, VerifySeverity::kError,
+        "deadlock-causing cycle over control+sync edges: " +
+            Join(names, " -> "),
+        "remove or reverse a sync edge on the cycle");
+    for (NodeId n : cycle_nodes) issue.span.push_back(EntitySpan::Node(n));
+    report.Add(std::move(issue));
+  }
+
+  // --- degenerate mode ------------------------------------------------------
+  //
+  // When the block structure does not parse there is nothing to cache or
+  // compose; run the flat whole-schema subset of checks that do not need
+  // the tree (the data-flow/race/sync-placement checks are skipped exactly
+  // as the non-incremental verifier skipped them).
+
+  AnalysisResult RunDegenerate(const Status& tree_error) {
+    VerificationReport report;
+    BlockSummary flat;
+    std::vector<NodeId> all_nodes;
+    schema_.VisitNodes([&](const Node& n) {
+      all_nodes.push_back(n.id);
+      CheckMember(n, flat);
+    });
+    for (VerificationIssue& issue : flat.issues) report.Add(std::move(issue));
+    CheckStartEndCounts(flat.starts, flat.ends, report);
+
+    std::vector<Edge> sync_edges;
+    ScanEdges(sync_edges, report);
+    for (const Edge& e : sync_edges) {
+      const Node* src = schema_.FindNode(e.src);
+      const Node* dst = schema_.FindNode(e.dst);
+      if (src == nullptr || dst == nullptr) continue;
+      if (src->type != NodeType::kActivity ||
+          dst->type != NodeType::kActivity) {
+        VerificationIssue issue = Issue(
+            VerifyRule::kSyncEdge, VerifySeverity::kError,
+            StrFormat("sync edge %s->%s must connect activities",
+                      NodeDesc(schema_, e.src).c_str(),
+                      NodeDesc(schema_, e.dst).c_str()),
+            "attach both sync edge endpoints to activity nodes", e.src, e.id);
+        issue.span.push_back(EntitySpan::Node(e.dst));
+        report.Add(std::move(issue));
+      }
+    }
+
+    if (schema_.TopologicalOrder().size() != schema_.node_count()) {
+      report.Add(Issue(
+          VerifyRule::kControlCycle, VerifySeverity::kError,
+          "control-edge graph contains a cycle",
+          "break the control-edge cycle or model iteration with a loop "
+          "block"));
+    }
+    report.Add(Issue(VerifyRule::kBlockNesting, VerifySeverity::kError,
+                     tree_error.message(),
+                     "restructure splits and joins into properly nested "
+                     "blocks"));
+
+    KahnCycleCheckIfCyclic(all_nodes, report);
+
+    std::vector<Summary> flat_list{
+        std::make_shared<const BlockSummary>(std::move(flat))};
+    CheckNaming(flat_list, report);
+
+    auto analysis = std::make_shared<SchemaAnalysis>();
+    analysis->stats_.incremental = false;
+    return {std::move(report), std::move(analysis)};
+  }
+
+  // Degenerate mode runs the deadlock check over the whole node set, like
+  // the historical verifier: a pure control cycle then also reports as a
+  // deadlock cycle, keeping behaviour unchanged for broken schemas.
+  void KahnCycleCheckIfCyclic(const std::vector<NodeId>& all_nodes,
+                              VerificationReport& report) {
+    KahnCycleCheck(all_nodes, report);
+  }
+
+  const SchemaView& schema_;
+};
+
+AnalysisResult AnalyzeSchema(const SchemaView& schema) {
+  return AnalysisPass(schema).Run(nullptr, nullptr);
+}
+
+AnalysisResult AnalyzeDelta(const SchemaAnalysis& base,
+                            const SchemaView& candidate,
+                            const ChangeRegion& region) {
+  return AnalysisPass(candidate).Run(&base, &region);
+}
+
+}  // namespace adept

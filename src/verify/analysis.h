@@ -1,0 +1,138 @@
+// Incremental, summary-based schema analysis.
+//
+// VerifySchema (verifier.h) is a fold over the schema's BlockTree: every
+// block caches a BlockSummary — the data elements one execution of the
+// block is guaranteed to write (gen set), the mandatory reads its own
+// prefix could not satisfy (pending reads), the data occurrences of its
+// subtree (for race analysis), and the issues fully attributable to the
+// block (degree rules of direct members, decision wiring, parallel race
+// warnings owned by the block as the writers' least common ancestor).
+// Summaries are context-independent: they depend only on the block's
+// subtree, never on what surrounds it, so they can be reused verbatim
+// across schema versions.
+//
+// AnalyzeDelta exploits that: given the base version's SchemaAnalysis and
+// the ChangeRegion a delta touched, only the blocks containing region
+// nodes — plus their ancestors, whose compositions consume the changed
+// summaries — are recomputed; every other block is matched against the
+// base analysis by its (kind, entry, exit) identity (node ids are stable
+// across versions) and its summary is shared. Cheap whole-schema facts
+// (sync-edge legality, deadlock cycles over sync-owning blocks, start/end
+// uniqueness, missing-data resolution at the root, duplicate names) are
+// recomputed on every analysis; they are O(edges + blocks), not O(nodes²).
+// Full analysis is literally the all-blocks-dirty delta, so the two paths
+// produce identical reports by construction (tests/verify_fuzz_test.cc
+// checks this over randomized change sequences).
+//
+// The invalidation contract is documented in src/verify/README.md.
+
+#ifndef ADEPT_VERIFY_ANALYSIS_H_
+#define ADEPT_VERIFY_ANALYSIS_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "verify/verifier.h"
+
+namespace adept {
+
+// The part of a schema a change transaction may have re-analyzed: the
+// nodes whose structural or data context changed (targets, pre-change
+// neighborhoods, created nodes), and data elements that came into
+// existence (they can resolve previously dangling decision references).
+// Writer-set changes need no separate tracking: a changed writer dirties
+// its block chain up to the root, and pending-read re-resolution at those
+// ancestors re-checks every reader the change could affect.
+struct ChangeRegion {
+  // Force full re-analysis regardless of the node set.
+  bool full = false;
+  std::vector<NodeId> nodes;
+  std::vector<DataId> data;
+
+  void AddNode(NodeId n) {
+    if (n.valid()) nodes.push_back(n);
+  }
+  void AddData(DataId d) {
+    if (d.valid()) data.push_back(d);
+  }
+};
+
+namespace internal {
+struct BlockSummary;
+}  // namespace internal
+
+// Cached per-block summaries of one analyzed schema. Opaque to callers;
+// keep it next to the schema it describes and hand it to AnalyzeDelta when
+// verifying a derived candidate. Immutable and shareable across threads.
+class SchemaAnalysis {
+ public:
+  struct Stats {
+    size_t blocks_total = 0;
+    size_t blocks_reused = 0;  // summaries shared from the base analysis
+    // False when the block structure did not parse: the analysis ran in
+    // degenerate whole-schema mode and cannot seed an incremental delta.
+    bool incremental = false;
+  };
+
+  const Stats& stats() const { return stats_; }
+  bool incremental() const { return stats_.incremental; }
+
+ private:
+  friend class AnalysisPass;
+
+  // Identity of a block across schema versions: entity ids are stable, so
+  // (kind, entry, exit) identifies "the same block" in base and candidate.
+  // parent_entry disambiguates empty branches (invalid entry/exit) of
+  // different composites; it is invalid for non-branch blocks so that a
+  // composite moved wholesale into a new context still matches.
+  struct BlockKey {
+    uint8_t kind = 0;
+    uint32_t entry = 0;
+    uint32_t exit = 0;
+    uint32_t parent_entry = 0;
+
+    bool operator==(const BlockKey& o) const {
+      return kind == o.kind && entry == o.entry && exit == o.exit &&
+             parent_entry == o.parent_entry;
+    }
+  };
+  struct BlockKeyHash {
+    size_t operator()(const BlockKey& k) const {
+      uint64_t h = k.kind;
+      h = h * 0x9e3779b97f4a7c15ULL + k.entry;
+      h = h * 0x9e3779b97f4a7c15ULL + k.exit;
+      h = h * 0x9e3779b97f4a7c15ULL + k.parent_entry;
+      return static_cast<size_t>(h);
+    }
+  };
+
+  std::unordered_map<BlockKey, std::shared_ptr<const internal::BlockSummary>,
+                     BlockKeyHash>
+      summaries_;
+  Stats stats_;
+};
+
+struct AnalysisResult {
+  VerificationReport report;
+  std::shared_ptr<const SchemaAnalysis> analysis;
+};
+
+// Analyzes a schema from scratch. Reuses the schema's frozen BlockTree
+// when `schema` is a frozen ProcessSchema; otherwise parses one.
+AnalysisResult AnalyzeSchema(const SchemaView& schema);
+
+// Analyzes `candidate` (derived from the schema `base` describes by a
+// change transaction with the given affected region), reusing base block
+// summaries outside the region. Falls back to full analysis when the base
+// ran in degenerate mode or region.full is set. The resulting report is
+// bit-identical to AnalyzeSchema(candidate).
+AnalysisResult AnalyzeDelta(const SchemaAnalysis& base,
+                            const SchemaView& candidate,
+                            const ChangeRegion& region);
+
+}  // namespace adept
+
+#endif  // ADEPT_VERIFY_ANALYSIS_H_

@@ -1,559 +1,48 @@
 #include "verify/verifier.h"
 
 #include <algorithm>
-#include <deque>
 #include <sstream>
-#include <unordered_map>
-#include <unordered_set>
 
-#include "common/string_util.h"
-#include "model/block_tree.h"
-#include "model/node.h"
+#include "verify/analysis.h"
 
 namespace adept {
 
 namespace {
 
-std::string NodeDesc(const SchemaView& schema, NodeId id) {
-  const Node* n = schema.FindNode(id);
-  if (n == nullptr) return "<missing>";
-  if (n->name.empty()) return NodeTypeToString(n->type);
-  return n->name;
+const char* SpanKindString(EntitySpan::Kind kind) {
+  switch (kind) {
+    case EntitySpan::Kind::kNode:
+      return "node";
+    case EntitySpan::Kind::kEdge:
+      return "edge";
+    case EntitySpan::Kind::kData:
+      return "data";
+  }
+  return "?";
 }
 
-class VerifyPass {
- public:
-  explicit VerifyPass(const SchemaView& schema) : schema_(schema) {}
-
-  VerificationReport Run() {
-    CollectEntities();
-    CheckDegrees();
-    CheckControlAcyclic();
-    CheckBlockStructure();
-    CheckSyncEdges();
-    CheckDeadlockCycles();
-    CheckDecisions();
-    CheckDataFlow();
-    CheckDataRaces();
-    CheckNaming();
-    return std::move(report_);
-  }
-
- private:
-  void Error(VerifyRule rule, std::string msg, NodeId node = NodeId::Invalid(),
-             EdgeId edge = EdgeId::Invalid(), DataId data = DataId::Invalid()) {
-    report_.Add(
-        {rule, VerifySeverity::kError, std::move(msg), node, edge, data});
-  }
-  void Warn(VerifyRule rule, std::string msg, NodeId node = NodeId::Invalid(),
-            EdgeId edge = EdgeId::Invalid(), DataId data = DataId::Invalid()) {
-    report_.Add(
-        {rule, VerifySeverity::kWarning, std::move(msg), node, edge, data});
-  }
-
-  void CollectEntities() {
-    schema_.VisitNodes([&](const Node& n) { nodes_.push_back(&n); });
-    schema_.VisitEdges([&](const Edge& e) { edges_.push_back(&e); });
-  }
-
-  struct Degrees {
-    int in_control = 0, out_control = 0;
-    int in_sync = 0, out_sync = 0;
-    int in_loop = 0, out_loop = 0;
-  };
-
-  Degrees DegreesOf(NodeId id) {
-    Degrees d;
-    schema_.VisitInEdges(id, [&](const Edge& e) {
-      switch (e.type) {
-        case EdgeType::kControl:
-          d.in_control++;
-          break;
-        case EdgeType::kSync:
-          d.in_sync++;
-          break;
-        case EdgeType::kLoop:
-          d.in_loop++;
-          break;
-      }
-    });
-    schema_.VisitOutEdges(id, [&](const Edge& e) {
-      switch (e.type) {
-        case EdgeType::kControl:
-          d.out_control++;
-          break;
-        case EdgeType::kSync:
-          d.out_sync++;
-          break;
-        case EdgeType::kLoop:
-          d.out_loop++;
-          break;
-      }
-    });
-    return d;
-  }
-
-  void CheckDegrees() {
-    int starts = 0, ends = 0;
-    for (const Node* n : nodes_) {
-      Degrees d = DegreesOf(n->id);
-      auto expect = [&](bool cond, const std::string& what) {
-        if (!cond) {
-          Error(VerifyRule::kStructure,
-                NodeDesc(schema_, n->id) + ": " + what, n->id);
-        }
-      };
-      switch (n->type) {
-        case NodeType::kStartFlow:
-          ++starts;
-          expect(d.in_control == 0,
-                 "start-flow must have no incoming control edge");
-          expect(d.out_control == 1,
-                 "start-flow must have exactly one outgoing control edge");
-          expect(d.in_sync == 0 && d.out_sync == 0,
-                 "start-flow must not touch sync edges");
-          expect(d.in_loop == 0 && d.out_loop == 0,
-                 "start-flow must not touch loop edges");
-          break;
-        case NodeType::kEndFlow:
-          ++ends;
-          expect(d.in_control == 1,
-                 "end-flow must have exactly one incoming control edge");
-          expect(d.out_control == 0,
-                 "end-flow must have no outgoing control edge");
-          expect(d.in_sync == 0 && d.out_sync == 0,
-                 "end-flow must not touch sync edges");
-          expect(d.in_loop == 0 && d.out_loop == 0,
-                 "end-flow must not touch loop edges");
-          break;
-        case NodeType::kActivity:
-          expect(d.in_control == 1,
-                 "activity must have exactly one incoming control edge");
-          expect(d.out_control == 1,
-                 "activity must have exactly one outgoing control edge");
-          expect(d.in_loop == 0 && d.out_loop == 0,
-                 "activity must not touch loop edges");
-          break;
-        case NodeType::kAndSplit:
-        case NodeType::kXorSplit:
-          expect(d.in_control == 1,
-                 "split must have exactly one incoming control edge");
-          expect(d.out_control >= 2,
-                 "split must have >= 2 outgoing control edges");
-          expect(d.in_loop == 0 && d.out_loop == 0,
-                 "split must not touch loop edges");
-          break;
-        case NodeType::kAndJoin:
-        case NodeType::kXorJoin:
-          expect(d.in_control >= 2,
-                 "join must have >= 2 incoming control edges");
-          expect(d.out_control == 1,
-                 "join must have exactly one outgoing control edge");
-          expect(d.in_loop == 0 && d.out_loop == 0,
-                 "join must not touch loop edges");
-          break;
-        case NodeType::kLoopStart:
-          expect(d.in_control == 1,
-                 "loop start must have exactly one incoming control edge");
-          expect(d.out_control == 1,
-                 "loop start must have exactly one body branch");
-          expect(d.in_loop == 1,
-                 "loop start must have exactly one incoming loop edge");
-          expect(d.out_loop == 0, "loop start must have no outgoing loop edge");
-          break;
-        case NodeType::kLoopEnd:
-          expect(d.in_control == 1,
-                 "loop end must have exactly one incoming control edge");
-          expect(d.out_control == 1,
-                 "loop end must have exactly one outgoing control edge");
-          expect(d.out_loop == 1,
-                 "loop end must have exactly one outgoing loop edge");
-          expect(d.in_loop == 0, "loop end must have no incoming loop edge");
-          break;
-      }
-    }
-    if (starts != 1) {
-      Error(VerifyRule::kStructure,
-            StrFormat("schema has %d start-flow nodes, expected 1", starts));
-    }
-    if (ends != 1) {
-      Error(VerifyRule::kStructure,
-            StrFormat("schema has %d end-flow nodes, expected 1", ends));
-    }
-    for (const Edge* e : edges_) {
-      if (e->type == EdgeType::kLoop) {
-        const Node* src = schema_.FindNode(e->src);
-        const Node* dst = schema_.FindNode(e->dst);
-        if (src == nullptr || dst == nullptr ||
-            src->type != NodeType::kLoopEnd ||
-            dst->type != NodeType::kLoopStart) {
-          Error(VerifyRule::kStructure,
-                "loop edge must connect a loop end to a loop start",
-                NodeId::Invalid(), e->id);
-        }
-      }
-    }
-  }
-
-  void CheckControlAcyclic() {
-    topo_order_ = schema_.TopologicalOrder();
-    control_acyclic_ = topo_order_.size() == schema_.node_count();
-    if (!control_acyclic_) {
-      Error(VerifyRule::kControlCycle,
-            "control-edge graph contains a cycle");
-    }
-  }
-
-  void CheckBlockStructure() {
-    auto tree = BlockTree::Build(schema_);
-    if (tree.ok()) {
-      tree_ = std::move(tree).value();
-    } else {
-      Error(VerifyRule::kBlockNesting, tree.status().message());
-    }
-  }
-
-  void CheckSyncEdges() {
-    for (const Edge* e : edges_) {
-      if (e->type != EdgeType::kSync) continue;
-      const Node* src = schema_.FindNode(e->src);
-      const Node* dst = schema_.FindNode(e->dst);
-      if (src == nullptr || dst == nullptr) continue;  // freeze caught this
-      if (src->type != NodeType::kActivity ||
-          dst->type != NodeType::kActivity) {
-        Error(VerifyRule::kSyncEdge,
-              StrFormat("sync edge %s->%s must connect activities",
-                        NodeDesc(schema_, e->src).c_str(),
-                        NodeDesc(schema_, e->dst).c_str()),
-              e->src, e->id);
-        continue;
-      }
-      if (!tree_.has_value()) continue;
-      if (!tree_->InDifferentParallelBranches(e->src, e->dst)) {
-        Error(VerifyRule::kSyncEdge,
-              StrFormat("sync edge %s->%s does not connect different "
-                        "branches of a common parallel block",
-                        NodeDesc(schema_, e->src).c_str(),
-                        NodeDesc(schema_, e->dst).c_str()),
-              e->src, e->id);
-      }
-      if (tree_->InnermostLoop(e->src) != tree_->InnermostLoop(e->dst)) {
-        Error(VerifyRule::kSyncEdge,
-              StrFormat("sync edge %s->%s crosses a loop boundary",
-                        NodeDesc(schema_, e->src).c_str(),
-                        NodeDesc(schema_, e->dst).c_str()),
-              e->src, e->id);
-      }
-    }
-  }
-
-  // Kahn over control + sync edges; a shortfall is a deadlock-causing cycle
-  // (paper Fig. 1: instance I2). Extracts one concrete cycle for the report.
-  void CheckDeadlockCycles() {
-    std::unordered_map<NodeId, int> indegree;
-    for (const Node* n : nodes_) indegree[n->id] = 0;
-    for (const Edge* e : edges_) {
-      if (e->type != EdgeType::kLoop) indegree[e->dst]++;
-    }
-    std::deque<NodeId> ready;
-    for (const Node* n : nodes_) {
-      if (indegree[n->id] == 0) ready.push_back(n->id);
-    }
-    size_t emitted = 0;
-    while (!ready.empty()) {
-      NodeId cur = ready.front();
-      ready.pop_front();
-      ++emitted;
-      schema_.VisitOutEdges(cur, [&](const Edge& e) {
-        if (e.type == EdgeType::kLoop) return;
-        if (--indegree[e.dst] == 0) ready.push_back(e.dst);
-      });
-    }
-    if (emitted == schema_.node_count()) return;
-
-    // Extract one concrete cycle from the residual subgraph with a DFS that
-    // backtracks out of dead ends (residual nodes downstream of the cycle).
-    std::vector<std::string> names;
-    std::unordered_set<NodeId> exhausted;
-    for (const auto& [seed, deg] : indegree) {
-      if (deg == 0 || !names.empty()) continue;
-      std::vector<NodeId> path{seed};
-      std::unordered_set<NodeId> on_path{seed};
-      while (!path.empty() && names.empty()) {
-        NodeId cur = path.back();
-        NodeId next;
-        NodeId repeat;
-        schema_.VisitOutEdges(cur, [&](const Edge& e) {
-          if (e.type == EdgeType::kLoop || next.valid() || repeat.valid()) {
-            return;
-          }
-          if (indegree[e.dst] <= 0 || exhausted.count(e.dst) > 0) return;
-          if (on_path.count(e.dst) > 0) {
-            repeat = e.dst;
-          } else {
-            next = e.dst;
-          }
-        });
-        if (repeat.valid()) {
-          bool in_cycle = false;
-          for (NodeId n : path) {
-            if (n == repeat) in_cycle = true;
-            if (in_cycle) names.push_back(NodeDesc(schema_, n));
-          }
-          names.push_back(NodeDesc(schema_, repeat));
-          break;
-        }
-        if (next.valid()) {
-          path.push_back(next);
-          on_path.insert(next);
-        } else {
-          exhausted.insert(cur);
-          on_path.erase(cur);
-          path.pop_back();
-        }
-      }
-    }
-    Error(VerifyRule::kDeadlockCycle,
-          "deadlock-causing cycle over control+sync edges: " +
-              Join(names, " -> "));
-  }
-
-  void CheckDecisions() {
-    for (const Node* n : nodes_) {
-      if (n->type == NodeType::kXorSplit) {
-        if (!n->decision_data.valid()) {
-          Warn(VerifyRule::kDecision,
-               NodeDesc(schema_, n->id) +
-                   ": XOR split without decision data element (requires "
-                   "explicit runtime branch selection)",
-               n->id);
-        } else {
-          const DataElement* d = schema_.FindData(n->decision_data);
-          if (d == nullptr) {
-            Error(VerifyRule::kDecision,
-                  NodeDesc(schema_, n->id) + ": decision data element missing",
-                  n->id, EdgeId::Invalid(), n->decision_data);
-          } else if (d->type != DataType::kInt) {
-            Error(VerifyRule::kDecision,
-                  NodeDesc(schema_, n->id) +
-                      ": decision data element must be int, is " +
-                      DataTypeToString(d->type),
-                  n->id, EdgeId::Invalid(), d->id);
-          }
-        }
-        std::unordered_set<int> seen;
-        schema_.VisitOutEdges(n->id, [&](const Edge& e) {
-          if (e.type != EdgeType::kControl) return;
-          if (!seen.insert(e.branch_value).second) {
-            Error(VerifyRule::kDecision,
-                  StrFormat("%s: duplicate branch selection code %d",
-                            NodeDesc(schema_, n->id).c_str(), e.branch_value),
-                  n->id, e.id);
-          }
-        });
-      } else if (n->type == NodeType::kLoopEnd) {
-        if (!n->loop_data.valid()) {
-          Warn(VerifyRule::kDecision,
-               NodeDesc(schema_, n->id) +
-                   ": loop end without condition data element (defaults to "
-                   "single iteration)",
-               n->id);
-        } else {
-          const DataElement* d = schema_.FindData(n->loop_data);
-          if (d == nullptr) {
-            Error(VerifyRule::kDecision,
-                  NodeDesc(schema_, n->id) + ": loop data element missing",
-                  n->id, EdgeId::Invalid(), n->loop_data);
-          } else if (d->type != DataType::kBool) {
-            Error(VerifyRule::kDecision,
-                  NodeDesc(schema_, n->id) +
-                      ": loop condition element must be bool, is " +
-                      DataTypeToString(d->type),
-                  n->id, EdgeId::Invalid(), d->id);
-          }
-        }
-      }
-    }
-  }
-
-  // Forward guaranteed-write analysis over the acyclic control graph.
-  // guar[n] = data elements surely written before n starts. XOR joins
-  // intersect their branches, AND joins unite them; sync edges are ignored
-  // (a skipped sync source writes nothing, so they guarantee no data).
-  void CheckDataFlow() {
-    if (!control_acyclic_ || !tree_.has_value()) return;
-
-    // Dense data index.
-    std::vector<DataId> data_ids = schema_.DataIds();
-    std::unordered_map<DataId, size_t> index;
-    for (size_t i = 0; i < data_ids.size(); ++i) index[data_ids[i]] = i;
-    const size_t kWords = (data_ids.size() + 63) / 64;
-    auto make_set = [&] { return std::vector<uint64_t>(kWords, 0); };
-    auto set_bit = [&](std::vector<uint64_t>& s, size_t i) {
-      s[i / 64] |= uint64_t{1} << (i % 64);
-    };
-    auto test_bit = [&](const std::vector<uint64_t>& s, size_t i) {
-      return (s[i / 64] >> (i % 64)) & 1;
-    };
-
-    std::unordered_map<NodeId, std::vector<uint64_t>> guar;
-    std::unordered_map<NodeId, std::vector<uint64_t>> writes;
-    for (const Node* n : nodes_) {
-      auto w = make_set();
-      schema_.VisitDataEdges(n->id, [&](const DataEdge& de) {
-        if (de.mode == AccessMode::kWrite) set_bit(w, index[de.data]);
-      });
-      writes[n->id] = std::move(w);
-    }
-
-    for (NodeId cur : topo_order_) {
-      const Node* node = schema_.FindNode(cur);
-      auto preds = schema_.Predecessors(cur, EdgeType::kControl);
-      std::vector<uint64_t> g = make_set();
-      bool first = true;
-      for (NodeId p : preds) {
-        std::vector<uint64_t> avail = guar[p];
-        const auto& w = writes[p];
-        for (size_t i = 0; i < kWords; ++i) avail[i] |= w[i];
-        if (first) {
-          g = avail;
-          first = false;
-        } else if (node->type == NodeType::kXorJoin) {
-          for (size_t i = 0; i < kWords; ++i) g[i] &= avail[i];
-        } else {  // AND join: all branches completed
-          for (size_t i = 0; i < kWords; ++i) g[i] |= avail[i];
-        }
-      }
-      guar[cur] = std::move(g);
-    }
-
-    auto require = [&](NodeId n, DataId d, const std::string& why) {
-      auto it = index.find(d);
-      if (it == index.end()) return;  // dangling; caught elsewhere
-      if (!test_bit(guar[n], it->second)) {
-        const DataElement* elem = schema_.FindData(d);
-        Error(VerifyRule::kMissingData,
-              StrFormat("%s: %s '%s' is not guaranteed to be written on "
-                        "every path",
-                        NodeDesc(schema_, n).c_str(), why.c_str(),
-                        elem != nullptr ? elem->name.c_str() : "?"),
-              n, EdgeId::Invalid(), d);
-      }
-    };
-
-    for (const Node* n : nodes_) {
-      schema_.VisitDataEdges(n->id, [&](const DataEdge& de) {
-        if (de.mode == AccessMode::kRead && !de.optional) {
-          require(n->id, de.data, "mandatory input");
-        }
-      });
-      if (n->type == NodeType::kXorSplit && n->decision_data.valid()) {
-        require(n->id, n->decision_data, "decision parameter");
-      }
-      if (n->type == NodeType::kLoopEnd && n->loop_data.valid()) {
-        // The loop condition is evaluated when the loop end completes, so
-        // writes of the loop end itself would also count; we keep the
-        // stricter "guaranteed before start" rule for simplicity.
-        require(n->id, n->loop_data, "loop condition");
-      }
-    }
-  }
-
-  // True if a control+sync path orders a before b (either direction checked
-  // by the caller).
-  bool OrderedBySync(NodeId a, NodeId b) {
-    std::unordered_set<NodeId> visited{a};
-    std::deque<NodeId> queue{a};
-    while (!queue.empty()) {
-      NodeId cur = queue.front();
-      queue.pop_front();
-      bool found = false;
-      schema_.VisitOutEdges(cur, [&](const Edge& e) {
-        if (e.type == EdgeType::kLoop || found) return;
-        if (e.dst == b) {
-          found = true;
-          return;
-        }
-        if (visited.insert(e.dst).second) queue.push_back(e.dst);
-      });
-      if (found) return true;
-    }
-    return false;
-  }
-
-  void CheckDataRaces() {
-    if (!tree_.has_value()) return;
-    std::unordered_map<DataId, std::vector<NodeId>> writers, readers;
-    for (const Node* n : nodes_) {
-      schema_.VisitDataEdges(n->id, [&](const DataEdge& de) {
-        if (de.mode == AccessMode::kWrite) {
-          writers[de.data].push_back(n->id);
-        } else {
-          readers[de.data].push_back(n->id);
-        }
-      });
-    }
-    auto name_of = [&](DataId d) {
-      const DataElement* e = schema_.FindData(d);
-      return e != nullptr ? e->name : std::string("?");
-    };
-    for (const auto& [d, ws] : writers) {
-      for (size_t i = 0; i < ws.size(); ++i) {
-        for (size_t j = i + 1; j < ws.size(); ++j) {
-          if (tree_->InDifferentParallelBranches(ws[i], ws[j]) &&
-              !OrderedBySync(ws[i], ws[j]) && !OrderedBySync(ws[j], ws[i])) {
-            Warn(VerifyRule::kLostUpdate,
-                 StrFormat("parallel unordered writes of '%s' by %s and %s",
-                           name_of(d).c_str(),
-                           NodeDesc(schema_, ws[i]).c_str(),
-                           NodeDesc(schema_, ws[j]).c_str()),
-                 ws[i], EdgeId::Invalid(), d);
-          }
-        }
-        auto rit = readers.find(d);
-        if (rit == readers.end()) continue;
-        for (NodeId r : rit->second) {
-          if (tree_->InDifferentParallelBranches(ws[i], r) &&
-              !OrderedBySync(ws[i], r) && !OrderedBySync(r, ws[i])) {
-            Warn(VerifyRule::kDataRace,
-                 StrFormat("unsynchronized parallel write/read of '%s' "
-                           "(%s writes, %s reads)",
-                           name_of(d).c_str(),
-                           NodeDesc(schema_, ws[i]).c_str(),
-                           NodeDesc(schema_, r).c_str()),
-                 ws[i], EdgeId::Invalid(), d);
-          }
-        }
-      }
-    }
-  }
-
-  void CheckNaming() {
-    std::unordered_map<std::string, int> counts;
-    for (const Node* n : nodes_) {
-      if (n->type == NodeType::kActivity && !n->name.empty()) {
-        counts[n->name]++;
-      }
-    }
-    for (const auto& [name, count] : counts) {
-      if (count > 1) {
-        Warn(VerifyRule::kNaming,
-             StrFormat("activity name '%s' used %d times", name.c_str(),
-                       count));
-      }
-    }
-  }
-
-  const SchemaView& schema_;
-  VerificationReport report_;
-  std::vector<const Node*> nodes_;
-  std::vector<const Edge*> edges_;
-  std::vector<NodeId> topo_order_;
-  bool control_acyclic_ = false;
-  std::optional<BlockTree> tree_;
-};
-
 }  // namespace
+
+JsonValue VerificationIssue::ToJson() const {
+  JsonValue j = JsonValue::MakeObject();
+  j.Set("rule_id", VerifyRuleId(rule));
+  j.Set("rule", VerifyRuleToString(rule));
+  j.Set("severity", severity == VerifySeverity::kError ? "error" : "warning");
+  j.Set("message", message);
+  if (node.valid()) j.Set("node", node.value());
+  if (edge.valid()) j.Set("edge", edge.value());
+  if (data.valid()) j.Set("data", data.value());
+  JsonValue spans = JsonValue::MakeArray();
+  for (const EntitySpan& s : span) {
+    JsonValue js = JsonValue::MakeObject();
+    js.Set("kind", SpanKindString(s.kind));
+    js.Set("id", s.id);
+    spans.Append(std::move(js));
+  }
+  j.Set("span", std::move(spans));
+  if (!fix_hint.empty()) j.Set("fix_hint", fix_hint);
+  return j;
+}
 
 bool VerificationReport::ok() const { return error_count() == 0; }
 
@@ -585,6 +74,41 @@ std::string VerificationReport::DebugString() const {
   return os.str();
 }
 
+JsonValue VerificationReport::ToJson() const {
+  JsonValue j = JsonValue::MakeObject();
+  j.Set("ok", ok());
+  j.Set("errors", static_cast<uint64_t>(error_count()));
+  j.Set("warnings", static_cast<uint64_t>(warning_count()));
+  JsonValue findings = JsonValue::MakeArray();
+  for (const VerificationIssue& i : issues_) findings.Append(i.ToJson());
+  j.Set("findings", std::move(findings));
+  return j;
+}
+
+std::string VerificationReport::CanonicalString() const {
+  std::vector<std::string> lines;
+  lines.reserve(issues_.size());
+  for (const VerificationIssue& i : issues_) {
+    std::ostringstream os;
+    os << VerifyRuleId(i.rule)
+       << (i.severity == VerifySeverity::kError ? " E " : " W ") << i.message;
+    std::vector<EntitySpan> span = i.span;
+    std::sort(span.begin(), span.end());
+    for (const EntitySpan& s : span) {
+      os << " " << SpanKindString(s.kind) << ":" << s.id;
+    }
+    if (!i.fix_hint.empty()) os << " | " << i.fix_hint;
+    lines.push_back(os.str());
+  }
+  std::sort(lines.begin(), lines.end());
+  std::string out;
+  for (const std::string& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
 const char* VerifyRuleToString(VerifyRule rule) {
   switch (rule) {
     case VerifyRule::kStructure:
@@ -608,11 +132,37 @@ const char* VerifyRuleToString(VerifyRule rule) {
     case VerifyRule::kNaming:
       return "naming";
   }
-  return "?";
+  return "unknown";
+}
+
+const char* VerifyRuleId(VerifyRule rule) {
+  switch (rule) {
+    case VerifyRule::kStructure:
+      return "AV001";
+    case VerifyRule::kControlCycle:
+      return "AV002";
+    case VerifyRule::kBlockNesting:
+      return "AV003";
+    case VerifyRule::kSyncEdge:
+      return "AV004";
+    case VerifyRule::kDeadlockCycle:
+      return "AV005";
+    case VerifyRule::kDecision:
+      return "AV006";
+    case VerifyRule::kMissingData:
+      return "AV007";
+    case VerifyRule::kLostUpdate:
+      return "AV008";
+    case VerifyRule::kDataRace:
+      return "AV009";
+    case VerifyRule::kNaming:
+      return "AV010";
+  }
+  return "AV000";
 }
 
 VerificationReport VerifySchema(const SchemaView& schema) {
-  return VerifyPass(schema).Run();
+  return AnalyzeSchema(schema).report;
 }
 
 Status VerifySchemaOrError(const SchemaView& schema) {

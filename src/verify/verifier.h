@@ -9,7 +9,7 @@
 // (Fig. 1: I2's structural conflict is exactly a kDeadlockCycle finding on
 // the combined schema).
 //
-// Checks performed:
+// Checks performed (rule catalog in src/verify/README.md):
 //   * node-degree rules per node type, unique start/end flow
 //   * control-edge acyclicity and full block-structure parse
 //   * sync-edge rules: endpoints in different branches of a common parallel
@@ -19,6 +19,11 @@
 //   * data-flow: every mandatory read is guaranteed a prior write on every
 //     path ("no missing data"); warnings for parallel write/write and
 //     unsynchronized write/read races ("lost updates")
+//
+// Verification is summary-based and incremental: VerifySchema here is the
+// convenience entry point that analyzes from scratch; change transactions
+// go through verify/analysis.h, which caches per-block summaries and
+// re-analyzes only the blocks a ChangeOp touched.
 
 #ifndef ADEPT_VERIFY_VERIFIER_H_
 #define ADEPT_VERIFY_VERIFIER_H_
@@ -27,6 +32,7 @@
 #include <vector>
 
 #include "common/ids.h"
+#include "common/json.h"
 #include "common/status.h"
 #include "model/schema_view.h"
 
@@ -47,6 +53,28 @@ enum class VerifyRule {
 
 enum class VerifySeverity { kError, kWarning };
 
+// Reference to one schema entity involved in a finding. A finding's `span`
+// lists every entity a tool would highlight: the sync edge *and* both of
+// its endpoints, the reader *and* the data element, each node on a
+// deadlock cycle.
+struct EntitySpan {
+  enum class Kind { kNode, kEdge, kData };
+  Kind kind = Kind::kNode;
+  uint32_t id = 0;
+
+  static EntitySpan Node(NodeId n) { return {Kind::kNode, n.value()}; }
+  static EntitySpan Edge(EdgeId e) { return {Kind::kEdge, e.value()}; }
+  static EntitySpan Data(DataId d) { return {Kind::kData, d.value()}; }
+
+  bool operator==(const EntitySpan& o) const {
+    return kind == o.kind && id == o.id;
+  }
+  bool operator<(const EntitySpan& o) const {
+    if (kind != o.kind) return kind < o.kind;
+    return id < o.id;
+  }
+};
+
 struct VerificationIssue {
   VerifyRule rule;
   VerifySeverity severity;
@@ -54,6 +82,12 @@ struct VerificationIssue {
   NodeId node;  // primary offending entity (optional)
   EdgeId edge;
   DataId data;
+  // Machine-consumable detail: every involved entity, and an actionable
+  // suggestion ("add a sync edge ordering the writers").
+  std::vector<EntitySpan> span;
+  std::string fix_hint;
+
+  JsonValue ToJson() const;
 };
 
 class VerificationReport {
@@ -71,16 +105,32 @@ class VerificationReport {
 
   std::string DebugString() const;
 
+  // Full machine-readable report: {"ok":…,"errors":N,"warnings":N,
+  // "findings":[issue…]} with stable rule ids (the adept_lint format).
+  JsonValue ToJson() const;
+
+  // Order-independent fingerprint: every issue rendered canonically and
+  // sorted. Two reports describe the same findings iff their canonical
+  // strings are equal (the incremental-vs-full differential contract).
+  std::string CanonicalString() const;
+
  private:
   std::vector<VerificationIssue> issues_;
 };
 
 const char* VerifyRuleToString(VerifyRule rule);
 
+// Stable machine-readable rule id ("AV001".."AV010"); ids are append-only
+// and never reused, so downstream suppressions/baselines survive upgrades.
+const char* VerifyRuleId(VerifyRule rule);
+
 // Runs all checks; never fails by itself (problems land in the report).
 VerificationReport VerifySchema(const SchemaView& schema);
 
 // Convenience: kVerificationFailed carrying the first error, OK otherwise.
+// NOTE: this discards warnings by design — callers that must surface or
+// retain warnings (Deploy/Evolve/AddBias) use Delta::ApplyVerified or
+// AnalyzeSchema and keep the full report.
 Status VerifySchemaOrError(const SchemaView& schema);
 
 }  // namespace adept

@@ -79,6 +79,62 @@ TEST(AdeptSystemTest, EndToEndLifecycle) {
   EXPECT_TRUE(adept.SnapshotOf(*instance)->finished);
 }
 
+// Regression for the warning-discarding bug: Deploy used to run the
+// verifier through VerifySchemaOrError, which throws away kNaming /
+// kLostUpdate / kDataRace warnings. The full report must be retrievable
+// for type versions and for biased instances.
+TEST(AdeptSystemTest, VerificationWarningsAreRetained) {
+  auto system = AdeptSystem::Create();
+  ASSERT_TRUE(system.ok());
+  AdeptSystem& adept = **system;
+
+  // A correct-but-warned schema: duplicate activity names.
+  SchemaBuilder b("warned", 1);
+  b.Activity("step");
+  b.Activity("step");
+  auto schema = b.Build();
+  ASSERT_TRUE(schema.ok());
+  auto v1_id = adept.DeployProcessType(*schema);
+  ASSERT_TRUE(v1_id.ok()) << v1_id.status();
+
+  auto report = adept.SchemaReport(*v1_id);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE((*report)->ok());
+  ASSERT_EQ((*report)->warning_count(), 1u);
+  EXPECT_EQ((*report)->issues()[0].rule, VerifyRule::kNaming);
+
+  // Evolving keeps the (still present) warning in the new version's report.
+  Delta delta;
+  NewActivitySpec spec;
+  spec.name = "extra";
+  NodeId first = (*schema)->FindNodeByName("step");
+  auto succs = (*schema)->Successors(first, EdgeType::kControl);
+  ASSERT_FALSE(succs.empty());
+  delta.Add(std::make_unique<SerialInsertOp>(spec, first, succs[0]));
+  auto v2_id = adept.EvolveProcessType(*v1_id, std::move(delta));
+  ASSERT_TRUE(v2_id.ok()) << v2_id.status();
+  auto v2_report = adept.SchemaReport(*v2_id);
+  ASSERT_TRUE(v2_report.ok());
+  EXPECT_EQ((*v2_report)->warning_count(), 1u);
+
+  // An ad-hoc change that introduces a race: warnings must be retrievable
+  // on the biased instance (previously silently dropped).
+  auto inst = adept.CreateInstanceOn(*v1_id);
+  ASSERT_TRUE(inst.ok());
+  EXPECT_FALSE(adept.InstanceReport(*inst).ok());  // unbiased: no report
+
+  Delta bias;
+  NewActivitySpec extra;
+  extra.name = "biased step";
+  auto succs2 = (*schema)->Successors(first, EdgeType::kControl);
+  bias.Add(std::make_unique<SerialInsertOp>(extra, first, succs2[0]));
+  ASSERT_TRUE(adept.ApplyAdHocChange(*inst, std::move(bias)).ok());
+  auto inst_report = adept.InstanceReport(*inst);
+  ASSERT_TRUE(inst_report.ok());
+  EXPECT_TRUE((*inst_report)->ok());
+  EXPECT_EQ((*inst_report)->warning_count(), 1u);  // duplicate names persist
+}
+
 TEST(AdeptSystemTest, UnknownEntitiesRejected) {
   auto system = AdeptSystem::Create();
   ASSERT_TRUE(system.ok());

@@ -333,5 +333,124 @@ TEST(VerifierTest, ReportFormatting) {
   EXPECT_EQ(report.error_count(), 0u);
 }
 
+// --- Machine-readable diagnostics (rule ids, spans, fix hints, JSON) ---------
+
+TEST(VerifierTest, RuleIdsAreStable) {
+  // Golden mapping: append-only, never renumber (downstream suppressions
+  // and lint baselines key on these).
+  EXPECT_STREQ(VerifyRuleId(VerifyRule::kStructure), "AV001");
+  EXPECT_STREQ(VerifyRuleId(VerifyRule::kControlCycle), "AV002");
+  EXPECT_STREQ(VerifyRuleId(VerifyRule::kBlockNesting), "AV003");
+  EXPECT_STREQ(VerifyRuleId(VerifyRule::kSyncEdge), "AV004");
+  EXPECT_STREQ(VerifyRuleId(VerifyRule::kDeadlockCycle), "AV005");
+  EXPECT_STREQ(VerifyRuleId(VerifyRule::kDecision), "AV006");
+  EXPECT_STREQ(VerifyRuleId(VerifyRule::kMissingData), "AV007");
+  EXPECT_STREQ(VerifyRuleId(VerifyRule::kLostUpdate), "AV008");
+  EXPECT_STREQ(VerifyRuleId(VerifyRule::kDataRace), "AV009");
+  EXPECT_STREQ(VerifyRuleId(VerifyRule::kNaming), "AV010");
+}
+
+TEST(VerifierTest, MissingDataFindingCarriesSpanAndFixHint) {
+  SchemaBuilder b("span", 1);
+  DataId amount = b.Data("amount", DataType::kDouble);
+  NodeId reader = b.Activity("reader");
+  b.Reads(reader, amount);
+  auto schema = b.Build();
+  ASSERT_TRUE(schema.ok());
+  auto report = VerifySchema(**schema);
+  ASSERT_FALSE(report.ok());
+  const VerificationIssue* found = nullptr;
+  for (const auto& i : report.issues()) {
+    if (i.rule == VerifyRule::kMissingData) found = &i;
+  }
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->node, reader);
+  EXPECT_EQ(found->data, amount);
+  ASSERT_EQ(found->span.size(), 2u);
+  EXPECT_TRUE(found->span[0] == EntitySpan::Node(reader));
+  EXPECT_TRUE(found->span[1] == EntitySpan::Data(amount));
+  EXPECT_NE(found->fix_hint.find("'amount'"), std::string::npos)
+      << found->fix_hint;
+}
+
+TEST(VerifierTest, RaceFindingSpansBothAccessors) {
+  SchemaBuilder b("racespan", 1);
+  DataId d = b.Data("d", DataType::kInt);
+  NodeId w1, w2;
+  b.Parallel({
+      [&](SchemaBuilder& s) {
+        w1 = s.Activity("w1");
+        s.Writes(w1, d);
+      },
+      [&](SchemaBuilder& s) {
+        w2 = s.Activity("w2");
+        s.Writes(w2, d);
+      },
+  });
+  auto schema = b.Build();
+  ASSERT_TRUE(schema.ok());
+  auto report = VerifySchema(**schema);
+  const VerificationIssue* found = nullptr;
+  for (const auto& i : report.issues()) {
+    if (i.rule == VerifyRule::kLostUpdate) found = &i;
+  }
+  ASSERT_NE(found, nullptr);
+  // Span: first writer, the data element, the second writer.
+  EXPECT_EQ(found->span.size(), 3u);
+  int node_spans = 0;
+  for (const auto& s : found->span) {
+    if (s.kind == EntitySpan::Kind::kNode) ++node_spans;
+  }
+  EXPECT_EQ(node_spans, 2);
+  EXPECT_FALSE(found->fix_hint.empty());
+}
+
+TEST(VerifierTest, ReportJsonGolden) {
+  SchemaBuilder b("jsongold", 1);
+  b.Activity("same");
+  b.Activity("same");
+  auto schema = b.Build();
+  ASSERT_TRUE(schema.ok());
+  auto report = VerifySchema(**schema);
+  ASSERT_EQ(report.issues().size(), 1u);
+  JsonValue j = report.ToJson();
+  EXPECT_EQ(j.Get("ok").as_bool(), true);
+  EXPECT_EQ(j.Get("errors").as_int(), 0);
+  EXPECT_EQ(j.Get("warnings").as_int(), 1);
+  const JsonValue& finding = j.Get("findings").as_array()[0];
+  EXPECT_EQ(finding.Get("rule_id").as_string(), "AV010");
+  EXPECT_EQ(finding.Get("rule").as_string(), "naming");
+  EXPECT_EQ(finding.Get("severity").as_string(), "warning");
+  EXPECT_EQ(finding.Get("message").as_string(),
+            "activity name 'same' used 2 times");
+  EXPECT_EQ(finding.Get("span").as_array().size(), 2u);
+  EXPECT_EQ(finding.Get("span").as_array()[0].Get("kind").as_string(),
+            "node");
+  EXPECT_EQ(finding.Get("fix_hint").as_string(),
+            "rename the duplicate activities");
+  // Round-trips through the JSON layer (adept_lint consumes this form).
+  auto parsed = JsonValue::Parse(j.Dump());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(*parsed == j);
+}
+
+TEST(VerifierTest, CanonicalStringIsOrderIndependent) {
+  VerificationIssue a{VerifyRule::kNaming, VerifySeverity::kWarning,
+                      "msg a",           NodeId(1),
+                      EdgeId::Invalid(), DataId::Invalid(),
+                      {},                ""};
+  VerificationIssue b{VerifyRule::kStructure, VerifySeverity::kError,
+                      "msg b",           NodeId(2),
+                      EdgeId::Invalid(), DataId::Invalid(),
+                      {},                ""};
+  VerificationReport r1, r2;
+  r1.Add(a);
+  r1.Add(b);
+  r2.Add(b);
+  r2.Add(a);
+  EXPECT_EQ(r1.CanonicalString(), r2.CanonicalString());
+  EXPECT_NE(r1.CanonicalString(), "");
+}
+
 }  // namespace
 }  // namespace adept

@@ -1,0 +1,99 @@
+// Built-in example schemas for adept_lint --examples: a small catalog the
+// CLI (and CI smoke checks) can lint without any input files. The set
+// deliberately mixes a clean schema with schemas that trigger warning-level
+// rules (AV006 lost update, AV007 data race, AV010 duplicate names) so the
+// findings report is non-trivial — but none carry errors, so linting the
+// catalog exits 0.
+
+#ifndef ADEPT_TOOLS_EXAMPLE_SCHEMAS_H_
+#define ADEPT_TOOLS_EXAMPLE_SCHEMAS_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "model/schema.h"
+#include "model/schema_builder.h"
+
+namespace adept {
+namespace tools {
+
+struct ExampleSchema {
+  std::string name;
+  std::shared_ptr<const ProcessSchema> schema;
+};
+
+// The paper's running example (Fig. 1 shape): clean.
+inline std::shared_ptr<const ProcessSchema> OnlineOrdering() {
+  SchemaBuilder b("online_ordering", 1);
+  DataId order = b.Data("order", DataType::kString);
+  NodeId get = b.Activity("get order");
+  b.Writes(get, order);
+  NodeId collect = b.Activity("collect data");
+  b.Reads(collect, order);
+  b.Parallel({
+      [&](SchemaBuilder& s) { s.Activity("confirm order"); },
+      [&](SchemaBuilder& s) { s.Activity("compose order"); },
+  });
+  b.Activity("pack goods");
+  b.Activity("deliver goods");
+  auto schema = b.Build();
+  return schema.ok() ? *schema : nullptr;
+}
+
+// Two parallel branches touch the same element unsynchronized: one
+// write/write pair (lost update) and one write/read pair (data race).
+inline std::shared_ptr<const ProcessSchema> ParallelAccounting() {
+  SchemaBuilder b("parallel_accounting", 1);
+  DataId total = b.Data("total", DataType::kInt);
+  DataId audit = b.Data("audit", DataType::kString);
+  NodeId init = b.Activity("open ledger");
+  b.Writes(init, total);
+  b.Writes(init, audit);
+  b.Parallel({
+      [&](SchemaBuilder& s) {
+        NodeId post = s.Activity("post invoice");
+        s.Writes(post, total);
+        s.Writes(post, audit);
+      },
+      [&](SchemaBuilder& s) {
+        NodeId refund = s.Activity("process refund");
+        s.Writes(refund, total);
+        NodeId review = s.Activity("review ledger");
+        s.Reads(review, audit);
+      },
+  });
+  b.Activity("close ledger");
+  auto schema = b.Build();
+  return schema.ok() ? *schema : nullptr;
+}
+
+// A copy-pasted review step left two activities with the same name.
+inline std::shared_ptr<const ProcessSchema> DuplicateReview() {
+  SchemaBuilder b("duplicate_review", 1);
+  b.Activity("draft document");
+  b.Activity("review document");
+  b.Activity("incorporate feedback");
+  b.Activity("review document");
+  b.Activity("publish document");
+  auto schema = b.Build();
+  return schema.ok() ? *schema : nullptr;
+}
+
+inline std::vector<ExampleSchema> ExampleCatalog() {
+  std::vector<ExampleSchema> out;
+  if (auto s = OnlineOrdering()) out.push_back({"online_ordering", std::move(s)});
+  if (auto s = ParallelAccounting()) {
+    out.push_back({"parallel_accounting", std::move(s)});
+  }
+  if (auto s = DuplicateReview()) {
+    out.push_back({"duplicate_review", std::move(s)});
+  }
+  return out;
+}
+
+}  // namespace tools
+}  // namespace adept
+
+#endif  // ADEPT_TOOLS_EXAMPLE_SCHEMAS_H_
