@@ -1,0 +1,234 @@
+// Replication cost and catch-up bandwidth ("repl" trajectory).
+//
+//   BM_ReplLocalFsyncCommit   baseline: one-shard cluster, kFsync WAL,
+//                             no replication attached — the price of a
+//                             commit that is durable on the local disk
+//                             only.
+//   BM_ReplQuorumCommit/q     the same commit with two loopback replica
+//                             nodes attached and quorum q (1 = local +
+//                             async shipping, 2 = local + one replica
+//                             ack, 3 = every copy). The q=1 row isolates
+//                             the hook/shipping overhead; q>=2 adds the
+//                             synchronous network round trip.
+//   BM_ReplCatchUp            a fresh replica joining a primary with a
+//                             populated WAL: time from attach to full
+//                             convergence, reported as bytes/second of
+//                             WAL shipped (the catch-up bandwidth a
+//                             rejoining peer sees).
+//
+// Everything runs in-process over 127.0.0.1 — the numbers exclude real
+// network latency but include framing, checksums, JSON encode/decode,
+// both WAL writes, and the ack round trip.
+//
+// Emit machine-readable results like every other bench:
+//   ./build/bench_replication --benchmark_format=json
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/adept_cluster.h"
+#include "repl/replica_node.h"
+#include "repl/replication.h"
+#include "tests/test_fixtures.h"
+
+namespace adept {
+namespace {
+
+std::filesystem::path BenchDir(const std::string& name) {
+  return std::filesystem::temp_directory_path() / name;
+}
+
+ClusterOptions PrimaryOptions(const std::filesystem::path& dir) {
+  ClusterOptions options;
+  options.shards = 1;
+  options.wal_path = (dir / "primary.wal").string();
+  options.snapshot_path = (dir / "primary.snapshot").string();
+  options.sync = SyncMode::kFsync;
+  return options;
+}
+
+std::unique_ptr<ReplicationReplica> StartReplicaNode(
+    const std::filesystem::path& dir, const std::string& name) {
+  ReplicaNodeOptions options;
+  options.wal_path = (dir / (name + ".wal")).string();
+  options.snapshot_path = (dir / (name + ".snapshot")).string();
+  options.sync = SyncMode::kFlush;
+  auto replica = ReplicationReplica::Start(options);
+  return replica.ok() ? std::move(*replica) : nullptr;
+}
+
+ReplicationOptions ReplOptions(const std::vector<uint16_t>& ports,
+                               int quorum) {
+  ReplicationOptions options;
+  for (uint16_t port : ports) {
+    options.replicas.push_back({.host = "127.0.0.1", .port = port});
+  }
+  options.quorum = quorum;
+  options.retry_ms = 20;
+  options.ack_timeout_ms = 30000;
+  return options;
+}
+
+// Shared fixture state; Setup/Teardown hooks run outside the timed loop.
+std::filesystem::path g_dir;
+std::unique_ptr<AdeptCluster> g_cluster;
+std::vector<std::unique_ptr<ReplicationReplica>> g_replicas;
+
+bool SetUpCluster(int replica_nodes, int quorum) {
+  g_dir = BenchDir("adept_bench_repl");
+  std::filesystem::remove_all(g_dir);
+  std::filesystem::create_directories(g_dir);
+  for (int i = 0; i < replica_nodes; ++i) {
+    auto node = StartReplicaNode(g_dir, "replica" + std::to_string(i));
+    if (node == nullptr) return false;
+    g_replicas.push_back(std::move(node));
+  }
+  auto cluster = AdeptCluster::Create(PrimaryOptions(g_dir));
+  if (!cluster.ok()) return false;
+  g_cluster = std::move(*cluster);
+  if (!g_cluster->DeployProcessType(testing_fixtures::SequenceSchema(4))
+           .ok()) {
+    return false;
+  }
+  if (replica_nodes > 0) {
+    std::vector<uint16_t> ports;
+    for (const auto& node : g_replicas) ports.push_back(node->port());
+    if (!g_cluster->AttachReplication(ReplOptions(ports, quorum)).ok()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void TearDownCluster(const benchmark::State&) {
+  if (g_cluster != nullptr) g_cluster->DetachReplication();
+  g_cluster.reset();
+  g_replicas.clear();
+  std::filesystem::remove_all(g_dir);
+}
+
+void SetUpLocal(const benchmark::State&) { SetUpCluster(0, 1); }
+
+void BM_ReplLocalFsyncCommit(benchmark::State& state) {
+  if (g_cluster == nullptr) {
+    state.SkipWithError("cluster setup failed");
+    return;
+  }
+  for (auto _ : state) {
+    auto id = g_cluster->CreateInstance("seq");
+    if (!id.ok()) {
+      state.SkipWithError(id.status().message().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(*id);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReplLocalFsyncCommit)
+    ->Setup(SetUpLocal)
+    ->Teardown(TearDownCluster)
+    ->Unit(benchmark::kMicrosecond);
+
+void SetUpQuorum(const benchmark::State& state) {
+  SetUpCluster(2, static_cast<int>(state.range(0)));
+}
+
+void BM_ReplQuorumCommit(benchmark::State& state) {
+  if (g_cluster == nullptr ||
+      g_cluster->shard_replication(0) == nullptr) {
+    state.SkipWithError("replicated cluster setup failed");
+    return;
+  }
+  // q >= 2 stalls until the handshake finishes anyway; q == 1 would
+  // otherwise time the pre-connection window.
+  Status ready = g_cluster->shard_replication(0)->WaitForPeers(2, 10000);
+  if (!ready.ok()) {
+    state.SkipWithError("replicas did not connect");
+    return;
+  }
+  for (auto _ : state) {
+    auto id = g_cluster->CreateInstance("seq");
+    if (!id.ok()) {
+      state.SkipWithError(id.status().message().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(*id);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["quorum"] = benchmark::Counter(
+      static_cast<double>(state.range(0)));
+}
+BENCHMARK(BM_ReplQuorumCommit)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(3)
+    ->Setup(SetUpQuorum)
+    ->Teardown(TearDownCluster)
+    ->Unit(benchmark::kMicrosecond);
+
+// Populates a primary once, then times fresh replicas catching up from
+// LSN 0. Quorum 1, so attach never blocks commits; convergence is polled.
+void SetUpCatchUp(const benchmark::State&) {
+  SetUpCluster(0, 1);
+  if (g_cluster == nullptr) return;
+  for (int i = 0; i < 400; ++i) {
+    auto id = g_cluster->CreateInstance("seq");
+    if (!id.ok()) {
+      g_cluster.reset();
+      return;
+    }
+  }
+}
+
+void BM_ReplCatchUp(benchmark::State& state) {
+  if (g_cluster == nullptr) {
+    state.SkipWithError("cluster setup failed");
+    return;
+  }
+  const uint64_t durable = g_cluster->shard(0).wal_writer()->durable_lsn();
+  const auto wal_bytes = static_cast<int64_t>(
+      std::filesystem::file_size(g_dir / "primary.wal.shard0"));
+  int round = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto node =
+        StartReplicaNode(g_dir, "catchup" + std::to_string(round++));
+    if (node == nullptr) {
+      state.SkipWithError("replica start failed");
+      return;
+    }
+    state.ResumeTiming();
+    Status attached =
+        g_cluster->AttachReplication(ReplOptions({node->port()}, 1));
+    if (!attached.ok()) {
+      state.SkipWithError(attached.message().c_str());
+      return;
+    }
+    while (node->ShardLastLsn(0) < durable) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    state.PauseTiming();
+    g_cluster->DetachReplication();
+    node.reset();
+    state.ResumeTiming();
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          wal_bytes);
+  state.counters["wal_bytes"] =
+      benchmark::Counter(static_cast<double>(wal_bytes));
+}
+BENCHMARK(BM_ReplCatchUp)
+    ->Setup(SetUpCatchUp)
+    ->Teardown(TearDownCluster)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace adept
+
+BENCHMARK_MAIN();

@@ -439,7 +439,7 @@ Status AdeptCluster::DeriveShardAllocators(size_t recovered_count) {
   return Status::OK();
 }
 
-AdeptCluster::~AdeptCluster() = default;
+AdeptCluster::~AdeptCluster() { DetachReplication(); }
 
 // --- Schema management (fan-out) ---------------------------------------------
 
@@ -934,6 +934,69 @@ Status AdeptCluster::SaveSnapshotLocked() {
   return worklist_->CompactJournal();
 }
 
+// --- Replication -------------------------------------------------------------
+
+Status AdeptCluster::AttachReplication(const ReplicationOptions& options) {
+  std::lock_guard<std::mutex> schema_lock(schema_mu_);
+  ADEPT_RETURN_IF_ERROR(CheckTopology());
+  if (!replication_.empty()) {
+    return Status::FailedPrecondition(
+        "replication is already attached; DetachReplication() first");
+  }
+  if (options_.wal_path.empty() || options_.snapshot_path.empty()) {
+    return Status::FailedPrecondition(
+        "replication needs configured WAL and snapshot paths");
+  }
+  ADEPT_ASSIGN_OR_RETURN(uint64_t epoch,
+                         ReadReplicationEpoch(options_.wal_path));
+
+  std::vector<std::unique_ptr<ReplicationPrimary>> primaries;
+  for (size_t k = 0; k < shards_.size(); ++k) {
+    std::shared_ptr<Shard> shard_ptr = shards_[k];
+    WalWriter* writer = shard_ptr->system->wal_writer();
+    if (writer == nullptr) {
+      return Status::Internal("shard " + std::to_string(k) +
+                              " has no WAL writer to replicate");
+    }
+    ReplicationSource source;
+    source.shard = k;
+    source.wal_path = ShardRouting::PathFor(options_.wal_path, k);
+    source.snapshot_path = ShardRouting::PathFor(options_.snapshot_path, k);
+    // The snapshot-transfer path checkpoints the shard so the blob it
+    // ships is fresh; the shard lock mirrors SaveSnapshotLocked().
+    source.checkpoint = [shard_ptr]() -> Status {
+      std::lock_guard<std::mutex> lock(shard_ptr->mu);
+      return shard_ptr->system->SaveSnapshot();
+    };
+    source.epoch = epoch;
+    source.start_lsn = writer->durable_lsn();
+    ADEPT_ASSIGN_OR_RETURN(auto primary,
+                           ReplicationPrimary::Start(source, options));
+    primaries.push_back(std::move(primary));
+  }
+
+  // All primaries came up — only now arm the commit hooks, so a partial
+  // failure above leaves commits purely local.
+  for (size_t k = 0; k < shards_.size(); ++k) {
+    shards_[k]->system->wal_writer()->SetCommitHook(primaries[k].get());
+  }
+  replication_ = std::move(primaries);
+  replication_epoch_ = epoch;
+  return Status::OK();
+}
+
+void AdeptCluster::DetachReplication() {
+  if (replication_.empty()) return;
+  // Disarm the hooks first so no commit can reach a stopping primary.
+  for (auto& shard_ptr : shards_) {
+    WalWriter* writer = shard_ptr->system->wal_writer();
+    if (writer != nullptr) writer->SetCommitHook(nullptr);
+  }
+  for (auto& primary : replication_) primary->Stop();
+  replication_.clear();
+  replication_epoch_ = 0;
+}
+
 std::string AdeptCluster::OrgPath() const {
   return options_.wal_path.empty() ? std::string()
                                    : options_.wal_path + ".org";
@@ -981,6 +1044,11 @@ Status AdeptCluster::Resize(int new_shard_count) {
   std::lock_guard<std::mutex> schema_lock(schema_mu_);
   if (schema_poisoned_) return SchemaPoisoned();
   ADEPT_RETURN_IF_ERROR(CheckTopology());
+  if (!replication_.empty()) {
+    return Status::FailedPrecondition(
+        "cannot resize while replication is attached; DetachReplication(), "
+        "resize primary and replicas to the same shard count, re-attach");
+  }
   const size_t n = shards_.size();
   if (m == n) return Status::OK();
 

@@ -56,6 +56,7 @@
 #include "core/adept.h"
 #include "core/adept_api.h"
 #include "org/org_model.h"
+#include "repl/replication.h"
 
 namespace adept {
 
@@ -241,6 +242,34 @@ class AdeptCluster : public AdeptApi {
   // --- AdeptApi: durability --------------------------------------------------
 
   Status SaveSnapshot() override;
+
+  // --- Replication (src/repl/README.md) --------------------------------------
+
+  // Attaches one ReplicationPrimary per shard to that shard's WAL writer:
+  // from here on, every commit wait means "durable on a quorum" — locally
+  // per the configured SyncMode AND acked by at least options.quorum - 1
+  // of the replica nodes in options.replicas (each of which serves every
+  // shard on one port; see repl/replica_node.h). The failover epoch is
+  // read from (or created at) "<wal_path>.replmeta"; promoting a replica
+  // file set (PromoteReplicaFiles) bumps its epoch so stale lineages are
+  // detected and snapshot-reset on rejoin. Requires configured WAL and
+  // snapshot paths. Resize() is refused while replication is attached —
+  // DetachReplication() first, resize both sides, re-attach.
+  Status AttachReplication(const ReplicationOptions& options);
+
+  // Detaches every shard's commit hook and stops the primaries (joining
+  // their peer threads). In-flight quorum waits fail with kUnavailable.
+  // Must not run concurrently with commit traffic. Idempotent; also runs
+  // on destruction.
+  void DetachReplication();
+
+  // Failover epoch of the attached primaries; 0 when not attached.
+  uint64_t replication_epoch() const { return replication_epoch_; }
+  // Per-shard primary (introspection: connected_peers, quorum_acked_lsn);
+  // nullptr when replication is not attached.
+  ReplicationPrimary* shard_replication(size_t index) {
+    return index < replication_.size() ? replication_[index].get() : nullptr;
+  }
 
   // --- Observers -------------------------------------------------------------
 
@@ -454,6 +483,10 @@ class AdeptCluster : public AdeptApi {
   std::atomic<uint64_t> read_epoch_{0};
   OrgModel org_;
   std::unique_ptr<WorklistService> worklist_;
+  // Per-shard replication primaries (empty when not attached). Detached
+  // (hooks cleared, threads joined) before shards_ is destroyed.
+  std::vector<std::unique_ptr<ReplicationPrimary>> replication_;
+  uint64_t replication_epoch_ = 0;
   // Everything registered via AddObserver(), so shards created by a later
   // Resize() see the same observers as the original ones.
   std::vector<InstanceObserver*> observers_;

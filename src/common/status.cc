@@ -22,6 +22,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "corruption";
     case StatusCode::kUnimplemented:
       return "unimplemented";
+    case StatusCode::kUnavailable:
+      return "unavailable";
     case StatusCode::kInternal:
       return "internal";
   }

@@ -37,6 +37,9 @@ enum class StatusCode {
   kCorruption,
   // Feature intentionally not implemented.
   kUnimplemented,
+  // A required remote party (replica, peer connection) is unreachable or
+  // did not respond in time. Typically retryable once the peer returns.
+  kUnavailable,
   // Invariant violation inside the library; indicates a bug.
   kInternal,
 };
@@ -74,6 +77,9 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

@@ -236,6 +236,11 @@ class AdeptSystem : public AdeptApi {
 
   Engine& engine() { return engine_; }
   const Engine& engine() const { return engine_; }
+  // The group-commit WAL writer, or nullptr when no WAL is configured.
+  // The replication layer attaches its commit hook here
+  // (WalWriter::SetCommitHook); see cluster/adept_cluster.h
+  // AttachReplication.
+  WalWriter* wal_writer() { return wal_.get(); }
   SchemaRepository& repository() { return repository_; }
   InstanceStore& store() { return store_; }
   MigrationManager& migration_manager() { return migration_manager_; }

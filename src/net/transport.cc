@@ -1,0 +1,419 @@
+#include "net/transport.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "common/string_util.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define ADEPT_NET_POSIX 1
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+#endif
+
+namespace adept {
+
+namespace {
+
+constexpr uint32_t kFrameMagic = 0xADE2F4A3;
+constexpr size_t kHeaderBytes = 4 + 4 + 4 + 8;
+
+#ifndef MSG_NOSIGNAL
+#define MSG_NOSIGNAL 0
+#endif
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+uint32_t GetU32(const unsigned char* p) {
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+uint64_t GetU64(const unsigned char* p) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+}  // namespace
+
+uint64_t NetChecksum(const std::string& data) {
+  // FNV-1a 64: cheap, byte-order independent, and good enough to catch the
+  // torn/bit-flipped frames this layer defends against (not an
+  // authenticator).
+  uint64_t h = 0xcbf29ce484222325ull;  // offset basis
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 0x100000001b3ull;  // FNV prime
+  }
+  return h;
+}
+
+FaultInjector::Action ScriptedFaultInjector::OnSendFrame(uint64_t frame_index,
+                                                         size_t frame_bytes,
+                                                         size_t* truncate_to) {
+  (void)frame_bytes;
+  frames_seen_.fetch_add(1, std::memory_order_relaxed);
+  auto it = plan_.find(frame_index);
+  if (it == plan_.end()) return Action::kPass;
+  if (it->second.action == Action::kTruncate) {
+    *truncate_to = it->second.truncate_to;
+  }
+  return it->second.action;
+}
+
+#if defined(ADEPT_NET_POSIX)
+
+namespace {
+
+Status SocketError(const char* what) {
+  return Status::Unavailable(StrFormat("%s: %s", what, std::strerror(errno)));
+}
+
+// Waits for `events` on `fd` up to timeout_ms. OK = ready; kUnavailable on
+// timeout or poll failure.
+Status PollFor(int fd, short events, int timeout_ms) {
+  struct pollfd pfd;
+  pfd.fd = fd;
+  pfd.events = events;
+  pfd.revents = 0;
+  for (;;) {
+    int rc = poll(&pfd, 1, timeout_ms);
+    if (rc > 0) return Status::OK();
+    if (rc == 0) return Status::Unavailable("socket timeout");
+    if (errno == EINTR) continue;
+    return SocketError("poll");
+  }
+}
+
+// Reads exactly `n` bytes, applying `timeout_ms` to every individual wait.
+// *eof is set when the stream ended (peer closed / reset) — as opposed to
+// a timeout — so callers can tell "try again later" from "dead".
+Status RecvExact(int fd, void* buf, size_t n, int timeout_ms, bool* eof) {
+  char* out = static_cast<char*>(buf);
+  size_t got = 0;
+  while (got < n) {
+    ADEPT_RETURN_IF_ERROR(PollFor(fd, POLLIN, timeout_ms));
+    ssize_t rc = recv(fd, out + got, n - got, 0);
+    if (rc > 0) {
+      got += static_cast<size_t>(rc);
+      continue;
+    }
+    if (rc == 0) {
+      *eof = true;
+      return Status::Unavailable("peer closed the connection");
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) continue;  // poll raced
+    *eof = true;
+    return SocketError("recv");
+  }
+  return Status::OK();
+}
+
+// Writes exactly `n` bytes with SO_SNDTIMEO armed by the caller.
+Status SendExact(int fd, const char* data, size_t n) {
+  size_t sent = 0;
+  while (sent < n) {
+    ssize_t rc = send(fd, data + sent, n - sent, MSG_NOSIGNAL);
+    if (rc > 0) {
+      sent += static_cast<size_t>(rc);
+      continue;
+    }
+    if (rc < 0 && errno == EINTR) continue;
+    if (rc < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // SO_SNDTIMEO expired: the peer's socket buffer stayed full for the
+      // whole write timeout — a slow or wedged replica.
+      return Status::Unavailable("send timeout (slow peer)");
+    }
+    return SocketError("send");
+  }
+  return Status::OK();
+}
+
+void ConfigureStreamSocket(int fd) {
+  int one = 1;
+  // Replication sends small latency-sensitive batches; Nagle would add
+  // 40ms-class delays to every quorum ack.
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+void ArmSendTimeout(int fd, int timeout_ms) {
+  struct timeval tv;
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+Result<struct sockaddr_in> ResolveV4(const NetEndpoint& endpoint) {
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(endpoint.port);
+  // Numeric IPv4 only — this transport serves loopback clusters and
+  // explicitly configured peers, not service discovery.
+  if (inet_pton(AF_INET, endpoint.host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("not a numeric IPv4 address: '" +
+                                   endpoint.host + "'");
+  }
+  return addr;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<TcpConnection>> TcpConnection::Dial(
+    const NetEndpoint& endpoint, int timeout_ms) {
+  ADEPT_ASSIGN_OR_RETURN(struct sockaddr_in addr, ResolveV4(endpoint));
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return SocketError("socket");
+  // Non-blocking connect so the timeout applies to the handshake, then
+  // back to blocking (reads use poll, writes use SO_SNDTIMEO).
+  int flags = fcntl(fd, F_GETFL, 0);
+  fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  int rc = connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                   sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS) {
+    Status st = SocketError("connect");
+    close(fd);
+    return st;
+  }
+  if (rc != 0) {
+    Status ready = PollFor(fd, POLLOUT, timeout_ms);
+    if (!ready.ok()) {
+      close(fd);
+      return Status::Unavailable("connect timeout to " + endpoint.host + ":" +
+                                 std::to_string(endpoint.port));
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+    if (err != 0) {
+      close(fd);
+      return Status::Unavailable(
+          StrFormat("connect to %s:%u failed: %s", endpoint.host.c_str(),
+                    unsigned{endpoint.port}, std::strerror(err)));
+    }
+  }
+  fcntl(fd, F_SETFL, flags);
+  ConfigureStreamSocket(fd);
+  return std::unique_ptr<TcpConnection>(new TcpConnection(fd));
+}
+
+TcpConnection::~TcpConnection() {
+  Close();
+  int fd = fd_.load(std::memory_order_acquire);
+  // The fd number is released only here, never in Close(): a reader still
+  // blocked on the socket when Close() ran must not see the number reused
+  // by an unrelated descriptor.
+  if (fd >= 0) close(fd);
+}
+
+void TcpConnection::Close() {
+  if (!closed_.exchange(true, std::memory_order_acq_rel)) {
+    int fd = fd_.load(std::memory_order_acquire);
+    // Wakes any thread blocked in poll/recv with POLLHUP / EOF.
+    if (fd >= 0) shutdown(fd, SHUT_RDWR);
+  }
+}
+
+Status TcpConnection::SendFrame(uint32_t type, const std::string& payload) {
+  if (closed_.load(std::memory_order_acquire)) {
+    return Status::Unavailable("connection is closed");
+  }
+  if (payload.size() > kMaxFramePayload) {
+    return Status::InvalidArgument(
+        StrFormat("frame payload of %zu bytes exceeds the %u-byte cap",
+                  payload.size(), kMaxFramePayload));
+  }
+  std::string frame;
+  frame.reserve(kHeaderBytes + payload.size());
+  PutU32(&frame, kFrameMagic);
+  PutU32(&frame, type);
+  PutU32(&frame, static_cast<uint32_t>(payload.size()));
+  PutU64(&frame, NetChecksum(payload));
+  frame += payload;
+
+  size_t limit = frame.size();
+  if (injector_ != nullptr) {
+    const uint64_t index =
+        frames_sent_.fetch_add(1, std::memory_order_relaxed);
+    size_t truncate_to = 0;
+    switch (injector_->OnSendFrame(index, frame.size(), &truncate_to)) {
+      case FaultInjector::Action::kPass:
+        break;
+      case FaultInjector::Action::kDrop:
+        // The frame vanishes "on the wire"; the sender believes it went
+        // out and discovers the loss via ack/read timeouts.
+        return Status::OK();
+      case FaultInjector::Action::kTruncate:
+        limit = std::min(truncate_to, frame.size() - 1);
+        break;
+      case FaultInjector::Action::kDisconnect:
+        Close();
+        return Status::Unavailable("fault injection: disconnect");
+    }
+  }
+
+  int fd = fd_.load(std::memory_order_acquire);
+  ArmSendTimeout(fd, write_timeout_ms_);
+  Status st = SendExact(fd, frame.data(), limit);
+  if (limit < frame.size()) {
+    // Injected truncation: the peer got a torn frame; this side's stream
+    // position is now mid-frame, so the connection dies with it.
+    Close();
+    return Status::Unavailable("fault injection: truncated frame");
+  }
+  if (!st.ok()) Close();
+  return st;
+}
+
+Result<NetFrame> TcpConnection::ReadFrame(int timeout_ms) {
+  if (closed_.load(std::memory_order_acquire)) {
+    return Status::Unavailable("connection is closed");
+  }
+  int fd = fd_.load(std::memory_order_acquire);
+  bool eof = false;
+  unsigned char header[kHeaderBytes];
+  Status st = RecvExact(fd, header, sizeof(header), timeout_ms, &eof);
+  if (!st.ok()) {
+    // A dead stream closes the connection, so pollers (the replica's
+    // session loop) observe closed() instead of spinning on instant EOFs.
+    if (eof) Close();
+    return st;
+  }
+  if (GetU32(header) != kFrameMagic) {
+    return Status::Corruption("bad frame magic (stream out of sync)");
+  }
+  NetFrame result;
+  result.type = GetU32(header + 4);
+  const uint32_t length = GetU32(header + 8);
+  const uint64_t checksum = GetU64(header + 12);
+  if (length > kMaxFramePayload) {
+    return Status::Corruption(
+        StrFormat("frame length %u exceeds the %u-byte cap", length,
+                  kMaxFramePayload));
+  }
+  result.payload.resize(length);
+  if (length > 0) {
+    st = RecvExact(fd, &result.payload[0], length, timeout_ms, &eof);
+    if (!st.ok()) {
+      if (eof) Close();
+      return st;
+    }
+  }
+  if (NetChecksum(result.payload) != checksum) {
+    return Status::Corruption("frame checksum mismatch");
+  }
+  return result;
+}
+
+Result<std::unique_ptr<TcpListener>> TcpListener::Bind(
+    const NetEndpoint& endpoint) {
+  ADEPT_ASSIGN_OR_RETURN(struct sockaddr_in addr, ResolveV4(endpoint));
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return SocketError("socket");
+  int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status st = SocketError("bind");
+    close(fd);
+    return st;
+  }
+  if (listen(fd, 64) != 0) {
+    Status st = SocketError("listen");
+    close(fd);
+    return st;
+  }
+  struct sockaddr_in bound;
+  socklen_t len = sizeof(bound);
+  if (getsockname(fd, reinterpret_cast<struct sockaddr*>(&bound), &len) != 0) {
+    Status st = SocketError("getsockname");
+    close(fd);
+    return st;
+  }
+  return std::unique_ptr<TcpListener>(
+      new TcpListener(fd, ntohs(bound.sin_port)));
+}
+
+TcpListener::~TcpListener() {
+  Close();
+  int fd = fd_.load(std::memory_order_acquire);
+  if (fd >= 0) close(fd);
+}
+
+void TcpListener::Close() {
+  if (!closed_.exchange(true, std::memory_order_acq_rel)) {
+    int fd = fd_.load(std::memory_order_acquire);
+    // shutdown() on a listening socket reliably wakes a blocked accept on
+    // Linux; the poll loop in Accept also rechecks closed_ each timeout.
+    if (fd >= 0) shutdown(fd, SHUT_RDWR);
+  }
+}
+
+Result<std::unique_ptr<TcpConnection>> TcpListener::Accept(int timeout_ms) {
+  for (;;) {
+    if (closed_.load(std::memory_order_acquire)) {
+      return Status::Unavailable("listener is closed");
+    }
+    int fd = fd_.load(std::memory_order_acquire);
+    ADEPT_RETURN_IF_ERROR(PollFor(fd, POLLIN, timeout_ms));
+    if (closed_.load(std::memory_order_acquire)) {
+      return Status::Unavailable("listener is closed");
+    }
+    int peer = accept(fd, nullptr, nullptr);
+    if (peer < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return SocketError("accept");
+    }
+    ConfigureStreamSocket(peer);
+    auto conn = std::unique_ptr<TcpConnection>(new TcpConnection(peer));
+    conn->set_fault_injector(injector_);
+    return conn;
+  }
+}
+
+#else  // !ADEPT_NET_POSIX
+
+namespace {
+Status NoSockets() {
+  return Status::Unimplemented("TCP transport requires POSIX sockets");
+}
+}  // namespace
+
+Result<std::unique_ptr<TcpConnection>> TcpConnection::Dial(const NetEndpoint&,
+                                                           int) {
+  return NoSockets();
+}
+TcpConnection::~TcpConnection() = default;
+void TcpConnection::Close() { closed_.store(true); }
+Status TcpConnection::SendFrame(uint32_t, const std::string&) {
+  return NoSockets();
+}
+Result<NetFrame> TcpConnection::ReadFrame(int) { return NoSockets(); }
+
+Result<std::unique_ptr<TcpListener>> TcpListener::Bind(const NetEndpoint&) {
+  return NoSockets();
+}
+TcpListener::~TcpListener() = default;
+void TcpListener::Close() { closed_.store(true); }
+Result<std::unique_ptr<TcpConnection>> TcpListener::Accept(int) {
+  return NoSockets();
+}
+
+#endif  // ADEPT_NET_POSIX
+
+}  // namespace adept

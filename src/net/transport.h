@@ -1,0 +1,186 @@
+// Minimal length-prefixed TCP transport for the replication layer.
+//
+// The unit of exchange is a *frame*:
+//
+//   [4B magic][4B type][4B payload length][8B FNV-1a checksum][payload]
+//
+// All header fields are little-endian, packed byte-by-byte (portable
+// across hosts of either endianness). The payload length is capped
+// (kMaxFramePayload) so a forged or corrupted header can never drive a
+// giant allocation, and the checksum covers the payload so a torn or
+// bit-flipped frame surfaces as kCorruption instead of garbage reaching
+// the replication state machine.
+//
+// Blocking with per-call timeouts: ReadFrame(timeout_ms) returns
+// kUnavailable on timeout or a cleanly closed peer, kCorruption on a
+// malformed frame (after which the connection must be closed — the stream
+// position is unrecoverable). SendFrame applies the connection's write
+// timeout. Both directions are safe from one thread each (one reader, one
+// writer); a single thread doing both (the replication session loops) is
+// the intended use.
+//
+// Fault injection: tests attach a FaultInjector to a connection (or to a
+// listener, which stamps it onto every accepted connection). The injector
+// is consulted once per *outgoing* frame with a monotonically increasing
+// per-injector frame index, and can pass, drop (pretend success), truncate
+// (write a prefix, then kill the connection), or disconnect (kill before
+// writing). Because the index is global to the injector and sends are
+// serialized per connection, a scripted plan replays deterministically.
+//
+// POSIX sockets only; on other platforms every entry point returns
+// kUnimplemented.
+
+#ifndef ADEPT_NET_TRANSPORT_H_
+#define ADEPT_NET_TRANSPORT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+
+namespace adept {
+
+// Upper bound on a single frame payload. Far above the largest WAL batch
+// the replication layer sends, far below anything that could OOM a node.
+constexpr uint32_t kMaxFramePayload = 64u << 20;  // 64 MiB
+
+// FNV-1a 64-bit over `data`; the frame checksum.
+uint64_t NetChecksum(const std::string& data);
+
+struct NetEndpoint {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;  // 0 = ephemeral (Bind picks; port() reports)
+};
+
+// One decoded frame.
+struct NetFrame {
+  uint32_t type = 0;
+  std::string payload;
+};
+
+// Deterministic in-process fault hook; see the header comment. Injectors
+// outlive every connection they are attached to. OnSendFrame may be called
+// from multiple peer threads; implementations must be thread-safe.
+class FaultInjector {
+ public:
+  enum class Action {
+    kPass,        // deliver the frame normally
+    kDrop,        // write nothing, report success (a lost datagram)
+    kTruncate,    // write a prefix (truncate_to bytes), then kill the conn
+    kDisconnect,  // kill the connection before writing
+  };
+
+  virtual ~FaultInjector() = default;
+
+  // Decides the fate of the `frame_index`-th frame sent through this
+  // injector (`frame_bytes` = header + payload size). For kTruncate, set
+  // *truncate_to to the number of bytes to let through (clamped to
+  // frame_bytes - 1 so the frame is always incomplete).
+  virtual Action OnSendFrame(uint64_t frame_index, size_t frame_bytes,
+                             size_t* truncate_to) = 0;
+};
+
+// A scripted injector: `plan[i]` is applied to the i-th frame (counted
+// across every connection sharing the injector); unlisted frames pass.
+class ScriptedFaultInjector : public FaultInjector {
+ public:
+  struct Fault {
+    Action action = Action::kPass;
+    size_t truncate_to = 8;  // kTruncate only: bytes let through
+  };
+
+  void Set(uint64_t frame_index, Action action, size_t truncate_to = 8) {
+    plan_[frame_index] = {action, truncate_to};
+  }
+
+  Action OnSendFrame(uint64_t frame_index, size_t frame_bytes,
+                     size_t* truncate_to) override;
+
+  // Total frames offered to this injector so far.
+  uint64_t frames_seen() const {
+    return frames_seen_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::map<uint64_t, Fault> plan_;  // written before use, then read-only
+  std::atomic<uint64_t> frames_seen_{0};
+};
+
+// One established TCP stream. Close() is safe to call concurrently with a
+// blocked ReadFrame on another thread (it shuts the socket down first, so
+// the reader wakes with kUnavailable).
+class TcpConnection {
+ public:
+  // Connects to `endpoint`, waiting at most `timeout_ms`.
+  static Result<std::unique_ptr<TcpConnection>> Dial(
+      const NetEndpoint& endpoint, int timeout_ms);
+
+  ~TcpConnection();
+  TcpConnection(const TcpConnection&) = delete;
+  TcpConnection& operator=(const TcpConnection&) = delete;
+
+  // Writes one frame (subject to the fault injector, if any). The write
+  // applies `write_timeout_ms` per syscall; a slow peer whose socket
+  // buffer stays full surfaces as kUnavailable.
+  Status SendFrame(uint32_t type, const std::string& payload);
+
+  // Reads one complete frame, waiting at most `timeout_ms` per syscall.
+  // kUnavailable: timeout or peer closed. kCorruption: bad magic, oversize
+  // length, or checksum mismatch — close the connection, the stream is
+  // unrecoverable.
+  Result<NetFrame> ReadFrame(int timeout_ms);
+
+  void Close();
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+  void set_write_timeout_ms(int ms) { write_timeout_ms_ = ms; }
+
+ private:
+  explicit TcpConnection(int fd) : fd_(fd) {}
+  friend class TcpListener;
+
+  std::atomic<int> fd_;
+  std::atomic<bool> closed_{false};
+  FaultInjector* injector_ = nullptr;
+  std::atomic<uint64_t> frames_sent_{0};
+  int write_timeout_ms_ = 5000;
+};
+
+// A listening socket. Accept is blocking-with-timeout; Close() wakes a
+// blocked Accept on another thread.
+class TcpListener {
+ public:
+  // Binds and listens on `endpoint` (port 0 picks an ephemeral port).
+  static Result<std::unique_ptr<TcpListener>> Bind(const NetEndpoint& endpoint);
+
+  ~TcpListener();
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  // Waits up to `timeout_ms` for a peer; kUnavailable on timeout or after
+  // Close(). Accepted connections inherit the listener's fault injector.
+  Result<std::unique_ptr<TcpConnection>> Accept(int timeout_ms);
+
+  void Close();
+  uint16_t port() const { return port_; }
+
+  // Stamped onto every subsequently accepted connection (fault-testing the
+  // replica->primary ack direction).
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+
+ private:
+  TcpListener(int fd, uint16_t port) : fd_(fd), port_(port) {}
+
+  std::atomic<int> fd_;
+  std::atomic<bool> closed_{false};
+  uint16_t port_ = 0;
+  FaultInjector* injector_ = nullptr;
+};
+
+}  // namespace adept
+
+#endif  // ADEPT_NET_TRANSPORT_H_

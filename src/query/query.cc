@@ -1,6 +1,7 @@
 #include "query/query.h"
 
 #include <algorithm>
+#include <iterator>
 
 #include "query/query_parser.h"
 
@@ -127,17 +128,29 @@ Probe ClassifyConjunct(const Expr& conjunct) {
   return probe;
 }
 
-Probe ChooseProbe(const Expr& root) {
+// The two cheapest indexable conjuncts, best first (the plan: probe the
+// best; when a second exists, intersect its candidates with the first's
+// before touching the snapshot table). `id == K` short-circuits to a
+// point lookup, so it is never paired.
+std::vector<Probe> ChooseProbes(const Expr& root) {
   std::vector<const Expr*> conjuncts;
   FlattenConjuncts(root, &conjuncts);
-  Probe best;
+  std::vector<Probe> probes;
   for (const Expr* conjunct : conjuncts) {
     Probe probe = ClassifyConjunct(*conjunct);
-    if (probe.kind != Probe::Kind::kNone && probe.priority < best.priority) {
-      best = probe;
-    }
+    if (probe.kind == Probe::Kind::kNone) continue;
+    probes.push_back(probe);
   }
-  return best;
+  std::stable_sort(probes.begin(), probes.end(),
+                   [](const Probe& a, const Probe& b) {
+                     return a.priority < b.priority;
+                   });
+  if (!probes.empty() && probes.front().kind == Probe::Kind::kById) {
+    probes.resize(1);
+  } else if (probes.size() > 2) {
+    probes.resize(2);
+  }
+  return probes;
 }
 
 std::vector<InstanceId> ProbeCandidates(const Probe& probe,
@@ -169,13 +182,14 @@ std::vector<InstanceId> ProbeCandidates(const Probe& probe,
 
 void RunQueryInto(const CompiledQuery& query, const SnapshotTable& table,
                   const QueryIndex* index, QueryResult* result) {
-  const Probe probe = ChooseProbe(query.root());
+  const std::vector<Probe> probes = ChooseProbes(query.root());
 
   // An `id == K` conjunct needs no index at all: the snapshot table is
   // already a point-lookup structure.
-  if (probe.kind == Probe::Kind::kById) {
+  if (!probes.empty() && probes.front().kind == Probe::Kind::kById) {
     result->used_index = true;
-    const int64_t raw = probe.expr->literal.int_value;
+    result->index_probes = 1;
+    const int64_t raw = probes.front().expr->literal.int_value;
     if (raw <= 0) return;
     ++result->evaluated;
     std::shared_ptr<const InstanceSnapshot> snapshot =
@@ -186,12 +200,29 @@ void RunQueryInto(const CompiledQuery& query, const SnapshotTable& table,
     return;
   }
 
-  if (index != nullptr && probe.kind != Probe::Kind::kNone) {
+  if (index != nullptr && !probes.empty()) {
     // Candidates from the index, truth from the table: re-fetch the
     // current snapshot and re-evaluate the full predicate, so a trailing
-    // index entry can never surface a stale-wrong match.
+    // index entry can never surface a stale-wrong match. With a second
+    // indexable conjunct, intersect the two candidate sets first — the
+    // table fetch + full-predicate evaluation (the expensive part) then
+    // runs only on ids both indexes agree on.
     result->used_index = true;
-    for (InstanceId id : ProbeCandidates(probe, *index)) {
+    result->index_probes = 1;
+    std::vector<InstanceId> candidates = ProbeCandidates(probes[0], *index);
+    if (probes.size() > 1 && !candidates.empty()) {
+      result->index_probes = 2;
+      std::vector<InstanceId> second = ProbeCandidates(probes[1], *index);
+      std::sort(candidates.begin(), candidates.end());
+      std::sort(second.begin(), second.end());
+      std::vector<InstanceId> both;
+      both.reserve(std::min(candidates.size(), second.size()));
+      std::set_intersection(candidates.begin(), candidates.end(),
+                            second.begin(), second.end(),
+                            std::back_inserter(both));
+      candidates = std::move(both);
+    }
+    for (InstanceId id : candidates) {
       ++result->evaluated;
       std::shared_ptr<const InstanceSnapshot> snapshot = table.Get(id);
       if (snapshot != nullptr && query.Matches(*snapshot)) {

@@ -42,6 +42,10 @@ struct QueryResult {
   std::vector<std::shared_ptr<const InstanceSnapshot>> snapshots;
   // True when an index narrowed the candidate set (vs a full table scan).
   bool used_index = false;
+  // Index probes the planner executed: 0 on a scan, 1 for a single
+  // indexable conjunct, 2 when two conjuncts' candidate sets were
+  // intersected before re-validation.
+  int index_probes = 0;
   // Candidates fetched and evaluated (a scan evaluates every published
   // snapshot; an indexed run only the probe's candidates).
   size_t evaluated = 0;

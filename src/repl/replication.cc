@@ -1,0 +1,428 @@
+#include "repl/replication.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "common/fs_util.h"
+#include "common/json.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace adept {
+
+namespace {
+
+std::string MetaPath(const std::string& wal_base) {
+  return wal_base + ".replmeta";
+}
+
+Status WriteEpoch(const std::string& wal_base, uint64_t epoch) {
+  JsonValue meta = JsonValue::MakeObject();
+  meta.Set("epoch", JsonValue(epoch));
+  return WriteFileAtomic(MetaPath(wal_base), meta.Dump());
+}
+
+}  // namespace
+
+Result<uint64_t> ReadReplicationEpoch(const std::string& wal_base) {
+  auto content = ReadFileToString(MetaPath(wal_base));
+  if (!content.ok()) {
+    if (content.status().code() != StatusCode::kNotFound) {
+      return content.status();
+    }
+    ADEPT_RETURN_IF_ERROR(WriteEpoch(wal_base, 1));
+    return uint64_t{1};
+  }
+  ADEPT_ASSIGN_OR_RETURN(JsonValue meta, JsonValue::Parse(*content));
+  const uint64_t epoch = static_cast<uint64_t>(meta.Get("epoch").as_int());
+  if (epoch == 0) {
+    return Status::Corruption("replication meta '" + MetaPath(wal_base) +
+                              "' carries no epoch");
+  }
+  return epoch;
+}
+
+Result<uint64_t> PromoteReplicaFiles(const std::string& wal_base) {
+  // A replica that never received a session still promotes cleanly: its
+  // epoch starts at 1 (ReadReplicationEpoch creates the meta file).
+  ADEPT_ASSIGN_OR_RETURN(uint64_t epoch, ReadReplicationEpoch(wal_base));
+  const uint64_t promoted = epoch + 1;
+  ADEPT_RETURN_IF_ERROR(WriteEpoch(wal_base, promoted));
+  return promoted;
+}
+
+Result<std::unique_ptr<ReplicationPrimary>> ReplicationPrimary::Start(
+    ReplicationSource source, const ReplicationOptions& options) {
+  if (options.quorum < 1 ||
+      static_cast<size_t>(options.quorum) > options.replicas.size() + 1) {
+    return Status::InvalidArgument(
+        StrFormat("quorum %d outside [1, %zu] (replicas + the primary)",
+                  options.quorum, options.replicas.size() + 1));
+  }
+  if (source.wal_path.empty()) {
+    return Status::InvalidArgument("replication source has no WAL path");
+  }
+  return std::unique_ptr<ReplicationPrimary>(
+      new ReplicationPrimary(std::move(source), options));
+}
+
+ReplicationPrimary::ReplicationPrimary(ReplicationSource source,
+                                       const ReplicationOptions& options)
+    : source_(std::move(source)), options_(options) {
+  local_durable_ = source_.start_lsn;
+  peers_.reserve(options_.replicas.size());
+  for (const NetEndpoint& endpoint : options_.replicas) {
+    auto peer = std::make_unique<Peer>();
+    peer->endpoint = endpoint;
+    peers_.push_back(std::move(peer));
+  }
+  for (auto& peer : peers_) {
+    peer->thread = std::thread([this, p = peer.get()] { PeerLoop(*p); });
+  }
+}
+
+ReplicationPrimary::~ReplicationPrimary() { Stop(); }
+
+void ReplicationPrimary::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+    // Wake peer threads blocked inside ReadFrame/SendFrame: closing the
+    // socket makes the pending I/O fail with kUnavailable.
+    for (auto& peer : peers_) {
+      if (peer->conn != nullptr) peer->conn->Close();
+    }
+  }
+  frames_cv_.notify_all();
+  acks_cv_.notify_all();
+  for (auto& peer : peers_) {
+    if (peer->thread.joinable()) peer->thread.join();
+  }
+}
+
+void ReplicationPrimary::OnDurableBatch(const std::vector<WalFrame>& frames) {
+  if (frames.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const WalFrame& frame : frames) tail_.push_back(frame);
+    while (tail_.size() > options_.tail_buffer_frames) tail_.pop_front();
+    local_durable_ = frames.back().lsn;
+  }
+  frames_cv_.notify_all();
+}
+
+uint64_t ReplicationPrimary::quorum_acked_lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (options_.quorum <= 1) return local_durable_;
+  std::vector<uint64_t> acked;
+  acked.reserve(peers_.size());
+  for (const auto& peer : peers_) acked.push_back(peer->acked_lsn);
+  std::sort(acked.begin(), acked.end(), std::greater<uint64_t>());
+  return acked[static_cast<size_t>(options_.quorum) - 2];
+}
+
+int ReplicationPrimary::connected_peers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int n = 0;
+  for (const auto& peer : peers_) n += peer->streaming ? 1 : 0;
+  return n;
+}
+
+Status ReplicationPrimary::WaitForPeers(int n, int timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    int streaming = 0;
+    for (const auto& peer : peers_) streaming += peer->streaming ? 1 : 0;
+    if (streaming >= n) return Status::OK();
+    if (stopping_) return Status::Unavailable("replication stopped");
+    if (acks_cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      return Status::Unavailable(
+          StrFormat("only %d of %d peers connected within %dms", streaming, n,
+                    timeout_ms));
+    }
+  }
+}
+
+Status ReplicationPrimary::WaitRemote(uint64_t lsn) {
+  const int needed = options_.quorum - 1;
+  if (needed <= 0) return Status::OK();  // local copy satisfies the quorum
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(options_.ack_timeout_ms);
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    int acked = 0;
+    for (const auto& peer : peers_) acked += peer->acked_lsn >= lsn ? 1 : 0;
+    if (acked >= needed) return Status::OK();
+    if (stopping_) {
+      return Status::Unavailable("replication stopped before quorum");
+    }
+    if (acks_cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      return Status::Unavailable(StrFormat(
+          "shard %llu: LSN %llu acked by %d of the %d replicas a quorum of "
+          "%d requires (within %dms)",
+          static_cast<unsigned long long>(source_.shard),
+          static_cast<unsigned long long>(lsn), acked, needed, options_.quorum,
+          options_.ack_timeout_ms));
+    }
+  }
+}
+
+void ReplicationPrimary::PeerLoop(Peer& peer) {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (stopping_) return;
+    }
+    ConnectPeer(peer);  // returns only on session error or stop
+    std::unique_lock<std::mutex> lock(mu_);
+    if (stopping_) return;
+    // Backoff before redialing a down peer; stop wakes this immediately.
+    frames_cv_.wait_for(lock, std::chrono::milliseconds(options_.retry_ms));
+  }
+}
+
+Status ReplicationPrimary::ConnectPeer(Peer& peer) {
+  ADEPT_ASSIGN_OR_RETURN(
+      std::unique_ptr<TcpConnection> conn,
+      TcpConnection::Dial(peer.endpoint, options_.connect_timeout_ms));
+  conn->set_fault_injector(options_.fault_injector);
+  conn->set_write_timeout_ms(options_.io_timeout_ms);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return Status::Unavailable("stopping");
+    peer.conn = conn.get();
+  }
+  Status st = RunSession(peer, *conn);
+  {
+    // Unpublish before the connection object dies: Stop() may Close()
+    // through peer.conn while it is published, never after.
+    std::lock_guard<std::mutex> lock(mu_);
+    peer.streaming = false;
+    peer.conn = nullptr;
+  }
+  acks_cv_.notify_all();
+  return st;
+}
+
+Status ReplicationPrimary::RunSession(Peer& peer, TcpConnection& conn) {
+  uint64_t durable;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    durable = local_durable_;
+  }
+  JsonValue hello = JsonValue::MakeObject();
+  hello.Set("shard", JsonValue(source_.shard));
+  hello.Set("epoch", JsonValue(source_.epoch));
+  hello.Set("durable", JsonValue(durable));
+  ADEPT_RETURN_IF_ERROR(conn.SendFrame(kMsgHello, hello.Dump()));
+
+  ADEPT_ASSIGN_OR_RETURN(NetFrame status_frame,
+                         conn.ReadFrame(options_.io_timeout_ms));
+  if (status_frame.type != kMsgStatus) {
+    return Status::Corruption("expected STATUS, got frame type " +
+                              std::to_string(status_frame.type));
+  }
+  ADEPT_ASSIGN_OR_RETURN(JsonValue status, JsonValue::Parse(
+                                               status_frame.payload));
+  const uint64_t replica_epoch =
+      static_cast<uint64_t>(status.Get("epoch").as_int());
+  const uint64_t replica_last =
+      static_cast<uint64_t>(status.Get("last").as_int());
+
+  ADEPT_RETURN_IF_ERROR(
+      NegotiateSession(peer, conn, replica_epoch, replica_last));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    peer.streaming = true;
+  }
+  acks_cv_.notify_all();
+
+  // The streaming loop: stop-and-wait batches. Simplicity over pipeline
+  // depth — a batch carries up to max_batch_frames frames, so the ack
+  // round trip amortizes well, and "resume from any acked prefix" falls
+  // out of tracking nothing but acked_lsn.
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (stopping_) return Status::Unavailable("stopping");
+    }
+    ADEPT_ASSIGN_OR_RETURN(std::vector<WalFrame> frames,
+                           CollectFrames(peer, conn));
+    if (frames.empty()) continue;  // caught up; CollectFrames waited
+    ADEPT_RETURN_IF_ERROR(SendBatch(peer, conn, frames));
+  }
+}
+
+Status ReplicationPrimary::NegotiateSession(Peer& peer, TcpConnection& conn,
+                                            uint64_t replica_epoch,
+                                            uint64_t replica_last) {
+  uint64_t durable;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    durable = local_durable_;
+  }
+  // Divergence: a peer ahead of this primary's durable LSN holds records
+  // that were never quorum-committed here (an old primary's unacked
+  // suffix); a peer from another epoch with any history may hold records
+  // a promotion rewrote. Both are discarded via snapshot reset.
+  const bool diverged = replica_last > durable ||
+                        (replica_epoch != source_.epoch && replica_last > 0);
+  if (diverged) {
+    ADEPT_LOG(kWarning) << "repl shard " << source_.shard << ": peer "
+                        << peer.endpoint.host << ":" << peer.endpoint.port
+                        << " diverged (epoch " << replica_epoch << " vs "
+                        << source_.epoch << ", last " << replica_last
+                        << " vs durable " << durable << "); snapshot reset";
+    return SendSnapshotReset(peer, conn);
+  }
+  // Resumable iff the frames above replica_last still exist: in the tail
+  // buffer, or in the WAL file (whose frames are contiguous — the gap
+  // test is purely "does the file reach back far enough").
+  bool resumable = replica_last == durable;
+  if (!resumable) {
+    std::lock_guard<std::mutex> lock(mu_);
+    resumable = !tail_.empty() && tail_.front().lsn <= replica_last + 1;
+  }
+  if (!resumable) {
+    ADEPT_ASSIGN_OR_RETURN(WalTail tail, WriteAheadLog::ReadTail(
+                                             source_.wal_path, replica_last));
+    resumable = tail.first_lsn != 0 && tail.first_lsn <= replica_last + 1;
+  }
+  if (!resumable) return SendSnapshotReset(peer, conn);
+
+  JsonValue resume = JsonValue::MakeObject();
+  resume.Set("epoch", JsonValue(source_.epoch));
+  resume.Set("from", JsonValue(replica_last));
+  ADEPT_RETURN_IF_ERROR(conn.SendFrame(kMsgResume, resume.Dump()));
+  ADEPT_ASSIGN_OR_RETURN(NetFrame ack, conn.ReadFrame(options_.io_timeout_ms));
+  if (ack.type != kMsgAck) {
+    return Status::Corruption("expected ACK of RESUME");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    peer.acked_lsn = replica_last;
+  }
+  acks_cv_.notify_all();
+  return Status::OK();
+}
+
+Status ReplicationPrimary::SendSnapshotReset(Peer& peer, TcpConnection& conn) {
+  if (source_.snapshot_path.empty()) {
+    return Status::FailedPrecondition(
+        "peer needs a snapshot transfer but the shard has no snapshot path");
+  }
+  if (source_.checkpoint) {
+    // A fresh checkpoint guarantees the blob covers every LSN the peer is
+    // missing; the WAL is truncated to the frames above it.
+    ADEPT_RETURN_IF_ERROR(source_.checkpoint());
+  }
+  ADEPT_ASSIGN_OR_RETURN(std::string blob,
+                         ReadFileToString(source_.snapshot_path));
+  ADEPT_ASSIGN_OR_RETURN(JsonValue snapshot, JsonValue::Parse(blob));
+  const uint64_t cover =
+      static_cast<uint64_t>(snapshot.Get("wal_lsn").as_int());
+
+  JsonValue msg = JsonValue::MakeObject();
+  msg.Set("epoch", JsonValue(source_.epoch));
+  msg.Set("cover", JsonValue(cover));
+  msg.Set("blob", JsonValue(std::move(blob)));
+  ADEPT_RETURN_IF_ERROR(conn.SendFrame(kMsgSnapshot, msg.Dump()));
+  ADEPT_ASSIGN_OR_RETURN(NetFrame ack, conn.ReadFrame(options_.io_timeout_ms));
+  if (ack.type != kMsgAck) {
+    return Status::Corruption("expected ACK of SNAPSHOT");
+  }
+  ADEPT_ASSIGN_OR_RETURN(JsonValue body, JsonValue::Parse(ack.payload));
+  if (static_cast<uint64_t>(body.Get("last").as_int()) != cover) {
+    return Status::Corruption("replica acked a different snapshot coverage");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    peer.acked_lsn = cover;
+  }
+  acks_cv_.notify_all();
+  return Status::OK();
+}
+
+Result<std::vector<WalFrame>> ReplicationPrimary::CollectFrames(
+    Peer& peer, TcpConnection& conn) {
+  uint64_t acked, durable;
+  std::vector<WalFrame> frames;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    acked = peer.acked_lsn;
+    durable = local_durable_;
+    if (acked >= durable) {
+      // Caught up; park until the next durable batch (or stop/backoff).
+      frames_cv_.wait_for(lock, std::chrono::milliseconds(200));
+      return frames;
+    }
+    if (!tail_.empty() && tail_.front().lsn <= acked + 1) {
+      for (const WalFrame& frame : tail_) {
+        if (frame.lsn <= acked) continue;
+        if (frames.size() >= options_.max_batch_frames) break;
+        frames.push_back(frame);
+      }
+      return frames;
+    }
+  }
+  // The buffer no longer reaches back to the peer's ack point: a cold
+  // rejoin or a peer that slipped behind the bounded tail. Read from the
+  // file instead — and if a checkpoint truncated the needed frames away,
+  // reset via snapshot.
+  ADEPT_ASSIGN_OR_RETURN(WalTail tail,
+                         WriteAheadLog::ReadTail(source_.wal_path, acked));
+  const bool gap = tail.first_lsn == 0 || tail.first_lsn > acked + 1;
+  if (gap) {
+    ADEPT_RETURN_IF_ERROR(SendSnapshotReset(peer, conn));
+    return frames;  // empty; the next iteration streams from the new base
+  }
+  for (WalFrame& frame : tail.frames) {
+    // Never ship beyond the durable point: the file may briefly contain
+    // written-but-unsynced frames, and a replica must not get ahead of
+    // what the primary acknowledges as durable.
+    if (frame.lsn > durable) break;
+    if (frames.size() >= options_.max_batch_frames) break;
+    frames.push_back(std::move(frame));
+  }
+  return frames;
+}
+
+Status ReplicationPrimary::SendBatch(Peer& peer, TcpConnection& conn,
+                                     const std::vector<WalFrame>& frames) {
+  JsonValue list = JsonValue::MakeArray();
+  for (const WalFrame& frame : frames) {
+    JsonValue f = JsonValue::MakeObject();
+    f.Set("l", JsonValue(frame.lsn));
+    f.Set("p", JsonValue(frame.payload));
+    list.Append(std::move(f));
+  }
+  JsonValue msg = JsonValue::MakeObject();
+  msg.Set("first", JsonValue(frames.front().lsn));
+  msg.Set("frames", std::move(list));
+  ADEPT_RETURN_IF_ERROR(conn.SendFrame(kMsgBatch, msg.Dump()));
+
+  ADEPT_ASSIGN_OR_RETURN(NetFrame ack, conn.ReadFrame(options_.io_timeout_ms));
+  if (ack.type != kMsgAck) {
+    return Status::Corruption("expected ACK of BATCH");
+  }
+  ADEPT_ASSIGN_OR_RETURN(JsonValue body, JsonValue::Parse(ack.payload));
+  const uint64_t last = static_cast<uint64_t>(body.Get("last").as_int());
+  if (last < frames.back().lsn) {
+    return Status::Corruption(
+        StrFormat("replica acked LSN %llu for a batch ending at %llu",
+                  static_cast<unsigned long long>(last),
+                  static_cast<unsigned long long>(frames.back().lsn)));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    peer.acked_lsn = last;
+  }
+  acks_cv_.notify_all();
+  return Status::OK();
+}
+
+}  // namespace adept

@@ -1,0 +1,220 @@
+// Per-shard WAL replication: primary side.
+//
+// A ReplicationPrimary attaches to one shard's group-commit WalWriter as
+// its WalCommitHook and streams every locally durable batch, in LSN order,
+// to N replica peers over the net/transport.h framing. Replica acks feed a
+// configurable quorum that extends WaitDurable's meaning: with
+// ReplicationOptions::quorum == q, a commit wait returns once the record
+// is durable on the primary's disk AND acked by at least q-1 replicas
+// (the primary's own copy counts toward the quorum, so q == 1 is
+// local-only durability with asynchronous shipping).
+//
+// Wire protocol (all payloads are single JSON objects; the frame type is
+// the message discriminator — see kMsg* below):
+//
+//   primary -> HELLO    {"shard": k, "epoch": e, "durable": lsn}
+//   replica -> STATUS   {"epoch": e', "last": lsn'}
+//   primary -> RESUME   {"epoch": e, "from": lsn'}          (stream path)
+//          or  SNAPSHOT {"epoch": e, "cover": c, "blob": s} (reset path)
+//   replica -> ACK      {"last": lsn}
+//   repeat:  primary -> BATCH {"first": l, "frames": [{"l": lsn, "p": raw}]}
+//            replica -> ACK   {"last": lsn}
+//
+// Catch-up decision (primary, after STATUS): a peer resumes from its last
+// acked LSN when the primary can still produce the frames above it (from
+// the in-memory tail buffer or the on-disk WAL). It gets a full snapshot
+// transfer instead when (a) its epoch disagrees with the primary's and it
+// has history (a stale pre-failover lineage), (b) its last LSN exceeds
+// the primary's durable LSN (divergent suffix — an old primary rejoining
+// after a promotion), or (c) the frames it needs were checkpoint-
+// truncated away. The snapshot reset forces a fresh checkpoint on the
+// shard, ships the snapshot blob, and streaming restarts from the
+// snapshot's covered LSN.
+//
+// Epochs: a monotonically increasing failover counter persisted in
+// "<wal_base>.replmeta" next to the cluster's base WAL path. Promoting a
+// replica's file set (PromoteReplicaFiles) bumps it, so a promoted
+// cluster's primaries carry a higher epoch than any peer that last spoke
+// to the dead primary — which is exactly the divergence signal (b)/(a)
+// above. Replicas adopt the primary's epoch when they accept a RESUME or
+// SNAPSHOT.
+//
+// What replicates: the per-shard engine WAL/snapshot pair only. The
+// cluster's org file and worklist claim journal are node-local — after a
+// failover, claims are lost and offers are re-derived from the recovered
+// instance state (see src/repl/README.md for the contract).
+//
+// Threading: one sender thread per peer; OnDurableBatch only appends to a
+// bounded in-memory tail buffer (the WalWriter contract: never block the
+// drain), peers fall back to WriteAheadLog::ReadTail when the buffer no
+// longer reaches back to their ack point. Stop() (or destruction) joins
+// every peer thread; in-flight WaitRemote calls return kUnavailable.
+
+#ifndef ADEPT_REPL_REPLICATION_H_
+#define ADEPT_REPL_REPLICATION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "net/transport.h"
+#include "storage/wal.h"
+#include "storage/wal_writer.h"
+
+namespace adept {
+
+// Frame types of the replication protocol.
+constexpr uint32_t kMsgHello = 1;
+constexpr uint32_t kMsgStatus = 2;
+constexpr uint32_t kMsgResume = 3;
+constexpr uint32_t kMsgSnapshot = 4;
+constexpr uint32_t kMsgBatch = 5;
+constexpr uint32_t kMsgAck = 6;
+constexpr uint32_t kMsgError = 7;
+
+struct ReplicationOptions {
+  // Replica endpoints; every shard's primary dials each of them (a replica
+  // node serves all shards of the cluster on one port).
+  std::vector<NetEndpoint> replicas;
+  // Copies — including the primary's local disk — that must hold a record
+  // before a commit wait returns. 1 = local durability only (shipping is
+  // asynchronous); replicas.size() + 1 = every copy. Must satisfy
+  // 1 <= quorum <= replicas.size() + 1.
+  int quorum = 1;
+  int connect_timeout_ms = 1000;
+  // Per-frame read/write timeout on peer connections.
+  int io_timeout_ms = 5000;
+  // WaitRemote gives up (kUnavailable) after this long without a quorum.
+  int ack_timeout_ms = 10000;
+  // Backoff between reconnect attempts to a down peer.
+  int retry_ms = 100;
+  // Frames coalesced into one BATCH message.
+  size_t max_batch_frames = 512;
+  // In-memory tail retained for streaming before peers must fall back to
+  // reading the WAL file.
+  size_t tail_buffer_frames = 8192;
+  // Applied to every peer connection this primary dials (tests).
+  FaultInjector* fault_injector = nullptr;
+};
+
+// What a ReplicationPrimary replicates: one shard's WAL + snapshot.
+struct ReplicationSource {
+  uint64_t shard = 0;
+  // The shard's live WAL file; read (never written) for peer catch-up.
+  std::string wal_path;
+  // The shard's snapshot file; shipped whole on a snapshot reset. Empty
+  // disables the snapshot fallback (a gapped peer then stays down).
+  std::string snapshot_path;
+  // Forces a fresh checkpoint of the shard (snapshot written, WAL
+  // truncated) so a snapshot transfer covers everything; called from peer
+  // threads, must be internally synchronized. Null: ship the file as-is.
+  std::function<Status()> checkpoint;
+  // This primary's failover epoch (see header comment).
+  uint64_t epoch = 1;
+  // The shard's locally durable LSN at attach time.
+  uint64_t start_lsn = 0;
+};
+
+class ReplicationPrimary : public WalCommitHook {
+ public:
+  // Validates the options and starts one sender thread per replica. The
+  // caller attaches the result to the shard's writer
+  // (WalWriter::SetCommitHook) and must detach before destroying it.
+  static Result<std::unique_ptr<ReplicationPrimary>> Start(
+      ReplicationSource source, const ReplicationOptions& options);
+
+  ~ReplicationPrimary() override;
+  ReplicationPrimary(const ReplicationPrimary&) = delete;
+  ReplicationPrimary& operator=(const ReplicationPrimary&) = delete;
+
+  // Closes peer connections, joins sender threads, fails in-flight
+  // WaitRemote calls with kUnavailable. Idempotent.
+  void Stop();
+
+  // WalCommitHook. OnDurableBatch buffers and returns; WaitRemote blocks
+  // until quorum-1 replicas acked `lsn` or ack_timeout_ms elapsed.
+  void OnDurableBatch(const std::vector<WalFrame>& frames) override;
+  Status WaitRemote(uint64_t lsn) override;
+
+  // Highest LSN acked by at least quorum-1 replicas (the remote half of
+  // the quorum; local durability is the writer's durable_lsn()).
+  uint64_t quorum_acked_lsn() const;
+  // Peers currently past the handshake and streaming.
+  int connected_peers() const;
+  // Test helper: blocks until `n` peers are streaming (kUnavailable on
+  // timeout).
+  Status WaitForPeers(int n, int timeout_ms);
+
+  uint64_t epoch() const { return source_.epoch; }
+
+ private:
+  struct Peer {
+    NetEndpoint endpoint;
+    std::thread thread;
+    // Guarded by mu_ (the connection object itself is used only by the
+    // peer thread; the pointer is shared so Stop() can Close() it).
+    TcpConnection* conn = nullptr;
+    uint64_t acked_lsn = 0;   // guarded by mu_
+    bool streaming = false;   // guarded by mu_; handshake completed
+  };
+
+  ReplicationPrimary(ReplicationSource source,
+                     const ReplicationOptions& options);
+
+  void PeerLoop(Peer& peer);
+  // Dial, publish the connection (so Stop can close it), run the session,
+  // unpublish. Returns only on a session error or stop.
+  Status ConnectPeer(Peer& peer);
+  // Handshake (HELLO/STATUS + catch-up negotiation) then the streaming
+  // loop; runs until the connection dies or the primary stops.
+  Status RunSession(Peer& peer, TcpConnection& conn);
+  // The catch-up decision for a fresh session (see header comment).
+  Status NegotiateSession(Peer& peer, TcpConnection& conn,
+                          uint64_t replica_epoch, uint64_t replica_last);
+  // Checkpoint + ship the snapshot blob; leaves the peer acked at the
+  // snapshot's covered LSN.
+  Status SendSnapshotReset(Peer& peer, TcpConnection& conn);
+  // One BATCH/ACK round trip; frames must be contiguous from acked+1.
+  Status SendBatch(Peer& peer, TcpConnection& conn,
+                   const std::vector<WalFrame>& frames);
+  // Collects the next frames for `peer` from the tail buffer or the WAL
+  // file; empty when the peer is caught up. kCorruption-class gaps
+  // trigger a snapshot reset inside.
+  Result<std::vector<WalFrame>> CollectFrames(Peer& peer,
+                                              TcpConnection& conn);
+
+  const ReplicationSource source_;
+  const ReplicationOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable frames_cv_;  // new durable frames / stop
+  std::condition_variable acks_cv_;    // peer acks / connects / stop
+  std::deque<WalFrame> tail_;          // guarded by mu_; bounded
+  uint64_t local_durable_ = 0;         // guarded by mu_
+  bool stopping_ = false;              // guarded by mu_
+  std::vector<std::unique_ptr<Peer>> peers_;
+};
+
+// Reads the failover epoch persisted at "<wal_base>.replmeta"; writes and
+// returns epoch 1 when the file does not exist yet.
+Result<uint64_t> ReadReplicationEpoch(const std::string& wal_base);
+
+// Promotion: bumps the failover epoch of the file set at `wal_base`
+// (a stopped replica's — or a recovering primary's — base WAL path) and
+// returns the new epoch. The caller then runs AdeptCluster::Recover over
+// these paths and re-attaches replication; any peer that last spoke to
+// the previous primary now fails the epoch check and is snapshot-reset,
+// which is how a divergent unacked suffix on a rejoining old primary is
+// discarded.
+Result<uint64_t> PromoteReplicaFiles(const std::string& wal_base);
+
+}  // namespace adept
+
+#endif  // ADEPT_REPL_REPLICATION_H_

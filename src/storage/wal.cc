@@ -288,6 +288,49 @@ Status WriteAheadLog::RenameTo(const std::string& new_path) {
   return Status::OK();
 }
 
+Result<WalTail> WriteAheadLog::ReadTail(const std::string& path,
+                                        uint64_t after_lsn) {
+  WalTail tail;
+  auto content = ReadWholeFile(path);
+  if (!content.ok()) {
+    if (content.status().code() == StatusCode::kNotFound) return tail;
+    return content.status();
+  }
+  tail.exists = true;
+  // Same frame walk as ParseFrames, but the payload stays raw bytes: the
+  // replication layer ships (and the replica re-appends) the exact frame
+  // the primary persisted, so checksums and replay see identical input.
+  uint64_t previous_lsn = 0;
+  size_t pos = 0;
+  while (pos < content->size()) {
+    size_t lsn_end = content->find(':', pos);
+    if (lsn_end == std::string::npos) break;
+    uint64_t lsn = 0;
+    if (!ParseHeaderField(*content, pos, lsn_end, &lsn) || lsn <= previous_lsn)
+      break;
+    size_t length_end = content->find(':', lsn_end + 1);
+    if (length_end == std::string::npos) break;
+    uint64_t length = 0;
+    if (!ParseHeaderField(*content, lsn_end + 1, length_end, &length) ||
+        length > kMaxPayloadBytes) {
+      break;
+    }
+    size_t payload_start = length_end + 1;
+    size_t remaining = content->size() - payload_start;
+    if (length >= remaining) break;
+    if ((*content)[payload_start + static_cast<size_t>(length)] != '\n') break;
+    if (tail.first_lsn == 0) tail.first_lsn = lsn;
+    tail.last_lsn = lsn;
+    if (lsn > after_lsn) {
+      tail.frames.push_back(
+          {lsn, content->substr(payload_start, static_cast<size_t>(length))});
+    }
+    previous_lsn = lsn;
+    pos = payload_start + static_cast<size_t>(length) + 1;
+  }
+  return tail;
+}
+
 Result<std::vector<WalRecord>> WriteAheadLog::ReadRecords(
     const std::string& path) {
   ADEPT_ASSIGN_OR_RETURN(WalScan scan, Scan(path));

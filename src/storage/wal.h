@@ -65,6 +65,32 @@ struct WalRecord {
   JsonValue value;
 };
 
+// One raw (undecoded) frame: the serialized payload bytes plus their LSN.
+// The unit the replication layer ships — raw so a replica appends exactly
+// the bytes the primary persisted, without a JSON parse/re-dump round trip.
+struct WalFrame {
+  uint64_t lsn = 0;
+  std::string payload;
+};
+
+// What ReadTail() learns about a log: the raw frames above a caller-given
+// LSN plus the framing facts a replication catch-up needs to tell "behind
+// but resumable" from "the prefix was truncated away by a checkpoint".
+struct WalTail {
+  // Every complete frame with lsn > the requested after_lsn, in order.
+  std::vector<WalFrame> frames;
+  // LSN of the first complete frame in the file (0 for an empty/absent
+  // log). Frames inside one file are contiguous (the writer never skips a
+  // ticket), so first_lsn > after_lsn + 1 means the gap (after_lsn,
+  // first_lsn) was checkpoint-truncated and the caller must fall back to a
+  // snapshot transfer.
+  uint64_t first_lsn = 0;
+  // LSN of the last complete frame in the file (0 when empty/absent).
+  uint64_t last_lsn = 0;
+  // False when no file existed at the path.
+  bool exists = false;
+};
+
 // Everything one full parse pass over a log file learns. Produced by
 // Scan(); consumers that need both the records (replay) and the framing
 // facts (resuming appends, tail repair) hand the same WalScan to
@@ -141,6 +167,14 @@ class WriteAheadLog {
   // True once an I/O failure killed the handle; Append/Sync then return
   // kCorruption until a successful Truncate() revives it.
   bool dead() const { return file_ == nullptr; }
+
+  // Resumable raw read for replication catch-up: every complete frame
+  // with an LSN above `after_lsn`, as the exact payload bytes on disk. A
+  // damaged tail ends the read without error (same contract as Scan); a
+  // missing file yields an empty tail (exists == false). Safe against a
+  // concurrent appender: the parse stops at the first incomplete frame,
+  // so the caller sees some durable prefix.
+  static Result<WalTail> ReadTail(const std::string& path, uint64_t after_lsn);
 
   // Reads all complete records with their LSNs; a truncated/corrupt tail
   // ends the scan without error. Missing file yields an empty vector.

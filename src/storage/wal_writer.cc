@@ -80,8 +80,17 @@ Status WalWriter::WaitDurableLocked(uint64_t lsn,
 }
 
 Status WalWriter::WaitDurable(uint64_t lsn) {
-  std::unique_lock<std::mutex> lock(mu_);
-  return WaitDurableLocked(lsn, lock);
+  WalCommitHook* hook = nullptr;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    ADEPT_RETURN_IF_ERROR(WaitDurableLocked(lsn, lock));
+    hook = hook_;
+  }
+  // Remote durability (quorum acks) is awaited with mu_ released: the wait
+  // blocks on the network, and holding mu_ here would stall every local
+  // appender behind a slow replica.
+  if (hook != nullptr) return hook->WaitRemote(lsn);
+  return Status::OK();
 }
 
 Status WalWriter::Append(const JsonValue& record) {
@@ -89,10 +98,22 @@ Status WalWriter::Append(const JsonValue& record) {
   // path is append, inline write+sync, return — no handoff, no second
   // mutex round trip.
   std::string payload = record.Dump();  // serialize outside the lock
-  std::unique_lock<std::mutex> lock(mu_);
-  uint64_t lsn = ++next_lsn_;
-  queue_.push_back({lsn, std::move(payload)});
-  return WaitDurableLocked(lsn, lock);
+  uint64_t lsn;
+  WalCommitHook* hook = nullptr;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    lsn = ++next_lsn_;
+    queue_.push_back({lsn, std::move(payload)});
+    ADEPT_RETURN_IF_ERROR(WaitDurableLocked(lsn, lock));
+    hook = hook_;
+  }
+  if (hook != nullptr) return hook->WaitRemote(lsn);
+  return Status::OK();
+}
+
+void WalWriter::SetCommitHook(WalCommitHook* hook) {
+  std::lock_guard<std::mutex> lock(mu_);
+  hook_ = hook;
 }
 
 Status WalWriter::Truncate() {
@@ -174,6 +195,7 @@ void WalWriter::DrainBatchLocked(std::unique_lock<std::mutex>& lock) {
     queue_.pop_front();
   }
   writing_ = true;
+  WalCommitHook* hook = hook_;
   lock.unlock();
 
   // Group commit: one frame write per record, one Sync per batch.
@@ -183,6 +205,17 @@ void WalWriter::DrainBatchLocked(std::unique_lock<std::mutex>& lock) {
     if (!st.ok()) break;
   }
   if (st.ok()) st = log_->Sync(options_.sync);
+
+  if (st.ok() && hook != nullptr) {
+    // Still inside the drain token (writing_), so hooks see batches one at
+    // a time in LSN order; the contract says this only buffers.
+    std::vector<WalFrame> frames;
+    frames.reserve(batch.size());
+    for (const Pending& pending : batch) {
+      frames.push_back({pending.lsn, pending.payload});
+    }
+    hook->OnDurableBatch(frames);
+  }
 
   lock.lock();
   writing_ = false;

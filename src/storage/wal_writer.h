@@ -49,6 +49,28 @@
 
 namespace adept {
 
+// Observer of locally durable batches, used to extend WaitDurable's
+// meaning from "on this disk" to "on a quorum" (repl/replication.h).
+//
+//   * OnDurableBatch runs on the draining thread (a leader or the
+//     background thread) right after the batch's Sync succeeded, with the
+//     writer mutex released but the drain token still held — batches are
+//     delivered one at a time, in LSN order. It must not block: hand the
+//     frames to a buffer and return (network I/O happens on peer threads).
+//   * WaitRemote runs on the WaitDurable caller's thread with no writer
+//     lock held, only after the LSN is locally durable. Its error becomes
+//     the WaitDurable result (local durability is not undone).
+//
+// Lifetime: the hook must outlive every in-flight Enqueue/WaitDurable and
+// stay attached until the writer is idle; detach (SetCommitHook(nullptr))
+// only with no concurrent appenders, then destroy the hook.
+class WalCommitHook {
+ public:
+  virtual ~WalCommitHook() = default;
+  virtual void OnDurableBatch(const std::vector<WalFrame>& frames) = 0;
+  virtual Status WaitRemote(uint64_t lsn) = 0;
+};
+
 struct WalWriterOptions {
   // Durability applied once per drained batch (see SyncMode in wal.h).
   SyncMode sync = SyncMode::kFlush;
@@ -114,6 +136,12 @@ class WalWriter {
   // this to rewrite its claim journal as one record per live claim.
   Status Rewrite(const std::vector<JsonValue>& records);
 
+  // Attaches (or, with nullptr, detaches) the commit hook; see
+  // WalCommitHook above for the delivery and lifetime contract. Frames
+  // drained before the attach are not replayed through the hook — the
+  // replication layer reads them from the file (WriteAheadLog::ReadTail).
+  void SetCommitHook(WalCommitHook* hook);
+
   const std::string& path() const { return path_; }
   SyncMode sync_mode() const { return options_.sync; }
   // Highest LSN ticket handed out so far.
@@ -150,6 +178,7 @@ class WalWriter {
   std::deque<Pending> queue_;           // guarded by mu_
   uint64_t next_lsn_ = 0;               // guarded by mu_; last ticket issued
   uint64_t durable_lsn_ = 0;            // guarded by mu_
+  WalCommitHook* hook_ = nullptr;       // guarded by mu_ (pointer itself)
   Status error_;                        // guarded by mu_; sticky
   size_t waiters_ = 0;                  // guarded by mu_; WaitDurable callers
   bool writing_ = false;                // guarded by mu_; batch in flight

@@ -1,0 +1,139 @@
+#include "verify/state_lint.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "common/string_util.h"
+#include "runtime/instance.h"
+#include "runtime/trace.h"
+#include "storage/wal.h"
+
+namespace adept {
+
+namespace {
+
+// Trace events appended after the activity's most recent start. The
+// instance is making progress elsewhere while this node stays Running —
+// the longer that tail, the more the node looks abandoned.
+size_t TailSinceStart(const ExecutionTrace& trace, NodeId node) {
+  const int64_t last_start = trace.LastStartSeq(node);
+  if (last_start < 0) return 0;  // Running without a start: not our rule
+  size_t tail = 0;
+  for (const TraceEvent& event : trace.events()) {
+    if (event.sequence > last_start) ++tail;
+  }
+  return tail;
+}
+
+void LintStuckActivities(const Engine& engine,
+                         const StateLintOptions& options,
+                         VerificationReport* report) {
+  std::vector<InstanceId> ids = engine.InstanceIds();
+  std::sort(ids.begin(), ids.end());
+  for (InstanceId id : ids) {
+    const ProcessInstance* instance = engine.Find(id);
+    if (instance == nullptr) continue;
+    instance->schema().VisitNodes([&](const Node& node) {
+      if (instance->node_state(node.id) != NodeState::kRunning) return;
+      const size_t tail = TailSinceStart(instance->trace(), node.id);
+      if (tail < options.stuck_after_events) return;
+      VerificationIssue issue;
+      issue.rule = VerifyRule::kStuckActivity;
+      issue.severity = VerifySeverity::kWarning;
+      issue.node = node.id;
+      issue.span.push_back(EntitySpan::Node(node.id));
+      issue.message = StrFormat(
+          "activity '%s' (n%u) of instance I%llu is running with no "
+          "progress: %zu trace events since its last start",
+          node.name.c_str(), node.id.value(),
+          static_cast<unsigned long long>(id.value()), tail);
+      issue.fix_hint =
+          "complete, fail, or retry the activity; if its worker died, "
+          "release the work item so it can be re-offered";
+      report->Add(std::move(issue));
+    });
+  }
+}
+
+// Replays the claim journal the way WorklistService::Recover does: the
+// last record per (instance, node) wins; claim/delegate/start leave a
+// live claim, release/close end it.
+Status LintOrphanedClaims(const Engine& engine,
+                          const StateLintOptions& options,
+                          VerificationReport* report) {
+  struct LiveClaim {
+    uint64_t user = 0;
+    bool live = false;
+  };
+  ADEPT_ASSIGN_OR_RETURN(
+      std::vector<WalRecord> records,
+      WriteAheadLog::ReadRecords(options.claims_journal_path));
+  std::map<std::pair<uint64_t, uint32_t>, LiveClaim> claims;
+  for (const WalRecord& record : records) {
+    const JsonValue& v = record.value;
+    const std::string& type = v.Get("t").as_string();
+    const std::pair<uint64_t, uint32_t> key{
+        static_cast<uint64_t>(v.Get("i").as_int()),
+        static_cast<uint32_t>(v.Get("n").as_int())};
+    if (type == "claim" || type == "delegate" || type == "start") {
+      claims[key] = {static_cast<uint64_t>(v.Get("u").as_int()), true};
+    } else if (type == "release" || type == "close") {
+      claims[key] = {0, false};
+    }
+  }
+
+  for (const auto& [key, claim] : claims) {
+    if (!claim.live) continue;
+    const InstanceId instance_id(key.first);
+    const NodeId node_id(key.second);
+    const ProcessInstance* instance = engine.Find(instance_id);
+    const Node* node =
+        instance == nullptr ? nullptr : instance->schema().FindNode(node_id);
+    std::string reason;
+    if (instance == nullptr) {
+      reason = "the instance no longer exists";
+    } else if (node == nullptr) {
+      reason = "the node no longer exists in the instance's schema";
+    } else {
+      const NodeState state = instance->node_state(node_id);
+      if (state == NodeState::kActivated || state == NodeState::kRunning ||
+          state == NodeState::kSuspended) {
+        continue;  // claim still actionable
+      }
+      reason = StrFormat("the node's state is %s", NodeStateToString(state));
+    }
+    VerificationIssue issue;
+    issue.rule = VerifyRule::kOrphanedClaim;
+    issue.severity = VerifySeverity::kWarning;
+    issue.node = node_id;
+    issue.span.push_back(EntitySpan::Node(node_id));
+    const std::string subject =
+        node == nullptr ? "a node" : "activity '" + node->name + "'";
+    issue.message = StrFormat(
+        "worklist claim by u%llu on %s (n%u) of instance I%llu is "
+        "orphaned: %s",
+        static_cast<unsigned long long>(claim.user), subject.c_str(),
+        node_id.value(), static_cast<unsigned long long>(key.first),
+        reason.c_str());
+    issue.fix_hint =
+        "release the claim, or checkpoint (SaveSnapshot compacts the "
+        "journal to live claims only)";
+    report->Add(std::move(issue));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<VerificationReport> LintRuntimeState(const Engine& engine,
+                                            const StateLintOptions& options) {
+  VerificationReport report;
+  LintStuckActivities(engine, options, &report);
+  if (!options.claims_journal_path.empty()) {
+    ADEPT_RETURN_IF_ERROR(LintOrphanedClaims(engine, options, &report));
+  }
+  return report;
+}
+
+}  // namespace adept

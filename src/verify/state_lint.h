@@ -1,0 +1,55 @@
+// Runtime-health linting over *recovered instance state*.
+//
+// The schema verifier (verifier.h) proves a process model sound before it
+// runs; these rules look at the other half — what execution left behind.
+// They extend the same AV-id catalog (report format, suppression
+// baselines, adept_lint plumbing all shared):
+//
+//   AV011 stuck-activity   An activity is in the Running state but the
+//                          instance's trace kept growing without any
+//                          progress on it: at least
+//                          StateLintOptions::stuck_after_events events
+//                          were appended after the activity's last start.
+//                          Long-running steps are legal, so this is a
+//                          warning — but a worker that died mid-activity
+//                          looks exactly like this.
+//   AV012 orphaned-claim   The worklist claim journal holds a live claim
+//                          (claimed or started, never released/closed)
+//                          whose activity is no longer Activated or
+//                          Running — the node completed, was skipped, or
+//                          its instance is gone. The claim can never be
+//                          finished by its owner; release it.
+//
+// Both rules read a quiesced system (a recovered one, or one the caller
+// is not concurrently mutating); they take the engine lock through the
+// caller, not themselves. adept_lint --state runs them after recovery and
+// appends the findings to its JSON report under "runtime".
+
+#ifndef ADEPT_VERIFY_STATE_LINT_H_
+#define ADEPT_VERIFY_STATE_LINT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "runtime/engine.h"
+#include "verify/verifier.h"
+
+namespace adept {
+
+struct StateLintOptions {
+  // AV011 fires when a Running activity saw this many trace events appended
+  // after its last start without completing/failing/retrying.
+  size_t stuck_after_events = 8;
+  // Worklist claim journal to replay for AV012 (the cluster writes it at
+  // "<wal_path>.worklist"). Empty: skip the claim rule.
+  std::string claims_journal_path;
+};
+
+// Lints every instance of `engine` (and the claim journal, if configured).
+// Findings are deterministic: ordered by instance id, then node id.
+Result<VerificationReport> LintRuntimeState(const Engine& engine,
+                                            const StateLintOptions& options);
+
+}  // namespace adept
+
+#endif  // ADEPT_VERIFY_STATE_LINT_H_

@@ -131,6 +131,10 @@ const char* VerifyRuleToString(VerifyRule rule) {
       return "data-race";
     case VerifyRule::kNaming:
       return "naming";
+    case VerifyRule::kStuckActivity:
+      return "stuck-activity";
+    case VerifyRule::kOrphanedClaim:
+      return "orphaned-claim";
   }
   return "unknown";
 }
@@ -157,6 +161,10 @@ const char* VerifyRuleId(VerifyRule rule) {
       return "AV009";
     case VerifyRule::kNaming:
       return "AV010";
+    case VerifyRule::kStuckActivity:
+      return "AV011";
+    case VerifyRule::kOrphanedClaim:
+      return "AV012";
   }
   return "AV000";
 }

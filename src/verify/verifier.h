@@ -49,6 +49,11 @@ enum class VerifyRule {
   kLostUpdate,      // parallel write/write on the same element
   kDataRace,        // unsynchronized parallel write/read
   kNaming,          // duplicate names (warning only)
+  // Runtime-health rules (verify/state_lint.h): linted over *recovered
+  // instance state*, not schemas. Appended here so the AV-id space and
+  // report plumbing stay one catalog.
+  kStuckActivity,   // running activity with no progress in the trace tail
+  kOrphanedClaim,   // live worklist claim on a node no longer activated
 };
 
 enum class VerifySeverity { kError, kWarning };

@@ -301,6 +301,75 @@ TEST(QueryIndexTest, IndexAndScanAgreeOnRandomizedPopulation) {
   EXPECT_LE(by_state->evaluated, static_cast<size_t>(kPopulation));
 }
 
+// Two indexable conjuncts: the planner probes both indexes and
+// intersects the candidate id sets before fetching snapshots, so the
+// expensive re-validation runs only on ids both indexes agree on — and
+// the result stays exactly scan-equivalent.
+TEST(QueryIndexTest, TwoConjunctIntersectionMatchesScanAndEvaluatesFewer) {
+  auto system = AdeptSystem::Create();
+  ASSERT_TRUE(system.ok());
+  AdeptSystem& sys = **system;
+  auto schema = ComplexSchema();
+  ASSERT_NE(schema, nullptr);
+  ASSERT_TRUE(sys.DeployProcessType(schema).ok());
+
+  std::mt19937 rng(1234);
+  SimulationDriver driver({.seed = 9, .loop_continue_probability = 0.4});
+  for (int i = 0; i < 60; ++i) {
+    auto id = sys.CreateInstance("complex");
+    ASSERT_TRUE(id.ok());
+    int steps = static_cast<int>(rng() % 12);
+    for (int s = 0; s < steps; ++s) {
+      auto stepped = sys.DriveStep(*id, driver);
+      if (!stepped.ok() || !*stepped) break;
+    }
+  }
+
+  const char* kIntersections[] = {
+      "data.route == 1 && state == running",
+      "state == finished && data.route == 2",
+      "data.amount == 0.25 && state == created",
+      "version >= 2 && state == running",
+      "activated(\"intake\") && data.route == 1",
+  };
+  for (const char* text : kIntersections) {
+    auto indexed = sys.Query(text);
+    ASSERT_TRUE(indexed.ok()) << text << ": " << indexed.status();
+    EXPECT_TRUE(indexed->used_index) << text;
+    // An empty first probe short-circuits the second (nothing left to
+    // narrow), so two probes only run when the first found candidates.
+    EXPECT_GE(indexed->index_probes, 1) << text;
+    auto compiled = CompiledQuery::Compile(text);
+    ASSERT_TRUE(compiled.ok());
+    QueryResult scan = RunQuery(*compiled, sys.snapshots(), nullptr);
+    EXPECT_EQ(scan.index_probes, 0);
+    EXPECT_EQ(Ids(*indexed), Ids(scan)) << "divergence on: " << text;
+    // The intersection can never evaluate more candidates than either
+    // single-probe plan would have.
+    for (const char* part : {"state == running", "state == finished",
+                             "state == created"}) {
+      if (std::string(text).find(part) == std::string::npos) continue;
+      auto single = sys.Query(part);
+      ASSERT_TRUE(single.ok());
+      EXPECT_EQ(single->index_probes, 1) << part;
+      EXPECT_LE(indexed->evaluated, single->evaluated) << text;
+    }
+  }
+
+  // A pair whose first (cheapest) probe has candidates runs both probes.
+  auto paired = sys.Query("data.route == 1 && state == running");
+  ASSERT_TRUE(paired.ok());
+  EXPECT_EQ(paired->index_probes, 2);
+
+  // Contradictory conjuncts: the intersection is empty, so nothing is
+  // fetched or evaluated at all.
+  auto none = sys.Query("data.route == 1 && data.route == 2");
+  ASSERT_TRUE(none.ok());
+  EXPECT_EQ(none->index_probes, 2);
+  EXPECT_EQ(none->evaluated, 0u);
+  EXPECT_TRUE(none->empty());
+}
+
 TEST(QueryIndexTest, DisabledIndexesFallBackToScans) {
   AdeptOptions options;
   options.query_indexes = false;

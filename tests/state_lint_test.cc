@@ -1,0 +1,178 @@
+// Golden tests for the runtime-health rules AV011 (stuck-activity) and
+// AV012 (orphaned-claim). These assert the *exact* report JSON: the rule
+// ids, messages, and fix hints are a published interface (suppression
+// baselines key on them), so a silent wording or id change must fail here.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "common/json.h"
+#include "runtime/engine.h"
+#include "runtime/instance.h"
+#include "storage/wal.h"
+#include "tests/test_fixtures.h"
+#include "verify/state_lint.h"
+
+namespace adept {
+namespace {
+
+using testing_fixtures::OnlineOrderV1;
+using testing_fixtures::SequenceSchema;
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+NodeId ByName(const ProcessInstance& i, const std::string& name) {
+  return i.schema().FindNodeByName(name);
+}
+
+Status Execute(ProcessInstance& i, NodeId node) {
+  ADEPT_RETURN_IF_ERROR(i.StartActivity(node));
+  return i.CompleteActivity(node);
+}
+
+// A worklist journal record in the shape WorklistService writes
+// ("<cluster_wal>.worklist"): t = claim/delegate/start/release/close.
+JsonValue ClaimRecord(const std::string& type, uint64_t instance,
+                      uint32_t node, uint64_t user) {
+  JsonValue v = JsonValue::MakeObject();
+  v.Set("t", JsonValue(type));
+  v.Set("i", JsonValue(static_cast<int64_t>(instance)));
+  v.Set("n", JsonValue(static_cast<int64_t>(node)));
+  v.Set("u", JsonValue(static_cast<int64_t>(user)));
+  v.Set("e", JsonValue(static_cast<int64_t>(1)));
+  return v;
+}
+
+TEST(StateLintTest, CleanSystemProducesEmptyReport) {
+  Engine engine;
+  auto schema = SequenceSchema(2);
+  auto inst = engine.CreateInstance(schema, SchemaId(1));
+  ASSERT_TRUE(inst.ok());
+  ASSERT_TRUE((*inst)->Start().ok());
+  ASSERT_TRUE(Execute(**inst, ByName(**inst, "a1")).ok());
+
+  auto report = LintRuntimeState(engine, StateLintOptions{});
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->ToJson().Dump(),
+            R"({"errors":0,"findings":[],"ok":true,"warnings":0})");
+}
+
+// A Running activity is not "stuck" until the instance demonstrably moved
+// on without it: the parallel sibling branch keeps completing activities
+// while "confirm order" sits in Running.
+TEST(StateLintTest, StuckActivityGoldenReport) {
+  Engine engine;
+  auto schema = OnlineOrderV1();
+  auto inst = engine.CreateInstance(schema, SchemaId(1));
+  ASSERT_TRUE(inst.ok());
+  ProcessInstance& i = **inst;
+  ASSERT_TRUE(i.Start().ok());
+  ASSERT_TRUE(Execute(i, ByName(i, "get order")).ok());
+  ASSERT_TRUE(Execute(i, ByName(i, "collect data")).ok());
+
+  const NodeId confirm = ByName(i, "confirm order");
+  ASSERT_TRUE(i.StartActivity(confirm).ok());
+  // Progress elsewhere: the sibling branch finishes (start + complete = 2
+  // trace events), leaving a 2-event tail after confirm's start.
+  ASSERT_TRUE(Execute(i, ByName(i, "compose order")).ok());
+  ASSERT_EQ(i.node_state(confirm), NodeState::kRunning);
+
+  // Below the threshold: clean.
+  StateLintOptions options;
+  options.stuck_after_events = 3;
+  auto quiet = LintRuntimeState(engine, options);
+  ASSERT_TRUE(quiet.ok());
+  EXPECT_EQ(quiet->warning_count(), 0u);
+
+  // At the threshold: exactly one AV011 warning with the golden shape.
+  options.stuck_after_events = 2;
+  auto report = LintRuntimeState(engine, options);
+  ASSERT_TRUE(report.ok()) << report.status();
+  ASSERT_EQ(report->issues().size(), 1u);
+  const std::string node_id = std::to_string(confirm.value());
+  EXPECT_EQ(
+      report->ToJson().Dump(),
+      std::string(R"({"errors":0,"findings":[{)") +
+          R"("fix_hint":"complete, fail, or retry the activity; if its )" +
+          R"(worker died, release the work item so it can be re-offered",)" +
+          R"("message":"activity 'confirm order' (n)" + node_id +
+          R"() of instance I1 is running with no progress: 2 trace events )" +
+          R"(since its last start","node":)" + node_id +
+          R"(,"rule":"stuck-activity","rule_id":"AV011",)" +
+          R"("severity":"warning","span":[{"id":)" + node_id +
+          R"(,"kind":"node"}]}],"ok":true,"warnings":1})");
+}
+
+// Three live claims, three distinct orphan reasons — plus a released claim
+// and a still-actionable claim that must stay silent.
+TEST(StateLintTest, OrphanedClaimGoldenReport) {
+  Engine engine;
+  auto schema = SequenceSchema(3);
+  auto inst = engine.CreateInstance(schema, SchemaId(1));
+  ASSERT_TRUE(inst.ok());
+  ProcessInstance& i = **inst;
+  ASSERT_TRUE(i.Start().ok());
+  const NodeId a1 = ByName(i, "a1");
+  const NodeId a2 = ByName(i, "a2");
+  ASSERT_TRUE(Execute(i, a1).ok());  // a1 Completed, a2 Activated
+
+  const std::string journal = TempPath("adept_state_lint_claims.wal");
+  std::filesystem::remove(journal);
+  {
+    auto wal = WriteAheadLog::Open(journal);
+    ASSERT_TRUE(wal.ok());
+    // Orphaned: a1 already completed out from under u7's claim.
+    ASSERT_TRUE((*wal)->Append(ClaimRecord("claim", 1, a1.value(), 7)).ok());
+    // Fine: a2 is Activated, u8 can still start it.
+    ASSERT_TRUE((*wal)->Append(ClaimRecord("claim", 1, a2.value(), 8)).ok());
+    // Orphaned: instance 9 does not exist.
+    ASSERT_TRUE((*wal)->Append(ClaimRecord("start", 9, a1.value(), 7)).ok());
+    // Orphaned: node 999 is not in the schema.
+    ASSERT_TRUE((*wal)->Append(ClaimRecord("claim", 1, 999, 5)).ok());
+    // Released before the lint ran: silent.
+    ASSERT_TRUE((*wal)->Append(ClaimRecord("claim", 1, a2.value(), 6)).ok());
+    ASSERT_TRUE((*wal)->Append(ClaimRecord("release", 1, a2.value(), 6)).ok());
+    ASSERT_TRUE((*wal)->Sync(SyncMode::kFlush).ok());
+  }
+
+  StateLintOptions options;
+  options.claims_journal_path = journal;
+  auto report = LintRuntimeState(engine, options);
+  ASSERT_TRUE(report.ok()) << report.status();
+  ASSERT_EQ(report->issues().size(), 3u);
+  for (const VerificationIssue& issue : report->issues()) {
+    EXPECT_EQ(std::string(VerifyRuleId(issue.rule)), "AV012");
+    EXPECT_EQ(issue.severity, VerifySeverity::kWarning);
+  }
+  // Deterministic order: by (instance, node) key. Golden messages:
+  const auto& issues = report->issues();
+  EXPECT_EQ(issues[0].message,
+            "worklist claim by u7 on activity 'a1' (n" +
+                std::to_string(a1.value()) +
+                ") of instance I1 is orphaned: the node's state is "
+                "Completed");
+  EXPECT_EQ(issues[1].message,
+            "worklist claim by u5 on a node (n999) of instance I1 is "
+            "orphaned: the node no longer exists in the instance's schema");
+  EXPECT_EQ(issues[2].message,
+            "worklist claim by u7 on a node (n" + std::to_string(a1.value()) +
+                ") of instance I9 is orphaned: the instance no longer "
+                "exists");
+  EXPECT_EQ(issues[0].fix_hint,
+            "release the claim, or checkpoint (SaveSnapshot compacts the "
+            "journal to live claims only)");
+
+  // A missing journal is not an error — the rule just has nothing to say.
+  std::filesystem::remove(journal);
+  auto empty = LintRuntimeState(engine, options);
+  ASSERT_TRUE(empty.ok()) << empty.status();
+  EXPECT_EQ(empty->issues().size(), 0u);
+}
+
+}  // namespace
+}  // namespace adept

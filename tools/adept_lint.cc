@@ -8,15 +8,20 @@
 //       Lint the built-in example catalog (tools/example_schemas.h).
 //   adept_lint --schema FILE.json [FILE.json ...]
 //       Lint schemas serialized with SchemaToJson (model/serialization.h).
-//   adept_lint --state WAL [--snapshot FILE]
+//   adept_lint --state WAL [--snapshot FILE] [--claims FILE]
 //       Recover an AdeptSystem from its WAL (+ optional snapshot) and lint
-//       every schema version stored in its repository.
+//       every schema version stored in its repository, plus the runtime-
+//       health rules over the recovered instances (AV011 stuck-activity,
+//       AV012 orphaned-claim; see verify/state_lint.h). --claims points at
+//       a worklist claim journal ("<cluster_wal>.worklist"); without it,
+//       "<WAL>.worklist" is used when present.
 //
 // Options: --out FILE writes the report there instead of stdout.
 // Exit status: 0 = no error-severity findings, 1 = at least one error,
 // 2 = usage or I/O failure.
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -30,6 +35,7 @@
 #include "model/serialization.h"
 #include "storage/schema_repository.h"
 #include "tools/example_schemas.h"
+#include "verify/state_lint.h"
 #include "verify/verifier.h"
 
 namespace adept {
@@ -46,7 +52,8 @@ int Usage(const char* argv0) {
       << "usage: " << argv0 << " --examples [--out FILE]\n"
       << "       " << argv0 << " --schema FILE.json [FILE.json ...] "
       << "[--out FILE]\n"
-      << "       " << argv0 << " --state WAL [--snapshot FILE] [--out FILE]\n";
+      << "       " << argv0 << " --state WAL [--snapshot FILE] "
+      << "[--claims FILE] [--out FILE]\n";
   return 2;
 }
 
@@ -89,6 +96,7 @@ int Run(int argc, char** argv) {
   std::vector<std::string> schema_files;
   std::string wal_path;
   std::string snapshot_path;
+  std::string claims_path;
   std::string out_path;
   bool examples = false;
   for (int i = 1; i < argc; ++i) {
@@ -106,6 +114,9 @@ int Run(int argc, char** argv) {
     } else if (arg == "--snapshot") {
       if (i + 1 >= argc) return Usage(argv[0]);
       snapshot_path = argv[++i];
+    } else if (arg == "--claims") {
+      if (i + 1 >= argc) return Usage(argv[0]);
+      claims_path = argv[++i];
     } else if (arg == "--out") {
       if (i + 1 >= argc) return Usage(argv[0]);
       out_path = argv[++i];
@@ -162,6 +173,26 @@ int Run(int argc, char** argv) {
     schemas.Append(LintOne(input, total_errors, total_warnings));
   }
 
+  // Runtime-health rules over the recovered instances (state mode only).
+  JsonValue runtime;
+  if (system != nullptr) {
+    StateLintOptions state_options;
+    if (!claims_path.empty()) {
+      state_options.claims_journal_path = claims_path;
+    } else if (std::filesystem::exists(wal_path + ".worklist")) {
+      state_options.claims_journal_path = wal_path + ".worklist";
+    }
+    auto report = LintRuntimeState(system->engine(), state_options);
+    if (!report.ok()) {
+      std::cerr << "adept_lint: runtime lint: " << report.status().message()
+                << "\n";
+      return 2;
+    }
+    total_errors += static_cast<int>(report->error_count());
+    total_warnings += static_cast<int>(report->warning_count());
+    runtime = report->ToJson();
+  }
+
   JsonValue doc = JsonValue::MakeObject();
   doc.Set("tool", JsonValue(std::string("adept_lint")));
   doc.Set("format_version", JsonValue(static_cast<int64_t>(1)));
@@ -169,6 +200,7 @@ int Run(int argc, char** argv) {
   doc.Set("total_errors", JsonValue(static_cast<int64_t>(total_errors)));
   doc.Set("total_warnings", JsonValue(static_cast<int64_t>(total_warnings)));
   doc.Set("schemas", std::move(schemas));
+  if (system != nullptr) doc.Set("runtime", std::move(runtime));
 
   const std::string text = doc.Dump();
   if (out_path.empty()) {
