@@ -21,6 +21,8 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_util.h"
+#include "compliance/adhoc.h"
+#include "runtime/engine.h"
 #include "storage/overlay_schema.h"
 
 namespace adept {
@@ -122,6 +124,88 @@ void BM_OverlayResolution(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_OverlayResolution)->Arg(0)->Arg(1)->Unit(benchmark::kNanosecond);
+
+// WAL bytes per ad-hoc commit: delta records (only the ops the change
+// appended, the post-refactor format) vs the legacy cumulative-bias
+// records (the whole bias re-serialized on every change). The measured
+// work is record serialization for a K-commit history; the headline is
+// the bytes-per-commit counter pair — legacy grows O(bias), delta stays
+// O(change).
+void BM_AdHocCommitRecordBytes(benchmark::State& state) {
+  const int commits = static_cast<int>(state.range(0));
+  SchemaBuilder b("chain", 1);
+  for (int i = 0; i <= commits; ++i) {
+    b.Activity("c" + std::to_string(i));
+  }
+  auto built = b.Build();
+  if (!built.ok()) {
+    state.SkipWithError("schema build failed");
+    return;
+  }
+  auto schema = *built;
+  SchemaRepository repo;
+  SchemaId schema_id = *repo.Deploy(schema);
+  InstanceStore store(&repo);
+  Engine engine;
+  ProcessInstance* instance = *engine.CreateInstance(schema, schema_id);
+  (void)store.Register(instance->id(), schema_id);
+  (void)instance->Start();
+  // One serial insert per original chain edge: every commit appends
+  // exactly one op to the bias.
+  for (int i = 0; i < commits; ++i) {
+    Delta delta;
+    NewActivitySpec spec;
+    spec.name = "x" + std::to_string(i);
+    delta.Add(std::make_unique<SerialInsertOp>(
+        spec, schema->FindNodeByName("c" + std::to_string(i)),
+        schema->FindNodeByName("c" + std::to_string(i + 1))));
+    Status applied = ApplyAdHocChange(*instance, store, std::move(delta));
+    if (!applied.ok()) {
+      state.SkipWithError("ad-hoc change failed");
+      return;
+    }
+  }
+  const auto& bias_ops = (*store.Get(instance->id()))->bias.ops();
+
+  size_t delta_bytes = 0;
+  size_t legacy_bytes = 0;
+  for (auto _ : state) {
+    delta_bytes = 0;
+    legacy_bytes = 0;
+    for (size_t k = 0; k < bias_ops.size(); ++k) {
+      JsonValue delta_ops = JsonValue::MakeArray();
+      delta_ops.Append(bias_ops[k]->ToJson());
+      JsonValue delta_tail = JsonValue::MakeObject();
+      delta_tail.Set("ops", std::move(delta_ops));
+      JsonValue delta_record = JsonValue::MakeObject();
+      delta_record.Set("t", JsonValue("adhoc"));
+      delta_record.Set("id", JsonValue(instance->id().value()));
+      delta_record.Set("delta", std::move(delta_tail));
+      delta_bytes += delta_record.Dump().size();
+
+      JsonValue cumulative = JsonValue::MakeArray();
+      for (size_t i = 0; i <= k; ++i) cumulative.Append(bias_ops[i]->ToJson());
+      JsonValue legacy_bias = JsonValue::MakeObject();
+      legacy_bias.Set("ops", std::move(cumulative));
+      JsonValue legacy_record = JsonValue::MakeObject();
+      legacy_record.Set("t", JsonValue("adhoc"));
+      legacy_record.Set("id", JsonValue(instance->id().value()));
+      legacy_record.Set("bias", std::move(legacy_bias));
+      legacy_bytes += legacy_record.Dump().size();
+    }
+    benchmark::DoNotOptimize(delta_bytes);
+    benchmark::DoNotOptimize(legacy_bytes);
+  }
+  state.SetItemsProcessed(state.iterations() * commits);
+  state.counters["delta_bytes_per_commit"] =
+      static_cast<double>(delta_bytes) / commits;
+  state.counters["legacy_bytes_per_commit"] =
+      static_cast<double>(legacy_bytes) / commits;
+}
+BENCHMARK(BM_AdHocCommitRecordBytes)
+    ->Arg(4)
+    ->Arg(32)
+    ->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 }  // namespace adept

@@ -32,6 +32,8 @@
 #include <thread>
 #include <vector>
 
+#include "change/change_op.h"
+#include "change/delta.h"
 #include "cluster/adept_cluster.h"
 #include "repl/replica_node.h"
 #include "repl/replication.h"
@@ -169,6 +171,60 @@ BENCHMARK(BM_ReplQuorumCommit)
     ->Arg(2)
     ->Arg(3)
     ->Setup(SetUpQuorum)
+    ->Teardown(TearDownCluster)
+    ->Unit(benchmark::kMicrosecond);
+
+// Ad-hoc change commit with the bytes it appends to (and ships from) the
+// WAL. Since the delta-record refactor each commit logs only the ops the
+// change appended — wal_bytes_per_commit stays flat as an instance's
+// bias grows, where the legacy cumulative records grew linearly (see
+// bench_fig2_storage BM_AdHocCommitRecordBytes for the record-level
+// comparison). Replication ships these same records, so the counter is
+// also the per-commit replication payload.
+void BM_ReplAdHocCommitBytes(benchmark::State& state) {
+  if (g_cluster == nullptr) {
+    state.SkipWithError("cluster setup failed");
+    return;
+  }
+  auto schema = testing_fixtures::SequenceSchema(4);
+  const std::filesystem::path wal = g_dir / "primary.wal.shard0";
+  uintmax_t adhoc_bytes = 0;
+  int commits = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto id = g_cluster->CreateInstance("seq");
+    if (!id.ok()) {
+      state.SkipWithError(id.status().message().c_str());
+      return;
+    }
+    const uintmax_t before = std::filesystem::file_size(wal);
+    state.ResumeTiming();
+    for (int i = 1; i < 4; ++i) {
+      Delta delta;
+      NewActivitySpec spec;
+      spec.name = "x" + std::to_string(i);
+      delta.Add(std::make_unique<SerialInsertOp>(
+          spec, schema->FindNodeByName("a" + std::to_string(i)),
+          schema->FindNodeByName("a" + std::to_string(i + 1))));
+      Status applied = g_cluster->ApplyAdHocChange(*id, std::move(delta));
+      if (!applied.ok()) {
+        state.SkipWithError(applied.message().c_str());
+        return;
+      }
+    }
+    state.PauseTiming();
+    adhoc_bytes += std::filesystem::file_size(wal) - before;
+    commits += 3;
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(commits);
+  if (commits > 0) {
+    state.counters["wal_bytes_per_commit"] =
+        static_cast<double>(adhoc_bytes) / commits;
+  }
+}
+BENCHMARK(BM_ReplAdHocCommitBytes)
+    ->Setup(SetUpLocal)
     ->Teardown(TearDownCluster)
     ->Unit(benchmark::kMicrosecond);
 

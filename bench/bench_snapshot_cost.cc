@@ -1,0 +1,191 @@
+// Snapshot publication cost on large instances (the COW tentpole's gate).
+//
+//   BM_SnapshotPublication      per-mutation publication cost (BuildSnapshot
+//                               + SnapshotTable::Publish + index delta) on
+//                               an instance with N concurrently activated
+//                               parallel branches. With structurally-shared
+//                               state this is O(changed nodes): CI gates the
+//                               1000-node cost at <= 3x the 10-node cost.
+//   BM_SnapshotPublicationDeepTrace
+//                               the same mutation on an instance that has
+//                               executed a loop for N iterations (long
+//                               trace, long data history) — history length
+//                               must not leak into publication cost.
+//   BM_SnapshotDeepCopyBaseline what the pre-COW deep copy would pay:
+//                               materializing every container of the
+//                               snapshot into flat std:: structures.
+//
+// Expected shape: publication flat in instance size and history length;
+// the deep-copy baseline grows linearly — the gap is the refactor.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "model/schema_builder.h"
+#include "query/query_index.h"
+#include "runtime/engine.h"
+#include "runtime/instance_snapshot.h"
+
+namespace adept {
+namespace {
+
+std::shared_ptr<const ProcessSchema> WideSchema(int width) {
+  SchemaBuilder b("wide", 1);
+  b.Activity("head");
+  std::vector<SchemaBuilder::BranchFn> branches;
+  branches.reserve(width);
+  for (int i = 0; i < width; ++i) {
+    branches.push_back([i](SchemaBuilder& s) {
+      s.Activity("par" + std::to_string(i));
+    });
+  }
+  b.Parallel(branches);
+  b.Activity("tail");
+  auto schema = b.Build();
+  return schema.ok() ? *schema : nullptr;
+}
+
+// One suspend/resume toggle published through the full read-path plumbing.
+// The toggled activity flips between kRunning and kSuspended, so instance
+// size stays constant while every iteration is a real state change.
+void PublishOnce(ProcessInstance& instance, NodeId toggled, bool suspend,
+                 SnapshotTable& table, QueryIndex& index) {
+  if (suspend) {
+    (void)instance.SuspendActivity(toggled);
+  } else {
+    (void)instance.ResumeActivity(toggled);
+  }
+  std::shared_ptr<InstanceSnapshot> snapshot = instance.BuildSnapshot();
+  std::shared_ptr<const InstanceSnapshot> previous = table.Publish(snapshot);
+  index.ApplyDelta(previous.get(), snapshot.get());
+}
+
+void BM_SnapshotPublication(benchmark::State& state) {
+  const int width = static_cast<int>(state.range(0));
+  auto schema = WideSchema(width);
+  if (schema == nullptr) {
+    state.SkipWithError("schema build failed");
+    return;
+  }
+  Engine engine;
+  ProcessInstance* instance = *engine.CreateInstance(schema, SchemaId(1));
+  (void)instance->Start();
+  NodeId head = schema->FindNodeByName("head");
+  (void)instance->StartActivity(head);
+  (void)instance->CompleteActivity(head, {});  // all `width` branches activate
+  NodeId toggled = schema->FindNodeByName("par0");
+  (void)instance->StartActivity(toggled);
+
+  SnapshotTable table;
+  QueryIndex index;
+  bool suspend = true;
+  for (auto _ : state) {
+    PublishOnce(*instance, toggled, suspend, table, index);
+    suspend = !suspend;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["nodes"] = static_cast<double>(width);
+}
+BENCHMARK(BM_SnapshotPublication)
+    ->Arg(10)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Unit(benchmark::kNanosecond);
+
+void BM_SnapshotPublicationDeepTrace(benchmark::State& state) {
+  const int iterations = static_cast<int>(state.range(0));
+  SchemaBuilder b("looped", 1);
+  DataId again = b.Data("again", DataType::kBool);
+  b.Activity("prepare");
+  b.Loop(again, [&](SchemaBuilder& s) {
+    NodeId body = s.Activity("body");
+    s.Writes(body, again);
+  });
+  b.Activity("finish");
+  auto built = b.Build();
+  if (!built.ok()) {
+    state.SkipWithError("schema build failed");
+    return;
+  }
+  auto schema = *built;
+  Engine engine;
+  ProcessInstance* instance = *engine.CreateInstance(schema, SchemaId(1));
+  (void)instance->Start();
+  NodeId prepare = schema->FindNodeByName("prepare");
+  (void)instance->StartActivity(prepare);
+  (void)instance->CompleteActivity(prepare, {});
+  NodeId body = schema->FindNodeByName("body");
+  for (int i = 0; i < iterations; ++i) {
+    (void)instance->StartActivity(body);
+    (void)instance->CompleteActivity(
+        body, {{again, DataValue::Bool(i + 1 < iterations)}});
+  }
+  NodeId finish = schema->FindNodeByName("finish");
+  (void)instance->StartActivity(finish);
+
+  SnapshotTable table;
+  QueryIndex index;
+  bool suspend = true;
+  for (auto _ : state) {
+    PublishOnce(*instance, finish, suspend, table, index);
+    suspend = !suspend;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["loop_iterations"] = static_cast<double>(iterations);
+}
+BENCHMARK(BM_SnapshotPublicationDeepTrace)
+    ->Arg(10)
+    ->Arg(10000)
+    ->Unit(benchmark::kNanosecond);
+
+// The pre-refactor cost model: deep-copy every snapshot container into
+// flat std:: structures (what BuildSnapshot used to do). Kept as the
+// comparison trajectory for the O(delta) claim.
+void BM_SnapshotDeepCopyBaseline(benchmark::State& state) {
+  const int width = static_cast<int>(state.range(0));
+  auto schema = WideSchema(width);
+  if (schema == nullptr) {
+    state.SkipWithError("schema build failed");
+    return;
+  }
+  Engine engine;
+  ProcessInstance* instance = *engine.CreateInstance(schema, SchemaId(1));
+  (void)instance->Start();
+  NodeId head = schema->FindNodeByName("head");
+  (void)instance->StartActivity(head);
+  (void)instance->CompleteActivity(head, {});
+
+  for (auto _ : state) {
+    std::map<NodeId, NodeState> nodes;
+    instance->marking().node_states().ForEach(
+        [&](NodeId id, NodeState s) { nodes.emplace(id, s); });
+    std::map<EdgeId, EdgeState> edges;
+    instance->marking().edge_states().ForEach(
+        [&](EdgeId id, EdgeState s) { edges.emplace(id, s); });
+    std::set<NodeId> activated;
+    instance->marking().activated().ForEach(
+        [&](NodeId id) { activated.insert(id); });
+    std::map<DataId, DataValue> values;
+    instance->data().tips().ForEach(
+        [&](DataId id, const DataValue& v) { values.emplace(id, v); });
+    benchmark::DoNotOptimize(nodes);
+    benchmark::DoNotOptimize(edges);
+    benchmark::DoNotOptimize(activated);
+    benchmark::DoNotOptimize(values);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["nodes"] = static_cast<double>(width);
+}
+BENCHMARK(BM_SnapshotDeepCopyBaseline)
+    ->Arg(10)
+    ->Arg(1000)
+    ->Unit(benchmark::kNanosecond);
+
+}  // namespace
+}  // namespace adept
+
+BENCHMARK_MAIN();

@@ -1,0 +1,564 @@
+// Persistent (structurally shared) map and set — the copy-on-write core
+// the runtime's instance state is built on.
+//
+// A PersistentMap is a value type whose copies share structure: copying
+// the map copies one shared_ptr (the root of a 32-ary bitmap trie), and a
+// mutation path-copies only the O(log32 n) nodes between the root and the
+// touched entry — every untouched subtree stays shared with all previous
+// copies. That inverts the old publication economics: an immutable
+// snapshot of the whole container costs one refcount bump instead of a
+// deep copy, and the *mutator* pays a small logarithmic copy instead
+// (realm-core's copy-on-write array discipline, applied to bitmap tries).
+//
+// Sharing contract (what makes lock-free readers safe):
+//   * nodes reachable from a map that has ever been copied are immutable —
+//     mutation replaces them, it never writes into them;
+//   * a mutation may recycle a node in place only while this map is the
+//     node's sole owner (use_count == 1). Publication (copying the map)
+//     happens-before any later mutation on the owning thread, so a reader
+//     holding the copy can never observe an in-place write: once shared,
+//     the path is copied. Readers drop their copies concurrently, but a
+//     use_count can only *fall* to 1 after every other owner is gone, so
+//     the check errs on the safe (copy) side.
+//   * equality and DiffTo() exploit sharing: identical subtrees (same node
+//     pointer) compare equal / diff empty without being visited, so
+//     diffing two adjacent versions costs O(delta), not O(n).
+//
+// Keys are the strongly typed ids of common/ids.h (or any integral type):
+// the key's 64-bit value itself is the trie path — 5 bits per level, no
+// hashing, no collision chains, at most 13 levels. Erase collapses
+// single-leaf chains, so equal maps have identical trie shapes regardless
+// of mutation history.
+
+#ifndef ADEPT_COMMON_PERSISTENT_MAP_H_
+#define ADEPT_COMMON_PERSISTENT_MAP_H_
+
+#include <cstdint>
+#include <iterator>
+#include <memory>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace adept {
+
+namespace persistent_internal {
+
+// Key -> 64-bit trie path. Integral keys use their value; TypedIds (and
+// anything else exposing value()) use the wrapped representation.
+template <typename K>
+uint64_t KeyBits(const K& key) {
+  if constexpr (std::is_integral_v<K>) {
+    return static_cast<uint64_t>(key);
+  } else {
+    return static_cast<uint64_t>(key.value());
+  }
+}
+
+inline int PopCount(uint32_t v) {
+#if defined(__GNUC__) || defined(__clang__)
+  return __builtin_popcount(v);
+#else
+  int c = 0;
+  while (v) {
+    v &= v - 1;
+    ++c;
+  }
+  return c;
+#endif
+}
+
+}  // namespace persistent_internal
+
+template <typename K, typename V>
+class PersistentMap {
+ private:
+  struct Node;
+
+ public:
+  using value_type = std::pair<K, V>;
+
+  PersistentMap() = default;
+
+  // O(1): copies share the whole trie.
+  PersistentMap(const PersistentMap&) = default;
+  PersistentMap& operator=(const PersistentMap&) = default;
+  PersistentMap(PersistentMap&&) noexcept = default;
+  PersistentMap& operator=(PersistentMap&&) noexcept = default;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  // Pointer to the stored value, or nullptr. Valid while some owner of
+  // the entry's node lives — for a map inside an immutable snapshot that
+  // is the snapshot's lifetime; for a map being mutated, only until the
+  // next Set/Erase.
+  const V* Find(const K& key) const {
+    const Node* node = root_.get();
+    uint64_t bits = persistent_internal::KeyBits(key);
+    while (node != nullptr) {
+      const uint32_t mask = 1u << (bits & kLevelMask);
+      if ((node->bitmap & mask) == 0) return nullptr;
+      const Entry& entry = node->entries[SlotIndex(node->bitmap, mask)];
+      if (entry.child == nullptr) {
+        return entry.key == key ? &entry.value : nullptr;
+      }
+      node = entry.child.get();
+      bits >>= kLevelBits;
+    }
+    return nullptr;
+  }
+
+  bool Contains(const K& key) const { return Find(key) != nullptr; }
+
+  // Inserts or replaces. Path-copies shared nodes; recycles uniquely
+  // owned ones in place (see the sharing contract above).
+  void Set(const K& key, V value) {
+    bool added = false;
+    SetRec(root_, persistent_internal::KeyBits(key), 0, key, std::move(value),
+           &added);
+    if (added) ++size_;
+  }
+
+  // Removes the entry if present; returns whether it was.
+  bool Erase(const K& key) {
+    if (root_ == nullptr) return false;
+    bool erased = false;
+    EraseRec(root_, persistent_internal::KeyBits(key), key, &erased);
+    if (erased) {
+      --size_;
+      if (root_->entries.empty()) root_ = nullptr;
+    }
+    return erased;
+  }
+
+  void Clear() {
+    root_ = nullptr;
+    size_ = 0;
+  }
+
+  // True when both maps share the same root — a free "nothing changed"
+  // probe for delta maintenance.
+  bool SameRoot(const PersistentMap& other) const {
+    return root_ == other.root_;
+  }
+
+  // Structural diff: calls fn(key, before, after) for every key whose
+  // value differs between `this` (before) and `after`; `before`/`after`
+  // is null for an addition resp. removal. Shared subtrees are skipped
+  // without being visited — cost is O(changed entries), not O(n).
+  template <typename Fn>
+  void DiffTo(const PersistentMap& after, Fn&& fn) const {
+    DiffNodes(root_.get(), after.root_.get(), fn);
+  }
+
+  bool operator==(const PersistentMap& other) const {
+    if (root_ == other.root_) return true;
+    if (size_ != other.size_) return false;
+    bool equal = true;
+    auto check = [&](const K&, const V* a, const V* b) {
+      if (a == nullptr || b == nullptr || !(*a == *b)) equal = false;
+    };
+    DiffNodes(root_.get(), other.root_.get(), check);
+    return equal;
+  }
+  bool operator!=(const PersistentMap& other) const {
+    return !(*this == other);
+  }
+
+  // Visits every (key, value); cheaper than the iterator (no per-step
+  // stack bookkeeping).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    ForEachNode(root_.get(), fn);
+  }
+
+  // Rough heap bytes of the whole trie (shared nodes counted fully:
+  // callers report footprints, not exact ownership ledgers).
+  size_t MemoryFootprint() const { return NodeBytes(root_.get()); }
+
+  // Depth-first const input iterator; yields std::pair<K, V> by value.
+  // The explicit stack is bounded by the trie depth (<= 13 levels).
+  class const_iterator {
+   public:
+    using iterator_category = std::input_iterator_tag;
+    using value_type = std::pair<K, V>;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const value_type*;
+    using reference = value_type;
+
+    const_iterator() = default;
+
+    value_type operator*() const {
+      const Frame& f = stack_.back();
+      const Entry& e = f.node->entries[f.index];
+      return {e.key, e.value};
+    }
+
+    const_iterator& operator++() {
+      Advance();
+      return *this;
+    }
+    const_iterator operator++(int) {
+      const_iterator copy = *this;
+      Advance();
+      return copy;
+    }
+
+    bool operator==(const const_iterator& o) const {
+      if (stack_.empty() || o.stack_.empty()) {
+        return stack_.empty() && o.stack_.empty();
+      }
+      return stack_.back().node == o.stack_.back().node &&
+             stack_.back().index == o.stack_.back().index;
+    }
+    bool operator!=(const const_iterator& o) const { return !(*this == o); }
+
+   private:
+    friend class PersistentMap;
+
+    struct Frame {
+      const Node* node;
+      size_t index;
+    };
+
+    explicit const_iterator(const Node* root) {
+      if (root != nullptr && !root->entries.empty()) {
+        stack_.push_back({root, 0});
+        DescendToLeaf();
+      }
+    }
+
+    // Ensures the top of the stack addresses a leaf entry.
+    void DescendToLeaf() {
+      while (true) {
+        const Frame& f = stack_.back();
+        const Entry& e = f.node->entries[f.index];
+        if (e.child == nullptr) return;
+        stack_.push_back({e.child.get(), 0});
+      }
+    }
+
+    void Advance() {
+      while (!stack_.empty()) {
+        Frame& f = stack_.back();
+        if (++f.index < f.node->entries.size()) {
+          DescendToLeaf();
+          return;
+        }
+        stack_.pop_back();
+      }
+    }
+
+    std::vector<Frame> stack_;
+  };
+
+  const_iterator begin() const { return const_iterator(root_.get()); }
+  const_iterator end() const { return const_iterator(); }
+
+ private:
+  static constexpr int kLevelBits = 5;
+  static constexpr uint64_t kLevelMask = (1u << kLevelBits) - 1;
+
+  struct Entry {
+    // Non-null: interior child; null: leaf carrying (key, value).
+    std::shared_ptr<Node> child;
+    K key{};
+    V value{};
+  };
+
+  struct Node {
+    uint32_t bitmap = 0;
+    std::vector<Entry> entries;  // popcount(bitmap) entries, slot order
+  };
+
+  static int SlotIndex(uint32_t bitmap, uint32_t mask) {
+    return persistent_internal::PopCount(bitmap & (mask - 1));
+  }
+
+  // Makes `slot` safe to write: allocates when null, clones when shared.
+  static Node* EnsureUnique(std::shared_ptr<Node>& slot) {
+    if (slot == nullptr) {
+      slot = std::make_shared<Node>();
+    } else if (slot.use_count() != 1) {
+      slot = std::make_shared<Node>(*slot);
+    }
+    return slot.get();
+  }
+
+  // `bits` is the key's remaining path at this node's level, i.e. the
+  // full path shifted right by `shift` bits.
+  void SetRec(std::shared_ptr<Node>& slot, uint64_t bits, int shift,
+              const K& key, V value, bool* added) {
+    Node* node = EnsureUnique(slot);
+    const uint32_t mask = 1u << (bits & kLevelMask);
+    const int index = SlotIndex(node->bitmap, mask);
+    if ((node->bitmap & mask) == 0) {
+      Entry entry;
+      entry.key = key;
+      entry.value = std::move(value);
+      node->entries.insert(node->entries.begin() + index, std::move(entry));
+      node->bitmap |= mask;
+      *added = true;
+      return;
+    }
+    Entry& entry = node->entries[index];
+    if (entry.child != nullptr) {
+      SetRec(entry.child, bits >> kLevelBits, shift + kLevelBits, key,
+             std::move(value), added);
+      return;
+    }
+    if (entry.key == key) {
+      entry.value = std::move(value);
+      return;
+    }
+    // Two distinct keys collide on this slot's chunk: push the resident
+    // leaf one level down, then insert the new key below it. Distinct
+    // 64-bit paths must diverge within 13 levels, so this terminates.
+    const uint64_t resident_bits =
+        persistent_internal::KeyBits(entry.key) >> (shift + kLevelBits);
+    auto interior = std::make_shared<Node>();
+    interior->bitmap = 1u << (resident_bits & kLevelMask);
+    Entry displaced;
+    displaced.key = entry.key;
+    displaced.value = std::move(entry.value);
+    interior->entries.push_back(std::move(displaced));
+    entry.child = std::move(interior);
+    entry.key = K{};
+    entry.value = V{};
+    SetRec(entry.child, bits >> kLevelBits, shift + kLevelBits, key,
+           std::move(value), added);
+  }
+
+  void EraseRec(std::shared_ptr<Node>& slot, uint64_t bits, const K& key,
+                bool* erased) {
+    const uint32_t mask = 1u << (bits & kLevelMask);
+    {
+      // Peek before copying: a miss must not clone the path.
+      const Node* peek = slot.get();
+      if ((peek->bitmap & mask) == 0) return;
+      const Entry& entry = peek->entries[SlotIndex(peek->bitmap, mask)];
+      if (entry.child == nullptr && !(entry.key == key)) return;
+    }
+    Node* node = EnsureUnique(slot);
+    const int index = SlotIndex(node->bitmap, mask);
+    Entry& entry = node->entries[index];
+    if (entry.child != nullptr) {
+      EraseRec(entry.child, bits >> kLevelBits, key, erased);
+      if (!*erased) return;
+      if (entry.child->entries.empty()) {
+        node->entries.erase(node->entries.begin() + index);
+        node->bitmap &= ~mask;
+      } else if (entry.child->entries.size() == 1 &&
+                 entry.child->entries[0].child == nullptr) {
+        // Collapse a single-leaf chain so the trie stays canonical: equal
+        // maps get equal shapes regardless of mutation history.
+        Entry lifted = entry.child->entries[0];
+        entry.child = nullptr;
+        entry.key = lifted.key;
+        entry.value = std::move(lifted.value);
+      }
+      return;
+    }
+    node->entries.erase(node->entries.begin() + index);
+    node->bitmap &= ~mask;
+    *erased = true;
+  }
+
+  template <typename Fn>
+  static void DiffNodes(const Node* before, const Node* after, Fn& fn) {
+    if (before == after) return;
+    if (before == nullptr) {
+      EmitAll(after, fn, /*as_after=*/true);
+      return;
+    }
+    if (after == nullptr) {
+      EmitAll(before, fn, /*as_after=*/false);
+      return;
+    }
+    for (int slot = 0; slot < 32; ++slot) {
+      const uint32_t mask = 1u << slot;
+      const bool in_before = (before->bitmap & mask) != 0;
+      const bool in_after = (after->bitmap & mask) != 0;
+      if (!in_before && !in_after) continue;
+      const Entry* be =
+          in_before ? &before->entries[SlotIndex(before->bitmap, mask)]
+                    : nullptr;
+      const Entry* ae =
+          in_after ? &after->entries[SlotIndex(after->bitmap, mask)]
+                   : nullptr;
+      DiffEntries(be, ae, fn);
+    }
+  }
+
+  template <typename Fn>
+  static void DiffEntries(const Entry* be, const Entry* ae, Fn& fn) {
+    if (be == nullptr) {
+      if (ae->child != nullptr) {
+        EmitAll(ae->child.get(), fn, true);
+      } else {
+        fn(ae->key, static_cast<const V*>(nullptr), &ae->value);
+      }
+      return;
+    }
+    if (ae == nullptr) {
+      if (be->child != nullptr) {
+        EmitAll(be->child.get(), fn, false);
+      } else {
+        fn(be->key, &be->value, static_cast<const V*>(nullptr));
+      }
+      return;
+    }
+    if (be->child != nullptr && ae->child != nullptr) {
+      DiffNodes(be->child.get(), ae->child.get(), fn);
+      return;
+    }
+    if (be->child == nullptr && ae->child == nullptr) {
+      if (be->key == ae->key) {
+        if (!(be->value == ae->value)) fn(be->key, &be->value, &ae->value);
+      } else {
+        fn(be->key, &be->value, static_cast<const V*>(nullptr));
+        fn(ae->key, static_cast<const V*>(nullptr), &ae->value);
+      }
+      return;
+    }
+    // Leaf on one side, interior on the other: the leaf's key may also
+    // live somewhere inside the interior subtree.
+    if (be->child == nullptr) {
+      bool matched = false;
+      ForEachNode(ae->child.get(), [&](const K& k, const V& v) {
+        if (k == be->key) {
+          matched = true;
+          if (!(v == be->value)) fn(k, &be->value, &v);
+        } else {
+          fn(k, static_cast<const V*>(nullptr), &v);
+        }
+      });
+      if (!matched) fn(be->key, &be->value, static_cast<const V*>(nullptr));
+      return;
+    }
+    bool matched = false;
+    ForEachNode(be->child.get(), [&](const K& k, const V& v) {
+      if (k == ae->key) {
+        matched = true;
+        if (!(v == ae->value)) fn(k, &v, &ae->value);
+      } else {
+        fn(k, &v, static_cast<const V*>(nullptr));
+      }
+    });
+    if (!matched) fn(ae->key, static_cast<const V*>(nullptr), &ae->value);
+  }
+
+  template <typename Fn>
+  static void EmitAll(const Node* node, Fn& fn, bool as_after) {
+    ForEachNode(node, [&](const K& k, const V& v) {
+      if (as_after) {
+        fn(k, static_cast<const V*>(nullptr), &v);
+      } else {
+        fn(k, &v, static_cast<const V*>(nullptr));
+      }
+    });
+  }
+
+  template <typename Fn>
+  static void ForEachNode(const Node* node, Fn&& fn) {
+    if (node == nullptr) return;
+    for (const Entry& entry : node->entries) {
+      if (entry.child != nullptr) {
+        ForEachNode(entry.child.get(), fn);
+      } else {
+        fn(entry.key, entry.value);
+      }
+    }
+  }
+
+  static size_t NodeBytes(const Node* node) {
+    if (node == nullptr) return 0;
+    size_t bytes = sizeof(Node) + node->entries.capacity() * sizeof(Entry);
+    for (const Entry& entry : node->entries) {
+      bytes += NodeBytes(entry.child.get());
+    }
+    return bytes;
+  }
+
+  std::shared_ptr<Node> root_;
+  size_t size_ = 0;
+};
+
+// A persistent set: a PersistentMap whose values carry no information.
+// Iteration yields the keys.
+template <typename K>
+class PersistentSet {
+ public:
+  PersistentSet() = default;
+
+  size_t size() const { return map_.size(); }
+  bool empty() const { return map_.empty(); }
+  bool Contains(const K& key) const { return map_.Contains(key); }
+  void Insert(const K& key) { map_.Set(key, true); }
+  bool Erase(const K& key) { return map_.Erase(key); }
+  void Clear() { map_.Clear(); }
+  bool SameRoot(const PersistentSet& o) const { return map_.SameRoot(o.map_); }
+
+  bool operator==(const PersistentSet& o) const { return map_ == o.map_; }
+  bool operator!=(const PersistentSet& o) const { return map_ != o.map_; }
+
+  // fn(key, added): added=true for keys only in `after`, false for keys
+  // only in `this`.
+  template <typename Fn>
+  void DiffTo(const PersistentSet& after, Fn&& fn) const {
+    map_.DiffTo(after.map_, [&](const K& k, const bool* b, const bool* a) {
+      if (b == nullptr) {
+        fn(k, true);
+      } else if (a == nullptr) {
+        fn(k, false);
+      }
+    });
+  }
+
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    map_.ForEach([&](const K& k, bool) { fn(k); });
+  }
+
+  size_t MemoryFootprint() const { return map_.MemoryFootprint(); }
+
+  class const_iterator {
+   public:
+    using iterator_category = std::input_iterator_tag;
+    using value_type = K;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const K*;
+    using reference = K;
+
+    const_iterator() = default;
+    explicit const_iterator(typename PersistentMap<K, bool>::const_iterator it)
+        : it_(it) {}
+
+    K operator*() const { return (*it_).first; }
+    const_iterator& operator++() {
+      ++it_;
+      return *this;
+    }
+    const_iterator operator++(int) {
+      const_iterator copy = *this;
+      ++it_;
+      return copy;
+    }
+    bool operator==(const const_iterator& o) const { return it_ == o.it_; }
+    bool operator!=(const const_iterator& o) const { return it_ != o.it_; }
+
+   private:
+    typename PersistentMap<K, bool>::const_iterator it_;
+  };
+
+  const_iterator begin() const { return const_iterator(map_.begin()); }
+  const_iterator end() const { return const_iterator(map_.end()); }
+
+ private:
+  PersistentMap<K, bool> map_;
+};
+
+}  // namespace adept
+
+#endif  // ADEPT_COMMON_PERSISTENT_MAP_H_

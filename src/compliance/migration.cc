@@ -46,20 +46,27 @@ void RemapInstanceState(ProcessInstance& instance, const IdMapping& mapping) {
   trace.Restore(std::move(events));
 
   DataContext data;
-  for (const auto& [id, versions] : instance.data().elements()) {
-    DataId mapped = map_data(id);
-    for (const auto& v : versions) {
-      data.Write(mapped, v.value, map_node(v.writer), v.sequence);
-    }
+  instance.data().ForEachElement(
+      [&](DataId id, const std::vector<DataContext::Version>& versions) {
+        DataId mapped = map_data(id);
+        for (const auto& v : versions) {
+          data.Write(mapped, v.value, map_node(v.writer), v.sequence);
+        }
+      });
+
+  PersistentMap<NodeId, int> loops;
+  for (const auto& [node, count] : instance.loop_iterations()) {
+    loops.Set(map_node(node), count);
   }
 
-  std::unordered_map<NodeId, int> loops;
-  for (const auto& [node, count] : instance.loop_iterations()) {
-    loops[map_node(node)] = count;
+  PersistentMap<NodeId, int64_t> activated_since;
+  for (const auto& [node, seq] : instance.activated_since()) {
+    activated_since.Set(map_node(node), seq);
   }
 
   instance.RestoreState(std::move(marking), std::move(trace), std::move(data),
-                        std::move(loops), instance.started());
+                        std::move(loops), instance.started(),
+                        std::move(activated_since));
 }
 
 // Ops of `type_change` that have no signature-equal partner in `bias`

@@ -24,11 +24,12 @@ ReplayResult CheckComplianceByReplay(
 
   // Index recorded data writes by trace sequence for value lookup.
   std::unordered_map<int64_t, std::pair<DataId, DataValue>> writes_by_seq;
-  for (const auto& [data_id, versions] : instance.data().elements()) {
-    for (const auto& v : versions) {
-      writes_by_seq[v.sequence] = {data_id, v.value};
-    }
-  }
+  instance.data().ForEachElement(
+      [&](DataId data_id, const std::vector<DataContext::Version>& versions) {
+        for (const auto& v : versions) {
+          writes_by_seq[v.sequence] = {data_id, v.value};
+        }
+      });
 
   // Surviving events after loop reduction.
   std::vector<TraceEvent> reduced = instance.trace().Reduced();

@@ -262,6 +262,9 @@ void AdeptSystem::ErasePublishedSnapshot(InstanceId id) {
   if (options_.query_indexes && previous != nullptr) {
     query_index_.ApplyDelta(previous.get(), nullptr);
   }
+  // Snapshot versions restart at 1 if the id is ever re-imported; dropping
+  // the cached serialization now keeps the version a valid fingerprint.
+  checkpoint_cache_.erase(id.value());
 }
 
 void AdeptSystem::PublishAllSnapshots() {
@@ -433,15 +436,31 @@ Status AdeptSystem::DriveToCompletion(InstanceId id, SimulationDriver& driver,
 Status AdeptSystem::ApplyAdHocChange(InstanceId id, Delta delta) {
   ADEPT_ASSIGN_OR_RETURN(ProcessInstance * instance,
                          RequireInstance(engine_, id));
+  // The op count before this change marks where the newly pinned tail of
+  // the cumulative bias starts — exactly the delta worth logging.
+  size_t prior_ops = 0;
+  if (auto prior = store_.Get(id); prior.ok()) {
+    prior_ops = (*prior)->bias.size();
+  }
   ADEPT_RETURN_IF_ERROR(
       adept::ApplyAdHocChange(*instance, store_, std::move(delta)));
   PublishSnapshot(id);
-  // Serialize the *applied* (pinned) bias from the store record.
+  // Serialize only the *applied* (pinned) ops this change appended — a
+  // delta record against the bias the replayed prefix already rebuilt.
+  // (Historically the full cumulative bias was logged; replay still
+  // accepts those records, see ApplyWalRecord.)
   ADEPT_ASSIGN_OR_RETURN(const InstanceStore::Record* record, store_.Get(id));
+  JsonValue ops = JsonValue::MakeArray();
+  const auto& bias_ops = record->bias.ops();
+  for (size_t i = prior_ops; i < bias_ops.size(); ++i) {
+    ops.Append(bias_ops[i]->ToJson());
+  }
+  JsonValue tail = JsonValue::MakeObject();
+  tail.Set("ops", std::move(ops));
   JsonValue wal_record = JsonValue::MakeObject();
   wal_record.Set("t", JsonValue("adhoc"));
   wal_record.Set("id", JsonValue(id.value()));
-  wal_record.Set("bias", record->bias.ToJson());
+  wal_record.Set("delta", std::move(tail));
   return Log(wal_record);
 }
 
@@ -505,6 +524,7 @@ Result<JsonValue> AdeptSystem::InstanceToJson(InstanceId id) const {
   const ProcessInstance* instance = engine_.Find(id);
   if (instance == nullptr) return Status::NotFound("no such instance");
   ADEPT_ASSIGN_OR_RETURN(const InstanceStore::Record* record, store_.Get(id));
+  ++full_state_serializations_;
   JsonValue ij = JsonValue::MakeObject();
   ij.Set("id", JsonValue(id.value()));
   ij.Set("base", JsonValue(record->base_schema.value()));
@@ -548,10 +568,32 @@ JsonValue AdeptSystem::SnapshotToJson(uint64_t wal_lsn) const {
   j.Set("wal_lsn", JsonValue(wal_lsn));
   j.Set("repo", repository_.ToJson());
   JsonValue instances = JsonValue::MakeArray();
+  // Unchanged instances reuse the serialization the previous checkpoint
+  // produced: the published snapshot version is the change fingerprint
+  // (every facade mutation republishes before logging), so a long-running
+  // system full of idle instances checkpoints in O(changed), not O(all).
+  std::unordered_map<uint64_t, CachedInstanceJson> next_cache;
   for (InstanceId id : store_.Ids()) {
+    std::shared_ptr<const InstanceSnapshot> published = snapshots_.Get(id);
+    if (published != nullptr) {
+      auto cached = checkpoint_cache_.find(id.value());
+      if (cached != checkpoint_cache_.end() &&
+          cached->second.version == published->version) {
+        instances.Append(JsonValue(cached->second.json));
+        next_cache.emplace(id.value(), std::move(cached->second));
+        continue;
+      }
+    }
     auto ij = InstanceToJson(id);
-    if (ij.ok()) instances.Append(std::move(*ij));
+    if (!ij.ok()) continue;
+    if (published != nullptr) {
+      next_cache.emplace(id.value(),
+                         CachedInstanceJson{published->version, *ij});
+    }
+    instances.Append(std::move(*ij));
   }
+  // Swapping (not merging) also drops entries of evicted instances.
+  checkpoint_cache_ = std::move(next_cache);
   j.Set("instances", std::move(instances));
   return j;
 }
@@ -696,13 +738,40 @@ Status AdeptSystem::ApplyWalRecord(const JsonValue& record) {
     return SetLoopDecision(id, node, record.Get("iterate").as_bool());
   }
   if (type == "adhoc") {
-    ADEPT_ASSIGN_OR_RETURN(Delta bias, Delta::FromJson(record.Get("bias")));
-    // The logged bias is cumulative; rebuild the record's bias from scratch
-    // by clearing first (idempotent for single changes, correct for many).
     ProcessInstance* instance = engine_.Find(id);
     if (instance == nullptr) return Status::NotFound("no such instance");
+    if (record.Has("delta")) {
+      // Delta record: the ops this change appended, applied on top of the
+      // bias the replayed prefix already rebuilt — same pinning order as
+      // the original execution.
+      ADEPT_ASSIGN_OR_RETURN(Delta ops, Delta::FromJson(record.Get("delta")));
+      return adept::ApplyAdHocChange(*instance, store_, std::move(ops));
+    }
+    // Legacy full-state record: the logged bias is cumulative. When the
+    // record's prefix matches the bias the replayed prefix already
+    // rebuilt (the common case: each record repeats the previous ops and
+    // appends one change), apply only the tail — reconstructing the
+    // original incremental application exactly, trace details included.
+    ADEPT_ASSIGN_OR_RETURN(Delta bias, Delta::FromJson(record.Get("bias")));
     auto rec = store_.Get(id);
-    if (rec.ok() && (*rec)->biased()) {
+    const size_t have =
+        rec.ok() && (*rec)->biased() ? (*rec)->bias.size() : 0;
+    bool prefix_matches = have <= bias.size();
+    for (size_t i = 0; prefix_matches && i < have; ++i) {
+      prefix_matches = (*rec)->bias.ops()[i]->ToJson().Dump() ==
+                       bias.ops()[i]->ToJson().Dump();
+    }
+    if (prefix_matches && have > 0) {
+      Delta tail;
+      for (size_t i = have; i < bias.size(); ++i) {
+        tail.Add(bias.ops()[i]->Clone());
+      }
+      if (tail.empty()) return Status::OK();  // record fully rebuilt already
+      return adept::ApplyAdHocChange(*instance, store_, std::move(tail));
+    }
+    // Divergent prefix (a hand-edited or partially-compacted log):
+    // rebuild the record's bias from scratch by clearing first.
+    if (have > 0) {
       ADEPT_RETURN_IF_ERROR(
           store_.ClearBias(id, (*rec)->base_schema).status());
       instance->set_biased(false);

@@ -26,6 +26,7 @@
 
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "change/delta.h"
@@ -228,6 +229,15 @@ class AdeptSystem : public AdeptApi {
   // logged yet). Meaningful for durability waits under defer_wal_sync.
   uint64_t last_enqueued_lsn() const { return last_enqueued_lsn_; }
 
+  // Count of full instance-state serializations performed (checkpoints and
+  // exports). Checkpoints reuse the cached serialization of instances whose
+  // published version is unchanged since the previous SaveSnapshot, so
+  // back-to-back checkpoints of an idle system serialize nothing — the
+  // regression tests pin that with this counter.
+  uint64_t full_state_serializations() const {
+    return full_state_serializations_;
+  }
+
   // Blocks until every WAL record with an LSN <= `lsn` is durable per the
   // configured SyncMode. No-op without a WAL or for lsn 0.
   Status WaitWalDurable(uint64_t lsn);
@@ -292,6 +302,19 @@ class AdeptSystem : public AdeptApi {
   std::unique_ptr<WalWriter> wal_;
   uint64_t last_enqueued_lsn_ = 0;
   bool recovering_ = false;
+
+  // Checkpoint serialization cache: the instance JSON written by the last
+  // SaveSnapshot, keyed by instance id and fingerprinted by the published
+  // snapshot version (every facade mutation republishes, so an unchanged
+  // version means unchanged state — the same contract SnapshotOf serves
+  // readers under; direct substrate mutation bypasses both). In-memory
+  // only: a recovered system starts cold and re-serializes once.
+  struct CachedInstanceJson {
+    uint64_t version = 0;
+    JsonValue json;
+  };
+  mutable std::unordered_map<uint64_t, CachedInstanceJson> checkpoint_cache_;
+  mutable uint64_t full_state_serializations_ = 0;
 };
 
 }  // namespace adept

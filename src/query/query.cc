@@ -75,7 +75,12 @@ DataValue LiteralToDataValue(const Literal& literal) {
 Probe ClassifyConjunct(const Expr& conjunct) {
   Probe probe;
   probe.expr = &conjunct;
-  if (conjunct.kind == ExprKind::kNodeIn) {
+  if (conjunct.kind == ExprKind::kNodeIn ||
+      conjunct.kind == ExprKind::kActivatedSince) {
+    // activated_since probes the activated-node family: every match is
+    // activated in the named node, so the index candidates are a superset
+    // and full evaluation applies the sequence bound. (node_set defaults
+    // to kActivated on kActivatedSince exprs.)
     probe.kind = Probe::Kind::kNode;
     probe.priority = 2;
     return probe;

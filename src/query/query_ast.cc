@@ -222,9 +222,9 @@ FieldValue ExtractField(const InstanceSnapshot& snapshot, FieldKind field,
       if (snapshot.schema == nullptr) return MissingValue();
       DataId id = snapshot.schema->FindDataByName(name);
       if (!id.valid()) return MissingValue();
-      auto it = snapshot.data_values.find(id);
-      if (it == snapshot.data_values.end()) return MissingValue();
-      const DataValue& value = it->second;
+      const DataValue* found = snapshot.data_values.Find(id);
+      if (found == nullptr) return MissingValue();
+      const DataValue& value = *found;
       switch (value.type()) {
         case DataType::kBool:
           return BoolValue(value.as_bool());
@@ -332,14 +332,22 @@ bool CompareValues(const FieldValue& v, CompareOp op, const Literal& lit) {
 bool NodeSetContains(const InstanceSnapshot& snapshot, NodeSet set,
                      const std::string& name) {
   if (snapshot.schema == nullptr) return false;
-  const std::vector<NodeId>& nodes = set == NodeSet::kActivated
-                                         ? snapshot.activated_activities
-                                         : snapshot.running_activities;
-  for (NodeId id : nodes) {
+  const PersistentSet<NodeId>& nodes = set == NodeSet::kActivated
+                                           ? snapshot.activated_nodes
+                                           : snapshot.running_nodes;
+  // The activated set can hold non-activity residents (an XOR split
+  // waiting for its decision data); the query predicate keeps its
+  // pre-refactor meaning of "activity offered/being worked on".
+  bool found = false;
+  nodes.ForEach([&](NodeId id) {
+    if (found) return;
     const Node* node = snapshot.schema->FindNode(id);
-    if (node != nullptr && node->name == name) return true;
-  }
-  return false;
+    if (node != nullptr && node->type == NodeType::kActivity &&
+        node->name == name) {
+      found = true;
+    }
+  });
+  return found;
 }
 
 }  // namespace
@@ -364,10 +372,26 @@ bool Expr::Eval(const InstanceSnapshot& snapshot) const {
       return CompareValues(ExtractField(snapshot, field, name), op, literal);
     case ExprKind::kNodeIn:
       return NodeSetContains(snapshot, node_set, name);
+    case ExprKind::kActivatedSince: {
+      if (snapshot.schema == nullptr) return false;
+      if (literal.type != Literal::Type::kInt) return false;
+      bool found = false;
+      snapshot.activated_nodes.ForEach([&](NodeId id) {
+        if (found) return;
+        const Node* node = snapshot.schema->FindNode(id);
+        if (node == nullptr || node->type != NodeType::kActivity ||
+            node->name != name) {
+          return;
+        }
+        const int64_t* since = snapshot.activated_since.Find(id);
+        if (since != nullptr && *since <= literal.int_value) found = true;
+      });
+      return found;
+    }
     case ExprKind::kHasData: {
       if (snapshot.schema == nullptr) return false;
       DataId id = snapshot.schema->FindDataByName(name);
-      return id.valid() && snapshot.data_values.count(id) > 0;
+      return id.valid() && snapshot.data_values.Contains(id);
     }
     case ExprKind::kNot:
       return !children[0]->Eval(snapshot);
@@ -405,6 +429,13 @@ void Expr::AppendTo(std::string* out) const {
     case ExprKind::kNodeIn:
       *out += node_set == NodeSet::kActivated ? "activated(" : "running(";
       AppendQuoted(name, out);
+      *out += ')';
+      return;
+    case ExprKind::kActivatedSince:
+      *out += "activated_since(";
+      AppendQuoted(name, out);
+      *out += ", ";
+      literal.AppendTo(out);
       *out += ')';
       return;
     case ExprKind::kHasData:

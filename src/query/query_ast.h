@@ -78,7 +78,20 @@ int SnapshotStateRank(const InstanceSnapshot& snapshot);
 const char* StateRankName(int rank);
 int StateRankOfName(const std::string& name);  // -1 when unknown
 
-enum class ExprKind { kConst, kCompare, kNodeIn, kHasData, kNot, kAnd, kOr };
+enum class ExprKind {
+  kConst,
+  kCompare,
+  kNodeIn,
+  // activated_since("node", k): the named node is currently Activated and
+  // last entered that state at trace sequence <= k. Combined with
+  // trace_next_sequence this answers "blocked in activity X since logical
+  // time k" without any wall-clock in the snapshot.
+  kActivatedSince,
+  kHasData,
+  kNot,
+  kAnd,
+  kOr,
+};
 
 struct Expr {
   ExprKind kind = ExprKind::kConst;
@@ -88,8 +101,9 @@ struct Expr {
   FieldKind field = FieldKind::kId;
   CompareOp op = CompareOp::kEq;
   Literal literal;
-  // kCompare(kData): data-element name; kNodeIn / kHasData: node resp.
-  // data-element name.
+  // kCompare(kData): data-element name; kNodeIn / kActivatedSince /
+  // kHasData: node resp. data-element name. kActivatedSince also uses
+  // `literal` (int) as the sequence threshold.
   std::string name;
   // kNodeIn:
   NodeSet node_set = NodeSet::kActivated;

@@ -10,20 +10,35 @@ namespace adept {
 
 namespace {
 
+const PersistentSet<NodeId>& NodeSetOf(const InstanceSnapshot& snapshot,
+                                       query::NodeSet set) {
+  return set == query::NodeSet::kActivated ? snapshot.activated_nodes
+                                           : snapshot.running_nodes;
+}
+
+// Index key of a node in `snapshot`'s set: its activity name. Non-activity
+// residents of the activated set (an XOR split awaiting its decision) and
+// unnamed nodes are not indexed — matching the predicate's semantics.
+const std::string* IndexedNodeName(const InstanceSnapshot& snapshot,
+                                   NodeId id) {
+  const Node* node = snapshot.schema->FindNode(id);
+  if (node == nullptr || node->type != NodeType::kActivity ||
+      node->name.empty()) {
+    return nullptr;
+  }
+  return &node->name;
+}
+
 // Activity names in `set`, resolved through the snapshot's own schema (a
 // migrated instance's node ids mean nothing outside its schema version).
 std::vector<std::string> NodeNames(const InstanceSnapshot& snapshot,
                                    query::NodeSet set) {
   std::vector<std::string> names;
   if (snapshot.schema == nullptr) return names;
-  const std::vector<NodeId>& nodes = set == query::NodeSet::kActivated
-                                         ? snapshot.activated_activities
-                                         : snapshot.running_activities;
-  names.reserve(nodes.size());
-  for (NodeId id : nodes) {
-    const Node* node = snapshot.schema->FindNode(id);
-    if (node != nullptr && !node->name.empty()) names.push_back(node->name);
-  }
+  NodeSetOf(snapshot, set).ForEach([&](NodeId id) {
+    const std::string* name = IndexedNodeName(snapshot, id);
+    if (name != nullptr) names.push_back(*name);
+  });
   return names;
 }
 
@@ -33,11 +48,11 @@ std::vector<std::pair<std::string, std::string>> DataKeys(
   std::vector<std::pair<std::string, std::string>> keys;
   if (snapshot.schema == nullptr) return keys;
   keys.reserve(snapshot.data_values.size());
-  for (const auto& [id, value] : snapshot.data_values) {
+  snapshot.data_values.ForEach([&](DataId id, const DataValue& value) {
     const DataElement* element = snapshot.schema->FindData(id);
-    if (element == nullptr || element->name.empty()) continue;
+    if (element == nullptr || element->name.empty()) return;
     keys.emplace_back(element->name, QueryIndex::EncodeDataKey(value));
-  }
+  });
   return keys;
 }
 
@@ -119,33 +134,7 @@ void QueryIndex::ApplyDelta(const InstanceSnapshot* before,
   UpdateNodeFamily(running_, id, before, after, query::NodeSet::kRunning);
 
   // Data family.
-  {
-    std::vector<std::pair<std::string, std::string>> before_keys =
-        before != nullptr
-            ? DataKeys(*before)
-            : std::vector<std::pair<std::string, std::string>>{};
-    std::vector<std::pair<std::string, std::string>> after_keys =
-        after != nullptr
-            ? DataKeys(*after)
-            : std::vector<std::pair<std::string, std::string>>{};
-    std::sort(before_keys.begin(), before_keys.end());
-    std::sort(after_keys.begin(), after_keys.end());
-    if (before_keys != after_keys) {
-      std::lock_guard<std::mutex> lock(data_.mu);
-      for (const auto& [field, key] : before_keys) {
-        auto field_it = data_.map.find(field);
-        if (field_it == data_.map.end()) continue;
-        auto key_it = field_it->second.find(key);
-        if (key_it == field_it->second.end()) continue;
-        key_it->second.erase(id);
-        if (key_it->second.empty()) field_it->second.erase(key_it);
-        if (field_it->second.empty()) data_.map.erase(field_it);
-      }
-      for (const auto& [field, key] : after_keys) {
-        data_.map[field][key].insert(id);
-      }
-    }
-  }
+  UpdateDataFamily(id, before, after);
 
   // Version family (every publication bumps the version, so this is the
   // one family that moves on every delta — one ordered-map erase+insert).
@@ -168,6 +157,49 @@ void QueryIndex::UpdateNodeFamily(NodeFamily& family, uint64_t id,
                                   const InstanceSnapshot* before,
                                   const InstanceSnapshot* after,
                                   query::NodeSet set) {
+  // Fast path for the common publication: both snapshots resolve names
+  // through the same schema, so the structural diff of the persistent set
+  // is exactly the set of names that moved. Shared subtrees are skipped —
+  // cost is O(changed nodes) per publication, not O(set width).
+  if (before != nullptr && after != nullptr &&
+      before->schema == after->schema && before->schema != nullptr) {
+    const PersistentSet<NodeId>& b = NodeSetOf(*before, set);
+    const PersistentSet<NodeId>& a = NodeSetOf(*after, set);
+    if (b.SameRoot(a)) return;
+    std::vector<std::string> added;
+    std::vector<std::string> removed;
+    b.DiffTo(a, [&](NodeId node, bool is_add) {
+      const std::string* name = IndexedNodeName(*after, node);
+      if (name == nullptr) return;
+      (is_add ? added : removed).push_back(*name);
+    });
+    // A removed node's name may survive via another same-named node still
+    // in the set; dropping it would make the index miss candidates. Keep
+    // any removed name that `after` still contains.
+    if (!removed.empty()) {
+      a.ForEach([&](NodeId node) {
+        const std::string* name = IndexedNodeName(*after, node);
+        if (name == nullptr) return;
+        removed.erase(std::remove(removed.begin(), removed.end(), *name),
+                      removed.end());
+      });
+    }
+    if (added.empty() && removed.empty()) return;
+    std::lock_guard<std::mutex> lock(family.mu);
+    for (const std::string& name : removed) {
+      auto it = family.map.find(name);
+      if (it == family.map.end()) continue;
+      it->second.erase(id);
+      if (it->second.empty()) family.map.erase(it);
+    }
+    for (const std::string& name : added) {
+      family.map[name].insert(id);
+    }
+    return;
+  }
+
+  // Slow path (create, evict, migration/evolution): names re-resolve
+  // against a different schema, so compare full name sets.
   std::vector<std::string> before_names =
       before != nullptr ? NodeNames(*before, set) : std::vector<std::string>{};
   std::vector<std::string> after_names =
@@ -184,6 +216,64 @@ void QueryIndex::UpdateNodeFamily(NodeFamily& family, uint64_t id,
   }
   for (const std::string& name : after_names) {
     family.map[name].insert(id);
+  }
+}
+
+void QueryIndex::UpdateDataFamily(uint64_t id, const InstanceSnapshot* before,
+                                  const InstanceSnapshot* after) {
+  using Key = std::pair<std::string, std::string>;
+  std::vector<Key> added;
+  std::vector<Key> removed;
+  if (before != nullptr && after != nullptr &&
+      before->schema == after->schema && before->schema != nullptr) {
+    // Same-schema publication: structurally diff the value tips. Only
+    // elements whose latest value changed are visited.
+    if (before->data_values.SameRoot(after->data_values)) return;
+    before->data_values.DiffTo(
+        after->data_values,
+        [&](DataId data, const DataValue* b, const DataValue* a) {
+          const DataElement* element = after->schema->FindData(data);
+          if (element == nullptr || element->name.empty()) return;
+          if (b != nullptr) removed.emplace_back(element->name,
+                                                 EncodeDataKey(*b));
+          if (a != nullptr) added.emplace_back(element->name,
+                                               EncodeDataKey(*a));
+        });
+    // Duplicate element names: keep a removed (field, key) pair that some
+    // other element of `after` still produces.
+    if (!removed.empty()) {
+      after->data_values.ForEach([&](DataId data, const DataValue& value) {
+        const DataElement* element = after->schema->FindData(data);
+        if (element == nullptr || element->name.empty()) return;
+        const Key live(element->name, EncodeDataKey(value));
+        removed.erase(std::remove(removed.begin(), removed.end(), live),
+                      removed.end());
+      });
+    }
+  } else {
+    std::vector<Key> before_keys =
+        before != nullptr ? DataKeys(*before) : std::vector<Key>{};
+    std::vector<Key> after_keys =
+        after != nullptr ? DataKeys(*after) : std::vector<Key>{};
+    std::sort(before_keys.begin(), before_keys.end());
+    std::sort(after_keys.begin(), after_keys.end());
+    if (before_keys == after_keys) return;
+    removed = std::move(before_keys);
+    added = std::move(after_keys);
+  }
+  if (added.empty() && removed.empty()) return;
+  std::lock_guard<std::mutex> lock(data_.mu);
+  for (const auto& [field, key] : removed) {
+    auto field_it = data_.map.find(field);
+    if (field_it == data_.map.end()) continue;
+    auto key_it = field_it->second.find(key);
+    if (key_it == field_it->second.end()) continue;
+    key_it->second.erase(id);
+    if (key_it->second.empty()) field_it->second.erase(key_it);
+    if (field_it->second.empty()) data_.map.erase(field_it);
+  }
+  for (const auto& [field, key] : added) {
+    data_.map[field][key].insert(id);
   }
 }
 

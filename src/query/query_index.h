@@ -117,6 +117,8 @@ class QueryIndex {
   void UpdateNodeFamily(NodeFamily& family, uint64_t id,
                         const InstanceSnapshot* before,
                         const InstanceSnapshot* after, query::NodeSet set);
+  void UpdateDataFamily(uint64_t id, const InstanceSnapshot* before,
+                        const InstanceSnapshot* after);
 
   SchemaFamily schema_;
   StateFamily state_;

@@ -84,6 +84,9 @@ Result<std::vector<Token>> Lex(const std::string& text) {
       case '.':
         token.kind = TokenKind::kDot;
         break;
+      case ',':
+        token.kind = TokenKind::kComma;
+        break;
       default:
         token.kind = TokenKind::kEnd;  // not a single-char operator
         break;

@@ -39,6 +39,7 @@ enum class TokenKind {
   kLParen,      // (
   kRParen,      // )
   kDot,         // .
+  kComma,       // ,  (argument separator in two-arg calls)
   kEnd,         // end of input (always the last token)
 };
 

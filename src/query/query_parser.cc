@@ -78,6 +78,7 @@ class Parser {
   }
 
   // 'activated' / 'running' / 'has': one quoted-string argument.
+  // 'activated_since': a quoted name plus an integer sequence threshold.
   Result<std::unique_ptr<Expr>> ParseCall(const Token& name) {
     if (!Accept(TokenKind::kLParen)) {
       return Error(Peek().offset,
@@ -88,18 +89,31 @@ class Parser {
                    "expected a quoted name in '" + name.text + "(...)'");
     }
     const Token& arg = Next();
-    if (!Accept(TokenKind::kRParen)) {
-      return Error(Peek().offset, "expected ')'");
-    }
     auto node = std::make_unique<Expr>();
     node->offset = name.offset;
     node->name = arg.text;
-    if (name.text == "has") {
+    if (name.text == "activated_since") {
+      if (!Accept(TokenKind::kComma)) {
+        return Error(Peek().offset,
+                     "expected ',' and a sequence bound in "
+                     "'activated_since(\"name\", k)'");
+      }
+      if (Peek().kind != TokenKind::kInt) {
+        return Error(Peek().offset,
+                     "expected an integer sequence bound in "
+                     "'activated_since(\"name\", k)'");
+      }
+      node->kind = ExprKind::kActivatedSince;
+      node->literal = Literal::Int(Next().int_value);
+    } else if (name.text == "has") {
       node->kind = ExprKind::kHasData;
     } else {
       node->kind = ExprKind::kNodeIn;
       node->node_set =
           name.text == "activated" ? NodeSet::kActivated : NodeSet::kRunning;
+    }
+    if (!Accept(TokenKind::kRParen)) {
+      return Error(Peek().offset, "expected ')'");
     }
     return std::unique_ptr<Expr>(std::move(node));
   }
@@ -235,7 +249,7 @@ class Parser {
       return std::unique_ptr<Expr>(std::move(node));
     }
     if (head.text == "activated" || head.text == "running" ||
-        head.text == "has") {
+        head.text == "has" || head.text == "activated_since") {
       return ParseCall(head);
     }
     if (head.text == "data") {

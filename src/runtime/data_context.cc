@@ -4,40 +4,64 @@
 
 namespace adept {
 
-namespace {
-const std::vector<DataContext::Version>& EmptyHistory() {
-  static const std::vector<DataContext::Version> kEmpty;
-  return kEmpty;
-}
-}  // namespace
-
 void DataContext::Write(DataId data, DataValue value, NodeId writer,
                         int64_t sequence) {
-  elements_[data].push_back(Version{std::move(value), writer, sequence});
+  const HistoryPtr* head = elements_.Find(data);
+  auto node = std::make_shared<VersionNode>();
+  node->version = Version{value, writer, sequence};
+  if (head != nullptr) {
+    node->prev = *head;
+    node->length = (*head)->length + 1;
+  } else {
+    node->length = 1;
+  }
+  elements_.Set(data, std::move(node));
+  tips_.Set(data, std::move(value));
 }
 
 Result<DataValue> DataContext::Read(DataId data) const {
-  auto it = elements_.find(data);
-  if (it == elements_.end() || it->second.empty()) {
-    return Status::NotFound("data element has no value");
+  const DataValue* tip = tips_.Find(data);
+  if (tip == nullptr) return Status::NotFound("data element has no value");
+  return *tip;
+}
+
+bool DataContext::HasValue(DataId data) const { return tips_.Contains(data); }
+
+std::vector<DataContext::Version> DataContext::History(DataId data) const {
+  const HistoryPtr* head = elements_.Find(data);
+  return head == nullptr ? std::vector<Version>() : Materialize(*head);
+}
+
+std::vector<DataContext::Version> DataContext::Materialize(
+    const HistoryPtr& head) {
+  std::vector<Version> out;
+  if (head == nullptr) return out;
+  out.resize(head->length);
+  size_t i = head->length;
+  for (const VersionNode* node = head.get(); node != nullptr;
+       node = node->prev.get()) {
+    out[--i] = node->version;
   }
-  return it->second.back().value;
-}
-
-bool DataContext::HasValue(DataId data) const {
-  auto it = elements_.find(data);
-  return it != elements_.end() && !it->second.empty();
-}
-
-const std::vector<DataContext::Version>& DataContext::History(
-    DataId data) const {
-  auto it = elements_.find(data);
-  return it == elements_.end() ? EmptyHistory() : it->second;
+  return out;
 }
 
 size_t DataContext::DropVersionsBy(NodeId writer) {
   size_t dropped = 0;
-  for (auto& [_, versions] : elements_) {
+  // Collect first: mutating a persistent map invalidates value pointers
+  // handed out during its own iteration.
+  std::vector<std::pair<DataId, std::vector<Version>>> rebuilt;
+  std::vector<DataId> gone;
+  elements_.ForEach([&](DataId id, const HistoryPtr& head) {
+    bool any = false;
+    for (const VersionNode* node = head.get(); node != nullptr;
+         node = node->prev.get()) {
+      if (node->version.writer == writer) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) return;
+    std::vector<Version> versions = Materialize(head);
     size_t before = versions.size();
     versions.erase(std::remove_if(versions.begin(), versions.end(),
                                   [&](const Version& v) {
@@ -45,19 +69,45 @@ size_t DataContext::DropVersionsBy(NodeId writer) {
                                   }),
                    versions.end());
     dropped += before - versions.size();
+    if (versions.empty()) {
+      gone.push_back(id);
+    } else {
+      rebuilt.emplace_back(id, std::move(versions));
+    }
+  });
+  for (DataId id : gone) {
+    elements_.Erase(id);
+    tips_.Erase(id);
+  }
+  for (auto& [id, versions] : rebuilt) {
+    HistoryPtr head;
+    for (Version& v : versions) {
+      auto node = std::make_shared<VersionNode>();
+      node->length = head == nullptr ? 1 : head->length + 1;
+      node->version = std::move(v);
+      node->prev = std::move(head);
+      head = std::move(node);
+    }
+    tips_.Set(id, head->version.value);
+    elements_.Set(id, std::move(head));
   }
   return dropped;
 }
 
-void DataContext::DropElement(DataId data) { elements_.erase(data); }
+void DataContext::DropElement(DataId data) {
+  elements_.Erase(data);
+  tips_.Erase(data);
+}
 
 size_t DataContext::MemoryFootprint() const {
-  size_t bytes = sizeof(*this);
-  for (const auto& [_, versions] : elements_) {
-    bytes += 48;  // hash node overhead
-    bytes += versions.capacity() * sizeof(Version);
-    for (const auto& v : versions) bytes += v.value.as_string().capacity();
-  }
+  size_t bytes = sizeof(*this) + elements_.MemoryFootprint() +
+                 tips_.MemoryFootprint();
+  elements_.ForEach([&](DataId, const HistoryPtr& head) {
+    for (const VersionNode* node = head.get(); node != nullptr;
+         node = node->prev.get()) {
+      bytes += sizeof(VersionNode) + node->version.value.as_string().capacity();
+    }
+  });
   return bytes;
 }
 

@@ -34,6 +34,18 @@ void ProcessInstance::SetNodeState(NodeId node, NodeState state) {
   NodeState old = marking_.node(node);
   if (old == state) return;
   marking_.set_node(node, state);
+  // Activation stamps: set on entering kActivated, kept while the node is
+  // in flight (Running/Suspended/Failed), dropped when its run is over or
+  // reset. The stamp is the logical time (trace sequence) of activation.
+  if (state == NodeState::kActivated) {
+    if (old == NodeState::kNotActivated || old == NodeState::kCompleted ||
+        old == NodeState::kSkipped) {
+      activated_since_.Set(node, trace_.next_sequence());
+    }
+  } else if (state == NodeState::kNotActivated ||
+             state == NodeState::kCompleted || state == NodeState::kSkipped) {
+    activated_since_.Erase(node);
+  }
   if (observer_ != nullptr) {
     observer_->OnNodeStateChange(*this, node, old, state);
   }
@@ -238,7 +250,9 @@ Status ProcessInstance::HandleLoopEnd(const Node& node) {
   }
   NodeId loop_start = tree->block(loop_block).entry;
   std::vector<NodeId> region = tree->NodesIn(loop_block);
-  int iteration = ++loop_iterations_[loop_start];
+  const int* prior = loop_iterations_.Find(loop_start);
+  int iteration = (prior == nullptr ? 0 : *prior) + 1;
+  loop_iterations_.Set(loop_start, iteration);
   trace_.Append({.kind = TraceEventKind::kLoopReset,
                  .node = loop_start,
                  .iteration = iteration,
@@ -348,7 +362,9 @@ Status ProcessInstance::CompleteActivity(NodeId node_id,
 
   SetNodeState(node_id, NodeState::kCompleted);
   trace_.Append({.kind = TraceEventKind::kActivityCompleted, .node = node_id});
-  ++completed_runs_[node_id];
+  const uint64_t* runs = completed_runs_.Find(node_id);
+  completed_runs_.Set(node_id, (runs == nullptr ? 0 : *runs) + 1);
+  ++completed_total_;
   ADEPT_RETURN_IF_ERROR(SignalCompletion(*node));
   return Propagate();
 }
@@ -418,33 +434,37 @@ bool ProcessInstance::Finished() const {
 }
 
 std::vector<NodeId> ProcessInstance::ActivatedActivities() const {
+  // The marking maintains the activated set as a derived index; filter
+  // out the occasional non-activity resident (an XOR split awaiting its
+  // decision data sits in kActivated too).
   std::vector<NodeId> out;
-  schema_->VisitNodes([&](const Node& n) {
-    if (n.type == NodeType::kActivity &&
-        marking_.node(n.id) == NodeState::kActivated) {
-      out.push_back(n.id);
+  marking_.activated().ForEach([&](NodeId id) {
+    const Node* node = schema_->FindNode(id);
+    if (node != nullptr && node->type == NodeType::kActivity) {
+      out.push_back(id);
     }
   });
+  std::sort(out.begin(), out.end());
   return out;
 }
 
 std::vector<NodeId> ProcessInstance::RunningActivities() const {
+  // Only activities ever reach kRunning, so no filtering is needed.
   std::vector<NodeId> out;
-  schema_->VisitNodes([&](const Node& n) {
-    if (n.type == NodeType::kActivity &&
-        marking_.node(n.id) == NodeState::kRunning) {
-      out.push_back(n.id);
-    }
-  });
+  marking_.running().ForEach([&](NodeId id) { out.push_back(id); });
+  std::sort(out.begin(), out.end());
   return out;
 }
 
 int ProcessInstance::loop_iteration(NodeId loop_start) const {
-  auto it = loop_iterations_.find(loop_start);
-  return it == loop_iterations_.end() ? 0 : it->second;
+  const int* count = loop_iterations_.Find(loop_start);
+  return count == nullptr ? 0 : *count;
 }
 
 std::shared_ptr<InstanceSnapshot> ProcessInstance::BuildSnapshot() const {
+  // Every container assignment below is an O(1) root copy that pins the
+  // current tries; the instance's next mutation path-copies away from
+  // them. Publication cost is therefore independent of instance size.
   auto snapshot = std::make_shared<InstanceSnapshot>();
   snapshot->id = id_;
   snapshot->schema = schema_;
@@ -453,18 +473,13 @@ std::shared_ptr<InstanceSnapshot> ProcessInstance::BuildSnapshot() const {
   snapshot->started = started_;
   snapshot->finished = Finished();
   snapshot->marking = marking_;
-  snapshot->activated_activities = ActivatedActivities();
-  snapshot->running_activities = RunningActivities();
+  snapshot->activated_nodes = marking_.activated();
+  snapshot->running_nodes = marking_.running();
+  snapshot->activated_since = activated_since_;
   snapshot->completed_runs = completed_runs_;
-  for (const auto& [_, runs] : completed_runs_) {
-    snapshot->completed_total += runs;
-  }
+  snapshot->completed_total = completed_total_;
   snapshot->loop_iterations = loop_iterations_;
-  for (const auto& [data, versions] : data_.elements()) {
-    if (!versions.empty()) {
-      snapshot->data_values.emplace(data, versions.back().value);
-    }
-  }
+  snapshot->data_values = data_.tips();
   snapshot->trace_length = static_cast<int64_t>(trace_.events().size());
   snapshot->trace_next_sequence = trace_.next_sequence();
   return snapshot;
@@ -479,7 +494,8 @@ size_t ProcessInstance::MemoryFootprint() const {
 
 void ProcessInstance::RestoreState(
     Marking marking, ExecutionTrace trace, DataContext data,
-    std::unordered_map<NodeId, int> loop_iterations, bool started) {
+    PersistentMap<NodeId, int> loop_iterations, bool started,
+    PersistentMap<NodeId, int64_t> activated_since) {
   marking_ = std::move(marking);
   trace_ = std::move(trace);
   data_ = std::move(data);
@@ -488,12 +504,28 @@ void ProcessInstance::RestoreState(
   finished_notified_ = Finished();
   // Re-derive the per-node completion counters from the restored trace
   // (covers snapshot recovery and migration's bias-cancellation remap).
-  completed_runs_.clear();
+  completed_runs_.Clear();
+  completed_total_ = 0;
   for (const TraceEvent& event : trace_.events()) {
     if (event.kind == TraceEventKind::kActivityCompleted &&
         event.node.valid()) {
-      ++completed_runs_[event.node];
+      const uint64_t* runs = completed_runs_.Find(event.node);
+      completed_runs_.Set(event.node, (runs == nullptr ? 0 : *runs) + 1);
+      ++completed_total_;
     }
+  }
+  // Activation stamps: take the restored map when present, otherwise
+  // (pre-refactor snapshots/WALs) stamp every in-flight node with the
+  // trace's next sequence — deterministic, and an upper bound on the true
+  // activation time.
+  activated_since_ = std::move(activated_since);
+  if (activated_since_.empty()) {
+    marking_.node_states().ForEach([&](NodeId node, NodeState state) {
+      if (state == NodeState::kActivated || state == NodeState::kRunning ||
+          state == NodeState::kSuspended || state == NodeState::kFailed) {
+        activated_since_.Set(node, trace_.next_sequence());
+      }
+    });
   }
 }
 
@@ -525,7 +557,7 @@ Status ProcessInstance::ReevaluateMarkings() {
       dead_loops.push_back(loop_start);
     }
   }
-  for (NodeId n : dead_loops) loop_iterations_.erase(n);
+  for (NodeId n : dead_loops) loop_iterations_.Erase(n);
 
   // 2. Soft-reset: Activated and Skipped node states are derivable.
   std::vector<NodeId> soft;

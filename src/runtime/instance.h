@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "common/ids.h"
+#include "common/persistent_map.h"
 #include "common/status.h"
 #include "model/block_tree.h"
 #include "model/schema_view.h"
@@ -115,15 +116,24 @@ class ProcessInstance {
   // events, maintained incrementally (and re-derived on RestoreState) so
   // the worklist can stamp activation epochs in O(1).
   uint64_t completed_runs(NodeId node) const {
-    auto it = completed_runs_.find(node);
-    return it == completed_runs_.end() ? 0 : it->second;
+    const uint64_t* runs = completed_runs_.Find(node);
+    return runs == nullptr ? 0 : *runs;
   }
+
+  // Trace sequence at which `node` last entered kActivated; entries are
+  // kept while the node stays in flight (Activated/Running/Suspended/
+  // Failed) and dropped when it completes, is skipped, or resets.
+  const PersistentMap<NodeId, int64_t>& activated_since() const {
+    return activated_since_;
+  }
+
   // Builds an immutable, internally consistent read snapshot of the
   // current state (see runtime/instance_snapshot.h). Must run while the
   // instance cannot be concurrently mutated — the owning facade calls it
   // at the end of every mutating operation, under the same lock — and is
-  // O(live state): the trace is summarized, not copied. The returned
-  // object is safe to read from any thread, forever.
+  // O(delta): every container field is a structural share (root copy) of
+  // the live persistent state, so cost does not grow with instance size.
+  // The returned object is safe to read from any thread, forever.
   std::shared_ptr<InstanceSnapshot> BuildSnapshot() const;
 
   size_t MemoryFootprint() const;
@@ -148,10 +158,13 @@ class ProcessInstance {
 
   // Recovery support: overwrites the runtime state wholesale (snapshot
   // load). The caller must pass state consistent with the current schema.
+  // `activated_since` may be empty (pre-refactor records): in-flight
+  // nodes are then stamped with the restored trace's next sequence — a
+  // deterministic upper bound.
   void RestoreState(Marking marking, ExecutionTrace trace, DataContext data,
-                    std::unordered_map<NodeId, int> loop_iterations,
-                    bool started);
-  const std::unordered_map<NodeId, int>& loop_iterations() const {
+                    PersistentMap<NodeId, int> loop_iterations, bool started,
+                    PersistentMap<NodeId, int64_t> activated_since = {});
+  const PersistentMap<NodeId, int>& loop_iterations() const {
     return loop_iterations_;
   }
   bool started() const { return started_; }
@@ -181,8 +194,10 @@ class ProcessInstance {
   Marking marking_;
   ExecutionTrace trace_;
   DataContext data_;
-  std::unordered_map<NodeId, int> loop_iterations_;  // keyed by loop start
-  std::unordered_map<NodeId, uint64_t> completed_runs_;
+  PersistentMap<NodeId, int> loop_iterations_;  // keyed by loop start
+  PersistentMap<NodeId, uint64_t> completed_runs_;
+  uint64_t completed_total_ = 0;  // running sum of completed_runs_
+  PersistentMap<NodeId, int64_t> activated_since_;
   std::unordered_map<NodeId, int> selected_branch_;  // one-shot overrides
   std::unordered_map<NodeId, bool> loop_decision_;   // one-shot overrides
 

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "common/ids.h"
+#include "common/persistent_map.h"
 #include "model/schema_view.h"
 #include "runtime/data_value.h"
 #include "runtime/marking.h"
@@ -57,26 +58,40 @@ struct InstanceSnapshot {
   // monotonicity.
   uint64_t version = 0;
 
-  // Full node/edge marking (a small copy: only non-default states are
-  // stored).
+  // Full node/edge marking. An O(1) structural share of the live
+  // instance's marking at publication time: the snapshot pins the trie
+  // roots, later mutations path-copy away from them (see
+  // common/persistent_map.h). Only non-default states are stored.
   Marking marking;
-  // Activity nodes currently Activated resp. Running — redundant with
-  // `marking` by construction, which is what makes a torn snapshot
-  // detectable: every listed node must carry the matching marking state.
-  std::vector<NodeId> activated_activities;
-  std::vector<NodeId> running_activities;
+  // Nodes currently Activated resp. Running — redundant with `marking` by
+  // construction (they are the marking's derived indexes, shared by
+  // root), which is what makes a torn snapshot detectable: every listed
+  // node must carry the matching marking state. `activated_nodes` can
+  // include non-activity nodes (an XOR split waiting for its decision
+  // data); `running_nodes` only ever holds activities. Consumers that
+  // want activities filter by node type through `schema`.
+  PersistentSet<NodeId> activated_nodes;
+  PersistentSet<NodeId> running_nodes;
+
+  // Logical activation stamps: trace sequence at which each node in
+  // `activated_nodes` (or still Running/Suspended/Failed after
+  // activating) last entered kActivated. No wall-clock — callers compare
+  // against trace_next_sequence to ask "activated since sequence k and
+  // still not done" (the query predicate activated_since("n", k)).
+  PersistentMap<NodeId, int64_t> activated_since;
 
   // Completed runs per node (the worklist's activation-epoch source) and
   // their sum — again deliberately redundant for consistency checking.
-  std::unordered_map<NodeId, uint64_t> completed_runs;
+  PersistentMap<NodeId, uint64_t> completed_runs;
   uint64_t completed_total = 0;
 
   // Completed iterations per loop start.
-  std::unordered_map<NodeId, int> loop_iterations;
+  PersistentMap<NodeId, int> loop_iterations;
 
   // Latest value of every written data element (history stays behind the
-  // mutating path; monitoring wants current values).
-  std::unordered_map<DataId, DataValue> data_values;
+  // mutating path; monitoring wants current values). Shared by root with
+  // the live DataContext's tips map.
+  PersistentMap<DataId, DataValue> data_values;
 
   // Trace summary: event count and the next sequence number. The full
   // trace is deliberately not copied — snapshot publication must stay

@@ -12,14 +12,21 @@
 // sources are *soft* states the engine can re-derive — the distinction is
 // what makes marking re-evaluation after dynamic changes safe (see
 // ProcessInstance::ReevaluateMarkings).
+//
+// Storage is persistent (structurally shared): copying a Marking is O(1)
+// and shares the underlying tries with the original, which is what lets
+// snapshot publication ref-bump instead of deep-copy. The marking also
+// maintains the sets of currently Activated resp. Running nodes as
+// derived persistent indexes — every mutation path goes through
+// set_node/erase_node, so the sets can never drift from the map.
 
 #ifndef ADEPT_RUNTIME_MARKING_H_
 #define ADEPT_RUNTIME_MARKING_H_
 
 #include <string>
-#include <unordered_map>
 
 #include "common/ids.h"
+#include "common/persistent_map.h"
 
 namespace adept {
 
@@ -47,57 +54,79 @@ bool IsHardNodeState(NodeState s);
 // True when the node's work is over (Completed or Skipped).
 bool IsFinalNodeState(NodeState s);
 
-// A copyable value type: compliance checks run "what if" analyses on copies.
+// A copyable value type: compliance checks run "what if" analyses on
+// copies, and every published InstanceSnapshot holds one. Copies are O(1)
+// and immutable-under-sharing (see common/persistent_map.h).
 class Marking {
  public:
   NodeState node(NodeId id) const {
-    auto it = node_states_.find(id);
-    return it == node_states_.end() ? NodeState::kNotActivated : it->second;
+    const NodeState* s = node_states_.Find(id);
+    return s == nullptr ? NodeState::kNotActivated : *s;
   }
   EdgeState edge(EdgeId id) const {
-    auto it = edge_states_.find(id);
-    return it == edge_states_.end() ? EdgeState::kNotSignaled : it->second;
+    const EdgeState* s = edge_states_.Find(id);
+    return s == nullptr ? EdgeState::kNotSignaled : *s;
   }
 
   void set_node(NodeId id, NodeState s) {
     if (s == NodeState::kNotActivated) {
-      node_states_.erase(id);
+      node_states_.Erase(id);
     } else {
-      node_states_[id] = s;
+      node_states_.Set(id, s);
+    }
+    if (s == NodeState::kActivated) {
+      activated_.Insert(id);
+    } else {
+      activated_.Erase(id);
+    }
+    if (s == NodeState::kRunning) {
+      running_.Insert(id);
+    } else {
+      running_.Erase(id);
     }
   }
   void set_edge(EdgeId id, EdgeState s) {
     if (s == EdgeState::kNotSignaled) {
-      edge_states_.erase(id);
+      edge_states_.Erase(id);
     } else {
-      edge_states_[id] = s;
+      edge_states_.Set(id, s);
     }
   }
 
-  void erase_node(NodeId id) { node_states_.erase(id); }
-  void erase_edge(EdgeId id) { edge_states_.erase(id); }
+  void erase_node(NodeId id) { set_node(id, NodeState::kNotActivated); }
+  void erase_edge(EdgeId id) { edge_states_.Erase(id); }
 
   // Only non-default entries are stored; iteration yields those.
-  const std::unordered_map<NodeId, NodeState>& node_states() const {
+  const PersistentMap<NodeId, NodeState>& node_states() const {
     return node_states_;
   }
-  const std::unordered_map<EdgeId, EdgeState>& edge_states() const {
+  const PersistentMap<EdgeId, EdgeState>& edge_states() const {
     return edge_states_;
   }
 
+  // Derived indexes: all nodes currently in state kActivated resp.
+  // kRunning (any node type — an XOR split awaiting its decision sits in
+  // `activated` too; only activities ever reach kRunning).
+  const PersistentSet<NodeId>& activated() const { return activated_; }
+  const PersistentSet<NodeId>& running() const { return running_; }
+
   size_t MemoryFootprint() const {
-    return sizeof(*this) +
-           node_states_.size() * (sizeof(NodeId) + sizeof(NodeState) + 16) +
-           edge_states_.size() * (sizeof(EdgeId) + sizeof(EdgeState) + 16);
+    return sizeof(*this) + node_states_.MemoryFootprint() +
+           edge_states_.MemoryFootprint() + activated_.MemoryFootprint() +
+           running_.MemoryFootprint();
   }
 
+  // The derived sets are a function of node_states_, so they are
+  // deliberately not compared.
   bool operator==(const Marking& o) const {
     return node_states_ == o.node_states_ && edge_states_ == o.edge_states_;
   }
 
  private:
-  std::unordered_map<NodeId, NodeState> node_states_;
-  std::unordered_map<EdgeId, EdgeState> edge_states_;
+  PersistentMap<NodeId, NodeState> node_states_;
+  PersistentMap<EdgeId, EdgeState> edge_states_;
+  PersistentSet<NodeId> activated_;
+  PersistentSet<NodeId> running_;
 };
 
 }  // namespace adept

@@ -152,6 +152,19 @@ JsonValue InstanceStateToJson(const ProcessInstance& instance) {
     loops.Append(std::move(lj));
   }
   j.Set("loops", std::move(loops));
+  // Logical activation stamps (absent in pre-refactor records; restore
+  // defaults them deterministically).
+  JsonValue asince = JsonValue::MakeArray();
+  std::vector<std::pair<NodeId, int64_t>> stamp_entries(
+      instance.activated_since().begin(), instance.activated_since().end());
+  std::sort(stamp_entries.begin(), stamp_entries.end());
+  for (const auto& [node, seq] : stamp_entries) {
+    JsonValue sj = JsonValue::MakeObject();
+    sj.Set("n", JsonValue(node.value()));
+    sj.Set("q", JsonValue(seq));
+    asince.Append(std::move(sj));
+  }
+  j.Set("asince", std::move(asince));
   return j;
 }
 
@@ -162,13 +175,21 @@ Status RestoreInstanceState(ProcessInstance& instance, const JsonValue& json) {
                          TraceFromJson(json.Get("trace")));
   ADEPT_ASSIGN_OR_RETURN(DataContext data,
                          DataContextFromJson(json.Get("data")));
-  std::unordered_map<NodeId, int> loops;
+  PersistentMap<NodeId, int> loops;
   for (const JsonValue& lj : json.Get("loops").as_array()) {
-    loops[NodeId(static_cast<uint32_t>(lj.Get("n").as_int()))] =
-        static_cast<int>(lj.Get("c").as_int());
+    loops.Set(NodeId(static_cast<uint32_t>(lj.Get("n").as_int())),
+              static_cast<int>(lj.Get("c").as_int()));
+  }
+  PersistentMap<NodeId, int64_t> activated_since;
+  if (json.Has("asince")) {
+    for (const JsonValue& sj : json.Get("asince").as_array()) {
+      activated_since.Set(NodeId(static_cast<uint32_t>(sj.Get("n").as_int())),
+                          sj.Get("q").as_int());
+    }
   }
   instance.RestoreState(std::move(marking), std::move(trace), std::move(data),
-                        std::move(loops), json.Get("started").as_bool());
+                        std::move(loops), json.Get("started").as_bool(),
+                        std::move(activated_since));
   return Status::OK();
 }
 

@@ -528,9 +528,8 @@ std::vector<WorkItem> WorklistService::OffersForImpl(
       if (snapshot->marking.node(item.node) != NodeState::kActivated) {
         continue;
       }
-      auto runs = snapshot->completed_runs.find(item.node);
-      uint64_t epoch = runs == snapshot->completed_runs.end() ? 0
-                                                              : runs->second;
+      const uint64_t* runs = snapshot->completed_runs.Find(item.node);
+      uint64_t epoch = runs == nullptr ? 0 : *runs;
       if (epoch != item.epoch) continue;
       if (predicate != nullptr && !predicate->Matches(*snapshot)) continue;
     } else if (predicate != nullptr) {

@@ -8,6 +8,7 @@
 #include "change/change_op.h"
 #include "core/adept.h"
 #include "monitor/monitor.h"
+#include "storage/wal.h"
 #include "tests/test_fixtures.h"
 
 namespace adept {
@@ -560,6 +561,191 @@ TEST(AdeptSystemTest, RecoveredSystemIsDeterministicReplica) {
     EXPECT_EQ(RenderInstance(*snapshot), renders_before[i])
         << "instance " << i;
   }
+}
+
+// Regression for the checkpoint double-serialization bug: SaveSnapshot
+// used to re-serialize the full state of every instance on every
+// checkpoint, even when nothing changed since the previous one. The
+// facade now keys a per-instance serialization cache on the published
+// snapshot version (every mutation republishes, so the version is a
+// change fingerprint) — unchanged instances must cost zero fresh
+// serializations.
+TEST(AdeptSystemTest, CheckpointSkipsUnchangedInstances) {
+  TempDir dir;
+  auto system = AdeptSystem::Create(DurableOptions(dir));
+  ASSERT_TRUE(system.ok());
+  AdeptSystem& adept = **system;
+  auto v1 = SequenceSchema(3, "chk");
+  ASSERT_TRUE(adept.DeployProcessType(v1).ok());
+  InstanceId insts[3];
+  for (InstanceId& id : insts) {
+    auto created = adept.CreateInstance("chk");
+    ASSERT_TRUE(created.ok());
+    id = *created;
+  }
+  NodeId a1 = v1->FindNodeByName("a1");
+  ASSERT_TRUE(adept.StartActivity(insts[0], a1).ok());
+
+  uint64_t before = adept.full_state_serializations();
+  ASSERT_TRUE(adept.SaveSnapshot().ok());
+  EXPECT_EQ(adept.full_state_serializations() - before, 3u)
+      << "first checkpoint serializes every instance";
+
+  before = adept.full_state_serializations();
+  ASSERT_TRUE(adept.SaveSnapshot().ok());
+  EXPECT_EQ(adept.full_state_serializations() - before, 0u)
+      << "checkpoint with no intervening mutation must reuse the cache";
+
+  ASSERT_TRUE(adept.StartActivity(insts[1], a1).ok());
+  before = adept.full_state_serializations();
+  ASSERT_TRUE(adept.SaveSnapshot().ok());
+  EXPECT_EQ(adept.full_state_serializations() - before, 1u)
+      << "only the mutated instance pays a fresh serialization";
+
+  // Evict + re-import restarts publication versions at 1 — the cache
+  // entry must be purged, not left to alias the old version numbering.
+  auto exported = adept.ExportInstance(insts[2]);
+  ASSERT_TRUE(exported.ok());
+  ASSERT_TRUE(adept.EvictInstance(insts[2]).ok());
+  ASSERT_TRUE(adept.ImportInstance(*exported).ok());
+  before = adept.full_state_serializations();
+  ASSERT_TRUE(adept.SaveSnapshot().ok());
+  EXPECT_EQ(adept.full_state_serializations() - before, 1u)
+      << "re-imported instance must be re-serialized exactly once";
+
+  // And the cached bytes must be correct: a cold recovery off the final
+  // checkpoint sees all three instances with their exact states.
+  auto recovered = AdeptSystem::Recover(DurableOptions(dir));
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  for (int i = 0; i < 3; ++i) {
+    auto snapshot = (*recovered)->SnapshotOf(insts[i]);
+    ASSERT_NE(snapshot, nullptr) << "instance " << i;
+    EXPECT_EQ(snapshot->marking.node(a1),
+              i < 2 ? NodeState::kRunning : NodeState::kActivated)
+        << "instance " << i;
+  }
+}
+
+void StripKeyRecursively(JsonValue& value, const std::string& key) {
+  if (value.is_object()) {
+    value.as_object().erase(key);
+    for (auto& [k, child] : value.as_object()) StripKeyRecursively(child, key);
+  } else if (value.is_array()) {
+    for (JsonValue& child : value.as_array()) StripKeyRecursively(child, key);
+  }
+}
+
+// Compatibility with pre-refactor WALs: ad-hoc records used to log the
+// full *cumulative* bias under "bias" (today only the appended ops ship,
+// under "delta"), and serialized instance state had no "asince" stamps.
+// A WAL rewritten into that old shape must still recover — and for
+// instances the asince stamps can be rebuilt for (no import records),
+// byte-identically.
+TEST(AdeptSystemTest, LegacyFullStateWalRecordsReplay) {
+  TempDir dir;
+  AdeptOptions options = DurableOptions(dir);
+  InstanceId biased_id;
+  InstanceId imported_id;
+  std::string biased_export;
+  {
+    auto system = AdeptSystem::Create(options);
+    ASSERT_TRUE(system.ok());
+    AdeptSystem& adept = **system;
+    auto v1 = OnlineOrderV1();
+    ASSERT_TRUE(adept.DeployProcessType(v1).ok());
+
+    auto created = adept.CreateInstance("online_order");
+    ASSERT_TRUE(created.ok());
+    biased_id = *created;
+    NodeId get_order = v1->FindNodeByName("get order");
+    ASSERT_TRUE(adept.StartActivity(biased_id, get_order).ok());
+    ASSERT_TRUE(adept.CompleteActivity(biased_id, get_order).ok());
+    // Two separate ad-hoc changes on distinct edges, so the legacy
+    // cumulative encoding genuinely differs from both per-change deltas.
+    NodeId confirm = v1->FindNodeByName("confirm order");
+    auto confirm_succs = v1->Successors(confirm, EdgeType::kControl);
+    ASSERT_FALSE(confirm_succs.empty());
+    const std::pair<const char*, std::pair<NodeId, NodeId>> changes[] = {
+        {"extra check",
+         {v1->FindNodeByName("pack goods"),
+          v1->FindNodeByName("deliver goods")}},
+        {"second check", {confirm, confirm_succs[0]}},
+    };
+    for (const auto& [name, edge] : changes) {
+      Delta bias;
+      NewActivitySpec spec;
+      spec.name = name;
+      bias.Add(
+          std::make_unique<SerialInsertOp>(spec, edge.first, edge.second));
+      ASSERT_TRUE(adept.ApplyAdHocChange(biased_id, std::move(bias)).ok());
+    }
+
+    auto second = adept.CreateInstance("online_order");
+    ASSERT_TRUE(second.ok());
+    imported_id = *second;
+    auto exported = adept.ExportInstance(imported_id);
+    ASSERT_TRUE(exported.ok());
+    ASSERT_TRUE(adept.EvictInstance(imported_id).ok());
+    ASSERT_TRUE(adept.ImportInstance(*exported).ok());
+
+    auto reference = adept.ExportInstance(biased_id);
+    ASSERT_TRUE(reference.ok());
+    biased_export = reference->Dump();
+  }  // destroyed without SaveSnapshot: the WAL alone carries the history
+
+  // Rewrite the modern WAL into the pre-refactor shape.
+  auto records = WriteAheadLog::ReadAll(options.wal_path);
+  ASSERT_TRUE(records.ok());
+  TempDir legacy_dir;
+  AdeptOptions legacy_options = DurableOptions(legacy_dir);
+  {
+    auto legacy_wal = WriteAheadLog::Open(legacy_options.wal_path);
+    ASSERT_TRUE(legacy_wal.ok());
+    // Per-instance cumulative op arrays, rebuilt record by record.
+    std::map<int64_t, JsonValue> cumulative;
+    int rewritten = 0;
+    for (JsonValue record : *records) {
+      if (record.Get("t").as_string() == "adhoc") {
+        ASSERT_TRUE(record.Has("delta"));
+        const int64_t id = record.Get("id").as_int();
+        auto [it, inserted] = cumulative.emplace(id, JsonValue::MakeArray());
+        for (const JsonValue& op :
+             record.Get("delta").Get("ops").as_array()) {
+          it->second.Append(op);
+        }
+        JsonValue bias = JsonValue::MakeObject();
+        bias.Set("ops", it->second);
+        JsonValue legacy = JsonValue::MakeObject();
+        legacy.Set("t", JsonValue("adhoc"));
+        legacy.Set("id", record.Get("id"));
+        legacy.Set("bias", std::move(bias));
+        record = std::move(legacy);
+        ++rewritten;
+      }
+      StripKeyRecursively(record, "asince");
+      ASSERT_TRUE((*legacy_wal)->Append(record).ok());
+    }
+    ASSERT_EQ(rewritten, 2) << "both ad-hoc records must be rewritten";
+  }
+
+  auto recovered = AdeptSystem::Recover(legacy_options);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  // The biased instance never crossed an import, so every stamp is
+  // rebuilt by replay: its export must match the modern bytes exactly.
+  auto replayed = (*recovered)->ExportInstance(biased_id);
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_EQ(replayed->Dump(), biased_export);
+  // The imported instance lost its stamps with the record: recovery must
+  // still land it in the right state, with deterministic default stamps
+  // for the in-flight nodes.
+  auto snapshot = (*recovered)->SnapshotOf(imported_id);
+  ASSERT_NE(snapshot, nullptr);
+  EXPECT_FALSE(snapshot->finished);
+  size_t stamped = 0;
+  snapshot->activated_nodes.ForEach([&](NodeId node) {
+    if (snapshot->activated_since.Find(node) != nullptr) ++stamped;
+  });
+  EXPECT_EQ(stamped, snapshot->activated_nodes.size());
 }
 
 }  // namespace

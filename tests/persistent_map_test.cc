@@ -1,0 +1,285 @@
+// Unit tests for the persistent (structurally shared) map/set that
+// instance state is rebased on. These pin the properties the runtime
+// relies on: O(1) copies that never observe later mutations, canonical
+// trie shapes (equality independent of mutation history), structural
+// diff visiting only changed entries, and deep-chunk collision handling
+// (keys sharing long low-bit prefixes, including zero).
+
+#include "common/persistent_map.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <random>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/ids.h"
+
+namespace adept {
+namespace {
+
+TEST(PersistentMapTest, EmptyMap) {
+  PersistentMap<uint64_t, int> map;
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.Find(7), nullptr);
+  EXPECT_FALSE(map.Contains(7));
+  EXPECT_EQ(map.begin(), map.end());
+  EXPECT_FALSE(map.Erase(7));
+}
+
+TEST(PersistentMapTest, SetFindEraseBasic) {
+  PersistentMap<uint64_t, int> map;
+  map.Set(1, 10);
+  map.Set(2, 20);
+  map.Set(1, 11);  // replace
+  EXPECT_EQ(map.size(), 2u);
+  ASSERT_NE(map.Find(1), nullptr);
+  EXPECT_EQ(*map.Find(1), 11);
+  EXPECT_EQ(*map.Find(2), 20);
+  EXPECT_TRUE(map.Erase(1));
+  EXPECT_FALSE(map.Erase(1));
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_EQ(map.Find(1), nullptr);
+}
+
+// Keys that collide on every low chunk force the deep-split path; key 0
+// in particular has an all-zero path at every level.
+TEST(PersistentMapTest, DeepChunkCollisions) {
+  PersistentMap<uint64_t, int> map;
+  // 0, 32, 1024, 32768 share chunk 0 (and pairwise share deeper chunks).
+  const std::vector<uint64_t> keys = {32, 1024, 0, 32768, 1, 33};
+  for (size_t i = 0; i < keys.size(); ++i) {
+    map.Set(keys[i], static_cast<int>(i));
+  }
+  EXPECT_EQ(map.size(), keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_NE(map.Find(keys[i]), nullptr) << keys[i];
+    EXPECT_EQ(*map.Find(keys[i]), static_cast<int>(i));
+  }
+  for (uint64_t key : keys) {
+    EXPECT_TRUE(map.Erase(key));
+  }
+  EXPECT_TRUE(map.empty());
+}
+
+// Inserting key 0 into a slot whose resident leaf shares a long zero
+// prefix (the case that needs an explicit depth, not one recovered from
+// the remaining bits).
+TEST(PersistentMapTest, ZeroKeyCollidesAtDepth) {
+  PersistentMap<uint64_t, int> map;
+  map.Set(32, 1);    // chunk path 0, 1
+  map.Set(1024, 2);  // chunk path 0, 0, 1
+  map.Set(0, 3);     // chunk path 0, 0, 0, ...
+  EXPECT_EQ(map.size(), 3u);
+  EXPECT_EQ(*map.Find(32), 1);
+  EXPECT_EQ(*map.Find(1024), 2);
+  EXPECT_EQ(*map.Find(0), 3);
+}
+
+TEST(PersistentMapTest, CopiesAreImmutable) {
+  PersistentMap<uint64_t, int> map;
+  for (uint64_t i = 0; i < 100; ++i) map.Set(i, static_cast<int>(i));
+  PersistentMap<uint64_t, int> frozen = map;
+  ASSERT_TRUE(frozen.SameRoot(map));
+  for (uint64_t i = 0; i < 100; ++i) map.Set(i, static_cast<int>(i) + 1000);
+  map.Set(500, 1);
+  map.Erase(3);
+  EXPECT_FALSE(frozen.SameRoot(map));
+  EXPECT_EQ(frozen.size(), 100u);
+  for (uint64_t i = 0; i < 100; ++i) {
+    ASSERT_NE(frozen.Find(i), nullptr);
+    EXPECT_EQ(*frozen.Find(i), static_cast<int>(i));
+  }
+  EXPECT_EQ(frozen.Find(500), nullptr);
+}
+
+TEST(PersistentMapTest, EqualityIndependentOfHistory) {
+  PersistentMap<uint64_t, int> a;
+  PersistentMap<uint64_t, int> b;
+  for (uint64_t i = 0; i < 200; ++i) a.Set(i, 1);
+  for (uint64_t i = 200; i-- > 0;) b.Set(i, 1);
+  // Same content via different insertion orders.
+  EXPECT_EQ(a, b);
+  // Erase forces collapse; shapes must stay canonical.
+  for (uint64_t i = 0; i < 200; i += 2) {
+    a.Erase(i);
+    b.Erase(i);
+  }
+  EXPECT_EQ(a, b);
+  b.Set(1, 2);
+  EXPECT_NE(a, b);
+  b.Set(1, 1);
+  EXPECT_EQ(a, b);
+}
+
+TEST(PersistentMapTest, IterationYieldsAllEntries) {
+  PersistentMap<uint64_t, int> map;
+  std::map<uint64_t, int> reference;
+  std::mt19937_64 rng(42);
+  for (int i = 0; i < 500; ++i) {
+    uint64_t key = rng() % 10000;
+    map.Set(key, i);
+    reference[key] = i;
+  }
+  std::map<uint64_t, int> seen;
+  for (const auto& [key, value] : map) {
+    EXPECT_TRUE(seen.emplace(key, value).second) << "duplicate " << key;
+  }
+  EXPECT_EQ(seen, reference);
+  // ForEach agrees with the iterator.
+  size_t count = 0;
+  map.ForEach([&](uint64_t key, int value) {
+    ++count;
+    EXPECT_EQ(reference.at(key), value);
+  });
+  EXPECT_EQ(count, reference.size());
+}
+
+TEST(PersistentMapTest, VectorConstructionFromIterators) {
+  PersistentMap<uint64_t, int> map;
+  map.Set(5, 50);
+  map.Set(9, 90);
+  std::vector<std::pair<uint64_t, int>> entries(map.begin(), map.end());
+  std::sort(entries.begin(), entries.end());
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0], std::make_pair(uint64_t{5}, 50));
+  EXPECT_EQ(entries[1], std::make_pair(uint64_t{9}, 90));
+}
+
+TEST(PersistentMapTest, DiffReportsExactChanges) {
+  PersistentMap<uint64_t, int> before;
+  for (uint64_t i = 0; i < 300; ++i) before.Set(i, static_cast<int>(i));
+  PersistentMap<uint64_t, int> after = before;
+  after.Set(10, -1);   // changed
+  after.Set(1000, 7);  // added
+  after.Erase(20);     // removed
+  std::map<uint64_t, std::pair<bool, bool>> events;  // key -> (has_b, has_a)
+  before.DiffTo(after, [&](uint64_t key, const int* b, const int* a) {
+    events[key] = {b != nullptr, a != nullptr};
+    if (key == 10) {
+      EXPECT_EQ(*b, 10);
+      EXPECT_EQ(*a, -1);
+    }
+  });
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events.at(10), std::make_pair(true, true));
+  EXPECT_EQ(events.at(1000), std::make_pair(false, true));
+  EXPECT_EQ(events.at(20), std::make_pair(true, false));
+  // Diff against self (shared root) visits nothing.
+  int self_events = 0;
+  after.DiffTo(after, [&](uint64_t, const int*, const int*) { ++self_events; });
+  EXPECT_EQ(self_events, 0);
+}
+
+TEST(PersistentMapTest, DiffAgainstEmpty) {
+  PersistentMap<uint64_t, int> map;
+  map.Set(3, 30);
+  map.Set(4, 40);
+  PersistentMap<uint64_t, int> empty;
+  int additions = 0;
+  empty.DiffTo(map, [&](uint64_t, const int* b, const int* a) {
+    EXPECT_EQ(b, nullptr);
+    EXPECT_NE(a, nullptr);
+    ++additions;
+  });
+  EXPECT_EQ(additions, 2);
+  int removals = 0;
+  map.DiffTo(empty, [&](uint64_t, const int* b, const int* a) {
+    EXPECT_NE(b, nullptr);
+    EXPECT_EQ(a, nullptr);
+    ++removals;
+  });
+  EXPECT_EQ(removals, 2);
+}
+
+TEST(PersistentMapTest, RandomizedAgainstStdMap) {
+  PersistentMap<uint64_t, int> map;
+  std::map<uint64_t, int> reference;
+  std::vector<PersistentMap<uint64_t, int>> snapshots;
+  std::vector<std::map<uint64_t, int>> reference_snapshots;
+  std::mt19937_64 rng(7);
+  for (int step = 0; step < 5000; ++step) {
+    uint64_t key = rng() % 512;
+    switch (rng() % 3) {
+      case 0:
+      case 1:
+        map.Set(key, step);
+        reference[key] = step;
+        break;
+      case 2: {
+        bool erased = map.Erase(key);
+        EXPECT_EQ(erased, reference.erase(key) > 0);
+        break;
+      }
+    }
+    EXPECT_EQ(map.size(), reference.size());
+    if (step % 500 == 0) {
+      snapshots.push_back(map);
+      reference_snapshots.push_back(reference);
+    }
+  }
+  std::map<uint64_t, int> materialized(map.begin(), map.end());
+  EXPECT_EQ(materialized, reference);
+  // Old snapshots still hold their historical content.
+  for (size_t i = 0; i < snapshots.size(); ++i) {
+    std::map<uint64_t, int> snap(snapshots[i].begin(), snapshots[i].end());
+    EXPECT_EQ(snap, reference_snapshots[i]);
+  }
+}
+
+TEST(PersistentMapTest, TypedIdKeys) {
+  PersistentMap<NodeId, int> map;
+  map.Set(NodeId(3), 1);
+  map.Set(NodeId(900), 2);
+  ASSERT_NE(map.Find(NodeId(3)), nullptr);
+  EXPECT_EQ(*map.Find(NodeId(3)), 1);
+  EXPECT_EQ(map.Find(NodeId(4)), nullptr);
+  std::set<uint32_t> keys;
+  for (const auto& [id, value] : map) {
+    (void)value;
+    keys.insert(id.value());
+  }
+  EXPECT_EQ(keys, (std::set<uint32_t>{3, 900}));
+}
+
+TEST(PersistentSetTest, BasicAndDiff) {
+  PersistentSet<NodeId> set;
+  set.Insert(NodeId(1));
+  set.Insert(NodeId(2));
+  set.Insert(NodeId(1));
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.Contains(NodeId(1)));
+  EXPECT_FALSE(set.Contains(NodeId(3)));
+
+  PersistentSet<NodeId> frozen = set;
+  set.Erase(NodeId(1));
+  set.Insert(NodeId(3));
+  EXPECT_TRUE(frozen.Contains(NodeId(1)));
+  EXPECT_FALSE(frozen.Contains(NodeId(3)));
+
+  std::set<uint32_t> added;
+  std::set<uint32_t> removed;
+  frozen.DiffTo(set, [&](NodeId id, bool was_added) {
+    (was_added ? added : removed).insert(id.value());
+  });
+  EXPECT_EQ(added, (std::set<uint32_t>{3}));
+  EXPECT_EQ(removed, (std::set<uint32_t>{1}));
+
+  std::set<uint32_t> iterated;
+  for (NodeId id : set) iterated.insert(id.value());
+  EXPECT_EQ(iterated, (std::set<uint32_t>{2, 3}));
+}
+
+TEST(PersistentMapTest, MemoryFootprintNonZero) {
+  PersistentMap<uint64_t, int> map;
+  EXPECT_EQ(map.MemoryFootprint(), 0u);
+  for (uint64_t i = 0; i < 64; ++i) map.Set(i, 0);
+  EXPECT_GT(map.MemoryFootprint(), 0u);
+}
+
+}  // namespace
+}  // namespace adept

@@ -72,6 +72,7 @@ TEST(QueryParserTest, RoundTripThroughCanonicalForm) {
       "trace_length > 0 && completed_total >= 2 && version >= 1",
       "schema == 1 && schema_version != 2",
       "true || false && running(\"check\")",
+      "activated_since(\"resolve\", 12) && state == running",
       "biased",
       "id == 42",
   };
@@ -104,6 +105,8 @@ TEST(QueryParserTest, ErrorsCarryOffsetAndCaretSpan) {
       {"id @ 3", "unexpected character"},
       {"id == 1 extra", "offset"},
       {"activated(5)", "offset"},
+      {"activated_since(\"a\")", "expected ','"},
+      {"activated_since(\"a\", \"b\")", "integer sequence bound"},
       {"", "offset"},
   };
   for (const Case& c : kCases) {
@@ -239,6 +242,42 @@ TEST_F(TypedSemanticsTest, StateAndStructuralFields) {
   EXPECT_FALSE(Matches("biased", id_));
 }
 
+TEST_F(TypedSemanticsTest, ActivatedSinceComparesLogicalStamps) {
+  // id_ completed triage, so "resolve" is activated and carries the
+  // logical stamp of the moment it entered kActivated. Read the stamp off
+  // the snapshot rather than hard-coding the trace layout.
+  auto snapshot = system_->SnapshotOf(id_);
+  ASSERT_NE(snapshot, nullptr);
+  NodeId resolve = snapshot->schema->FindNodeByName("resolve");
+  const int64_t* stamp = snapshot->activated_since.Find(resolve);
+  ASSERT_NE(stamp, nullptr);
+  ASSERT_GT(*stamp, 0);
+
+  const std::string at = std::to_string(*stamp);
+  const std::string before = std::to_string(*stamp - 1);
+  // "activated at or before sequence k and still pending".
+  EXPECT_TRUE(Matches("activated_since(\"resolve\", " + at + ")", id_));
+  EXPECT_FALSE(Matches("activated_since(\"resolve\", " + before + ")", id_));
+  EXPECT_TRUE(Matches("activated_since(\"resolve\", 1000000)", id_));
+  // blank_ never ran triage: "triage" itself is the long-pending node.
+  EXPECT_TRUE(Matches("activated_since(\"triage\", 1000000)", blank_));
+  EXPECT_FALSE(Matches("activated_since(\"triage\", 1000000)", id_))
+      << "a completed node must drop out of the activated-since family";
+  // Unknown names never match.
+  EXPECT_FALSE(Matches("activated_since(\"nonexistent\", 1000000)", id_));
+
+  // The planner routes the predicate through the activated-node index;
+  // the indexed answer must equal the unindexed scan.
+  auto indexed = system_->Query("activated_since(\"resolve\", " + at + ")");
+  ASSERT_TRUE(indexed.ok());
+  EXPECT_TRUE(indexed->used_index);
+  auto compiled = CompiledQuery::Compile("activated_since(\"resolve\", " +
+                                         at + ")");
+  ASSERT_TRUE(compiled.ok());
+  QueryResult scan = RunQuery(*compiled, system_->snapshots(), nullptr);
+  EXPECT_EQ(Ids(*indexed), Ids(scan));
+}
+
 // --- Index vs scan equivalence ----------------------------------------------
 
 TEST(QueryIndexTest, IndexAndScanAgreeOnRandomizedPopulation) {
@@ -278,6 +317,8 @@ TEST(QueryIndexTest, IndexAndScanAgreeOnRandomizedPopulation) {
       "version >= 2",
       "type == complex && schema_version == 1",
       "!(state == finished) && !activated(\"intake\")",
+      "activated_since(\"loop work\", 6)",
+      "activated_since(\"archive\", 100) || running(\"intake\")",
       "true",
   };
   for (const char* text : kQueries) {
@@ -471,9 +512,9 @@ TEST(QueryConsumersTest, OffersForWithPredicateFiltersOnSnapshotData) {
   for (const WorkItem& item : *urgent) {
     auto snapshot = (*cluster)->SnapshotOf(item.instance);
     ASSERT_NE(snapshot, nullptr);
-    auto value = snapshot->data_values.find(priority);
-    ASSERT_NE(value, snapshot->data_values.end());
-    EXPECT_GE(value->second.as_int(), 3);
+    const DataValue* value = snapshot->data_values.Find(priority);
+    ASSERT_NE(value, nullptr);
+    EXPECT_GE(value->as_int(), 3);
   }
   auto none = worklist.OffersFor(user, "data.priority >= 3 && biased");
   ASSERT_TRUE(none.ok());

@@ -70,14 +70,21 @@ std::shared_ptr<const ProcessSchema> StressSchema(RoleId clerk) {
 // torn read (fields from two different mutations) breaks the redundancy
 // between the lists/counters and the marking.
 void ValidateSnapshot(const InstanceSnapshot& snapshot) {
-  for (NodeId node : snapshot.activated_activities) {
+  for (NodeId node : snapshot.activated_nodes) {
     EXPECT_EQ(snapshot.marking.node(node), NodeState::kActivated)
-        << "activated list disagrees with marking (instance "
+        << "activated set disagrees with marking (instance "
         << snapshot.id << ", node " << node << ")";
+    const int64_t* since = snapshot.activated_since.Find(node);
+    EXPECT_NE(since, nullptr)
+        << "activated node missing its activation stamp (instance "
+        << snapshot.id << ", node " << node << ")";
+    if (since != nullptr) {
+      EXPECT_LE(*since, snapshot.trace_next_sequence);
+    }
   }
-  for (NodeId node : snapshot.running_activities) {
+  for (NodeId node : snapshot.running_nodes) {
     EXPECT_EQ(snapshot.marking.node(node), NodeState::kRunning)
-        << "running list disagrees with marking (instance " << snapshot.id
+        << "running set disagrees with marking (instance " << snapshot.id
         << ", node " << node << ")";
   }
   uint64_t total = 0;
@@ -260,6 +267,94 @@ TEST(ReadStressTest, ReadersNeverObserveTornOrLostInstances) {
   for (InstanceId id : ids) {
     EXPECT_NE((*cluster)->SnapshotOf(id), nullptr);
   }
+}
+
+// Structural sharing under fire: readers RETAIN old snapshot roots (the
+// COW tries share interior nodes with every later version) and keep
+// re-walking them while a writer applies 10k mutations to the same
+// instance and the cluster resizes underneath. Any writer mutation that
+// touched a shared node in place instead of path-copying — or any
+// publication that freed a node a retained root still references — is a
+// use-after-free / data race this test surfaces under ASan/TSan.
+TEST(ReadStressTest, RetainedSnapshotRootsSurviveMutationsAndResize) {
+  constexpr int kMutations = 10000;
+  constexpr int kRetained = 64;
+
+  TempDir dir;
+  ClusterOptions options;
+  options.shards = 2;
+  options.wal_path = dir.File("retain.wal");
+  options.snapshot_path = dir.File("retain.snapshot");
+  options.sync = SyncMode::kNone;
+  auto cluster = AdeptCluster::Create(options);
+  ASSERT_TRUE(cluster.ok()) << cluster.status();
+
+  RoleId clerk = *(*cluster)->org().AddRole("clerk");
+  auto schema = StressSchema(clerk);
+  ASSERT_NE(schema, nullptr);
+  ASSERT_TRUE((*cluster)->DeployProcessType(schema).ok());
+  auto id = (*cluster)->CreateInstance("stress");
+  ASSERT_TRUE(id.ok()) << id.status();
+
+  NodeId prepare = schema->FindNodeByName("prepare");
+  ASSERT_TRUE((*cluster)->StartActivity(*id, prepare).ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> walks{0};
+
+  // Readers keep a rolling window of old roots and fully re-walk a
+  // retained snapshot's shared containers on every pass, checking the
+  // walk still agrees with the snapshot's own redundant fields.
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      std::vector<std::shared_ptr<const InstanceSnapshot>> retained;
+      size_t pass = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        std::shared_ptr<const InstanceSnapshot> now =
+            (*cluster)->SnapshotOf(*id);
+        if (now != nullptr) {
+          retained.push_back(std::move(now));
+          if (retained.size() > kRetained) {
+            retained.erase(retained.begin());
+          }
+        }
+        if (retained.empty()) continue;
+        const InstanceSnapshot& old = *retained[pass++ % retained.size()];
+        size_t nodes = 0;
+        old.marking.node_states().ForEach(
+            [&](NodeId, NodeState) { ++nodes; });
+        EXPECT_EQ(nodes, old.marking.node_states().size());
+        ValidateSnapshot(old);
+        uint64_t completed = 0;
+        old.completed_runs.ForEach(
+            [&](NodeId, uint64_t runs) { completed += runs; });
+        EXPECT_EQ(completed, old.completed_total);
+        walks.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  // Writer: 10k suspend/resume toggles of one running activity — every
+  // toggle path-copies into the marking and running-set tries that all
+  // retained roots share — with a Resize() mid-stream.
+  for (int i = 0; i < kMutations; ++i) {
+    Status st = (i % 2 == 0) ? (*cluster)->SuspendActivity(*id, prepare)
+                             : (*cluster)->ResumeActivity(*id, prepare);
+    ASSERT_TRUE(st.ok()) << "mutation " << i << ": " << st;
+    if (i == kMutations / 2) {
+      ASSERT_TRUE((*cluster)->Resize(4).ok());
+    }
+  }
+
+  stop.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+  EXPECT_GT(walks.load(), 0u);
+
+  // The live snapshot reflects all 10k toggles (ended on "resume").
+  std::shared_ptr<const InstanceSnapshot> last = (*cluster)->SnapshotOf(*id);
+  ASSERT_NE(last, nullptr);
+  EXPECT_EQ(last->marking.node(prepare), NodeState::kRunning);
 }
 
 }  // namespace

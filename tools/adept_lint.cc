@@ -15,6 +15,13 @@
 //       AV012 orphaned-claim; see verify/state_lint.h). --claims points at
 //       a worklist claim journal ("<cluster_wal>.worklist"); without it,
 //       "<WAL>.worklist" is used when present.
+//   adept_lint --wal-dump WAL
+//       Decode a WAL without recovering from it: per-record-type counts
+//       and payload bytes, split into full-state records (a complete
+//       serialized artifact: deploy/repo/import, plus legacy cumulative
+//       ad-hoc "bias" records) and delta records (everything the
+//       delta-WAL refactor logs incrementally). The split is how to audit
+//       what a log costs to ship and where legacy records still linger.
 //
 // Options: --out FILE writes the report there instead of stdout.
 // Exit status: 0 = no error-severity findings, 1 = at least one error,
@@ -24,6 +31,7 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -34,6 +42,7 @@
 #include "model/schema.h"
 #include "model/serialization.h"
 #include "storage/schema_repository.h"
+#include "storage/wal.h"
 #include "tools/example_schemas.h"
 #include "verify/state_lint.h"
 #include "verify/verifier.h"
@@ -53,8 +62,81 @@ int Usage(const char* argv0) {
       << "       " << argv0 << " --schema FILE.json [FILE.json ...] "
       << "[--out FILE]\n"
       << "       " << argv0 << " --state WAL [--snapshot FILE] "
-      << "[--claims FILE] [--out FILE]\n";
+      << "[--claims FILE] [--out FILE]\n"
+      << "       " << argv0 << " --wal-dump WAL [--out FILE]\n";
   return 2;
+}
+
+// Whether a record carries a complete serialized artifact rather than an
+// incremental change. Legacy ad-hoc records logged the whole cumulative
+// bias under "bias"; the delta-WAL format logs only the appended ops
+// under "delta".
+bool IsFullStateRecord(const JsonValue& record) {
+  const std::string& type = record.Get("t").as_string();
+  if (type == "deploy" || type == "repo" || type == "import") return true;
+  return type == "adhoc" && !record.Has("delta");
+}
+
+int RunWalDump(const std::string& wal_path, const std::string& out_path) {
+  auto records = WriteAheadLog::ReadAll(wal_path);
+  if (!records.ok()) {
+    std::cerr << "adept_lint: read " << wal_path << ": "
+              << records.status().message() << "\n";
+    return 2;
+  }
+  struct Bucket {
+    int64_t records = 0;
+    int64_t bytes = 0;
+  };
+  std::map<std::string, Bucket> by_type;
+  Bucket full_state;
+  Bucket delta;
+  for (const JsonValue& record : *records) {
+    std::string type = record.Get("t").as_string();
+    if (type.empty()) type = "unknown";
+    if (type == "adhoc") {
+      type = record.Has("delta") ? "adhoc.delta" : "adhoc.bias";
+    }
+    const auto bytes = static_cast<int64_t>(record.Dump().size());
+    Bucket& bucket = by_type[type];
+    ++bucket.records;
+    bucket.bytes += bytes;
+    Bucket& side = IsFullStateRecord(record) ? full_state : delta;
+    ++side.records;
+    side.bytes += bytes;
+  }
+
+  auto bucket_json = [](const Bucket& b) {
+    JsonValue j = JsonValue::MakeObject();
+    j.Set("records", JsonValue(b.records));
+    j.Set("bytes", JsonValue(b.bytes));
+    return j;
+  };
+  JsonValue types = JsonValue::MakeObject();
+  for (const auto& [type, bucket] : by_type) {
+    types.Set(type, bucket_json(bucket));
+  }
+  JsonValue doc = JsonValue::MakeObject();
+  doc.Set("tool", JsonValue(std::string("adept_lint")));
+  doc.Set("mode", JsonValue(std::string("wal-dump")));
+  doc.Set("wal", JsonValue(wal_path));
+  doc.Set("records", JsonValue(static_cast<int64_t>(records->size())));
+  doc.Set("by_type", std::move(types));
+  doc.Set("full_state", bucket_json(full_state));
+  doc.Set("delta", bucket_json(delta));
+
+  const std::string text = doc.Dump();
+  if (out_path.empty()) {
+    std::cout << text << "\n";
+  } else {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::cerr << "adept_lint: cannot write " << out_path << "\n";
+      return 2;
+    }
+    out << text << "\n";
+  }
+  return 0;
 }
 
 Result<std::shared_ptr<const ProcessSchema>> LoadSchemaFile(
@@ -95,6 +177,7 @@ JsonValue LintOne(const LintInput& input, int& total_errors,
 int Run(int argc, char** argv) {
   std::vector<std::string> schema_files;
   std::string wal_path;
+  std::string wal_dump_path;
   std::string snapshot_path;
   std::string claims_path;
   std::string out_path;
@@ -111,6 +194,9 @@ int Run(int argc, char** argv) {
     } else if (arg == "--state") {
       if (i + 1 >= argc) return Usage(argv[0]);
       wal_path = argv[++i];
+    } else if (arg == "--wal-dump") {
+      if (i + 1 >= argc) return Usage(argv[0]);
+      wal_dump_path = argv[++i];
     } else if (arg == "--snapshot") {
       if (i + 1 >= argc) return Usage(argv[0]);
       snapshot_path = argv[++i];
@@ -125,8 +211,10 @@ int Run(int argc, char** argv) {
     }
   }
   const int modes = (examples ? 1 : 0) + (schema_files.empty() ? 0 : 1) +
-                    (wal_path.empty() ? 0 : 1);
+                    (wal_path.empty() ? 0 : 1) +
+                    (wal_dump_path.empty() ? 0 : 1);
   if (modes != 1) return Usage(argv[0]);
+  if (!wal_dump_path.empty()) return RunWalDump(wal_dump_path, out_path);
 
   std::vector<LintInput> inputs;
   std::unique_ptr<AdeptSystem> system;  // keeps stored reports alive
