@@ -1,0 +1,177 @@
+// Failover robustness trajectory ("failover" trajectory).
+//
+//   BM_FailoverDetectionToPromotion   wall time from the primary's crash
+//                                     to the coordinator publishing the
+//                                     promoted view: heartbeat silence
+//                                     crossing the dead threshold, the
+//                                     standby majority's confirmed vote,
+//                                     and the promotion protocol itself
+//                                     (longest-prefix assembly, epoch
+//                                     bump, recovery, re-attach).
+//   BM_FailoverMTTR                   wall time from the crash to the
+//                                     first client write acked by the new
+//                                     lineage — detection + promotion +
+//                                     the ClusterClient's re-resolve and
+//                                     retry/backoff, i.e. the outage a
+//                                     well-behaved client actually sees.
+//
+// Topology: 3 standby nodes, commit quorum 2, 2 shards, heartbeats every
+// 50ms with a 500ms dead threshold — so ~550-650ms of every measurement
+// is the detection window set by configuration, and the rest is protocol
+// cost. After each measured failover the deposed file set rejoins as a
+// standby (outside the timed region), so iterations chain on one
+// topology the way a long-lived deployment would.
+//
+// Emit machine-readable results like every other bench:
+//   ./build/bench_failover --benchmark_format=json
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "cluster/adept_cluster.h"
+#include "cluster/cluster_client.h"
+#include "cluster/failover_coordinator.h"
+#include "tests/test_fixtures.h"
+
+namespace adept {
+namespace {
+
+std::filesystem::path g_dir;
+std::unique_ptr<FailoverCoordinator> g_coordinator;
+std::unique_ptr<ClusterClient> g_client;
+
+constexpr int kDeadAfterMs = 500;
+
+bool SetUpFailover() {
+  g_dir = std::filesystem::temp_directory_path() / "adept_bench_failover";
+  std::filesystem::remove_all(g_dir);
+  std::filesystem::create_directories(g_dir);
+
+  FailoverOptions options;
+  options.cluster.shards = 2;
+  options.cluster.wal_path = (g_dir / "primary.wal").string();
+  options.cluster.snapshot_path = (g_dir / "primary.snapshot").string();
+  options.replicas = 3;
+  options.quorum = 2;
+  options.data_dir = (g_dir / "nodes").string();
+  options.repl.retry_ms = 20;
+  options.repl.io_timeout_ms = 1000;
+  options.repl.ack_timeout_ms = 500;
+  options.repl.heartbeat_interval_ms = 50;
+  options.repl.suspect_after_ms = 200;
+  options.repl.dead_after_ms = kDeadAfterMs;
+  options.poll_interval_ms = 25;
+  options.confirm_polls = 2;
+
+  auto coordinator = FailoverCoordinator::Start(options);
+  if (!coordinator.ok()) return false;
+  g_coordinator = std::move(*coordinator);
+
+  RetryPolicy policy;
+  policy.max_attempts = 60;
+  policy.base_backoff_ms = 10;
+  policy.backoff_cap_ms = 100;
+  g_client = std::make_unique<ClusterClient>(g_coordinator.get(), policy);
+
+  PrimaryView view = g_coordinator->View();
+  return view.cluster != nullptr &&
+         view.cluster->DeployProcessType(testing_fixtures::SequenceSchema(4))
+             .ok();
+}
+
+void SetUp(const benchmark::State&) {
+  if (g_coordinator == nullptr) SetUpFailover();
+}
+
+void TearDown(const benchmark::State&) {
+  g_client.reset();
+  if (g_coordinator != nullptr) g_coordinator->Stop();
+  g_coordinator.reset();
+  std::filesystem::remove_all(g_dir);
+}
+
+// One measured failover; returns false on any protocol error. The fresh
+// write before the kill pins healthy streams, the rejoin afterwards
+// restores the 3-standby topology for the next iteration.
+bool MeasureFailover(benchmark::State& state, bool wait_for_client_write) {
+  auto probe = g_client->Create("seq");
+  if (!probe.ok()) return false;
+  const uint64_t version = g_coordinator->View().version;
+
+  const auto start = std::chrono::steady_clock::now();
+  if (!g_coordinator->KillPrimary().ok()) return false;
+  if (wait_for_client_write) {
+    auto written = g_client->Create("seq");
+    if (!written.ok()) return false;
+  } else {
+    auto promoted = g_coordinator->WaitForFailover(version, 30000);
+    if (!promoted.ok()) return false;
+  }
+  const auto end = std::chrono::steady_clock::now();
+  state.SetIterationTime(
+      std::chrono::duration<double>(end - start).count());
+
+  // Outside the timed region: the deposed lineage rejoins as a standby.
+  if (!wait_for_client_write) {
+    // MTTR already proved the new lineage writable; the detection row
+    // still needs a settled client before the next kill.
+    auto settled = g_client->Create("seq");
+    if (!settled.ok()) return false;
+  }
+  return g_coordinator->RejoinOldPrimaryAsReplica().ok();
+}
+
+void BM_FailoverDetectionToPromotion(benchmark::State& state) {
+  if (g_coordinator == nullptr) {
+    state.SkipWithError("coordinator setup failed");
+    return;
+  }
+  for (auto _ : state) {
+    if (!MeasureFailover(state, /*wait_for_client_write=*/false)) {
+      state.SkipWithError("failover iteration failed");
+      return;
+    }
+  }
+  state.counters["dead_after_ms"] = kDeadAfterMs;
+  state.counters["promotions"] =
+      static_cast<double>(g_coordinator->promotions());
+}
+BENCHMARK(BM_FailoverDetectionToPromotion)
+    ->Setup(SetUp)
+    ->Teardown(TearDown)
+    ->UseManualTime()
+    ->Iterations(4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FailoverMTTR(benchmark::State& state) {
+  if (g_coordinator == nullptr) {
+    state.SkipWithError("coordinator setup failed");
+    return;
+  }
+  for (auto _ : state) {
+    if (!MeasureFailover(state, /*wait_for_client_write=*/true)) {
+      state.SkipWithError("failover iteration failed");
+      return;
+    }
+  }
+  state.counters["dead_after_ms"] = kDeadAfterMs;
+  state.counters["retry_rounds"] =
+      static_cast<double>(g_client->retry_rounds());
+  state.counters["reconciled_ops"] =
+      static_cast<double>(g_client->reconciled_ops());
+}
+BENCHMARK(BM_FailoverMTTR)
+    ->Setup(SetUp)
+    ->Teardown(TearDown)
+    ->UseManualTime()
+    ->Iterations(4)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace adept
+
+BENCHMARK_MAIN();

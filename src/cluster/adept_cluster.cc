@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/fs_util.h"
+#include "common/string_util.h"
 #include "worklist/worklist_service.h"
 
 namespace adept {
@@ -543,6 +544,7 @@ Result<InstanceId> AdeptCluster::CreateOnShard(size_t shard_index,
                                                const std::string& type_name,
                                                SchemaId schema) {
   ADEPT_RETURN_IF_ERROR(CheckTopology());
+  ADEPT_RETURN_IF_ERROR(CheckShardWritable(shard_index));
   Shard& shard = *shards_[shard_index];
   uint64_t lsn = 0;
   Result<InstanceId> created = [&]() -> Result<InstanceId> {
@@ -695,6 +697,9 @@ Result<QueryResult> AdeptCluster::Query(const std::string& query) const {
   ADEPT_RETURN_IF_ERROR(CheckTopology());
   QueryResult result;
   CollectQueryMatches(compiled, &result);
+  // Graceful degradation: snapshots keep serving while a shard lacks its
+  // quorum, but the caller is told the data may trail the failed writes.
+  result.degraded = ReplicationDegraded();
   return result;
 }
 
@@ -717,7 +722,13 @@ auto AdeptCluster::RouteDurable(InstanceId id, Fn&& fn)
     -> decltype(fn(std::declval<AdeptSystem&>())) {
   Status topology = CheckTopology();
   if (!topology.ok()) return topology;
-  Shard& shard = *shards_[ShardOf(id)];
+  const size_t shard_index = ShardOf(id);
+  // Fenced / no-live-quorum shards refuse BEFORE mutating: the caller can
+  // safely re-issue elsewhere, which a mid-flight quorum timeout (maybe-
+  // applied) never allows.
+  Status writable = CheckShardWritable(shard_index);
+  if (!writable.ok()) return writable;
+  Shard& shard = *shards_[shard_index];
   uint64_t lsn = 0;
   auto result = [&] {
     std::lock_guard<std::mutex> lock(shard.mu);
@@ -997,6 +1008,52 @@ void AdeptCluster::DetachReplication() {
   replication_epoch_ = 0;
 }
 
+Status AdeptCluster::CheckShardWritable(size_t shard_index) const {
+  if (shard_index >= replication_.size()) return Status::OK();
+  const ReplicationPrimary* primary = replication_[shard_index].get();
+  if (primary == nullptr) return Status::OK();
+  return primary->CheckWritable();
+}
+
+bool AdeptCluster::ReplicationDegraded() const {
+  for (const auto& primary : replication_) {
+    if (primary != nullptr && !primary->HasLiveQuorum()) return true;
+  }
+  return false;
+}
+
+ClusterReplicationStatus AdeptCluster::ReplicationStatus() const {
+  ClusterReplicationStatus status;
+  status.attached = !replication_.empty();
+  status.epoch = replication_epoch_;
+  for (const auto& primary : replication_) {
+    if (primary != nullptr) status.shards.push_back(primary->GetStatus());
+  }
+  return status;
+}
+
+Status AdeptCluster::WaitShardDurable(size_t shard_index, uint64_t lsn) {
+  if (shard_index >= shards_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("no shard %zu in a %zu-shard cluster", shard_index,
+                  shards_.size()));
+  }
+  return shards_[shard_index]->system->WaitWalDurable(lsn);
+}
+
+JsonValue ClusterReplicationStatus::ToJson() const {
+  JsonValue shard_list = JsonValue::MakeArray();
+  for (const PrimaryStatus& shard : shards) {
+    shard_list.Append(shard.ToJson());
+  }
+  JsonValue j = JsonValue::MakeObject();
+  j.Set("attached", JsonValue(attached));
+  j.Set("epoch", JsonValue(epoch));
+  j.Set("degraded", JsonValue(degraded()));
+  j.Set("shards", std::move(shard_list));
+  return j;
+}
+
 std::string AdeptCluster::OrgPath() const {
   return options_.wal_path.empty() ? std::string()
                                    : options_.wal_path + ".org";
@@ -1162,7 +1219,15 @@ AdeptCluster::BatchResult AdeptCluster::ExecuteOpLocked(Shard& shard,
                                                         const BatchOp& op) {
   BatchResult result;
   result.id = op.id;
+  result.shard = shard_index;
   AdeptSystem& system = *shard.system;
+  // Capture the shard's WAL position right after the op so the result
+  // carries its exact LSN (the failover reconciliation key).
+  struct LsnStamp {
+    AdeptSystem& system;
+    BatchResult& result;
+    ~LsnStamp() { result.lsn = system.last_enqueued_lsn(); }
+  } stamp{system, result};
   switch (op.kind) {
     case BatchOp::Kind::kCreate: {
       SchemaId schema = op.schema;
@@ -1244,6 +1309,18 @@ std::vector<AdeptCluster::BatchResult> AdeptCluster::SubmitBatch(
   for (size_t shard_index = 0; shard_index < by_shard.size(); ++shard_index) {
     if (by_shard[shard_index].empty()) continue;
     tasks.push_back([this, shard_index, &by_shard, &ops, &results] {
+      // The fail-fast gate runs per shard group: a no-quorum/fenced shard
+      // rejects its whole group before any mutation (definitely-not-
+      // applied), while healthy shards of the same batch proceed.
+      Status writable = CheckShardWritable(shard_index);
+      if (!writable.ok()) {
+        for (size_t op_index : by_shard[shard_index]) {
+          results[op_index].status = writable;
+          results[op_index].id = ops[op_index].id;
+          results[op_index].shard = shard_index;
+        }
+        return;
+      }
       Shard& shard = *shards_[shard_index];
       uint64_t lsn = 0;
       {

@@ -62,6 +62,27 @@ namespace adept {
 
 class WorklistService;
 
+// Point-in-time replication health of the whole cluster: one PrimaryStatus
+// per shard (see repl/replication.h). The surface the FailoverCoordinator
+// polls, AV013 `replication-degraded` lints, and the chaos tests assert on.
+struct ClusterReplicationStatus {
+  bool attached = false;
+  uint64_t epoch = 0;
+  std::vector<PrimaryStatus> shards;
+
+  // Any shard that cannot currently commit (fenced or below a live
+  // quorum): reads still serve from published snapshots, flagged
+  // `degraded` in QueryResult.
+  bool degraded() const {
+    for (const PrimaryStatus& shard : shards) {
+      if (shard.fenced || !shard.quorum_live) return true;
+    }
+    return false;
+  }
+
+  JsonValue ToJson() const;
+};
+
 struct ClusterOptions {
   // Number of instance partitions (and worker threads, unless overridden).
   int shards = 4;
@@ -271,6 +292,18 @@ class AdeptCluster : public AdeptApi {
     return index < replication_.size() ? replication_[index].get() : nullptr;
   }
 
+  // Snapshot of every shard's replication health (empty `shards` when
+  // replication is not attached). Safe to call concurrently with commit
+  // traffic; NOT concurrently with Attach/DetachReplication (same
+  // quiescence contract as those calls).
+  ClusterReplicationStatus ReplicationStatus() const;
+
+  // Waits until `lsn` is durable on `shard_index` per the cluster's
+  // durability contract — including the replication quorum when attached.
+  // The client retry layer uses this to re-wait a maybe-applied write
+  // (same routing generation) instead of re-issuing it.
+  Status WaitShardDurable(size_t shard_index, uint64_t lsn);
+
   // --- Observers -------------------------------------------------------------
 
   // Subscribes to events of every shard. The observer is called from worker
@@ -321,6 +354,13 @@ class AdeptCluster : public AdeptApi {
     InstanceId id;
     // kDriveStep: whether the instance progressed.
     bool progressed = false;
+    // The op's WAL position on its shard (0 when the op mutated nothing).
+    // The failover-reconciliation key: per shard, acked ops form an LSN
+    // prefix, so after a promotion "did this maybe-applied op survive?"
+    // is exactly `lsn <= the promoted shard's recovered durable LSN`.
+    uint64_t lsn = 0;
+    // The op's owning shard under the routing that executed it.
+    size_t shard = 0;
   };
 
   // Groups `ops` by owning shard (creates are placed round-robin first) and
@@ -440,6 +480,15 @@ class AdeptCluster : public AdeptApi {
   // routed call refuses instead of misrouting. Recover() (the durable
   // state stays consistent — moves are WAL-logged) is the repair.
   Status CheckTopology() const;
+
+  // Fail-fast write gate: kUnavailable (FencedStatus / NoLiveQuorumStatus,
+  // distinguishable via IsFenced/IsNoQuorum) when the shard's attached
+  // primary is fenced or below a live quorum — BEFORE any mutation, so
+  // the caller knows the op was definitely not applied. OK when
+  // replication is not attached.
+  Status CheckShardWritable(size_t shard_index) const;
+  // Whether any attached shard cannot commit (sets QueryResult::degraded).
+  bool ReplicationDegraded() const;
 
   // --- Org-model persistence -------------------------------------------------
 

@@ -1,0 +1,179 @@
+#include "cluster/cluster_client.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "repl/replication.h"
+
+namespace adept {
+
+ClusterClient::ClusterClient(PrimaryResolver* resolver, RetryPolicy policy)
+    : resolver_(resolver), policy_(policy), rng_state_(policy.jitter_seed) {}
+
+uint64_t ClusterClient::NextRand() {
+  // splitmix64 over an atomically advanced counter: deterministic for a
+  // given seed, safe under concurrent Submit() calls.
+  uint64_t z = rng_state_.fetch_add(0x9e3779b97f4a7c15ull,
+                                    std::memory_order_relaxed) +
+               0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+int ClusterClient::BackoffMs(int round) {
+  int64_t backoff = policy_.base_backoff_ms;
+  for (int i = 0; i < round && backoff < policy_.backoff_cap_ms; ++i) {
+    backoff *= 2;
+  }
+  backoff = std::min<int64_t>(backoff, policy_.backoff_cap_ms);
+  const int64_t jitter =
+      (backoff / 2) * static_cast<int64_t>(NextRand() % 1024) / 1024;
+  return static_cast<int>(backoff + jitter);
+}
+
+std::vector<ClusterClient::OpOutcome> ClusterClient::Submit(
+    const std::vector<AdeptCluster::BatchOp>& ops) {
+  std::vector<OpOutcome> out(ops.size());
+  if (ops.empty()) return out;
+
+  // Indices still to (re-)execute, and maybe-applied ops parked until
+  // their fate is known (see the header contract).
+  std::vector<size_t> pending(ops.size());
+  for (size_t i = 0; i < ops.size(); ++i) pending[i] = i;
+  struct Limbo {
+    size_t index;
+    uint64_t view_version;
+    size_t shard;
+    uint64_t lsn;
+    InstanceId id;
+    bool progressed;
+  };
+  std::vector<Limbo> limbo;
+
+  PrimaryView view = resolver_->View();
+  for (int round = 0; round < policy_.max_attempts; ++round) {
+    if (round > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(BackoffMs(round - 1)));
+      retry_rounds_.fetch_add(1, std::memory_order_relaxed);
+      view = resolver_->View();
+    }
+    if (!view.cluster) continue;  // mid-promotion window: back off, re-resolve
+
+    // Settle parked ops first — a settled "lost" op re-enters this round's
+    // submission, a settled "survived" op is simply done.
+    for (auto it = limbo.begin(); it != limbo.end();) {
+      OpOutcome& o = out[it->index];
+      bool settled = false;
+      if (view.version == it->view_version) {
+        // Same lineage still primary: the quorum may have healed — re-wait
+        // the op's own WAL position instead of re-executing it.
+        Status wait = view.cluster->WaitShardDurable(it->shard, it->lsn);
+        if (wait.ok()) {
+          o.status = Status::OK();
+          o.id = it->id;
+          o.progressed = it->progressed;
+          o.reconciled = true;
+          o.view_version = view.version;
+          reconciled_ops_.fetch_add(1, std::memory_order_relaxed);
+          settled = true;
+        }
+        // Still unreachable/fenced: keep parked; a later view decides.
+      } else {
+        // Failover(s) since the ambiguous round: the op survived iff its
+        // LSN is inside the prefix that survived every promotion.
+        const uint64_t watermark =
+            resolver_->SurvivorWatermark(it->view_version, it->shard);
+        if (it->lsn > 0 && it->lsn <= watermark) {
+          o.status = Status::OK();
+          o.id = it->id;
+          o.progressed = it->progressed;
+          o.reconciled = true;
+          o.view_version = view.version;
+          reconciled_ops_.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          // Died with the old lineage — definitely not in the current
+          // one, so re-issuing cannot double-apply.
+          pending.push_back(it->index);
+        }
+        settled = true;
+      }
+      it = settled ? limbo.erase(it) : std::next(it);
+    }
+
+    if (!pending.empty()) {
+      std::sort(pending.begin(), pending.end());
+      std::vector<AdeptCluster::BatchOp> round_ops;
+      round_ops.reserve(pending.size());
+      for (size_t idx : pending) round_ops.push_back(ops[idx]);
+      const std::vector<AdeptCluster::BatchResult> results =
+          view.cluster->SubmitBatch(round_ops);
+
+      std::vector<size_t> next_pending;
+      for (size_t j = 0; j < pending.size(); ++j) {
+        const size_t idx = pending[j];
+        const AdeptCluster::BatchResult& r = results[j];
+        OpOutcome& o = out[idx];
+        ++o.attempts;
+        o.view_version = view.version;
+        o.status = r.status;
+        if (r.status.ok()) {
+          o.id = r.id;
+          o.progressed = r.progressed;
+        } else if (IsFenced(r.status) || IsNoQuorum(r.status)) {
+          // Fail-fast gate: rejected before any mutation. Plain retry.
+          next_pending.push_back(idx);
+        } else if (r.status.code() == StatusCode::kUnavailable) {
+          // Submitted but quorum fate unknown: park for settlement.
+          limbo.push_back({idx, view.version, r.shard, r.lsn, r.id,
+                           r.progressed});
+        } else {
+          o.id = r.id;  // engine verdict (kNotFound, ...): final, no retry
+        }
+      }
+      pending = std::move(next_pending);
+    }
+
+    if (pending.empty() && limbo.empty()) break;
+  }
+
+  // Ops that never reached any primary have no status from a round yet.
+  for (size_t idx : pending) {
+    if (out[idx].status.ok()) {
+      out[idx].status = Status::Unavailable(
+          "no primary resolvable within the retry budget");
+    }
+  }
+  return out;
+}
+
+Result<InstanceId> ClusterClient::Create(const std::string& type_name) {
+  auto outcomes = Submit({AdeptCluster::BatchOp::Create(type_name)});
+  if (!outcomes[0].status.ok()) return outcomes[0].status;
+  return outcomes[0].id;
+}
+
+Result<bool> ClusterClient::DriveStep(InstanceId id) {
+  auto outcomes = Submit({AdeptCluster::BatchOp::DriveStep(id)});
+  if (!outcomes[0].status.ok()) return outcomes[0].status;
+  return outcomes[0].progressed;
+}
+
+Result<QueryResult> ClusterClient::Query(const std::string& text) {
+  for (int round = 0; round < policy_.max_attempts; ++round) {
+    if (round > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(BackoffMs(round - 1)));
+    }
+    PrimaryView view = resolver_->View();
+    if (!view.cluster) continue;  // mid-promotion: no lineage to read from
+    // Degraded shards still serve reads (QueryResult::degraded flags it);
+    // only the absence of any primary is worth a retry.
+    return view.cluster->Query(text);
+  }
+  return Status::Unavailable("no primary resolvable within the retry budget");
+}
+
+}  // namespace adept

@@ -1,0 +1,165 @@
+// Client-visible failover: a retrying submission facade over whatever
+// cluster currently holds the primary role.
+//
+// The pieces:
+//
+//   PrimaryView      one routing observation: "this cluster object is the
+//                    primary lineage, at this view version/epoch, and it
+//                    started from this per-shard durable prefix".
+//   PrimaryResolver  whoever tracks the current primary (in this repo the
+//                    FailoverCoordinator; in a real deployment a config
+//                    service). Re-resolved before every retry round.
+//   ClusterClient    SubmitBatch with bounded retries + jittered backoff,
+//                    and — the hard part — exactly-once reconciliation of
+//                    writes whose fate a failover left ambiguous.
+//
+// The reconciliation contract (why BatchResult carries `lsn`/`shard`):
+//
+// A failed write lands in exactly one of two buckets, told apart by the
+// status markers from repl/replication.h:
+//
+//   * definitely-not-applied — IsFenced / IsNoQuorum: the fail-fast gate
+//     rejected the op before any mutation. Safe to re-issue verbatim
+//     against the next resolved primary.
+//   * maybe-applied — any other kUnavailable after submission (quorum
+//     timeout, primary died mid-wait): the op mutated the primary's local
+//     state and WAL but its quorum fate is unknown. Re-issuing blindly
+//     would double-apply (a duplicate instance, a double-completed
+//     activity). Instead the client keeps the op's (view, shard, lsn) and
+//     settles it:
+//       - same view still primary  -> re-wait WaitShardDurable(shard, lsn)
+//         (the quorum may simply have healed);
+//       - view changed (failover)  -> the op survived iff its LSN is within
+//         the prefix that survived every intervening promotion:
+//         lsn <= resolver->SurvivorWatermark(view, shard). Survived means
+//         done (the promoted lineage replayed it); above the watermark
+//         means the write died with the old primary — re-issue it.
+//
+//     Acked ops form an LSN prefix per shard, which is what makes the
+//     single watermark comparison sound.
+//
+// Reads don't retry on degraded shards: Query() returns the snapshot view
+// with QueryResult::degraded set, per the graceful-degradation contract.
+
+#ifndef ADEPT_CLUSTER_CLUSTER_CLIENT_H_
+#define ADEPT_CLUSTER_CLUSTER_CLIENT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/adept_cluster.h"
+#include "common/status.h"
+
+namespace adept {
+
+// One observation of "who is primary right now". Snapshot semantics: the
+// shared_ptr keeps the named cluster alive even if a failover retires it
+// mid-use; `version` tells the client that what it holds is stale.
+struct PrimaryView {
+  // The cluster currently serving the primary role; null while no lineage
+  // is serving (the window between a death and its promotion).
+  std::shared_ptr<AdeptCluster> cluster;
+  // Monotonic routing version; bumped by every promotion.
+  uint64_t version = 0;
+  // Replication failover epoch of this lineage (what fences the old one).
+  uint64_t epoch = 0;
+  // Per-shard durable LSN this lineage started from (all zero for the
+  // founding primary). Writes of an older lineage at or below this point
+  // survived into this one.
+  std::vector<uint64_t> recovered_lsn;
+};
+
+// The routing authority the client re-resolves through. Implementations:
+// FailoverCoordinator (in-process harness), or anything that can answer
+// "who is primary" and "how much of lineage V survived".
+class PrimaryResolver {
+ public:
+  virtual ~PrimaryResolver() = default;
+
+  // Current routing observation. Must be cheap; called once per retry.
+  virtual PrimaryView View() = 0;
+
+  // Survival watermark for writes issued under view `version`, on `shard`:
+  // the minimum recovered durable LSN across every promotion that happened
+  // after `version`. An op with lsn <= watermark is durably part of the
+  // current lineage; above it, the write was discarded by some failover.
+  // UINT64_MAX when no promotion happened since `version` (same lineage:
+  // nothing has been discarded).
+  virtual uint64_t SurvivorWatermark(uint64_t version, size_t shard) = 0;
+};
+
+// Retry/backoff knobs. Deterministic: jitter comes from a seeded splitmix
+// stream, so a chaos schedule replays identically.
+struct RetryPolicy {
+  // Total submission rounds per Submit() call (first try included).
+  int max_attempts = 8;
+  // Exponential backoff between rounds: min(cap, base << round) plus up to
+  // 50% deterministic jitter.
+  int base_backoff_ms = 20;
+  int backoff_cap_ms = 500;
+  uint64_t jitter_seed = 0x9e3779b97f4a7c15ull;
+};
+
+class ClusterClient {
+ public:
+  // Final fate of one submitted op.
+  struct OpOutcome {
+    Status status;
+    InstanceId id;          // creates: the surviving instance id
+    bool progressed = false;
+    // Submission rounds this op took part in (1 = clean first try).
+    int attempts = 0;
+    // True when success was established by the durability watermark (the
+    // op's first execution survived) rather than by a clean ack.
+    bool reconciled = false;
+    // The view version that yielded the final outcome.
+    uint64_t view_version = 0;
+  };
+
+  ClusterClient(PrimaryResolver* resolver, RetryPolicy policy = {});
+
+  // Submits `ops`, retrying around failovers per the header contract.
+  // Results align with `ops`. A non-ok final status means: fail-fast
+  // statuses were retried until attempts ran out; engine errors (kNotFound
+  // etc.) are surfaced as-is without retry; a maybe-applied op that could
+  // not be settled within the attempt budget keeps its ambiguous
+  // kUnavailable status (the caller knows it is unresolved).
+  std::vector<OpOutcome> Submit(const std::vector<AdeptCluster::BatchOp>& ops);
+
+  // Convenience single-op wrappers over Submit().
+  Result<InstanceId> Create(const std::string& type_name);
+  Result<bool> DriveStep(InstanceId id);
+
+  // Read path: resolves the current view and queries it. No quorum is
+  // required to read — a degraded shard serves its published snapshots and
+  // the result carries QueryResult::degraded = true. Retries only when no
+  // primary is resolvable at all (mid-promotion window).
+  Result<QueryResult> Query(const std::string& text);
+
+  // Telemetry (bench/tests): completed submission rounds beyond the first,
+  // and ops settled via the watermark instead of re-execution.
+  uint64_t retry_rounds() const {
+    return retry_rounds_.load(std::memory_order_relaxed);
+  }
+  uint64_t reconciled_ops() const {
+    return reconciled_ops_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  // Backoff for `round` (0-based) with deterministic jitter.
+  int BackoffMs(int round);
+  uint64_t NextRand();
+
+  PrimaryResolver* const resolver_;
+  const RetryPolicy policy_;
+  std::atomic<uint64_t> rng_state_;
+  std::atomic<uint64_t> retry_rounds_{0};
+  std::atomic<uint64_t> reconciled_ops_{0};
+};
+
+}  // namespace adept
+
+#endif  // ADEPT_CLUSTER_CLUSTER_CLIENT_H_

@@ -64,8 +64,10 @@ uint64_t NetChecksum(const std::string& data) {
 }
 
 FaultInjector::Action ScriptedFaultInjector::OnSendFrame(uint64_t frame_index,
+                                                         uint32_t frame_type,
                                                          size_t frame_bytes,
                                                          size_t* truncate_to) {
+  (void)frame_type;
   (void)frame_bytes;
   frames_seen_.fetch_add(1, std::memory_order_relaxed);
   auto it = plan_.find(frame_index);
@@ -74,6 +76,20 @@ FaultInjector::Action ScriptedFaultInjector::OnSendFrame(uint64_t frame_index,
     *truncate_to = it->second.truncate_to;
   }
   return it->second.action;
+}
+
+FaultInjector::Action ToggleFaultInjector::OnSendFrame(uint64_t frame_index,
+                                                       uint32_t frame_type,
+                                                       size_t frame_bytes,
+                                                       size_t* truncate_to) {
+  (void)frame_index;
+  (void)frame_bytes;
+  (void)truncate_to;
+  frames_seen_.fetch_add(1, std::memory_order_relaxed);
+  if (!enabled_.load(std::memory_order_acquire)) return Action::kPass;
+  if (has_filter_ && frame_type != filter_type_) return Action::kPass;
+  frames_dropped_.fetch_add(1, std::memory_order_relaxed);
+  return Action::kDrop;
 }
 
 #if defined(ADEPT_NET_POSIX)
@@ -252,7 +268,7 @@ Status TcpConnection::SendFrame(uint32_t type, const std::string& payload) {
     const uint64_t index =
         frames_sent_.fetch_add(1, std::memory_order_relaxed);
     size_t truncate_to = 0;
-    switch (injector_->OnSendFrame(index, frame.size(), &truncate_to)) {
+    switch (injector_->OnSendFrame(index, type, frame.size(), &truncate_to)) {
       case FaultInjector::Action::kPass:
         break;
       case FaultInjector::Action::kDrop:

@@ -76,11 +76,12 @@ class FaultInjector {
   virtual ~FaultInjector() = default;
 
   // Decides the fate of the `frame_index`-th frame sent through this
-  // injector (`frame_bytes` = header + payload size). For kTruncate, set
-  // *truncate_to to the number of bytes to let through (clamped to
-  // frame_bytes - 1 so the frame is always incomplete).
-  virtual Action OnSendFrame(uint64_t frame_index, size_t frame_bytes,
-                             size_t* truncate_to) = 0;
+  // injector (`frame_type` = the frame's 4-byte type field, `frame_bytes`
+  // = header + payload size). For kTruncate, set *truncate_to to the
+  // number of bytes to let through (clamped to frame_bytes - 1 so the
+  // frame is always incomplete).
+  virtual Action OnSendFrame(uint64_t frame_index, uint32_t frame_type,
+                             size_t frame_bytes, size_t* truncate_to) = 0;
 };
 
 // A scripted injector: `plan[i]` is applied to the i-th frame (counted
@@ -96,8 +97,8 @@ class ScriptedFaultInjector : public FaultInjector {
     plan_[frame_index] = {action, truncate_to};
   }
 
-  Action OnSendFrame(uint64_t frame_index, size_t frame_bytes,
-                     size_t* truncate_to) override;
+  Action OnSendFrame(uint64_t frame_index, uint32_t frame_type,
+                     size_t frame_bytes, size_t* truncate_to) override;
 
   // Total frames offered to this injector so far.
   uint64_t frames_seen() const {
@@ -107,6 +108,40 @@ class ScriptedFaultInjector : public FaultInjector {
  private:
   std::map<uint64_t, Fault> plan_;  // written before use, then read-only
   std::atomic<uint64_t> frames_seen_{0};
+};
+
+// A switchable injector for partition tests: while enabled, every frame is
+// dropped — or, with a type filter, only frames of that type (heartbeat-only
+// loss). Flipping the switch at runtime is the scripted "partition heals"
+// event; counters say how much traffic the partition ate.
+class ToggleFaultInjector : public FaultInjector {
+ public:
+  ToggleFaultInjector() = default;
+  // Drops only frames whose type field equals `only_type` while enabled.
+  explicit ToggleFaultInjector(uint32_t only_type)
+      : filter_type_(only_type), has_filter_(true) {}
+
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_release);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_acquire); }
+
+  Action OnSendFrame(uint64_t frame_index, uint32_t frame_type,
+                     size_t frame_bytes, size_t* truncate_to) override;
+
+  uint64_t frames_seen() const {
+    return frames_seen_.load(std::memory_order_relaxed);
+  }
+  uint64_t frames_dropped() const {
+    return frames_dropped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> frames_seen_{0};
+  std::atomic<uint64_t> frames_dropped_{0};
+  uint32_t filter_type_ = 0;
+  bool has_filter_ = false;
 };
 
 // One established TCP stream. Close() is safe to call concurrently with a

@@ -49,6 +49,11 @@ struct QueryResult {
   // Candidates fetched and evaluated (a scan evaluates every published
   // snapshot; an indexed run only the probe's candidates).
   size_t evaluated = 0;
+  // Graceful degradation (cluster reads only): true when at least one
+  // shard's replication primary cannot currently commit (fenced or below
+  // a live quorum), so these snapshots may trail writes that are failing
+  // fast elsewhere. Single-node queries always report false.
+  bool degraded = false;
 
   using const_iterator =
       std::vector<std::shared_ptr<const InstanceSnapshot>>::const_iterator;

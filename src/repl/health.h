@@ -1,0 +1,74 @@
+// Per-peer failure detection for the replication layer.
+//
+// A HealthTracker records the last instant a peer proved it was alive
+// (any frame received from it — acks, STATUS replies, heartbeats) and
+// classifies the silence since then into a three-state machine:
+//
+//   alive   — heard from within suspect_after_ms
+//   suspect — silent for suspect_after_ms..dead_after_ms; the peer may be
+//             slow, partitioned, or mid-GC — no action yet, but the
+//             status surface flags it (AV013 replication-degraded)
+//   dead    — silent past dead_after_ms; failover logic (the
+//             FailoverCoordinator) may act on this verdict
+//
+// The assessment is recomputed on read from a single atomic timestamp, so
+// Touch() from a session thread and Assess() from a monitor thread never
+// contend. Timeouts are passed per call: the same tracker serves
+// configurations with different thresholds (primary watching replicas,
+// replicas watching their primary).
+
+#ifndef ADEPT_REPL_HEALTH_H_
+#define ADEPT_REPL_HEALTH_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace adept {
+
+enum class PeerHealth { kAlive, kSuspect, kDead };
+
+inline const char* PeerHealthToString(PeerHealth health) {
+  switch (health) {
+    case PeerHealth::kAlive:
+      return "alive";
+    case PeerHealth::kSuspect:
+      return "suspect";
+    case PeerHealth::kDead:
+      return "dead";
+  }
+  return "unknown";
+}
+
+class HealthTracker {
+ public:
+  HealthTracker() : last_contact_ms_(NowMs()) {}
+
+  // The peer proved liveness (a frame arrived from it).
+  void Touch() { last_contact_ms_.store(NowMs(), std::memory_order_release); }
+
+  // Milliseconds of silence since the last proof of liveness.
+  int64_t SilenceMs() const {
+    return NowMs() - last_contact_ms_.load(std::memory_order_acquire);
+  }
+
+  PeerHealth Assess(int suspect_after_ms, int dead_after_ms) const {
+    const int64_t silence = SilenceMs();
+    if (silence >= dead_after_ms) return PeerHealth::kDead;
+    if (silence >= suspect_after_ms) return PeerHealth::kSuspect;
+    return PeerHealth::kAlive;
+  }
+
+ private:
+  static int64_t NowMs() {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  std::atomic<int64_t> last_contact_ms_;
+};
+
+}  // namespace adept
+
+#endif  // ADEPT_REPL_HEALTH_H_

@@ -239,6 +239,7 @@ void ReplicationReplica::SessionLoop(TcpConnection* conn) {
       continue;  // poll tick (timeout); loop head re-checks stop/closed
     }
 
+    primary_health_.Touch();  // any well-formed frame proves liveness
     Status st;
     switch (frame->type) {
       case kMsgHello: {
@@ -247,6 +248,29 @@ void ReplicationReplica::SessionLoop(TcpConnection* conn) {
           st = body.status();
           break;
         }
+        const uint64_t hello_epoch =
+            static_cast<uint64_t>(body->Get("epoch").as_int());
+        const uint64_t own_epoch = epoch();
+        if (hello_epoch < own_epoch) {
+          // Fencing: this node already belongs to a newer lineage. A
+          // stale primary must be rejected *here*, before negotiation —
+          // letting it proceed would end with it snapshot-resetting this
+          // node's newer data with its own pre-failover state.
+          ADEPT_LOG(kWarning)
+              << "replica: fencing stale primary (hello epoch "
+              << hello_epoch << " < ours " << own_epoch << ")";
+          JsonValue err = JsonValue::MakeObject();
+          err.Set("message",
+                  JsonValue(StrFormat(
+                      "stale epoch %llu rejected; this replica is at %llu",
+                      static_cast<unsigned long long>(hello_epoch),
+                      static_cast<unsigned long long>(own_epoch))));
+          err.Set("fenced", JsonValue(true));
+          err.Set("epoch", JsonValue(own_epoch));
+          (void)conn->SendFrame(kMsgError, err.Dump());
+          conn->Close();
+          return;
+        }
         shard = static_cast<uint64_t>(body->Get("shard").as_int());
         state = GetShard(shard);
         if (state == nullptr) {
@@ -254,7 +278,7 @@ void ReplicationReplica::SessionLoop(TcpConnection* conn) {
           break;
         }
         JsonValue reply = JsonValue::MakeObject();
-        reply.Set("epoch", JsonValue(epoch()));
+        reply.Set("epoch", JsonValue(own_epoch));
         uint64_t last;
         {
           std::lock_guard<std::mutex> lock(state->mu);
@@ -262,6 +286,21 @@ void ReplicationReplica::SessionLoop(TcpConnection* conn) {
         }
         reply.Set("last", JsonValue(last));
         st = conn->SendFrame(kMsgStatus, reply.Dump());
+        break;
+      }
+      case kMsgHeartbeat: {
+        if (state == nullptr) {
+          st = Status::FailedPrecondition("HEARTBEAT before HELLO");
+          break;
+        }
+        uint64_t last;
+        {
+          std::lock_guard<std::mutex> lock(state->mu);
+          last = state->last_lsn;
+        }
+        JsonValue ack = JsonValue::MakeObject();
+        ack.Set("last", JsonValue(last));
+        st = conn->SendFrame(kMsgAck, ack.Dump());
         break;
       }
       case kMsgResume: {

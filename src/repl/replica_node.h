@@ -37,6 +37,7 @@
 #include "common/json.h"
 #include "common/status.h"
 #include "net/transport.h"
+#include "repl/health.h"
 #include "storage/wal.h"
 
 namespace adept {
@@ -54,6 +55,11 @@ struct ReplicaNodeOptions {
   SyncMode sync = SyncMode::kFlush;
   // Per-frame read/write timeout inside a session.
   int io_timeout_ms = 5000;
+  // Health thresholds this node applies to the primary it hears from
+  // (every received frame — batches and heartbeats alike — is a proof of
+  // liveness; see PrimaryHealth()).
+  int suspect_after_ms = 1000;
+  int dead_after_ms = 3000;
   // Applied to accepted connections, i.e. this node's outgoing STATUS/ACK
   // frames (fault-testing the ack direction).
   FaultInjector* fault_injector = nullptr;
@@ -81,6 +87,17 @@ class ReplicationReplica {
   // the shard never received anything) and the node's current epoch.
   uint64_t ShardLastLsn(uint64_t shard) const;
   uint64_t epoch() const;
+
+  // This node's verdict on its primary: silence across every session
+  // (no batch, no heartbeat) degrades alive -> suspect -> dead per the
+  // configured thresholds. A node that never heard from any primary
+  // reports its silence since startup — a standby with no master is
+  // exactly as concerning as one whose master just died.
+  PeerHealth PrimaryHealth() const {
+    return primary_health_.Assess(options_.suspect_after_ms,
+                                  options_.dead_after_ms);
+  }
+  int64_t PrimarySilenceMs() const { return primary_health_.SilenceMs(); }
 
  private:
   // Durable state of one shard stream.
@@ -115,6 +132,7 @@ class ReplicationReplica {
     std::thread thread;
   };
   std::vector<std::unique_ptr<Session>> sessions_;   // guarded by mu_
+  HealthTracker primary_health_;  // internally synchronized
 };
 
 }  // namespace adept

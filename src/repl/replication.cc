@@ -23,7 +23,75 @@ Status WriteEpoch(const std::string& wal_base, uint64_t epoch) {
   return WriteFileAtomic(MetaPath(wal_base), meta.Dump());
 }
 
+// Stable status-message markers (the IsQuorumTimeout/IsFenced/IsNoQuorum
+// contract — see replication.h). Substring matching is deliberate: the
+// full messages carry diagnostic numbers, the markers carry the verdict.
+constexpr const char kQuorumTimeoutMarker[] =
+    "locally durable, quorum not reached";
+constexpr const char kFencedMarker[] = "fenced by a newer epoch";
+constexpr const char kNoQuorumMarker[] = "no live quorum";
+
+bool MessageContains(const Status& status, const char* marker) {
+  return status.code() == StatusCode::kUnavailable &&
+         status.message().find(marker) != std::string::npos;
+}
+
 }  // namespace
+
+bool IsQuorumTimeout(const Status& status) {
+  return MessageContains(status, kQuorumTimeoutMarker);
+}
+
+bool IsFenced(const Status& status) {
+  return MessageContains(status, kFencedMarker);
+}
+
+bool IsNoQuorum(const Status& status) {
+  return MessageContains(status, kNoQuorumMarker);
+}
+
+Status FencedStatus(uint64_t shard, uint64_t newer_epoch, uint64_t own_epoch) {
+  return Status::Unavailable(StrFormat(
+      "shard %llu: %s (%llu > %llu); this primary must not accept writes",
+      static_cast<unsigned long long>(shard), kFencedMarker,
+      static_cast<unsigned long long>(newer_epoch),
+      static_cast<unsigned long long>(own_epoch)));
+}
+
+Status NoLiveQuorumStatus(uint64_t shard, int live_copies, int quorum) {
+  return Status::Unavailable(StrFormat(
+      "shard %llu: %s (%d of the %d copies a quorum requires are live); "
+      "write rejected before apply",
+      static_cast<unsigned long long>(shard), kNoQuorumMarker, live_copies,
+      quorum));
+}
+
+JsonValue PrimaryStatus::ToJson() const {
+  JsonValue peer_list = JsonValue::MakeArray();
+  for (const PeerStatus& peer : peers) {
+    JsonValue p = JsonValue::MakeObject();
+    p.Set("endpoint", JsonValue(peer.endpoint.host + ":" +
+                                std::to_string(peer.endpoint.port)));
+    p.Set("streaming", JsonValue(peer.streaming));
+    p.Set("health", JsonValue(std::string(PeerHealthToString(peer.health))));
+    p.Set("acked_lsn", JsonValue(peer.acked_lsn));
+    p.Set("silence_ms", JsonValue(peer.silence_ms));
+    peer_list.Append(std::move(p));
+  }
+  JsonValue j = JsonValue::MakeObject();
+  j.Set("shard", JsonValue(shard));
+  j.Set("epoch", JsonValue(epoch));
+  j.Set("local_durable", JsonValue(local_durable));
+  j.Set("quorum_acked", JsonValue(quorum_acked));
+  j.Set("quorum", JsonValue(static_cast<int64_t>(quorum)));
+  j.Set("fenced", JsonValue(fenced));
+  j.Set("quorum_live", JsonValue(quorum_live));
+  j.Set("tail_evictions", JsonValue(tail_evictions));
+  j.Set("tail_frames", JsonValue(static_cast<int64_t>(tail_frames)));
+  j.Set("tail_bytes", JsonValue(static_cast<int64_t>(tail_bytes)));
+  j.Set("peers", std::move(peer_list));
+  return j;
+}
 
 Result<uint64_t> ReadReplicationEpoch(const std::string& wal_base) {
   auto content = ReadFileToString(MetaPath(wal_base));
@@ -43,11 +111,12 @@ Result<uint64_t> ReadReplicationEpoch(const std::string& wal_base) {
   return epoch;
 }
 
-Result<uint64_t> PromoteReplicaFiles(const std::string& wal_base) {
+Result<uint64_t> PromoteReplicaFiles(const std::string& wal_base,
+                                     uint64_t at_least) {
   // A replica that never received a session still promotes cleanly: its
   // epoch starts at 1 (ReadReplicationEpoch creates the meta file).
   ADEPT_ASSIGN_OR_RETURN(uint64_t epoch, ReadReplicationEpoch(wal_base));
-  const uint64_t promoted = epoch + 1;
+  const uint64_t promoted = std::max(epoch + 1, at_least);
   ADEPT_RETURN_IF_ERROR(WriteEpoch(wal_base, promoted));
   return promoted;
 }
@@ -72,9 +141,13 @@ ReplicationPrimary::ReplicationPrimary(ReplicationSource source,
     : source_(std::move(source)), options_(options) {
   local_durable_ = source_.start_lsn;
   peers_.reserve(options_.replicas.size());
-  for (const NetEndpoint& endpoint : options_.replicas) {
+  for (size_t i = 0; i < options_.replicas.size(); ++i) {
     auto peer = std::make_unique<Peer>();
-    peer->endpoint = endpoint;
+    peer->endpoint = options_.replicas[i];
+    peer->injector = i < options_.peer_fault_injectors.size() &&
+                             options_.peer_fault_injectors[i] != nullptr
+                         ? options_.peer_fault_injectors[i]
+                         : options_.fault_injector;
     peers_.push_back(std::move(peer));
   }
   for (auto& peer : peers_) {
@@ -106,8 +179,24 @@ void ReplicationPrimary::OnDurableBatch(const std::vector<WalFrame>& frames) {
   if (frames.empty()) return;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    for (const WalFrame& frame : frames) tail_.push_back(frame);
-    while (tail_.size() > options_.tail_buffer_frames) tail_.pop_front();
+    for (const WalFrame& frame : frames) {
+      tail_bytes_ += frame.payload.size();
+      tail_.push_back(frame);
+    }
+    // The slowest ack across peers: evicting above it forces someone onto
+    // the WAL-file / snapshot catch-up path, which is what the eviction
+    // counter measures (a dead peer must not pin unbounded memory). With
+    // no peers nothing ever needs the tail, so nothing counts as evicted.
+    uint64_t min_acked = ~uint64_t{0};
+    for (const auto& peer : peers_) {
+      min_acked = std::min(min_acked, peer->acked_lsn);
+    }
+    while (!tail_.empty() && (tail_.size() > options_.tail_buffer_frames ||
+                              tail_bytes_ > options_.tail_buffer_bytes)) {
+      if (tail_.front().lsn > min_acked) ++tail_evictions_;
+      tail_bytes_ -= tail_.front().payload.size();
+      tail_.pop_front();
+    }
     local_durable_ = frames.back().lsn;
   }
   frames_cv_.notify_all();
@@ -154,6 +243,13 @@ Status ReplicationPrimary::WaitRemote(uint64_t lsn) {
                         std::chrono::milliseconds(options_.ack_timeout_ms);
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
+    if (fenced_.load(std::memory_order_acquire)) {
+      // A newer primary owns the shard; waiting cannot succeed, and the
+      // record — though on this node's disk — belongs to a dead lineage.
+      return FencedStatus(source_.shard,
+                          fenced_by_.load(std::memory_order_acquire),
+                          source_.epoch);
+    }
     int acked = 0;
     for (const auto& peer : peers_) acked += peer->acked_lsn >= lsn ? 1 : 0;
     if (acked >= needed) return Status::OK();
@@ -161,14 +257,73 @@ Status ReplicationPrimary::WaitRemote(uint64_t lsn) {
       return Status::Unavailable("replication stopped before quorum");
     }
     if (acks_cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      // The quorum-timeout verdict (see IsQuorumTimeout): the record IS on
+      // this primary's disk, so it is maybe-applied — it survives a
+      // failover exactly when the promoted replica's prefix covers `lsn`.
       return Status::Unavailable(StrFormat(
-          "shard %llu: LSN %llu acked by %d of the %d replicas a quorum of "
-          "%d requires (within %dms)",
+          "shard %llu: LSN %llu %s (acked %d/%d within %dms)",
           static_cast<unsigned long long>(source_.shard),
-          static_cast<unsigned long long>(lsn), acked, needed, options_.quorum,
-          options_.ack_timeout_ms));
+          static_cast<unsigned long long>(lsn), kQuorumTimeoutMarker,
+          acked + 1, options_.quorum, options_.ack_timeout_ms));
     }
   }
+}
+
+bool ReplicationPrimary::HasLiveQuorum() const {
+  return CheckWritable().ok();
+}
+
+Status ReplicationPrimary::CheckWritable() const {
+  if (fenced_.load(std::memory_order_acquire)) {
+    return FencedStatus(source_.shard,
+                        fenced_by_.load(std::memory_order_acquire),
+                        source_.epoch);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  int live = 1;  // the primary's own copy
+  for (const auto& peer : peers_) {
+    if (peer->health.Assess(options_.suspect_after_ms,
+                            options_.dead_after_ms) != PeerHealth::kDead) {
+      ++live;
+    }
+  }
+  if (live < options_.quorum) {
+    return NoLiveQuorumStatus(source_.shard, live, options_.quorum);
+  }
+  return Status::OK();
+}
+
+uint64_t ReplicationPrimary::tail_evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tail_evictions_;
+}
+
+PrimaryStatus ReplicationPrimary::GetStatus() const {
+  PrimaryStatus status;
+  status.shard = source_.shard;
+  status.epoch = source_.epoch;
+  status.quorum = options_.quorum;
+  status.fenced = fenced_.load(std::memory_order_acquire);
+  status.quorum_acked = quorum_acked_lsn();
+  std::lock_guard<std::mutex> lock(mu_);
+  status.local_durable = local_durable_;
+  status.tail_evictions = tail_evictions_;
+  status.tail_frames = tail_.size();
+  status.tail_bytes = tail_bytes_;
+  int live = 1;
+  for (const auto& peer : peers_) {
+    PeerStatus p;
+    p.endpoint = peer->endpoint;
+    p.streaming = peer->streaming;
+    p.health = peer->health.Assess(options_.suspect_after_ms,
+                                   options_.dead_after_ms);
+    p.acked_lsn = peer->acked_lsn;
+    p.silence_ms = peer->health.SilenceMs();
+    if (p.health != PeerHealth::kDead) ++live;
+    status.peers.push_back(std::move(p));
+  }
+  status.quorum_live = !status.fenced && live >= options_.quorum;
+  return status;
 }
 
 void ReplicationPrimary::PeerLoop(Peer& peer) {
@@ -177,6 +332,7 @@ void ReplicationPrimary::PeerLoop(Peer& peer) {
       std::unique_lock<std::mutex> lock(mu_);
       if (stopping_) return;
     }
+    if (fenced_.load(std::memory_order_acquire)) return;  // stand down
     ConnectPeer(peer);  // returns only on session error or stop
     std::unique_lock<std::mutex> lock(mu_);
     if (stopping_) return;
@@ -189,7 +345,7 @@ Status ReplicationPrimary::ConnectPeer(Peer& peer) {
   ADEPT_ASSIGN_OR_RETURN(
       std::unique_ptr<TcpConnection> conn,
       TcpConnection::Dial(peer.endpoint, options_.connect_timeout_ms));
-  conn->set_fault_injector(options_.fault_injector);
+  conn->set_fault_injector(peer.injector);
   conn->set_write_timeout_ms(options_.io_timeout_ms);
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -222,6 +378,19 @@ Status ReplicationPrimary::RunSession(Peer& peer, TcpConnection& conn) {
 
   ADEPT_ASSIGN_OR_RETURN(NetFrame status_frame,
                          conn.ReadFrame(options_.io_timeout_ms));
+  if (status_frame.type == kMsgError) {
+    // A fencing replica rejects the HELLO outright: it already belongs to
+    // a newer epoch's lineage and refuses to let this (stale) primary
+    // negotiate — which could otherwise snapshot-reset newer data away.
+    auto body = JsonValue::Parse(status_frame.payload);
+    if (body.ok() && body->Get("fenced").as_bool()) {
+      return FenceSelf(peer,
+                       static_cast<uint64_t>(body->Get("epoch").as_int()));
+    }
+    return Status::Unavailable("peer rejected the session: " +
+                               (body.ok() ? body->Get("message").as_string()
+                                          : status_frame.payload));
+  }
   if (status_frame.type != kMsgStatus) {
     return Status::Corruption("expected STATUS, got frame type " +
                               std::to_string(status_frame.type));
@@ -232,6 +401,13 @@ Status ReplicationPrimary::RunSession(Peer& peer, TcpConnection& conn) {
       static_cast<uint64_t>(status.Get("epoch").as_int());
   const uint64_t replica_last =
       static_cast<uint64_t>(status.Get("last").as_int());
+  peer.health.Touch();
+  if (replica_epoch > source_.epoch) {
+    // Belt over the replica's suspenders: even a replica that answered
+    // STATUS (an older build, a race with its own epoch adoption) must
+    // never be regressed by a stale lineage.
+    return FenceSelf(peer, replica_epoch);
+  }
 
   ADEPT_RETURN_IF_ERROR(
       NegotiateSession(peer, conn, replica_epoch, replica_last));
@@ -244,7 +420,10 @@ Status ReplicationPrimary::RunSession(Peer& peer, TcpConnection& conn) {
   // The streaming loop: stop-and-wait batches. Simplicity over pipeline
   // depth — a batch carries up to max_batch_frames frames, so the ack
   // round trip amortizes well, and "resume from any acked prefix" falls
-  // out of tracking nothing but acked_lsn.
+  // out of tracking nothing but acked_lsn. An idle stream degenerates to
+  // HEARTBEAT/ACK ping-pong every heartbeat_interval_ms, which is what
+  // keeps both sides' health trackers fed.
+  auto last_probe = std::chrono::steady_clock::now();
   for (;;) {
     {
       std::unique_lock<std::mutex> lock(mu_);
@@ -252,9 +431,34 @@ Status ReplicationPrimary::RunSession(Peer& peer, TcpConnection& conn) {
     }
     ADEPT_ASSIGN_OR_RETURN(std::vector<WalFrame> frames,
                            CollectFrames(peer, conn));
-    if (frames.empty()) continue;  // caught up; CollectFrames waited
+    if (frames.empty()) {
+      // Caught up (CollectFrames parked briefly): probe liveness when the
+      // interval elapsed since the last successful round trip.
+      const auto now = std::chrono::steady_clock::now();
+      if (options_.heartbeat_interval_ms > 0 &&
+          now - last_probe >=
+              std::chrono::milliseconds(options_.heartbeat_interval_ms)) {
+        ADEPT_RETURN_IF_ERROR(SendHeartbeat(peer, conn));
+        last_probe = now;
+      }
+      continue;
+    }
     ADEPT_RETURN_IF_ERROR(SendBatch(peer, conn, frames));
+    last_probe = std::chrono::steady_clock::now();
   }
+}
+
+Status ReplicationPrimary::FenceSelf(const Peer& peer, uint64_t newer_epoch) {
+  fenced_by_.store(newer_epoch, std::memory_order_release);
+  fenced_.store(true, std::memory_order_release);
+  ADEPT_LOG(kWarning) << "repl shard " << source_.shard << ": peer "
+                      << peer.endpoint.host << ":" << peer.endpoint.port
+                      << " carries epoch " << newer_epoch << " > ours ("
+                      << source_.epoch
+                      << "); this primary is fenced and stands down";
+  // Quorum waiters must fail fast, not ride out their ack timeout.
+  acks_cv_.notify_all();
+  return FencedStatus(source_.shard, newer_epoch, source_.epoch);
 }
 
 Status ReplicationPrimary::NegotiateSession(Peer& peer, TcpConnection& conn,
@@ -302,6 +506,7 @@ Status ReplicationPrimary::NegotiateSession(Peer& peer, TcpConnection& conn,
   if (ack.type != kMsgAck) {
     return Status::Corruption("expected ACK of RESUME");
   }
+  peer.health.Touch();
   {
     std::lock_guard<std::mutex> lock(mu_);
     peer.acked_lsn = replica_last;
@@ -339,6 +544,7 @@ Status ReplicationPrimary::SendSnapshotReset(Peer& peer, TcpConnection& conn) {
   if (static_cast<uint64_t>(body.Get("last").as_int()) != cover) {
     return Status::Corruption("replica acked a different snapshot coverage");
   }
+  peer.health.Touch();
   {
     std::lock_guard<std::mutex> lock(mu_);
     peer.acked_lsn = cover;
@@ -356,8 +562,14 @@ Result<std::vector<WalFrame>> ReplicationPrimary::CollectFrames(
     acked = peer.acked_lsn;
     durable = local_durable_;
     if (acked >= durable) {
-      // Caught up; park until the next durable batch (or stop/backoff).
-      frames_cv_.wait_for(lock, std::chrono::milliseconds(200));
+      // Caught up; park until the next durable batch (or stop/backoff) —
+      // but never longer than the heartbeat interval, so the idle-stream
+      // liveness probe in RunSession fires on schedule.
+      int park_ms = 200;
+      if (options_.heartbeat_interval_ms > 0) {
+        park_ms = std::min(park_ms, options_.heartbeat_interval_ms);
+      }
+      frames_cv_.wait_for(lock, std::chrono::milliseconds(park_ms));
       return frames;
     }
     if (!tail_.empty() && tail_.front().lsn <= acked + 1) {
@@ -417,10 +629,30 @@ Status ReplicationPrimary::SendBatch(Peer& peer, TcpConnection& conn,
                   static_cast<unsigned long long>(last),
                   static_cast<unsigned long long>(frames.back().lsn)));
   }
+  peer.health.Touch();
   {
     std::lock_guard<std::mutex> lock(mu_);
     peer.acked_lsn = last;
   }
+  acks_cv_.notify_all();
+  return Status::OK();
+}
+
+Status ReplicationPrimary::SendHeartbeat(Peer& peer, TcpConnection& conn) {
+  uint64_t durable;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    durable = local_durable_;
+  }
+  JsonValue msg = JsonValue::MakeObject();
+  msg.Set("epoch", JsonValue(source_.epoch));
+  msg.Set("durable", JsonValue(durable));
+  ADEPT_RETURN_IF_ERROR(conn.SendFrame(kMsgHeartbeat, msg.Dump()));
+  ADEPT_ASSIGN_OR_RETURN(NetFrame ack, conn.ReadFrame(options_.io_timeout_ms));
+  if (ack.type != kMsgAck) {
+    return Status::Corruption("expected ACK of HEARTBEAT");
+  }
+  peer.health.Touch();
   acks_cv_.notify_all();
   return Status::OK();
 }

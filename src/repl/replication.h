@@ -53,6 +53,7 @@
 #ifndef ADEPT_REPL_REPLICATION_H_
 #define ADEPT_REPL_REPLICATION_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -63,8 +64,10 @@
 #include <thread>
 #include <vector>
 
+#include "common/json.h"
 #include "common/status.h"
 #include "net/transport.h"
+#include "repl/health.h"
 #include "storage/wal.h"
 #include "storage/wal_writer.h"
 
@@ -78,6 +81,27 @@ constexpr uint32_t kMsgSnapshot = 4;
 constexpr uint32_t kMsgBatch = 5;
 constexpr uint32_t kMsgAck = 6;
 constexpr uint32_t kMsgError = 7;
+// Liveness probe, primary -> replica, sent when a peer is caught up and
+// the stream has been idle for heartbeat_interval_ms. The replica answers
+// with a normal ACK {"last": lsn}; both directions feed a HealthTracker.
+constexpr uint32_t kMsgHeartbeat = 8;
+
+// The replication layer reports every refusal as kUnavailable; these
+// predicates tell the flavors apart (stable message markers, part of the
+// status contract — the client retry layer keys on them):
+//
+//   quorum timeout — the record IS on the primary's disk but fewer than
+//     quorum copies acked it: maybe-applied, survives a failover iff the
+//     promoted replica's prefix covers its LSN.
+//   fenced — a newer epoch owns the shard; the write was rejected before
+//     any mutation: definitely-not-applied, safe to retry elsewhere.
+//   no live quorum — not enough live replicas to ever reach quorum; the
+//     write was rejected before any mutation: definitely-not-applied.
+bool IsQuorumTimeout(const Status& status);
+bool IsFenced(const Status& status);
+bool IsNoQuorum(const Status& status);
+Status FencedStatus(uint64_t shard, uint64_t newer_epoch, uint64_t own_epoch);
+Status NoLiveQuorumStatus(uint64_t shard, int live_copies, int quorum);
 
 struct ReplicationOptions {
   // Replica endpoints; every shard's primary dials each of them (a replica
@@ -98,10 +122,52 @@ struct ReplicationOptions {
   // Frames coalesced into one BATCH message.
   size_t max_batch_frames = 512;
   // In-memory tail retained for streaming before peers must fall back to
-  // reading the WAL file.
+  // reading the WAL file. Bounded twice: by frame count and by payload
+  // bytes — whichever trips first evicts from the front (a dead peer can
+  // no longer pin unbounded memory; it catches up from the WAL file or a
+  // snapshot reset instead; see tail_evictions in PrimaryStatus).
   size_t tail_buffer_frames = 8192;
+  size_t tail_buffer_bytes = 32u << 20;  // 32 MiB
+  // Idle-stream liveness probe interval and the health thresholds the
+  // primary applies to its replicas (alive -> suspect -> dead).
+  int heartbeat_interval_ms = 250;
+  int suspect_after_ms = 1000;
+  int dead_after_ms = 3000;
   // Applied to every peer connection this primary dials (tests).
   FaultInjector* fault_injector = nullptr;
+  // Per-peer override of fault_injector, indexed like `replicas` (tests:
+  // partition one peer while the others stream normally). Entries may be
+  // null; missing entries fall back to fault_injector.
+  std::vector<FaultInjector*> peer_fault_injectors;
+};
+
+// Point-in-time health of one replica peer as the primary sees it.
+struct PeerStatus {
+  NetEndpoint endpoint;
+  bool streaming = false;
+  PeerHealth health = PeerHealth::kDead;
+  uint64_t acked_lsn = 0;
+  int64_t silence_ms = 0;
+};
+
+// Point-in-time status of one shard's replication primary — the surface
+// the failover coordinator, AV013 lint rule, and tests read.
+struct PrimaryStatus {
+  uint64_t shard = 0;
+  uint64_t epoch = 0;
+  uint64_t local_durable = 0;
+  uint64_t quorum_acked = 0;
+  int quorum = 1;
+  bool fenced = false;
+  // Enough live (streaming, not dead) copies — counting the primary's
+  // own — to reach the quorum.
+  bool quorum_live = false;
+  uint64_t tail_evictions = 0;
+  size_t tail_frames = 0;
+  size_t tail_bytes = 0;
+  std::vector<PeerStatus> peers;
+
+  JsonValue ToJson() const;
 };
 
 // What a ReplicationPrimary replicates: one shard's WAL + snapshot.
@@ -154,6 +220,30 @@ class ReplicationPrimary : public WalCommitHook {
 
   uint64_t epoch() const { return source_.epoch; }
 
+  // This primary observed a higher epoch on a peer: a promotion happened
+  // behind its back and a newer primary owns the shard. Once fenced, every
+  // WaitRemote fails fast with FencedStatus and no peer is ever snapshot-
+  // reset (the one action that could destroy the newer lineage's data).
+  bool fenced() const { return fenced_.load(std::memory_order_acquire); }
+
+  // Whether enough copies (local + not-dead peers) are live to reach the
+  // quorum. False = writes cannot commit; reads degrade. Health-based, not
+  // connection-based: a freshly attached primary is optimistic (every
+  // peer starts `alive` and only decays to `dead` after dead_after_ms of
+  // real silence), and a transient reconnect does not flip the verdict.
+  bool HasLiveQuorum() const;
+
+  // Fail-fast write gate: FencedStatus when fenced, NoLiveQuorumStatus
+  // when below a live quorum, OK otherwise. Callers check this BEFORE
+  // mutating, so a refusal means definitely-not-applied.
+  Status CheckWritable() const;
+
+  // Frames evicted from the tail buffer before every peer acked them
+  // (each one forces the affected peers onto the WAL/snapshot path).
+  uint64_t tail_evictions() const;
+
+  PrimaryStatus GetStatus() const;
+
  private:
   struct Peer {
     NetEndpoint endpoint;
@@ -163,6 +253,8 @@ class ReplicationPrimary : public WalCommitHook {
     TcpConnection* conn = nullptr;
     uint64_t acked_lsn = 0;   // guarded by mu_
     bool streaming = false;   // guarded by mu_; handshake completed
+    HealthTracker health;     // internally synchronized
+    FaultInjector* injector = nullptr;  // set once at construction
   };
 
   ReplicationPrimary(ReplicationSource source,
@@ -184,11 +276,15 @@ class ReplicationPrimary : public WalCommitHook {
   // One BATCH/ACK round trip; frames must be contiguous from acked+1.
   Status SendBatch(Peer& peer, TcpConnection& conn,
                    const std::vector<WalFrame>& frames);
+  // One HEARTBEAT/ACK round trip (idle stream liveness probe).
+  Status SendHeartbeat(Peer& peer, TcpConnection& conn);
   // Collects the next frames for `peer` from the tail buffer or the WAL
   // file; empty when the peer is caught up. kCorruption-class gaps
   // trigger a snapshot reset inside.
   Result<std::vector<WalFrame>> CollectFrames(Peer& peer,
                                               TcpConnection& conn);
+  // Marks this primary fenced (a newer epoch was observed on `peer`).
+  Status FenceSelf(const Peer& peer, uint64_t newer_epoch);
 
   const ReplicationSource source_;
   const ReplicationOptions options_;
@@ -197,8 +293,12 @@ class ReplicationPrimary : public WalCommitHook {
   std::condition_variable frames_cv_;  // new durable frames / stop
   std::condition_variable acks_cv_;    // peer acks / connects / stop
   std::deque<WalFrame> tail_;          // guarded by mu_; bounded
+  size_t tail_bytes_ = 0;              // guarded by mu_
+  uint64_t tail_evictions_ = 0;        // guarded by mu_
   uint64_t local_durable_ = 0;         // guarded by mu_
   bool stopping_ = false;              // guarded by mu_
+  std::atomic<bool> fenced_{false};
+  std::atomic<uint64_t> fenced_by_{0};  // the newer epoch that fenced us
   std::vector<std::unique_ptr<Peer>> peers_;
 };
 
@@ -208,12 +308,15 @@ Result<uint64_t> ReadReplicationEpoch(const std::string& wal_base);
 
 // Promotion: bumps the failover epoch of the file set at `wal_base`
 // (a stopped replica's — or a recovering primary's — base WAL path) and
-// returns the new epoch. The caller then runs AdeptCluster::Recover over
-// these paths and re-attaches replication; any peer that last spoke to
-// the previous primary now fails the epoch check and is snapshot-reset,
-// which is how a divergent unacked suffix on a rejoining old primary is
-// discarded.
-Result<uint64_t> PromoteReplicaFiles(const std::string& wal_base);
+// returns the new epoch, at least `at_least` (a coordinator that saw a
+// higher epoch elsewhere in the cluster passes it so the promoted lineage
+// dominates every older one). The caller then runs AdeptCluster::Recover
+// over these paths and re-attaches replication; any peer that last spoke
+// to the previous primary now fails the epoch check and is snapshot-
+// reset, which is how a divergent unacked suffix on a rejoining old
+// primary is discarded.
+Result<uint64_t> PromoteReplicaFiles(const std::string& wal_base,
+                                     uint64_t at_least = 0);
 
 }  // namespace adept
 

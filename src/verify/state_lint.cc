@@ -4,6 +4,8 @@
 #include <map>
 #include <vector>
 
+#include "common/fs_util.h"
+#include "common/json.h"
 #include "common/string_util.h"
 #include "runtime/instance.h"
 #include "runtime/trace.h"
@@ -126,12 +128,76 @@ Status LintOrphanedClaims(const Engine& engine,
 
 }  // namespace
 
+void LintReplicationStatus(const JsonValue& status,
+                           VerificationReport* report) {
+  if (!status.is_object() || !status.Get("attached").as_bool()) return;
+  const JsonValue& shards = status.Get("shards");
+  if (!shards.is_array()) return;
+  for (const JsonValue& shard : shards.as_array()) {
+    const auto shard_id = static_cast<unsigned long long>(
+        shard.Get("shard").as_int());
+    if (shard.Get("fenced").as_bool()) {
+      VerificationIssue issue;
+      issue.rule = VerifyRule::kReplicationDegraded;
+      issue.severity = VerifySeverity::kError;
+      issue.message = StrFormat(
+          "shard %llu's primary is fenced by a newer epoch (own epoch "
+          "%llu): this lineage was deposed and rejects every write",
+          shard_id,
+          static_cast<unsigned long long>(shard.Get("epoch").as_int()));
+      issue.fix_hint =
+          "stop routing writes to this node; rejoin its file set as a "
+          "replica of the promoted primary (the stale suffix is "
+          "snapshot-reset away)";
+      report->Add(std::move(issue));
+      continue;
+    }
+    if (shard.Get("quorum_live").as_bool()) continue;
+    // Below quorum: name every peer that is not alive, with its silence.
+    std::string detail;
+    int live_copies = 1;  // the primary's own disk
+    const JsonValue& peers = shard.Get("peers");
+    if (peers.is_array()) {
+      for (const JsonValue& peer : peers.as_array()) {
+        const std::string& health = peer.Get("health").as_string();
+        if (health != "dead") ++live_copies;
+        if (health == "alive") continue;
+        if (!detail.empty()) detail += ", ";
+        detail += StrFormat(
+            "%s %s for %llums", peer.Get("endpoint").as_string().c_str(),
+            health.c_str(),
+            static_cast<unsigned long long>(peer.Get("silence_ms").as_int()));
+      }
+    }
+    VerificationIssue issue;
+    issue.rule = VerifyRule::kReplicationDegraded;
+    issue.severity = VerifySeverity::kWarning;
+    issue.message = StrFormat(
+        "shard %llu is below its live quorum (%d of %lld required copies "
+        "live): writes fail fast, reads serve degraded%s%s%s",
+        shard_id, live_copies,
+        static_cast<long long>(shard.Get("quorum").as_int()),
+        detail.empty() ? "" : " (", detail.c_str(),
+        detail.empty() ? "" : ")");
+    issue.fix_hint =
+        "restore connectivity to (or restart) the dead replicas, or let "
+        "the failover coordinator promote a standby quorum";
+    report->Add(std::move(issue));
+  }
+}
+
 Result<VerificationReport> LintRuntimeState(const Engine& engine,
                                             const StateLintOptions& options) {
   VerificationReport report;
   LintStuckActivities(engine, options, &report);
   if (!options.claims_journal_path.empty()) {
     ADEPT_RETURN_IF_ERROR(LintOrphanedClaims(engine, options, &report));
+  }
+  if (!options.repl_status_path.empty()) {
+    ADEPT_ASSIGN_OR_RETURN(std::string blob,
+                           ReadFileToString(options.repl_status_path));
+    ADEPT_ASSIGN_OR_RETURN(JsonValue status, JsonValue::Parse(blob));
+    LintReplicationStatus(status, &report);
   }
   return report;
 }

@@ -19,6 +19,14 @@
 //                          Running — the node completed, was skipped, or
 //                          its instance is gone. The claim can never be
 //                          finished by its owner; release it.
+//   AV013 replication-     A shard of a ClusterReplicationStatus dump
+//         degraded         cannot commit: fenced by a newer epoch (error —
+//                          this lineage was deposed, stop routing writes
+//                          to it) or below its live quorum (warning —
+//                          writes fail fast, reads serve degraded; lists
+//                          each non-alive peer with its silence). Fed by
+//                          adept_lint --repl-status FILE, where FILE holds
+//                          AdeptCluster::ReplicationStatus().ToJson().
 //
 // Both rules read a quiesced system (a recovered one, or one the caller
 // is not concurrently mutating); they take the engine lock through the
@@ -43,12 +51,22 @@ struct StateLintOptions {
   // Worklist claim journal to replay for AV012 (the cluster writes it at
   // "<wal_path>.worklist"). Empty: skip the claim rule.
   std::string claims_journal_path;
+  // JSON file holding a ClusterReplicationStatus dump for AV013. Empty:
+  // skip the replication rule.
+  std::string repl_status_path;
 };
 
-// Lints every instance of `engine` (and the claim journal, if configured).
-// Findings are deterministic: ordered by instance id, then node id.
+// Lints every instance of `engine` (and the claim journal / replication
+// status, if configured). Findings are deterministic: ordered by instance
+// id, then node id; AV013 findings by shard.
 Result<VerificationReport> LintRuntimeState(const Engine& engine,
                                             const StateLintOptions& options);
+
+// AV013 over one parsed ClusterReplicationStatus document (what
+// AdeptCluster::ReplicationStatus().ToJson() produces). Exposed directly
+// so a live cluster can be linted without a round-trip through a file.
+void LintReplicationStatus(const JsonValue& status,
+                           VerificationReport* report);
 
 }  // namespace adept
 

@@ -135,6 +135,8 @@ const char* VerifyRuleToString(VerifyRule rule) {
       return "stuck-activity";
     case VerifyRule::kOrphanedClaim:
       return "orphaned-claim";
+    case VerifyRule::kReplicationDegraded:
+      return "replication-degraded";
   }
   return "unknown";
 }
@@ -165,6 +167,8 @@ const char* VerifyRuleId(VerifyRule rule) {
       return "AV011";
     case VerifyRule::kOrphanedClaim:
       return "AV012";
+    case VerifyRule::kReplicationDegraded:
+      return "AV013";
   }
   return "AV000";
 }

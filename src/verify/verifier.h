@@ -54,6 +54,10 @@ enum class VerifyRule {
   // report plumbing stay one catalog.
   kStuckActivity,   // running activity with no progress in the trace tail
   kOrphanedClaim,   // live worklist claim on a node no longer activated
+  // Replication-health rule: linted over a ClusterReplicationStatus dump
+  // (a shard's primary is fenced or below its live quorum, so writes are
+  // failing fast while reads serve degraded).
+  kReplicationDegraded,
 };
 
 enum class VerifySeverity { kError, kWarning };

@@ -462,6 +462,94 @@ TEST(ReplicationTest, OldPrimaryRejoinsAndDropsDivergentSuffix) {
   }
 }
 
+// Bidirectional partition: the primary is cut off from both replicas in
+// both directions. The minority side (the primary alone) must degrade —
+// writes fail fast with the no-quorum marker before any mutation, reads
+// still serve its published snapshots flagged degraded — while the
+// majority side (the two replica file sets) promotes and keeps
+// committing. When the partition heals, the deposed primary meets the
+// promoted epoch and self-fences.
+TEST(ReplicationTest, BidirectionalPartitionMinorityDegradesMajorityCommits) {
+  TempDir dir;
+  ToggleFaultInjector ack_cut1, ack_cut2;  // replica -> primary direction
+  auto replica1 = StartReplica(dir, "replica1", &ack_cut1);
+  auto replica2 = StartReplica(dir, "replica2", &ack_cut2);
+  ASSERT_NE(replica1, nullptr);
+  ASSERT_NE(replica2, nullptr);
+
+  auto cluster = AdeptCluster::Create(PrimaryOptions(dir, 1));
+  ASSERT_TRUE(cluster.ok()) << cluster.status();
+  ToggleFaultInjector send_cut1, send_cut2;  // primary -> replica direction
+  ReplicationOptions ropts =
+      ReplOptions({replica1->port(), replica2->port()}, 2);
+  ropts.peer_fault_injectors = {&send_cut1, &send_cut2};
+  ropts.ack_timeout_ms = 300;
+  ropts.heartbeat_interval_ms = 50;
+  ropts.suspect_after_ms = 200;
+  ropts.dead_after_ms = 500;
+  ASSERT_TRUE((*cluster)->AttachReplication(ropts).ok());
+
+  ASSERT_TRUE((*cluster)->DeployProcessType(SequenceSchema(6)).ok());
+  std::vector<InstanceId> ids = CreateMany(**cluster, 3);
+  ASSERT_EQ(ids.size(), 3u);
+  ASSERT_TRUE(WaitConverged(**cluster, *replica1, 1));
+  ASSERT_TRUE(WaitConverged(**cluster, *replica2, 1));
+
+  // Cut everything in both directions and let the health clocks expire.
+  send_cut1.set_enabled(true);
+  send_cut2.set_enabled(true);
+  ack_cut1.set_enabled(true);
+  ack_cut2.set_enabled(true);
+  std::this_thread::sleep_for(std::chrono::milliseconds(800));
+
+  // Minority side: the write gate rejects before any mutation...
+  auto rejected = (*cluster)->CreateInstance("seq");
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_TRUE(IsNoQuorum(rejected.status())) << rejected.status();
+  EXPECT_EQ(CountInstances(**cluster), 3u);
+  // ...while reads still serve, flagged as trailing a degraded shard.
+  EXPECT_TRUE((*cluster)->ReplicationStatus().degraded());
+  auto stale_read = (*cluster)->Query("state != finished");
+  ASSERT_TRUE(stale_read.ok()) << stale_read.status();
+  EXPECT_TRUE(stale_read->degraded);
+  EXPECT_EQ(stale_read->size(), 3u);
+
+  // Majority side: replica1's file set is promoted (epoch 2) and
+  // replica2 rejoins its network — the quorum of two keeps committing.
+  replica1->Stop();
+  ack_cut2.set_enabled(false);
+  auto promoted = PromoteToCluster(dir.File("replica1.wal"),
+                                   dir.File("replica1.snapshot"), 1);
+  ASSERT_TRUE(promoted.ok()) << promoted.status();
+  ReplicationOptions majority = ReplOptions({replica2->port()}, 2);
+  majority.heartbeat_interval_ms = 50;
+  ASSERT_TRUE((*promoted)->AttachReplication(majority).ok());
+  std::vector<InstanceId> new_ids = CreateMany(**promoted, 2);
+  ASSERT_EQ(new_ids.size(), 2u);
+  EXPECT_TRUE(WaitConverged(**promoted, *replica2, 1));
+  EXPECT_EQ(CountInstances(**promoted), 5u);
+  EXPECT_EQ(replica2->epoch(), 2u);
+
+  // Heal the old primary's links: its first handshake meets epoch 2 and
+  // it self-fences — exactly one unfenced primary remains.
+  send_cut1.set_enabled(false);
+  send_cut2.set_enabled(false);
+  ack_cut1.set_enabled(false);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  Status fenced;
+  for (;;) {
+    auto attempt = (*cluster)->CreateInstance("seq");
+    ASSERT_FALSE(attempt.ok());
+    fenced = attempt.status();
+    if (IsFenced(fenced) || std::chrono::steady_clock::now() > deadline) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_TRUE(IsFenced(fenced)) << fenced;
+}
+
 // Guard rails: quorum bounds, attach-twice, resize-while-attached.
 TEST(ReplicationTest, AttachGuards) {
   TempDir dir;

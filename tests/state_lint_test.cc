@@ -1,13 +1,16 @@
-// Golden tests for the runtime-health rules AV011 (stuck-activity) and
-// AV012 (orphaned-claim). These assert the *exact* report JSON: the rule
-// ids, messages, and fix hints are a published interface (suppression
-// baselines key on them), so a silent wording or id change must fail here.
+// Golden tests for the runtime-health rules AV011 (stuck-activity),
+// AV012 (orphaned-claim), and AV013 (replication-degraded). These assert
+// the *exact* report JSON: the rule ids, messages, and fix hints are a
+// published interface (suppression baselines key on them), so a silent
+// wording or id change must fail here.
 
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/json.h"
 #include "runtime/engine.h"
@@ -172,6 +175,128 @@ TEST(StateLintTest, OrphanedClaimGoldenReport) {
   auto empty = LintRuntimeState(engine, options);
   ASSERT_TRUE(empty.ok()) << empty.status();
   EXPECT_EQ(empty->issues().size(), 0u);
+}
+
+// --- AV013 replication-degraded ---------------------------------------------
+
+// Builds the shape AdeptCluster::ReplicationStatus().ToJson() emits.
+JsonValue PeerJson(const std::string& endpoint, const std::string& health,
+                   uint64_t acked, int64_t silence_ms) {
+  JsonValue p = JsonValue::MakeObject();
+  p.Set("endpoint", JsonValue(endpoint));
+  p.Set("streaming", JsonValue(health == "alive"));
+  p.Set("health", JsonValue(health));
+  p.Set("acked_lsn", JsonValue(acked));
+  p.Set("silence_ms", JsonValue(silence_ms));
+  return p;
+}
+
+JsonValue ShardStatusJson(uint64_t shard, bool fenced, bool quorum_live,
+                          std::vector<JsonValue> peers) {
+  JsonValue peer_list = JsonValue::MakeArray();
+  for (JsonValue& p : peers) peer_list.Append(std::move(p));
+  JsonValue s = JsonValue::MakeObject();
+  s.Set("shard", JsonValue(shard));
+  s.Set("epoch", JsonValue(uint64_t{2}));
+  s.Set("local_durable", JsonValue(uint64_t{10}));
+  s.Set("quorum_acked", JsonValue(uint64_t{10}));
+  s.Set("quorum", JsonValue(int64_t{2}));
+  s.Set("fenced", JsonValue(fenced));
+  s.Set("quorum_live", JsonValue(quorum_live));
+  s.Set("tail_evictions", JsonValue(uint64_t{0}));
+  s.Set("tail_frames", JsonValue(int64_t{0}));
+  s.Set("tail_bytes", JsonValue(int64_t{0}));
+  s.Set("peers", std::move(peer_list));
+  return s;
+}
+
+JsonValue ReplStatusJson(bool attached, std::vector<JsonValue> shards) {
+  JsonValue shard_list = JsonValue::MakeArray();
+  for (JsonValue& s : shards) shard_list.Append(std::move(s));
+  JsonValue j = JsonValue::MakeObject();
+  j.Set("attached", JsonValue(attached));
+  j.Set("epoch", JsonValue(uint64_t{2}));
+  j.Set("degraded", JsonValue(true));
+  j.Set("shards", std::move(shard_list));
+  return j;
+}
+
+// A fenced shard is an error, a below-quorum shard a warning naming every
+// non-alive peer; a healthy shard and a detached dump stay silent.
+TEST(StateLintTest, ReplicationDegradedGoldenReport) {
+  VerificationReport report;
+  LintReplicationStatus(
+      ReplStatusJson(
+          true,
+          {ShardStatusJson(0, /*fenced=*/true, /*quorum_live=*/false,
+                           {PeerJson("127.0.0.1:7001", "alive", 10, 40)}),
+           ShardStatusJson(1, /*fenced=*/false, /*quorum_live=*/false,
+                           {PeerJson("127.0.0.1:7001", "dead", 4, 4500),
+                            PeerJson("127.0.0.1:7002", "dead", 6, 5000)}),
+           ShardStatusJson(2, /*fenced=*/false, /*quorum_live=*/true,
+                           {PeerJson("127.0.0.1:7001", "alive", 10, 40)})}),
+      &report);
+  EXPECT_EQ(
+      report.ToJson().Dump(),
+      std::string(R"({"errors":1,"findings":[{)") +
+          R"("fix_hint":"stop routing writes to this node; rejoin its )" +
+          R"(file set as a replica of the promoted primary (the stale )" +
+          R"x(suffix is snapshot-reset away)",)x" +
+          R"("message":"shard 0's primary is fenced by a newer epoch )" +
+          R"((own epoch 2): this lineage was deposed and rejects every )" +
+          R"(write","rule":"replication-degraded","rule_id":"AV013",)" +
+          R"("severity":"error","span":[]},{)" +
+          R"("fix_hint":"restore connectivity to (or restart) the dead )" +
+          R"(replicas, or let the failover coordinator promote a standby )" +
+          R"(quorum",)" +
+          R"("message":"shard 1 is below its live quorum (1 of 2 )" +
+          R"(required copies live): writes fail fast, reads serve )" +
+          R"(degraded (127.0.0.1:7001 dead for 4500ms, 127.0.0.1:7002 )" +
+          R"x(dead for 5000ms)","rule":"replication-degraded",)x" +
+          R"("rule_id":"AV013","severity":"warning","span":[]}],)" +
+          R"("ok":false,"warnings":1})");
+
+  // Replication never attached: nothing to say, whatever the shards hold.
+  VerificationReport detached;
+  LintReplicationStatus(
+      ReplStatusJson(false, {ShardStatusJson(0, true, false, {})}),
+      &detached);
+  EXPECT_EQ(detached.ToJson().Dump(),
+            R"({"errors":0,"findings":[],"ok":true,"warnings":0})");
+}
+
+// The file-fed path adept_lint --repl-status uses: the dump is read,
+// parsed, and folded into the runtime report next to AV011/AV012.
+TEST(StateLintTest, ReplicationStatusFileFoldsIntoRuntimeReport) {
+  Engine engine;
+  const std::string path = TempPath("adept_state_lint_repl_status.json");
+  {
+    std::ofstream out(path);
+    out << ReplStatusJson(
+               true, {ShardStatusJson(3, /*fenced=*/false,
+                                      /*quorum_live=*/false,
+                                      {PeerJson("127.0.0.1:9000", "suspect",
+                                                8, 1500)})})
+               .Dump();
+  }
+  StateLintOptions options;
+  options.repl_status_path = path;
+  auto report = LintRuntimeState(engine, options);
+  ASSERT_TRUE(report.ok()) << report.status();
+  ASSERT_EQ(report->issues().size(), 1u);
+  EXPECT_EQ(std::string(VerifyRuleId(report->issues()[0].rule)), "AV013");
+  EXPECT_EQ(report->issues()[0].severity, VerifySeverity::kWarning);
+  // A suspect peer still counts toward the live copies, but is named.
+  EXPECT_EQ(report->issues()[0].message,
+            "shard 3 is below its live quorum (2 of 2 required copies "
+            "live): writes fail fast, reads serve degraded "
+            "(127.0.0.1:9000 suspect for 1500ms)");
+  std::filesystem::remove(path);
+
+  // Unlike the claim journal, a named-but-missing dump is an error: the
+  // flag promises a file the caller just wrote.
+  auto missing = LintRuntimeState(engine, options);
+  EXPECT_FALSE(missing.ok());
 }
 
 }  // namespace

@@ -62,7 +62,7 @@ int Usage(const char* argv0) {
       << "       " << argv0 << " --schema FILE.json [FILE.json ...] "
       << "[--out FILE]\n"
       << "       " << argv0 << " --state WAL [--snapshot FILE] "
-      << "[--claims FILE] [--out FILE]\n"
+      << "[--claims FILE] [--repl-status FILE] [--out FILE]\n"
       << "       " << argv0 << " --wal-dump WAL [--out FILE]\n";
   return 2;
 }
@@ -180,6 +180,7 @@ int Run(int argc, char** argv) {
   std::string wal_dump_path;
   std::string snapshot_path;
   std::string claims_path;
+  std::string repl_status_path;
   std::string out_path;
   bool examples = false;
   for (int i = 1; i < argc; ++i) {
@@ -203,6 +204,9 @@ int Run(int argc, char** argv) {
     } else if (arg == "--claims") {
       if (i + 1 >= argc) return Usage(argv[0]);
       claims_path = argv[++i];
+    } else if (arg == "--repl-status") {
+      if (i + 1 >= argc) return Usage(argv[0]);
+      repl_status_path = argv[++i];
     } else if (arg == "--out") {
       if (i + 1 >= argc) return Usage(argv[0]);
       out_path = argv[++i];
@@ -270,6 +274,7 @@ int Run(int argc, char** argv) {
     } else if (std::filesystem::exists(wal_path + ".worklist")) {
       state_options.claims_journal_path = wal_path + ".worklist";
     }
+    state_options.repl_status_path = repl_status_path;
     auto report = LintRuntimeState(system->engine(), state_options);
     if (!report.ok()) {
       std::cerr << "adept_lint: runtime lint: " << report.status().message()
